@@ -1,0 +1,79 @@
+// Ablation: discovery latency (DESIGN.md §4). Directory lookup cost by
+// predicate combination as the number of published virtual sensors
+// grows — the paper's "Sensor Internet" needs discovery to stay cheap
+// as deployments multiply.
+
+#include <benchmark/benchmark.h>
+
+#include "gsn/network/directory.h"
+
+namespace {
+
+using gsn::network::DirectoryEntry;
+using gsn::network::DirectoryService;
+
+void FillDirectory(DirectoryService* directory, int entries) {
+  static const char* kTypes[] = {"temperature", "light", "camera", "rfid"};
+  for (int i = 0; i < entries; ++i) {
+    DirectoryEntry entry;
+    entry.sensor_name = "sensor-" + std::to_string(i);
+    entry.node_id = "node-" + std::to_string(i % 16);
+    entry.predicates["type"] = kTypes[i % 4];
+    entry.predicates["location"] = "room-" + std::to_string(i % 50);
+    entry.output_schema.AddField("v", gsn::DataType::kInt);
+    directory->Upsert(std::move(entry));
+  }
+}
+
+void BM_DiscoverByType(benchmark::State& state) {
+  DirectoryService directory;
+  FillDirectory(&directory, static_cast<int>(state.range(0)));
+  const std::map<std::string, std::string> query = {{"type", "temperature"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(directory.Discover(query));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DiscoverByType)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DiscoverByCombination(benchmark::State& state) {
+  DirectoryService directory;
+  FillDirectory(&directory, static_cast<int>(state.range(0)));
+  const std::map<std::string, std::string> query = {
+      {"type", "temperature"}, {"location", "room-7"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(directory.Discover(query));
+  }
+}
+BENCHMARK(BM_DiscoverByCombination)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PublishEncodeDecode(benchmark::State& state) {
+  DirectoryEntry entry;
+  entry.sensor_name = "avg-temperature";
+  entry.node_id = "node-3";
+  entry.predicates = {{"type", "temperature"}, {"location", "bc143"}};
+  entry.output_schema.AddField("temperature", gsn::DataType::kInt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DirectoryEntry::Decode(entry.Encode()));
+  }
+}
+BENCHMARK(BM_PublishEncodeDecode);
+
+void BM_Upsert(benchmark::State& state) {
+  DirectoryService directory;
+  DirectoryEntry entry;
+  entry.sensor_name = "s";
+  entry.node_id = "n";
+  entry.predicates = {{"type", "temperature"}};
+  entry.output_schema.AddField("v", gsn::DataType::kInt);
+  int i = 0;
+  for (auto _ : state) {
+    entry.sensor_name = "s" + std::to_string(i++ % 1000);
+    directory.Upsert(entry);
+  }
+}
+BENCHMARK(BM_Upsert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

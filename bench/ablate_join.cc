@@ -1,0 +1,66 @@
+// Ablation: adaptive join execution (paper §4: "adaptive query
+// execution plan"). Hash vs nested-loop equi-join across input sizes —
+// shows the crossover that justifies runtime strategy selection: below
+// it the nested loop's lower constant wins, above it the hash join's
+// O(n+m) scaling wins.
+
+#include <benchmark/benchmark.h>
+
+#include "gsn/sql/executor.h"
+#include "gsn/sql/parser.h"
+#include "gsn/util/rng.h"
+
+namespace {
+
+using gsn::DataType;
+using gsn::Relation;
+using gsn::Schema;
+using gsn::Value;
+
+gsn::sql::MapResolver MakeTables(int rows) {
+  gsn::Rng rng(7);
+  gsn::sql::MapResolver resolver;
+  for (const char* name : {"l", "r"}) {
+    Schema schema;
+    schema.AddField("id", DataType::kInt);
+    schema.AddField("v", DataType::kInt);
+    Relation rel(schema);
+    for (int i = 0; i < rows; ++i) {
+      (void)rel.AddRow({Value::Int(rng.NextInt(0, rows)),
+                        Value::Int(rng.NextInt(0, 100))});
+    }
+    resolver.Put(name, std::move(rel));
+  }
+  return resolver;
+}
+
+void RunJoin(benchmark::State& state, size_t threshold) {
+  const size_t saved = gsn::sql::GetHashJoinThreshold();
+  gsn::sql::SetHashJoinThreshold(threshold);
+  gsn::sql::MapResolver resolver = MakeTables(static_cast<int>(state.range(0)));
+  gsn::sql::Executor exec(&resolver);
+  auto stmt =
+      gsn::sql::ParseSelect("select count(*) from l join r on l.id = r.id");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(**stmt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  gsn::sql::SetHashJoinThreshold(saved);
+}
+
+void BM_NestedLoopJoin(benchmark::State& state) {
+  RunJoin(state, SIZE_MAX);
+}
+BENCHMARK(BM_NestedLoopJoin)->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_HashJoin(benchmark::State& state) { RunJoin(state, 0); }
+BENCHMARK(BM_HashJoin)->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_AdaptiveJoin(benchmark::State& state) {
+  RunJoin(state, 1024);  // the default policy
+}
+BENCHMARK(BM_AdaptiveJoin)->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

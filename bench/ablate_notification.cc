@@ -1,0 +1,85 @@
+// Ablation: notification fan-out (DESIGN.md §4). Per-element dispatch
+// cost of the notification manager as the subscriber count grows, with
+// unconditional vs predicate-filtered subscriptions.
+
+#include <benchmark/benchmark.h>
+
+#include "gsn/container/notification.h"
+
+namespace {
+
+using gsn::StreamElement;
+using gsn::Value;
+using gsn::container::CallbackChannel;
+using gsn::container::Notification;
+using gsn::container::NotificationManager;
+
+gsn::Schema ElementSchema() {
+  gsn::Schema schema;
+  schema.AddField("temperature", gsn::DataType::kInt);
+  schema.AddField("light", gsn::DataType::kDouble);
+  return schema;
+}
+
+StreamElement MakeElement() {
+  StreamElement e;
+  e.timed = 1000;
+  e.values = {Value::Int(25), Value::Double(420.0)};
+  return e;
+}
+
+void BM_FanoutUnconditional(benchmark::State& state) {
+  NotificationManager manager;
+  long delivered = 0;
+  auto channel = std::make_shared<CallbackChannel>(
+      [&delivered](const Notification&) { ++delivered; });
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)manager.Subscribe("sensor", "", channel);
+  }
+  const gsn::Schema schema = ElementSchema();
+  const StreamElement element = MakeElement();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.OnElement("sensor", schema, element));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FanoutUnconditional)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_FanoutConditional(benchmark::State& state) {
+  NotificationManager manager;
+  long delivered = 0;
+  auto channel = std::make_shared<CallbackChannel>(
+      [&delivered](const Notification&) { ++delivered; });
+  for (int i = 0; i < state.range(0); ++i) {
+    // Half the conditions match, half don't.
+    const std::string condition = (i % 2 == 0)
+                                      ? "temperature > 20 and light < 500"
+                                      : "temperature > 100";
+    (void)manager.Subscribe("sensor", condition, channel);
+  }
+  const gsn::Schema schema = ElementSchema();
+  const StreamElement element = MakeElement();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.OnElement("sensor", schema, element));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FanoutConditional)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_NonMatchingSensorFiltered(benchmark::State& state) {
+  NotificationManager manager;
+  auto channel = std::make_shared<CallbackChannel>([](const Notification&) {});
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)manager.Subscribe("other-sensor", "", channel);
+  }
+  const gsn::Schema schema = ElementSchema();
+  const StreamElement element = MakeElement();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.OnElement("sensor", schema, element));
+  }
+}
+BENCHMARK(BM_NonMatchingSensorFiltered)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

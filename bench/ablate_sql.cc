@@ -1,0 +1,110 @@
+// Ablation: SQL cost split — parse vs execute — and the prepared-query
+// cache (DESIGN.md §4). The paper attributes part of Fig 4's latency to
+// "the cost of query compiling" in MySQL; this bench quantifies the
+// equivalent split in our engine.
+
+#include <benchmark/benchmark.h>
+
+#include "gsn/container/query_manager.h"
+#include "gsn/sql/parser.h"
+#include "gsn/storage/table.h"
+#include "gsn/util/rng.h"
+
+namespace {
+
+using gsn::Timestamp;
+using gsn::Value;
+using gsn::kMicrosPerSecond;
+
+constexpr char kTypicalQuery[] =
+    "select count(*), avg(value), max(seq) from stream "
+    "where timed > 100000 and value > 0.25 and seq % 3 = 0";
+
+void FillStream(gsn::storage::TableManager* tables, int rows) {
+  gsn::WindowSpec retention;
+  retention.kind = gsn::WindowSpec::Kind::kCount;
+  retention.count = rows;
+  gsn::Schema schema;
+  schema.AddField("seq", gsn::DataType::kInt);
+  schema.AddField("value", gsn::DataType::kDouble);
+  auto table = tables->CreateTable("stream", schema, retention);
+  gsn::Rng rng(3);
+  for (int i = 0; i < rows; ++i) {
+    gsn::StreamElement e;
+    e.timed = static_cast<Timestamp>(i) * kMicrosPerSecond;
+    e.values = {Value::Int(i), Value::Double(rng.NextDouble(-1, 1))};
+    (void)(*table)->Insert(e);
+  }
+}
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gsn::sql::ParseSelect(kTypicalQuery));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_ExecutePrepared(benchmark::State& state) {
+  gsn::storage::TableManager tables;
+  FillStream(&tables, static_cast<int>(state.range(0)));
+  gsn::sql::Executor exec(&tables);
+  auto stmt = gsn::sql::ParseSelect(kTypicalQuery);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(**stmt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExecutePrepared)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_QueryManagerCacheOn(benchmark::State& state) {
+  gsn::storage::TableManager tables;
+  FillStream(&tables, 1000);
+  gsn::container::QueryManager qm(&tables);
+  qm.set_cache_enabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qm.Execute(kTypicalQuery));
+  }
+}
+BENCHMARK(BM_QueryManagerCacheOn);
+
+void BM_QueryManagerCacheOff(benchmark::State& state) {
+  gsn::storage::TableManager tables;
+  FillStream(&tables, 1000);
+  gsn::container::QueryManager qm(&tables);
+  qm.set_cache_enabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qm.Execute(kTypicalQuery));
+  }
+}
+BENCHMARK(BM_QueryManagerCacheOff);
+
+void BM_JoinTwoStreams(benchmark::State& state) {
+  gsn::storage::TableManager tables;
+  FillStream(&tables, static_cast<int>(state.range(0)));
+  // Second stream with matching keys.
+  gsn::WindowSpec retention;
+  retention.kind = gsn::WindowSpec::Kind::kCount;
+  retention.count = state.range(0);
+  gsn::Schema schema;
+  schema.AddField("seq", gsn::DataType::kInt);
+  schema.AddField("label", gsn::DataType::kString);
+  auto other = tables.CreateTable("labels", schema, retention);
+  for (int i = 0; i < state.range(0); ++i) {
+    gsn::StreamElement e;
+    e.timed = static_cast<Timestamp>(i) * kMicrosPerSecond;
+    e.values = {Value::Int(i), Value::String(i % 2 ? "odd" : "even")};
+    (void)(*other)->Insert(e);
+  }
+  gsn::sql::Executor exec(&tables);
+  auto stmt = gsn::sql::ParseSelect(
+      "select count(*) from stream s join labels l on s.seq = l.seq "
+      "where l.label = 'even'");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(**stmt));
+  }
+}
+BENCHMARK(BM_JoinTwoStreams)->Arg(50)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+#include "gsn/container/access_control.h"
+
+#include "gsn/util/hash.h"
+#include "gsn/util/strings.h"
+
+namespace gsn::container {
+
+std::string AccessControl::HashKey(const std::string& api_key) {
+  return Sha256::HexDigest(api_key);
+}
+
+bool AccessControl::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+Status AccessControl::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool has_admin = false;
+  for (const auto& [name, user] : users_) {
+    if (user.admin) {
+      has_admin = true;
+      break;
+    }
+  }
+  if (!has_admin) {
+    return Status::InvalidArgument(
+        "cannot enable access control without an admin user");
+  }
+  enabled_ = true;
+  return Status::OK();
+}
+
+void AccessControl::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = false;
+}
+
+Status AccessControl::AddUser(const std::string& user,
+                              const std::string& api_key, bool admin) {
+  if (user.empty() || api_key.empty()) {
+    return Status::InvalidArgument("user and api key must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (users_.count(user)) {
+    return Status::AlreadyExists("user already exists: " + user);
+  }
+  User u;
+  u.key_hash = HashKey(api_key);
+  u.admin = admin;
+  users_[user] = std::move(u);
+  return Status::OK();
+}
+
+Status AccessControl::RemoveUser(const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (users_.erase(user) == 0) {
+    return Status::NotFound("no such user: " + user);
+  }
+  return Status::OK();
+}
+
+Result<std::string> AccessControl::Authenticate(
+    const std::string& api_key) const {
+  const std::string hash = HashKey(api_key);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, user] : users_) {
+    if (user.key_hash == hash) return name;
+  }
+  return Status::PermissionDenied("unknown api key");
+}
+
+Status AccessControl::GrantRead(const std::string& user,
+                                const std::string& sensor_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user);
+  if (it == users_.end()) return Status::NotFound("no such user: " + user);
+  it->second.readable_sensors.insert(StrToLower(sensor_name));
+  return Status::OK();
+}
+
+Status AccessControl::GrantDeploy(const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user);
+  if (it == users_.end()) return Status::NotFound("no such user: " + user);
+  it->second.can_deploy = true;
+  return Status::OK();
+}
+
+Status AccessControl::RevokeRead(const std::string& user,
+                                 const std::string& sensor_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user);
+  if (it == users_.end()) return Status::NotFound("no such user: " + user);
+  it->second.readable_sensors.erase(StrToLower(sensor_name));
+  return Status::OK();
+}
+
+Status AccessControl::Check(const std::string& api_key, Permission permission,
+                            const std::string& sensor_name) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) return Status::OK();
+  }
+  GSN_ASSIGN_OR_RETURN(std::string user_name, Authenticate(api_key));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user_name);
+  if (it == users_.end()) {
+    return Status::PermissionDenied("user vanished: " + user_name);
+  }
+  const User& user = it->second;
+  if (user.admin) return Status::OK();
+  switch (permission) {
+    case Permission::kAdmin:
+      return Status::PermissionDenied(user_name + " is not an admin");
+    case Permission::kDeploy:
+      if (user.can_deploy) return Status::OK();
+      return Status::PermissionDenied(user_name + " may not deploy");
+    case Permission::kRead: {
+      if (user.readable_sensors.count("*")) return Status::OK();
+      if (!sensor_name.empty() &&
+          user.readable_sensors.count(StrToLower(sensor_name))) {
+        return Status::OK();
+      }
+      return Status::PermissionDenied(user_name + " may not read '" +
+                                      sensor_name + "'");
+    }
+  }
+  return Status::Internal("unhandled permission");
+}
+
+}  // namespace gsn::container

@@ -1,0 +1,79 @@
+#ifndef GSN_CONTAINER_ACCESS_CONTROL_H_
+#define GSN_CONTAINER_ACCESS_CONTROL_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "gsn/util/result.h"
+
+namespace gsn::container {
+
+/// Operations gated by the access-control layer (paper §4: "the access
+/// control layer ensures that access is provided only to entitled
+/// parties").
+enum class Permission {
+  kRead,    // query a sensor / subscribe to its stream
+  kDeploy,  // deploy or undeploy virtual sensors
+  kAdmin,   // manage users and grants
+};
+
+/// API-key based access control for one container. Disabled by default
+/// (open access, as in the paper's demo setup); once enabled, every
+/// management/query entry point checks the caller's key.
+///
+/// Keys are stored as SHA-256 hashes. Grants are per-user: deploy and
+/// admin are container-wide, read is per-sensor ("*" = all sensors).
+///
+/// Thread-safe.
+class AccessControl {
+ public:
+  AccessControl() = default;
+
+  AccessControl(const AccessControl&) = delete;
+  AccessControl& operator=(const AccessControl&) = delete;
+
+  bool enabled() const;
+  /// Enabling requires at least one admin user to exist, otherwise the
+  /// container would become unmanageable.
+  Status Enable();
+  void Disable();
+
+  /// Creates a user with the given API key. `admin` users implicitly
+  /// hold every permission.
+  Status AddUser(const std::string& user, const std::string& api_key,
+                 bool admin = false);
+  Status RemoveUser(const std::string& user);
+
+  /// Maps an API key to its user, or PermissionDenied.
+  Result<std::string> Authenticate(const std::string& api_key) const;
+
+  /// Grants `user` read access to `sensor_name` ("*" = every sensor).
+  Status GrantRead(const std::string& user, const std::string& sensor_name);
+  Status GrantDeploy(const std::string& user);
+  Status RevokeRead(const std::string& user, const std::string& sensor_name);
+
+  /// Checks whether the key may perform `permission` (on `sensor_name`
+  /// for kRead). Always OK while disabled.
+  Status Check(const std::string& api_key, Permission permission,
+               const std::string& sensor_name = "") const;
+
+ private:
+  struct User {
+    std::string key_hash;
+    bool admin = false;
+    bool can_deploy = false;
+    std::set<std::string> readable_sensors;  // lowercased; "*" = all
+  };
+
+  static std::string HashKey(const std::string& api_key);
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::map<std::string, User> users_;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_ACCESS_CONTROL_H_

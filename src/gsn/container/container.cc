@@ -1,0 +1,714 @@
+#include "gsn/container/container.h"
+
+#include <algorithm>
+
+#include "gsn/sql/parser.h"
+#include "gsn/util/logging.h"
+#include "gsn/util/strings.h"
+
+namespace gsn::container {
+
+using network::DirectoryEntry;
+using network::Message;
+using network::RemoteStreamWrapper;
+using vsensor::StreamSource;
+using vsensor::VirtualSensor;
+using vsensor::VirtualSensorSpec;
+
+Container::Container(Options options)
+    : options_(std::move(options)),
+      query_manager_(&catalog_),
+      integrity_(options_.integrity_key) {
+  if (options_.clock == nullptr) options_.clock = SystemClock::Shared();
+  wrappers::WrapperRegistry::RegisterBuiltins(&registry_);
+  if (options_.network != nullptr) {
+    const Status s = options_.network->RegisterNode(options_.node_id, this);
+    if (!s.ok()) {
+      GSN_LOG(kError, "container")
+          << options_.node_id << ": network registration failed: " << s;
+    }
+  }
+}
+
+Container::~Container() {
+  // Stop sensors before members are torn down.
+  std::vector<std::string> names = ListSensors();
+  for (const std::string& name : names) {
+    const Status s = Undeploy(name);
+    (void)s;
+  }
+  if (options_.network != nullptr) {
+    (void)options_.network->UnregisterNode(options_.node_id);
+  }
+}
+
+// ---------------------------------------------------------------- Deploy
+
+Result<VirtualSensor*> Container::Deploy(const std::string& descriptor_xml,
+                                         const std::string& api_key) {
+  GSN_ASSIGN_OR_RETURN(VirtualSensorSpec spec,
+                       vsensor::ParseDescriptor(descriptor_xml));
+  return DeploySpec(std::move(spec), api_key);
+}
+
+Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
+                                             const std::string& api_key) {
+  GSN_RETURN_IF_ERROR(access_control_.Check(api_key, Permission::kDeploy));
+  GSN_RETURN_IF_ERROR(spec.Validate());
+  const std::string key = StrToLower(spec.name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (deployments_.count(key)) {
+      return Status::AlreadyExists("sensor already deployed: " + spec.name);
+    }
+  }
+
+  // Storage: the sensor's output history as a SQL-visible table.
+  GSN_ASSIGN_OR_RETURN(
+      storage::Table * table,
+      tables_.CreateTable(spec.name, spec.output_structure,
+                          spec.storage.history));
+  // Undo table creation on any later failure.
+  auto drop_table = [&] { (void)tables_.DropTable(spec.name); };
+
+  Deployment deployment;
+  deployment.table = table;
+
+  // Permanent storage: open the per-sensor log and replay history.
+  if (spec.storage.permanent && !options_.storage_dir.empty()) {
+    const std::string path =
+        options_.storage_dir + "/" + StrToLower(spec.name) + ".gsnlog";
+    bool truncated = false;
+    Result<std::vector<StreamElement>> recovered =
+        storage::PersistenceLog::Recover(path, &truncated);
+    if (!recovered.ok()) {
+      drop_table();
+      return recovered.status();
+    }
+    for (const StreamElement& e : *recovered) {
+      const Status s = table->Insert(e);
+      if (!s.ok()) {
+        GSN_LOG(kWarn, "container")
+            << spec.name << ": skipping incompatible recovered element: " << s;
+      }
+    }
+    if (truncated) {
+      GSN_LOG(kWarn, "container")
+          << spec.name << ": persistence log had a torn tail; recovered "
+          << recovered->size() << " elements";
+    }
+    Result<std::unique_ptr<storage::PersistenceLog>> log =
+        storage::PersistenceLog::Open(path);
+    if (!log.ok()) {
+      drop_table();
+      return log.status();
+    }
+    deployment.log = *std::move(log);
+  }
+
+  // Wrappers and stream sources.
+  std::vector<std::vector<std::unique_ptr<StreamSource>>> sources(
+      spec.input_streams.size());
+  for (size_t i = 0; i < spec.input_streams.size(); ++i) {
+    for (const vsensor::StreamSourceSpec& source_spec :
+         spec.input_streams[i].sources) {
+      Result<std::unique_ptr<wrappers::Wrapper>> wrapper =
+          MakeWrapperForSource(source_spec, &deployment);
+      if (!wrapper.ok()) {
+        drop_table();
+        return wrapper.status();
+      }
+      uint64_t seed;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        seed = options_.seed * 1000003 + ++wrapper_seed_counter_;
+      }
+      sources[i].push_back(std::make_unique<StreamSource>(
+          source_spec, *std::move(wrapper), seed));
+    }
+  }
+
+  const Timestamp now = options_.clock->NowMicros();
+  deployment.deployed_at = now;
+  if (spec.life_cycle.lifetime_micros > 0) {
+    deployment.expires_at = now + spec.life_cycle.lifetime_micros;
+  }
+  deployment.pool = std::make_unique<ThreadPool>(spec.life_cycle.pool_size);
+  deployment.sensor = std::make_unique<VirtualSensor>(
+      std::move(spec), std::move(sources), options_.clock);
+
+  VirtualSensor* sensor = deployment.sensor.get();
+  sensor->AddListener(
+      [this](const VirtualSensor& vs, const StreamElement& element) {
+        OnSensorOutput(vs, element);
+      });
+
+  const Status started = sensor->Start();
+  if (!started.ok()) {
+    drop_table();
+    return started;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deployments_[key] = std::move(deployment);
+  }
+  PublishSensor(sensor->spec());
+  GSN_LOG(kInfo, "container")
+      << options_.node_id << ": deployed '" << sensor->name() << "'";
+  return sensor;
+}
+
+Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
+    const vsensor::StreamSourceSpec& source_spec, Deployment* deployment) {
+  // wrapper="local": derive from another virtual sensor on this
+  // container (paper §2: "a data stream derived from other virtual
+  // sensors"). Predicates address the producer like a directory query,
+  // restricted to this node.
+  if (StrEqualsIgnoreCase(source_spec.address.wrapper, "local")) {
+    std::map<std::string, std::string> query = source_spec.address.predicates;
+    query["node"] = options_.node_id;
+    const std::vector<DirectoryEntry> matches = directory_.Discover(query);
+    if (matches.empty()) {
+      return Status::Unavailable(
+          "no local virtual sensor matches the address predicates of "
+          "source '" +
+          source_spec.alias + "' (deploy the producer first)");
+    }
+    const DirectoryEntry& entry = matches.front();
+    auto wrapper = std::make_unique<LocalStreamWrapper>(entry.output_schema,
+                                                        entry.sensor_name);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      local_wrappers_.emplace(StrToLower(entry.sensor_name), wrapper.get());
+    }
+    deployment->local_sources.push_back(wrapper.get());
+    return std::unique_ptr<wrappers::Wrapper>(std::move(wrapper));
+  }
+
+  if (!StrEqualsIgnoreCase(source_spec.address.wrapper, "remote")) {
+    wrappers::WrapperConfig config;
+    config.instance_name = source_spec.alias;
+    config.params = source_spec.address.predicates;
+    config.clock = options_.clock;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      config.seed = options_.seed * 7919 + ++wrapper_seed_counter_;
+    }
+    return registry_.Create(source_spec.address.wrapper, config);
+  }
+
+  // wrapper="remote": logical addressing through the directory.
+  if (options_.network == nullptr) {
+    return Status::InvalidArgument(
+        "wrapper=\"remote\" requires the container to be attached to a "
+        "network");
+  }
+  const std::vector<DirectoryEntry> matches =
+      directory_.Discover(source_spec.address.predicates);
+  if (matches.empty()) {
+    return Status::Unavailable(
+        "no published virtual sensor matches the address predicates of "
+        "source '" +
+        source_spec.alias +
+        "' (deploy the producer first, or check the predicates)");
+  }
+  const DirectoryEntry& entry = matches.front();
+
+  std::string subscription_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    subscription_id =
+        options_.node_id + "#" + std::to_string(next_subscription_++);
+  }
+  network::SubscribeRequest request;
+  request.subscription_id = subscription_id;
+  request.sensor_name = entry.sensor_name;
+  request.subscriber_node = options_.node_id;
+  GSN_RETURN_IF_ERROR(options_.network->Send(
+      options_.clock->NowMicros(), options_.node_id, entry.node_id,
+      network::kTopicSubscribe, request.Encode()));
+
+  auto wrapper = std::make_unique<RemoteStreamWrapper>(
+      entry.output_schema, entry.node_id, entry.sensor_name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    remote_wrappers_[subscription_id] = wrapper.get();
+  }
+  deployment->subscription_ids.push_back(subscription_id);
+  return std::unique_ptr<wrappers::Wrapper>(std::move(wrapper));
+}
+
+Status Container::Undeploy(const std::string& sensor_name,
+                           const std::string& api_key) {
+  GSN_RETURN_IF_ERROR(access_control_.Check(api_key, Permission::kDeploy));
+  const std::string key = StrToLower(sensor_name);
+  Deployment deployment;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = deployments_.find(key);
+    if (it == deployments_.end()) {
+      return Status::NotFound("no such sensor: " + sensor_name);
+    }
+    deployment = std::move(it->second);
+    deployments_.erase(it);
+    for (const std::string& id : deployment.subscription_ids) {
+      remote_wrappers_.erase(id);
+    }
+    // Detach this sensor's own local-source wrappers from producers.
+    for (auto wit = local_wrappers_.begin(); wit != local_wrappers_.end();) {
+      bool mine = false;
+      for (LocalStreamWrapper* w : deployment.local_sources) {
+        if (wit->second == w) {
+          mine = true;
+          break;
+        }
+      }
+      wit = mine ? local_wrappers_.erase(wit) : std::next(wit);
+    }
+    // Consumers chained onto this sensor stop receiving.
+    auto range = local_wrappers_.equal_range(key);
+    for (auto wit = range.first; wit != range.second;) {
+      wit->second->MarkProducerGone();
+      wit = local_wrappers_.erase(wit);
+    }
+  }
+  deployment.sensor->Stop();
+  deployment.pool->Shutdown();
+
+  // Cancel our subscriptions on remote producers.
+  if (options_.network != nullptr) {
+    for (const std::string& id : deployment.subscription_ids) {
+      network::UnsubscribeRequest cancel;
+      cancel.subscription_id = id;
+      // Peer node id is encoded in the wrapper; broadcast is simpler
+      // and idempotent for unknown ids.
+      (void)options_.network->Broadcast(options_.clock->NowMicros(),
+                                        options_.node_id,
+                                        network::kTopicUnsubscribe,
+                                        cancel.Encode());
+    }
+  }
+
+  // Drop remote consumers of this sensor.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+      if (StrEqualsIgnoreCase(it->second.sensor_name, sensor_name)) {
+        it = subscribers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  RetractSensor(deployment.sensor->name());
+  GSN_RETURN_IF_ERROR(tables_.DropTable(sensor_name));
+  GSN_LOG(kInfo, "container")
+      << options_.node_id << ": undeployed '" << sensor_name << "'";
+  return Status::OK();
+}
+
+std::vector<std::string> Container::ListSensors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(deployments_.size());
+  for (const auto& [key, deployment] : deployments_) {
+    out.push_back(deployment.sensor->name());
+  }
+  return out;
+}
+
+VirtualSensor* Container::FindSensor(const std::string& sensor_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deployments_.find(StrToLower(sensor_name));
+  return it == deployments_.end() ? nullptr : it->second.sensor.get();
+}
+
+// ---------------------------------------------------------------- Runtime
+
+namespace {
+/// Anti-entropy period for directory gossip.
+constexpr Timestamp kAnnounceInterval = 5 * kMicrosPerSecond;
+}  // namespace
+
+Result<int> Container::Tick() {
+  const Timestamp now = options_.clock->NowMicros();
+
+  // Periodic directory re-announcement: lost publish messages heal.
+  bool announce = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.network != nullptr &&
+        now - last_announce_ >= kAnnounceInterval) {
+      last_announce_ = now;
+      announce = true;
+    }
+  }
+  if (announce) AnnounceAll();
+
+  // Collect sensors and their pools under the lock; run outside it.
+  struct Job {
+    VirtualSensor* sensor;
+    ThreadPool* pool;
+  };
+  std::vector<Job> jobs;
+  std::vector<std::string> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs.reserve(deployments_.size());
+    for (auto& [key, deployment] : deployments_) {
+      if (deployment.expires_at > 0 && now >= deployment.expires_at) {
+        expired.push_back(deployment.sensor->name());
+        continue;
+      }
+      jobs.push_back({deployment.sensor.get(), deployment.pool.get()});
+    }
+  }
+
+  // Lifetime bounds (paper §3): expired sensors release their resources.
+  for (const std::string& name : expired) {
+    GSN_LOG(kInfo, "container") << name << ": lifetime expired, undeploying";
+    const Status s = Undeploy(name);
+    if (!s.ok()) {
+      GSN_LOG(kWarn, "container") << "lifetime undeploy failed: " << s;
+    }
+  }
+
+  // Run each sensor's tick on its life-cycle pool; sensors proceed in
+  // parallel, each serialized internally.
+  std::mutex result_mu;
+  int produced = 0;
+  Status first_error = Status::OK();
+  for (const Job& job : jobs) {
+    job.pool->Submit([&, job] {
+      Result<int> n = job.sensor->Tick(now);
+      std::lock_guard<std::mutex> lock(result_mu);
+      if (n.ok()) {
+        produced += *n;
+      } else if (first_error.ok()) {
+        first_error = n.status();
+      }
+    });
+  }
+  for (const Job& job : jobs) job.pool->Wait();
+
+  if (!first_error.ok()) return first_error;
+  return produced;
+}
+
+void Container::OnSensorOutput(const VirtualSensor& sensor,
+                               const StreamElement& element) {
+  const std::string& name = sensor.name();
+
+  // Storage layer.
+  storage::PersistenceLog* log = nullptr;
+  std::vector<std::pair<std::string, std::string>> remote_targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = deployments_.find(StrToLower(name));
+    if (it != deployments_.end()) {
+      if (it->second.table != nullptr) {
+        const Status s = it->second.table->Insert(element);
+        if (!s.ok()) {
+          GSN_LOG(kWarn, "container") << name << ": table insert failed: " << s;
+        }
+      }
+      log = it->second.log.get();
+    }
+    for (const auto& [sub_id, subscriber] : subscribers_) {
+      if (StrEqualsIgnoreCase(subscriber.sensor_name, name)) {
+        remote_targets.emplace_back(sub_id, subscriber.subscriber_node);
+      }
+    }
+  }
+  // Local chaining: feed consumers deployed on this container.
+  std::vector<LocalStreamWrapper*> local_targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto range = local_wrappers_.equal_range(StrToLower(name));
+    for (auto it = range.first; it != range.second; ++it) {
+      local_targets.push_back(it->second);
+    }
+  }
+  for (LocalStreamWrapper* target : local_targets) {
+    target->Push(element);
+  }
+  if (log != nullptr) {
+    const Status s = log->Append(element);
+    if (!s.ok()) {
+      GSN_LOG(kWarn, "container") << name << ": persistence failed: " << s;
+    }
+  }
+
+  // Notification manager + query repository.
+  notifications_.OnElement(name, sensor.output_schema(), element);
+  query_manager_.OnNewElement(name);
+
+  // Remote consumers (signed by the integrity layer).
+  if (options_.network != nullptr && !remote_targets.empty()) {
+    network::StreamDelivery delivery;
+    delivery.sensor_name = name;
+    delivery.element = element;
+    delivery.signature = integrity_.Sign(name, element);
+    for (const auto& [sub_id, node] : remote_targets) {
+      delivery.subscription_id = sub_id;
+      const Status s =
+          options_.network->Send(options_.clock->NowMicros(),
+                                 options_.node_id, node,
+                                 network::kTopicStream, delivery.Encode());
+      if (!s.ok()) {
+        GSN_LOG(kWarn, "container")
+            << name << ": stream delivery to " << node << " failed: " << s;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Queries
+
+Result<Relation> Container::Query(const std::string& sql_text,
+                                  const std::string& api_key) {
+  if (access_control_.enabled()) {
+    GSN_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                         sql::ParseSelect(sql_text));
+    std::set<std::string> tables;
+    QueryManager::CollectTables(*stmt, &tables);
+    for (const std::string& table : tables) {
+      GSN_RETURN_IF_ERROR(
+          access_control_.Check(api_key, Permission::kRead, table));
+    }
+  }
+  return query_manager_.Execute(sql_text);
+}
+
+// -------------------------------------------------------------- Directory
+
+std::vector<DirectoryEntry> Container::Discover(
+    const std::map<std::string, std::string>& query) const {
+  return directory_.Discover(query);
+}
+
+void Container::PublishSensor(const VirtualSensorSpec& spec) {
+  DirectoryEntry entry;
+  entry.sensor_name = spec.name;
+  entry.node_id = options_.node_id;
+  entry.predicates = spec.metadata;
+  entry.output_schema = spec.output_structure;
+  directory_.Upsert(entry);
+  if (options_.network != nullptr) {
+    (void)options_.network->Broadcast(options_.clock->NowMicros(),
+                                      options_.node_id,
+                                      network::kTopicDirPublish,
+                                      entry.Encode());
+  }
+}
+
+void Container::RetractSensor(const std::string& sensor_name) {
+  directory_.Remove(options_.node_id, sensor_name);
+  if (options_.network != nullptr) {
+    network::DirRemove remove;
+    remove.node_id = options_.node_id;
+    remove.sensor_name = sensor_name;
+    (void)options_.network->Broadcast(options_.clock->NowMicros(),
+                                      options_.node_id,
+                                      network::kTopicDirRemove,
+                                      remove.Encode());
+  }
+}
+
+void Container::AnnounceAll() {
+  std::vector<const VirtualSensorSpec*> specs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, deployment] : deployments_) {
+      specs.push_back(&deployment.sensor->spec());
+    }
+  }
+  for (const VirtualSensorSpec* spec : specs) PublishSensor(*spec);
+}
+
+// ---------------------------------------------------------------- Network
+
+void Container::OnMessage(const Message& message) {
+  if (message.topic == network::kTopicDirPublish) {
+    Result<DirectoryEntry> entry = DirectoryEntry::Decode(message.payload);
+    if (entry.ok()) {
+      directory_.Upsert(*std::move(entry));
+    }
+    return;
+  }
+  if (message.topic == network::kTopicDirRemove) {
+    Result<network::DirRemove> remove =
+        network::DirRemove::Decode(message.payload);
+    if (remove.ok()) directory_.Remove(remove->node_id, remove->sensor_name);
+    return;
+  }
+  if (message.topic == network::kTopicSubscribe) {
+    Result<network::SubscribeRequest> request =
+        network::SubscribeRequest::Decode(message.payload);
+    if (!request.ok()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    subscribers_[request->subscription_id] = {request->sensor_name,
+                                              request->subscriber_node};
+    return;
+  }
+  if (message.topic == network::kTopicUnsubscribe) {
+    Result<network::UnsubscribeRequest> request =
+        network::UnsubscribeRequest::Decode(message.payload);
+    if (!request.ok()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    subscribers_.erase(request->subscription_id);
+    return;
+  }
+  if (message.topic == network::kTopicStream) {
+    Result<network::StreamDelivery> delivery =
+        network::StreamDelivery::Decode(message.payload);
+    if (!delivery.ok()) return;
+    // Integrity layer: drop elements whose signature does not verify.
+    if (!delivery->signature.empty() &&
+        !integrity_.Verify(delivery->sensor_name, delivery->element,
+                           delivery->signature)) {
+      GSN_LOG(kWarn, "container")
+          << options_.node_id << ": dropped stream element with bad "
+          << "signature from " << message.from;
+      return;
+    }
+    RemoteStreamWrapper* wrapper = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = remote_wrappers_.find(delivery->subscription_id);
+      if (it != remote_wrappers_.end()) wrapper = it->second;
+    }
+    if (wrapper != nullptr) wrapper->Push(delivery->element);
+    return;
+  }
+  GSN_LOG(kWarn, "container")
+      << options_.node_id << ": unknown topic '" << message.topic << "'";
+}
+
+Result<Relation> Container::CatalogResolver::GetTable(
+    const std::string& name) const {
+  const std::string key = StrToLower(name);
+  if (key == "gsn_sensors") {
+    Schema schema;
+    schema.AddField("name", DataType::kString);
+    schema.AddField("pool_size", DataType::kInt);
+    schema.AddField("triggers", DataType::kInt);
+    schema.AddField("produced", DataType::kInt);
+    schema.AddField("rate_limited", DataType::kInt);
+    schema.AddField("errors", DataType::kInt);
+    schema.AddField("stored_rows", DataType::kInt);
+    schema.AddField("stored_bytes", DataType::kInt);
+    schema.AddField("remote_subscribers", DataType::kInt);
+    Relation rel(schema);
+    for (const std::string& sensor : container_->ListSensors()) {
+      Result<SensorStatus> status = container_->GetSensorStatus(sensor);
+      if (!status.ok()) continue;
+      (void)rel.AddRow(
+          {Value::String(status->name), Value::Int(status->pool_size),
+           Value::Int(status->stats.triggers),
+           Value::Int(status->stats.produced),
+           Value::Int(status->stats.rate_limited),
+           Value::Int(status->stats.errors),
+           Value::Int(static_cast<int64_t>(status->stored_rows)),
+           Value::Int(static_cast<int64_t>(status->stored_bytes)),
+           Value::Int(status->remote_subscribers)});
+    }
+    return rel;
+  }
+  if (key == "gsn_wrappers") {
+    Schema schema;
+    schema.AddField("name", DataType::kString);
+    Relation rel(schema);
+    for (const std::string& wrapper : container_->registry_.Names()) {
+      (void)rel.AddRow({Value::String(wrapper)});
+    }
+    return rel;
+  }
+  if (key == "gsn_directory") {
+    Schema schema;
+    schema.AddField("sensor", DataType::kString);
+    schema.AddField("node", DataType::kString);
+    schema.AddField("predicates", DataType::kString);
+    schema.AddField("output_schema", DataType::kString);
+    Relation rel(schema);
+    for (const DirectoryEntry& entry : container_->Discover({})) {
+      std::string predicates;
+      for (const auto& [k, v] : entry.predicates) {
+        if (!predicates.empty()) predicates += ",";
+        predicates += k + "=" + v;
+      }
+      (void)rel.AddRow({Value::String(entry.sensor_name),
+                        Value::String(entry.node_id),
+                        Value::String(predicates),
+                        Value::String(entry.output_schema.ToString())});
+    }
+    return rel;
+  }
+  return container_->tables_.GetTable(name);
+}
+
+std::vector<Container::TopologyEdge> Container::Topology() {
+  std::vector<TopologyEdge> edges;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, deployment] : deployments_) {
+    const VirtualSensorSpec& spec = deployment.sensor->spec();
+    for (const auto& stream : spec.input_streams) {
+      for (const auto& source : stream.sources) {
+        TopologyEdge edge;
+        edge.to = spec.name;
+        edge.label = stream.name + "/" + source.alias;
+        if (StrEqualsIgnoreCase(source.address.wrapper, "remote")) {
+          const vsensor::StreamSource* running =
+              deployment.sensor->FindSource(stream.name, source.alias)
+                  ? deployment.sensor->FindSource(stream.name, source.alias)
+                  : nullptr;
+          const auto* remote =
+              running == nullptr
+                  ? nullptr
+                  : dynamic_cast<const network::RemoteStreamWrapper*>(
+                        &running->wrapper());
+          edge.from = remote != nullptr
+                          ? remote->peer_node() + ":" + remote->remote_sensor()
+                          : "remote";
+        } else {
+          edge.from = source.address.wrapper + " device";
+        }
+        edges.push_back(std::move(edge));
+      }
+    }
+  }
+  for (const auto& [sub_id, subscriber] : subscribers_) {
+    edges.push_back(TopologyEdge{subscriber.sensor_name,
+                                 subscriber.subscriber_node + " (node)",
+                                 "stream"});
+  }
+  return edges;
+}
+
+// ------------------------------------------------------------ Introspection
+
+Result<Container::SensorStatus> Container::GetSensorStatus(
+    const std::string& sensor_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deployments_.find(StrToLower(sensor_name));
+  if (it == deployments_.end()) {
+    return Status::NotFound("no such sensor: " + sensor_name);
+  }
+  const Deployment& deployment = it->second;
+  SensorStatus status;
+  status.name = deployment.sensor->name();
+  status.stats = deployment.sensor->stats();
+  status.stored_rows = deployment.table->NumRows();
+  status.stored_bytes = deployment.table->ApproximateBytes();
+  status.pool_size = deployment.pool->num_threads();
+  int64_t subs = 0;
+  for (const auto& [id, subscriber] : subscribers_) {
+    if (StrEqualsIgnoreCase(subscriber.sensor_name, sensor_name)) ++subs;
+  }
+  status.remote_subscribers = subs;
+  return status;
+}
+
+}  // namespace gsn::container

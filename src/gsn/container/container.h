@@ -1,0 +1,202 @@
+#ifndef GSN_CONTAINER_CONTAINER_H_
+#define GSN_CONTAINER_CONTAINER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gsn/container/access_control.h"
+#include "gsn/container/integrity.h"
+#include "gsn/container/local_stream_wrapper.h"
+#include "gsn/container/notification.h"
+#include "gsn/container/query_manager.h"
+#include "gsn/network/directory.h"
+#include "gsn/network/protocol.h"
+#include "gsn/network/remote_stream_wrapper.h"
+#include "gsn/network/simulator.h"
+#include "gsn/storage/persistence_log.h"
+#include "gsn/storage/table.h"
+#include "gsn/util/thread_pool.h"
+#include "gsn/vsensor/descriptor_parser.h"
+#include "gsn/vsensor/virtual_sensor.h"
+#include "gsn/wrappers/wrapper.h"
+
+namespace gsn::container {
+
+/// A GSN container (paper Fig 2): hosts a pool of virtual sensors and
+/// every service around them — the virtual sensor manager with its
+/// life-cycle and input stream management, the storage layer, the query
+/// manager (processor + repository), the notification manager, access
+/// control, data integrity, and the peer-to-peer interface.
+///
+/// The container is driven by Tick(): it polls every sensor's sources,
+/// runs pipelines, retries pending remote subscriptions, and enforces
+/// lifetime bounds. With a VirtualClock this is fully deterministic;
+/// live deployments call RunFor()/pump Tick from a thread.
+class Container : public network::NetworkNode {
+ public:
+  struct Options {
+    std::string node_id = "gsn-node";
+    std::shared_ptr<Clock> clock;           // default: shared SystemClock
+    uint64_t seed = 1;                      // drives wrappers & sampling
+    std::string storage_dir;                // "" disables permanent storage
+    network::NetworkSimulator* network = nullptr;  // optional P2P fabric
+    std::string integrity_key = "gsn-demo-key";
+  };
+
+  explicit Container(Options options);
+  ~Container() override;
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  const std::string& node_id() const { return options_.node_id; }
+  Clock* clock() const { return options_.clock.get(); }
+
+  // -- Deployment (the paper's headline feature) --------------------------
+
+  /// Deploys a virtual sensor from its XML descriptor; wires wrappers,
+  /// storage, directory publication, everything. `api_key` is checked
+  /// against the access-control layer when enabled.
+  Result<vsensor::VirtualSensor*> Deploy(const std::string& descriptor_xml,
+                                         const std::string& api_key = "");
+  Result<vsensor::VirtualSensor*> DeploySpec(vsensor::VirtualSensorSpec spec,
+                                             const std::string& api_key = "");
+  Status Undeploy(const std::string& sensor_name,
+                  const std::string& api_key = "");
+  std::vector<std::string> ListSensors() const;
+  vsensor::VirtualSensor* FindSensor(const std::string& sensor_name) const;
+
+  // -- Runtime --------------------------------------------------------------
+
+  /// One scheduling round at the clock's current time. Returns the
+  /// number of output elements produced across all sensors.
+  Result<int> Tick();
+
+  // -- Queries & subscriptions ----------------------------------------------
+
+  /// One-shot SQL over the sensor output tables (each deployed sensor's
+  /// history is a table named after it).
+  Result<Relation> Query(const std::string& sql_text,
+                         const std::string& api_key = "");
+
+  QueryManager& query_manager() { return query_manager_; }
+  /// Resolver backing Query(): catalog tables (gsn_sensors,
+  /// gsn_wrappers, gsn_directory) plus every sensor output table.
+  const sql::TableResolver& catalog_resolver() const { return catalog_; }
+  NotificationManager& notification_manager() { return notifications_; }
+  AccessControl& access_control() { return access_control_; }
+  const IntegrityService& integrity() const { return integrity_; }
+  storage::TableManager& table_manager() { return tables_; }
+  wrappers::WrapperRegistry& wrapper_registry() { return registry_; }
+
+  // -- Discovery --------------------------------------------------------------
+
+  /// Queries this node's directory replica by predicate combination.
+  std::vector<network::DirectoryEntry> Discover(
+      const std::map<std::string, std::string>& query) const;
+
+  /// Rebroadcasts every locally hosted sensor's directory entry (used
+  /// when a node joins the federation after deploys happened).
+  void AnnounceAll();
+
+  // -- network::NetworkNode ----------------------------------------------------
+
+  void OnMessage(const network::Message& message) override;
+
+  // -- Introspection ------------------------------------------------------------
+
+  /// One edge of the container's data-flow graph: device wrappers into
+  /// sensors, sensors into remote subscriber nodes.
+  struct TopologyEdge {
+    std::string from;
+    std::string to;
+    std::string label;
+  };
+  /// The container's current stream topology (for visualization).
+  std::vector<TopologyEdge> Topology();
+
+  struct SensorStatus {
+    std::string name;
+    vsensor::VirtualSensor::Stats stats;
+    size_t stored_rows = 0;
+    size_t stored_bytes = 0;
+    int pool_size = 0;
+    int64_t remote_subscribers = 0;
+  };
+  Result<SensorStatus> GetSensorStatus(const std::string& sensor_name) const;
+
+ private:
+  /// Everything owned on behalf of one deployed sensor (the life-cycle
+  /// manager's bookkeeping).
+  struct Deployment {
+    std::unique_ptr<vsensor::VirtualSensor> sensor;
+    storage::Table* table = nullptr;  // owned by tables_
+    std::unique_ptr<storage::PersistenceLog> log;
+    std::unique_ptr<ThreadPool> pool;  // life-cycle pool-size threads
+    Timestamp deployed_at = 0;
+    Timestamp expires_at = 0;  // 0 = never
+    /// Subscriptions this sensor holds on remote producers (cancelled
+    /// at undeploy).
+    std::vector<std::string> subscription_ids;
+    /// wrapper="local" sources of this sensor (listeners detached at
+    /// undeploy).
+    std::vector<LocalStreamWrapper*> local_sources;
+  };
+
+  /// A remote consumer of one of our sensors.
+  struct RemoteSubscriber {
+    std::string sensor_name;
+    std::string subscriber_node;
+  };
+
+  /// Builds the wrapper for one source; for wrapper="remote" this
+  /// resolves the predicates against the directory replica, issues the
+  /// subscription, and records the id in `subscription_ids`.
+  Result<std::unique_ptr<wrappers::Wrapper>> MakeWrapperForSource(
+      const vsensor::StreamSourceSpec& source_spec, Deployment* deployment);
+  void PublishSensor(const vsensor::VirtualSensorSpec& spec);
+  void RetractSensor(const std::string& sensor_name);
+  void OnSensorOutput(const vsensor::VirtualSensor& sensor,
+                      const StreamElement& element);
+
+  /// System catalog exposed to SQL: virtual tables describing the
+  /// container itself, falling back to the sensor output tables.
+  class CatalogResolver : public sql::TableResolver {
+   public:
+    explicit CatalogResolver(Container* container) : container_(container) {}
+    Result<Relation> GetTable(const std::string& name) const override;
+
+   private:
+    Container* container_;
+  };
+
+  Options options_;
+  wrappers::WrapperRegistry registry_;
+  storage::TableManager tables_;
+  CatalogResolver catalog_{this};
+  QueryManager query_manager_;
+  NotificationManager notifications_;
+  AccessControl access_control_;
+  IntegrityService integrity_;
+  network::DirectoryService directory_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Deployment> deployments_;  // lowercased sensor name
+  std::map<std::string, RemoteSubscriber> subscribers_;  // by subscription id
+  /// Remote wrappers we own, keyed by our subscription id.
+  std::map<std::string, network::RemoteStreamWrapper*> remote_wrappers_;
+  /// Local chaining: producer sensor (lowercased) -> consumer wrappers.
+  std::multimap<std::string, LocalStreamWrapper*> local_wrappers_;
+  int64_t next_subscription_ = 1;
+  uint64_t wrapper_seed_counter_ = 0;
+  /// Anti-entropy: directory entries are re-broadcast periodically so
+  /// peers converge even when individual publish messages are lost.
+  Timestamp last_announce_ = 0;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_CONTAINER_H_

@@ -1,0 +1,104 @@
+#include "gsn/container/descriptor_watcher.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gsn/util/logging.h"
+#include "gsn/util/strings.h"
+
+namespace gsn::container {
+
+namespace fs = std::filesystem;
+
+DescriptorWatcher::DescriptorWatcher(Container* container,
+                                     std::string directory)
+    : container_(container), directory_(std::move(directory)) {}
+
+Result<int> DescriptorWatcher::Scan() {
+  std::error_code ec;
+  if (!fs::is_directory(directory_, ec)) {
+    return Status::IoError("descriptor directory missing: " + directory_);
+  }
+
+  // Fingerprint the current .xml files.
+  std::map<std::string, int64_t> current;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory_, ec)) {
+    if (ec) return Status::IoError("cannot list " + directory_);
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    if (StrToLower(path.extension().string()) != ".xml") continue;
+    const auto mtime = fs::last_write_time(path, ec).time_since_epoch();
+    const int64_t fingerprint =
+        static_cast<int64_t>(mtime.count()) ^
+        (static_cast<int64_t>(fs::file_size(path, ec)) << 1);
+    current[path.filename().string()] = fingerprint;
+  }
+
+  int actions = 0;
+
+  // Removed files: undeploy their sensors.
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (current.count(it->first)) {
+      ++it;
+      continue;
+    }
+    if (!it->second.sensor_name.empty()) {
+      const Status s = container_->Undeploy(it->second.sensor_name);
+      if (s.ok()) {
+        ++stats_.undeployed;
+        ++actions;
+        GSN_LOG(kInfo, "watcher")
+            << it->first << " removed: undeployed '" << it->second.sensor_name
+            << "'";
+      }
+    }
+    it = files_.erase(it);
+  }
+
+  // New or changed files: (re)deploy.
+  for (const auto& [filename, fingerprint] : current) {
+    auto it = files_.find(filename);
+    const bool is_new = it == files_.end();
+    if (!is_new && it->second.mtime_and_size == fingerprint) continue;
+
+    std::ifstream in(fs::path(directory_) / filename);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string xml_text = ss.str();
+
+    // Changed file whose old version was deployed: redeploy.
+    const bool was_deployed = !is_new && !it->second.sensor_name.empty();
+    if (was_deployed) {
+      (void)container_->Undeploy(it->second.sensor_name);
+    }
+
+    WatchedFile watched;
+    watched.mtime_and_size = fingerprint;
+    Result<vsensor::VirtualSensor*> sensor = container_->Deploy(xml_text);
+    if (sensor.ok()) {
+      watched.sensor_name = (*sensor)->name();
+      if (was_deployed) {
+        ++stats_.redeployed;
+      } else {
+        ++stats_.deployed;
+      }
+      ++actions;
+      GSN_LOG(kInfo, "watcher")
+          << filename << (was_deployed ? " changed: redeployed '"
+                                       : " added: deployed '")
+          << watched.sensor_name << "'";
+    } else {
+      watched.failed = true;
+      ++stats_.failed;
+      GSN_LOG(kWarn, "watcher")
+          << filename << ": deploy failed: " << sensor.status().ToString();
+    }
+    files_[filename] = std::move(watched);
+  }
+
+  return actions;
+}
+
+}  // namespace gsn::container

@@ -1,0 +1,60 @@
+#ifndef GSN_CONTAINER_DESCRIPTOR_WATCHER_H_
+#define GSN_CONTAINER_DESCRIPTOR_WATCHER_H_
+
+#include <map>
+#include <string>
+
+#include "gsn/container/container.h"
+
+namespace gsn::container {
+
+/// Hot deployment from a descriptor directory — how the original GSN
+/// is operated: drop a `.xml` descriptor into the watched directory and
+/// the sensor deploys; delete the file and it undeploys; overwrite it
+/// and the sensor redeploys with the new configuration. This is the
+/// "fast and simple deployment ... without any programming effort just
+/// by providing a simple XML configuration file" workflow of §6.
+///
+/// The watcher polls (no inotify dependency): call Scan() from the same
+/// cadence that drives Container::Tick — the Federation loop, a
+/// RealtimePump wrapper, or a test. Files that fail to parse or deploy
+/// are reported once per content-version and retried only when the file
+/// changes (so a descriptor waiting on a remote producer can be fixed
+/// by touching it after the producer appears).
+class DescriptorWatcher {
+ public:
+  DescriptorWatcher(Container* container, std::string directory);
+
+  DescriptorWatcher(const DescriptorWatcher&) = delete;
+  DescriptorWatcher& operator=(const DescriptorWatcher&) = delete;
+
+  /// One reconciliation round. Returns the number of deploy/undeploy
+  /// actions taken, or an error if the directory is unreadable.
+  Result<int> Scan();
+
+  const std::string& directory() const { return directory_; }
+
+  struct Stats {
+    int64_t deployed = 0;
+    int64_t undeployed = 0;
+    int64_t redeployed = 0;
+    int64_t failed = 0;
+  };
+  Stats stats() const { return stats_; }
+
+ private:
+  struct WatchedFile {
+    int64_t mtime_and_size = 0;  // change fingerprint
+    std::string sensor_name;     // empty if the deploy failed
+    bool failed = false;
+  };
+
+  Container* container_;
+  const std::string directory_;
+  std::map<std::string, WatchedFile> files_;  // by filename
+  Stats stats_;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_DESCRIPTOR_WATCHER_H_

@@ -1,0 +1,58 @@
+#ifndef GSN_CONTAINER_FEDERATION_H_
+#define GSN_CONTAINER_FEDERATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gsn/container/container.h"
+#include "gsn/network/simulator.h"
+#include "gsn/util/clock.h"
+
+namespace gsn::container {
+
+/// A small Sensor Internet: several GSN containers on one simulated
+/// network sharing one virtual clock — the multi-node setup of the
+/// paper's demonstration (Fig 5: four sensor networks on three GSN
+/// nodes). Owns the clock, the network, and the containers, and
+/// provides the scheduling loop that advances them together.
+class Federation {
+ public:
+  explicit Federation(uint64_t seed = 1);
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  /// Creates and registers a container. `storage_dir` enables permanent
+  /// storage for sensors that request it.
+  Result<Container*> AddNode(const std::string& node_id,
+                             const std::string& storage_dir = "");
+  /// Removes a node (its published sensors are retracted from peers).
+  Status RemoveNode(const std::string& node_id);
+  Container* node(const std::string& node_id) const;
+  std::vector<std::string> NodeIds() const;
+
+  std::shared_ptr<VirtualClock> clock() const { return clock_; }
+  network::NetworkSimulator& network() { return network_; }
+
+  /// Advances virtual time by `step` and runs one round: deliver due
+  /// network messages, then Tick every container. Returns total output
+  /// elements produced this round.
+  Result<int> Step(Timestamp step);
+
+  /// Runs Step(step) until `duration` has elapsed. Returns total output
+  /// elements produced.
+  Result<int> RunFor(Timestamp duration, Timestamp step);
+
+ private:
+  std::shared_ptr<VirtualClock> clock_;
+  network::NetworkSimulator network_;
+  std::map<std::string, std::unique_ptr<Container>> nodes_;
+  uint64_t seed_;
+  uint64_t node_counter_ = 0;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_FEDERATION_H_

@@ -1,0 +1,29 @@
+#include "gsn/container/integrity.h"
+
+#include "gsn/types/codec.h"
+#include "gsn/util/hash.h"
+
+namespace gsn::container {
+
+std::string IntegrityService::Sign(const std::string& sensor_name,
+                                   const StreamElement& element) const {
+  std::string message;
+  Codec::EncodeString(sensor_name, &message);
+  Codec::EncodeElement(element, &message);
+  return HmacSha256Hex(hmac_key_, message);
+}
+
+bool IntegrityService::Verify(const std::string& sensor_name,
+                              const StreamElement& element,
+                              const std::string& signature) const {
+  const std::string expected = Sign(sensor_name, element);
+  if (expected.size() != signature.size()) return false;
+  // Constant-time comparison: never early-exit on a mismatching byte.
+  unsigned char diff = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    diff |= static_cast<unsigned char>(expected[i] ^ signature[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace gsn::container

@@ -1,0 +1,42 @@
+#ifndef GSN_CONTAINER_INTEGRITY_H_
+#define GSN_CONTAINER_INTEGRITY_H_
+
+#include <string>
+
+#include "gsn/types/schema.h"
+
+namespace gsn::container {
+
+/// Data-integrity layer (paper §4: "the data integrity layer guarantees
+/// data integrity and confidentiality through electronic signatures ...
+/// this can be defined at different levels, for example, for the whole
+/// GSN container or for an individual virtual sensor").
+///
+/// Stream elements are signed with HMAC-SHA256 over their canonical
+/// Codec encoding plus the producing sensor's name, using a shared
+/// container key (per-sensor keys are per-instance IntegrityService
+/// objects). Confidentiality (encryption) is out of scope for the
+/// simulator: the network is in-process.
+class IntegrityService {
+ public:
+  explicit IntegrityService(std::string hmac_key)
+      : hmac_key_(std::move(hmac_key)) {}
+
+  IntegrityService(const IntegrityService&) = delete;
+  IntegrityService& operator=(const IntegrityService&) = delete;
+
+  /// Hex HMAC-SHA256 signature of `element` as produced by `sensor`.
+  std::string Sign(const std::string& sensor_name,
+                   const StreamElement& element) const;
+
+  /// Verifies a signature (constant-time comparison).
+  bool Verify(const std::string& sensor_name, const StreamElement& element,
+              const std::string& signature) const;
+
+ private:
+  const std::string hmac_key_;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_INTEGRITY_H_

@@ -1,0 +1,173 @@
+#include "gsn/container/management_interface.h"
+
+#include <sstream>
+
+#include "gsn/util/export.h"
+#include "gsn/util/strings.h"
+
+namespace gsn::container {
+
+namespace {
+constexpr char kHelp[] =
+    "commands:\n"
+    "  list                      deployed virtual sensors\n"
+    "  status <sensor>           pipeline counters and storage usage\n"
+    "  deploy <descriptor-xml>   deploy a virtual sensor\n"
+    "  undeploy <sensor>\n"
+    "  query <sql>               one-shot SQL over sensor tables\n"
+    "  explain <sql>             show the optimized execution pipeline\n"
+    "  query-json <sql>          result as JSON\n"
+    "  query-csv <sql>           result as CSV\n"
+    "  plot <column> <sql>       ASCII chart of a numeric column\n"
+    "  topology                  data-flow graph as Graphviz DOT\n"
+    "  discover [k=v ...]        directory lookup by predicates\n"
+    "  wrappers                  registered wrapper types\n"
+    "  describe <sensor>         descriptor XML of a deployed sensor\n"
+    "  help\n";
+}  // namespace
+
+std::string ManagementInterface::Execute(const std::string& command_line) {
+  const std::string line = StrTrim(command_line);
+  if (line.empty()) return "";
+  const size_t space = line.find_first_of(" \t\n");
+  const std::string cmd = StrToLower(line.substr(0, space));
+  const std::string rest =
+      space == std::string::npos ? "" : StrTrim(line.substr(space + 1));
+
+  if (cmd == "help") return kHelp;
+  if (cmd == "list") return CmdList();
+  if (cmd == "status") return CmdStatus(rest);
+  if (cmd == "deploy") return CmdDeploy(rest);
+  if (cmd == "undeploy") return CmdUndeploy(rest);
+  if (cmd == "query") return CmdQuery(rest);
+  if (cmd == "query-json" || cmd == "query-csv") {
+    if (rest.empty()) return "ERROR: " + cmd + " requires SQL";
+    Result<Relation> result = container_->Query(rest, api_key_);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return cmd == "query-json" ? RelationToJson(*result) + "\n"
+                               : RelationToCsv(*result);
+  }
+  if (cmd == "plot") {
+    const size_t sep = rest.find_first_of(" \t");
+    if (sep == std::string::npos) {
+      return "ERROR: plot requires a column name and SQL";
+    }
+    const std::string column = rest.substr(0, sep);
+    Result<Relation> result =
+        container_->Query(StrTrim(rest.substr(sep + 1)), api_key_);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    Result<std::string> chart = AsciiPlot(*result, column);
+    return chart.ok() ? *chart : "ERROR: " + chart.status().ToString();
+  }
+  if (cmd == "topology") {
+    std::vector<GraphEdge> edges;
+    for (const Container::TopologyEdge& e : container_->Topology()) {
+      edges.push_back(GraphEdge{e.from, e.to, e.label});
+    }
+    return EdgesToDot(container_->node_id(), edges);
+  }
+  if (cmd == "explain") {
+    if (rest.empty()) return "ERROR: explain requires SQL";
+    Result<std::string> plan = container_->query_manager().Explain(rest);
+    return plan.ok() ? *plan : "ERROR: " + plan.status().ToString();
+  }
+  if (cmd == "discover") return CmdDiscover(rest);
+  if (cmd == "wrappers") return CmdWrappers();
+  if (cmd == "describe") return CmdDescribe(rest);
+  return "ERROR: unknown command '" + cmd + "' (try: help)";
+}
+
+std::string ManagementInterface::CmdList() const {
+  const std::vector<std::string> sensors = container_->ListSensors();
+  if (sensors.empty()) return "(no virtual sensors deployed)\n";
+  std::string out;
+  for (const std::string& name : sensors) out += name + "\n";
+  return out;
+}
+
+std::string ManagementInterface::CmdStatus(const std::string& sensor) const {
+  Result<Container::SensorStatus> status =
+      container_->GetSensorStatus(sensor);
+  if (!status.ok()) return "ERROR: " + status.status().ToString();
+  std::ostringstream os;
+  os << "sensor:             " << status->name << "\n"
+     << "pool size:          " << status->pool_size << "\n"
+     << "triggers:           " << status->stats.triggers << "\n"
+     << "elements produced:  " << status->stats.produced << "\n"
+     << "rate limited:       " << status->stats.rate_limited << "\n"
+     << "pipeline errors:    " << status->stats.errors << "\n"
+     << "stored rows:        " << status->stored_rows << "\n"
+     << "stored bytes:       " << status->stored_bytes << "\n"
+     << "remote subscribers: " << status->remote_subscribers << "\n";
+  if (status->stats.triggers > 0) {
+    os << "mean processing us: "
+       << status->stats.total_processing_micros / status->stats.triggers
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string ManagementInterface::CmdDeploy(const std::string& xml) {
+  if (xml.empty()) return "ERROR: deploy requires descriptor XML";
+  Result<vsensor::VirtualSensor*> sensor = container_->Deploy(xml, api_key_);
+  if (!sensor.ok()) return "ERROR: " + sensor.status().ToString();
+  return "deployed '" + (*sensor)->name() + "'\n";
+}
+
+std::string ManagementInterface::CmdUndeploy(const std::string& sensor) {
+  if (sensor.empty()) return "ERROR: undeploy requires a sensor name";
+  const Status s = container_->Undeploy(sensor, api_key_);
+  if (!s.ok()) return "ERROR: " + s.ToString();
+  return "undeployed '" + sensor + "'\n";
+}
+
+std::string ManagementInterface::CmdQuery(const std::string& sql) {
+  if (sql.empty()) return "ERROR: query requires SQL";
+  Result<Relation> result = container_->Query(sql, api_key_);
+  if (!result.ok()) return "ERROR: " + result.status().ToString();
+  return result->ToString(50);
+}
+
+std::string ManagementInterface::CmdDiscover(const std::string& args) const {
+  std::map<std::string, std::string> query;
+  for (const std::string& piece : StrSplit(args, ' ')) {
+    const std::string trimmed = StrTrim(piece);
+    if (trimmed.empty()) continue;
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      return "ERROR: discover arguments must be key=value";
+    }
+    query[trimmed.substr(0, eq)] = trimmed.substr(eq + 1);
+  }
+  const std::vector<network::DirectoryEntry> entries =
+      container_->Discover(query);
+  if (entries.empty()) return "(no matching virtual sensors)\n";
+  std::string out;
+  for (const network::DirectoryEntry& entry : entries) {
+    out += entry.sensor_name + " @ " + entry.node_id + " {";
+    bool first = true;
+    for (const auto& [key, val] : entry.predicates) {
+      if (!first) out += ", ";
+      first = false;
+      out += key + "=" + val;
+    }
+    out += "} (" + entry.output_schema.ToString() + ")\n";
+  }
+  return out;
+}
+
+std::string ManagementInterface::CmdWrappers() const {
+  std::string out;
+  for (const std::string& name : container_->wrapper_registry().Names()) {
+    out += name + "\n";
+  }
+  return out;
+}
+
+std::string ManagementInterface::CmdDescribe(const std::string& sensor) const {
+  vsensor::VirtualSensor* vs = container_->FindSensor(sensor);
+  if (vs == nullptr) return "ERROR: NotFound: no such sensor: " + sensor;
+  return vs->spec().ToXml();
+}
+
+}  // namespace gsn::container

@@ -1,0 +1,59 @@
+#ifndef GSN_CONTAINER_MANAGEMENT_INTERFACE_H_
+#define GSN_CONTAINER_MANAGEMENT_INTERFACE_H_
+
+#include <string>
+
+#include "gsn/container/container.h"
+
+namespace gsn::container {
+
+/// Text-command facade over one container: the interface layer of
+/// Fig 2, standing in for the Java GSN's web/web-services front end
+/// (substitution documented in DESIGN.md — the demo's "monitor the
+/// effective status of all parts of the system" runs through these
+/// commands in the example binaries).
+///
+/// Commands:
+///   help
+///   list                           deployed sensors
+///   status <sensor>                pipeline counters + storage usage
+///   deploy <descriptor-xml>        deploy from inline XML
+///   undeploy <sensor>
+///   query <sql>                    one-shot SQL, table-formatted
+///   discover [k=v ...]             directory lookup by predicates
+///   wrappers                       registered wrapper types
+///   describe <sensor>              descriptor XML round-tripped
+///
+/// Every command returns the response text; errors are rendered as
+/// "ERROR: <status>". An api key can be attached for containers with
+/// access control enabled.
+class ManagementInterface {
+ public:
+  explicit ManagementInterface(Container* container)
+      : container_(container) {}
+
+  ManagementInterface(const ManagementInterface&) = delete;
+  ManagementInterface& operator=(const ManagementInterface&) = delete;
+
+  /// Executes one command line.
+  std::string Execute(const std::string& command_line);
+
+  void set_api_key(std::string api_key) { api_key_ = std::move(api_key); }
+
+ private:
+  std::string CmdList() const;
+  std::string CmdStatus(const std::string& sensor) const;
+  std::string CmdDeploy(const std::string& xml);
+  std::string CmdUndeploy(const std::string& sensor);
+  std::string CmdQuery(const std::string& sql);
+  std::string CmdDiscover(const std::string& args) const;
+  std::string CmdWrappers() const;
+  std::string CmdDescribe(const std::string& sensor) const;
+
+  Container* container_;
+  std::string api_key_;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_MANAGEMENT_INTERFACE_H_

@@ -1,0 +1,129 @@
+#ifndef GSN_CONTAINER_NOTIFICATION_H_
+#define GSN_CONTAINER_NOTIFICATION_H_
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gsn/sql/ast.h"
+#include "gsn/types/schema.h"
+#include "gsn/util/result.h"
+
+namespace gsn::container {
+
+/// An event delivered to a subscriber: one output element of one
+/// virtual sensor that satisfied the subscription's condition.
+struct Notification {
+  std::string sensor_name;
+  Schema schema;  // element schema (without timed)
+  StreamElement element;
+};
+
+/// Delivery channel abstraction (paper §4: "the notification manager
+/// has an extensible architecture which allows the user to customize it
+/// to any required notification channel"). Built-ins: callback and log;
+/// users add e-mail/SMS/web-hook equivalents by subclassing.
+class NotificationChannel {
+ public:
+  virtual ~NotificationChannel() = default;
+  virtual void Deliver(const Notification& notification) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Invokes a std::function per notification (the common in-process
+/// channel; also how remote subscribers are bridged).
+class CallbackChannel : public NotificationChannel {
+ public:
+  using Callback = std::function<void(const Notification&)>;
+  explicit CallbackChannel(Callback callback)
+      : callback_(std::move(callback)) {}
+  void Deliver(const Notification& notification) override {
+    callback_(notification);
+  }
+  std::string name() const override { return "callback"; }
+
+ private:
+  Callback callback_;
+};
+
+/// Writes one INFO log line per notification.
+class LogChannel : public NotificationChannel {
+ public:
+  void Deliver(const Notification& notification) override;
+  std::string name() const override { return "log"; }
+};
+
+/// Appends one NDJSON object per notification to a file — the
+/// file-drop integration channel (webhook/e-mail equivalents subclass
+/// NotificationChannel the same way). Thread-safe.
+class FileChannel : public NotificationChannel {
+ public:
+  /// Opens `path` for appending; check ok() before subscribing.
+  explicit FileChannel(const std::string& path);
+  ~FileChannel() override;
+
+  bool ok() const { return file_ != nullptr; }
+  void Deliver(const Notification& notification) override;
+  std::string name() const override { return "file"; }
+
+ private:
+  std::FILE* file_;
+  std::mutex mu_;
+};
+
+/// Dispatches sensor output to subscribers. A subscription names a
+/// sensor (or "*" for all), an optional SQL boolean condition over the
+/// element's columns (plus `timed`), and a channel. Conditions are
+/// parsed once at subscription time.
+///
+/// Thread-safe.
+class NotificationManager {
+ public:
+  NotificationManager() = default;
+
+  NotificationManager(const NotificationManager&) = delete;
+  NotificationManager& operator=(const NotificationManager&) = delete;
+
+  /// Subscribes `channel` to `sensor_name` ("*" = every sensor).
+  /// `condition_sql` is a boolean expression like
+  /// "temperature > 30 and light < 100"; empty = always fire.
+  Result<int64_t> Subscribe(const std::string& sensor_name,
+                            const std::string& condition_sql,
+                            std::shared_ptr<NotificationChannel> channel);
+  Status Unsubscribe(int64_t subscription_id);
+  size_t NumSubscriptions() const;
+
+  /// Evaluates all matching subscriptions against one output element
+  /// and delivers notifications. Returns the number delivered.
+  int OnElement(const std::string& sensor_name, const Schema& element_schema,
+                const StreamElement& element);
+
+  struct Stats {
+    int64_t elements_seen = 0;
+    int64_t delivered = 0;
+    int64_t condition_errors = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Subscription {
+    std::string sensor_name;  // "*" matches all
+    /// Compiled as `SELECT 1 FROM element WHERE (<condition>)`; null
+    /// when the subscription is unconditional.
+    std::unique_ptr<sql::SelectStmt> condition;
+    std::shared_ptr<NotificationChannel> channel;
+  };
+
+  mutable std::mutex mu_;
+  std::map<int64_t, Subscription> subscriptions_;
+  int64_t next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_NOTIFICATION_H_

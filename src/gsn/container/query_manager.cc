@@ -1,0 +1,213 @@
+#include "gsn/container/query_manager.h"
+
+#include <chrono>
+
+#include "gsn/sql/optimizer.h"
+#include "gsn/sql/parser.h"
+#include "gsn/util/strings.h"
+
+namespace gsn::container {
+
+namespace {
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CollectTablesFromRef(const sql::TableRef& ref,
+                          std::set<std::string>* out);
+
+void CollectTablesFromExpr(const sql::Expr& expr,
+                           std::set<std::string>* out) {
+  if (expr.subquery) {
+    // Handled by the statement walker below.
+  }
+  for (const auto& child : expr.children) {
+    if (child) CollectTablesFromExpr(*child, out);
+  }
+}
+}  // namespace
+
+void QueryManager::CollectTables(const sql::SelectStmt& stmt,
+                                 std::set<std::string>* out) {
+  for (const auto& ref : stmt.from) {
+    CollectTablesFromRef(*ref, out);
+  }
+  auto walk_expr = [out](const sql::Expr* e) {
+    if (e == nullptr) return;
+    // Walk into expression subqueries.
+    std::vector<const sql::Expr*> stack{e};
+    while (!stack.empty()) {
+      const sql::Expr* cur = stack.back();
+      stack.pop_back();
+      if (cur->subquery) CollectTables(*cur->subquery, out);
+      for (const auto& child : cur->children) {
+        if (child) stack.push_back(child.get());
+      }
+    }
+  };
+  for (const auto& item : stmt.items) {
+    if (!item.is_star) walk_expr(item.expr.get());
+  }
+  walk_expr(stmt.where.get());
+  for (const auto& g : stmt.group_by) walk_expr(g.get());
+  walk_expr(stmt.having.get());
+  for (const auto& ob : stmt.order_by) walk_expr(ob.expr.get());
+  if (stmt.set_rhs) CollectTables(*stmt.set_rhs, out);
+}
+
+namespace {
+void CollectTablesFromRef(const sql::TableRef& ref,
+                          std::set<std::string>* out) {
+  switch (ref.kind) {
+    case sql::TableRef::Kind::kTable:
+      out->insert(StrToLower(ref.table_name));
+      break;
+    case sql::TableRef::Kind::kSubquery:
+      QueryManager::CollectTables(*ref.subquery, out);
+      break;
+    case sql::TableRef::Kind::kJoin:
+      CollectTablesFromRef(*ref.left, out);
+      CollectTablesFromRef(*ref.right, out);
+      break;
+  }
+}
+}  // namespace
+
+QueryManager::QueryManager(const sql::TableResolver* resolver)
+    : resolver_(resolver) {}
+
+Result<std::shared_ptr<sql::SelectStmt>> QueryManager::Prepare(
+    const std::string& sql_text) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_enabled_) {
+      auto it = cache_.find(sql_text);
+      if (it != cache_.end()) {
+        ++stats_.cache_hits;
+        return it->second;
+      }
+      ++stats_.cache_misses;
+    }
+  }
+  const int64_t t0 = SteadyNowMicros();
+  Result<std::unique_ptr<sql::SelectStmt>> parsed =
+      sql::ParseSelect(sql_text);
+  if (parsed.ok()) {
+    // The planning pass: constant folding and predicate simplification.
+    GSN_RETURN_IF_ERROR(sql::Optimize(parsed->get()));
+  }
+  const int64_t elapsed = SteadyNowMicros() - t0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.parse_micros += elapsed;
+  }
+  if (!parsed.ok()) return parsed.status();
+  std::shared_ptr<sql::SelectStmt> stmt = *std::move(parsed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cache_enabled_) cache_[sql_text] = stmt;
+  return stmt;
+}
+
+Result<Relation> QueryManager::Execute(const std::string& sql_text) {
+  GSN_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                       Prepare(sql_text));
+  sql::Executor exec(resolver_);
+  const int64_t t0 = SteadyNowMicros();
+  Result<Relation> result = exec.Execute(*stmt);
+  const int64_t elapsed = SteadyNowMicros() - t0;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.executed;
+  stats_.exec_micros += elapsed;
+  return result;
+}
+
+Result<std::string> QueryManager::Explain(const std::string& sql_text) {
+  GSN_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                       Prepare(sql_text));
+  return sql::ExplainString(*stmt);
+}
+
+Result<int64_t> QueryManager::RegisterContinuous(const std::string& sql_text,
+                                                 ContinuousCallback callback) {
+  if (!callback) {
+    return Status::InvalidArgument("continuous query requires a callback");
+  }
+  GSN_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                       Prepare(sql_text));
+  ContinuousQuery query;
+  query.sql_text = sql_text;
+  query.stmt = stmt;
+  CollectTables(*stmt, &query.tables);
+  query.callback = std::move(callback);
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t id = next_id_++;
+  continuous_[id] = std::move(query);
+  return id;
+}
+
+Status QueryManager::Unregister(int64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (continuous_.erase(query_id) == 0) {
+    return Status::NotFound("no continuous query " + std::to_string(query_id));
+  }
+  return Status::OK();
+}
+
+size_t QueryManager::NumContinuous() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return continuous_.size();
+}
+
+int QueryManager::OnNewElement(const std::string& sensor_name) {
+  const std::string key = StrToLower(sensor_name);
+  struct Pending {
+    std::shared_ptr<sql::SelectStmt> stmt;
+    ContinuousCallback callback;
+  };
+  std::vector<Pending> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, query] : continuous_) {
+      if (query.tables.count(key)) {
+        pending.push_back({query.stmt, query.callback});
+      }
+    }
+  }
+  int ran = 0;
+  for (const Pending& p : pending) {
+    sql::Executor exec(resolver_);
+    const int64_t t0 = SteadyNowMicros();
+    Result<Relation> result = exec.Execute(*p.stmt);
+    const int64_t elapsed = SteadyNowMicros() - t0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.continuous_runs;
+      stats_.exec_micros += elapsed;
+    }
+    if (result.ok()) {
+      p.callback(sensor_name, *result);
+      ++ran;
+    }
+  }
+  return ran;
+}
+
+void QueryManager::set_cache_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_enabled_ = enabled;
+  if (!enabled) cache_.clear();
+}
+
+bool QueryManager::cache_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_enabled_;
+}
+
+QueryManager::Stats QueryManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gsn::container

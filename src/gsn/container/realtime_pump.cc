@@ -1,0 +1,57 @@
+#include "gsn/container/realtime_pump.h"
+
+#include <chrono>
+
+#include "gsn/util/logging.h"
+
+namespace gsn::container {
+
+RealtimePump::RealtimePump(Container* container, Timestamp interval_micros,
+                           network::NetworkSimulator* network)
+    : container_(container),
+      interval_micros_(interval_micros > 0 ? interval_micros
+                                           : 100 * kMicrosPerMilli),
+      network_(network) {}
+
+RealtimePump::~RealtimePump() { Stop(); }
+
+void RealtimePump::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.load()) return;
+  stop_requested_ = false;
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void RealtimePump::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load()) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void RealtimePump::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait_for(lock, std::chrono::microseconds(interval_micros_),
+                     [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    if (network_ != nullptr) {
+      network_->DeliverUntil(container_->clock()->NowMicros());
+    }
+    const Result<int> produced = container_->Tick();
+    if (!produced.ok()) {
+      GSN_LOG(kWarn, "pump") << container_->node_id()
+                             << ": tick failed: " << produced.status();
+    }
+    rounds_.fetch_add(1);
+  }
+}
+
+}  // namespace gsn::container

@@ -1,0 +1,55 @@
+#ifndef GSN_CONTAINER_REALTIME_PUMP_H_
+#define GSN_CONTAINER_REALTIME_PUMP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "gsn/container/container.h"
+
+namespace gsn::container {
+
+/// Drives a container from a background thread in wall-clock time —
+/// live deployments, as opposed to the deterministic virtual-clock
+/// stepping used by tests and benchmarks. The pump calls
+/// Container::Tick() every `interval` and, when the container sits on a
+/// simulated network, also pumps message delivery.
+///
+/// Start/Stop are idempotent; the destructor stops the pump.
+class RealtimePump {
+ public:
+  /// `network` may be null (single-node deployments). The container
+  /// must outlive the pump.
+  RealtimePump(Container* container, Timestamp interval_micros,
+               network::NetworkSimulator* network = nullptr);
+  ~RealtimePump();
+
+  RealtimePump(const RealtimePump&) = delete;
+  RealtimePump& operator=(const RealtimePump&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(); }
+
+  /// Completed tick rounds since Start.
+  int64_t rounds() const { return rounds_.load(); }
+
+ private:
+  void Loop();
+
+  Container* container_;
+  const Timestamp interval_micros_;
+  network::NetworkSimulator* network_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> rounds_{0};
+  bool stop_requested_ = false;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_REALTIME_PUMP_H_

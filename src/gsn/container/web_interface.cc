@@ -1,0 +1,186 @@
+#include "gsn/container/web_interface.h"
+
+#include "gsn/util/export.h"
+#include "gsn/util/strings.h"
+#include "gsn/xml/xml.h"
+
+namespace gsn::container {
+
+using network::HttpRequest;
+using network::HttpResponse;
+
+WebInterface::WebInterface(Container* container)
+    : container_(container),
+      server_([this](const HttpRequest& request) { return Handle(request); }) {}
+
+Status WebInterface::Start(uint16_t port) { return server_.Start(port); }
+
+void WebInterface::Stop() { server_.Stop(); }
+
+std::string WebInterface::ApiKey(const HttpRequest& request) {
+  const std::string header = request.HeaderOr("x-api-key", "");
+  return header.empty() ? request.QueryOr("key", "") : header;
+}
+
+HttpResponse WebInterface::FromStatus(const Status& status) {
+  const int http_status =
+      status.code() == StatusCode::kNotFound           ? 404
+      : status.code() == StatusCode::kPermissionDenied ? 403
+      : status.code() == StatusCode::kParseError       ? 400
+      : status.code() == StatusCode::kInvalidArgument  ? 400
+                                                       : 500;
+  return HttpResponse::Json(
+      "{\"error\":" + JsonEscape(status.ToString()) + "}", http_status);
+}
+
+HttpResponse WebInterface::Handle(const HttpRequest& request) {
+  if (request.method == "GET") {
+    if (request.path == "/") return HandleIndex();
+    if (request.path == "/sensors") return HandleSensors();
+    if (StrStartsWith(request.path, "/sensors/")) {
+      return HandleSensorStatus(request.path.substr(9));
+    }
+    if (request.path == "/query") return HandleQuery(request);
+    if (request.path == "/explain") return HandleExplain(request);
+    if (request.path == "/discover") return HandleDiscover(request);
+    if (request.path == "/topology") return HandleTopology();
+    return HttpResponse::Error(404, "no such resource: " + request.path);
+  }
+  if (request.method == "POST") {
+    if (request.path == "/deploy") return HandleDeploy(request);
+    if (request.path == "/undeploy") return HandleUndeploy(request);
+    return HttpResponse::Error(404, "no such resource: " + request.path);
+  }
+  return HttpResponse::Error(405, "method not allowed: " + request.method);
+}
+
+HttpResponse WebInterface::HandleIndex() {
+  std::string html = "<html><head><title>GSN node " +
+                     xml::Escape(container_->node_id()) +
+                     "</title></head><body><h1>GSN node " +
+                     xml::Escape(container_->node_id()) +
+                     "</h1><h2>Virtual sensors</h2><ul>";
+  for (const std::string& name : container_->ListSensors()) {
+    html += "<li><a href=\"/sensors/" + name + "\">" + xml::Escape(name) +
+            "</a></li>";
+  }
+  html +=
+      "</ul><p>API: /sensors /query?sql=... /explain?sql=... "
+      "/discover?key=val /topology POST /deploy POST "
+      "/undeploy?name=...</p></body></html>";
+  return HttpResponse::Html(std::move(html));
+}
+
+HttpResponse WebInterface::HandleSensors() {
+  std::string json = "[";
+  bool first = true;
+  for (const std::string& name : container_->ListSensors()) {
+    Result<Container::SensorStatus> status =
+        container_->GetSensorStatus(name);
+    if (!status.ok()) continue;
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":" + JsonEscape(name) +
+            ",\"produced\":" + std::to_string(status->stats.produced) +
+            ",\"stored_rows\":" + std::to_string(status->stored_rows) + "}";
+  }
+  json += "]";
+  return HttpResponse::Json(std::move(json));
+}
+
+HttpResponse WebInterface::HandleSensorStatus(const std::string& name) {
+  Result<Container::SensorStatus> status = container_->GetSensorStatus(name);
+  if (!status.ok()) return FromStatus(status.status());
+  std::string json =
+      "{\"name\":" + JsonEscape(status->name) +
+      ",\"pool_size\":" + std::to_string(status->pool_size) +
+      ",\"triggers\":" + std::to_string(status->stats.triggers) +
+      ",\"produced\":" + std::to_string(status->stats.produced) +
+      ",\"rate_limited\":" + std::to_string(status->stats.rate_limited) +
+      ",\"errors\":" + std::to_string(status->stats.errors) +
+      ",\"stored_rows\":" + std::to_string(status->stored_rows) +
+      ",\"stored_bytes\":" + std::to_string(status->stored_bytes) +
+      ",\"remote_subscribers\":" +
+      std::to_string(status->remote_subscribers) + "}";
+  return HttpResponse::Json(std::move(json));
+}
+
+HttpResponse WebInterface::HandleQuery(const HttpRequest& request) {
+  const std::string sql = request.QueryOr("sql", "");
+  if (sql.empty()) {
+    return HttpResponse::Error(400, "missing ?sql= parameter");
+  }
+  Result<Relation> result = container_->Query(sql, ApiKey(request));
+  if (!result.ok()) return FromStatus(result.status());
+  if (request.QueryOr("format", "json") == "csv") {
+    HttpResponse response = HttpResponse::Text(RelationToCsv(*result));
+    response.content_type = "text/csv";
+    return response;
+  }
+  return HttpResponse::Json(RelationToJson(*result));
+}
+
+HttpResponse WebInterface::HandleExplain(const HttpRequest& request) {
+  const std::string sql = request.QueryOr("sql", "");
+  if (sql.empty()) {
+    return HttpResponse::Error(400, "missing ?sql= parameter");
+  }
+  Result<std::string> plan = container_->query_manager().Explain(sql);
+  if (!plan.ok()) return FromStatus(plan.status());
+  return HttpResponse::Text(*plan);
+}
+
+HttpResponse WebInterface::HandleDiscover(const HttpRequest& request) {
+  std::map<std::string, std::string> predicates = request.query;
+  predicates.erase("key");  // the auth parameter is not a predicate
+  std::string json = "[";
+  bool first = true;
+  for (const network::DirectoryEntry& entry :
+       container_->Discover(predicates)) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"sensor\":" + JsonEscape(entry.sensor_name) +
+            ",\"node\":" + JsonEscape(entry.node_id) + ",\"predicates\":{";
+    bool first_pred = true;
+    for (const auto& [key, val] : entry.predicates) {
+      if (!first_pred) json += ",";
+      first_pred = false;
+      json += JsonEscape(key) + ":" + JsonEscape(val);
+    }
+    json += "}}";
+  }
+  json += "]";
+  return HttpResponse::Json(std::move(json));
+}
+
+HttpResponse WebInterface::HandleTopology() {
+  std::vector<GraphEdge> edges;
+  for (const Container::TopologyEdge& e : container_->Topology()) {
+    edges.push_back(GraphEdge{e.from, e.to, e.label});
+  }
+  HttpResponse response =
+      HttpResponse::Text(EdgesToDot(container_->node_id(), edges));
+  response.content_type = "text/vnd.graphviz";
+  return response;
+}
+
+HttpResponse WebInterface::HandleDeploy(const HttpRequest& request) {
+  if (request.body.empty()) {
+    return HttpResponse::Error(400, "POST body must be a descriptor XML");
+  }
+  Result<vsensor::VirtualSensor*> sensor =
+      container_->Deploy(request.body, ApiKey(request));
+  if (!sensor.ok()) return FromStatus(sensor.status());
+  return HttpResponse::Json(
+      "{\"deployed\":" + JsonEscape((*sensor)->name()) + "}");
+}
+
+HttpResponse WebInterface::HandleUndeploy(const HttpRequest& request) {
+  const std::string name = request.QueryOr("name", "");
+  if (name.empty()) return HttpResponse::Error(400, "missing ?name=");
+  const Status status = container_->Undeploy(name, ApiKey(request));
+  if (!status.ok()) return FromStatus(status);
+  return HttpResponse::Json("{\"undeployed\":" + JsonEscape(name) + "}");
+}
+
+}  // namespace gsn::container

@@ -1,0 +1,63 @@
+#ifndef GSN_CONTAINER_WEB_INTERFACE_H_
+#define GSN_CONTAINER_WEB_INTERFACE_H_
+
+#include <string>
+
+#include "gsn/container/container.h"
+#include "gsn/network/http_server.h"
+
+namespace gsn::container {
+
+/// The container's web/web-services front end (paper §4: "the interface
+/// layer provides access functions for other GSN containers and via the
+/// Web (through a browser or via web services)"; §6: the demo audience
+/// monitors and queries the system through it). Routes:
+///
+///   GET  /                  HTML index: node id + deployed sensors
+///   GET  /sensors           JSON list of sensors with status counters
+///   GET  /sensors/<name>    JSON status of one sensor
+///   GET  /query?sql=...     result as JSON (&format=csv for CSV)
+///   GET  /explain?sql=...   the optimized execution pipeline as text
+///   GET  /discover?k=v&...  directory lookup by predicates (JSON)
+///   GET  /topology          data-flow graph as Graphviz DOT
+///   POST /deploy            body = descriptor XML
+///   POST /undeploy?name=...
+///
+/// When the container's access control is enabled, callers pass their
+/// API key as the X-Api-Key header or a `key` query parameter.
+class WebInterface {
+ public:
+  explicit WebInterface(Container* container);
+
+  WebInterface(const WebInterface&) = delete;
+  WebInterface& operator=(const WebInterface&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving.
+  Status Start(uint16_t port = 0);
+  void Stop();
+  uint16_t port() const { return server_.port(); }
+
+  /// Route dispatch (exposed for in-process tests without sockets).
+  network::HttpResponse Handle(const network::HttpRequest& request);
+
+ private:
+  network::HttpResponse HandleIndex();
+  network::HttpResponse HandleSensors();
+  network::HttpResponse HandleSensorStatus(const std::string& name);
+  network::HttpResponse HandleQuery(const network::HttpRequest& request);
+  network::HttpResponse HandleExplain(const network::HttpRequest& request);
+  network::HttpResponse HandleDiscover(const network::HttpRequest& request);
+  network::HttpResponse HandleTopology();
+  network::HttpResponse HandleDeploy(const network::HttpRequest& request);
+  network::HttpResponse HandleUndeploy(const network::HttpRequest& request);
+
+  static std::string ApiKey(const network::HttpRequest& request);
+  static network::HttpResponse FromStatus(const Status& status);
+
+  Container* container_;
+  network::HttpServer server_;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_WEB_INTERFACE_H_

@@ -1,0 +1,100 @@
+#include "gsn/network/directory.h"
+
+#include "gsn/types/codec.h"
+#include "gsn/util/strings.h"
+
+namespace gsn::network {
+
+bool DirectoryEntry::Matches(
+    const std::map<std::string, std::string>& query) const {
+  for (const auto& [key, val] : query) {
+    if (StrEqualsIgnoreCase(key, "name")) {
+      if (!StrEqualsIgnoreCase(sensor_name, val)) return false;
+      continue;
+    }
+    if (StrEqualsIgnoreCase(key, "node")) {
+      if (!StrEqualsIgnoreCase(node_id, val)) return false;
+      continue;
+    }
+    bool found = false;
+    for (const auto& [ekey, eval] : predicates) {
+      if (StrEqualsIgnoreCase(ekey, key) && StrEqualsIgnoreCase(eval, val)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string DirectoryEntry::Encode() const {
+  std::string out;
+  Codec::EncodeString(sensor_name, &out);
+  Codec::EncodeString(node_id, &out);
+  Codec::EncodeU32(static_cast<uint32_t>(predicates.size()), &out);
+  for (const auto& [key, val] : predicates) {
+    Codec::EncodeString(key, &out);
+    Codec::EncodeString(val, &out);
+  }
+  Codec::EncodeSchema(output_schema, &out);
+  return out;
+}
+
+Result<DirectoryEntry> DirectoryEntry::Decode(std::string_view data) {
+  DirectoryEntry entry;
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(entry.sensor_name, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(entry.node_id, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(uint32_t count, Codec::DecodeU32(data, &pos));
+  for (uint32_t i = 0; i < count; ++i) {
+    GSN_ASSIGN_OR_RETURN(std::string key, Codec::DecodeString(data, &pos));
+    GSN_ASSIGN_OR_RETURN(std::string val, Codec::DecodeString(data, &pos));
+    entry.predicates[std::move(key)] = std::move(val);
+  }
+  GSN_ASSIGN_OR_RETURN(entry.output_schema, Codec::DecodeSchema(data, &pos));
+  if (pos != data.size()) {
+    return Status::ParseError("directory entry: trailing bytes");
+  }
+  return entry;
+}
+
+void DirectoryService::Upsert(DirectoryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(entry.node_id, entry.sensor_name);
+  entries_[key] = std::move(entry);
+}
+
+void DirectoryService::Remove(const std::string& node_id,
+                              const std::string& sensor_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase({node_id, sensor_name});
+}
+
+void DirectoryService::RemoveNode(const std::string& node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first == node_id) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<DirectoryEntry> DirectoryService::Discover(
+    const std::map<std::string, std::string>& query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DirectoryEntry> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.Matches(query)) out.push_back(entry);
+  }
+  return out;
+}
+
+size_t DirectoryService::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace gsn::network

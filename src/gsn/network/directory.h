@@ -1,0 +1,71 @@
+#ifndef GSN_NETWORK_DIRECTORY_H_
+#define GSN_NETWORK_DIRECTORY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gsn/types/schema.h"
+#include "gsn/util/result.h"
+
+namespace gsn::network {
+
+/// One published virtual sensor: its hosting node, its user-definable
+/// key/value metadata, and its output schema (paper §4: "virtual sensor
+/// descriptions are identified by user-definable key-value pairs which
+/// are published in a peer-to-peer directory so that virtual sensors
+/// can be discovered and accessed based on any combination of their
+/// properties").
+struct DirectoryEntry {
+  std::string sensor_name;
+  std::string node_id;
+  std::map<std::string, std::string> predicates;
+  Schema output_schema;
+
+  /// True if every (key, val) in `query` matches this entry's
+  /// predicates; the implicit keys `name` and `node` match the sensor
+  /// and host names. Matching is case-insensitive on both sides.
+  bool Matches(const std::map<std::string, std::string>& query) const;
+
+  std::string Encode() const;
+  static Result<DirectoryEntry> Decode(std::string_view data);
+};
+
+/// A container's local replica of the global directory. Each container
+/// publishes its sensors by broadcasting directory messages to its
+/// peers (gossip-style full replication — the behaviour of the small
+/// deployments in the paper's demo); lookups are answered locally, so
+/// discovery latency is the propagation delay of the last publish.
+///
+/// Thread-safe.
+class DirectoryService {
+ public:
+  DirectoryService() = default;
+
+  DirectoryService(const DirectoryService&) = delete;
+  DirectoryService& operator=(const DirectoryService&) = delete;
+
+  /// Inserts or replaces the entry for (node_id, sensor_name).
+  void Upsert(DirectoryEntry entry);
+  /// Removes the entry for (node_id, sensor_name); idempotent.
+  void Remove(const std::string& node_id, const std::string& sensor_name);
+  /// Drops every entry hosted by `node_id` (node departure).
+  void RemoveNode(const std::string& node_id);
+
+  /// All entries matching every predicate in `query`, sorted by
+  /// (node, sensor) for determinism. An empty query matches everything.
+  std::vector<DirectoryEntry> Discover(
+      const std::map<std::string, std::string>& query) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Keyed by (node_id, sensor_name).
+  std::map<std::pair<std::string, std::string>, DirectoryEntry> entries_;
+};
+
+}  // namespace gsn::network
+
+#endif  // GSN_NETWORK_DIRECTORY_H_

@@ -1,0 +1,317 @@
+#include "gsn/network/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "gsn/util/logging.h"
+#include "gsn/util/strings.h"
+
+namespace gsn::network {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+/// Reads until the peer closes or `terminator` logic says complete.
+/// Returns raw request bytes (headers + body).
+std::string ReadRequest(int fd) {
+  std::string data;
+  char buf[4096];
+  size_t body_expected = std::string::npos;
+  size_t header_end = std::string::npos;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    data.append(buf, static_cast<size_t>(n));
+    if (header_end == std::string::npos) {
+      header_end = data.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        // Parse Content-Length if present.
+        const std::string head = StrToLower(data.substr(0, header_end));
+        const size_t cl = head.find("content-length:");
+        if (cl != std::string::npos) {
+          const size_t eol = head.find("\r\n", cl);
+          const std::string len_str =
+              StrTrim(head.substr(cl + 15, eol - cl - 15));
+          Result<int64_t> len = ParseInt64(len_str);
+          body_expected = len.ok() ? static_cast<size_t>(*len) : 0;
+        } else {
+          body_expected = 0;
+        }
+      }
+    }
+    if (header_end != std::string::npos &&
+        data.size() >= header_end + 4 + body_expected) {
+      break;
+    }
+    if (data.size() > 16 * 1024 * 1024) break;  // runaway request
+  }
+  return data;
+}
+
+void ParseQueryString(std::string_view qs,
+                      std::map<std::string, std::string>* out) {
+  for (const std::string& pair : StrSplit(qs, '&')) {
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      (*out)[UrlDecode(pair)] = "";
+    } else {
+      (*out)[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+  }
+}
+
+Result<HttpRequest> ParseRequest(const std::string& raw) {
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::ParseError("http: no header terminator");
+  }
+  const std::vector<std::string> lines =
+      StrSplit(raw.substr(0, header_end), '\n');
+  if (lines.empty()) return Status::ParseError("http: empty request");
+  // Request line: METHOD SP target SP version.
+  const std::vector<std::string> parts = StrSplit(StrTrim(lines[0]), ' ');
+  if (parts.size() < 2) return Status::ParseError("http: bad request line");
+  HttpRequest request;
+  request.method = StrToUpper(parts[0]);
+  std::string target = parts[1];
+  const size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    ParseQueryString(target.substr(qmark + 1), &request.query);
+    target = target.substr(0, qmark);
+  }
+  request.path = UrlDecode(target);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string line = StrTrim(lines[i]);
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    request.headers[StrToLower(line.substr(0, colon))] =
+        StrTrim(line.substr(colon + 1));
+  }
+  request.body = raw.substr(header_end + 4);
+  return request;
+}
+
+void WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string HttpRequest::QueryOr(const std::string& key,
+                                 const std::string& fallback) const {
+  auto it = query.find(key);
+  return it == query.end() ? fallback : it->second;
+}
+
+std::string HttpRequest::HeaderOr(const std::string& key,
+                                  const std::string& fallback) const {
+  auto it = headers.find(StrToLower(key));
+  return it == headers.end() ? fallback : it->second;
+}
+
+HttpResponse HttpResponse::Text(std::string body, int status) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::Json(std::string body, int status) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::Html(std::string body, int status) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "text/html; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::Error(int status, const std::string& message) {
+  return Text(message + "\n", status);
+}
+
+std::string UrlDecode(std::string_view encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    const char c = encoded[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < encoded.size()) {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(encoded[i + 1]);
+      const int lo = hex(encoded[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(c);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(uint16_t port) {
+  if (running_.load()) return Status::AlreadyExists("server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind() failed on port " + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  GSN_LOG(kInfo, "http") << "web interface listening on 127.0.0.1:" << port_;
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listening socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    HandleConnection(client_fd);
+    ::close(client_fd);
+  }
+}
+
+void HttpServer::HandleConnection(int client_fd) {
+  const std::string raw = ReadRequest(client_fd);
+  HttpResponse response;
+  Result<HttpRequest> request = ParseRequest(raw);
+  if (!request.ok()) {
+    response = HttpResponse::Error(400, request.status().message());
+  } else {
+    response = handler_(*request);
+  }
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  WriteAll(client_fd, out);
+  requests_served_.fetch_add(1);
+}
+
+Result<HttpClientResponse> HttpFetch(uint16_t port, const std::string& method,
+                                     const std::string& path,
+                                     const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect() failed to 127.0.0.1:" +
+                               std::to_string(port));
+  }
+  std::string request = method + " " + path + " HTTP/1.0\r\n";
+  request += "Host: 127.0.0.1\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
+  WriteAll(fd, request);
+  ::shutdown(fd, SHUT_WR);
+
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::ParseError("http: malformed response");
+  }
+  HttpClientResponse response;
+  // Status line: HTTP/1.0 200 OK
+  const std::vector<std::string> parts =
+      StrSplit(raw.substr(0, raw.find("\r\n")), ' ');
+  if (parts.size() >= 2) {
+    Result<int64_t> status = ParseInt64(parts[1]);
+    response.status = status.ok() ? static_cast<int>(*status) : 0;
+  }
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace gsn::network

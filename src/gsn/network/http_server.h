@@ -1,0 +1,92 @@
+#ifndef GSN_NETWORK_HTTP_SERVER_H_
+#define GSN_NETWORK_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "gsn/util/result.h"
+
+namespace gsn::network {
+
+/// A parsed HTTP request (the subset the GSN web interface needs:
+/// method, path, decoded query parameters, headers, body).
+struct HttpRequest {
+  std::string method;  // GET, POST
+  std::string path;    // "/sensors" (query string stripped)
+  std::map<std::string, std::string> query;    // decoded key=value pairs
+  std::map<std::string, std::string> headers;  // lowercased names
+  std::string body;
+
+  std::string QueryOr(const std::string& key,
+                      const std::string& fallback) const;
+  std::string HeaderOr(const std::string& key,
+                       const std::string& fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Text(std::string body, int status = 200);
+  static HttpResponse Json(std::string body, int status = 200);
+  static HttpResponse Html(std::string body, int status = 200);
+  static HttpResponse Error(int status, const std::string& message);
+};
+
+/// Percent-decoding of URL components ("%20" → ' ', '+' → ' ').
+std::string UrlDecode(std::string_view encoded);
+
+/// Minimal threaded HTTP/1.0 server bound to 127.0.0.1 — the transport
+/// behind the container's web interface (paper §4: access "via the Web
+/// (through a browser or via web services)"). One handler serves every
+/// route; connections are handled sequentially per worker accept loop
+/// (adequate for a management plane, not a data plane).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = pick an ephemeral port) and starts the
+  /// accept thread. Fails if the port is taken.
+  Status Start(uint16_t port = 0);
+  void Stop();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+  int64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> requests_served_{0};
+};
+
+/// Blocking HTTP/1.0 client for tests and examples: requests
+/// `path` (with query string) from 127.0.0.1:`port`.
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+};
+Result<HttpClientResponse> HttpFetch(uint16_t port, const std::string& method,
+                                     const std::string& path,
+                                     const std::string& body = "");
+
+}  // namespace gsn::network
+
+#endif  // GSN_NETWORK_HTTP_SERVER_H_

@@ -1,0 +1,85 @@
+#include "gsn/network/protocol.h"
+
+#include "gsn/types/codec.h"
+
+namespace gsn::network {
+
+namespace {
+Status CheckFullyConsumed(std::string_view data, size_t pos,
+                          const char* what) {
+  if (pos != data.size()) {
+    return Status::ParseError(std::string(what) + ": trailing bytes");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+std::string DirRemove::Encode() const {
+  std::string out;
+  Codec::EncodeString(node_id, &out);
+  Codec::EncodeString(sensor_name, &out);
+  return out;
+}
+
+Result<DirRemove> DirRemove::Decode(std::string_view data) {
+  DirRemove msg;
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(msg.node_id, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(msg.sensor_name, Codec::DecodeString(data, &pos));
+  GSN_RETURN_IF_ERROR(CheckFullyConsumed(data, pos, "DirRemove"));
+  return msg;
+}
+
+std::string SubscribeRequest::Encode() const {
+  std::string out;
+  Codec::EncodeString(subscription_id, &out);
+  Codec::EncodeString(sensor_name, &out);
+  Codec::EncodeString(subscriber_node, &out);
+  return out;
+}
+
+Result<SubscribeRequest> SubscribeRequest::Decode(std::string_view data) {
+  SubscribeRequest msg;
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(msg.subscription_id, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(msg.sensor_name, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(msg.subscriber_node, Codec::DecodeString(data, &pos));
+  GSN_RETURN_IF_ERROR(CheckFullyConsumed(data, pos, "SubscribeRequest"));
+  return msg;
+}
+
+std::string UnsubscribeRequest::Encode() const {
+  std::string out;
+  Codec::EncodeString(subscription_id, &out);
+  return out;
+}
+
+Result<UnsubscribeRequest> UnsubscribeRequest::Decode(std::string_view data) {
+  UnsubscribeRequest msg;
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(msg.subscription_id, Codec::DecodeString(data, &pos));
+  GSN_RETURN_IF_ERROR(CheckFullyConsumed(data, pos, "UnsubscribeRequest"));
+  return msg;
+}
+
+std::string StreamDelivery::Encode() const {
+  std::string out;
+  Codec::EncodeString(subscription_id, &out);
+  Codec::EncodeString(sensor_name, &out);
+  Codec::EncodeString(signature, &out);
+  Codec::EncodeElement(element, &out);
+  return out;
+}
+
+Result<StreamDelivery> StreamDelivery::Decode(std::string_view data) {
+  StreamDelivery msg;
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(msg.subscription_id, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(msg.sensor_name, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(msg.signature, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(msg.element, Codec::DecodeElement(data, &pos));
+  GSN_RETURN_IF_ERROR(CheckFullyConsumed(data, pos, "StreamDelivery"));
+  return msg;
+}
+
+}  // namespace gsn::network

@@ -1,0 +1,69 @@
+#ifndef GSN_NETWORK_PROTOCOL_H_
+#define GSN_NETWORK_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "gsn/types/schema.h"
+#include "gsn/util/result.h"
+
+namespace gsn::network {
+
+/// Message topics of the inter-container protocol. Containers speak a
+/// small peer-to-peer protocol replacing the Java GSN's HTTP/RMI plane:
+///
+///   kTopicDirPublish  — gossip a DirectoryEntry (payload: entry)
+///   kTopicDirRemove   — retract a sensor (payload: DirRemove)
+///   kTopicSubscribe   — subscribe to a remote sensor's output stream
+///   kTopicUnsubscribe — cancel a subscription
+///   kTopicStream      — one output element for a subscription
+inline constexpr char kTopicDirPublish[] = "dir.publish";
+inline constexpr char kTopicDirRemove[] = "dir.remove";
+inline constexpr char kTopicSubscribe[] = "sub.request";
+inline constexpr char kTopicUnsubscribe[] = "sub.cancel";
+inline constexpr char kTopicStream[] = "sub.stream";
+
+/// Retraction of a published sensor.
+struct DirRemove {
+  std::string node_id;
+  std::string sensor_name;
+
+  std::string Encode() const;
+  static Result<DirRemove> Decode(std::string_view data);
+};
+
+/// Subscription request: `subscriber_node` asks the receiving container
+/// to push `sensor_name`'s output stream, tagged with subscription_id.
+struct SubscribeRequest {
+  std::string subscription_id;
+  std::string sensor_name;
+  std::string subscriber_node;
+
+  std::string Encode() const;
+  static Result<SubscribeRequest> Decode(std::string_view data);
+};
+
+/// Cancellation of a subscription.
+struct UnsubscribeRequest {
+  std::string subscription_id;
+
+  std::string Encode() const;
+  static Result<UnsubscribeRequest> Decode(std::string_view data);
+};
+
+/// One pushed stream element. `signature` is the producing container's
+/// HMAC over (sensor name, element) — the integrity layer of Fig 2;
+/// empty means unsigned.
+struct StreamDelivery {
+  std::string subscription_id;
+  std::string sensor_name;
+  std::string signature;
+  StreamElement element;
+
+  std::string Encode() const;
+  static Result<StreamDelivery> Decode(std::string_view data);
+};
+
+}  // namespace gsn::network
+
+#endif  // GSN_NETWORK_PROTOCOL_H_

@@ -1,0 +1,30 @@
+#include "gsn/network/remote_stream_wrapper.h"
+
+namespace gsn::network {
+
+RemoteStreamWrapper::RemoteStreamWrapper(Schema schema, std::string peer_node,
+                                         std::string remote_sensor)
+    : schema_(std::move(schema)),
+      peer_node_(std::move(peer_node)),
+      remote_sensor_(std::move(remote_sensor)) {}
+
+Result<std::vector<StreamElement>> RemoteStreamWrapper::Poll(Timestamp now) {
+  (void)now;  // delivery timing is governed by the network simulator
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StreamElement> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+void RemoteStreamWrapper::Push(StreamElement element) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(element));
+  ++received_;
+}
+
+int64_t RemoteStreamWrapper::received_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return received_;
+}
+
+}  // namespace gsn::network

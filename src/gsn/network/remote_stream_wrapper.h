@@ -1,0 +1,50 @@
+#ifndef GSN_NETWORK_REMOTE_STREAM_WRAPPER_H_
+#define GSN_NETWORK_REMOTE_STREAM_WRAPPER_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gsn/wrappers/wrapper.h"
+
+namespace gsn::network {
+
+/// The `wrapper="remote"` data source (paper Fig 1: "the data stream is
+/// obtained from the Internet through GSN (thus logical addressing is
+/// possible)"). The container resolves the address predicates against
+/// its directory replica, subscribes to the matching sensor on its host
+/// node, and pushes delivered elements into this wrapper's queue; the
+/// owning stream source drains it on Poll like any local device.
+class RemoteStreamWrapper : public wrappers::Wrapper {
+ public:
+  /// `schema` comes from the matched DirectoryEntry; `peer` / `sensor`
+  /// identify the remote producer (for diagnostics).
+  RemoteStreamWrapper(Schema schema, std::string peer_node,
+                      std::string remote_sensor);
+
+  const Schema& output_schema() const override { return schema_; }
+  std::string type_name() const override { return "remote"; }
+
+  Result<std::vector<StreamElement>> Poll(Timestamp now) override;
+
+  /// Called by the container when a kTopicStream message arrives.
+  void Push(StreamElement element);
+
+  const std::string& peer_node() const { return peer_node_; }
+  const std::string& remote_sensor() const { return remote_sensor_; }
+  int64_t received_count() const;
+
+ private:
+  const Schema schema_;
+  const std::string peer_node_;
+  const std::string remote_sensor_;
+
+  mutable std::mutex mu_;
+  std::deque<StreamElement> queue_;
+  int64_t received_ = 0;
+};
+
+}  // namespace gsn::network
+
+#endif  // GSN_NETWORK_REMOTE_STREAM_WRAPPER_H_

@@ -1,0 +1,128 @@
+#include "gsn/network/simulator.h"
+
+namespace gsn::network {
+
+NetworkSimulator::NetworkSimulator(uint64_t seed) : rng_(seed) {}
+
+Status NetworkSimulator::RegisterNode(const std::string& node_id,
+                                      NetworkNode* node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.count(node_id)) {
+    return Status::AlreadyExists("node already registered: " + node_id);
+  }
+  nodes_[node_id] = node;
+  return Status::OK();
+}
+
+Status NetworkSimulator::UnregisterNode(const std::string& node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.erase(node_id) == 0) {
+    return Status::NotFound("no such node: " + node_id);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> NetworkSimulator::NodeIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) out.push_back(id);
+  return out;
+}
+
+void NetworkSimulator::SetDefaultLink(const LinkConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_link_ = config;
+}
+
+void NetworkSimulator::SetLink(const std::string& from, const std::string& to,
+                               const LinkConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  links_[{from, to}] = config;
+}
+
+const NetworkSimulator::LinkConfig& NetworkSimulator::LinkFor(
+    const std::string& from, const std::string& to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+Status NetworkSimulator::Send(Timestamp now, const std::string& from,
+                              const std::string& to, const std::string& topic,
+                              std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!nodes_.count(to)) {
+    return Status::NotFound("unknown destination node: " + to);
+  }
+  ++stats_.sent;
+  stats_.bytes_sent += static_cast<int64_t>(payload.size());
+  const LinkConfig& link = LinkFor(from, to);
+  if (link.loss_probability > 0 && rng_.NextBool(link.loss_probability)) {
+    ++stats_.dropped;
+    return Status::OK();  // loss is silent, like UDP
+  }
+  QueuedMessage qm;
+  qm.message.from = from;
+  qm.message.to = to;
+  qm.message.topic = topic;
+  qm.message.payload = std::move(payload);
+  qm.message.sent_at = now;
+  qm.message.deliver_at =
+      now + link.base_latency_micros +
+      (link.jitter_micros > 0
+           ? static_cast<Timestamp>(rng_.NextUint64(
+                 static_cast<uint64_t>(link.jitter_micros) + 1))
+           : 0);
+  qm.sequence = sequence_++;
+  queue_.push(std::move(qm));
+  return Status::OK();
+}
+
+Status NetworkSimulator::Broadcast(Timestamp now, const std::string& from,
+                                   const std::string& topic,
+                                   const std::string& payload) {
+  std::vector<std::string> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, node] : nodes_) {
+      if (id != from) targets.push_back(id);
+    }
+  }
+  for (const std::string& to : targets) {
+    GSN_RETURN_IF_ERROR(Send(now, from, to, topic, payload));
+  }
+  return Status::OK();
+}
+
+int NetworkSimulator::DeliverUntil(Timestamp now) {
+  int delivered = 0;
+  for (;;) {
+    Message message;
+    NetworkNode* target = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty() || queue_.top().message.deliver_at > now) break;
+      message = queue_.top().message;
+      queue_.pop();
+      auto it = nodes_.find(message.to);
+      if (it == nodes_.end()) {
+        // Node departed after the message was sent: drop it.
+        ++stats_.dropped;
+        continue;
+      }
+      target = it->second;
+      ++stats_.delivered;
+    }
+    // Deliver outside the lock: handlers commonly Send() in response.
+    target->OnMessage(message);
+    ++delivered;
+  }
+  return delivered;
+}
+
+NetworkSimulator::Stats NetworkSimulator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gsn::network

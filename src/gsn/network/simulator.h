@@ -1,0 +1,121 @@
+#ifndef GSN_NETWORK_SIMULATOR_H_
+#define GSN_NETWORK_SIMULATOR_H_
+
+#include <map>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "gsn/util/clock.h"
+#include "gsn/util/result.h"
+#include "gsn/util/rng.h"
+
+namespace gsn::network {
+
+/// A message between GSN containers. `topic` selects the protocol
+/// handler (directory.publish, subscribe, stream, query, ...); payload
+/// bytes are Codec-encoded by the protocol layer.
+struct Message {
+  std::string from;
+  std::string to;
+  std::string topic;
+  std::string payload;
+  Timestamp sent_at = 0;
+  Timestamp deliver_at = 0;
+};
+
+/// Receiver interface implemented by GSN containers.
+class NetworkNode {
+ public:
+  virtual ~NetworkNode() = default;
+  /// Called by the simulator when a message is delivered. Handlers may
+  /// send further messages but must not block.
+  virtual void OnMessage(const Message& message) = 0;
+};
+
+/// In-process network between containers, standing in for the TCP/HTTP
+/// links of a real GSN deployment (substitution documented in
+/// DESIGN.md). Messages experience configurable latency, jitter, and
+/// loss; delivery happens when the owner pumps DeliverUntil(now), which
+/// makes multi-node experiments fully deterministic under virtual time.
+///
+/// Thread-safe.
+class NetworkSimulator {
+ public:
+  struct LinkConfig {
+    Timestamp base_latency_micros = 2 * kMicrosPerMilli;
+    Timestamp jitter_micros = 0;  // uniform in [0, jitter]
+    double loss_probability = 0.0;
+  };
+
+  struct Stats {
+    int64_t sent = 0;
+    int64_t delivered = 0;
+    int64_t dropped = 0;
+    int64_t bytes_sent = 0;
+  };
+
+  explicit NetworkSimulator(uint64_t seed = 1);
+
+  NetworkSimulator(const NetworkSimulator&) = delete;
+  NetworkSimulator& operator=(const NetworkSimulator&) = delete;
+
+  /// Attaches a node under `node_id`. Fails on duplicates.
+  Status RegisterNode(const std::string& node_id, NetworkNode* node);
+  Status UnregisterNode(const std::string& node_id);
+  std::vector<std::string> NodeIds() const;
+
+  /// Default link parameters for all pairs.
+  void SetDefaultLink(const LinkConfig& config);
+  /// Overrides the link from `from` to `to` (directional).
+  void SetLink(const std::string& from, const std::string& to,
+               const LinkConfig& config);
+
+  /// Enqueues a message. `now` is the send time; delivery time adds
+  /// latency + jitter. Lost messages count as dropped. Unknown
+  /// destinations are an error.
+  Status Send(Timestamp now, const std::string& from, const std::string& to,
+              const std::string& topic, std::string payload);
+
+  /// Broadcasts to every registered node except `from`.
+  Status Broadcast(Timestamp now, const std::string& from,
+                   const std::string& topic, const std::string& payload);
+
+  /// Delivers every queued message with deliver_at <= now, in delivery
+  /// time order. Handlers may send more messages; those are delivered
+  /// too if due. Returns the number of messages delivered.
+  int DeliverUntil(Timestamp now);
+
+  Stats stats() const;
+
+ private:
+  struct QueuedMessage {
+    Message message;
+    uint64_t sequence;  // tie-break for deterministic ordering
+    bool operator>(const QueuedMessage& other) const {
+      if (message.deliver_at != other.message.deliver_at) {
+        return message.deliver_at > other.message.deliver_at;
+      }
+      return sequence > other.sequence;
+    }
+  };
+
+  const LinkConfig& LinkFor(const std::string& from,
+                            const std::string& to) const;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  LinkConfig default_link_;
+  std::map<std::pair<std::string, std::string>, LinkConfig> links_;
+  std::map<std::string, NetworkNode*> nodes_;
+  std::priority_queue<QueuedMessage, std::vector<QueuedMessage>,
+                      std::greater<QueuedMessage>>
+      queue_;
+  uint64_t sequence_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gsn::network
+
+#endif  // GSN_NETWORK_SIMULATOR_H_

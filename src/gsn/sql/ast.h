@@ -1,0 +1,177 @@
+#ifndef GSN_SQL_AST_H_
+#define GSN_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gsn/types/value.h"
+
+namespace gsn::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct SelectStmt;
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kFunctionCall,
+  kIsNull,     // expr IS [NOT] NULL
+  kBetween,    // expr [NOT] BETWEEN lo AND hi
+  kInList,     // expr [NOT] IN (e1, e2, ...)
+  kInSubquery, // expr [NOT] IN (SELECT ...)
+  kExists,     // [NOT] EXISTS (SELECT ...)
+  kScalarSubquery,
+  kCase,       // CASE [operand] WHEN .. THEN .. [ELSE ..] END
+  kCast,       // CAST(expr AS type)
+  kStar,       // only valid inside COUNT(*)
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kConcat,
+  kEq,
+  kNotEq,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kAnd,
+  kOr,
+  kLike,
+  kNotLike,
+};
+
+/// One node of an expression tree. A single struct with a kind tag (the
+/// classic interpreter layout) keeps the evaluator a single switch.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string qualifier;  // optional: "src1" in src1.temperature
+  std::string column;
+
+  // kUnary
+  UnaryOp unary_op = UnaryOp::kNot;
+
+  // kBinary
+  BinaryOp binary_op = BinaryOp::kEq;
+
+  // kFunctionCall
+  std::string function;   // uppercased: AVG, COUNT, ABS, ...
+  bool distinct = false;  // COUNT(DISTINCT x)
+
+  // kIsNull / kBetween / kInList / kInSubquery / kExists
+  bool negated = false;
+
+  // kCast
+  DataType cast_type = DataType::kInt;
+
+  // kCase
+  // children layout: [operand?] then (when, then) pairs, else? — tracked
+  // by the flags below.
+  bool case_has_operand = false;
+  bool case_has_else = false;
+  size_t case_num_whens = 0;
+
+  // Subtree: operands / arguments / subquery.
+  std::vector<std::unique_ptr<Expr>> children;
+  std::unique_ptr<SelectStmt> subquery;
+
+  /// Reconstructs an approximate SQL rendering (diagnostics, plan dumps).
+  std::string ToString() const;
+};
+
+std::unique_ptr<Expr> MakeLiteral(Value v);
+std::unique_ptr<Expr> MakeColumnRef(std::string qualifier, std::string column);
+std::unique_ptr<Expr> MakeBinary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                 std::unique_ptr<Expr> rhs);
+std::unique_ptr<Expr> MakeUnary(UnaryOp op, std::unique_ptr<Expr> operand);
+
+/// True for AVG/COUNT/SUM/MIN/MAX/STDDEV (uppercased name).
+bool IsAggregateFunction(std::string_view upper_name);
+/// True if any node in the tree is an aggregate call.
+bool ContainsAggregate(const Expr& e);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// An item in the SELECT list: expression with optional alias, or a
+/// star (optionally qualified: `src1.*`).
+struct SelectItem {
+  bool is_star = false;
+  std::string star_qualifier;  // for src1.*
+  std::unique_ptr<Expr> expr;  // null iff is_star
+  std::string alias;           // empty if none
+};
+
+/// A FROM-clause item: base table, derived table, or join.
+struct TableRef {
+  enum class Kind { kTable, kSubquery, kJoin };
+  enum class JoinType { kInner, kLeft, kCross };
+
+  Kind kind = Kind::kTable;
+
+  // kTable
+  std::string table_name;
+
+  // kSubquery
+  std::unique_ptr<SelectStmt> subquery;
+
+  // common: alias (required for subqueries, optional for tables)
+  std::string alias;
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  std::unique_ptr<Expr> join_condition;  // null for CROSS JOIN
+
+  std::string ToString() const;
+};
+
+struct OrderByItem {
+  std::unique_ptr<Expr> expr;
+  bool ascending = true;
+};
+
+enum class SetOp { kNone, kUnion, kUnionAll, kIntersect, kExcept };
+
+/// A full SELECT statement, possibly chained with set operations
+/// (`lhs UNION rhs` is represented as lhs.set_op/set_rhs).
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<std::unique_ptr<TableRef>> from;  // comma-list; may be empty
+  std::unique_ptr<Expr> where;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::unique_ptr<Expr> having;
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+
+  SetOp set_op = SetOp::kNone;
+  std::unique_ptr<SelectStmt> set_rhs;
+
+  std::string ToString() const;
+};
+
+}  // namespace gsn::sql
+
+#endif  // GSN_SQL_AST_H_

@@ -1,0 +1,111 @@
+#ifndef GSN_SQL_EXECUTOR_H_
+#define GSN_SQL_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "gsn/sql/ast.h"
+#include "gsn/types/schema.h"
+#include "gsn/util/result.h"
+
+namespace gsn::sql {
+
+/// Supplies base relations to the executor. The storage layer's table
+/// manager implements this; virtual sensors also use a lightweight map
+/// resolver to expose their per-source temporary relations (paper §3
+/// step 3: "input stream queries are evaluated and stored into
+/// temporary relations").
+class TableResolver {
+ public:
+  virtual ~TableResolver() = default;
+  /// Returns a snapshot of the named table (case-insensitive name).
+  virtual Result<Relation> GetTable(const std::string& name) const = 0;
+};
+
+/// Simple in-memory resolver backed by a name → Relation map.
+class MapResolver : public TableResolver {
+ public:
+  MapResolver() = default;
+
+  void Put(const std::string& name, Relation relation);
+  Result<Relation> GetTable(const std::string& name) const override;
+
+ private:
+  std::map<std::string, Relation> tables_;  // lowercased names
+};
+
+// ---------------------------------------------------------------------------
+// Value-level operator semantics (exposed for unit tests)
+// ---------------------------------------------------------------------------
+
+/// SQL three-valued binary operator. NULL operands propagate (except
+/// for AND/OR which use Kleene logic). Integer division/modulo by zero
+/// is an execution error.
+Result<Value> EvalBinaryValues(BinaryOp op, const Value& lhs,
+                               const Value& rhs);
+
+/// SQL LIKE with '%' and '_' wildcards.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// Best-effort static type inference of `expr` against `input`; used to
+/// type executor output columns and validate descriptor output
+/// structures. Returns error only for malformed expressions.
+Result<DataType> InferType(const Expr& expr, const Schema& input);
+
+// ---------------------------------------------------------------------------
+// Adaptive join execution (paper §4: "an adaptive query execution plan")
+// ---------------------------------------------------------------------------
+
+/// Joins pick their algorithm at runtime from the actual input
+/// cardinalities: equi-joins whose cross product exceeds the threshold
+/// build a hash table on the smaller-cost side; everything else runs as
+/// a nested loop. The threshold is settable for tests and ablations
+/// (0 = always hash when possible; SIZE_MAX = never).
+void SetHashJoinThreshold(size_t cross_product_threshold);
+size_t GetHashJoinThreshold();
+
+/// Process-wide strategy counters (reset with ResetJoinCounters); used
+/// by tests and the ablate_join bench to observe adaptivity.
+struct JoinCounters {
+  int64_t hash_joins = 0;
+  int64_t nested_loop_joins = 0;
+};
+JoinCounters GetJoinCounters();
+void ResetJoinCounters();
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Executes SELECT statements against a TableResolver, fully
+/// materializing results. Supports joins (inner/left/cross), grouping
+/// and aggregates (COUNT/SUM/AVG/MIN/MAX/STDDEV/VARIANCE, DISTINCT
+/// variants), HAVING, DISTINCT, ORDER BY, LIMIT/OFFSET, set operations,
+/// scalar/IN/EXISTS subqueries (correlated via outer-scope name
+/// resolution), CASE, CAST, LIKE, and the scalar function library.
+///
+/// Grouped queries evaluate non-aggregate expressions against a
+/// representative (first) row of each group, matching the permissive
+/// MySQL behaviour GSN's original implementation ran on.
+class Executor {
+ public:
+  explicit Executor(const TableResolver* resolver) : resolver_(resolver) {}
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Runs the statement and returns the result relation.
+  Result<Relation> Execute(const SelectStmt& stmt) const;
+
+  /// Convenience: parse + execute.
+  Result<Relation> Query(const std::string& sql) const;
+
+ private:
+  friend class EvalContext;
+  const TableResolver* resolver_;
+};
+
+}  // namespace gsn::sql
+
+#endif  // GSN_SQL_EXECUTOR_H_

@@ -1,0 +1,269 @@
+#include "gsn/sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "gsn/util/strings.h"
+
+namespace gsn::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",    "GROUP",     "BY",       "HAVING",
+      "ORDER",  "ASC",    "DESC",     "LIMIT",     "OFFSET",   "AS",
+      "AND",    "OR",     "NOT",      "NULL",      "TRUE",     "FALSE",
+      "IN",     "IS",     "LIKE",     "BETWEEN",   "EXISTS",   "DISTINCT",
+      "ALL",    "UNION",  "INTERSECT","EXCEPT",    "JOIN",     "INNER",
+      "LEFT",   "RIGHT",  "FULL",     "OUTER",     "CROSS",    "ON",
+      "CASE",   "WHEN",   "THEN",     "ELSE",      "END",      "CAST",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsReservedKeyword(std::string_view upper_word) {
+  return Keywords().count(std::string(upper_word)) > 0;
+}
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError("SQL lex error at offset " + std::to_string(i) +
+                              ": " + msg);
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      const size_t end = input.find("*/", i + 2);
+      if (end == std::string_view::npos) return error("unterminated comment");
+      i = end + 2;
+      continue;
+    }
+
+    Token tok;
+    tok.position = i;
+
+    // Identifiers and keywords.
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      const std::string word(input.substr(start, i - start));
+      const std::string upper = StrToUpper(word);
+      if (Keywords().count(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Numbers: integer or double (with '.', exponent).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      const size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (input[j] == '+' || input[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          is_double = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i])))
+            ++i;
+        }
+      }
+      const std::string num(input.substr(start, i - start));
+      if (is_double) {
+        GSN_ASSIGN_OR_RETURN(tok.double_value, ParseDouble(num));
+        tok.type = TokenType::kDoubleLiteral;
+      } else {
+        GSN_ASSIGN_OR_RETURN(tok.int_value, ParseInt64(num));
+        tok.type = TokenType::kIntegerLiteral;
+      }
+      tok.text = num;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // String literal with '' escaping.
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) return error("unterminated string literal");
+      tok.type = TokenType::kStringLiteral;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Quoted identifier.
+    if (c == '"') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '"') {
+          if (i + 1 < n && input[i + 1] == '"') {
+            value.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) return error("unterminated quoted identifier");
+      tok.type = TokenType::kQuotedIdentifier;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Operators and punctuation.
+    auto push1 = [&](TokenType type) {
+      tok.type = type;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(tok);
+    };
+    switch (c) {
+      case ',':
+        push1(TokenType::kComma);
+        break;
+      case '.':
+        push1(TokenType::kDot);
+        break;
+      case '(':
+        push1(TokenType::kLParen);
+        break;
+      case ')':
+        push1(TokenType::kRParen);
+        break;
+      case '*':
+        push1(TokenType::kStar);
+        break;
+      case '+':
+        push1(TokenType::kPlus);
+        break;
+      case '-':
+        push1(TokenType::kMinus);
+        break;
+      case '/':
+        push1(TokenType::kSlash);
+        break;
+      case '%':
+        push1(TokenType::kPercent);
+        break;
+      case '=':
+        push1(TokenType::kEq);
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.type = TokenType::kNotEq;
+          tok.text = "!=";
+          i += 2;
+          tokens.push_back(tok);
+        } else {
+          return error("unexpected '!'");
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '>') {
+          tok.type = TokenType::kNotEq;
+          tok.text = "<>";
+          i += 2;
+          tokens.push_back(tok);
+        } else if (i + 1 < n && input[i + 1] == '=') {
+          tok.type = TokenType::kLessEq;
+          tok.text = "<=";
+          i += 2;
+          tokens.push_back(tok);
+        } else {
+          push1(TokenType::kLess);
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.type = TokenType::kGreaterEq;
+          tok.text = ">=";
+          i += 2;
+          tokens.push_back(tok);
+        } else {
+          push1(TokenType::kGreater);
+        }
+        break;
+      case '|':
+        if (i + 1 < n && input[i + 1] == '|') {
+          tok.type = TokenType::kConcat;
+          tok.text = "||";
+          i += 2;
+          tokens.push_back(tok);
+        } else {
+          return error("unexpected '|'");
+        }
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.position = n;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace gsn::sql

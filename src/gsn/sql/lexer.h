@@ -1,0 +1,23 @@
+#ifndef GSN_SQL_LEXER_H_
+#define GSN_SQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "gsn/sql/token.h"
+#include "gsn/util/result.h"
+
+namespace gsn::sql {
+
+/// Tokenizes a SQL string. Supports line comments (`-- ...`), block
+/// comments (`/* ... */`), single-quoted string literals with ''
+/// escaping, double-quoted identifiers, and the operator set in
+/// TokenType. Returns the token stream terminated by kEof.
+Result<std::vector<Token>> Lex(std::string_view input);
+
+/// True if `word` (already uppercased) is a reserved SQL keyword.
+bool IsReservedKeyword(std::string_view upper_word);
+
+}  // namespace gsn::sql
+
+#endif  // GSN_SQL_LEXER_H_

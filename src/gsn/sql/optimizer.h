@@ -1,0 +1,41 @@
+#ifndef GSN_SQL_OPTIMIZER_H_
+#define GSN_SQL_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "gsn/sql/ast.h"
+#include "gsn/util/result.h"
+
+namespace gsn::sql {
+
+/// Rule-based rewrite pass run between parse and execute (the "query
+/// planning" stage of the paper's query processor). Current rules:
+///
+///   * constant folding — literal-only subtrees collapse to literals
+///     (`1 + 2*3` → `7`, `'a' || 'b'` → `'ab'`, `NOT TRUE` → `FALSE`);
+///   * boolean short-circuits — `x AND FALSE` → `FALSE`,
+///     `x AND TRUE` → `x`, `x OR TRUE` → `TRUE`, `x OR FALSE` → `x`
+///     (only when `x` cannot error: column refs and literals);
+///   * trivial-predicate elimination — a WHERE/HAVING that folds to
+///     TRUE is dropped; one that folds to FALSE/NULL is preserved (the
+///     executor then filters everything, keeping semantics).
+///
+/// Folding never performs an operation that could fail at runtime:
+/// division by zero and type errors are left in place so the executor
+/// reports them exactly as the unoptimized query would.
+Status Optimize(SelectStmt* stmt);
+
+/// Folds constants within one expression tree (exposed for tests).
+/// Returns true if the tree changed.
+Result<bool> FoldConstants(Expr* expr);
+
+/// Renders the execution pipeline for a statement — GSN's EXPLAIN.
+/// The output shows the FROM tree (scans, joins, derived tables), the
+/// filter, aggregation, set operations, ordering, and limits, one
+/// node per line with two-space indentation.
+std::string ExplainString(const SelectStmt& stmt);
+
+}  // namespace gsn::sql
+
+#endif  // GSN_SQL_OPTIMIZER_H_

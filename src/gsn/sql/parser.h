@@ -1,0 +1,26 @@
+#ifndef GSN_SQL_PARSER_H_
+#define GSN_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "gsn/sql/ast.h"
+#include "gsn/util/result.h"
+
+namespace gsn::sql {
+
+/// Parses a single SELECT statement (the only statement kind GSN's
+/// stream processing uses; inserts happen through the storage API).
+/// Supported surface, per paper §3: joins, subqueries (scalar, IN,
+/// EXISTS, derived tables), ordering, grouping/HAVING, set operations
+/// (UNION [ALL], INTERSECT, EXCEPT), DISTINCT, LIMIT/OFFSET, CASE,
+/// CAST, LIKE, BETWEEN, and the usual operator set.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql);
+
+/// Parses an expression in isolation (used by tests and by descriptor
+/// validation of filter predicates).
+Result<std::unique_ptr<Expr>> ParseExpression(std::string_view sql);
+
+}  // namespace gsn::sql
+
+#endif  // GSN_SQL_PARSER_H_

@@ -1,0 +1,51 @@
+#ifndef GSN_SQL_TOKEN_H_
+#define GSN_SQL_TOKEN_H_
+
+#include <string>
+
+namespace gsn::sql {
+
+/// Lexical token kinds. Keywords are recognized case-insensitively and
+/// carry their uppercase text.
+enum class TokenType {
+  kEof,
+  kIdentifier,       // temperature, src1, WRAPPER
+  kQuotedIdentifier, // "order"
+  kStringLiteral,    // 'bc143'
+  kIntegerLiteral,   // 42
+  kDoubleLiteral,    // 3.14
+  kKeyword,          // SELECT, FROM, ...
+  // Punctuation / operators.
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        // =
+  kNotEq,     // <> or !=
+  kLess,      // <
+  kLessEq,    // <=
+  kGreater,   // >
+  kGreaterEq, // >=
+  kConcat,    // ||
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;       // normalized: keywords uppercased
+  int64_t int_value = 0;  // valid for kIntegerLiteral
+  double double_value = 0.0;  // valid for kDoubleLiteral
+  size_t position = 0;    // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+}  // namespace gsn::sql
+
+#endif  // GSN_SQL_TOKEN_H_

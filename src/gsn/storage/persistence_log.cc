@@ -1,0 +1,140 @@
+#include "gsn/storage/persistence_log.h"
+
+#include <array>
+#include <memory>
+
+namespace gsn::storage {
+
+namespace {
+constexpr uint8_t kRecordMagic = 0xA7;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<std::unique_ptr<PersistenceLog>> PersistenceLog::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError("cannot open persistence log: " + path);
+  }
+  return std::unique_ptr<PersistenceLog>(new PersistenceLog(path, f));
+}
+
+PersistenceLog::~PersistenceLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status PersistenceLog::Append(const StreamElement& element) {
+  std::string payload;
+  Codec::EncodeElement(element, &payload);
+  std::string record;
+  record.reserve(payload.size() + 9);
+  record.push_back(static_cast<char>(kRecordMagic));
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    record.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  record += payload;
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) {
+    record.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IoError("short write to " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush failed for " + path_);
+  }
+  ++appended_;
+  return Status::OK();
+}
+
+size_t PersistenceLog::appended_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+Result<std::vector<StreamElement>> PersistenceLog::Recover(
+    const std::string& path, bool* truncated_tail) {
+  if (truncated_tail != nullptr) *truncated_tail = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    // A missing log is an empty history, not an error: first boot.
+    return std::vector<StreamElement>();
+  }
+  std::string contents;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+
+  std::vector<StreamElement> out;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    const size_t header_end = pos + 5;
+    if (header_end > contents.size()) break;  // torn header
+    if (static_cast<uint8_t>(contents[pos]) != kRecordMagic) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(
+                 static_cast<uint8_t>(contents[pos + 1 + i]))
+             << (8 * i);
+    }
+    const size_t payload_start = header_end;
+    const size_t record_end = payload_start + len + 4;
+    if (record_end > contents.size()) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;  // torn tail
+    }
+    uint32_t stored_crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored_crc |= static_cast<uint32_t>(static_cast<uint8_t>(
+                        contents[payload_start + len + i]))
+                    << (8 * i);
+    }
+    const std::string_view payload(contents.data() + payload_start, len);
+    if (Crc32(payload.data(), payload.size()) != stored_crc) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    Result<StreamElement> elem = Codec::DecodeElementFromString(payload);
+    if (!elem.ok()) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    out.push_back(*std::move(elem));
+    pos = record_end;
+  }
+  if (pos < contents.size() && truncated_tail != nullptr) {
+    *truncated_tail = true;
+  }
+  return out;
+}
+
+}  // namespace gsn::storage

@@ -1,0 +1,62 @@
+#ifndef GSN_STORAGE_PERSISTENCE_LOG_H_
+#define GSN_STORAGE_PERSISTENCE_LOG_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gsn/types/codec.h"
+#include "gsn/types/schema.h"
+#include "gsn/util/result.h"
+
+namespace gsn::storage {
+
+/// Append-only on-disk log of stream elements for one virtual sensor
+/// with `<storage permanent-storage="true">`. The Java GSN delegated
+/// durability to MySQL; here each permanent table owns one log file.
+///
+/// Record format: magic:u8 len:u32 payload crc32:u32, where payload is
+/// Codec::EncodeElement. Recovery stops at the first corrupt or
+/// truncated record (a torn tail write is expected after a crash) and
+/// reports how many records were recovered.
+class PersistenceLog {
+ public:
+  /// Opens (creating if needed) the log at `path` for appending.
+  static Result<std::unique_ptr<PersistenceLog>> Open(const std::string& path);
+
+  ~PersistenceLog();
+
+  PersistenceLog(const PersistenceLog&) = delete;
+  PersistenceLog& operator=(const PersistenceLog&) = delete;
+
+  /// Appends one element and flushes it to the OS.
+  Status Append(const StreamElement& element);
+
+  /// Reads every intact record from `path` (static: usable before
+  /// opening for append). `truncated_tail` reports whether recovery
+  /// stopped early due to a torn/corrupt record.
+  static Result<std::vector<StreamElement>> Recover(const std::string& path,
+                                                    bool* truncated_tail);
+
+  const std::string& path() const { return path_; }
+  /// Records appended through this handle.
+  size_t appended_count() const;
+
+ private:
+  PersistenceLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  const std::string path_;
+  std::FILE* file_;
+  mutable std::mutex mu_;
+  size_t appended_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) used for log records.
+uint32_t Crc32(const void* data, size_t len);
+
+}  // namespace gsn::storage
+
+#endif  // GSN_STORAGE_PERSISTENCE_LOG_H_

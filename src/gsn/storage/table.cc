@@ -1,0 +1,133 @@
+#include "gsn/storage/table.h"
+
+namespace gsn::storage {
+
+Table::Table(std::string name, Schema element_schema, WindowSpec retention)
+    : name_(std::move(name)),
+      element_schema_(std::move(element_schema)),
+      row_schema_(element_schema_.WithTimedField()),
+      retention_(retention) {}
+
+Status Table::Insert(const StreamElement& element) {
+  if (element.values.size() != element_schema_.size()) {
+    return Status::InvalidArgument(
+        "element arity " + std::to_string(element.values.size()) +
+        " != schema arity " + std::to_string(element_schema_.size()) +
+        " for table " + name_);
+  }
+  Relation::Row row;
+  row.reserve(element.values.size() + 1);
+  row.push_back(Value::TimestampVal(element.timed));
+  size_t bytes = 8;
+  for (const Value& v : element.values) {
+    bytes += v.PayloadBytes();
+    row.push_back(v);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.push_back(std::move(row));
+  approx_bytes_ += bytes;
+  EvictLocked(element.timed);
+  return Status::OK();
+}
+
+void Table::EvictLocked(Timestamp now) {
+  auto row_bytes = [](const Relation::Row& row) {
+    size_t b = 0;
+    for (const Value& v : row) b += v.PayloadBytes();
+    return b;
+  };
+  if (retention_.kind == WindowSpec::Kind::kCount) {
+    while (rows_.size() > static_cast<size_t>(retention_.count)) {
+      approx_bytes_ -= std::min(approx_bytes_, row_bytes(rows_.front()));
+      rows_.pop_front();
+    }
+  } else {
+    const Timestamp cutoff = now - retention_.duration_micros;
+    while (!rows_.empty() && rows_.front()[0].timestamp_value() <= cutoff) {
+      approx_bytes_ -= std::min(approx_bytes_, row_bytes(rows_.front()));
+      rows_.pop_front();
+    }
+  }
+}
+
+Relation Table::Scan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Relation rel(row_schema_);
+  rel.mutable_rows().assign(rows_.begin(), rows_.end());
+  return rel;
+}
+
+Relation Table::Scan(Timestamp now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Relation rel(row_schema_);
+  if (retention_.kind == WindowSpec::Kind::kCount) {
+    rel.mutable_rows().assign(rows_.begin(), rows_.end());
+    return rel;
+  }
+  const Timestamp cutoff = now - retention_.duration_micros;
+  for (const auto& row : rows_) {
+    if (row[0].timestamp_value() > cutoff) rel.mutable_rows().push_back(row);
+  }
+  return rel;
+}
+
+size_t Table::NumRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+size_t Table::ApproximateBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return approx_bytes_;
+}
+
+void Table::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.clear();
+  approx_bytes_ = 0;
+}
+
+Result<Table*> TableManager::CreateTable(const std::string& name,
+                                         Schema element_schema,
+                                         WindowSpec retention) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = StrToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table =
+      std::make_unique<Table>(name, std::move(element_schema), retention);
+  Table* ptr = table.get();
+  tables_[key] = std::move(table);
+  return ptr;
+}
+
+Status TableManager::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(StrToLower(name)) == 0) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::OK();
+}
+
+Result<Table*> TableManager::GetTableHandle(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(StrToLower(name));
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+std::vector<std::string> TableManager::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) out.push_back(table->name());
+  return out;
+}
+
+Result<Relation> TableManager::GetTable(const std::string& name) const {
+  GSN_ASSIGN_OR_RETURN(Table * table, GetTableHandle(name));
+  return table->Scan();
+}
+
+}  // namespace gsn::storage

@@ -1,0 +1,93 @@
+#ifndef GSN_STORAGE_TABLE_H_
+#define GSN_STORAGE_TABLE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gsn/sql/executor.h"
+#include "gsn/types/schema.h"
+#include "gsn/util/strings.h"
+
+namespace gsn::storage {
+
+/// A windowed stream table: the storage layer's unit of persistence
+/// for one virtual sensor's output (paper §4: "the storage layer ...
+/// is in charge of providing and managing persistent storage for data
+/// streams"; the `<storage size=...>` element bounds retention).
+/// Rows carry the implicit `timed` column first. Thread-safe.
+class Table {
+ public:
+  /// `retention` bounds how much history is kept (`<storage size>`),
+  /// element-count or time based.
+  Table(std::string name, Schema element_schema, WindowSpec retention);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Schema of stored rows: `timed` + the element schema.
+  const Schema& row_schema() const { return row_schema_; }
+  /// Schema of the sensor's elements (no `timed`).
+  const Schema& element_schema() const { return element_schema_; }
+
+  /// Appends a stream element; the element arity must match the
+  /// element schema. Retention is enforced using the element's own
+  /// timestamp as "now".
+  Status Insert(const StreamElement& element);
+
+  /// Snapshot of all live rows as a Relation (oldest first).
+  Relation Scan() const;
+  /// Snapshot respecting time-retention relative to `now`.
+  Relation Scan(Timestamp now) const;
+
+  size_t NumRows() const;
+  /// Total payload bytes currently held (for resource accounting).
+  size_t ApproximateBytes() const;
+  void Clear();
+
+ private:
+  void EvictLocked(Timestamp now);
+
+  const std::string name_;
+  const Schema element_schema_;
+  const Schema row_schema_;
+  const WindowSpec retention_;
+
+  mutable std::mutex mu_;
+  std::deque<Relation::Row> rows_;
+  size_t approx_bytes_ = 0;
+};
+
+/// Catalog of tables inside one GSN container; implements TableResolver
+/// so SQL queries can read any virtual sensor's stored stream by name.
+/// Thread-safe.
+class TableManager : public sql::TableResolver {
+ public:
+  TableManager() = default;
+
+  TableManager(const TableManager&) = delete;
+  TableManager& operator=(const TableManager&) = delete;
+
+  /// Creates a table; fails with AlreadyExists on name collision
+  /// (case-insensitive).
+  Result<Table*> CreateTable(const std::string& name, Schema element_schema,
+                             WindowSpec retention);
+  Status DropTable(const std::string& name);
+  Result<Table*> GetTableHandle(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+
+  // sql::TableResolver:
+  Result<Relation> GetTable(const std::string& name) const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // lowercased name
+};
+
+}  // namespace gsn::storage
+
+#endif  // GSN_STORAGE_TABLE_H_

@@ -1,0 +1,50 @@
+#include "gsn/storage/window_buffer.h"
+
+namespace gsn::storage {
+
+void WindowBuffer::Add(StreamElement element) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Timestamp now = element.timed;
+  elements_.push_back(std::move(element));
+  EvictLocked(now);
+}
+
+void WindowBuffer::EvictLocked(Timestamp now) {
+  if (spec_.kind == WindowSpec::Kind::kCount) {
+    while (elements_.size() > static_cast<size_t>(spec_.count)) {
+      elements_.pop_front();
+    }
+  } else {
+    const Timestamp cutoff = now - spec_.duration_micros;
+    while (!elements_.empty() && elements_.front().timed <= cutoff) {
+      elements_.pop_front();
+    }
+  }
+}
+
+std::vector<StreamElement> WindowBuffer::Snapshot(Timestamp now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StreamElement> out;
+  out.reserve(elements_.size());
+  if (spec_.kind == WindowSpec::Kind::kCount) {
+    out.assign(elements_.begin(), elements_.end());
+    return out;
+  }
+  const Timestamp cutoff = now - spec_.duration_micros;
+  for (const StreamElement& e : elements_) {
+    if (e.timed > cutoff) out.push_back(e);
+  }
+  return out;
+}
+
+size_t WindowBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return elements_.size();
+}
+
+void WindowBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  elements_.clear();
+}
+
+}  // namespace gsn::storage

@@ -1,0 +1,57 @@
+#ifndef GSN_STORAGE_WINDOW_BUFFER_H_
+#define GSN_STORAGE_WINDOW_BUFFER_H_
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "gsn/types/schema.h"
+#include "gsn/util/strings.h"
+
+namespace gsn::storage {
+
+/// Sliding window over a stream (paper §3 item 4: "a windowing
+/// mechanism which allows the user to define count- or time-based
+/// windows on data streams").
+///
+/// * Count windows retain the most recent N elements.
+/// * Time windows retain elements with `timed > now - duration`; expiry
+///   is evaluated lazily against the timestamp supplied to Snapshot()
+///   (and eagerly on Add, using the new element's timestamp), so the
+///   buffer works identically under virtual and wall-clock time.
+///
+/// Thread-safe.
+class WindowBuffer {
+ public:
+  explicit WindowBuffer(WindowSpec spec) : spec_(spec) {}
+
+  WindowBuffer(const WindowBuffer&) = delete;
+  WindowBuffer& operator=(const WindowBuffer&) = delete;
+
+  /// Inserts an element. Elements are expected in non-decreasing
+  /// timestamp order (the input stream manager guarantees arrival
+  /// order); out-of-order elements are accepted but expire based on
+  /// their own timestamps.
+  void Add(StreamElement element);
+
+  /// Contents of the window as of `now` (oldest first). For count
+  /// windows `now` is ignored.
+  std::vector<StreamElement> Snapshot(Timestamp now) const;
+
+  /// Number of elements currently buffered (before lazy time expiry).
+  size_t size() const;
+  void Clear();
+
+  const WindowSpec& spec() const { return spec_; }
+
+ private:
+  void EvictLocked(Timestamp now);
+
+  WindowSpec spec_;
+  mutable std::mutex mu_;
+  std::deque<StreamElement> elements_;
+};
+
+}  // namespace gsn::storage
+
+#endif  // GSN_STORAGE_WINDOW_BUFFER_H_

@@ -1,0 +1,280 @@
+#include "gsn/types/codec.h"
+
+#include <cstring>
+
+namespace gsn {
+
+namespace {
+
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagBool = 1;
+constexpr uint8_t kTagInt = 2;
+constexpr uint8_t kTagDouble = 3;
+constexpr uint8_t kTagString = 4;
+constexpr uint8_t kTagBinary = 5;
+constexpr uint8_t kTagTimestamp = 6;
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(int64_t v, std::string* out) {
+  const uint64_t u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+  }
+}
+
+void PutDouble(double v, std::string* out) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutI64(static_cast<int64_t>(bits), out);
+}
+
+void PutBytes(const void* data, size_t len, std::string* out) {
+  PutU32(static_cast<uint32_t>(len), out);
+  out->append(static_cast<const char*>(data), len);
+}
+
+Status Truncated() { return Status::ParseError("codec: truncated input"); }
+
+/// Validates a decoded repetition count against the bytes actually
+/// remaining: every encoded item needs at least one byte, so a count
+/// larger than the remaining input is corrupt. Prevents adversarial
+/// counts from triggering huge allocations before decoding fails.
+Status CheckCount(uint32_t count, std::string_view data, size_t pos) {
+  if (static_cast<size_t>(count) > data.size() - pos) {
+    return Status::ParseError("codec: implausible count " +
+                              std::to_string(count));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> GetU8(std::string_view data, size_t* pos) {
+  if (*pos + 1 > data.size()) return Truncated();
+  return static_cast<uint8_t>(data[(*pos)++]);
+}
+
+Result<uint32_t> GetU32(std::string_view data, size_t* pos) {
+  if (*pos + 4 > data.size()) return Truncated();
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 4;
+  return v;
+}
+
+Result<int64_t> GetI64(std::string_view data, size_t* pos) {
+  if (*pos + 8 > data.size()) return Truncated();
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  return static_cast<int64_t>(v);
+}
+
+Result<double> GetDouble(std::string_view data, size_t* pos) {
+  GSN_ASSIGN_OR_RETURN(int64_t bits, GetI64(data, pos));
+  double v;
+  const uint64_t u = static_cast<uint64_t>(bits);
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+Result<std::string> GetString(std::string_view data, size_t* pos) {
+  GSN_ASSIGN_OR_RETURN(uint32_t len, GetU32(data, pos));
+  if (*pos + len > data.size()) return Truncated();
+  std::string out(data.substr(*pos, len));
+  *pos += len;
+  return out;
+}
+
+}  // namespace
+
+void Codec::EncodeU32(uint32_t v, std::string* out) { PutU32(v, out); }
+void Codec::EncodeI64(int64_t v, std::string* out) { PutI64(v, out); }
+void Codec::EncodeString(std::string_view s, std::string* out) {
+  PutBytes(s.data(), s.size(), out);
+}
+Result<uint32_t> Codec::DecodeU32(std::string_view data, size_t* pos) {
+  return GetU32(data, pos);
+}
+Result<int64_t> Codec::DecodeI64(std::string_view data, size_t* pos) {
+  return GetI64(data, pos);
+}
+Result<std::string> Codec::DecodeString(std::string_view data, size_t* pos) {
+  return GetString(data, pos);
+}
+
+void Codec::EncodeValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    PutU8(kTagNull, out);
+  } else if (v.is_bool()) {
+    PutU8(kTagBool, out);
+    PutU8(v.bool_value() ? 1 : 0, out);
+  } else if (v.is_int()) {
+    PutU8(kTagInt, out);
+    PutI64(v.int_value(), out);
+  } else if (v.is_double()) {
+    PutU8(kTagDouble, out);
+    PutDouble(v.double_value(), out);
+  } else if (v.is_string()) {
+    PutU8(kTagString, out);
+    PutBytes(v.string_value().data(), v.string_value().size(), out);
+  } else if (v.is_binary()) {
+    PutU8(kTagBinary, out);
+    PutBytes(v.binary_value()->data(), v.binary_value()->size(), out);
+  } else {
+    PutU8(kTagTimestamp, out);
+    PutI64(v.timestamp_value(), out);
+  }
+}
+
+Result<Value> Codec::DecodeValue(std::string_view data, size_t* pos) {
+  GSN_ASSIGN_OR_RETURN(uint8_t tag, GetU8(data, pos));
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagBool: {
+      GSN_ASSIGN_OR_RETURN(uint8_t b, GetU8(data, pos));
+      return Value::Bool(b != 0);
+    }
+    case kTagInt: {
+      GSN_ASSIGN_OR_RETURN(int64_t v, GetI64(data, pos));
+      return Value::Int(v);
+    }
+    case kTagDouble: {
+      GSN_ASSIGN_OR_RETURN(double v, GetDouble(data, pos));
+      return Value::Double(v);
+    }
+    case kTagString: {
+      GSN_ASSIGN_OR_RETURN(std::string s, GetString(data, pos));
+      return Value::String(std::move(s));
+    }
+    case kTagBinary: {
+      GSN_ASSIGN_OR_RETURN(std::string s, GetString(data, pos));
+      return Value::Binary(MakeBlob(s));
+    }
+    case kTagTimestamp: {
+      GSN_ASSIGN_OR_RETURN(int64_t v, GetI64(data, pos));
+      return Value::TimestampVal(v);
+    }
+    default:
+      return Status::ParseError("codec: unknown value tag " +
+                                std::to_string(tag));
+  }
+}
+
+void Codec::EncodeElement(const StreamElement& e, std::string* out) {
+  PutI64(e.timed, out);
+  PutU32(static_cast<uint32_t>(e.values.size()), out);
+  for (const Value& v : e.values) EncodeValue(v, out);
+}
+
+Result<StreamElement> Codec::DecodeElement(std::string_view data,
+                                           size_t* pos) {
+  StreamElement e;
+  GSN_ASSIGN_OR_RETURN(e.timed, GetI64(data, pos));
+  GSN_ASSIGN_OR_RETURN(uint32_t count, GetU32(data, pos));
+  GSN_RETURN_IF_ERROR(CheckCount(count, data, *pos));
+  e.values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GSN_ASSIGN_OR_RETURN(Value v, DecodeValue(data, pos));
+    e.values.push_back(std::move(v));
+  }
+  return e;
+}
+
+void Codec::EncodeSchema(const Schema& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  for (const Field& f : s.fields()) {
+    PutBytes(f.name.data(), f.name.size(), out);
+    PutU8(static_cast<uint8_t>(f.type), out);
+  }
+}
+
+Result<Schema> Codec::DecodeSchema(std::string_view data, size_t* pos) {
+  GSN_ASSIGN_OR_RETURN(uint32_t count, GetU32(data, pos));
+  GSN_RETURN_IF_ERROR(CheckCount(count, data, *pos));
+  Schema s;
+  for (uint32_t i = 0; i < count; ++i) {
+    GSN_ASSIGN_OR_RETURN(std::string name, GetString(data, pos));
+    GSN_ASSIGN_OR_RETURN(uint8_t type, GetU8(data, pos));
+    if (type > static_cast<uint8_t>(DataType::kTimestamp)) {
+      return Status::ParseError("codec: bad data type " +
+                                std::to_string(type));
+    }
+    s.AddField(std::move(name), static_cast<DataType>(type));
+  }
+  return s;
+}
+
+void Codec::EncodeRelation(const Relation& r, std::string* out) {
+  EncodeSchema(r.schema(), out);
+  PutU32(static_cast<uint32_t>(r.NumRows()), out);
+  for (const auto& row : r.rows()) {
+    PutU32(static_cast<uint32_t>(row.size()), out);
+    for (const Value& v : row) EncodeValue(v, out);
+  }
+}
+
+Result<Relation> Codec::DecodeRelation(std::string_view data, size_t* pos) {
+  GSN_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(data, pos));
+  GSN_ASSIGN_OR_RETURN(uint32_t nrows, GetU32(data, pos));
+  GSN_RETURN_IF_ERROR(CheckCount(nrows, data, *pos));
+  Relation rel(std::move(schema));
+  for (uint32_t i = 0; i < nrows; ++i) {
+    GSN_ASSIGN_OR_RETURN(uint32_t count, GetU32(data, pos));
+    GSN_RETURN_IF_ERROR(CheckCount(count, data, *pos));
+    Relation::Row row;
+    row.reserve(count);
+    for (uint32_t j = 0; j < count; ++j) {
+      GSN_ASSIGN_OR_RETURN(Value v, DecodeValue(data, pos));
+      row.push_back(std::move(v));
+    }
+    GSN_RETURN_IF_ERROR(rel.AddRow(std::move(row)));
+  }
+  return rel;
+}
+
+std::string Codec::EncodeElementToString(const StreamElement& e) {
+  std::string out;
+  EncodeElement(e, &out);
+  return out;
+}
+
+Result<StreamElement> Codec::DecodeElementFromString(std::string_view data) {
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(StreamElement e, DecodeElement(data, &pos));
+  if (pos != data.size()) {
+    return Status::ParseError("codec: trailing bytes after element");
+  }
+  return e;
+}
+
+std::string Codec::EncodeRelationToString(const Relation& r) {
+  std::string out;
+  EncodeRelation(r, &out);
+  return out;
+}
+
+Result<Relation> Codec::DecodeRelationFromString(std::string_view data) {
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(Relation r, DecodeRelation(data, &pos));
+  if (pos != data.size()) {
+    return Status::ParseError("codec: trailing bytes after relation");
+  }
+  return r;
+}
+
+}  // namespace gsn

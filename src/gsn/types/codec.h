@@ -1,0 +1,58 @@
+#ifndef GSN_TYPES_CODEC_H_
+#define GSN_TYPES_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gsn/types/schema.h"
+#include "gsn/util/result.h"
+
+namespace gsn {
+
+/// Self-describing binary encoding for values, stream elements,
+/// schemas, and relations. Used by the persistence log (storage layer)
+/// and by inter-container messages in the network simulator — the two
+/// places the Java GSN relied on JDBC serialization and Java RMI.
+///
+/// Wire format (little-endian):
+///   value    := tag:u8 payload
+///   tag      := 0 null | 1 bool | 2 int | 3 double | 4 string
+///             | 5 binary | 6 timestamp
+///   string   := len:u32 bytes
+///   element  := timed:i64 count:u32 value*
+///   schema   := count:u32 (name:string type:u8)*
+///   relation := schema nrows:u32 (count:u32 value*)*
+class Codec {
+ public:
+  // -- Encoding (appends to `out`) ----------------------------------------
+  static void EncodeValue(const Value& v, std::string* out);
+  static void EncodeElement(const StreamElement& e, std::string* out);
+  static void EncodeSchema(const Schema& s, std::string* out);
+  static void EncodeRelation(const Relation& r, std::string* out);
+
+  // -- Decoding (advances `*pos`) ------------------------------------------
+  static Result<Value> DecodeValue(std::string_view data, size_t* pos);
+  static Result<StreamElement> DecodeElement(std::string_view data,
+                                             size_t* pos);
+  static Result<Schema> DecodeSchema(std::string_view data, size_t* pos);
+  static Result<Relation> DecodeRelation(std::string_view data, size_t* pos);
+
+  // -- Primitives (exposed for protocol messages in gsn/network) -----------
+  static void EncodeU32(uint32_t v, std::string* out);
+  static void EncodeI64(int64_t v, std::string* out);
+  static void EncodeString(std::string_view s, std::string* out);
+  static Result<uint32_t> DecodeU32(std::string_view data, size_t* pos);
+  static Result<int64_t> DecodeI64(std::string_view data, size_t* pos);
+  static Result<std::string> DecodeString(std::string_view data, size_t* pos);
+
+  // -- One-shot helpers -----------------------------------------------------
+  static std::string EncodeElementToString(const StreamElement& e);
+  static Result<StreamElement> DecodeElementFromString(std::string_view data);
+  static std::string EncodeRelationToString(const Relation& r);
+  static Result<Relation> DecodeRelationFromString(std::string_view data);
+};
+
+}  // namespace gsn
+
+#endif  // GSN_TYPES_CODEC_H_

@@ -1,0 +1,91 @@
+#include "gsn/types/schema.h"
+
+#include <sstream>
+
+#include "gsn/util/strings.h"
+
+namespace gsn {
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (StrEqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "' in (" +
+                          ToString() + ")");
+}
+
+bool Schema::Contains(std::string_view name) const {
+  return IndexOf(name).ok();
+}
+
+Schema Schema::WithTimedField() const {
+  if (Contains(kTimedField)) return *this;
+  Schema out;
+  out.AddField(std::string(kTimedField), DataType::kTimestamp);
+  for (const Field& f : fields_) out.fields_.push_back(f);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeName(fields_[i].type);
+  }
+  return out;
+}
+
+Status Relation::AddRow(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Relation Relation::FromElements(const Schema& element_schema,
+                                const std::vector<StreamElement>& elements) {
+  Relation rel(element_schema.WithTimedField());
+  rel.rows_.reserve(elements.size());
+  for (const StreamElement& e : elements) {
+    Row row;
+    row.reserve(e.values.size() + 1);
+    row.push_back(Value::TimestampVal(e.timed));
+    for (const Value& v : e.values) row.push_back(v);
+    rel.rows_.push_back(std::move(row));
+  }
+  return rel;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << schema_.field(i).name;
+  }
+  os << "\n";
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (i > 0) os << "-+-";
+    os << std::string(schema_.field(i).name.size(), '-');
+  }
+  os << "\n";
+  size_t shown = 0;
+  for (const Row& row : rows_) {
+    if (shown++ >= max_rows) {
+      os << "... (" << rows_.size() - max_rows << " more rows)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << " | ";
+      os << row[i].ToString();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gsn

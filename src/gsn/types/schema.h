@@ -1,0 +1,124 @@
+#ifndef GSN_TYPES_SCHEMA_H_
+#define GSN_TYPES_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gsn/types/value.h"
+#include "gsn/util/result.h"
+
+namespace gsn {
+
+/// One column in a stream or relation schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Name of the implicit timestamp attribute every stream element
+/// carries (paper §3: "implicit management of a timestamp attribute").
+/// SQL queries can reference it like any other column.
+inline constexpr std::string_view kTimedField = "timed";
+
+/// An ordered list of named, typed columns. Column lookup is
+/// case-insensitive, matching SQL identifier semantics.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  Schema(const Schema&) = default;
+  Schema& operator=(const Schema&) = default;
+  Schema(Schema&&) = default;
+  Schema& operator=(Schema&&) = default;
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  void AddField(std::string name, DataType type) {
+    fields_.push_back(Field{std::move(name), type});
+  }
+
+  /// Index of the column named `name` (case-insensitive), or error.
+  Result<size_t> IndexOf(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  /// A schema identical to this one but with `timed` prepended if it is
+  /// not already present. Used when materializing stream elements into
+  /// SQL-visible windows.
+  Schema WithTimedField() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// A stream element: the paper's "timestamped tuple" (§3). `values`
+/// align positionally with the producing sensor's output schema.
+struct StreamElement {
+  Timestamp timed = 0;
+  std::vector<Value> values;
+
+  /// Sum of payload bytes across values (stream element size, SES).
+  size_t PayloadBytes() const {
+    size_t n = 0;
+    for (const Value& v : values) n += v.PayloadBytes();
+    return n;
+  }
+};
+
+/// A materialized relation: the unit the SQL executor consumes and
+/// produces ("the resulting sets of relations are unnested into flat
+/// relations", paper §3).
+class Relation {
+ public:
+  using Row = std::vector<Value>;
+
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  Relation(const Relation&) = default;
+  Relation& operator=(const Relation&) = default;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends a row; must match the schema arity.
+  Status AddRow(Row row);
+
+  /// Converts a stream element (with its timestamp) into a row of this
+  /// relation, whose schema must be element-schema prefixed by `timed`.
+  static Relation FromElements(const Schema& element_schema,
+                               const std::vector<StreamElement>& elements);
+
+  /// Renders an ASCII table for examples and debugging.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gsn
+
+#endif  // GSN_TYPES_SCHEMA_H_

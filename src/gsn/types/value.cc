@@ -1,0 +1,204 @@
+#include "gsn/types/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "gsn/util/strings.h"
+
+namespace gsn {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "boolean";
+    case DataType::kInt:
+      return "integer";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kBinary:
+      return "binary";
+    case DataType::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+Result<DataType> ParseDataType(std::string_view name) {
+  const std::string n = StrToLower(StrTrim(name));
+  if (n == "bool" || n == "boolean") return DataType::kBool;
+  if (n == "int" || n == "integer" || n == "bigint" || n == "smallint" ||
+      n == "tinyint") {
+    return DataType::kInt;
+  }
+  if (n == "double" || n == "float" || n == "numeric" || n == "real" ||
+      n == "decimal") {
+    return DataType::kDouble;
+  }
+  if (n == "string" || n == "varchar" || n == "char" || n == "text") {
+    return DataType::kString;
+  }
+  if (n == "binary" || n == "blob" || n == "image" || n == "bytes") {
+    return DataType::kBinary;
+  }
+  if (n == "timestamp" || n == "time" || n == "timed") {
+    return DataType::kTimestamp;
+  }
+  return Status::ParseError("unknown data type: " + std::string(name));
+}
+
+Blob MakeBlob(std::vector<uint8_t> bytes) {
+  return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+}
+
+Blob MakeBlob(std::string_view bytes) {
+  return std::make_shared<const std::vector<uint8_t>>(bytes.begin(),
+                                                      bytes.end());
+}
+
+Result<double> Value::AsDouble() const {
+  if (is_double()) return double_value();
+  if (is_int()) return static_cast<double>(int_value());
+  if (is_bool()) return bool_value() ? 1.0 : 0.0;
+  if (is_timestamp()) return static_cast<double>(timestamp_value());
+  return Status::ExecutionError("value is not numeric: " + ToString());
+}
+
+Result<int64_t> Value::AsInt() const {
+  if (is_int()) return int_value();
+  if (is_double()) return static_cast<int64_t>(double_value());
+  if (is_bool()) return static_cast<int64_t>(bool_value() ? 1 : 0);
+  if (is_timestamp()) return timestamp_value();
+  return Status::ExecutionError("value is not numeric: " + ToString());
+}
+
+Result<DataType> Value::type() const {
+  if (is_bool()) return DataType::kBool;
+  if (is_int()) return DataType::kInt;
+  if (is_double()) return DataType::kDouble;
+  if (is_string()) return DataType::kString;
+  if (is_binary()) return DataType::kBinary;
+  if (is_timestamp()) return DataType::kTimestamp;
+  return Status::ExecutionError("NULL value has no type");
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null()) return Null();
+  switch (target) {
+    case DataType::kBool: {
+      if (is_bool()) return *this;
+      if (is_string()) {
+        GSN_ASSIGN_OR_RETURN(bool b, ParseBool(string_value()));
+        return Bool(b);
+      }
+      GSN_ASSIGN_OR_RETURN(int64_t i, AsInt());
+      return Bool(i != 0);
+    }
+    case DataType::kInt: {
+      if (is_int()) return *this;
+      if (is_string()) {
+        GSN_ASSIGN_OR_RETURN(int64_t i, ParseInt64(string_value()));
+        return Int(i);
+      }
+      GSN_ASSIGN_OR_RETURN(int64_t i, AsInt());
+      return Int(i);
+    }
+    case DataType::kDouble: {
+      if (is_double()) return *this;
+      if (is_string()) {
+        GSN_ASSIGN_OR_RETURN(double d, ParseDouble(string_value()));
+        return Double(d);
+      }
+      GSN_ASSIGN_OR_RETURN(double d, AsDouble());
+      return Double(d);
+    }
+    case DataType::kString:
+      if (is_string()) return *this;
+      return String(ToString());
+    case DataType::kBinary:
+      if (is_binary()) return *this;
+      if (is_string()) return Binary(MakeBlob(string_value()));
+      return Status::ExecutionError("cannot cast " + ToString() + " to binary");
+    case DataType::kTimestamp: {
+      if (is_timestamp()) return *this;
+      GSN_ASSIGN_OR_RETURN(int64_t i, AsInt());
+      return TimestampVal(i);
+    }
+  }
+  return Status::Internal("unhandled cast target");
+}
+
+namespace {
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  if (v.is_timestamp()) return 2;
+  if (v.is_string()) return 3;
+  return 4;  // binary
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const int ra = TypeRank(*this);
+  const int rb = TypeRank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;  // NULL == NULL for ordering purposes
+    case 1: {
+      // Compare ints exactly when both are ints to avoid precision loss.
+      if (is_int() && other.is_int()) {
+        const int64_t a = int_value();
+        const int64_t b = other.int_value();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      const double a = AsDouble().value_or(0.0);
+      const double b = other.AsDouble().value_or(0.0);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case 2: {
+      const Timestamp a = timestamp_value();
+      const Timestamp b = other.timestamp_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case 3: {
+      const int c = string_value().compare(other.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default: {
+      const auto& a = *binary_value();
+      const auto& b = *other.binary_value();
+      if (a == b) return 0;
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                          b.end())
+                 ? -1
+                 : 1;
+    }
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return bool_value() ? "true" : "false";
+  if (is_int()) return std::to_string(int_value());
+  if (is_double()) {
+    std::ostringstream os;
+    os << double_value();
+    return os.str();
+  }
+  if (is_string()) return string_value();
+  if (is_timestamp()) return "@" + std::to_string(timestamp_value());
+  return "<binary:" + std::to_string(binary_value()->size()) + "B>";
+}
+
+size_t Value::PayloadBytes() const {
+  if (is_null()) return 0;
+  if (is_bool()) return 1;
+  if (is_int() || is_double() || is_timestamp()) return 8;
+  if (is_string()) return string_value().size();
+  return binary_value()->size();
+}
+
+}  // namespace gsn

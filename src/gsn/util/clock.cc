@@ -1,0 +1,19 @@
+#include "gsn/util/clock.h"
+
+#include <chrono>
+
+namespace gsn {
+
+Timestamp SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::shared_ptr<SystemClock> SystemClock::Shared() {
+  static std::shared_ptr<SystemClock>* instance =
+      new std::shared_ptr<SystemClock>(std::make_shared<SystemClock>());
+  return *instance;
+}
+
+}  // namespace gsn

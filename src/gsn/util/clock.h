@@ -1,0 +1,58 @@
+#ifndef GSN_UTIL_CLOCK_H_
+#define GSN_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace gsn {
+
+/// Timestamps throughout GSN are microseconds since an arbitrary epoch.
+/// The paper (§3) gives every GSN container a local clock used to
+/// implicitly timestamp arriving stream elements; injecting the clock
+/// makes the whole pipeline deterministic under test.
+using Timestamp = int64_t;
+
+constexpr Timestamp kMicrosPerMilli = 1000;
+constexpr Timestamp kMicrosPerSecond = 1000 * kMicrosPerMilli;
+constexpr Timestamp kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr Timestamp kMicrosPerHour = 60 * kMicrosPerMinute;
+
+/// Abstract time source. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since this clock's epoch.
+  virtual Timestamp NowMicros() const = 0;
+};
+
+/// Wall-clock time (std::chrono::system_clock). Used by benchmarks and
+/// live deployments.
+class SystemClock : public Clock {
+ public:
+  Timestamp NowMicros() const override;
+  /// A process-wide shared instance.
+  static std::shared_ptr<SystemClock> Shared();
+};
+
+/// Manually advanced clock for deterministic tests and the network
+/// simulator. Starts at 0.
+class VirtualClock : public Clock {
+ public:
+  VirtualClock() : now_(0) {}
+  explicit VirtualClock(Timestamp start) : now_(start) {}
+
+  Timestamp NowMicros() const override { return now_.load(); }
+
+  /// Moves time forward by `delta_micros` (must be >= 0).
+  void Advance(Timestamp delta_micros) { now_ += delta_micros; }
+  /// Jumps to an absolute time (must not go backwards in normal use).
+  void SetTime(Timestamp t) { now_.store(t); }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+}  // namespace gsn
+
+#endif  // GSN_UTIL_CLOCK_H_

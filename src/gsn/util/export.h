@@ -1,0 +1,50 @@
+#ifndef GSN_UTIL_EXPORT_H_
+#define GSN_UTIL_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "gsn/types/schema.h"
+#include "gsn/util/result.h"
+
+namespace gsn {
+
+/// Result-set exporters and a terminal plotter — the stand-in for the
+/// Java GSN's "visualization systems for plotting data and visualizing
+/// the network structure" (paper §5) and for the web interface's data
+/// endpoints. Binary values are exported as "<binary:N>" placeholders
+/// (JSON/CSV consumers fetch blobs through the API, not inline).
+
+/// Renders a relation as a JSON array of objects:
+///   [{"timed": 100, "temperature": 22}, ...]
+/// Timestamps export as integers (microseconds); NULL as null.
+std::string RelationToJson(const Relation& relation);
+
+/// RFC-4180-style CSV with a header row; fields containing commas,
+/// quotes, or newlines are double-quoted.
+std::string RelationToCsv(const Relation& relation);
+
+/// Plots one numeric column of a relation against its `timed` column
+/// (or row index when no `timed` exists) as a fixed-size ASCII chart.
+/// Returns an error if the column is missing or non-numeric.
+Result<std::string> AsciiPlot(const Relation& relation,
+                              const std::string& value_column, int width = 60,
+                              int height = 12);
+
+/// Graphviz DOT rendering of a set of labelled edges — used to
+/// visualize the network structure (nodes and the sensors streaming
+/// between them).
+struct GraphEdge {
+  std::string from;
+  std::string to;
+  std::string label;
+};
+std::string EdgesToDot(const std::string& graph_name,
+                       const std::vector<GraphEdge>& edges);
+
+/// Escapes a string for inclusion in a JSON document (quotes added).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace gsn
+
+#endif  // GSN_UTIL_EXPORT_H_

@@ -1,0 +1,49 @@
+#ifndef GSN_UTIL_HASH_H_
+#define GSN_UTIL_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gsn {
+
+/// From-scratch SHA-256 (FIPS 180-4). The container's data-integrity
+/// layer (paper §4: "guarantees data integrity and confidentiality
+/// through electronic signatures") signs stream elements with
+/// HMAC-SHA256; no external crypto library is available offline.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Streaming interface.
+  void Update(const uint8_t* data, size_t len);
+  void Update(std::string_view data);
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(std::string_view data);
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+/// HMAC-SHA256 per RFC 2104.
+Sha256::Digest HmacSha256(std::string_view key, std::string_view message);
+std::string HmacSha256Hex(std::string_view key, std::string_view message);
+
+/// FNV-1a 64-bit, for non-cryptographic hashing (query cache keys etc.).
+uint64_t Fnv1a64(std::string_view data);
+
+}  // namespace gsn
+
+#endif  // GSN_UTIL_HASH_H_

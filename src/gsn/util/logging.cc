@@ -1,0 +1,52 @@
+#include "gsn/util/logging.h"
+
+#include <cstdio>
+
+namespace gsn {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::Instance() {
+  static Logger* instance = new Logger();
+  return *instance;
+}
+
+void Logger::set_min_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_level_;
+}
+
+void Logger::Log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level < min_level_) return;
+  std::fprintf(stderr, "[%s] [%s] %s\n", LevelName(level), component.c_str(),
+               message.c_str());
+  ++emitted_;
+}
+
+long Logger::emitted_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+}  // namespace gsn

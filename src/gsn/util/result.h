@@ -1,0 +1,76 @@
+#ifndef GSN_UTIL_RESULT_H_
+#define GSN_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "gsn/util/status.h"
+
+namespace gsn {
+
+/// A Status or a value of type T. The usual database-engine idiom:
+///
+///   Result<Plan> plan = Planner::Plan(stmt);
+///   if (!plan.ok()) return plan.status();
+///   Execute(*plan);
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK Status makes
+  /// GSN_RETURN/`return status;` work. A Status of kOk is a bug.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error Status to the caller.
+#define GSN_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto GSN_CONCAT_(_gsn_result_, __LINE__) = (expr); \
+  if (!GSN_CONCAT_(_gsn_result_, __LINE__).ok())     \
+    return GSN_CONCAT_(_gsn_result_, __LINE__).status(); \
+  lhs = std::move(GSN_CONCAT_(_gsn_result_, __LINE__)).value()
+
+#define GSN_CONCAT_INNER_(a, b) a##b
+#define GSN_CONCAT_(a, b) GSN_CONCAT_INNER_(a, b)
+
+}  // namespace gsn
+
+#endif  // GSN_UTIL_RESULT_H_

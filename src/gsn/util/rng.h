@@ -1,0 +1,42 @@
+#ifndef GSN_UTIL_RNG_H_
+#define GSN_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace gsn {
+
+/// Small deterministic PRNG (xorshift128+ seeded via splitmix64).
+/// All simulated devices and workload generators take an explicit seed
+/// so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool NextBool(double p);
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace gsn
+
+#endif  // GSN_UTIL_RNG_H_

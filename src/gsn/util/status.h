@@ -1,0 +1,115 @@
+#ifndef GSN_UTIL_STATUS_H_
+#define GSN_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gsn {
+
+/// Error categories used across the middleware. Mirrors the kinds of
+/// failures a GSN container has to report: bad descriptors, bad SQL,
+/// missing resources, stream-quality problems, and I/O.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kPlanError,
+  kExecutionError,
+  kResourceExhausted,
+  kUnavailable,
+  kPermissionDenied,
+  kIntegrityError,
+  kIoError,
+  kTimeout,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type operation outcome. GSN never throws across API
+/// boundaries; every fallible public function returns a Status or a
+/// Result<T>. Copyable and cheap when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status IntegrityError(std::string msg) {
+    return Status(StatusCode::kIntegrityError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK Status to the caller.
+#define GSN_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::gsn::Status _gsn_status = (expr);            \
+    if (!_gsn_status.ok()) return _gsn_status;     \
+  } while (0)
+
+}  // namespace gsn
+
+#endif  // GSN_UTIL_STATUS_H_

@@ -1,0 +1,61 @@
+#ifndef GSN_UTIL_STRINGS_H_
+#define GSN_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gsn/util/clock.h"
+#include "gsn/util/result.h"
+
+namespace gsn {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string StrTrim(std::string_view input);
+
+/// ASCII lower/upper-casing (locale-independent).
+std::string StrToLower(std::string_view input);
+std::string StrToUpper(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Case-insensitive ASCII equality.
+bool StrEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+bool StrEndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict integer/double parsing (whole string must be consumed).
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+Result<bool> ParseBool(std::string_view s);
+
+/// Parses GSN descriptor durations/window sizes: "500ms", "10s", "2m",
+/// "1h", or a bare integer (interpreted as a count, returned negated so
+/// callers can distinguish count windows from time windows — see
+/// ParseWindowSpec for the typed variant).
+Result<Timestamp> ParseDurationMicros(std::string_view s);
+
+/// A `<storage size=...>` / `storage-size=...` specification: either a
+/// time-based window ("10s", "1h") or a count-based window ("100").
+struct WindowSpec {
+  enum class Kind { kTime, kCount };
+  Kind kind = Kind::kTime;
+  Timestamp duration_micros = 0;  // valid iff kind == kTime
+  int64_t count = 0;              // valid iff kind == kCount
+};
+
+Result<WindowSpec> ParseWindowSpec(std::string_view s);
+
+/// Lowercase hex encoding of arbitrary bytes.
+std::string HexEncode(const uint8_t* data, size_t len);
+
+}  // namespace gsn
+
+#endif  // GSN_UTIL_STRINGS_H_

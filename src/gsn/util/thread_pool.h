@@ -1,0 +1,54 @@
+#ifndef GSN_UTIL_THREAD_POOL_H_
+#define GSN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gsn {
+
+/// Fixed-size worker pool. The paper's `<life-cycle pool-size="10"/>`
+/// element controls "the number of threads available for processing" of
+/// a virtual sensor; each deployed sensor gets a ThreadPool of that
+/// size from the life-cycle manager.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution. Returns false if the pool has been
+  /// shut down.
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until all queued and running tasks have finished.
+  void Wait();
+
+  /// Stops accepting tasks, drains the queue, joins the workers.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  /// Tasks currently queued (not yet running).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gsn
+
+#endif  // GSN_UTIL_THREAD_POOL_H_

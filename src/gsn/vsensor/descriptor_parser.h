@@ -1,0 +1,42 @@
+#ifndef GSN_VSENSOR_DESCRIPTOR_PARSER_H_
+#define GSN_VSENSOR_DESCRIPTOR_PARSER_H_
+
+#include <string_view>
+
+#include "gsn/util/result.h"
+#include "gsn/vsensor/spec.h"
+
+namespace gsn::vsensor {
+
+/// Parses an XML deployment descriptor (paper Fig 1) into a validated
+/// VirtualSensorSpec. Expected shape:
+///
+///   <virtual-sensor name="room-monitor">
+///     <metadata>
+///       <predicate key="type" val="temperature" />
+///     </metadata>
+///     <life-cycle pool-size="10" lifetime="1h" />
+///     <output-structure>
+///       <field name="TEMPERATURE" type="integer" />
+///     </output-structure>
+///     <storage permanent-storage="true" size="10s" />
+///     <input-stream name="dummy" rate="100">
+///       <stream-source alias="src1" sampling-rate="1"
+///                      storage-size="1h" disconnect-buffer="10">
+///         <address wrapper="remote">
+///           <predicate key="type" val="temperature" />
+///           <predicate key="location" val="bc143" />
+///         </address>
+///         <query>select avg(temperature) from WRAPPER</query>
+///       </stream-source>
+///       <query>select * from src1</query>
+///     </input-stream>
+///   </virtual-sensor>
+Result<VirtualSensorSpec> ParseDescriptor(std::string_view xml_text);
+
+/// Reads and parses a descriptor file.
+Result<VirtualSensorSpec> ParseDescriptorFile(const std::string& path);
+
+}  // namespace gsn::vsensor
+
+#endif  // GSN_VSENSOR_DESCRIPTOR_PARSER_H_

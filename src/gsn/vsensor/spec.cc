@@ -1,0 +1,173 @@
+#include "gsn/vsensor/spec.h"
+
+#include <set>
+
+#include "gsn/sql/parser.h"
+#include "gsn/xml/xml.h"
+
+namespace gsn::vsensor {
+
+Status VirtualSensorSpec::Validate() const {
+  if (name.empty()) {
+    return Status::InvalidArgument("virtual sensor has no name");
+  }
+  if (output_structure.empty()) {
+    return Status::InvalidArgument("virtual sensor '" + name +
+                                   "' has an empty output structure");
+  }
+  if (input_streams.empty()) {
+    return Status::InvalidArgument("virtual sensor '" + name +
+                                   "' has no input streams");
+  }
+  if (life_cycle.pool_size < 1) {
+    return Status::InvalidArgument("virtual sensor '" + name +
+                                   "' pool-size must be >= 1");
+  }
+  std::set<std::string> stream_names;
+  for (const InputStreamSpec& stream : input_streams) {
+    if (stream.name.empty()) {
+      return Status::InvalidArgument("virtual sensor '" + name +
+                                     "' has an unnamed input stream");
+    }
+    if (!stream_names.insert(StrToLower(stream.name)).second) {
+      return Status::InvalidArgument("duplicate input stream name '" +
+                                     stream.name + "' in " + name);
+    }
+    if (stream.sources.empty()) {
+      return Status::InvalidArgument("input stream '" + stream.name +
+                                     "' has no stream sources");
+    }
+    if (stream.query.empty()) {
+      return Status::InvalidArgument("input stream '" + stream.name +
+                                     "' has no query");
+    }
+    if (stream.max_rate < 0) {
+      return Status::InvalidArgument("input stream '" + stream.name +
+                                     "' has negative rate");
+    }
+    Result<std::unique_ptr<sql::SelectStmt>> parsed =
+        sql::ParseSelect(stream.query);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("input stream '" + stream.name +
+                                     "' query invalid: " +
+                                     parsed.status().message());
+    }
+    std::set<std::string> aliases;
+    for (const StreamSourceSpec& source : stream.sources) {
+      if (source.alias.empty()) {
+        return Status::InvalidArgument("stream source without alias in '" +
+                                       stream.name + "'");
+      }
+      if (!aliases.insert(StrToLower(source.alias)).second) {
+        return Status::InvalidArgument("duplicate source alias '" +
+                                       source.alias + "' in stream '" +
+                                       stream.name + "'");
+      }
+      if (source.sampling_rate <= 0.0 || source.sampling_rate > 1.0) {
+        return Status::InvalidArgument("source '" + source.alias +
+                                       "' sampling-rate must be in (0,1]");
+      }
+      if (source.disconnect_buffer < 0) {
+        return Status::InvalidArgument("source '" + source.alias +
+                                       "' disconnect-buffer must be >= 0");
+      }
+      if (source.address.wrapper.empty()) {
+        return Status::InvalidArgument("source '" + source.alias +
+                                       "' has no wrapper");
+      }
+      Result<std::unique_ptr<sql::SelectStmt>> source_query =
+          sql::ParseSelect(source.query);
+      if (!source_query.ok()) {
+        return Status::InvalidArgument(
+            "source '" + source.alias +
+            "' query invalid: " + source_query.status().message());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string VirtualSensorSpec::ToXml() const {
+  xml::Element root("virtual-sensor");
+  root.SetAttr("name", name);
+
+  if (!metadata.empty()) {
+    xml::Element* meta = root.AddChild("metadata");
+    for (const auto& [key, val] : metadata) {
+      xml::Element* p = meta->AddChild("predicate");
+      p->SetAttr("key", key);
+      p->SetAttr("val", val);
+    }
+  }
+
+  xml::Element* lc = root.AddChild("life-cycle");
+  lc->SetAttr("pool-size", std::to_string(life_cycle.pool_size));
+  if (life_cycle.lifetime_micros > 0) {
+    lc->SetAttr("lifetime",
+                std::to_string(life_cycle.lifetime_micros / kMicrosPerMilli) +
+                    "ms");
+  }
+
+  xml::Element* os = root.AddChild("output-structure");
+  for (const Field& f : output_structure.fields()) {
+    xml::Element* field = os->AddChild("field");
+    field->SetAttr("name", f.name);
+    field->SetAttr("type", DataTypeName(f.type));
+  }
+
+  xml::Element* st = root.AddChild("storage");
+  st->SetAttr("permanent-storage", permanent_str());
+  st->SetAttr("size", window_str(storage.history));
+
+  for (const InputStreamSpec& stream : input_streams) {
+    xml::Element* is = root.AddChild("input-stream");
+    is->SetAttr("name", stream.name);
+    if (stream.max_rate > 0) {
+      is->SetAttr("rate", std::to_string(stream.max_rate));
+    }
+    for (const StreamSourceSpec& source : stream.sources) {
+      xml::Element* ss = is->AddChild("stream-source");
+      ss->SetAttr("alias", source.alias);
+      ss->SetAttr("sampling-rate", std::to_string(source.sampling_rate));
+      ss->SetAttr("storage-size", window_str(source.window));
+      if (source.disconnect_buffer > 0) {
+        ss->SetAttr("disconnect-buffer",
+                    std::to_string(source.disconnect_buffer));
+      }
+      if (source.fill_missing_with_last) {
+        ss->SetAttr("fill-missing", "last");
+      }
+      xml::Element* addr = ss->AddChild("address");
+      addr->SetAttr("wrapper", source.address.wrapper);
+      for (const auto& [key, val] : source.address.predicates) {
+        xml::Element* p = addr->AddChild("predicate");
+        p->SetAttr("key", key);
+        p->SetAttr("val", val);
+      }
+      ss->AddChild("query")->set_text(source.query);
+    }
+    is->AddChild("query")->set_text(stream.query);
+  }
+  return root.ToString();
+}
+
+std::string VirtualSensorSpec::permanent_str() const {
+  return storage.permanent ? "true" : "false";
+}
+
+std::string VirtualSensorSpec::window_str(const WindowSpec& w) {
+  if (w.kind == WindowSpec::Kind::kCount) return std::to_string(w.count);
+  const Timestamp d = w.duration_micros;
+  if (d % kMicrosPerHour == 0 && d > 0) {
+    return std::to_string(d / kMicrosPerHour) + "h";
+  }
+  if (d % kMicrosPerMinute == 0 && d > 0) {
+    return std::to_string(d / kMicrosPerMinute) + "m";
+  }
+  if (d % kMicrosPerSecond == 0 && d > 0) {
+    return std::to_string(d / kMicrosPerSecond) + "s";
+  }
+  return std::to_string(d / kMicrosPerMilli) + "ms";
+}
+
+}  // namespace gsn::vsensor

@@ -1,0 +1,96 @@
+#ifndef GSN_VSENSOR_SPEC_H_
+#define GSN_VSENSOR_SPEC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gsn/types/schema.h"
+#include "gsn/util/strings.h"
+
+namespace gsn::vsensor {
+
+/// `<address wrapper="...">` with its `<predicate>` children: selects
+/// and parameterizes the wrapper for one stream source. For
+/// wrapper="remote" the predicates are the logical address resolved
+/// against the peer-to-peer directory (paper §2: "thus logical
+/// addressing is possible").
+struct AddressSpec {
+  std::string wrapper;
+  std::map<std::string, std::string> predicates;
+};
+
+/// `<stream-source>`: one input data source of an input stream.
+struct StreamSourceSpec {
+  std::string alias;            // SQL-visible name of the temp relation
+  double sampling_rate = 1.0;   // admit each element with this probability
+  WindowSpec window;            // storage-size: count- or time-based window
+  int64_t disconnect_buffer = 0;  // elements buffered while disconnected
+  /// Stream-quality repair for missing values (paper §4: the input
+  /// stream manager handles "missing values"): when true, NULLs in an
+  /// admitted element are replaced by the last non-NULL value seen in
+  /// the same column (descriptor attribute fill-missing="last").
+  bool fill_missing_with_last = false;
+  AddressSpec address;
+  /// SQL over the reserved relation WRAPPER (the source's window).
+  std::string query = "select * from wrapper";
+};
+
+/// `<input-stream>`: a named group of sources plus the SQL combining
+/// them into the virtual sensor's output.
+struct InputStreamSpec {
+  std::string name;
+  /// Maximum output elements per second produced by this stream; 0 =
+  /// unbounded (paper §3: "bounding the rate of a data stream in order
+  /// to avoid overloads").
+  double max_rate = 0.0;
+  std::vector<StreamSourceSpec> sources;
+  /// SQL over the source aliases; each result row becomes one output
+  /// stream element.
+  std::string query;
+};
+
+/// `<life-cycle>`: runtime resource envelope.
+struct LifeCycleSpec {
+  int pool_size = 1;  // processing threads reserved for this sensor
+  /// Sensor is undeployed this long after start; 0 = unbounded (paper
+  /// §3: "bounding the lifetime of a data stream in order to reserve
+  /// resources only when they are needed").
+  Timestamp lifetime_micros = 0;
+};
+
+/// `<storage>`: output stream retention.
+struct StorageSpec {
+  bool permanent = false;  // mirror output to the persistence log
+  WindowSpec history;      // size= : how much output history SQL can see
+};
+
+/// A parsed virtual sensor deployment descriptor (paper §2): everything
+/// needed to deploy and use the sensor.
+struct VirtualSensorSpec {
+  std::string name;
+  /// User-definable key/value metadata published in the directory for
+  /// discovery (paper §4), e.g. type=temperature, location=bc143.
+  std::map<std::string, std::string> metadata;
+  LifeCycleSpec life_cycle;
+  Schema output_structure;
+  StorageSpec storage;
+  std::vector<InputStreamSpec> input_streams;
+
+  /// Structural validation beyond what parsing enforces: non-empty
+  /// name/output structure/streams, unique aliases, parseable SQL.
+  Status Validate() const;
+
+  /// Serializes back to descriptor XML (management interface round-trip).
+  std::string ToXml() const;
+
+  /// Renders a WindowSpec in descriptor syntax ("1h", "500ms", "100").
+  static std::string window_str(const WindowSpec& w);
+
+ private:
+  std::string permanent_str() const;
+};
+
+}  // namespace gsn::vsensor
+
+#endif  // GSN_VSENSOR_SPEC_H_

@@ -1,0 +1,108 @@
+#include "gsn/vsensor/stream_source.h"
+
+namespace gsn::vsensor {
+
+StreamSource::StreamSource(StreamSourceSpec spec,
+                           std::unique_ptr<wrappers::Wrapper> wrapper,
+                           uint64_t seed)
+    : spec_(std::move(spec)),
+      wrapper_(std::move(wrapper)),
+      window_(spec_.window),
+      rng_(seed) {}
+
+Result<std::vector<StreamElement>> StreamSource::Poll(Timestamp now) {
+  GSN_ASSIGN_OR_RETURN(std::vector<StreamElement> produced,
+                       wrapper_->Poll(now));
+  std::vector<StreamElement> admitted;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Replay buffered elements first if we just reconnected.
+  if (connected_ && !disconnect_buffer_.empty()) {
+    for (StreamElement& e : disconnect_buffer_) {
+      window_.Add(e);
+      admitted.push_back(std::move(e));
+      ++admitted_;
+    }
+    disconnect_buffer_.clear();
+  }
+
+  for (StreamElement& e : produced) {
+    // Sampling happens before buffering: a sampled-out element is gone
+    // regardless of link state.
+    if (spec_.sampling_rate < 1.0 && !rng_.NextBool(spec_.sampling_rate)) {
+      ++sampled_out_;
+      continue;
+    }
+    // Missing-value repair (paper §4): substitute the last non-NULL
+    // value seen per column, and remember fresh values.
+    if (spec_.fill_missing_with_last) {
+      if (last_known_.size() < e.values.size()) {
+        last_known_.resize(e.values.size(), Value::Null());
+      }
+      for (size_t i = 0; i < e.values.size(); ++i) {
+        if (e.values[i].is_null()) {
+          if (!last_known_[i].is_null()) {
+            e.values[i] = last_known_[i];
+            ++filled_missing_;
+          }
+        } else {
+          last_known_[i] = e.values[i];
+        }
+      }
+    }
+    if (!connected_) {
+      if (spec_.disconnect_buffer > 0) {
+        disconnect_buffer_.push_back(std::move(e));
+        while (disconnect_buffer_.size() >
+               static_cast<size_t>(spec_.disconnect_buffer)) {
+          disconnect_buffer_.pop_front();
+          ++dropped_disconnected_;
+        }
+      } else {
+        ++dropped_disconnected_;
+      }
+      continue;
+    }
+    window_.Add(e);
+    admitted.push_back(std::move(e));
+    ++admitted_;
+  }
+  return admitted;
+}
+
+Relation StreamSource::WindowRelation(Timestamp now) const {
+  return Relation::FromElements(wrapper_->output_schema(),
+                                window_.Snapshot(now));
+}
+
+void StreamSource::SetConnected(bool connected) {
+  std::lock_guard<std::mutex> lock(mu_);
+  connected_ = connected;
+}
+
+bool StreamSource::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connected_;
+}
+
+int64_t StreamSource::admitted_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+int64_t StreamSource::sampled_out_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_out_;
+}
+
+int64_t StreamSource::dropped_disconnected_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_disconnected_;
+}
+
+int64_t StreamSource::filled_missing_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filled_missing_;
+}
+
+}  // namespace gsn::vsensor

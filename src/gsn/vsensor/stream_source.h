@@ -1,0 +1,81 @@
+#ifndef GSN_VSENSOR_STREAM_SOURCE_H_
+#define GSN_VSENSOR_STREAM_SOURCE_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "gsn/storage/window_buffer.h"
+#include "gsn/util/rng.h"
+#include "gsn/vsensor/spec.h"
+#include "gsn/wrappers/wrapper.h"
+
+namespace gsn::vsensor {
+
+/// One running stream source: a wrapper plus the stream-quality
+/// machinery of the input stream manager (paper §4: "the input stream
+/// manager ... manages the input streams and ensures stream quality
+/// (disconnections, unexpected delays, missing values)").
+///
+/// Per element, in order:
+///   1. sampling  — admit with probability `sampling-rate` (paper §3:
+///      "sampling of data streams in order to reduce the data rate");
+///   2. disconnect handling — while disconnected, admitted elements go
+///      to a bounded FIFO (`disconnect-buffer`); on reconnect they are
+///      replayed ahead of new data, oldest dropped on overflow;
+///   3. windowing — admitted elements enter the source's count/time
+///      window, the relation its SQL sees as WRAPPER.
+class StreamSource {
+ public:
+  StreamSource(StreamSourceSpec spec, std::unique_ptr<wrappers::Wrapper> wrapper,
+               uint64_t seed);
+
+  StreamSource(const StreamSource&) = delete;
+  StreamSource& operator=(const StreamSource&) = delete;
+
+  Status Start() { return wrapper_->Start(); }
+  void Stop() { wrapper_->Stop(); }
+
+  /// Polls the wrapper and runs the admission pipeline. Returns the
+  /// elements newly admitted to the window at this poll (the pipeline
+  /// triggers on them).
+  Result<std::vector<StreamElement>> Poll(Timestamp now);
+
+  /// The window contents as a flat relation (schema: timed + wrapper
+  /// schema), i.e. the WRAPPER relation of the source query.
+  Relation WindowRelation(Timestamp now) const;
+
+  /// Simulates link loss/recovery for this source.
+  void SetConnected(bool connected);
+  bool connected() const;
+
+  const StreamSourceSpec& spec() const { return spec_; }
+  const wrappers::Wrapper& wrapper() const { return *wrapper_; }
+  wrappers::Wrapper* mutable_wrapper() { return wrapper_.get(); }
+
+  // -- Stream-quality counters ------------------------------------------
+  int64_t admitted_count() const;
+  int64_t sampled_out_count() const;
+  int64_t dropped_disconnected_count() const;
+  int64_t filled_missing_count() const;
+
+ private:
+  const StreamSourceSpec spec_;
+  std::unique_ptr<wrappers::Wrapper> wrapper_;
+  storage::WindowBuffer window_;
+  Rng rng_;
+
+  mutable std::mutex mu_;
+  bool connected_ = true;
+  std::deque<StreamElement> disconnect_buffer_;
+  int64_t admitted_ = 0;
+  int64_t sampled_out_ = 0;
+  int64_t dropped_disconnected_ = 0;
+  int64_t filled_missing_ = 0;
+  /// Last non-NULL value per column (fill-missing="last").
+  std::vector<Value> last_known_;
+};
+
+}  // namespace gsn::vsensor
+
+#endif  // GSN_VSENSOR_STREAM_SOURCE_H_

@@ -1,0 +1,250 @@
+#include "gsn/vsensor/virtual_sensor.h"
+
+#include <chrono>
+
+#include "gsn/sql/parser.h"
+#include "gsn/util/logging.h"
+
+namespace gsn::vsensor {
+
+namespace {
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+VirtualSensor::VirtualSensor(
+    VirtualSensorSpec spec,
+    std::vector<std::vector<std::unique_ptr<StreamSource>>> sources,
+    std::shared_ptr<Clock> clock)
+    : spec_(std::move(spec)), clock_(std::move(clock)) {
+  streams_.resize(spec_.input_streams.size());
+  for (size_t i = 0; i < spec_.input_streams.size(); ++i) {
+    StreamRuntime& rt = streams_[i];
+    rt.spec = &spec_.input_streams[i];
+    if (i < sources.size()) rt.sources = std::move(sources[i]);
+    // Queries were validated by spec.Validate(); parse failures here
+    // would be programmer error.
+    Result<std::unique_ptr<sql::SelectStmt>> q =
+        sql::ParseSelect(rt.spec->query);
+    if (q.ok()) rt.query = *std::move(q);
+    for (const StreamSourceSpec& src : rt.spec->sources) {
+      Result<std::unique_ptr<sql::SelectStmt>> sq =
+          sql::ParseSelect(src.query);
+      rt.source_queries.push_back(sq.ok() ? *std::move(sq) : nullptr);
+    }
+    // Rate bound: allow an initial burst of one element.
+    rt.tokens = rt.spec->max_rate > 0 ? 1.0 : 0.0;
+  }
+}
+
+Status VirtualSensor::Start() {
+  for (StreamRuntime& stream : streams_) {
+    for (auto& source : stream.sources) {
+      GSN_RETURN_IF_ERROR(source->Start());
+    }
+  }
+  GSN_LOG(kInfo, "vsensor") << "started '" << spec_.name << "' with "
+                            << streams_.size() << " input stream(s)";
+  return Status::OK();
+}
+
+void VirtualSensor::Stop() {
+  for (StreamRuntime& stream : streams_) {
+    for (auto& source : stream.sources) source->Stop();
+  }
+}
+
+void VirtualSensor::AddListener(OutputListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+StreamSource* VirtualSensor::FindSource(const std::string& stream_name,
+                                        const std::string& alias) {
+  for (StreamRuntime& stream : streams_) {
+    if (!StrEqualsIgnoreCase(stream.spec->name, stream_name)) continue;
+    for (auto& source : stream.sources) {
+      if (StrEqualsIgnoreCase(source->spec().alias, alias)) {
+        return source.get();
+      }
+    }
+  }
+  return nullptr;
+}
+
+VirtualSensor::Stats VirtualSensor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Result<int> VirtualSensor::Tick(Timestamp now) {
+  int produced = 0;
+  for (StreamRuntime& stream : streams_) {
+    // Poll every source; any admitted element triggers the pipeline
+    // (paper §3: "the production of a new output stream element ... is
+    // always triggered by the arrival of a data stream element from
+    // one of its input streams").
+    bool triggered = false;
+    for (auto& source : stream.sources) {
+      GSN_ASSIGN_OR_RETURN(std::vector<StreamElement> admitted,
+                           source->Poll(now));
+      if (!admitted.empty()) triggered = true;
+    }
+    if (!triggered) continue;
+
+    const int64_t t0 = SteadyNowMicros();
+    Result<int> n = ProcessStream(&stream, now);
+    const int64_t elapsed = SteadyNowMicros() - t0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.triggers;
+      stats_.last_processing_micros = elapsed;
+      stats_.total_processing_micros += elapsed;
+      if (!n.ok()) {
+        ++stats_.errors;
+      } else {
+        stats_.produced += *n;
+      }
+    }
+    if (!n.ok()) {
+      GSN_LOG(kWarn, "vsensor")
+          << "'" << spec_.name << "' stream '" << stream.spec->name
+          << "' failed: " << n.status().ToString();
+      continue;
+    }
+    produced += *n;
+  }
+  return produced;
+}
+
+Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream,
+                                         Timestamp now) {
+  if (stream->query == nullptr) {
+    return Status::Internal("stream query not parsed for '" +
+                            stream->spec->name + "'");
+  }
+
+  // Steps 2+3: window selection and per-source queries into temporary
+  // relations named by alias.
+  sql::MapResolver temp_relations;
+  for (size_t i = 0; i < stream->sources.size(); ++i) {
+    StreamSource* source = stream->sources[i].get();
+    sql::MapResolver wrapper_relation;
+    wrapper_relation.Put("wrapper", source->WindowRelation(now));
+    sql::Executor source_exec(&wrapper_relation);
+    if (stream->source_queries[i] == nullptr) {
+      return Status::Internal("source query not parsed for alias '" +
+                              source->spec().alias + "'");
+    }
+    GSN_ASSIGN_OR_RETURN(Relation temp,
+                         source_exec.Execute(*stream->source_queries[i]));
+    temp_relations.Put(source->spec().alias, std::move(temp));
+  }
+
+  // Step 4: the input stream query over the temporaries.
+  sql::Executor stream_exec(&temp_relations);
+  GSN_ASSIGN_OR_RETURN(Relation result, stream_exec.Execute(*stream->query));
+
+  // Step 5: map rows to the output structure, rate-bound, notify.
+  // Refill the token bucket (burst capacity: one second of tokens).
+  if (stream->spec->max_rate > 0) {
+    if (stream->last_refill == 0) stream->last_refill = now;
+    const double elapsed_sec =
+        static_cast<double>(now - stream->last_refill) / kMicrosPerSecond;
+    stream->tokens = std::min(stream->spec->max_rate,
+                              stream->tokens +
+                                  elapsed_sec * stream->spec->max_rate);
+    stream->last_refill = now;
+  }
+
+  int produced = 0;
+  for (const Relation::Row& row : result.rows()) {
+    if (stream->spec->max_rate > 0) {
+      if (stream->tokens < 1.0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rate_limited;
+        continue;
+      }
+      stream->tokens -= 1.0;
+    }
+    GSN_ASSIGN_OR_RETURN(StreamElement element,
+                         MapToOutput(result.schema(), row, now));
+    std::vector<OutputListener> listeners;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      listeners = listeners_;
+    }
+    for (const OutputListener& listener : listeners) {
+      listener(*this, element);
+    }
+    ++produced;
+  }
+  return produced;
+}
+
+Result<StreamElement> VirtualSensor::MapToOutput(const Schema& result_schema,
+                                                 const Relation::Row& row,
+                                                 Timestamp now) {
+  StreamElement element;
+  // Step 1 (for the output stream): stamp with the local clock unless
+  // the query propagated a `timed` column (then observation time wins).
+  element.timed = now;
+  Result<size_t> timed_idx = result_schema.IndexOf(kTimedField);
+  if (timed_idx.ok() && row[*timed_idx].is_timestamp()) {
+    element.timed = row[*timed_idx].timestamp_value();
+  }
+
+  // Columns eligible for positional mapping (everything but `timed`).
+  std::vector<size_t> non_timed_cols;
+  for (size_t i = 0; i < result_schema.size(); ++i) {
+    if (!StrEqualsIgnoreCase(result_schema.field(i).name, kTimedField)) {
+      non_timed_cols.push_back(i);
+    }
+  }
+  const bool positional_ok =
+      non_timed_cols.size() == spec_.output_structure.size();
+
+  element.values.reserve(spec_.output_structure.size());
+  for (size_t field_idx = 0; field_idx < spec_.output_structure.size();
+       ++field_idx) {
+    const Field& field = spec_.output_structure.field(field_idx);
+    Result<size_t> idx = result_schema.IndexOf(field.name);
+    if (!idx.ok() && positional_ok) {
+      // Fig 1 of the paper writes `select avg(temperature) from WRAPPER`
+      // with a declared TEMPERATURE output field: when names don't line
+      // up but arity does, map result columns to output fields by
+      // position, as the original GSN deployments expect.
+      idx = non_timed_cols[field_idx];
+    }
+    if (!idx.ok()) {
+      if (!missing_column_warned_) {
+        missing_column_warned_ = true;
+        GSN_LOG(kWarn, "vsensor")
+            << "'" << spec_.name << "': query result has no column '"
+            << field.name << "'; emitting NULL (result schema: "
+            << result_schema.ToString() << ")";
+      }
+      element.values.push_back(Value::Null());
+      continue;
+    }
+    const Value& v = row[*idx];
+    if (v.is_null()) {
+      element.values.push_back(Value::Null());
+      continue;
+    }
+    Result<Value> cast = v.CastTo(field.type);
+    if (!cast.ok()) {
+      return Status::ExecutionError(
+          "cannot cast value " + v.ToString() + " to " +
+          DataTypeName(field.type) + " for output field '" + field.name +
+          "' of '" + spec_.name + "'");
+    }
+    element.values.push_back(*std::move(cast));
+  }
+  return element;
+}
+
+}  // namespace gsn::vsensor

@@ -1,0 +1,115 @@
+#ifndef GSN_VSENSOR_VIRTUAL_SENSOR_H_
+#define GSN_VSENSOR_VIRTUAL_SENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gsn/sql/executor.h"
+#include "gsn/util/clock.h"
+#include "gsn/vsensor/spec.h"
+#include "gsn/vsensor/stream_source.h"
+
+namespace gsn::vsensor {
+
+/// A deployed virtual sensor: the paper's central abstraction (§2).
+/// Owns its stream sources and runs the five processing steps of §3
+/// whenever a source delivers new elements:
+///
+///   1. new elements are timestamped with the container's local clock
+///      if the producer did not stamp them;
+///   2. per source, the window (count- or time-based) is selected and
+///      unnested into a flat relation;
+///   3. each source's SQL runs over its window (relation WRAPPER) into
+///      a temporary relation named by the source alias;
+///   4. the input stream's SQL runs over the temporary relations;
+///   5. each result row becomes an output stream element, mapped to the
+///      declared output structure, delivered to all registered
+///      listeners (storage, notification, remote consumers).
+///
+/// The sensor is driven by Tick(now) — the input stream manager polls
+/// all sources and triggers processing. Thread-compatible: the owning
+/// container serializes Ticks per sensor (possibly on its life-cycle
+/// thread pool).
+class VirtualSensor {
+ public:
+  using OutputListener =
+      std::function<void(const VirtualSensor&, const StreamElement&)>;
+
+  /// `sources[i]` holds the running sources of `spec.input_streams[i]`,
+  /// in the same order as the spec's sources.
+  VirtualSensor(VirtualSensorSpec spec,
+                std::vector<std::vector<std::unique_ptr<StreamSource>>> sources,
+                std::shared_ptr<Clock> clock);
+
+  VirtualSensor(const VirtualSensor&) = delete;
+  VirtualSensor& operator=(const VirtualSensor&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// Polls every source and runs the pipeline for each input stream
+  /// that received data. Returns the number of output elements
+  /// produced. Errors from a stream's SQL abort that trigger but are
+  /// reported once and do not wedge the sensor.
+  Result<int> Tick(Timestamp now);
+
+  /// Registers a consumer of the output stream (paper §3 step 5: "all
+  /// consumers of the virtual sensor are notified of the new stream
+  /// element").
+  void AddListener(OutputListener listener);
+
+  const VirtualSensorSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  const Schema& output_schema() const { return spec_.output_structure; }
+
+  /// Source handle for stream-quality manipulation in demos and tests
+  /// (returns nullptr if unknown).
+  StreamSource* FindSource(const std::string& stream_name,
+                           const std::string& alias);
+
+  /// Pipeline counters.
+  struct Stats {
+    int64_t triggers = 0;          // input batches processed
+    int64_t produced = 0;          // output elements emitted
+    int64_t rate_limited = 0;      // outputs dropped by the rate bound
+    int64_t errors = 0;            // failed pipeline runs
+    /// Wall-clock processing time (steady clock), for Fig 3.
+    int64_t total_processing_micros = 0;
+    int64_t last_processing_micros = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct StreamRuntime {
+    const InputStreamSpec* spec;
+    std::vector<std::unique_ptr<StreamSource>> sources;
+    std::unique_ptr<sql::SelectStmt> query;          // parsed stream query
+    std::vector<std::unique_ptr<sql::SelectStmt>> source_queries;
+    // Token bucket for the rate bound.
+    double tokens = 0;
+    Timestamp last_refill = 0;
+  };
+
+  /// Runs steps 2-5 for one input stream.
+  Result<int> ProcessStream(StreamRuntime* stream, Timestamp now);
+
+  /// Maps one result row to the declared output structure.
+  Result<StreamElement> MapToOutput(const Schema& result_schema,
+                                    const Relation::Row& row, Timestamp now);
+
+  const VirtualSensorSpec spec_;
+  std::vector<StreamRuntime> streams_;
+  std::shared_ptr<Clock> clock_;
+
+  mutable std::mutex mu_;
+  std::vector<OutputListener> listeners_;
+  Stats stats_;
+  bool missing_column_warned_ = false;
+};
+
+}  // namespace gsn::vsensor
+
+#endif  // GSN_VSENSOR_VIRTUAL_SENSOR_H_

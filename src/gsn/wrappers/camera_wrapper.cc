@@ -1,0 +1,65 @@
+#include "gsn/wrappers/camera_wrapper.h"
+
+namespace gsn::wrappers {
+
+Result<std::unique_ptr<Wrapper>> CameraWrapper::Make(
+    const WrapperConfig& config) {
+  GSN_ASSIGN_OR_RETURN(int64_t camera_id, config.GetInt("camera-id", 1));
+  GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 5000));
+  GSN_ASSIGN_OR_RETURN(int64_t image_bytes,
+                       config.GetInt("image-bytes", 32 * 1024));
+  GSN_ASSIGN_OR_RETURN(int64_t width, config.GetInt("width", 640));
+  GSN_ASSIGN_OR_RETURN(int64_t height, config.GetInt("height", 480));
+  if (image_bytes < 0) {
+    return Status::InvalidArgument("camera image-bytes must be >= 0");
+  }
+  return std::unique_ptr<Wrapper>(
+      new CameraWrapper(camera_id, interval_ms * kMicrosPerMilli,
+                        static_cast<size_t>(image_bytes), width, height,
+                        config.seed));
+}
+
+CameraWrapper::CameraWrapper(int64_t camera_id, Timestamp interval,
+                             size_t image_bytes, int64_t width, int64_t height,
+                             uint64_t seed)
+    : PeriodicWrapper(interval),
+      camera_id_(camera_id),
+      image_bytes_(image_bytes),
+      width_(width),
+      height_(height),
+      rng_(seed) {
+  schema_.AddField("camera_id", DataType::kInt);
+  schema_.AddField("image", DataType::kBinary);
+  schema_.AddField("width", DataType::kInt);
+  schema_.AddField("height", DataType::kInt);
+}
+
+Result<std::vector<StreamElement>> CameraWrapper::EmitAt(Timestamp t) {
+  // A cheap stand-in for a JPEG: an 8-byte frame header followed by
+  // per-frame pseudo-random content (incompressible like real JPEG).
+  std::vector<uint8_t> image(image_bytes_);
+  const int64_t frame = frame_counter_++;
+  for (size_t i = 0; i < image.size() && i < 8; ++i) {
+    image[i] = static_cast<uint8_t>((frame >> (8 * i)) & 0xff);
+  }
+  // Fill in 8-byte strides from the RNG; the exact pixels don't matter,
+  // only that the payload has the configured size and is unique.
+  for (size_t i = 8; i + 8 <= image.size(); i += 8) {
+    const uint64_t r = rng_.NextUint64();
+    for (int b = 0; b < 8; ++b) {
+      image[i + static_cast<size_t>(b)] = static_cast<uint8_t>(r >> (8 * b));
+    }
+  }
+
+  StreamElement e;
+  e.timed = t;
+  e.values = {
+      Value::Int(camera_id_),
+      Value::Binary(MakeBlob(std::move(image))),
+      Value::Int(width_),
+      Value::Int(height_),
+  };
+  return std::vector<StreamElement>{std::move(e)};
+}
+
+}  // namespace gsn::wrappers

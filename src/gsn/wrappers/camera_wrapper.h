@@ -1,0 +1,49 @@
+#ifndef GSN_WRAPPERS_CAMERA_WRAPPER_H_
+#define GSN_WRAPPERS_CAMERA_WRAPPER_H_
+
+#include <memory>
+#include <vector>
+
+#include "gsn/util/rng.h"
+#include "gsn/wrappers/periodic_wrapper.h"
+
+namespace gsn::wrappers {
+
+/// Simulated HTTP/USB camera (paper §5: "USB and wireless (HTTP-based)
+/// cameras (e.g., AXIS 206W camera)"). Emits an opaque image blob per
+/// frame; the blob size is configurable so the Fig 3 workload can sweep
+/// stream element sizes from 15 bytes to 75 KB.
+///
+/// Parameters:
+///   camera-id     integer id                              (default 1)
+///   interval-ms   frame period                            (default 5000)
+///   image-bytes   payload size per frame                  (default 32768)
+///   width,height  reported frame geometry                 (default 640x480)
+///
+/// Output schema: camera_id:int, image:binary, width:int, height:int
+class CameraWrapper : public PeriodicWrapper {
+ public:
+  static Result<std::unique_ptr<Wrapper>> Make(const WrapperConfig& config);
+
+  const Schema& output_schema() const override { return schema_; }
+  std::string type_name() const override { return "camera"; }
+
+ protected:
+  Result<std::vector<StreamElement>> EmitAt(Timestamp t) override;
+
+ private:
+  CameraWrapper(int64_t camera_id, Timestamp interval, size_t image_bytes,
+                int64_t width, int64_t height, uint64_t seed);
+
+  const int64_t camera_id_;
+  const size_t image_bytes_;
+  const int64_t width_;
+  const int64_t height_;
+  Schema schema_;
+  Rng rng_;
+  int64_t frame_counter_ = 0;
+};
+
+}  // namespace gsn::wrappers
+
+#endif  // GSN_WRAPPERS_CAMERA_WRAPPER_H_

@@ -1,0 +1,172 @@
+#include "gsn/wrappers/csv_wrapper.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "gsn/util/strings.h"
+
+namespace gsn::wrappers {
+
+namespace {
+
+/// Splits one CSV line honoring double-quoted fields with "" escapes.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+Value ParseCell(const std::string& cell, DataType type) {
+  const std::string trimmed = StrTrim(cell);
+  if (trimmed.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kInt: {
+      Result<int64_t> v = ParseInt64(trimmed);
+      return v.ok() ? Value::Int(*v) : Value::Null();
+    }
+    case DataType::kDouble: {
+      Result<double> v = ParseDouble(trimmed);
+      return v.ok() ? Value::Double(*v) : Value::Null();
+    }
+    default:
+      return Value::String(trimmed);
+  }
+}
+
+DataType InferCellType(const std::string& cell) {
+  const std::string trimmed = StrTrim(cell);
+  if (ParseInt64(trimmed).ok()) return DataType::kInt;
+  if (ParseDouble(trimmed).ok()) return DataType::kDouble;
+  return DataType::kString;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Wrapper>> CsvWrapper::Make(const WrapperConfig& config) {
+  const std::string path = config.Get("file", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("csv wrapper requires a 'file' parameter");
+  }
+  GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 1000));
+  GSN_ASSIGN_OR_RETURN(bool loop,
+                       ParseBool(config.Get("loop", "false")));
+
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open csv file: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("csv file has no header: " + path);
+  }
+  const std::vector<std::string> header = SplitCsvLine(StrTrim(line));
+
+  // Locate the timestamp column, if any.
+  size_t timed_col = header.size();
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (StrEqualsIgnoreCase(StrTrim(header[i]), kTimedField)) timed_col = i;
+  }
+
+  // Read raw rows.
+  std::vector<std::vector<std::string>> raw;
+  while (std::getline(in, line)) {
+    if (StrTrim(line).empty()) continue;
+    std::vector<std::string> cells = SplitCsvLine(line);
+    if (cells.size() != header.size()) {
+      return Status::ParseError("csv row has " + std::to_string(cells.size()) +
+                                " cells, header has " +
+                                std::to_string(header.size()) + ": " + line);
+    }
+    raw.push_back(std::move(cells));
+  }
+
+  // Infer column types from the first data row (string if empty file).
+  Schema schema;
+  std::vector<DataType> col_types;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i == timed_col) continue;
+    const DataType t =
+        raw.empty() ? DataType::kString : InferCellType(raw[0][i]);
+    col_types.push_back(t);
+    schema.AddField(StrTrim(header[i]), t);
+  }
+
+  std::vector<StreamElement> rows;
+  rows.reserve(raw.size());
+  for (const auto& cells : raw) {
+    StreamElement e;
+    size_t out_col = 0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i == timed_col) {
+        GSN_ASSIGN_OR_RETURN(e.timed, ParseInt64(cells[i]));
+        continue;
+      }
+      e.values.push_back(ParseCell(cells[i], col_types[out_col++]));
+    }
+    rows.push_back(std::move(e));
+  }
+
+  return std::unique_ptr<Wrapper>(
+      new CsvWrapper(std::move(schema), std::move(rows),
+                     interval_ms * kMicrosPerMilli, loop,
+                     timed_col != header.size()));
+}
+
+CsvWrapper::CsvWrapper(Schema schema, std::vector<StreamElement> rows,
+                       Timestamp interval, bool loop, bool has_explicit_times)
+    : schema_(std::move(schema)),
+      rows_(std::move(rows)),
+      interval_(interval > 0 ? interval : kMicrosPerSecond),
+      loop_(loop),
+      has_explicit_times_(has_explicit_times) {}
+
+Result<std::vector<StreamElement>> CsvWrapper::Poll(Timestamp now) {
+  std::vector<StreamElement> out;
+  if (rows_.empty()) return out;
+  if (base_time_ < 0) base_time_ = now;
+
+  for (;;) {
+    if (next_row_ >= rows_.size()) {
+      if (!loop_) break;
+      // Restart the replay, shifting subsequent rows after `now`.
+      next_row_ = 0;
+      base_time_ = now;
+      break;  // next poll picks up the new cycle
+    }
+    const StreamElement& row = rows_[next_row_];
+    const Timestamp due =
+        has_explicit_times_
+            ? base_time_ + row.timed
+            : base_time_ + static_cast<Timestamp>(next_row_ + 1) * interval_;
+    if (due > now) break;
+    StreamElement e = row;
+    e.timed = due;
+    out.push_back(std::move(e));
+    ++next_row_;
+  }
+  return out;
+}
+
+}  // namespace gsn::wrappers

@@ -1,0 +1,53 @@
+#ifndef GSN_WRAPPERS_CSV_WRAPPER_H_
+#define GSN_WRAPPERS_CSV_WRAPPER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gsn/wrappers/wrapper.h"
+
+namespace gsn::wrappers {
+
+/// Replays a CSV file as a data stream — the standard way to feed
+/// recorded deployments (or any external data set) through GSN without
+/// hardware. The first line is the header; a column named `timed`
+/// (case-insensitive) provides element timestamps in microseconds,
+/// otherwise rows are spaced `interval-ms` apart starting at the first
+/// poll. Column types are inferred from the first data row
+/// (int → double → string).
+///
+/// Parameters:
+///   file          path to the CSV file                   (required)
+///   interval-ms   spacing when no `timed` column exists  (default 1000)
+///   loop          restart from the top when exhausted    (default false)
+///
+/// Output schema: inferred from the header (minus `timed`).
+class CsvWrapper : public Wrapper {
+ public:
+  static Result<std::unique_ptr<Wrapper>> Make(const WrapperConfig& config);
+
+  const Schema& output_schema() const override { return schema_; }
+  std::string type_name() const override { return "csv"; }
+
+  Result<std::vector<StreamElement>> Poll(Timestamp now) override;
+
+  size_t total_rows() const { return rows_.size(); }
+
+ private:
+  CsvWrapper(Schema schema, std::vector<StreamElement> rows,
+             Timestamp interval, bool loop, bool has_explicit_times);
+
+  Schema schema_;
+  std::vector<StreamElement> rows_;  // timed==relative offset or explicit
+  const Timestamp interval_;
+  const bool loop_;
+  const bool has_explicit_times_;
+
+  size_t next_row_ = 0;
+  Timestamp base_time_ = -1;  // set at first poll
+};
+
+}  // namespace gsn::wrappers
+
+#endif  // GSN_WRAPPERS_CSV_WRAPPER_H_

@@ -1,0 +1,51 @@
+#ifndef GSN_WRAPPERS_GENERATOR_WRAPPER_H_
+#define GSN_WRAPPERS_GENERATOR_WRAPPER_H_
+
+#include <memory>
+#include <vector>
+
+#include "gsn/util/rng.h"
+#include "gsn/wrappers/periodic_wrapper.h"
+
+namespace gsn::wrappers {
+
+/// Time-triggered load generator: the workload driver behind the
+/// paper's Fig 3 experiment ("the devices produced data items every
+/// 10, 25, 50, 100, 250, 500, and 1000 milliseconds ... for various
+/// sizes of produced data items"). Each element carries a sequence
+/// number, a sine-wave value (so filtering predicates select stable
+/// fractions), and an opaque payload of exactly `payload-bytes`.
+///
+/// Parameters:
+///   interval-ms     emission period                       (default 100)
+///   payload-bytes   opaque payload size per element       (default 15)
+///   value-period    elements per sine period              (default 100)
+///
+/// Output schema: seq:int, value:double, payload:binary
+class GeneratorWrapper : public PeriodicWrapper {
+ public:
+  static Result<std::unique_ptr<Wrapper>> Make(const WrapperConfig& config);
+
+  const Schema& output_schema() const override { return schema_; }
+  std::string type_name() const override { return "generator"; }
+
+  int64_t produced_count() const { return seq_; }
+
+ protected:
+  Result<std::vector<StreamElement>> EmitAt(Timestamp t) override;
+
+ private:
+  GeneratorWrapper(Timestamp interval, size_t payload_bytes,
+                   int64_t value_period, uint64_t seed);
+
+  const size_t payload_bytes_;
+  const int64_t value_period_;
+  Schema schema_;
+  Rng rng_;
+  int64_t seq_ = 0;
+  Blob payload_template_;
+};
+
+}  // namespace gsn::wrappers
+
+#endif  // GSN_WRAPPERS_GENERATOR_WRAPPER_H_

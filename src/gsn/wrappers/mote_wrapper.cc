@@ -1,0 +1,54 @@
+#include "gsn/wrappers/mote_wrapper.h"
+
+#include <algorithm>
+
+namespace gsn::wrappers {
+
+Result<std::unique_ptr<Wrapper>> MoteWrapper::Make(
+    const WrapperConfig& config) {
+  GSN_ASSIGN_OR_RETURN(int64_t node_id, config.GetInt("node-id", 1));
+  GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 1000));
+  GSN_ASSIGN_OR_RETURN(double temp_base, config.GetDouble("temp-base", 22.0));
+  GSN_ASSIGN_OR_RETURN(double light_base,
+                       config.GetDouble("light-base", 400.0));
+  return std::unique_ptr<Wrapper>(
+      new MoteWrapper(node_id, interval_ms * kMicrosPerMilli, temp_base,
+                      light_base, config.seed));
+}
+
+MoteWrapper::MoteWrapper(int64_t node_id, Timestamp interval, double temp_base,
+                         double light_base, uint64_t seed)
+    : PeriodicWrapper(interval),
+      node_id_(node_id),
+      rng_(seed),
+      temperature_(temp_base),
+      light_(light_base) {
+  schema_.AddField("node_id", DataType::kInt);
+  schema_.AddField("light", DataType::kDouble);
+  schema_.AddField("temperature", DataType::kInt);
+  schema_.AddField("accel_x", DataType::kDouble);
+  schema_.AddField("accel_y", DataType::kDouble);
+}
+
+Result<std::vector<StreamElement>> MoteWrapper::EmitAt(Timestamp t) {
+  // Bounded random walks: temperature drifts slowly, light more, the
+  // accelerometer is zero-mean noise (the demo mote sits on a table
+  // until someone shakes it).
+  temperature_ += rng_.NextGaussian() * 0.2;
+  temperature_ = std::clamp(temperature_, -20.0, 60.0);
+  light_ += rng_.NextGaussian() * 8.0;
+  light_ = std::clamp(light_, 0.0, 2000.0);
+
+  StreamElement e;
+  e.timed = t;
+  e.values = {
+      Value::Int(node_id_),
+      Value::Double(light_),
+      Value::Int(static_cast<int64_t>(temperature_ + 0.5)),
+      Value::Double(rng_.NextGaussian() * 0.05),
+      Value::Double(rng_.NextGaussian() * 0.05),
+  };
+  return std::vector<StreamElement>{std::move(e)};
+}
+
+}  // namespace gsn::wrappers

@@ -1,0 +1,49 @@
+#ifndef GSN_WRAPPERS_MOTE_WRAPPER_H_
+#define GSN_WRAPPERS_MOTE_WRAPPER_H_
+
+#include <memory>
+#include <vector>
+
+#include "gsn/util/rng.h"
+#include "gsn/wrappers/periodic_wrapper.h"
+
+namespace gsn::wrappers {
+
+/// Simulated TinyOS mote (Mica2 family) with light, temperature, and 2D
+/// acceleration sensors — the sensor board used in the paper's demo
+/// (§6: "MICA2 motes equipped with light, temperature, and 2D
+/// acceleration sensors"). Readings follow bounded random walks so
+/// windowed averages are stable and joins across motes are meaningful.
+///
+/// Parameters:
+///   node-id       integer id reported in each element   (default 1)
+///   interval-ms   sampling period                       (default 1000)
+///   temp-base     initial temperature, degrees C        (default 22)
+///   light-base    initial light level, lux              (default 400)
+///
+/// Output schema: node_id:int, light:double, temperature:int,
+///                accel_x:double, accel_y:double
+class MoteWrapper : public PeriodicWrapper {
+ public:
+  static Result<std::unique_ptr<Wrapper>> Make(const WrapperConfig& config);
+
+  const Schema& output_schema() const override { return schema_; }
+  std::string type_name() const override { return "mote"; }
+
+ protected:
+  Result<std::vector<StreamElement>> EmitAt(Timestamp t) override;
+
+ private:
+  MoteWrapper(int64_t node_id, Timestamp interval, double temp_base,
+              double light_base, uint64_t seed);
+
+  const int64_t node_id_;
+  Schema schema_;
+  Rng rng_;
+  double temperature_;
+  double light_;
+};
+
+}  // namespace gsn::wrappers
+
+#endif  // GSN_WRAPPERS_MOTE_WRAPPER_H_

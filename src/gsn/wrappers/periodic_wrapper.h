@@ -1,0 +1,53 @@
+#ifndef GSN_WRAPPERS_PERIODIC_WRAPPER_H_
+#define GSN_WRAPPERS_PERIODIC_WRAPPER_H_
+
+#include <vector>
+
+#include "gsn/wrappers/wrapper.h"
+
+namespace gsn::wrappers {
+
+/// Base class for devices that sample on a fixed interval. Subclasses
+/// implement EmitAt(t) to produce the reading due at time t; Poll
+/// handles the schedule, emitting one element per elapsed interval
+/// (catching up if polled late, as a real serial-port reader would
+/// drain its buffer).
+class PeriodicWrapper : public Wrapper {
+ public:
+  Result<std::vector<StreamElement>> Poll(Timestamp now) override {
+    std::vector<StreamElement> out;
+    if (!started_) {
+      // First poll anchors the schedule: first sample one interval in.
+      next_due_ = now + interval_micros_;
+      started_ = true;
+      return out;
+    }
+    while (next_due_ <= now) {
+      GSN_ASSIGN_OR_RETURN(std::vector<StreamElement> produced,
+                           EmitAt(next_due_));
+      for (StreamElement& e : produced) out.push_back(std::move(e));
+      next_due_ += interval_micros_;
+    }
+    return out;
+  }
+
+ protected:
+  explicit PeriodicWrapper(Timestamp interval_micros)
+      : interval_micros_(interval_micros > 0 ? interval_micros
+                                             : kMicrosPerSecond) {}
+
+  /// Produces the element(s) due at exactly time `t` (may be empty for
+  /// event-style devices like RFID readers that poll and see nothing).
+  virtual Result<std::vector<StreamElement>> EmitAt(Timestamp t) = 0;
+
+  Timestamp interval_micros() const { return interval_micros_; }
+
+ private:
+  const Timestamp interval_micros_;
+  Timestamp next_due_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace gsn::wrappers
+
+#endif  // GSN_WRAPPERS_PERIODIC_WRAPPER_H_

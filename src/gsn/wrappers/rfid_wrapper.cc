@@ -1,0 +1,66 @@
+#include "gsn/wrappers/rfid_wrapper.h"
+
+#include "gsn/util/strings.h"
+
+namespace gsn::wrappers {
+
+Result<std::unique_ptr<Wrapper>> RfidWrapper::Make(
+    const WrapperConfig& config) {
+  GSN_ASSIGN_OR_RETURN(int64_t reader_id, config.GetInt("reader-id", 1));
+  GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 250));
+  GSN_ASSIGN_OR_RETURN(double p, config.GetDouble("detect-probability", 0.05));
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("detect-probability must be in [0,1]");
+  }
+  std::vector<std::string> tags;
+  for (const std::string& tag : StrSplit(config.Get("tags", "tag-1"), ',')) {
+    const std::string trimmed = StrTrim(tag);
+    if (!trimmed.empty()) tags.push_back(trimmed);
+  }
+  if (tags.empty()) {
+    return Status::InvalidArgument("rfid wrapper requires at least one tag");
+  }
+  return std::unique_ptr<Wrapper>(
+      new RfidWrapper(reader_id, interval_ms * kMicrosPerMilli, p,
+                      std::move(tags), config.seed));
+}
+
+RfidWrapper::RfidWrapper(int64_t reader_id, Timestamp interval,
+                         double detect_probability,
+                         std::vector<std::string> tags, uint64_t seed)
+    : PeriodicWrapper(interval),
+      reader_id_(reader_id),
+      detect_probability_(detect_probability),
+      tags_(std::move(tags)),
+      rng_(seed) {
+  schema_.AddField("reader_id", DataType::kInt);
+  schema_.AddField("tag_id", DataType::kString);
+  schema_.AddField("rssi", DataType::kInt);
+}
+
+void RfidWrapper::InjectDetection(const std::string& tag_id) {
+  injected_.push_back(tag_id);
+}
+
+Result<std::vector<StreamElement>> RfidWrapper::EmitAt(Timestamp t) {
+  std::vector<StreamElement> out;
+  auto emit = [&](const std::string& tag) {
+    StreamElement e;
+    e.timed = t;
+    e.values = {
+        Value::Int(reader_id_),
+        Value::String(tag),
+        // RSSI of a tag in range: -70..-30 dBm.
+        Value::Int(rng_.NextInt(-70, -30)),
+    };
+    out.push_back(std::move(e));
+  };
+  for (const std::string& tag : injected_) emit(tag);
+  injected_.clear();
+  if (rng_.NextBool(detect_probability_)) {
+    emit(tags_[static_cast<size_t>(rng_.NextUint64(tags_.size()))]);
+  }
+  return out;
+}
+
+}  // namespace gsn::wrappers

@@ -1,0 +1,57 @@
+#ifndef GSN_WRAPPERS_RFID_WRAPPER_H_
+#define GSN_WRAPPERS_RFID_WRAPPER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gsn/util/rng.h"
+#include "gsn/wrappers/periodic_wrapper.h"
+
+namespace gsn::wrappers {
+
+/// Simulated RFID reader (paper §5: "several RFID readers (e.g., Texas
+/// Instruments)"). The reader polls its antenna on a fixed interval;
+/// on each poll a tag from the configured population is detected with
+/// probability `detect-probability`, yielding an event-style stream
+/// (most polls produce nothing — unlike the periodic motes/cameras).
+///
+/// Tests and demos can also force a specific detection with
+/// InjectDetection(), which models a person swiping a badge.
+///
+/// Parameters:
+///   reader-id            integer id                       (default 1)
+///   interval-ms          antenna poll period              (default 250)
+///   detect-probability   per-poll detection chance        (default 0.05)
+///   tags                 comma-separated tag ids          (default "tag-1")
+///
+/// Output schema: reader_id:int, tag_id:string, rssi:int
+class RfidWrapper : public PeriodicWrapper {
+ public:
+  static Result<std::unique_ptr<Wrapper>> Make(const WrapperConfig& config);
+
+  const Schema& output_schema() const override { return schema_; }
+  std::string type_name() const override { return "rfid"; }
+
+  /// Queues a deterministic detection of `tag_id`, reported on the next
+  /// antenna poll.
+  void InjectDetection(const std::string& tag_id);
+
+ protected:
+  Result<std::vector<StreamElement>> EmitAt(Timestamp t) override;
+
+ private:
+  RfidWrapper(int64_t reader_id, Timestamp interval, double detect_probability,
+              std::vector<std::string> tags, uint64_t seed);
+
+  const int64_t reader_id_;
+  const double detect_probability_;
+  const std::vector<std::string> tags_;
+  Schema schema_;
+  Rng rng_;
+  std::vector<std::string> injected_;
+};
+
+}  // namespace gsn::wrappers
+
+#endif  // GSN_WRAPPERS_RFID_WRAPPER_H_

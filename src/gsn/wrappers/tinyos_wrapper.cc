@@ -1,0 +1,223 @@
+#include "gsn/wrappers/tinyos_wrapper.h"
+
+#include <algorithm>
+
+namespace gsn::wrappers {
+
+namespace tinyos {
+
+uint16_t Crc16(const uint8_t* data, size_t len) {
+  uint16_t crc = 0;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= static_cast<uint16_t>(data[i]) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000) ? static_cast<uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+namespace {
+void StuffByte(uint8_t b, std::vector<uint8_t>* out) {
+  if (b == kSyncByte || b == kEscapeByte) {
+    out->push_back(kEscapeByte);
+    out->push_back(b ^ 0x20);
+  } else {
+    out->push_back(b);
+  }
+}
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(const Packet& packet) {
+  // Raw (unstuffed) packet bytes.
+  std::vector<uint8_t> raw;
+  raw.push_back(static_cast<uint8_t>(packet.dest & 0xff));
+  raw.push_back(static_cast<uint8_t>(packet.dest >> 8));
+  raw.push_back(packet.am_type);
+  raw.push_back(packet.group);
+  raw.push_back(static_cast<uint8_t>(packet.payload.size()));
+  raw.insert(raw.end(), packet.payload.begin(), packet.payload.end());
+  const uint16_t crc = Crc16(raw.data(), raw.size());
+  raw.push_back(static_cast<uint8_t>(crc & 0xff));
+  raw.push_back(static_cast<uint8_t>(crc >> 8));
+
+  std::vector<uint8_t> frame;
+  frame.push_back(kSyncByte);
+  for (uint8_t b : raw) StuffByte(b, &frame);
+  frame.push_back(kSyncByte);
+  return frame;
+}
+
+std::vector<Packet> DecodeFrames(std::vector<uint8_t>* stream,
+                                 int* bad_frames) {
+  std::vector<Packet> packets;
+  size_t consumed_until = 0;
+  size_t i = 0;
+  const std::vector<uint8_t>& bytes = *stream;
+
+  auto report_bad = [&] {
+    if (bad_frames != nullptr) ++(*bad_frames);
+  };
+
+  while (i < bytes.size()) {
+    // Seek the opening sync byte.
+    while (i < bytes.size() && bytes[i] != kSyncByte) ++i;
+    if (i >= bytes.size()) {
+      consumed_until = bytes.size();
+      break;
+    }
+    // Collect unstuffed bytes until the closing sync.
+    size_t j = i + 1;
+    std::vector<uint8_t> raw;
+    bool closed = false;
+    bool malformed = false;
+    while (j < bytes.size()) {
+      const uint8_t b = bytes[j];
+      if (b == kSyncByte) {
+        closed = true;
+        break;
+      }
+      if (b == kEscapeByte) {
+        if (j + 1 >= bytes.size()) break;  // split escape: wait for more
+        raw.push_back(bytes[j + 1] ^ 0x20);
+        j += 2;
+        continue;
+      }
+      raw.push_back(b);
+      ++j;
+    }
+    if (!closed) break;  // partial frame: keep for the next read
+
+    if (raw.empty()) {
+      // Back-to-back sync bytes (idle line); skip one sync.
+      i = j;
+      consumed_until = i;
+      continue;
+    }
+
+    // Validate structure and CRC.
+    if (raw.size() < 7) {
+      malformed = true;
+    } else {
+      const uint8_t length = raw[4];
+      if (raw.size() != static_cast<size_t>(7 + length)) {
+        malformed = true;
+      } else {
+        const uint16_t stored_crc =
+            static_cast<uint16_t>(raw[raw.size() - 2]) |
+            (static_cast<uint16_t>(raw[raw.size() - 1]) << 8);
+        if (Crc16(raw.data(), raw.size() - 2) != stored_crc) {
+          malformed = true;
+        }
+      }
+    }
+    if (malformed) {
+      report_bad();
+    } else {
+      Packet packet;
+      packet.dest = static_cast<uint16_t>(raw[0]) |
+                    (static_cast<uint16_t>(raw[1]) << 8);
+      packet.am_type = raw[2];
+      packet.group = raw[3];
+      packet.payload.assign(raw.begin() + 5, raw.end() - 2);
+      packets.push_back(std::move(packet));
+    }
+    i = j + 1;
+    consumed_until = j;  // leave the closing sync as the next opener
+  }
+
+  stream->erase(stream->begin(),
+                stream->begin() + static_cast<long>(consumed_until));
+  return packets;
+}
+
+}  // namespace tinyos
+
+Result<std::unique_ptr<Wrapper>> TinyOsWrapper::Make(
+    const WrapperConfig& config) {
+  GSN_ASSIGN_OR_RETURN(int64_t node_id, config.GetInt("node-id", 1));
+  GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 1000));
+  GSN_ASSIGN_OR_RETURN(int64_t group, config.GetInt("group", 125));
+  GSN_ASSIGN_OR_RETURN(double corrupt,
+                       config.GetDouble("corrupt-probability", 0.0));
+  if (node_id < 0 || node_id > 0xFFFF) {
+    return Status::InvalidArgument("tinyos node-id must fit in 16 bits");
+  }
+  if (group < 0 || group > 0xFF) {
+    return Status::InvalidArgument("tinyos group must fit in 8 bits");
+  }
+  if (corrupt < 0.0 || corrupt > 1.0) {
+    return Status::InvalidArgument("corrupt-probability must be in [0,1]");
+  }
+  return std::unique_ptr<Wrapper>(
+      new TinyOsWrapper(node_id, interval_ms * kMicrosPerMilli,
+                        static_cast<uint8_t>(group), corrupt, config.seed));
+}
+
+TinyOsWrapper::TinyOsWrapper(int64_t node_id, Timestamp interval,
+                             uint8_t group, double corrupt_probability,
+                             uint64_t seed)
+    : PeriodicWrapper(interval),
+      node_id_(static_cast<uint16_t>(node_id)),
+      group_(group),
+      corrupt_probability_(corrupt_probability),
+      rng_(seed) {
+  schema_.AddField("node_id", DataType::kInt);
+  schema_.AddField("counter", DataType::kInt);
+  schema_.AddField("light", DataType::kInt);
+  schema_.AddField("temperature", DataType::kInt);
+  schema_.AddField("accel_x", DataType::kInt);
+  schema_.AddField("accel_y", DataType::kInt);
+}
+
+Result<std::vector<StreamElement>> TinyOsWrapper::EmitAt(Timestamp t) {
+  // -- Device model: the mote samples and writes a frame to the UART.
+  temperature_ = std::clamp(temperature_ + rng_.NextGaussian() * 0.2, -20.0,
+                            60.0);
+  light_ = std::clamp(light_ + rng_.NextGaussian() * 8.0, 0.0, 2000.0);
+  const uint16_t readings[6] = {
+      node_id_,
+      counter_++,
+      static_cast<uint16_t>(light_),
+      static_cast<uint16_t>(temperature_ + 40.0),  // sensor offset encoding
+      static_cast<uint16_t>(512 + rng_.NextInt(-20, 20)),
+      static_cast<uint16_t>(512 + rng_.NextInt(-20, 20)),
+  };
+  tinyos::Packet packet;
+  packet.am_type = 10;  // OscopeMsg-style telemetry
+  packet.group = group_;
+  for (uint16_t r : readings) {
+    packet.payload.push_back(static_cast<uint8_t>(r & 0xff));
+    packet.payload.push_back(static_cast<uint8_t>(r >> 8));
+  }
+  std::vector<uint8_t> frame = tinyos::EncodeFrame(packet);
+  // Serial-line damage: flip one inner byte of the frame.
+  if (corrupt_probability_ > 0 && rng_.NextBool(corrupt_probability_) &&
+      frame.size() > 4) {
+    const size_t pos = 2 + static_cast<size_t>(
+                               rng_.NextUint64(frame.size() - 4));
+    frame[pos] ^= 0x55;
+  }
+  serial_buffer_.insert(serial_buffer_.end(), frame.begin(), frame.end());
+
+  // -- Wrapper: parse whatever is on the line into stream elements.
+  std::vector<StreamElement> out;
+  for (const tinyos::Packet& parsed :
+       tinyos::DecodeFrames(&serial_buffer_, &bad_frames_)) {
+    if (parsed.group != group_ || parsed.payload.size() != 12) continue;
+    auto u16 = [&parsed](size_t idx) {
+      return static_cast<int64_t>(parsed.payload[idx * 2]) |
+             (static_cast<int64_t>(parsed.payload[idx * 2 + 1]) << 8);
+    };
+    StreamElement e;
+    e.timed = t;
+    e.values = {Value::Int(u16(0)), Value::Int(u16(1)), Value::Int(u16(2)),
+                Value::Int(u16(3) - 40),  // undo sensor offset
+                Value::Int(u16(4) - 512), Value::Int(u16(5) - 512)};
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace gsn::wrappers

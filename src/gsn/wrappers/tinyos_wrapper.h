@@ -1,0 +1,98 @@
+#ifndef GSN_WRAPPERS_TINYOS_WRAPPER_H_
+#define GSN_WRAPPERS_TINYOS_WRAPPER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gsn/util/result.h"
+#include "gsn/util/rng.h"
+#include "gsn/wrappers/periodic_wrapper.h"
+
+namespace gsn::wrappers {
+
+/// TinyOS 1.x serial framing (the packet format Mica/Mica2 motes write
+/// to the UART): HDLC-style frames delimited by 0x7E with 0x7D
+/// byte-stuffing, carrying an Active Message packet
+///
+///   dest:u16le  am_type:u8  group:u8  length:u8  payload  crc:u16le
+///
+/// where the CRC-16 (CCITT, init 0) covers everything before it.
+/// Exposed separately from the wrapper so tests can exercise the codec
+/// against corrupted and fragmented byte streams.
+namespace tinyos {
+
+constexpr uint8_t kSyncByte = 0x7E;
+constexpr uint8_t kEscapeByte = 0x7D;
+
+struct Packet {
+  uint16_t dest = 0xFFFF;  // broadcast
+  uint8_t am_type = 0;
+  uint8_t group = 0x7D;
+  std::vector<uint8_t> payload;
+};
+
+/// CRC-16/CCITT (polynomial 0x1021, init 0x0000) as used by TinyOS.
+uint16_t Crc16(const uint8_t* data, size_t len);
+
+/// Serializes a packet into a byte-stuffed frame (with sync bytes).
+std::vector<uint8_t> EncodeFrame(const Packet& packet);
+
+/// Extracts every complete, CRC-valid packet from `stream`, consuming
+/// parsed bytes; `*bad_frames` (optional) counts frames dropped for
+/// bad CRC or malformed structure. Partial trailing data is left in
+/// `stream` for the next read.
+std::vector<Packet> DecodeFrames(std::vector<uint8_t>* stream,
+                                 int* bad_frames);
+
+}  // namespace tinyos
+
+/// Simulated TinyOS mote attached over a serial port: the device model
+/// emits sensor readings as TinyOS Active Message frames onto a byte
+/// stream (optionally corrupting some, as real serial links do) and
+/// the wrapper parses them back — the full path the paper's 150-line
+/// Java TinyOS wrapper implements.
+///
+/// Parameters:
+///   node-id              mote address                     (default 1)
+///   interval-ms          sampling period                  (default 1000)
+///   group                AM group id                      (default 125)
+///   corrupt-probability  chance a frame is damaged        (default 0)
+///
+/// Payload layout (little-endian u16 each): node_id, counter, light,
+/// temperature, accel_x, accel_y.
+///
+/// Output schema: node_id:int, counter:int, light:int, temperature:int,
+///                accel_x:int, accel_y:int
+class TinyOsWrapper : public PeriodicWrapper {
+ public:
+  static Result<std::unique_ptr<Wrapper>> Make(const WrapperConfig& config);
+
+  const Schema& output_schema() const override { return schema_; }
+  std::string type_name() const override { return "tinyos"; }
+
+  /// Frames dropped due to CRC/framing damage since Start.
+  int bad_frame_count() const { return bad_frames_; }
+
+ protected:
+  Result<std::vector<StreamElement>> EmitAt(Timestamp t) override;
+
+ private:
+  TinyOsWrapper(int64_t node_id, Timestamp interval, uint8_t group,
+                double corrupt_probability, uint64_t seed);
+
+  const uint16_t node_id_;
+  const uint8_t group_;
+  const double corrupt_probability_;
+  Schema schema_;
+  Rng rng_;
+  uint16_t counter_ = 0;
+  double light_ = 400.0;
+  double temperature_ = 22.0;
+  std::vector<uint8_t> serial_buffer_;  // bytes "on the wire"
+  int bad_frames_ = 0;
+};
+
+}  // namespace gsn::wrappers
+
+#endif  // GSN_WRAPPERS_TINYOS_WRAPPER_H_

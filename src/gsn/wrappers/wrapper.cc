@@ -1,0 +1,67 @@
+#include "gsn/wrappers/wrapper.h"
+
+#include "gsn/util/strings.h"
+#include "gsn/wrappers/camera_wrapper.h"
+#include "gsn/wrappers/csv_wrapper.h"
+#include "gsn/wrappers/generator_wrapper.h"
+#include "gsn/wrappers/mote_wrapper.h"
+#include "gsn/wrappers/rfid_wrapper.h"
+#include "gsn/wrappers/tinyos_wrapper.h"
+
+namespace gsn::wrappers {
+
+std::string WrapperConfig::Get(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+Result<int64_t> WrapperConfig::GetInt(const std::string& key,
+                                      int64_t fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return ParseInt64(it->second);
+}
+
+Result<double> WrapperConfig::GetDouble(const std::string& key,
+                                        double fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return ParseDouble(it->second);
+}
+
+void WrapperRegistry::Register(const std::string& name,
+                               WrapperFactory factory) {
+  factories_[StrToLower(name)] = std::move(factory);
+}
+
+Result<std::unique_ptr<Wrapper>> WrapperRegistry::Create(
+    const std::string& name, const WrapperConfig& config) const {
+  auto it = factories_.find(StrToLower(name));
+  if (it == factories_.end()) {
+    return Status::NotFound("no wrapper registered for '" + name + "'");
+  }
+  return it->second(config);
+}
+
+bool WrapperRegistry::Has(const std::string& name) const {
+  return factories_.count(StrToLower(name)) > 0;
+}
+
+std::vector<std::string> WrapperRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+void WrapperRegistry::RegisterBuiltins(WrapperRegistry* registry) {
+  registry->Register("mote", MoteWrapper::Make);
+  registry->Register("camera", CameraWrapper::Make);
+  registry->Register("rfid", RfidWrapper::Make);
+  registry->Register("generator", GeneratorWrapper::Make);
+  registry->Register("csv", CsvWrapper::Make);
+  registry->Register("tinyos", TinyOsWrapper::Make);
+}
+
+}  // namespace gsn::wrappers

@@ -1,0 +1,355 @@
+#include "gsn/xml/xml.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "gsn/util/strings.h"
+
+namespace gsn::xml {
+
+namespace {
+
+/// Recursive-descent parser over a string_view with line tracking.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<Document> ParseDocument() {
+    SkipProlog();
+    GSN_ASSIGN_OR_RETURN(std::unique_ptr<Element> root, ParseElement());
+    SkipMisc();
+    if (!AtEnd()) {
+      return Error("trailing content after root element");
+    }
+    return Document(std::move(root));
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    const size_t p = pos_ + offset;
+    return p < input_.size() ? input_[p] : '\0';
+  }
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_).starts_with(token)) {
+      for (size_t i = 0; i < token.size(); ++i) Advance();
+      return true;
+    }
+    return false;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("XML line " + std::to_string(line_) + ": " +
+                              msg);
+  }
+
+  /// Skips the XML declaration, comments, PIs, and DOCTYPE before root.
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (Consume("<?")) {
+        while (!AtEnd() && !Consume("?>")) Advance();
+      } else if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+      } else if (Consume("<!DOCTYPE")) {
+        int depth = 1;
+        while (!AtEnd() && depth > 0) {
+          if (Peek() == '<') ++depth;
+          if (Peek() == '>') --depth;
+          Advance();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+      } else if (Consume("<?")) {
+        while (!AtEnd() && !Consume("?>")) Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '_' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    const size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    if (pos_ == start) return Error("expected name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseAttrValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    const char quote = Peek();
+    Advance();
+    std::string raw;
+    while (!AtEnd() && Peek() != quote) {
+      raw.push_back(Peek());
+      Advance();
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return DecodeEntities(raw);
+  }
+
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      const std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out.push_back('<');
+      } else if (ent == "gt") {
+        out.push_back('>');
+      } else if (ent == "amp") {
+        out.push_back('&');
+      } else if (ent == "quot") {
+        out.push_back('"');
+      } else if (ent == "apos") {
+        out.push_back('\'');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        if (code <= 0 || code > 0x10FFFF) {
+          return Error("invalid character reference &" + std::string(ent) +
+                       ";");
+        }
+        AppendUtf8(out, static_cast<uint32_t>(code));
+      } else {
+        return Error("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  static void AppendUtf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<std::unique_ptr<Element>> ParseElement() {
+    if (!Consume("<")) return Error("expected '<'");
+    GSN_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto elem = std::make_unique<Element>(name);
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag <" + name);
+      if (Peek() == '>' || Peek() == '/') break;
+      GSN_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWhitespace();
+      if (!Consume("=")) return Error("expected '=' after attribute " + key);
+      SkipWhitespace();
+      GSN_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
+      if (elem->HasAttr(key)) {
+        return Error("duplicate attribute '" + key + "' on <" + name + ">");
+      }
+      elem->SetAttr(std::move(key), std::move(value));
+    }
+
+    if (Consume("/>")) return elem;
+    if (!Consume(">")) return Error("expected '>' in start tag <" + name);
+
+    // Content.
+    std::string text;
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element <" + name + ">");
+      if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+      } else if (Consume("<![CDATA[")) {
+        while (!AtEnd() && !Consume("]]>")) {
+          text.push_back(Peek());
+          Advance();
+        }
+      } else if (Consume("</")) {
+        GSN_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+        SkipWhitespace();
+        if (!Consume(">")) return Error("expected '>' in end tag");
+        if (end_name != name) {
+          return Error("mismatched end tag </" + end_name + ">, expected </" +
+                       name + ">");
+        }
+        elem->AppendText(StrTrim(text));
+        return elem;
+      } else if (Peek() == '<' && PeekAt(1) == '?') {
+        Consume("<?");
+        while (!AtEnd() && !Consume("?>")) Advance();
+      } else if (Peek() == '<') {
+        GSN_ASSIGN_OR_RETURN(std::unique_ptr<Element> child, ParseElement());
+        elem->AdoptChild(std::move(child));
+      } else {
+        std::string raw;
+        while (!AtEnd() && Peek() != '<') {
+          raw.push_back(Peek());
+          Advance();
+        }
+        GSN_ASSIGN_OR_RETURN(std::string decoded, DecodeEntities(raw));
+        text += decoded;
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::string Element::Attr(std::string_view key) const {
+  return AttrOr(key, "");
+}
+
+std::string Element::AttrOr(std::string_view key,
+                            std::string_view fallback) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return std::string(fallback);
+}
+
+bool Element::HasAttr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void Element::SetAttr(std::string key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+Element* Element::AddChild(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return children_.back().get();
+}
+
+void Element::AdoptChild(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+}
+
+const Element* Element::Child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::Children(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Element::ToString(int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + name_;
+  for (const auto& [k, v] : attrs_) {
+    out += " " + k + "=\"" + Escape(v) + "\"";
+  }
+  if (children_.empty() && text_.empty()) {
+    out += " />\n";
+    return out;
+  }
+  out += ">";
+  if (!text_.empty()) out += Escape(text_);
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& c : children_) out += c->ToString(indent + 1);
+    out += pad;
+  }
+  out += "</" + name_ + ">\n";
+  return out;
+}
+
+Result<Document> Parse(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace gsn::xml

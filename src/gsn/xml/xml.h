@@ -1,0 +1,96 @@
+#ifndef GSN_XML_XML_H_
+#define GSN_XML_XML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gsn/util/result.h"
+
+namespace gsn::xml {
+
+/// Minimal XML DOM, sufficient for GSN deployment descriptors (Fig 1 of
+/// the paper): elements, attributes, character data, comments, CDATA,
+/// processing instructions (skipped), and the five predefined entities
+/// plus numeric character references. Namespaces are treated as plain
+/// prefixes; DTDs are not supported.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // -- Attributes ---------------------------------------------------------
+
+  /// Returns the attribute value or empty string if absent.
+  std::string Attr(std::string_view key) const;
+  /// Returns the attribute value or `fallback` if absent.
+  std::string AttrOr(std::string_view key, std::string_view fallback) const;
+  bool HasAttr(std::string_view key) const;
+  void SetAttr(std::string key, std::string value);
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  // -- Children -----------------------------------------------------------
+
+  /// Appends a child element and returns a pointer to it.
+  Element* AddChild(std::string name);
+  /// Adopts an already-built child element (used by the parser).
+  void AdoptChild(std::unique_ptr<Element> child);
+  const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+  /// First child with the given tag name, or nullptr.
+  const Element* Child(std::string_view name) const;
+  /// All children with the given tag name.
+  std::vector<const Element*> Children(std::string_view name) const;
+
+  // -- Text ---------------------------------------------------------------
+
+  /// Concatenated character data directly inside this element
+  /// (whitespace-trimmed).
+  const std::string& text() const { return text_; }
+  void AppendText(std::string_view t) { text_ += t; }
+  void set_text(std::string t) { text_ = std::move(t); }
+
+  /// Serializes this element (and subtree) as indented XML.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<Element>> children_;
+  std::string text_;
+};
+
+/// A parsed document owning the root element.
+class Document {
+ public:
+  Document() = default;
+  explicit Document(std::unique_ptr<Element> root) : root_(std::move(root)) {}
+
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  const Element* root() const { return root_.get(); }
+  Element* mutable_root() { return root_.get(); }
+
+ private:
+  std::unique_ptr<Element> root_;
+};
+
+/// Parses `input` into a Document. Reports the line number on error.
+Result<Document> Parse(std::string_view input);
+
+/// Escapes the five predefined XML entities in `s`.
+std::string Escape(std::string_view s);
+
+}  // namespace gsn::xml
+
+#endif  // GSN_XML_XML_H_

@@ -1,0 +1,192 @@
+// Property tests for the descriptor layer: randomly generated
+// VirtualSensorSpecs must survive the ToXml -> ParseDescriptor round
+// trip exactly, and the XML parser must handle hostile content in
+// attribute values and queries.
+
+#include <gtest/gtest.h>
+
+#include "gsn/util/rng.h"
+#include "gsn/vsensor/descriptor_parser.h"
+#include "gsn/xml/xml.h"
+
+namespace gsn::vsensor {
+namespace {
+
+std::string RandomIdentifier(Rng* rng, const char* prefix) {
+  return std::string(prefix) + std::to_string(rng->NextUint64(100000));
+}
+
+/// A random but valid spec exercising every descriptor feature.
+VirtualSensorSpec RandomSpec(uint64_t seed) {
+  Rng rng(seed);
+  VirtualSensorSpec spec;
+  spec.name = RandomIdentifier(&rng, "sensor-");
+
+  const size_t num_meta = rng.NextUint64(4);
+  for (size_t i = 0; i < num_meta; ++i) {
+    spec.metadata[RandomIdentifier(&rng, "key")] =
+        "value with spaces & specials <" + std::to_string(i) + ">";
+  }
+
+  spec.life_cycle.pool_size = static_cast<int>(rng.NextInt(1, 16));
+  if (rng.NextBool(0.5)) {
+    spec.life_cycle.lifetime_micros =
+        rng.NextInt(1, 3600) * kMicrosPerSecond;
+  }
+
+  const size_t num_fields = 1 + rng.NextUint64(5);
+  static const DataType kTypes[] = {DataType::kBool, DataType::kInt,
+                                    DataType::kDouble, DataType::kString,
+                                    DataType::kBinary};
+  for (size_t i = 0; i < num_fields; ++i) {
+    spec.output_structure.AddField("field_" + std::to_string(i),
+                                   kTypes[rng.NextUint64(5)]);
+  }
+
+  spec.storage.permanent = rng.NextBool(0.5);
+  if (rng.NextBool(0.5)) {
+    spec.storage.history.kind = WindowSpec::Kind::kCount;
+    spec.storage.history.count = rng.NextInt(1, 10000);
+  } else {
+    spec.storage.history.kind = WindowSpec::Kind::kTime;
+    spec.storage.history.duration_micros =
+        rng.NextInt(1, 7200) * kMicrosPerSecond;
+  }
+
+  const size_t num_streams = 1 + rng.NextUint64(3);
+  for (size_t s = 0; s < num_streams; ++s) {
+    InputStreamSpec stream;
+    stream.name = "stream_" + std::to_string(s);
+    if (rng.NextBool(0.3)) stream.max_rate = rng.NextDouble(1.0, 1000.0);
+    const size_t num_sources = 1 + rng.NextUint64(3);
+    std::string q = "select * from ";
+    for (size_t i = 0; i < num_sources; ++i) {
+      StreamSourceSpec source;
+      source.alias = "src_" + std::to_string(i);
+      source.sampling_rate = rng.NextDouble(0.01, 1.0);
+      if (rng.NextBool(0.5)) {
+        source.window.kind = WindowSpec::Kind::kCount;
+        source.window.count = rng.NextInt(1, 1000);
+      } else {
+        source.window.kind = WindowSpec::Kind::kTime;
+        source.window.duration_micros =
+            rng.NextInt(1, 3600) * kMicrosPerSecond;
+      }
+      source.disconnect_buffer = rng.NextInt(0, 100);
+      source.address.wrapper = rng.NextBool(0.5) ? "mote" : "generator";
+      source.address.predicates["interval-ms"] =
+          std::to_string(rng.NextInt(10, 1000));
+      source.query = "select avg(field_0) from wrapper where field_0 > " +
+                     std::to_string(rng.NextInt(-100, 100));
+      stream.sources.push_back(std::move(source));
+    }
+    stream.query = q + "src_0";
+    spec.input_streams.push_back(std::move(stream));
+  }
+  return spec;
+}
+
+class DescriptorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DescriptorPropertyTest, ToXmlParseRoundTripIsExact) {
+  const VirtualSensorSpec original = RandomSpec(GetParam());
+  ASSERT_TRUE(original.Validate().ok());
+  const std::string xml_text = original.ToXml();
+  Result<VirtualSensorSpec> reparsed = ParseDescriptor(xml_text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << xml_text;
+
+  EXPECT_EQ(reparsed->name, original.name);
+  EXPECT_EQ(reparsed->metadata, original.metadata);
+  EXPECT_EQ(reparsed->life_cycle.pool_size, original.life_cycle.pool_size);
+  EXPECT_EQ(reparsed->life_cycle.lifetime_micros,
+            original.life_cycle.lifetime_micros);
+  EXPECT_EQ(reparsed->output_structure, original.output_structure);
+  EXPECT_EQ(reparsed->storage.permanent, original.storage.permanent);
+  EXPECT_EQ(reparsed->storage.history.kind, original.storage.history.kind);
+  ASSERT_EQ(reparsed->input_streams.size(), original.input_streams.size());
+  for (size_t s = 0; s < original.input_streams.size(); ++s) {
+    const InputStreamSpec& a = original.input_streams[s];
+    const InputStreamSpec& b = reparsed->input_streams[s];
+    EXPECT_EQ(b.name, a.name);
+    ASSERT_EQ(b.sources.size(), a.sources.size());
+    for (size_t i = 0; i < a.sources.size(); ++i) {
+      EXPECT_EQ(b.sources[i].alias, a.sources[i].alias);
+      EXPECT_EQ(b.sources[i].window.kind, a.sources[i].window.kind);
+      EXPECT_EQ(b.sources[i].window.count, a.sources[i].window.count);
+      EXPECT_EQ(b.sources[i].disconnect_buffer,
+                a.sources[i].disconnect_buffer);
+      EXPECT_EQ(b.sources[i].address.wrapper, a.sources[i].address.wrapper);
+      EXPECT_EQ(b.sources[i].address.predicates,
+                a.sources[i].address.predicates);
+      EXPECT_EQ(StrTrim(b.sources[i].query), StrTrim(a.sources[i].query));
+      EXPECT_NEAR(b.sources[i].sampling_rate, a.sources[i].sampling_rate,
+                  1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DescriptorPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// ------------------------------------------------------------- XML hostile
+
+TEST(XmlHostileTest, EntitiesInQueriesSurvive) {
+  // Queries commonly contain <, >, and & — they must round-trip.
+  auto doc = xml::Parse(
+      "<q>select * from t where a &lt; 3 &amp;&amp; b &gt; 1</q>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->text(), "select * from t where a < 3 && b > 1");
+}
+
+TEST(XmlHostileTest, MalformedInputsFailCleanly) {
+  const char* bad[] = {
+      "",
+      "<",
+      "<a",
+      "<a><b></a></b>",
+      "<a attr=novalue/>",
+      "<a attr='x' attr='y'/>",
+      "<a>&undefined;</a>",
+      "<a>&#xZZ;</a>",
+      "<a/><b/>",  // two roots
+      "<a>text after root</a> trailing",
+  };
+  for (const char* input : bad) {
+    EXPECT_FALSE(xml::Parse(input).ok()) << input;
+  }
+}
+
+TEST(XmlHostileTest, RandomBytesNeverCrashParser) {
+  Rng rng(2718);
+  for (int i = 0; i < 300; ++i) {
+    std::string junk;
+    const size_t len = rng.NextUint64(200);
+    for (size_t j = 0; j < len; ++j) {
+      // Bias toward XML-ish characters to reach deeper parser states.
+      static const char kChars[] = "<>/=\"'&;ab c\n\t%#x0123!-[]?";
+      junk.push_back(kChars[rng.NextUint64(sizeof(kChars) - 1)]);
+    }
+    (void)xml::Parse(junk);       // must not crash or hang
+    (void)ParseDescriptor(junk);  // nor the descriptor layer above it
+  }
+}
+
+TEST(XmlHostileTest, DeeplyNestedDocument) {
+  std::string deep;
+  const int depth = 2000;
+  for (int i = 0; i < depth; ++i) deep += "<n>";
+  for (int i = 0; i < depth; ++i) deep += "</n>";
+  auto doc = xml::Parse(deep);
+  ASSERT_TRUE(doc.ok());  // recursion depth is bounded by input size
+  const xml::Element* e = doc->root();
+  int measured = 1;
+  while (!e->children().empty()) {
+    e = e->children()[0].get();
+    ++measured;
+  }
+  EXPECT_EQ(measured, depth);
+}
+
+}  // namespace
+}  // namespace gsn::vsensor

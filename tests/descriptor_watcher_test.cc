@@ -1,0 +1,154 @@
+// Tests for hot deployment from a descriptor directory — drop/overwrite/
+// delete .xml files and the container reconciles (the original GSN's
+// virtual-sensors/ directory workflow, §6).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "gsn/container/descriptor_watcher.h"
+
+namespace gsn::container {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string SensorXml(const std::string& name, int interval_ms) {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<output-structure>"
+         "  <field name=\"temperature\" type=\"integer\"/>"
+         "</output-structure>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src\" storage-size=\"1m\">"
+         "    <address wrapper=\"mote\">"
+         "      <predicate key=\"interval-ms\" val=\"" +
+         std::to_string(interval_ms) + "\"/>"
+         "    </address>"
+         "    <query>select avg(temperature) from wrapper</query>"
+         "  </stream-source>"
+         "  <query>select * from src</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+class DescriptorWatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("gsn_watch_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+
+    clock_ = std::make_shared<VirtualClock>();
+    Container::Options options;
+    options.node_id = "watch-node";
+    options.clock = clock_;
+    container_ = std::make_unique<Container>(std::move(options));
+    watcher_ = std::make_unique<DescriptorWatcher>(container_.get(),
+                                                   dir_.string());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void WriteDescriptor(const std::string& filename,
+                       const std::string& contents) {
+    std::ofstream(dir_ / filename) << contents;
+  }
+
+  /// Bump mtime granularity between writes so fingerprints change.
+  static void TouchDelay() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+
+  fs::path dir_;
+  std::shared_ptr<VirtualClock> clock_;
+  std::unique_ptr<Container> container_;
+  std::unique_ptr<DescriptorWatcher> watcher_;
+};
+
+TEST_F(DescriptorWatcherTest, DeploysDroppedFiles) {
+  WriteDescriptor("a.xml", SensorXml("sensor-a", 100));
+  WriteDescriptor("b.xml", SensorXml("sensor-b", 200));
+  WriteDescriptor("notes.txt", "not a descriptor");  // ignored
+
+  auto actions = watcher_->Scan();
+  ASSERT_TRUE(actions.ok()) << actions.status().ToString();
+  EXPECT_EQ(*actions, 2);
+  EXPECT_EQ(container_->ListSensors().size(), 2u);
+  EXPECT_NE(container_->FindSensor("sensor-a"), nullptr);
+  EXPECT_EQ(watcher_->stats().deployed, 2);
+
+  // Idempotent: nothing changed, nothing happens.
+  actions = watcher_->Scan();
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ(*actions, 0);
+}
+
+TEST_F(DescriptorWatcherTest, RemovingFileUndeploys) {
+  WriteDescriptor("a.xml", SensorXml("sensor-a", 100));
+  ASSERT_TRUE(watcher_->Scan().ok());
+  ASSERT_EQ(container_->ListSensors().size(), 1u);
+
+  fs::remove(dir_ / "a.xml");
+  auto actions = watcher_->Scan();
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ(*actions, 1);
+  EXPECT_TRUE(container_->ListSensors().empty());
+  EXPECT_EQ(watcher_->stats().undeployed, 1);
+}
+
+TEST_F(DescriptorWatcherTest, OverwritingFileRedeploys) {
+  WriteDescriptor("a.xml", SensorXml("sensor-a", 100));
+  ASSERT_TRUE(watcher_->Scan().ok());
+
+  // Reconfigure: new name and rate in the same file.
+  TouchDelay();
+  WriteDescriptor("a.xml", SensorXml("sensor-a2", 50));
+  auto actions = watcher_->Scan();
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ(*actions, 1);
+  EXPECT_EQ(container_->ListSensors(),
+            std::vector<std::string>{"sensor-a2"});
+  EXPECT_EQ(watcher_->stats().redeployed, 1);
+}
+
+TEST_F(DescriptorWatcherTest, BrokenDescriptorReportedOnceAndRecoverable) {
+  WriteDescriptor("bad.xml", "<virtual-sensor name='x'>broken");
+  auto actions = watcher_->Scan();
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ(*actions, 0);
+  EXPECT_EQ(watcher_->stats().failed, 1);
+  EXPECT_TRUE(container_->ListSensors().empty());
+
+  // Unchanged broken file is not retried.
+  ASSERT_TRUE(watcher_->Scan().ok());
+  EXPECT_EQ(watcher_->stats().failed, 1);
+
+  // Fixing the file deploys it.
+  TouchDelay();
+  WriteDescriptor("bad.xml", SensorXml("fixed", 100));
+  ASSERT_TRUE(watcher_->Scan().ok());
+  EXPECT_EQ(container_->ListSensors(), std::vector<std::string>{"fixed"});
+}
+
+TEST_F(DescriptorWatcherTest, MissingDirectoryIsError) {
+  DescriptorWatcher watcher(container_.get(), (dir_ / "nope").string());
+  EXPECT_EQ(watcher.Scan().status().code(), StatusCode::kIoError);
+}
+
+TEST_F(DescriptorWatcherTest, DeployedSensorsActuallyRun) {
+  WriteDescriptor("a.xml", SensorXml("running", 100));
+  ASSERT_TRUE(watcher_->Scan().ok());
+  for (int i = 0; i < 10; ++i) {
+    clock_->Advance(100 * kMicrosPerMilli);
+    ASSERT_TRUE(container_->Tick().ok());
+  }
+  auto count = container_->Query("select count(*) from running");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows()[0][0], Value::Int(9));
+}
+
+}  // namespace
+}  // namespace gsn::container

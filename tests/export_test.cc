@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "gsn/util/export.h"
+#include "gsn/util/strings.h"
+
+namespace gsn {
+namespace {
+
+Relation SampleRelation() {
+  Schema schema;
+  schema.AddField("timed", DataType::kTimestamp);
+  schema.AddField("temperature", DataType::kInt);
+  schema.AddField("label", DataType::kString);
+  Relation rel(schema);
+  EXPECT_TRUE(rel.AddRow({Value::TimestampVal(100), Value::Int(20),
+                          Value::String("ok")})
+                  .ok());
+  EXPECT_TRUE(rel.AddRow({Value::TimestampVal(200), Value::Int(25),
+                          Value::Null()})
+                  .ok());
+  EXPECT_TRUE(rel.AddRow({Value::TimestampVal(300), Value::Int(22),
+                          Value::String("a,\"b\"\nc")})
+                  .ok());
+  return rel;
+}
+
+TEST(ExportTest, JsonRendering) {
+  const std::string json = RelationToJson(SampleRelation());
+  EXPECT_EQ(json.substr(0, 1), "[");
+  EXPECT_NE(json.find("{\"timed\":100,\"temperature\":20,\"label\":\"ok\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"label\":null"), std::string::npos);
+  // Escaping of quotes and newlines.
+  EXPECT_NE(json.find("a,\\\"b\\\"\\nc"), std::string::npos) << json;
+}
+
+TEST(ExportTest, JsonSpecialDoubles) {
+  Schema schema;
+  schema.AddField("v", DataType::kDouble);
+  Relation rel(schema);
+  ASSERT_TRUE(rel.AddRow({Value::Double(1.5)}).ok());
+  ASSERT_TRUE(
+      rel.AddRow({Value::Double(std::numeric_limits<double>::infinity())})
+          .ok());
+  const std::string json = RelationToJson(rel);
+  EXPECT_NE(json.find("1.5"), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);  // Inf -> null
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(ExportTest, JsonBinaryPlaceholder) {
+  Schema schema;
+  schema.AddField("image", DataType::kBinary);
+  Relation rel(schema);
+  ASSERT_TRUE(rel.AddRow({Value::Binary(MakeBlob("abc"))}).ok());
+  EXPECT_NE(RelationToJson(rel).find("<binary:3>"), std::string::npos);
+}
+
+TEST(ExportTest, CsvQuoting) {
+  const std::string csv = RelationToCsv(SampleRelation());
+  const std::vector<std::string> lines = StrSplit(csv, '\n');
+  EXPECT_EQ(lines[0], "timed,temperature,label");
+  EXPECT_EQ(lines[1], "@100,20,ok");
+  EXPECT_EQ(lines[2], "@200,25,");  // NULL -> empty cell
+  // Embedded comma/quote/newline round into one quoted cell.
+  EXPECT_NE(csv.find("\"a,\"\"b\"\"\nc\""), std::string::npos) << csv;
+}
+
+TEST(ExportTest, AsciiPlotBasics) {
+  Result<std::string> chart = AsciiPlot(SampleRelation(), "temperature");
+  ASSERT_TRUE(chart.ok()) << chart.status().ToString();
+  EXPECT_NE(chart->find('*'), std::string::npos);
+  EXPECT_NE(chart->find("3 points"), std::string::npos);
+  EXPECT_NE(chart->find("25"), std::string::npos);  // max label
+}
+
+TEST(ExportTest, AsciiPlotErrors) {
+  EXPECT_FALSE(AsciiPlot(SampleRelation(), "nope").ok());
+  EXPECT_FALSE(AsciiPlot(SampleRelation(), "temperature", 2, 1).ok());
+  Relation empty{Schema({Field{"v", DataType::kInt}})};
+  auto chart = AsciiPlot(empty, "v");
+  ASSERT_TRUE(chart.ok());
+  EXPECT_EQ(*chart, "(no data)\n");
+}
+
+TEST(ExportTest, DotGraph) {
+  const std::string dot = EdgesToDot(
+      "gsn", {{"mote device", "hall-env", "in/src"},
+              {"hall-env", "peer (node)", "stream"}});
+  EXPECT_NE(dot.find("digraph \"gsn\""), std::string::npos);
+  EXPECT_NE(dot.find("\"mote device\" -> \"hall-env\" [label=\"in/src\"];"),
+            std::string::npos)
+      << dot;
+}
+
+TEST(ExportTest, JsonEscapeControlChars) {
+  EXPECT_EQ(JsonEscape("a\x01z"), "\"a\\u0001z\"");
+  EXPECT_EQ(JsonEscape("tab\there"), "\"tab\\there\"");
+}
+
+}  // namespace
+}  // namespace gsn

@@ -1,0 +1,218 @@
+// Failure-injection tests: the stream-quality machinery of the input
+// stream manager (paper §4: "disconnections, unexpected delays, missing
+// values") and the integrity layer under a hostile network.
+
+#include <gtest/gtest.h>
+
+#include "gsn/container/federation.h"
+#include "gsn/container/realtime_pump.h"
+#include "gsn/network/protocol.h"
+
+namespace gsn::container {
+namespace {
+
+std::string ProducerXml(const std::string& name) {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<metadata><predicate key=\"type\" val=\"gen\"/></metadata>"
+         "<output-structure>"
+         "  <field name=\"seq\" type=\"integer\"/>"
+         "  <field name=\"value\" type=\"double\"/>"
+         "</output-structure>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src\" storage-size=\"1\">"
+         "    <address wrapper=\"generator\">"
+         "      <predicate key=\"interval-ms\" val=\"100\"/>"
+         "      <predicate key=\"payload-bytes\" val=\"0\"/>"
+         "    </address>"
+         "    <query>select seq, value from wrapper</query>"
+         "  </stream-source>"
+         "  <query>select * from src</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+std::string ConsumerXml(const std::string& name) {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<output-structure>"
+         "  <field name=\"seq\" type=\"integer\"/>"
+         "  <field name=\"value\" type=\"double\"/>"
+         "</output-structure>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src\" storage-size=\"1\">"
+         "    <address wrapper=\"remote\">"
+         "      <predicate key=\"type\" val=\"gen\"/>"
+         "    </address>"
+         "    <query>select * from wrapper</query>"
+         "  </stream-source>"
+         "  <query>select seq, value from src</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+TEST(FailureInjectionTest, LossyLinkDegradesButNeverCorrupts) {
+  Federation fed(99);
+  gsn::network::NetworkSimulator::LinkConfig lossy;
+  lossy.base_latency_micros = 5 * kMicrosPerMilli;
+  lossy.jitter_micros = 20 * kMicrosPerMilli;
+  lossy.loss_probability = 0.3;  // a terrible link
+  fed.network().SetDefaultLink(lossy);
+
+  auto a = fed.AddNode("producer");
+  auto b = fed.AddNode("consumer");
+  ASSERT_TRUE((*a)->Deploy(ProducerXml("gen")).ok());
+  // The initial publish may be lost on this link; anti-entropy
+  // re-announcement (every 5s) must eventually converge the replica.
+  for (int i = 0; i < 300 && (*b)->Discover({{"type", "gen"}}).empty();
+       ++i) {
+    ASSERT_TRUE(fed.Step(100 * kMicrosPerMilli).ok());
+  }
+  ASSERT_FALSE((*b)->Discover({{"type", "gen"}}).empty());
+  auto consumer = (*b)->Deploy(ConsumerXml("mirror"));
+  ASSERT_TRUE(consumer.ok()) << consumer.status().ToString();
+
+  ASSERT_TRUE(fed.RunFor(20 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  // Producer emitted ~200 elements; with 30% loss, the mirror holds a
+  // substantial but strictly smaller subset, and every element that did
+  // arrive is intact (seq aligns with value's sine argument).
+  auto got = (*b)->Query("select count(*), count(distinct seq) from mirror");
+  ASSERT_TRUE(got.ok());
+  const int64_t received = got->rows()[0][0].int_value();
+  EXPECT_GT(received, 50);
+  EXPECT_LT(received, 200);
+  EXPECT_EQ(received, got->rows()[0][1].int_value());  // no duplicates
+
+  const auto stats = fed.network().stats();
+  EXPECT_GT(stats.dropped, 0);
+}
+
+TEST(FailureInjectionTest, TamperedStreamElementsAreRejected) {
+  Federation fed(7);
+  auto a = fed.AddNode("producer");
+  auto b = fed.AddNode("consumer");
+  ASSERT_TRUE((*a)->Deploy(ProducerXml("gen")).ok());
+  ASSERT_TRUE(fed.RunFor(100 * kMicrosPerMilli, 10 * kMicrosPerMilli).ok());
+  ASSERT_TRUE((*b)->Deploy(ConsumerXml("mirror")).ok());
+  ASSERT_TRUE(fed.RunFor(kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  auto before = (*b)->Query("select count(*) from mirror");
+  ASSERT_TRUE(before.ok());
+  const int64_t count_before = before->rows()[0][0].int_value();
+  ASSERT_GT(count_before, 0);
+
+  // Forge a stream delivery with a wrong signature: the integrity layer
+  // must drop it. Subscription ids are "<node>#<n>"; the consumer's
+  // first subscription is consumer#1.
+  gsn::network::StreamDelivery forged;
+  forged.subscription_id = "consumer#1";
+  forged.sensor_name = "gen";
+  forged.signature = std::string(64, 'f');
+  forged.element.timed = fed.clock()->NowMicros();
+  forged.element.values = {Value::Int(999999), Value::Double(0)};
+  ASSERT_TRUE(fed.network()
+                  .Send(fed.clock()->NowMicros(), "attacker-spoof",
+                        "consumer", gsn::network::kTopicStream,
+                        forged.Encode())
+                  .ok());
+  ASSERT_TRUE(fed.RunFor(kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  auto forged_rows =
+      (*b)->Query("select count(*) from mirror where seq = 999999");
+  ASSERT_TRUE(forged_rows.ok());
+  EXPECT_EQ(forged_rows->rows()[0][0], Value::Int(0));
+}
+
+TEST(FailureInjectionTest, DisconnectBufferReplaysAfterOutage) {
+  // Descriptor with a disconnect buffer of 8 elements.
+  auto clock = std::make_shared<VirtualClock>();
+  Container::Options options;
+  options.node_id = "n";
+  options.clock = clock;
+  Container container(std::move(options));
+  const std::string xml =
+      "<virtual-sensor name=\"s\">"
+      "<output-structure><field name=\"seq\" type=\"integer\"/>"
+      "</output-structure>"
+      "<input-stream name=\"in\">"
+      "  <stream-source alias=\"src\" storage-size=\"100\""
+      "                 disconnect-buffer=\"8\">"
+      "    <address wrapper=\"generator\">"
+      "      <predicate key=\"interval-ms\" val=\"100\"/>"
+      "      <predicate key=\"payload-bytes\" val=\"0\"/>"
+      "    </address>"
+      "    <query>select seq from wrapper order by seq desc limit 1</query>"
+      "  </stream-source>"
+      "  <query>select * from src</query>"
+      "</input-stream>"
+      "</virtual-sensor>";
+  auto sensor = container.Deploy(xml);
+  ASSERT_TRUE(sensor.ok()) << sensor.status().ToString();
+
+  auto run = [&](int ticks) {
+    for (int i = 0; i < ticks; ++i) {
+      clock->Advance(100 * kMicrosPerMilli);
+      ASSERT_TRUE(container.Tick().ok());
+    }
+  };
+  run(5);
+  auto* source = (*sensor)->FindSource("in", "src");
+  ASSERT_NE(source, nullptr);
+
+  // Outage for 2 seconds (20 elements produced, buffer keeps last 8).
+  source->SetConnected(false);
+  run(20);
+  const int64_t dropped_during = source->dropped_disconnected_count();
+  EXPECT_EQ(dropped_during, 12);
+
+  source->SetConnected(true);
+  run(5);
+  // All buffered elements were admitted after reconnect.
+  EXPECT_EQ(source->admitted_count(), 4 + 8 + 5);
+}
+
+TEST(FailureInjectionTest, RealtimePumpDrivesLiveContainer) {
+  // Live mode: wall clock + pump thread. Just verify elements flow and
+  // shutdown is clean.
+  Container::Options options;
+  options.node_id = "live";
+  options.clock = SystemClock::Shared();
+  Container container(std::move(options));
+  const std::string xml =
+      "<virtual-sensor name=\"live-gen\">"
+      "<output-structure><field name=\"seq\" type=\"integer\"/>"
+      "</output-structure>"
+      "<input-stream name=\"in\">"
+      "  <stream-source alias=\"src\" storage-size=\"100\">"
+      "    <address wrapper=\"generator\">"
+      "      <predicate key=\"interval-ms\" val=\"5\"/>"
+      "      <predicate key=\"payload-bytes\" val=\"0\"/>"
+      "    </address>"
+      "    <query>select seq from wrapper order by seq desc limit 1</query>"
+      "  </stream-source>"
+      "  <query>select * from src</query>"
+      "</input-stream>"
+      "</virtual-sensor>";
+  ASSERT_TRUE(container.Deploy(xml).ok());
+
+  RealtimePump pump(&container, 10 * kMicrosPerMilli);
+  pump.Start();
+  EXPECT_TRUE(pump.running());
+  pump.Start();  // idempotent
+  // Wait until data demonstrably flowed (bounded by a 2s deadline).
+  for (int i = 0; i < 200; ++i) {
+    auto count = container.Query("select count(*) from \"live-gen\"");
+    if (count.ok() && count->rows()[0][0].int_value() >= 10) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  pump.Stop();
+  pump.Stop();  // idempotent
+  EXPECT_FALSE(pump.running());
+  EXPECT_GT(pump.rounds(), 0);
+
+  auto count = container.Query("select count(*) from \"live-gen\"");
+  ASSERT_TRUE(count.ok());
+  EXPECT_GE(count->rows()[0][0].int_value(), 10);
+}
+
+}  // namespace
+}  // namespace gsn::container

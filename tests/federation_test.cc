@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "gsn/container/federation.h"
+#include "gsn/container/management_interface.h"
+#include "gsn/wrappers/rfid_wrapper.h"
+
+namespace gsn::container {
+namespace {
+
+/// Producer: averaged mote temperature published with discovery
+/// metadata, as in the paper's Fig 1.
+std::string ProducerDescriptor(const std::string& name,
+                               const std::string& location) {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<metadata>"
+         "  <predicate key=\"type\" val=\"temperature\"/>"
+         "  <predicate key=\"location\" val=\"" + location + "\"/>"
+         "</metadata>"
+         "<output-structure>"
+         "  <field name=\"temperature\" type=\"integer\"/>"
+         "</output-structure>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src\" storage-size=\"1m\">"
+         "    <address wrapper=\"mote\">"
+         "      <predicate key=\"interval-ms\" val=\"100\"/>"
+         "    </address>"
+         "    <query>select avg(temperature) from wrapper</query>"
+         "  </stream-source>"
+         "  <query>select * from src</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+/// Consumer on another node: the paper's Fig 1 remote wrapper, resolved
+/// by logical addressing (type + location predicates).
+std::string ConsumerDescriptor(const std::string& name,
+                               const std::string& location) {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<output-structure>"
+         "  <field name=\"temperature\" type=\"integer\"/>"
+         "</output-structure>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src1\" storage-size=\"30s\">"
+         "    <address wrapper=\"remote\">"
+         "      <predicate key=\"type\" val=\"temperature\"/>"
+         "      <predicate key=\"location\" val=\"" + location + "\"/>"
+         "    </address>"
+         "    <query>select avg(temperature) from wrapper</query>"
+         "  </stream-source>"
+         "  <query>select * from src1</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+TEST(FederationTest, RemoteWrapperStreamsAcrossNodes) {
+  Federation fed(21);
+  auto producer_node = fed.AddNode("node-a");
+  auto consumer_node = fed.AddNode("node-b");
+  ASSERT_TRUE(producer_node.ok());
+  ASSERT_TRUE(consumer_node.ok());
+
+  ASSERT_TRUE(
+      (*producer_node)->Deploy(ProducerDescriptor("bc143-temp", "bc143")).ok());
+  // Let the directory publication propagate.
+  ASSERT_TRUE(fed.Step(10 * kMicrosPerMilli).ok());
+
+  // node-b discovers node-a's sensor purely by predicates.
+  auto hits = (*consumer_node)
+                  ->Discover({{"type", "temperature"}, {"location", "bc143"}});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node_id, "node-a");
+
+  auto consumer =
+      (*consumer_node)->Deploy(ConsumerDescriptor("mirror", "bc143"));
+  ASSERT_TRUE(consumer.ok()) << consumer.status().ToString();
+
+  ASSERT_TRUE(fed.RunFor(3 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  // The consumer's table must contain mirrored averaged temperatures.
+  auto result =
+      (*consumer_node)->Query("select count(*), avg(temperature) from mirror");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->rows()[0][0].int_value(), 10);
+  const double avg = result->rows()[0][1].double_value();
+  EXPECT_GT(avg, 0);
+  EXPECT_LT(avg, 60);
+}
+
+TEST(FederationTest, RemoteDeployFailsWithoutMatchingProducer) {
+  Federation fed;
+  auto node = fed.AddNode("solo");
+  ASSERT_TRUE(node.ok());
+  auto consumer = (*node)->Deploy(ConsumerDescriptor("mirror", "nowhere"));
+  EXPECT_EQ(consumer.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FederationTest, UndeployProducerStopsStreamConsumerKeepsRunning) {
+  Federation fed(5);
+  auto a = fed.AddNode("a");
+  auto b = fed.AddNode("b");
+  ASSERT_TRUE((*a)->Deploy(ProducerDescriptor("p", "here")).ok());
+  ASSERT_TRUE(fed.Step(10 * kMicrosPerMilli).ok());
+  ASSERT_TRUE((*b)->Deploy(ConsumerDescriptor("c", "here")).ok());
+  ASSERT_TRUE(fed.RunFor(kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  auto before = (*b)->Query("select count(*) from c");
+  ASSERT_TRUE(before.ok());
+  const int64_t count_before = before->rows()[0][0].int_value();
+  EXPECT_GT(count_before, 0);
+
+  ASSERT_TRUE((*a)->Undeploy("p").ok());
+  ASSERT_TRUE(fed.RunFor(kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+  auto after = (*b)->Query("select count(*) from c");
+  ASSERT_TRUE(after.ok());
+  // At most one in-flight element may still land; then the stream is
+  // quiescent.
+  const int64_t count_after = after->rows()[0][0].int_value();
+  EXPECT_LE(count_after - count_before, 1);
+  ASSERT_TRUE(fed.RunFor(kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+  auto final_count = (*b)->Query("select count(*) from c");
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(final_count->rows()[0][0].int_value(), count_after);
+  // And the directory no longer lists it anywhere.
+  EXPECT_TRUE((*b)->Discover({{"name", "p"}}).empty());
+}
+
+TEST(FederationTest, LateJoinerLearnsDirectoryViaAnnounce) {
+  Federation fed;
+  auto a = fed.AddNode("a");
+  ASSERT_TRUE((*a)->Deploy(ProducerDescriptor("p", "x")).ok());
+  ASSERT_TRUE(fed.Step(10 * kMicrosPerMilli).ok());
+
+  // b joins after the publish happened; AddNode triggers re-announce.
+  auto b = fed.AddNode("b");
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(fed.Step(10 * kMicrosPerMilli).ok());
+  EXPECT_EQ((*b)->Discover({{"type", "temperature"}}).size(), 1u);
+}
+
+TEST(FederationTest, NodeRemovalIsClean) {
+  Federation fed;
+  auto a = fed.AddNode("a");
+  ASSERT_TRUE(fed.AddNode("b").ok());
+  ASSERT_TRUE((*a)->Deploy(ProducerDescriptor("p", "x")).ok());
+  ASSERT_TRUE(fed.Step(10 * kMicrosPerMilli).ok());
+  ASSERT_TRUE(fed.RemoveNode("a").ok());
+  EXPECT_EQ(fed.RemoveNode("a").code(), StatusCode::kNotFound);
+  // Remaining node keeps stepping without error.
+  ASSERT_TRUE(fed.RunFor(kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+  EXPECT_EQ(fed.NodeIds(), std::vector<std::string>{"b"});
+}
+
+/// The paper's §6 event scenario: "when the RFID reader recognizes an
+/// RFID tag, a picture ... would be returned from the camera network
+/// together with the current light intensity and temperature taken
+/// from the other networks (notification)". Three networks on two
+/// nodes; the event handler queries the other sensors on notification.
+TEST(FederationTest, DemoRfidTriggersJoinedSnapshot) {
+  Federation fed(9);
+  auto hub = fed.AddNode("hub");      // RFID + motes (as in Fig 5)
+  auto cams = fed.AddNode("cameras");  // camera network
+  ASSERT_TRUE(hub.ok());
+  ASSERT_TRUE(cams.ok());
+
+  // Camera network publishes frames.
+  ASSERT_TRUE((*cams)
+                  ->Deploy(
+                      "<virtual-sensor name=\"cam1\">"
+                      "<metadata><predicate key=\"type\" val=\"camera\"/>"
+                      "</metadata>"
+                      "<output-structure>"
+                      "  <field name=\"image\" type=\"binary\"/>"
+                      "  <field name=\"camera_id\" type=\"integer\"/>"
+                      "</output-structure>"
+                      "<input-stream name=\"in\">"
+                      "  <stream-source alias=\"src\" storage-size=\"5\">"
+                      "    <address wrapper=\"camera\">"
+                      "      <predicate key=\"interval-ms\" val=\"500\"/>"
+                      "      <predicate key=\"image-bytes\" val=\"1024\"/>"
+                      "    </address>"
+                      "    <query>select image, camera_id from wrapper</query>"
+                      "  </stream-source>"
+                      "  <query>select * from src</query>"
+                      "</input-stream>"
+                      "</virtual-sensor>")
+                  .ok());
+
+  // Mote network on the hub.
+  ASSERT_TRUE((*hub)->Deploy(ProducerDescriptor("motes", "hall")).ok());
+
+  // Camera mirror on the hub via remote wrapper, so the snapshot query
+  // can join local tables.
+  ASSERT_TRUE(fed.Step(10 * kMicrosPerMilli).ok());
+  ASSERT_TRUE((*hub)
+                  ->Deploy(
+                      "<virtual-sensor name=\"cam-mirror\">"
+                      "<output-structure>"
+                      "  <field name=\"image\" type=\"binary\"/>"
+                      "  <field name=\"camera_id\" type=\"integer\"/>"
+                      "</output-structure>"
+                      "<input-stream name=\"in\">"
+                      "  <stream-source alias=\"src\" storage-size=\"5\">"
+                      "    <address wrapper=\"remote\">"
+                      "      <predicate key=\"type\" val=\"camera\"/>"
+                      "    </address>"
+                      "    <query>select * from wrapper</query>"
+                      "  </stream-source>"
+                      "  <query>select image, camera_id from src</query>"
+                      "</input-stream>"
+                      "</virtual-sensor>")
+                  .ok());
+
+  // RFID reader on the hub; detection forced below.
+  ASSERT_TRUE((*hub)
+                  ->Deploy(
+                      "<virtual-sensor name=\"door-rfid\">"
+                      "<output-structure>"
+                      "  <field name=\"tag_id\" type=\"string\"/>"
+                      "  <field name=\"rssi\" type=\"integer\"/>"
+                      "</output-structure>"
+                      "<input-stream name=\"in\">"
+                      "  <stream-source alias=\"src\" storage-size=\"1\">"
+                      "    <address wrapper=\"rfid\">"
+                      "      <predicate key=\"interval-ms\" val=\"100\"/>"
+                      "      <predicate key=\"detect-probability\" val=\"0\"/>"
+                      "    </address>"
+                      "    <query>select tag_id, rssi from wrapper</query>"
+                      "  </stream-source>"
+                      "  <query>select * from src</query>"
+                      "</input-stream>"
+                      "</virtual-sensor>")
+                  .ok());
+
+  // Event handler: on RFID detection, snapshot camera + temperature.
+  struct Snapshot {
+    std::string tag;
+    bool has_image = false;
+    double temperature = 0;
+  };
+  std::vector<Snapshot> snapshots;
+  auto sub = (*hub)->notification_manager().Subscribe(
+      "door-rfid", "",
+      std::make_shared<CallbackChannel>([&](const Notification& n) {
+        Snapshot snap;
+        snap.tag = n.element.values[0].string_value();
+        auto image = (*hub)->Query(
+            "select image from \"cam-mirror\" order by timed desc limit 1");
+        snap.has_image = image.ok() && !image->empty() &&
+                         image->rows()[0][0].is_binary();
+        auto temp = (*hub)->Query("select avg(temperature) from motes");
+        if (temp.ok() && !temp->empty() && !temp->rows()[0][0].is_null()) {
+          snap.temperature = temp->rows()[0][0].double_value();
+        }
+        snapshots.push_back(snap);
+      }));
+  ASSERT_TRUE(sub.ok());
+
+  // Warm up: cameras produce frames, motes produce temperatures.
+  ASSERT_TRUE(fed.RunFor(2 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  // Someone swipes a badge.
+  auto* rfid = static_cast<wrappers::RfidWrapper*>(
+      (*hub)->FindSensor("door-rfid")->FindSource("in", "src")
+          ->mutable_wrapper());
+  rfid->InjectDetection("badge-42");
+  ASSERT_TRUE(fed.RunFor(300 * kMicrosPerMilli, 100 * kMicrosPerMilli).ok());
+
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].tag, "badge-42");
+  EXPECT_TRUE(snapshots[0].has_image);
+  EXPECT_GT(snapshots[0].temperature, 0);
+  EXPECT_LT(snapshots[0].temperature, 60);
+}
+
+}  // namespace
+}  // namespace gsn::container

@@ -1,0 +1,11 @@
+#include <gtest/gtest.h>
+
+#include "gsn/util/logging.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  // Keep test output readable: only warnings and errors from the
+  // middleware itself.
+  gsn::Logger::Instance().set_min_level(gsn::LogLevel::kWarn);
+  return RUN_ALL_TESTS();
+}

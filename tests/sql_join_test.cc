@@ -1,0 +1,176 @@
+// Tests for adaptive join execution: hash and nested-loop strategies
+// must produce identical results, strategy selection must react to
+// input cardinality, and SQL NULL-key semantics must hold on both
+// paths.
+
+#include <gtest/gtest.h>
+
+#include "gsn/sql/executor.h"
+#include "gsn/util/rng.h"
+
+namespace gsn::sql {
+namespace {
+
+MapResolver MakeJoinFixture(size_t left_rows, size_t right_rows,
+                            uint64_t seed) {
+  Rng rng(seed);
+  MapResolver resolver;
+  {
+    Schema schema;
+    schema.AddField("id", DataType::kInt);
+    schema.AddField("v", DataType::kInt);
+    Relation rel(schema);
+    for (size_t i = 0; i < left_rows; ++i) {
+      Value id = rng.NextBool(0.05) ? Value::Null()
+                                    : Value::Int(rng.NextInt(0, 50));
+      EXPECT_TRUE(rel.AddRow({id, Value::Int(rng.NextInt(0, 100))}).ok());
+    }
+    resolver.Put("l", std::move(rel));
+  }
+  {
+    Schema schema;
+    schema.AddField("id", DataType::kInt);
+    schema.AddField("w", DataType::kInt);
+    Relation rel(schema);
+    for (size_t i = 0; i < right_rows; ++i) {
+      Value id = rng.NextBool(0.05) ? Value::Null()
+                                    : Value::Int(rng.NextInt(0, 50));
+      EXPECT_TRUE(rel.AddRow({id, Value::Int(rng.NextInt(0, 100))}).ok());
+    }
+    resolver.Put("r", std::move(rel));
+  }
+  return resolver;
+}
+
+class JoinStrategyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_threshold_ = GetHashJoinThreshold();
+    ResetJoinCounters();
+  }
+  void TearDown() override { SetHashJoinThreshold(saved_threshold_); }
+
+  size_t saved_threshold_;
+};
+
+TEST_F(JoinStrategyTest, HashAndNestedLoopAgree) {
+  MapResolver resolver = MakeJoinFixture(80, 60, 42);
+  Executor exec(&resolver);
+  const char* queries[] = {
+      "select l.id, l.v, r.w from l join r on l.id = r.id order by 1, 2, 3",
+      "select l.id, r.w from l left join r on l.id = r.id order by 1, 2",
+      "select count(*) from l join r on l.id = r.id and l.v > r.w",
+  };
+  for (const char* q : queries) {
+    SetHashJoinThreshold(0);  // always hash
+    auto hashed = exec.Query(q);
+    ASSERT_TRUE(hashed.ok()) << q;
+    SetHashJoinThreshold(SIZE_MAX);  // never hash
+    auto nested = exec.Query(q);
+    ASSERT_TRUE(nested.ok()) << q;
+    ASSERT_EQ(hashed->NumRows(), nested->NumRows()) << q;
+    for (size_t i = 0; i < hashed->NumRows(); ++i) {
+      EXPECT_EQ(hashed->rows()[i], nested->rows()[i]) << q << " row " << i;
+    }
+  }
+}
+
+TEST_F(JoinStrategyTest, StrategySelectionIsAdaptive) {
+  Executor* exec;
+  // Small inputs: nested loop even though the condition is an equi-join.
+  MapResolver small = MakeJoinFixture(5, 5, 1);
+  Executor small_exec(&small);
+  exec = &small_exec;
+  SetHashJoinThreshold(1024);
+  ResetJoinCounters();
+  ASSERT_TRUE(exec->Query("select count(*) from l join r on l.id = r.id").ok());
+  EXPECT_EQ(GetJoinCounters().hash_joins, 0);
+  EXPECT_EQ(GetJoinCounters().nested_loop_joins, 1);
+
+  // Large inputs: same query hashes.
+  MapResolver large = MakeJoinFixture(100, 100, 2);
+  Executor large_exec(&large);
+  ResetJoinCounters();
+  ASSERT_TRUE(
+      large_exec.Query("select count(*) from l join r on l.id = r.id").ok());
+  EXPECT_EQ(GetJoinCounters().hash_joins, 1);
+  EXPECT_EQ(GetJoinCounters().nested_loop_joins, 0);
+
+  // Non-equi condition: nested loop regardless of size.
+  ResetJoinCounters();
+  ASSERT_TRUE(
+      large_exec.Query("select count(*) from l join r on l.id < r.id").ok());
+  EXPECT_EQ(GetJoinCounters().hash_joins, 0);
+  EXPECT_EQ(GetJoinCounters().nested_loop_joins, 1);
+
+  // Cross join: nothing to hash.
+  ResetJoinCounters();
+  ASSERT_TRUE(large_exec.Query("select count(*) from l cross join r").ok());
+  EXPECT_EQ(GetJoinCounters().hash_joins, 0);
+}
+
+TEST_F(JoinStrategyTest, NullKeysNeverMatchOnEitherPath) {
+  MapResolver resolver;
+  Schema schema;
+  schema.AddField("id", DataType::kInt);
+  Relation l(schema), r(schema);
+  ASSERT_TRUE(l.AddRow({Value::Null()}).ok());
+  ASSERT_TRUE(l.AddRow({Value::Int(1)}).ok());
+  ASSERT_TRUE(r.AddRow({Value::Null()}).ok());
+  ASSERT_TRUE(r.AddRow({Value::Int(1)}).ok());
+  resolver.Put("l", std::move(l));
+  resolver.Put("r", std::move(r));
+  Executor exec(&resolver);
+  for (size_t threshold : {size_t{0}, SIZE_MAX}) {
+    SetHashJoinThreshold(threshold);
+    auto result =
+        exec.Query("select count(*) from l join r on l.id = r.id");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows()[0][0], Value::Int(1)) << threshold;
+    // LEFT JOIN: the NULL-keyed left row survives as unmatched.
+    auto left = exec.Query(
+        "select count(*) from l left join r on l.id = r.id");
+    ASSERT_TRUE(left.ok());
+    EXPECT_EQ(left->rows()[0][0], Value::Int(2)) << threshold;
+  }
+}
+
+TEST_F(JoinStrategyTest, MultiKeyEquiJoinWithResidual) {
+  MapResolver resolver;
+  Schema ls;
+  ls.AddField("a", DataType::kInt);
+  ls.AddField("b", DataType::kString);
+  ls.AddField("x", DataType::kInt);
+  Schema rs;
+  rs.AddField("a", DataType::kInt);
+  rs.AddField("b", DataType::kString);
+  rs.AddField("y", DataType::kInt);
+  Relation l(ls), r(rs);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(l.AddRow({Value::Int(i % 4),
+                          Value::String(i % 2 ? "p" : "q"), Value::Int(i)})
+                    .ok());
+    ASSERT_TRUE(r.AddRow({Value::Int(i % 4),
+                          Value::String(i % 2 ? "p" : "q"), Value::Int(i)})
+                    .ok());
+  }
+  resolver.Put("l", std::move(l));
+  resolver.Put("r", std::move(r));
+  Executor exec(&resolver);
+  const char* q =
+      "select count(*) from l join r on l.a = r.a and l.b = r.b and "
+      "l.x < r.y";
+  SetHashJoinThreshold(0);
+  ResetJoinCounters();
+  auto hashed = exec.Query(q);
+  ASSERT_TRUE(hashed.ok());
+  EXPECT_EQ(GetJoinCounters().hash_joins, 1);
+  SetHashJoinThreshold(SIZE_MAX);
+  auto nested = exec.Query(q);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(hashed->rows()[0][0], nested->rows()[0][0]);
+  EXPECT_GT(hashed->rows()[0][0].int_value(), 0);
+}
+
+}  // namespace
+}  // namespace gsn::sql

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "gsn/sql/lexer.h"
+#include "gsn/sql/parser.h"
+
+namespace gsn::sql {
+namespace {
+
+// ------------------------------------------------------------------ Lexer
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select Select SELECT");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // 3 + EOF
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kKeyword);
+    EXPECT_EQ((*tokens)[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Lex("Temperature");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "Temperature");
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  auto tokens = Lex("42 3.14 .5 2e3 1E-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 3.14);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 0.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].double_value, 2000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[4].double_value, 0.01);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  auto tokens = Lex("\"order\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kQuotedIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "order");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= <> != < <= > >= || + - * / %");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> expected = {
+      TokenType::kEq,      TokenType::kNotEq,     TokenType::kNotEq,
+      TokenType::kLess,    TokenType::kLessEq,    TokenType::kGreater,
+      TokenType::kGreaterEq, TokenType::kConcat,  TokenType::kPlus,
+      TokenType::kMinus,   TokenType::kStar,      TokenType::kSlash,
+      TokenType::kPercent, TokenType::kEof};
+  ASSERT_EQ(tokens->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*tokens)[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Lex("select -- a comment\n 1 /* block\ncomment */ + 2");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // SELECT 1 + 2 EOF
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("'unterminated").ok());
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+  EXPECT_FALSE(Lex("a ! b").ok());
+  EXPECT_FALSE(Lex("a | b").ok());
+  EXPECT_FALSE(Lex("select /* never closed").ok());
+  EXPECT_FALSE(Lex("#").ok());
+}
+
+// ----------------------------------------------------------------- Parser
+
+TEST(ParserTest, PaperQueryAvgFromWrapper) {
+  // The exact query from Figure 1 of the paper.
+  auto stmt = ParseSelect("select avg(temperature) from WRAPPER");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->items.size(), 1u);
+  EXPECT_EQ((*stmt)->items[0].expr->kind, ExprKind::kFunctionCall);
+  EXPECT_EQ((*stmt)->items[0].expr->function, "AVG");
+  ASSERT_EQ((*stmt)->from.size(), 1u);
+  EXPECT_EQ((*stmt)->from[0]->table_name, "WRAPPER");
+}
+
+TEST(ParserTest, PaperQuerySelectStarFromSrc1) {
+  auto stmt = ParseSelect("select * from src1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->items[0].is_star);
+  EXPECT_EQ((*stmt)->from[0]->table_name, "src1");
+}
+
+TEST(ParserTest, QualifiedStar) {
+  auto stmt = ParseSelect("select src1.*, src2.temp from src1, src2");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->items[0].is_star);
+  EXPECT_EQ((*stmt)->items[0].star_qualifier, "src1");
+  EXPECT_EQ((*stmt)->items[1].expr->qualifier, "src2");
+  EXPECT_EQ((*stmt)->from.size(), 2u);
+}
+
+TEST(ParserTest, Aliases) {
+  auto stmt = ParseSelect("select temp as t, light l from motes m");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items[0].alias, "t");
+  EXPECT_EQ((*stmt)->items[1].alias, "l");
+  EXPECT_EQ((*stmt)->from[0]->alias, "m");
+}
+
+TEST(ParserTest, WhereGroupHavingOrderLimit) {
+  auto stmt = ParseSelect(
+      "select type, avg(temp) from readings where temp > 10 "
+      "group by type having count(*) > 2 order by type desc limit 5 "
+      "offset 2");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->group_by.size(), 1u);
+  EXPECT_NE((*stmt)->having, nullptr);
+  EXPECT_EQ((*stmt)->order_by.size(), 1u);
+  EXPECT_FALSE((*stmt)->order_by[0].ascending);
+  EXPECT_EQ((*stmt)->limit, 5);
+  EXPECT_EQ((*stmt)->offset, 2);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(e.ok());
+  // Should parse as 1 + (2 * 3).
+  EXPECT_EQ((*e)->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ((*e)->children[1]->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  auto e = ParseExpression("a = 1 or b = 2 and c = 3");
+  ASSERT_TRUE(e.ok());
+  // OR binds loosest: a=1 OR (b=2 AND c=3).
+  EXPECT_EQ((*e)->binary_op, BinaryOp::kOr);
+  EXPECT_EQ((*e)->children[1]->binary_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, NotBetweenInLike) {
+  EXPECT_TRUE(ParseExpression("x not between 1 and 5").ok());
+  EXPECT_TRUE(ParseExpression("x not in (1, 2, 3)").ok());
+  EXPECT_TRUE(ParseExpression("name not like 'mica%'").ok());
+  EXPECT_TRUE(ParseExpression("x is not null").ok());
+  EXPECT_TRUE(ParseExpression("not x = 1").ok());
+}
+
+TEST(ParserTest, InSubqueryAndExists) {
+  auto stmt = ParseSelect(
+      "select * from a where id in (select id from b) and "
+      "exists (select 1 from c where c.x = a.x)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(ParserTest, ScalarSubquery) {
+  auto stmt =
+      ParseSelect("select (select max(t) from b) as mt, x from a");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items[0].expr->kind, ExprKind::kScalarSubquery);
+  EXPECT_EQ((*stmt)->items[0].alias, "mt");
+}
+
+TEST(ParserTest, DerivedTableRequiresAlias) {
+  EXPECT_TRUE(
+      ParseSelect("select * from (select 1 as one) sub").ok());
+  EXPECT_FALSE(ParseSelect("select * from (select 1 as one)").ok());
+}
+
+TEST(ParserTest, Joins) {
+  auto stmt = ParseSelect(
+      "select * from a join b on a.id = b.id "
+      "left join c on b.id = c.id cross join d");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const TableRef* top = (*stmt)->from[0].get();
+  EXPECT_EQ(top->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(top->join_type, TableRef::JoinType::kCross);
+  EXPECT_EQ(top->left->join_type, TableRef::JoinType::kLeft);
+  EXPECT_EQ(top->left->left->join_type, TableRef::JoinType::kInner);
+}
+
+TEST(ParserTest, SetOperations) {
+  auto stmt = ParseSelect(
+      "select x from a union select x from b intersect select x from c");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->set_op, SetOp::kUnion);
+  ASSERT_NE((*stmt)->set_rhs, nullptr);
+  EXPECT_EQ((*stmt)->set_rhs->set_op, SetOp::kIntersect);
+}
+
+TEST(ParserTest, UnionAll) {
+  auto stmt = ParseSelect("select 1 union all select 2");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->set_op, SetOp::kUnionAll);
+}
+
+TEST(ParserTest, CaseExpressions) {
+  EXPECT_TRUE(
+      ParseExpression("case when x > 0 then 'pos' else 'neg' end").ok());
+  EXPECT_TRUE(
+      ParseExpression("case x when 1 then 'one' when 2 then 'two' end").ok());
+  EXPECT_FALSE(ParseExpression("case end").ok());
+}
+
+TEST(ParserTest, Cast) {
+  auto e = ParseExpression("cast(temp as double)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kCast);
+  EXPECT_EQ((*e)->cast_type, DataType::kDouble);
+}
+
+TEST(ParserTest, CountStarAndDistinct) {
+  auto e1 = ParseExpression("count(*)");
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ((*e1)->children[0]->kind, ExprKind::kStar);
+  auto e2 = ParseExpression("count(distinct type)");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_TRUE((*e2)->distinct);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("select").ok());
+  EXPECT_FALSE(ParseSelect("select * from").ok());
+  EXPECT_FALSE(ParseSelect("select * from t where").ok());
+  EXPECT_FALSE(ParseSelect("select * from t limit x").ok());
+  EXPECT_FALSE(ParseSelect("select * from t garbage trailing").ok());
+  EXPECT_FALSE(ParseSelect("from t").ok());
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("(1 + 2").ok());
+}
+
+TEST(ParserTest, RoundTripToString) {
+  // ToString must itself be parseable (fixed point after one round).
+  const char* queries[] = {
+      "select avg(temperature) from WRAPPER",
+      "select * from src1",
+      "select a.x, b.y from a join b on a.id = b.id where a.x > 3",
+      "select type, count(*) from t group by type having count(*) > 1",
+      "select x from a union all select y from b",
+      "select case when x > 0 then 1 else 0 end from t",
+  };
+  for (const char* q : queries) {
+    auto stmt = ParseSelect(q);
+    ASSERT_TRUE(stmt.ok()) << q;
+    const std::string rendered = (*stmt)->ToString();
+    auto reparsed = ParseSelect(rendered);
+    ASSERT_TRUE(reparsed.ok()) << "re-parse failed for: " << rendered;
+    EXPECT_EQ((*reparsed)->ToString(), rendered);
+  }
+}
+
+}  // namespace
+}  // namespace gsn::sql

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "gsn/sql/executor.h"
+#include "gsn/sql/optimizer.h"
+#include "gsn/sql/parser.h"
+
+namespace gsn::sql {
+namespace {
+
+/// Parses, folds, and renders an expression.
+std::string Fold(const std::string& expr_sql) {
+  auto expr = ParseExpression(expr_sql);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  auto changed = FoldConstants(expr->get());
+  EXPECT_TRUE(changed.ok());
+  return (*expr)->ToString();
+}
+
+TEST(OptimizerTest, ArithmeticFolds) {
+  EXPECT_EQ(Fold("1 + 2 * 3"), "7");
+  EXPECT_EQ(Fold("10 / 4"), "2");        // integer division preserved
+  EXPECT_EQ(Fold("10.0 / 4"), "2.5");
+  EXPECT_EQ(Fold("-(3 + 4)"), "-7");
+  EXPECT_EQ(Fold("'a' || 'b'"), "'ab'");
+}
+
+TEST(OptimizerTest, ComparisonAndLogicFold) {
+  EXPECT_EQ(Fold("1 < 2"), "true");
+  EXPECT_EQ(Fold("not true"), "false");
+  EXPECT_EQ(Fold("true and false"), "false");
+  EXPECT_EQ(Fold("null and false"), "false");  // Kleene
+  EXPECT_EQ(Fold("null or true"), "true");
+  EXPECT_EQ(Fold("5 between 1 and 10"), "true");
+  EXPECT_EQ(Fold("3 in (1, 2, 3)"), "true");
+  EXPECT_EQ(Fold("4 not in (1, 2, 3)"), "true");
+  EXPECT_EQ(Fold("null is null"), "true");
+  EXPECT_EQ(Fold("case when 1 < 2 then 'y' else 'n' end"), "'y'");
+  EXPECT_EQ(Fold("cast('42' as integer)"), "42");
+}
+
+TEST(OptimizerTest, ColumnsBlockFolding) {
+  EXPECT_EQ(Fold("temp + 1"), "(temp + 1)");
+  // But literal subtrees inside still fold.
+  EXPECT_EQ(Fold("temp + (1 + 2)"), "(temp + 3)");
+}
+
+TEST(OptimizerTest, BooleanIdentities) {
+  EXPECT_EQ(Fold("temp > 3 and true"), "(temp > 3)");
+  EXPECT_EQ(Fold("temp > 3 and false"), "false");
+  EXPECT_EQ(Fold("temp > 3 or false"), "(temp > 3)");
+  EXPECT_EQ(Fold("temp > 3 or true"), "true");
+  // Nested: (a AND TRUE) AND TRUE -> a.
+  EXPECT_EQ(Fold("(temp > 3 and true) and true"), "(temp > 3)");
+}
+
+TEST(OptimizerTest, RuntimeErrorsAreNotFolded) {
+  // 1/0 must raise at execution, not vanish or crash the optimizer.
+  EXPECT_EQ(Fold("1 / 0"), "(1 / 0)");
+  EXPECT_EQ(Fold("1 % 0"), "(1 % 0)");
+  // Type error preserved too.
+  EXPECT_EQ(Fold("1 < 'abc'"), "(1 < 'abc')");
+}
+
+TEST(OptimizerTest, WhereTrueIsDropped) {
+  auto stmt = ParseSelect("select a from t where 1 = 1");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(Optimize(stmt->get()).ok());
+  EXPECT_EQ((*stmt)->where, nullptr);
+}
+
+TEST(OptimizerTest, WhereFalseIsKeptForSemantics) {
+  auto stmt = ParseSelect("select a from t where 1 = 2");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(Optimize(stmt->get()).ok());
+  ASSERT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->where->ToString(), "false");
+}
+
+TEST(OptimizerTest, OptimizesSubqueriesAndJoins) {
+  auto stmt = ParseSelect(
+      "select * from (select 1 + 1 as two from t where true) d "
+      "join u on d.two = 1 + 1");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(Optimize(stmt->get()).ok());
+  const std::string rendered = (*stmt)->ToString();
+  EXPECT_NE(rendered.find("SELECT 2 AS two"), std::string::npos) << rendered;
+  // Inner WHERE true dropped; join condition folded on its rhs.
+  EXPECT_EQ(rendered.find("WHERE"), std::string::npos);
+  EXPECT_NE(rendered.find("d.two = 2"), std::string::npos);
+}
+
+TEST(OptimizerTest, OptimizedQueryResultsUnchanged) {
+  MapResolver resolver;
+  Schema schema;
+  schema.AddField("v", DataType::kInt);
+  Relation rel(schema);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(rel.AddRow({Value::Int(i)}).ok());
+  resolver.Put("t", std::move(rel));
+  Executor exec(&resolver);
+
+  const char* queries[] = {
+      "select v from t where v > 2 + 3",
+      "select v + 1 * 2 from t where true and v < 8 order by 1 desc",
+      "select count(*) from t where v between 0 + 1 and 10 - 2",
+  };
+  for (const char* q : queries) {
+    auto plain = ParseSelect(q);
+    ASSERT_TRUE(plain.ok());
+    auto optimized = ParseSelect(q);
+    ASSERT_TRUE(optimized.ok());
+    ASSERT_TRUE(Optimize(optimized->get()).ok());
+    auto r1 = exec.Execute(**plain);
+    auto r2 = exec.Execute(**optimized);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    ASSERT_EQ(r1->NumRows(), r2->NumRows()) << q;
+    for (size_t i = 0; i < r1->NumRows(); ++i) {
+      EXPECT_EQ(r1->rows()[i], r2->rows()[i]) << q;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- EXPLAIN
+
+TEST(ExplainTest, ShowsPipelineStructure) {
+  auto stmt = ParseSelect(
+      "select r.type, count(*) from readings r join nodes n on "
+      "r.node = n.node where r.temp > 10 group by r.type "
+      "having count(*) > 1 order by r.type limit 5");
+  ASSERT_TRUE(stmt.ok());
+  const std::string plan = ExplainString(**stmt);
+  EXPECT_NE(plan.find("Select:"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("NestedLoopJoin Inner on (r.node = n.node)"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("Scan readings AS r"), std::string::npos);
+  EXPECT_NE(plan.find("Filter: (r.temp > 10)"), std::string::npos);
+  EXPECT_NE(plan.find("Aggregate: group by r.type"), std::string::npos);
+  EXPECT_NE(plan.find("Having:"), std::string::npos);
+  EXPECT_NE(plan.find("OrderBy: r.type"), std::string::npos);
+  EXPECT_NE(plan.find("Limit: 5"), std::string::npos);
+}
+
+TEST(ExplainTest, DerivedTablesAndSetOps) {
+  auto stmt = ParseSelect(
+      "select * from (select 1 as x) d union all select 2");
+  ASSERT_TRUE(stmt.ok());
+  const std::string plan = ExplainString(**stmt);
+  EXPECT_NE(plan.find("Derived AS d:"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("UnionAll:"), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace gsn::sql

@@ -1,0 +1,250 @@
+// Tests for the fill-missing stream-quality repair and a churn soak
+// test exercising the whole federation under continuous
+// deploy/undeploy (the demo's "change the setup of the system
+// on-the-fly while the system is running and processing queries").
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gsn/container/federation.h"
+#include "gsn/container/management_interface.h"
+#include "gsn/util/rng.h"
+#include "gsn/vsensor/stream_source.h"
+#include "gsn/wrappers/csv_wrapper.h"
+
+namespace gsn::vsensor {
+namespace {
+
+class FillMissingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csv_path_ = std::filesystem::temp_directory_path() /
+                ("gsn_fill_test_" + std::to_string(::getpid()) + ".csv");
+    // Full first row (so CSV type inference sees integers), gaps later.
+    std::ofstream out(csv_path_);
+    out << "a,b\n5,1\n10,\n,\n20,2\n,\n";
+  }
+  void TearDown() override { std::filesystem::remove(csv_path_); }
+
+  std::unique_ptr<wrappers::Wrapper> MakeCsv() {
+    wrappers::WrapperConfig config;
+    config.params = {{"file", csv_path_.string()}, {"interval-ms", "100"}};
+    auto w = wrappers::CsvWrapper::Make(config);
+    EXPECT_TRUE(w.ok()) << w.status().ToString();
+    return *std::move(w);
+  }
+
+  std::filesystem::path csv_path_;
+};
+
+TEST_F(FillMissingTest, LastValueSubstitution) {
+  StreamSourceSpec spec;
+  spec.alias = "src";
+  spec.window.kind = WindowSpec::Kind::kCount;
+  spec.window.count = 100;
+  spec.fill_missing_with_last = true;
+  spec.address.wrapper = "csv";
+  StreamSource source(spec, MakeCsv(), 1);
+  ASSERT_TRUE(source.Poll(0).ok());
+  auto admitted = source.Poll(kMicrosPerSecond);
+  ASSERT_TRUE(admitted.ok());
+  ASSERT_EQ(admitted->size(), 5u);
+
+  // Row 0: both fresh.
+  EXPECT_EQ((*admitted)[0].values[0], Value::Int(5));
+  EXPECT_EQ((*admitted)[0].values[1], Value::Int(1));
+  // Row 1: a=10 fresh; b missing -> filled with 1.
+  EXPECT_EQ((*admitted)[1].values[0], Value::Int(10));
+  EXPECT_EQ((*admitted)[1].values[1], Value::Int(1));
+  // Row 2: both missing -> 10, 1.
+  EXPECT_EQ((*admitted)[2].values[0], Value::Int(10));
+  EXPECT_EQ((*admitted)[2].values[1], Value::Int(1));
+  // Row 3: fresh values take over.
+  EXPECT_EQ((*admitted)[3].values[0], Value::Int(20));
+  EXPECT_EQ((*admitted)[3].values[1], Value::Int(2));
+  // Row 4: filled with the new values.
+  EXPECT_EQ((*admitted)[4].values[0], Value::Int(20));
+  EXPECT_EQ((*admitted)[4].values[1], Value::Int(2));
+
+  EXPECT_EQ(source.filled_missing_count(), 5);
+}
+
+TEST_F(FillMissingTest, LeadingNullHasNothingToFillFrom) {
+  // A column whose first values are NULL stays NULL until a real value
+  // arrives.
+  std::ofstream(csv_path_) << "x,y\n7,\n8,\n9,3\n10,\n";
+  StreamSourceSpec spec;
+  spec.alias = "src";
+  spec.window.kind = WindowSpec::Kind::kCount;
+  spec.window.count = 100;
+  spec.fill_missing_with_last = true;
+  spec.address.wrapper = "csv";
+  StreamSource source(spec, MakeCsv(), 1);
+  ASSERT_TRUE(source.Poll(0).ok());
+  auto admitted = source.Poll(kMicrosPerSecond);
+  ASSERT_TRUE(admitted.ok());
+  ASSERT_EQ(admitted->size(), 4u);
+  EXPECT_TRUE((*admitted)[0].values[1].is_null());
+  EXPECT_TRUE((*admitted)[1].values[1].is_null());
+  EXPECT_FALSE((*admitted)[2].values[1].is_null());
+  EXPECT_EQ((*admitted)[3].values[1].ToString(),
+            (*admitted)[2].values[1].ToString());
+}
+
+TEST_F(FillMissingTest, DisabledLeavesNulls) {
+  StreamSourceSpec spec;
+  spec.alias = "src";
+  spec.window.kind = WindowSpec::Kind::kCount;
+  spec.window.count = 100;
+  spec.address.wrapper = "csv";
+  StreamSource source(spec, MakeCsv(), 1);
+  ASSERT_TRUE(source.Poll(0).ok());
+  auto admitted = source.Poll(kMicrosPerSecond);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_TRUE((*admitted)[1].values[1].is_null());
+  EXPECT_EQ(source.filled_missing_count(), 0);
+}
+
+TEST(FillMissingDescriptorTest, ParsedAndRoundTripped) {
+  constexpr char kXml[] =
+      "<virtual-sensor name=\"x\"><output-structure>"
+      "<field name=\"v\" type=\"integer\"/></output-structure>"
+      "<input-stream name=\"s\">"
+      "<stream-source alias=\"a\" fill-missing=\"last\">"
+      "<address wrapper=\"mote\"/></stream-source>"
+      "<query>select * from a</query></input-stream></virtual-sensor>";
+  auto spec = ParseDescriptor(kXml);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_TRUE(spec->input_streams[0].sources[0].fill_missing_with_last);
+  auto round = ParseDescriptor(spec->ToXml());
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round->input_streams[0].sources[0].fill_missing_with_last);
+
+  // Unknown modes are rejected.
+  std::string bad(kXml);
+  const size_t pos = bad.find("\"last\"");
+  bad.replace(pos, 6, "\"interpolate\"");
+  EXPECT_FALSE(ParseDescriptor(bad).ok());
+}
+
+}  // namespace
+}  // namespace gsn::vsensor
+
+namespace gsn::container {
+namespace {
+
+std::string ChurnSensorXml(const std::string& name, int interval_ms,
+                           const std::string& wrapper) {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<metadata><predicate key=\"kind\" val=\"churn\"/></metadata>"
+         "<output-structure>"
+         "  <field name=\"v\" type=\"double\"/>"
+         "</output-structure>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src\" storage-size=\"5s\">"
+         "    <address wrapper=\"" + wrapper + "\">"
+         "      <predicate key=\"interval-ms\" val=\"" +
+         std::to_string(interval_ms) + "\"/>"
+         "    </address>"
+         "    <query>select avg(" +
+         (wrapper == "mote" ? std::string("temperature") :
+                              std::string("value")) +
+         ") from wrapper</query>"
+         "  </stream-source>"
+         "  <query>select * from src</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+/// Soak: three nodes, continuous deploy/undeploy churn, standing
+/// queries and subscriptions, all invariants checked as time advances.
+TEST(ChurnSoakTest, FederationSurvivesContinuousReconfiguration) {
+  Federation fed(31337);
+  std::vector<Container*> nodes;
+  for (const char* id : {"n0", "n1", "n2"}) {
+    auto node = fed.AddNode(id);
+    ASSERT_TRUE(node.ok());
+    nodes.push_back(*node);
+  }
+  Rng rng(2024);
+  int deploy_counter = 0;
+  std::vector<std::pair<Container*, std::string>> live;
+
+  int notifications = 0;
+  for (Container* node : nodes) {
+    (void)node->notification_manager().Subscribe(
+        "*", "v > -1e18",
+        std::make_shared<CallbackChannel>(
+            [&notifications](const Notification&) { ++notifications; }));
+  }
+
+  for (int round = 0; round < 120; ++round) {
+    // Random churn: deploy on a random node, or undeploy a random
+    // live sensor.
+    if (live.empty() || rng.NextBool(0.6)) {
+      Container* node = nodes[rng.NextUint64(nodes.size())];
+      const std::string name = "churn-" + std::to_string(deploy_counter++);
+      const char* wrapper = rng.NextBool(0.5) ? "mote" : "generator";
+      auto sensor = node->Deploy(
+          ChurnSensorXml(name, static_cast<int>(rng.NextInt(50, 300)),
+                         wrapper));
+      ASSERT_TRUE(sensor.ok()) << sensor.status().ToString();
+      live.emplace_back(node, name);
+    } else {
+      const size_t pick = rng.NextUint64(live.size());
+      ASSERT_TRUE(live[pick].first->Undeploy(live[pick].second).ok());
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+
+    ASSERT_TRUE(fed.Step(100 * kMicrosPerMilli).ok()) << "round " << round;
+
+    // Invariants: list sizes match, every live sensor queryable, no
+    // pipeline errors anywhere.
+    size_t listed = 0;
+    for (Container* node : nodes) {
+      for (const std::string& sensor : node->ListSensors()) {
+        ++listed;
+        auto status = node->GetSensorStatus(sensor);
+        ASSERT_TRUE(status.ok());
+        EXPECT_EQ(status->stats.errors, 0) << sensor;
+        ASSERT_TRUE(node->Query("select count(*) from \"" + sensor + "\"")
+                        .ok())
+            << sensor;
+      }
+    }
+    ASSERT_EQ(listed, live.size()) << "round " << round;
+  }
+  // The run produced real traffic.
+  EXPECT_GT(notifications, 100);
+}
+
+/// The management interface must never crash on arbitrary command
+/// lines (it fronts untrusted web input).
+TEST(ManagementFuzzTest, RandomCommandsNeverCrash) {
+  auto clock = std::make_shared<VirtualClock>();
+  Container::Options options;
+  options.clock = clock;
+  Container container(std::move(options));
+  ManagementInterface mgmt(&container);
+  Rng rng(6174);
+  static const char* kWords[] = {
+      "list",   "status", "deploy",  "undeploy", "query",   "select",
+      "*",      "from",   "help",    "discover", "explain", "plot",
+      "<xml>",  "k=v",    "\"q\"",   ";;",       "--",      "topology",
+      "sensor", "1",      "'--'",    "\n",       "query-json"};
+  for (int i = 0; i < 500; ++i) {
+    std::string line;
+    const size_t words = rng.NextUint64(6);
+    for (size_t w = 0; w < words; ++w) {
+      line += kWords[rng.NextUint64(sizeof(kWords) / sizeof(kWords[0]))];
+      line += " ";
+    }
+    (void)mgmt.Execute(line);  // must not crash; output content is free
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gsn::container

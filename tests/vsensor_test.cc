@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include "gsn/vsensor/descriptor_parser.h"
+#include "gsn/vsensor/stream_source.h"
+#include "gsn/vsensor/virtual_sensor.h"
+#include "gsn/wrappers/generator_wrapper.h"
+#include "gsn/wrappers/mote_wrapper.h"
+
+namespace gsn::vsensor {
+namespace {
+
+using wrappers::WrapperConfig;
+
+// The descriptor fragment from Figure 1 of the paper, completed with a
+// root element and a local wrapper so it is deployable stand-alone.
+constexpr char kPaperDescriptor[] = R"(
+<virtual-sensor name="avg-temperature">
+  <metadata>
+    <predicate key="type" val="temperature" />
+    <predicate key="location" val="bc143" />
+  </metadata>
+  <life-cycle pool-size="10" />
+  <output-structure>
+    <field name="TEMPERATURE" type="integer"/>
+  </output-structure>
+  <storage permanent-storage="true" size="10s" />
+  <input-stream name="dummy" rate="100" >
+    <stream-source alias="src1" sampling-rate="1"
+                   storage-size="1h" disconnect-buffer="10">
+      <address wrapper="mote">
+        <predicate key="type" val="temperature" />
+        <predicate key="location" val="bc143" />
+      </address>
+      <query>select avg(temperature)
+             from WRAPPER</query>
+    </stream-source>
+    <query>select * from src1</query>
+  </input-stream>
+</virtual-sensor>
+)";
+
+// ------------------------------------------------------- DescriptorParser
+
+TEST(DescriptorParserTest, ParsesPaperFigure1) {
+  auto spec = ParseDescriptor(kPaperDescriptor);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "avg-temperature");
+  EXPECT_EQ(spec->metadata.at("type"), "temperature");
+  EXPECT_EQ(spec->metadata.at("location"), "bc143");
+  EXPECT_EQ(spec->life_cycle.pool_size, 10);
+  ASSERT_EQ(spec->output_structure.size(), 1u);
+  EXPECT_EQ(spec->output_structure.field(0).name, "temperature");
+  EXPECT_EQ(spec->output_structure.field(0).type, DataType::kInt);
+  EXPECT_TRUE(spec->storage.permanent);
+  EXPECT_EQ(spec->storage.history.kind, WindowSpec::Kind::kTime);
+  EXPECT_EQ(spec->storage.history.duration_micros, 10 * kMicrosPerSecond);
+  ASSERT_EQ(spec->input_streams.size(), 1u);
+  const InputStreamSpec& stream = spec->input_streams[0];
+  EXPECT_EQ(stream.name, "dummy");
+  EXPECT_DOUBLE_EQ(stream.max_rate, 100.0);
+  ASSERT_EQ(stream.sources.size(), 1u);
+  const StreamSourceSpec& src = stream.sources[0];
+  EXPECT_EQ(src.alias, "src1");
+  EXPECT_DOUBLE_EQ(src.sampling_rate, 1.0);
+  EXPECT_EQ(src.window.kind, WindowSpec::Kind::kTime);
+  EXPECT_EQ(src.window.duration_micros, kMicrosPerHour);
+  EXPECT_EQ(src.disconnect_buffer, 10);
+  EXPECT_EQ(src.address.wrapper, "mote");
+  EXPECT_EQ(src.address.predicates.at("location"), "bc143");
+  EXPECT_EQ(StrToLower(src.query).substr(0, 6), "select");
+}
+
+TEST(DescriptorParserTest, RoundTripThroughToXml) {
+  auto spec = ParseDescriptor(kPaperDescriptor);
+  ASSERT_TRUE(spec.ok());
+  auto reparsed = ParseDescriptor(spec->ToXml());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << spec->ToXml();
+  EXPECT_EQ(reparsed->name, spec->name);
+  EXPECT_EQ(reparsed->metadata, spec->metadata);
+  EXPECT_EQ(reparsed->output_structure, spec->output_structure);
+  EXPECT_EQ(reparsed->input_streams[0].sources[0].window.duration_micros,
+            spec->input_streams[0].sources[0].window.duration_micros);
+}
+
+TEST(DescriptorParserTest, RejectsStructuralErrors) {
+  // Wrong root element.
+  EXPECT_FALSE(ParseDescriptor("<sensor name='x'/>").ok());
+  // No output structure.
+  EXPECT_FALSE(ParseDescriptor(
+                   "<virtual-sensor name='x'>"
+                   "<input-stream name='s'><stream-source alias='a'>"
+                   "<address wrapper='mote'/></stream-source>"
+                   "<query>select * from a</query></input-stream>"
+                   "</virtual-sensor>")
+                   .ok());
+  // No input streams.
+  EXPECT_FALSE(ParseDescriptor(
+                   "<virtual-sensor name='x'><output-structure>"
+                   "<field name='v' type='integer'/></output-structure>"
+                   "</virtual-sensor>")
+                   .ok());
+  // Invalid SQL in query.
+  EXPECT_FALSE(ParseDescriptor(
+                   "<virtual-sensor name='x'><output-structure>"
+                   "<field name='v' type='integer'/></output-structure>"
+                   "<input-stream name='s'><stream-source alias='a'>"
+                   "<address wrapper='mote'/>"
+                   "<query>this is not sql</query></stream-source>"
+                   "<query>select * from a</query></input-stream>"
+                   "</virtual-sensor>")
+                   .ok());
+  // Bad sampling rate.
+  EXPECT_FALSE(ParseDescriptor(
+                   "<virtual-sensor name='x'><output-structure>"
+                   "<field name='v' type='integer'/></output-structure>"
+                   "<input-stream name='s'>"
+                   "<stream-source alias='a' sampling-rate='1.5'>"
+                   "<address wrapper='mote'/></stream-source>"
+                   "<query>select * from a</query></input-stream>"
+                   "</virtual-sensor>")
+                   .ok());
+  // Unknown field type.
+  EXPECT_FALSE(ParseDescriptor(
+                   "<virtual-sensor name='x'><output-structure>"
+                   "<field name='v' type='quaternion'/></output-structure>"
+                   "<input-stream name='s'><stream-source alias='a'>"
+                   "<address wrapper='mote'/></stream-source>"
+                   "<query>select * from a</query></input-stream>"
+                   "</virtual-sensor>")
+                   .ok());
+}
+
+TEST(WindowSpecRenderingTest, DescriptorSyntaxUnits) {
+  WindowSpec w;
+  w.kind = WindowSpec::Kind::kCount;
+  w.count = 42;
+  EXPECT_EQ(VirtualSensorSpec::window_str(w), "42");
+  w.kind = WindowSpec::Kind::kTime;
+  w.duration_micros = 2 * kMicrosPerHour;
+  EXPECT_EQ(VirtualSensorSpec::window_str(w), "2h");
+  w.duration_micros = 90 * kMicrosPerSecond;
+  EXPECT_EQ(VirtualSensorSpec::window_str(w), "90s");
+  w.duration_micros = 5 * kMicrosPerMinute;
+  EXPECT_EQ(VirtualSensorSpec::window_str(w), "5m");
+  w.duration_micros = 250 * kMicrosPerMilli;
+  EXPECT_EQ(VirtualSensorSpec::window_str(w), "250ms");
+  // Round trip through the parser.
+  auto parsed = ParseWindowSpec(VirtualSensorSpec::window_str(w));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->duration_micros, w.duration_micros);
+}
+
+// ------------------------------------------------------------ StreamSource
+
+std::unique_ptr<wrappers::Wrapper> MakeGenerator(int interval_ms,
+                                                 uint64_t seed = 5) {
+  WrapperConfig config;
+  config.params = {{"interval-ms", std::to_string(interval_ms)},
+                   {"payload-bytes", "0"}};
+  config.seed = seed;
+  auto w = wrappers::GeneratorWrapper::Make(config);
+  EXPECT_TRUE(w.ok());
+  return *std::move(w);
+}
+
+StreamSourceSpec BasicSourceSpec() {
+  StreamSourceSpec spec;
+  spec.alias = "src1";
+  spec.window.kind = WindowSpec::Kind::kCount;
+  spec.window.count = 100;
+  spec.address.wrapper = "generator";
+  return spec;
+}
+
+TEST(StreamSourceTest, AdmitsAndWindows) {
+  StreamSource source(BasicSourceSpec(), MakeGenerator(100), 1);
+  ASSERT_TRUE(source.Start().ok());
+  ASSERT_TRUE(source.Poll(0).ok());
+  auto admitted = source.Poll(kMicrosPerSecond);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted->size(), 10u);
+  EXPECT_EQ(source.admitted_count(), 10);
+  Relation window = source.WindowRelation(kMicrosPerSecond);
+  EXPECT_EQ(window.NumRows(), 10u);
+  EXPECT_EQ(window.schema().field(0).name, "timed");
+}
+
+TEST(StreamSourceTest, SamplingReducesRate) {
+  StreamSourceSpec spec = BasicSourceSpec();
+  spec.sampling_rate = 0.5;
+  spec.window.count = 100000;
+  StreamSource source(spec, MakeGenerator(10), 3);
+  ASSERT_TRUE(source.Poll(0).ok());
+  ASSERT_TRUE(source.Poll(100 * kMicrosPerSecond).ok());  // 10000 elements
+  const double admitted_frac =
+      static_cast<double>(source.admitted_count()) / 10000.0;
+  EXPECT_NEAR(admitted_frac, 0.5, 0.05);
+  EXPECT_EQ(source.admitted_count() + source.sampled_out_count(), 10000);
+}
+
+TEST(StreamSourceTest, DisconnectBuffersAndReplays) {
+  StreamSourceSpec spec = BasicSourceSpec();
+  spec.disconnect_buffer = 5;
+  StreamSource source(spec, MakeGenerator(100), 1);
+  ASSERT_TRUE(source.Poll(0).ok());
+
+  source.SetConnected(false);
+  auto during = source.Poll(kMicrosPerSecond);  // 10 produced, buffer keeps 5
+  ASSERT_TRUE(during.ok());
+  EXPECT_TRUE(during->empty());
+  EXPECT_EQ(source.dropped_disconnected_count(), 5);
+
+  source.SetConnected(true);
+  auto after = source.Poll(1100 * kMicrosPerMilli);  // replay 5 + 1 new
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 6u);
+}
+
+TEST(StreamSourceTest, DisconnectWithoutBufferDropsAll) {
+  StreamSource source(BasicSourceSpec(), MakeGenerator(100), 1);
+  ASSERT_TRUE(source.Poll(0).ok());
+  source.SetConnected(false);
+  ASSERT_TRUE(source.Poll(kMicrosPerSecond).ok());
+  EXPECT_EQ(source.dropped_disconnected_count(), 10);
+  source.SetConnected(true);
+  auto after = source.Poll(1100 * kMicrosPerMilli);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 1u);  // only the new element
+}
+
+// ------------------------------------------------------------ VirtualSensor
+
+/// Deploys the Fig 1 descriptor manually (wrapper wired by hand; the
+/// container normally does this).
+std::unique_ptr<VirtualSensor> DeployPaperSensor(
+    std::shared_ptr<VirtualClock> clock, double max_rate = 0) {
+  auto spec_result = ParseDescriptor(kPaperDescriptor);
+  EXPECT_TRUE(spec_result.ok());
+  VirtualSensorSpec spec = *std::move(spec_result);
+  spec.input_streams[0].max_rate = max_rate;
+
+  WrapperConfig config;
+  config.params = {{"interval-ms", "100"}, {"node-id", "1"}};
+  config.seed = 11;
+  auto wrapper = wrappers::MoteWrapper::Make(config);
+  EXPECT_TRUE(wrapper.ok());
+
+  std::vector<std::vector<std::unique_ptr<StreamSource>>> sources(1);
+  sources[0].push_back(std::make_unique<StreamSource>(
+      spec.input_streams[0].sources[0], *std::move(wrapper), 13));
+  return std::make_unique<VirtualSensor>(std::move(spec), std::move(sources),
+                                         clock);
+}
+
+TEST(VirtualSensorTest, PipelineProducesAveragedTemperature) {
+  auto clock = std::make_shared<VirtualClock>();
+  auto sensor = DeployPaperSensor(clock);
+  ASSERT_TRUE(sensor->Start().ok());
+
+  std::vector<StreamElement> outputs;
+  sensor->AddListener([&](const VirtualSensor&, const StreamElement& e) {
+    outputs.push_back(e);
+  });
+
+  clock->SetTime(0);
+  ASSERT_TRUE(sensor->Tick(clock->NowMicros()).ok());  // anchors schedule
+  clock->Advance(kMicrosPerSecond);
+  auto produced = sensor->Tick(clock->NowMicros());
+  ASSERT_TRUE(produced.ok()) << produced.status().ToString();
+
+  // One trigger (one batch of 10 mote readings) -> one averaged output.
+  EXPECT_EQ(*produced, 1);
+  ASSERT_EQ(outputs.size(), 1u);
+  ASSERT_EQ(outputs[0].values.size(), 1u);
+  ASSERT_TRUE(outputs[0].values[0].is_int());  // cast to declared integer
+  const int64_t avg_temp = outputs[0].values[0].int_value();
+  EXPECT_GT(avg_temp, 0);
+  EXPECT_LT(avg_temp, 60);
+
+  const VirtualSensor::Stats stats = sensor->stats();
+  EXPECT_EQ(stats.triggers, 1);
+  EXPECT_EQ(stats.produced, 1);
+  EXPECT_EQ(stats.errors, 0);
+}
+
+TEST(VirtualSensorTest, NoInputNoTrigger) {
+  auto clock = std::make_shared<VirtualClock>();
+  auto sensor = DeployPaperSensor(clock);
+  ASSERT_TRUE(sensor->Start().ok());
+  ASSERT_TRUE(sensor->Tick(0).ok());
+  // 1ms later: no new mote sample yet.
+  auto produced = sensor->Tick(kMicrosPerMilli);
+  ASSERT_TRUE(produced.ok());
+  EXPECT_EQ(*produced, 0);
+  EXPECT_EQ(sensor->stats().triggers, 0);
+}
+
+TEST(VirtualSensorTest, RateBoundDropsExcessOutputs) {
+  auto clock = std::make_shared<VirtualClock>();
+  // Bound to 2 outputs/second.
+  auto sensor = DeployPaperSensor(clock, 2.0);
+  ASSERT_TRUE(sensor->Start().ok());
+  int delivered = 0;
+  sensor->AddListener(
+      [&](const VirtualSensor&, const StreamElement&) { ++delivered; });
+
+  ASSERT_TRUE(sensor->Tick(0).ok());
+  // Tick every 100ms for 5 seconds: 50 triggers, each producing one row.
+  for (int i = 1; i <= 50; ++i) {
+    clock->Advance(100 * kMicrosPerMilli);
+    ASSERT_TRUE(sensor->Tick(clock->NowMicros()).ok());
+  }
+  // ~2/s over 5s plus the initial burst: roughly 11; definitely << 50.
+  EXPECT_LE(delivered, 15);
+  EXPECT_GE(delivered, 5);
+  EXPECT_GT(sensor->stats().rate_limited, 30);
+}
+
+TEST(VirtualSensorTest, FindSourceAndStreamQuality) {
+  auto clock = std::make_shared<VirtualClock>();
+  auto sensor = DeployPaperSensor(clock);
+  EXPECT_NE(sensor->FindSource("dummy", "src1"), nullptr);
+  EXPECT_NE(sensor->FindSource("DUMMY", "SRC1"), nullptr);
+  EXPECT_EQ(sensor->FindSource("dummy", "nope"), nullptr);
+  EXPECT_EQ(sensor->FindSource("nope", "src1"), nullptr);
+}
+
+TEST(VirtualSensorTest, MissingOutputColumnYieldsNull) {
+  auto spec_result = ParseDescriptor(kPaperDescriptor);
+  ASSERT_TRUE(spec_result.ok());
+  VirtualSensorSpec spec = *std::move(spec_result);
+  // Result columns match the declared TEMPERATURE field neither by
+  // name nor by arity (two columns vs one field), so no positional
+  // fallback applies and the sensor emits NULL.
+  spec.input_streams[0].sources[0].query =
+      "select light, accel_x from wrapper";
+  spec.input_streams[0].query = "select * from src1";
+
+  WrapperConfig config;
+  config.params = {{"interval-ms", "100"}};
+  auto wrapper = wrappers::MoteWrapper::Make(config);
+  ASSERT_TRUE(wrapper.ok());
+  std::vector<std::vector<std::unique_ptr<StreamSource>>> sources(1);
+  sources[0].push_back(std::make_unique<StreamSource>(
+      spec.input_streams[0].sources[0], *std::move(wrapper), 13));
+  auto clock = std::make_shared<VirtualClock>();
+  VirtualSensor sensor(std::move(spec), std::move(sources), clock);
+  ASSERT_TRUE(sensor.Start().ok());
+
+  std::vector<StreamElement> outputs;
+  sensor.AddListener([&](const VirtualSensor&, const StreamElement& e) {
+    outputs.push_back(e);
+  });
+  ASSERT_TRUE(sensor.Tick(0).ok());
+  clock->Advance(kMicrosPerSecond);
+  ASSERT_TRUE(sensor.Tick(clock->NowMicros()).ok());
+  ASSERT_FALSE(outputs.empty());
+  EXPECT_TRUE(outputs[0].values[0].is_null());
+}
+
+}  // namespace
+}  // namespace gsn::vsensor

@@ -1,0 +1,235 @@
+// Tests for the HTTP web interface: the route layer (in-process) and
+// the real socket server end to end.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "gsn/container/web_interface.h"
+
+namespace gsn::container {
+namespace {
+
+using network::HttpFetch;
+using network::HttpRequest;
+using network::HttpResponse;
+using network::UrlDecode;
+
+constexpr char kSensorXml[] =
+    "<virtual-sensor name=\"web-sensor\">"
+    "<metadata><predicate key=\"type\" val=\"temperature\"/></metadata>"
+    "<output-structure>"
+    "  <field name=\"temperature\" type=\"integer\"/>"
+    "</output-structure>"
+    "<input-stream name=\"in\">"
+    "  <stream-source alias=\"src\" storage-size=\"1m\">"
+    "    <address wrapper=\"mote\">"
+    "      <predicate key=\"interval-ms\" val=\"100\"/>"
+    "    </address>"
+    "    <query>select avg(temperature) from wrapper</query>"
+    "  </stream-source>"
+    "  <query>select * from src</query>"
+    "</input-stream>"
+    "</virtual-sensor>";
+
+class WebInterfaceTest : public ::testing::Test {
+ protected:
+  WebInterfaceTest() {
+    clock_ = std::make_shared<VirtualClock>();
+    Container::Options options;
+    options.node_id = "web-node";
+    options.clock = clock_;
+    container_ = std::make_unique<Container>(std::move(options));
+    web_ = std::make_unique<WebInterface>(container_.get());
+  }
+
+  void DeployAndRun() {
+    ASSERT_TRUE(container_->Deploy(kSensorXml).ok());
+    for (int i = 0; i < 10; ++i) {
+      clock_->Advance(100 * kMicrosPerMilli);
+      ASSERT_TRUE(container_->Tick().ok());
+    }
+  }
+
+  HttpResponse Get(const std::string& path,
+                   std::map<std::string, std::string> query = {}) {
+    HttpRequest request;
+    request.method = "GET";
+    request.path = path;
+    request.query = std::move(query);
+    return web_->Handle(request);
+  }
+
+  std::shared_ptr<VirtualClock> clock_;
+  std::unique_ptr<Container> container_;
+  std::unique_ptr<WebInterface> web_;
+};
+
+TEST_F(WebInterfaceTest, IndexListsSensors) {
+  DeployAndRun();
+  const HttpResponse response = Get("/");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("web-sensor"), std::string::npos);
+  EXPECT_NE(response.content_type.find("text/html"), std::string::npos);
+}
+
+TEST_F(WebInterfaceTest, SensorsJson) {
+  DeployAndRun();
+  const HttpResponse response = Get("/sensors");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"name\":\"web-sensor\""), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"produced\":9"), std::string::npos);
+}
+
+TEST_F(WebInterfaceTest, SensorStatusAndNotFound) {
+  DeployAndRun();
+  EXPECT_EQ(Get("/sensors/web-sensor").status, 200);
+  EXPECT_EQ(Get("/sensors/ghost").status, 404);
+  EXPECT_EQ(Get("/nonexistent").status, 404);
+}
+
+TEST_F(WebInterfaceTest, QueryJsonAndCsv) {
+  DeployAndRun();
+  const HttpResponse json =
+      Get("/query", {{"sql", "select count(*) as n from \"web-sensor\""}});
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.body.find("\"n\":9"), std::string::npos) << json.body;
+
+  const HttpResponse csv =
+      Get("/query", {{"sql", "select count(*) as n from \"web-sensor\""},
+                     {"format", "csv"}});
+  EXPECT_EQ(csv.status, 200);
+  EXPECT_EQ(csv.content_type, "text/csv");
+  EXPECT_NE(csv.body.find("n\n9"), std::string::npos) << csv.body;
+
+  EXPECT_EQ(Get("/query").status, 400);
+  // Unknown column -> NotFound -> 404; unparseable SQL -> 400.
+  EXPECT_EQ(Get("/query", {{"sql", "select broken"}}).status, 404);
+  EXPECT_EQ(Get("/query", {{"sql", "not sql at all"}}).status, 400);
+}
+
+TEST_F(WebInterfaceTest, ExplainAndDiscoverAndTopology) {
+  DeployAndRun();
+  const HttpResponse plan =
+      Get("/explain", {{"sql", "select * from \"web-sensor\""}});
+  EXPECT_EQ(plan.status, 200);
+  EXPECT_NE(plan.body.find("Scan web-sensor"), std::string::npos)
+      << plan.body;
+
+  const HttpResponse discover = Get("/discover", {{"type", "temperature"}});
+  EXPECT_EQ(discover.status, 200);
+  EXPECT_NE(discover.body.find("\"sensor\":\"web-sensor\""),
+            std::string::npos);
+  const HttpResponse none = Get("/discover", {{"type", "sonar"}});
+  EXPECT_EQ(none.body, "[]");
+
+  const HttpResponse topo = Get("/topology");
+  EXPECT_NE(topo.body.find("digraph"), std::string::npos);
+  EXPECT_NE(topo.body.find("web-sensor"), std::string::npos);
+}
+
+TEST_F(WebInterfaceTest, DeployUndeployViaPost) {
+  HttpRequest deploy;
+  deploy.method = "POST";
+  deploy.path = "/deploy";
+  deploy.body = kSensorXml;
+  const HttpResponse deployed = web_->Handle(deploy);
+  EXPECT_EQ(deployed.status, 200) << deployed.body;
+  EXPECT_NE(deployed.body.find("web-sensor"), std::string::npos);
+  EXPECT_EQ(container_->ListSensors().size(), 1u);
+
+  HttpRequest undeploy;
+  undeploy.method = "POST";
+  undeploy.path = "/undeploy";
+  undeploy.query = {{"name", "web-sensor"}};
+  EXPECT_EQ(web_->Handle(undeploy).status, 200);
+  EXPECT_TRUE(container_->ListSensors().empty());
+
+  // Bad deploys map to HTTP errors.
+  deploy.body = "<not-a-descriptor/>";
+  EXPECT_EQ(web_->Handle(deploy).status, 400);
+  deploy.body = "";
+  EXPECT_EQ(web_->Handle(deploy).status, 400);
+}
+
+TEST_F(WebInterfaceTest, AccessControlMapsTo403) {
+  AccessControl& ac = container_->access_control();
+  ASSERT_TRUE(ac.AddUser("root", "root-key", true).ok());
+  ASSERT_TRUE(ac.Enable().ok());
+  HttpRequest deploy;
+  deploy.method = "POST";
+  deploy.path = "/deploy";
+  deploy.body = kSensorXml;
+  EXPECT_EQ(web_->Handle(deploy).status, 403);
+  deploy.headers["x-api-key"] = "root-key";
+  EXPECT_EQ(web_->Handle(deploy).status, 200);
+  // Key via query parameter works too.
+  HttpRequest query;
+  query.method = "GET";
+  query.path = "/query";
+  query.query = {{"sql", "select 1"}, {"key", "root-key"}};
+  EXPECT_EQ(web_->Handle(query).status, 200);
+}
+
+// ----------------------------------------------------- real socket server
+
+TEST_F(WebInterfaceTest, ServesOverRealSockets) {
+  DeployAndRun();
+  ASSERT_TRUE(web_->Start(0).ok());
+  ASSERT_GT(web_->port(), 0);
+
+  auto index = HttpFetch(web_->port(), "GET", "/");
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->status, 200);
+  EXPECT_NE(index->body.find("web-sensor"), std::string::npos);
+
+  // URL-encoded SQL through a real request line.
+  auto query = HttpFetch(
+      web_->port(), "GET",
+      "/query?sql=select%20count(*)%20as%20n%20from%20%22web-sensor%22");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->status, 200);
+  EXPECT_NE(query->body.find("\"n\":9"), std::string::npos) << query->body;
+
+  // POST with a body.
+  auto undeploy =
+      HttpFetch(web_->port(), "POST", "/undeploy?name=web-sensor");
+  ASSERT_TRUE(undeploy.ok());
+  EXPECT_EQ(undeploy->status, 200);
+  EXPECT_TRUE(container_->ListSensors().empty());
+
+  web_->Stop();
+  EXPECT_FALSE(HttpFetch(web_->port(), "GET", "/").ok());
+}
+
+TEST_F(WebInterfaceTest, ConcurrentClients) {
+  DeployAndRun();
+  ASSERT_TRUE(web_->Start(0).ok());
+  const uint16_t port = web_->port();
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([port, &ok_count] {
+      for (int j = 0; j < 10; ++j) {
+        auto r = network::HttpFetch(port, "GET", "/sensors");
+        if (r.ok() && r->status == 200) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), 80);
+  web_->Stop();
+}
+
+TEST(UrlDecodeTest, Decoding) {
+  EXPECT_EQ(UrlDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(UrlDecode("%22quoted%22"), "\"quoted\"");
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+  EXPECT_EQ(UrlDecode("bad%zz"), "bad%zz");  // invalid escapes pass through
+  EXPECT_EQ(UrlDecode("%3d"), "=");
+}
+
+}  // namespace
+}  // namespace gsn::container

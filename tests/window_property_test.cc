@@ -1,0 +1,159 @@
+// Property tests for window semantics (paper §3 item 4): the
+// WindowBuffer must agree with a naive reference model for every
+// combination of window kind, window size, and arrival pattern.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <tuple>
+
+#include "gsn/storage/table.h"
+#include "gsn/storage/window_buffer.h"
+#include "gsn/util/rng.h"
+
+namespace gsn::storage {
+namespace {
+
+struct WindowCase {
+  WindowSpec::Kind kind;
+  int64_t size;        // count, or seconds for time windows
+  int64_t max_gap_ms;  // arrival spacing upper bound
+  uint64_t seed;
+};
+
+class WindowPropertyTest : public ::testing::TestWithParam<WindowCase> {};
+
+StreamElement Elem(Timestamp t, int64_t v) {
+  StreamElement e;
+  e.timed = t;
+  e.values = {Value::Int(v)};
+  return e;
+}
+
+/// Reference model: keep everything, filter on demand.
+class ReferenceWindow {
+ public:
+  explicit ReferenceWindow(WindowSpec spec) : spec_(spec) {}
+
+  void Add(StreamElement e) { all_.push_back(std::move(e)); }
+
+  std::vector<StreamElement> Snapshot(Timestamp now) const {
+    std::vector<StreamElement> out;
+    if (spec_.kind == WindowSpec::Kind::kCount) {
+      const size_t start =
+          all_.size() > static_cast<size_t>(spec_.count)
+              ? all_.size() - static_cast<size_t>(spec_.count)
+              : 0;
+      out.assign(all_.begin() + static_cast<long>(start), all_.end());
+      return out;
+    }
+    for (const StreamElement& e : all_) {
+      if (e.timed > now - spec_.duration_micros) out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  WindowSpec spec_;
+  std::vector<StreamElement> all_;
+};
+
+TEST_P(WindowPropertyTest, AgreesWithReferenceModel) {
+  const WindowCase& c = GetParam();
+  WindowSpec spec;
+  spec.kind = c.kind;
+  if (c.kind == WindowSpec::Kind::kCount) {
+    spec.count = c.size;
+  } else {
+    spec.duration_micros = c.size * kMicrosPerSecond;
+  }
+
+  WindowBuffer buffer(spec);
+  ReferenceWindow reference(spec);
+  Rng rng(c.seed);
+
+  Timestamp t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.NextInt(1, c.max_gap_ms) * kMicrosPerMilli;
+    buffer.Add(Elem(t, i));
+    reference.Add(Elem(t, i));
+
+    // Probe at a random time at or after the last arrival.
+    const Timestamp probe = t + rng.NextInt(0, c.max_gap_ms) * kMicrosPerMilli;
+    const auto actual = buffer.Snapshot(probe);
+    const auto expected = reference.Snapshot(probe);
+    ASSERT_EQ(actual.size(), expected.size())
+        << "i=" << i << " t=" << t << " probe=" << probe;
+    for (size_t k = 0; k < actual.size(); ++k) {
+      EXPECT_EQ(actual[k].timed, expected[k].timed);
+      EXPECT_EQ(actual[k].values[0], expected[k].values[0]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowPropertyTest,
+    ::testing::Values(
+        // Count windows of several sizes and arrival cadences.
+        WindowCase{WindowSpec::Kind::kCount, 1, 100, 1},
+        WindowCase{WindowSpec::Kind::kCount, 7, 100, 2},
+        WindowCase{WindowSpec::Kind::kCount, 64, 10, 3},
+        WindowCase{WindowSpec::Kind::kCount, 1000, 500, 4},
+        // Time windows: slow and bursty arrivals, short and long spans.
+        WindowCase{WindowSpec::Kind::kTime, 1, 100, 5},
+        WindowCase{WindowSpec::Kind::kTime, 5, 2000, 6},
+        WindowCase{WindowSpec::Kind::kTime, 60, 500, 7},
+        WindowCase{WindowSpec::Kind::kTime, 600, 10000, 8}),
+    [](const ::testing::TestParamInfo<WindowCase>& info) {
+      const WindowCase& c = info.param;
+      return std::string(c.kind == WindowSpec::Kind::kCount ? "count"
+                                                            : "time") +
+             std::to_string(c.size) + "_gap" + std::to_string(c.max_gap_ms) +
+             "ms";
+    });
+
+/// Table retention must match WindowBuffer semantics for the same spec
+/// (they implement the same `<storage size>` contract).
+class TableRetentionPropertyTest
+    : public ::testing::TestWithParam<WindowCase> {};
+
+TEST_P(TableRetentionPropertyTest, TableMatchesWindowBuffer) {
+  const WindowCase& c = GetParam();
+  WindowSpec spec;
+  spec.kind = c.kind;
+  if (c.kind == WindowSpec::Kind::kCount) {
+    spec.count = c.size;
+  } else {
+    spec.duration_micros = c.size * kMicrosPerSecond;
+  }
+  Schema schema;
+  schema.AddField("v", DataType::kInt);
+  Table table("t", schema, spec);
+  WindowBuffer buffer(spec);
+  Rng rng(c.seed * 31);
+
+  Timestamp t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.NextInt(1, c.max_gap_ms) * kMicrosPerMilli;
+    ASSERT_TRUE(table.Insert(Elem(t, i)).ok());
+    buffer.Add(Elem(t, i));
+    // Eager-eviction comparison: both structures evicted up to `t`.
+    ASSERT_EQ(table.NumRows(), buffer.size()) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TableRetentionPropertyTest,
+    ::testing::Values(WindowCase{WindowSpec::Kind::kCount, 5, 100, 11},
+                      WindowCase{WindowSpec::Kind::kCount, 128, 50, 12},
+                      WindowCase{WindowSpec::Kind::kTime, 2, 300, 13},
+                      WindowCase{WindowSpec::Kind::kTime, 30, 5000, 14}),
+    [](const ::testing::TestParamInfo<WindowCase>& info) {
+      const WindowCase& c = info.param;
+      return std::string(c.kind == WindowSpec::Kind::kCount ? "count"
+                                                            : "time") +
+             std::to_string(c.size) + "_s" + std::to_string(c.seed);
+    });
+
+}  // namespace
+}  // namespace gsn::storage

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gsn/wrappers/camera_wrapper.h"
+#include "gsn/wrappers/csv_wrapper.h"
+#include "gsn/wrappers/generator_wrapper.h"
+#include "gsn/wrappers/mote_wrapper.h"
+#include "gsn/wrappers/rfid_wrapper.h"
+#include "gsn/wrappers/wrapper.h"
+
+namespace gsn::wrappers {
+namespace {
+
+WrapperConfig Config(ParamMap params, uint64_t seed = 7) {
+  WrapperConfig c;
+  c.instance_name = "test";
+  c.params = std::move(params);
+  c.seed = seed;
+  return c;
+}
+
+// ---------------------------------------------------------------- Registry
+
+TEST(WrapperRegistryTest, BuiltinsRegistered) {
+  WrapperRegistry registry;
+  WrapperRegistry::RegisterBuiltins(&registry);
+  for (const char* name : {"mote", "camera", "rfid", "generator", "csv"}) {
+    EXPECT_TRUE(registry.Has(name)) << name;
+  }
+  EXPECT_FALSE(registry.Has("tinyos2000"));
+  EXPECT_EQ(registry.Create("tinyos2000", Config({})).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(WrapperRegistryTest, NamesAreCaseInsensitive) {
+  WrapperRegistry registry;
+  WrapperRegistry::RegisterBuiltins(&registry);
+  EXPECT_TRUE(registry.Has("MOTE"));
+  EXPECT_TRUE(registry.Create("Generator", Config({})).ok());
+}
+
+TEST(WrapperRegistryTest, ReRegistrationReplaces) {
+  WrapperRegistry registry;
+  WrapperRegistry::RegisterBuiltins(&registry);
+  bool called = false;
+  registry.Register("mote", [&](const WrapperConfig& c)
+                        -> Result<std::unique_ptr<Wrapper>> {
+    called = true;
+    return GeneratorWrapper::Make(c);
+  });
+  ASSERT_TRUE(registry.Create("mote", Config({})).ok());
+  EXPECT_TRUE(called);
+}
+
+// ------------------------------------------------------------- Generator
+
+TEST(GeneratorWrapperTest, EmitsOnSchedule) {
+  auto w = GeneratorWrapper::Make(Config({{"interval-ms", "100"},
+                                          {"payload-bytes", "15"}}));
+  ASSERT_TRUE(w.ok());
+  // First poll anchors the schedule and emits nothing.
+  auto first = (*w)->Poll(0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->empty());
+  // 1 second later: 10 elements at 100ms spacing.
+  auto batch = (*w)->Poll(1000 * kMicrosPerMilli);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 10u);
+  EXPECT_EQ((*batch)[0].timed, 100 * kMicrosPerMilli);
+  EXPECT_EQ((*batch)[9].timed, 1000 * kMicrosPerMilli);
+  // Sequence numbers increase.
+  EXPECT_EQ((*batch)[0].values[0], Value::Int(0));
+  EXPECT_EQ((*batch)[9].values[0], Value::Int(9));
+}
+
+TEST(GeneratorWrapperTest, PayloadSizeIsExact) {
+  for (int64_t size : {15, 50, 100, 16 * 1024, 32 * 1024, 75 * 1024}) {
+    auto w = GeneratorWrapper::Make(
+        Config({{"payload-bytes", std::to_string(size)}}));
+    ASSERT_TRUE(w.ok());
+    (void)(*w)->Poll(0);
+    auto batch = (*w)->Poll(kMicrosPerSecond);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_FALSE(batch->empty());
+    const StreamElement& e = (*batch)[0];
+    EXPECT_EQ(e.values[2].binary_value()->size(), static_cast<size_t>(size));
+    // 8 bytes seq + 8 bytes value + payload.
+    EXPECT_EQ(e.PayloadBytes(), static_cast<size_t>(size) + 16);
+  }
+}
+
+TEST(GeneratorWrapperTest, RejectsBadParams) {
+  EXPECT_FALSE(GeneratorWrapper::Make(Config({{"payload-bytes", "-1"}})).ok());
+  EXPECT_FALSE(GeneratorWrapper::Make(Config({{"value-period", "0"}})).ok());
+  EXPECT_FALSE(
+      GeneratorWrapper::Make(Config({{"interval-ms", "abc"}})).ok());
+}
+
+// ------------------------------------------------------------------ Mote
+
+TEST(MoteWrapperTest, SchemaMatchesDemoSensors) {
+  auto w = MoteWrapper::Make(Config({{"node-id", "42"}}));
+  ASSERT_TRUE(w.ok());
+  const Schema& s = (*w)->output_schema();
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_TRUE(s.Contains("light"));
+  EXPECT_TRUE(s.Contains("temperature"));
+  EXPECT_TRUE(s.Contains("accel_x"));
+  EXPECT_TRUE(s.Contains("accel_y"));
+}
+
+TEST(MoteWrapperTest, ReadingsAreBoundedAndDeterministic) {
+  auto w1 = MoteWrapper::Make(Config({{"interval-ms", "100"}}, 99));
+  auto w2 = MoteWrapper::Make(Config({{"interval-ms", "100"}}, 99));
+  ASSERT_TRUE(w1.ok());
+  (void)(*w1)->Poll(0);
+  (void)(*w2)->Poll(0);
+  auto b1 = (*w1)->Poll(10 * kMicrosPerSecond);
+  auto b2 = (*w2)->Poll(10 * kMicrosPerSecond);
+  ASSERT_TRUE(b1.ok());
+  ASSERT_EQ(b1->size(), 100u);
+  for (size_t i = 0; i < b1->size(); ++i) {
+    const double light = (*b1)[i].values[1].double_value();
+    EXPECT_GE(light, 0.0);
+    EXPECT_LE(light, 2000.0);
+    const int64_t temp = (*b1)[i].values[2].int_value();
+    EXPECT_GE(temp, -20);
+    EXPECT_LE(temp, 60);
+    // Same seed => identical stream.
+    EXPECT_EQ((*b1)[i].values[2], (*b2)[i].values[2]);
+  }
+}
+
+// ---------------------------------------------------------------- Camera
+
+TEST(CameraWrapperTest, FramesHaveConfiguredSize) {
+  auto w = CameraWrapper::Make(Config(
+      {{"interval-ms", "1000"}, {"image-bytes", "16384"}, {"camera-id", "3"}}));
+  ASSERT_TRUE(w.ok());
+  (void)(*w)->Poll(0);
+  auto batch = (*w)->Poll(2 * kMicrosPerSecond);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_EQ((*batch)[0].values[0], Value::Int(3));
+  EXPECT_EQ((*batch)[0].values[1].binary_value()->size(), 16384u);
+  // Frames differ (header contains the frame counter).
+  EXPECT_NE(*(*batch)[0].values[1].binary_value(),
+            *(*batch)[1].values[1].binary_value());
+}
+
+// ------------------------------------------------------------------ RFID
+
+TEST(RfidWrapperTest, DetectionProbabilityRoughlyHolds) {
+  auto w = RfidWrapper::Make(Config({{"interval-ms", "100"},
+                                     {"detect-probability", "0.2"},
+                                     {"tags", "alice,bob"}}));
+  ASSERT_TRUE(w.ok());
+  (void)(*w)->Poll(0);
+  auto batch = (*w)->Poll(1000 * kMicrosPerSecond);  // 10000 polls
+  ASSERT_TRUE(batch.ok());
+  const double rate = static_cast<double>(batch->size()) / 10000.0;
+  EXPECT_NEAR(rate, 0.2, 0.03);
+  for (const StreamElement& e : *batch) {
+    const std::string& tag = e.values[1].string_value();
+    EXPECT_TRUE(tag == "alice" || tag == "bob") << tag;
+    EXPECT_GE(e.values[2].int_value(), -70);
+    EXPECT_LE(e.values[2].int_value(), -30);
+  }
+}
+
+TEST(RfidWrapperTest, InjectedDetectionAppearsOnNextPoll) {
+  auto w = RfidWrapper::Make(Config(
+      {{"interval-ms", "100"}, {"detect-probability", "0"}, {"tags", "x"}}));
+  ASSERT_TRUE(w.ok());
+  auto* rfid = static_cast<RfidWrapper*>(w->get());
+  (void)rfid->Poll(0);
+  auto empty = rfid->Poll(100 * kMicrosPerMilli);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  rfid->InjectDetection("badge-7");
+  auto batch = rfid->Poll(200 * kMicrosPerMilli);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_EQ((*batch)[0].values[1], Value::String("badge-7"));
+}
+
+TEST(RfidWrapperTest, RejectsBadParams) {
+  EXPECT_FALSE(RfidWrapper::Make(Config({{"detect-probability", "2"}})).ok());
+  EXPECT_FALSE(RfidWrapper::Make(Config({{"tags", " , "}})).ok());
+}
+
+// ------------------------------------------------------------------- CSV
+
+class CsvWrapperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("gsn_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void WriteFile(const std::string& contents) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvWrapperTest, ReplaysWithExplicitTimestamps) {
+  WriteFile("timed,temp,label\n1000,20,a\n2000,25,b\n5000,30,c\n");
+  auto w = CsvWrapper::Make(Config({{"file", path_.string()}}));
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  const Schema& s = (*w)->output_schema();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.field(0).type, DataType::kInt);
+  EXPECT_EQ(s.field(1).type, DataType::kString);
+
+  // base_time anchors at first poll (t=100).
+  auto none = (*w)->Poll(100);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  auto batch = (*w)->Poll(100 + 2000);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_EQ((*batch)[0].timed, 1100);
+  EXPECT_EQ((*batch)[0].values[0], Value::Int(20));
+  EXPECT_EQ((*batch)[1].values[1], Value::String("b"));
+}
+
+TEST_F(CsvWrapperTest, SpacingWithoutTimedColumn) {
+  WriteFile("v\n1\n2\n3\n");
+  auto w = CsvWrapper::Make(
+      Config({{"file", path_.string()}, {"interval-ms", "500"}}));
+  ASSERT_TRUE(w.ok());
+  (void)(*w)->Poll(0);
+  auto batch = (*w)->Poll(kMicrosPerSecond);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 2u);  // rows at 500ms and 1000ms
+}
+
+TEST_F(CsvWrapperTest, QuotedFieldsAndEmptyCells) {
+  WriteFile("name,v\n\"hello, world\",1\n\"say \"\"hi\"\"\",\n");
+  auto w = CsvWrapper::Make(Config({{"file", path_.string()}}));
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  (void)(*w)->Poll(0);
+  auto batch = (*w)->Poll(10 * kMicrosPerSecond);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_EQ((*batch)[0].values[0], Value::String("hello, world"));
+  EXPECT_EQ((*batch)[1].values[0], Value::String("say \"hi\""));
+  EXPECT_TRUE((*batch)[1].values[1].is_null());
+}
+
+TEST_F(CsvWrapperTest, ErrorsOnMissingFileAndRaggedRows) {
+  EXPECT_FALSE(CsvWrapper::Make(Config({{"file", "/nonexistent.csv"}})).ok());
+  EXPECT_FALSE(CsvWrapper::Make(Config({})).ok());
+  WriteFile("a,b\n1\n");
+  EXPECT_FALSE(CsvWrapper::Make(Config({{"file", path_.string()}})).ok());
+}
+
+TEST_F(CsvWrapperTest, LoopRestartsReplay) {
+  WriteFile("v\n1\n2\n");
+  auto w = CsvWrapper::Make(Config(
+      {{"file", path_.string()}, {"interval-ms", "100"}, {"loop", "true"}}));
+  ASSERT_TRUE(w.ok());
+  (void)(*w)->Poll(0);
+  auto first = (*w)->Poll(kMicrosPerSecond);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->size(), 2u);
+  // Next cycle re-anchors; polling further produces rows again.
+  auto second = (*w)->Poll(2 * kMicrosPerSecond);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(second->size(), 1u);
+}
+
+}  // namespace
+}  // namespace gsn::wrappers
