@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_directory.dir/ablate_directory.cc.o"
+  "CMakeFiles/ablate_directory.dir/ablate_directory.cc.o.d"
+  "ablate_directory"
+  "ablate_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

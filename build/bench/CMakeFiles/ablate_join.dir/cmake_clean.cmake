@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_join.dir/ablate_join.cc.o"
+  "CMakeFiles/ablate_join.dir/ablate_join.cc.o.d"
+  "ablate_join"
+  "ablate_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sql.dir/ablate_sql.cc.o"
+  "CMakeFiles/ablate_sql.dir/ablate_sql.cc.o.d"
+  "ablate_sql"
+  "ablate_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

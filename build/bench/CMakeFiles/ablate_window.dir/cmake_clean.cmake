@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_window.dir/ablate_window.cc.o"
+  "CMakeFiles/ablate_window.dir/ablate_window.cc.o.d"
+  "ablate_window"
+  "ablate_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_time_triggered_load.dir/fig3_time_triggered_load.cc.o"
+  "CMakeFiles/fig3_time_triggered_load.dir/fig3_time_triggered_load.cc.o.d"
+  "fig3_time_triggered_load"
+  "fig3_time_triggered_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_time_triggered_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_demo_deployment.dir/demo_deployment.cpp.o"
+  "CMakeFiles/example_demo_deployment.dir/demo_deployment.cpp.o.d"
+  "example_demo_deployment"
+  "example_demo_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_demo_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_reconfig.dir/dynamic_reconfig.cpp.o"
+  "CMakeFiles/example_dynamic_reconfig.dir/dynamic_reconfig.cpp.o.d"
+  "example_dynamic_reconfig"
+  "example_dynamic_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gsn_shell.dir/gsn_shell.cpp.o"
+  "CMakeFiles/example_gsn_shell.dir/gsn_shell.cpp.o.d"
+  "example_gsn_shell"
+  "example_gsn_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gsn_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensor_internet.dir/sensor_internet.cpp.o"
+  "CMakeFiles/example_sensor_internet.dir/sensor_internet.cpp.o.d"
+  "example_sensor_internet"
+  "example_sensor_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensor_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsn/container/access_control.cc" "src/CMakeFiles/gsn.dir/gsn/container/access_control.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/access_control.cc.o.d"
+  "/root/repo/src/gsn/container/container.cc" "src/CMakeFiles/gsn.dir/gsn/container/container.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/container.cc.o.d"
+  "/root/repo/src/gsn/container/descriptor_watcher.cc" "src/CMakeFiles/gsn.dir/gsn/container/descriptor_watcher.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/descriptor_watcher.cc.o.d"
+  "/root/repo/src/gsn/container/federation.cc" "src/CMakeFiles/gsn.dir/gsn/container/federation.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/federation.cc.o.d"
+  "/root/repo/src/gsn/container/integrity.cc" "src/CMakeFiles/gsn.dir/gsn/container/integrity.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/integrity.cc.o.d"
+  "/root/repo/src/gsn/container/local_stream_wrapper.cc" "src/CMakeFiles/gsn.dir/gsn/container/local_stream_wrapper.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/local_stream_wrapper.cc.o.d"
+  "/root/repo/src/gsn/container/management_interface.cc" "src/CMakeFiles/gsn.dir/gsn/container/management_interface.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/management_interface.cc.o.d"
+  "/root/repo/src/gsn/container/notification.cc" "src/CMakeFiles/gsn.dir/gsn/container/notification.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/notification.cc.o.d"
+  "/root/repo/src/gsn/container/query_manager.cc" "src/CMakeFiles/gsn.dir/gsn/container/query_manager.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/query_manager.cc.o.d"
+  "/root/repo/src/gsn/container/realtime_pump.cc" "src/CMakeFiles/gsn.dir/gsn/container/realtime_pump.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/realtime_pump.cc.o.d"
+  "/root/repo/src/gsn/container/web_interface.cc" "src/CMakeFiles/gsn.dir/gsn/container/web_interface.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/container/web_interface.cc.o.d"
+  "/root/repo/src/gsn/network/directory.cc" "src/CMakeFiles/gsn.dir/gsn/network/directory.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/network/directory.cc.o.d"
+  "/root/repo/src/gsn/network/http_server.cc" "src/CMakeFiles/gsn.dir/gsn/network/http_server.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/network/http_server.cc.o.d"
+  "/root/repo/src/gsn/network/protocol.cc" "src/CMakeFiles/gsn.dir/gsn/network/protocol.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/network/protocol.cc.o.d"
+  "/root/repo/src/gsn/network/remote_stream_wrapper.cc" "src/CMakeFiles/gsn.dir/gsn/network/remote_stream_wrapper.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/network/remote_stream_wrapper.cc.o.d"
+  "/root/repo/src/gsn/network/simulator.cc" "src/CMakeFiles/gsn.dir/gsn/network/simulator.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/network/simulator.cc.o.d"
+  "/root/repo/src/gsn/sql/ast.cc" "src/CMakeFiles/gsn.dir/gsn/sql/ast.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/sql/ast.cc.o.d"
+  "/root/repo/src/gsn/sql/executor.cc" "src/CMakeFiles/gsn.dir/gsn/sql/executor.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/sql/executor.cc.o.d"
+  "/root/repo/src/gsn/sql/lexer.cc" "src/CMakeFiles/gsn.dir/gsn/sql/lexer.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/sql/lexer.cc.o.d"
+  "/root/repo/src/gsn/sql/optimizer.cc" "src/CMakeFiles/gsn.dir/gsn/sql/optimizer.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/sql/optimizer.cc.o.d"
+  "/root/repo/src/gsn/sql/parser.cc" "src/CMakeFiles/gsn.dir/gsn/sql/parser.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/sql/parser.cc.o.d"
+  "/root/repo/src/gsn/storage/persistence_log.cc" "src/CMakeFiles/gsn.dir/gsn/storage/persistence_log.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/storage/persistence_log.cc.o.d"
+  "/root/repo/src/gsn/storage/table.cc" "src/CMakeFiles/gsn.dir/gsn/storage/table.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/storage/table.cc.o.d"
+  "/root/repo/src/gsn/storage/window_buffer.cc" "src/CMakeFiles/gsn.dir/gsn/storage/window_buffer.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/storage/window_buffer.cc.o.d"
+  "/root/repo/src/gsn/types/codec.cc" "src/CMakeFiles/gsn.dir/gsn/types/codec.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/types/codec.cc.o.d"
+  "/root/repo/src/gsn/types/schema.cc" "src/CMakeFiles/gsn.dir/gsn/types/schema.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/types/schema.cc.o.d"
+  "/root/repo/src/gsn/types/value.cc" "src/CMakeFiles/gsn.dir/gsn/types/value.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/types/value.cc.o.d"
+  "/root/repo/src/gsn/util/clock.cc" "src/CMakeFiles/gsn.dir/gsn/util/clock.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/util/clock.cc.o.d"
+  "/root/repo/src/gsn/util/export.cc" "src/CMakeFiles/gsn.dir/gsn/util/export.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/util/export.cc.o.d"
+  "/root/repo/src/gsn/util/hash.cc" "src/CMakeFiles/gsn.dir/gsn/util/hash.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/util/hash.cc.o.d"
+  "/root/repo/src/gsn/util/logging.cc" "src/CMakeFiles/gsn.dir/gsn/util/logging.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/util/logging.cc.o.d"
+  "/root/repo/src/gsn/util/rng.cc" "src/CMakeFiles/gsn.dir/gsn/util/rng.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/util/rng.cc.o.d"
+  "/root/repo/src/gsn/util/status.cc" "src/CMakeFiles/gsn.dir/gsn/util/status.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/util/status.cc.o.d"
+  "/root/repo/src/gsn/util/strings.cc" "src/CMakeFiles/gsn.dir/gsn/util/strings.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/util/strings.cc.o.d"
+  "/root/repo/src/gsn/util/thread_pool.cc" "src/CMakeFiles/gsn.dir/gsn/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/util/thread_pool.cc.o.d"
+  "/root/repo/src/gsn/vsensor/descriptor_parser.cc" "src/CMakeFiles/gsn.dir/gsn/vsensor/descriptor_parser.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/vsensor/descriptor_parser.cc.o.d"
+  "/root/repo/src/gsn/vsensor/spec.cc" "src/CMakeFiles/gsn.dir/gsn/vsensor/spec.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/vsensor/spec.cc.o.d"
+  "/root/repo/src/gsn/vsensor/stream_source.cc" "src/CMakeFiles/gsn.dir/gsn/vsensor/stream_source.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/vsensor/stream_source.cc.o.d"
+  "/root/repo/src/gsn/vsensor/virtual_sensor.cc" "src/CMakeFiles/gsn.dir/gsn/vsensor/virtual_sensor.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/vsensor/virtual_sensor.cc.o.d"
+  "/root/repo/src/gsn/wrappers/camera_wrapper.cc" "src/CMakeFiles/gsn.dir/gsn/wrappers/camera_wrapper.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/wrappers/camera_wrapper.cc.o.d"
+  "/root/repo/src/gsn/wrappers/csv_wrapper.cc" "src/CMakeFiles/gsn.dir/gsn/wrappers/csv_wrapper.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/wrappers/csv_wrapper.cc.o.d"
+  "/root/repo/src/gsn/wrappers/generator_wrapper.cc" "src/CMakeFiles/gsn.dir/gsn/wrappers/generator_wrapper.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/wrappers/generator_wrapper.cc.o.d"
+  "/root/repo/src/gsn/wrappers/mote_wrapper.cc" "src/CMakeFiles/gsn.dir/gsn/wrappers/mote_wrapper.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/wrappers/mote_wrapper.cc.o.d"
+  "/root/repo/src/gsn/wrappers/rfid_wrapper.cc" "src/CMakeFiles/gsn.dir/gsn/wrappers/rfid_wrapper.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/wrappers/rfid_wrapper.cc.o.d"
+  "/root/repo/src/gsn/wrappers/tinyos_wrapper.cc" "src/CMakeFiles/gsn.dir/gsn/wrappers/tinyos_wrapper.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/wrappers/tinyos_wrapper.cc.o.d"
+  "/root/repo/src/gsn/wrappers/wrapper.cc" "src/CMakeFiles/gsn.dir/gsn/wrappers/wrapper.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/wrappers/wrapper.cc.o.d"
+  "/root/repo/src/gsn/xml/xml.cc" "src/CMakeFiles/gsn.dir/gsn/xml/xml.cc.o" "gcc" "src/CMakeFiles/gsn.dir/gsn/xml/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/gsn_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/codec_property_test.cc" "tests/CMakeFiles/gsn_tests.dir/codec_property_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/codec_property_test.cc.o.d"
+  "/root/repo/tests/container_test.cc" "tests/CMakeFiles/gsn_tests.dir/container_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/container_test.cc.o.d"
+  "/root/repo/tests/descriptor_property_test.cc" "tests/CMakeFiles/gsn_tests.dir/descriptor_property_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/descriptor_property_test.cc.o.d"
+  "/root/repo/tests/descriptor_watcher_test.cc" "tests/CMakeFiles/gsn_tests.dir/descriptor_watcher_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/descriptor_watcher_test.cc.o.d"
+  "/root/repo/tests/export_test.cc" "tests/CMakeFiles/gsn_tests.dir/export_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/export_test.cc.o.d"
+  "/root/repo/tests/failure_injection_test.cc" "tests/CMakeFiles/gsn_tests.dir/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/failure_injection_test.cc.o.d"
+  "/root/repo/tests/federation_test.cc" "tests/CMakeFiles/gsn_tests.dir/federation_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/federation_test.cc.o.d"
+  "/root/repo/tests/local_chaining_test.cc" "tests/CMakeFiles/gsn_tests.dir/local_chaining_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/local_chaining_test.cc.o.d"
+  "/root/repo/tests/main_test.cc" "tests/CMakeFiles/gsn_tests.dir/main_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/main_test.cc.o.d"
+  "/root/repo/tests/network_test.cc" "tests/CMakeFiles/gsn_tests.dir/network_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/network_test.cc.o.d"
+  "/root/repo/tests/sql_executor_test.cc" "tests/CMakeFiles/gsn_tests.dir/sql_executor_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/sql_executor_test.cc.o.d"
+  "/root/repo/tests/sql_join_test.cc" "tests/CMakeFiles/gsn_tests.dir/sql_join_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/sql_join_test.cc.o.d"
+  "/root/repo/tests/sql_lexer_parser_test.cc" "tests/CMakeFiles/gsn_tests.dir/sql_lexer_parser_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/sql_lexer_parser_test.cc.o.d"
+  "/root/repo/tests/sql_optimizer_test.cc" "tests/CMakeFiles/gsn_tests.dir/sql_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/sql_optimizer_test.cc.o.d"
+  "/root/repo/tests/sql_property_test.cc" "tests/CMakeFiles/gsn_tests.dir/sql_property_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/sql_property_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/gsn_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/stream_quality_test.cc" "tests/CMakeFiles/gsn_tests.dir/stream_quality_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/stream_quality_test.cc.o.d"
+  "/root/repo/tests/tinyos_test.cc" "tests/CMakeFiles/gsn_tests.dir/tinyos_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/tinyos_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/gsn_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/vsensor_test.cc" "tests/CMakeFiles/gsn_tests.dir/vsensor_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/vsensor_test.cc.o.d"
+  "/root/repo/tests/web_interface_test.cc" "tests/CMakeFiles/gsn_tests.dir/web_interface_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/web_interface_test.cc.o.d"
+  "/root/repo/tests/window_property_test.cc" "tests/CMakeFiles/gsn_tests.dir/window_property_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/window_property_test.cc.o.d"
+  "/root/repo/tests/wrappers_test.cc" "tests/CMakeFiles/gsn_tests.dir/wrappers_test.cc.o" "gcc" "tests/CMakeFiles/gsn_tests.dir/wrappers_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
