@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "gsn/container/container.h"
+#include "gsn/telemetry/metrics.h"
 
 namespace {
 
@@ -59,20 +60,25 @@ std::string DeviceDescriptor(const std::string& name, int interval_ms,
 
 struct CellResult {
   double mean_ms = 0;
+  double p95_ms = 0;
   long elements = 0;
 };
 
 /// Runs one (interval, SES) cell: `devices` sensors on one container
-/// for `duration` of virtual time; returns mean processing ms/element.
+/// for `duration` of virtual time; returns the processing-time
+/// distribution read from the cell's telemetry registry.
 CellResult RunCell(int interval_ms, int payload_bytes, int devices,
                    Timestamp duration, const std::string& storage_dir) {
   auto clock = std::make_shared<gsn::VirtualClock>();
+  // A per-cell registry keeps the histograms isolated between cells.
+  gsn::telemetry::MetricRegistry registry;
   gsn::container::Container::Options options;
   options.node_id = "fig3";
   options.clock = clock;
   options.seed = 1234 + static_cast<uint64_t>(interval_ms) * 131 +
                  static_cast<uint64_t>(payload_bytes);
   options.storage_dir = storage_dir;
+  options.metrics = &registry;
   gsn::container::Container container(std::move(options));
 
   for (int d = 0; d < devices; ++d) {
@@ -94,18 +100,15 @@ CellResult RunCell(int interval_ms, int payload_bytes, int devices,
   }
 
   CellResult result;
-  int64_t total_micros = 0;
-  int64_t triggers = 0;
-  for (const std::string& name : container.ListSensors()) {
-    auto status = container.GetSensorStatus(name);
-    if (!status.ok()) continue;
-    total_micros += status->stats.total_processing_micros;
-    triggers += status->stats.triggers;
-    result.elements += status->stats.produced;
-  }
-  result.mean_ms =
-      triggers > 0 ? static_cast<double>(total_micros) / triggers / 1000.0
-                   : 0.0;
+  // All devices of the cell share the registry: summing the per-sensor
+  // families yields the node-wide processing-time distribution.
+  const gsn::telemetry::Histogram::Snapshot processing =
+      registry.SumHistograms("gsn_sensor_processing_micros");
+  result.mean_ms = processing.count > 0 ? processing.Mean() / 1000.0 : 0.0;
+  result.p95_ms = processing.count > 0 ? processing.Quantile(0.95) / 1000.0
+                                       : 0.0;
+  result.elements =
+      static_cast<long>(registry.SumCounters("gsn_sensor_tuples_total"));
   return result;
 }
 
@@ -143,20 +146,31 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  std::vector<std::vector<CellResult>> grid;
   for (int interval : intervals_ms) {
     std::printf("%-14d", interval);
+    grid.emplace_back();
     for (int ses : element_sizes) {
       std::filesystem::remove_all(storage_dir);
       std::filesystem::create_directories(storage_dir);
-      const CellResult cell =
-          RunCell(interval, ses, devices, duration, storage_dir);
-      std::printf("%12.3f", cell.mean_ms);
+      grid.back().push_back(
+          RunCell(interval, ses, devices, duration, storage_dir));
+      std::printf("%12.3f", grid.back().back().mean_ms);
       std::fflush(stdout);
     }
     std::printf("\n");
   }
   std::printf("# cell = mean in-container processing time per stream "
               "element (ms)\n");
+  std::printf("#\n# p95 per cell (ms), from the same telemetry "
+              "histograms:\n");
+  for (size_t r = 0; r < grid.size(); ++r) {
+    std::printf("%-14d", intervals_ms[r]);
+    for (const CellResult& cell : grid[r]) {
+      std::printf("%12.3f", cell.p95_ms);
+    }
+    std::printf("\n");
+  }
   std::filesystem::remove_all(storage_dir);
   return 0;
 }

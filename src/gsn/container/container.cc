@@ -17,9 +17,18 @@ using vsensor::VirtualSensorSpec;
 
 Container::Container(Options options)
     : options_(std::move(options)),
-      query_manager_(&catalog_),
+      owned_metrics_(options_.metrics == nullptr
+                         ? std::make_unique<telemetry::MetricRegistry>()
+                         : nullptr),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : owned_metrics_.get()),
+      query_manager_(&catalog_, metrics_),
+      notifications_(metrics_),
       integrity_(options_.integrity_key) {
   if (options_.clock == nullptr) options_.clock = SystemClock::Shared();
+  sensors_deployed_ = metrics_->GetGauge(
+      "gsn_sensors_deployed", {{"node", options_.node_id}},
+      "Virtual sensors currently deployed on this node");
   wrappers::WrapperRegistry::RegisterBuiltins(&registry_);
   if (options_.network != nullptr) {
     const Status s = options_.network->RegisterNode(options_.node_id, this);
@@ -124,7 +133,7 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
         seed = options_.seed * 1000003 + ++wrapper_seed_counter_;
       }
       sources[i].push_back(std::make_unique<StreamSource>(
-          source_spec, *std::move(wrapper), seed));
+          source_spec, *std::move(wrapper), seed, metrics_));
     }
   }
 
@@ -135,7 +144,7 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
   }
   deployment.pool = std::make_unique<ThreadPool>(spec.life_cycle.pool_size);
   deployment.sensor = std::make_unique<VirtualSensor>(
-      std::move(spec), std::move(sources), options_.clock);
+      std::move(spec), std::move(sources), options_.clock, metrics_);
 
   VirtualSensor* sensor = deployment.sensor.get();
   sensor->AddListener(
@@ -152,6 +161,7 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
   {
     std::lock_guard<std::mutex> lock(mu_);
     deployments_[key] = std::move(deployment);
+    sensors_deployed_->Set(static_cast<int64_t>(deployments_.size()));
   }
   PublishSensor(sensor->spec());
   GSN_LOG(kInfo, "container")
@@ -252,6 +262,7 @@ Status Container::Undeploy(const std::string& sensor_name,
     }
     deployment = std::move(it->second);
     deployments_.erase(it);
+    sensors_deployed_->Set(static_cast<int64_t>(deployments_.size()));
     for (const std::string& id : deployment.subscription_ids) {
       remote_wrappers_.erase(id);
     }
@@ -304,6 +315,8 @@ Status Container::Undeploy(const std::string& sensor_name,
 
   RetractSensor(deployment.sensor->name());
   GSN_RETURN_IF_ERROR(tables_.DropTable(sensor_name));
+  // Retire the sensor's metric series; its handles die with `deployment`.
+  metrics_->RemoveWithLabel("sensor", deployment.sensor->name());
   GSN_LOG(kInfo, "container")
       << options_.node_id << ": undeployed '" << sensor_name << "'";
   return Status::OK();

@@ -44,6 +44,10 @@ class Container : public network::NetworkNode {
     std::string storage_dir;                // "" disables permanent storage
     network::NetworkSimulator* network = nullptr;  // optional P2P fabric
     std::string integrity_key = "gsn-demo-key";
+    /// Metric registry shared by every component the container owns
+    /// (query manager, notification manager, sensors, sources). Null =
+    /// the container creates and owns a private one — see metrics().
+    telemetry::MetricRegistry* metrics = nullptr;
   };
 
   explicit Container(Options options);
@@ -54,6 +58,10 @@ class Container : public network::NetworkNode {
 
   const std::string& node_id() const { return options_.node_id; }
   Clock* clock() const { return options_.clock.get(); }
+  /// The registry all of this container's telemetry lands in (the one
+  /// from Options, or the container-owned default). Rendered by the web
+  /// interface's GET /metrics and the management `metrics` command.
+  telemetry::MetricRegistry* metrics() const { return metrics_; }
 
   // -- Deployment (the paper's headline feature) --------------------------
 
@@ -174,6 +182,12 @@ class Container : public network::NetworkNode {
   };
 
   Options options_;
+  /// Private registry when Options.metrics was null; metrics_ points at
+  /// whichever registry is live and is what members below register in,
+  /// so these two must precede them in declaration order.
+  std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;
+  telemetry::MetricRegistry* metrics_ = nullptr;
+  std::shared_ptr<telemetry::Gauge> sensors_deployed_;
   wrappers::WrapperRegistry registry_;
   storage::TableManager tables_;
   CatalogResolver catalog_{this};

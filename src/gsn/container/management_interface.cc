@@ -1,5 +1,6 @@
 #include "gsn/container/management_interface.h"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "gsn/util/export.h"
@@ -23,6 +24,8 @@ constexpr char kHelp[] =
     "  discover [k=v ...]        directory lookup by predicates\n"
     "  wrappers                  registered wrapper types\n"
     "  describe <sensor>         descriptor XML of a deployed sensor\n"
+    "  metrics                   telemetry in Prometheus text format\n"
+    "  slowlog [micros]          show/set the slow-query log threshold\n"
     "  help\n";
 }  // namespace
 
@@ -74,6 +77,8 @@ std::string ManagementInterface::Execute(const std::string& command_line) {
   if (cmd == "discover") return CmdDiscover(rest);
   if (cmd == "wrappers") return CmdWrappers();
   if (cmd == "describe") return CmdDescribe(rest);
+  if (cmd == "metrics") return CmdMetrics();
+  if (cmd == "slowlog") return CmdSlowlog(rest);
   return "ERROR: unknown command '" + cmd + "' (try: help)";
 }
 
@@ -168,6 +173,32 @@ std::string ManagementInterface::CmdDescribe(const std::string& sensor) const {
   vsensor::VirtualSensor* vs = container_->FindSensor(sensor);
   if (vs == nullptr) return "ERROR: NotFound: no such sensor: " + sensor;
   return vs->spec().ToXml();
+}
+
+std::string ManagementInterface::CmdMetrics() const {
+  std::string out = container_->metrics()->RenderPrometheus();
+  if (container_->metrics() != telemetry::MetricRegistry::Default()) {
+    out += telemetry::MetricRegistry::Default()->RenderPrometheus();
+  }
+  return out;
+}
+
+std::string ManagementInterface::CmdSlowlog(const std::string& args) {
+  if (args.empty()) {
+    const int64_t threshold = container_->query_manager().slow_query_micros();
+    if (threshold <= 0) return "slow-query log disabled\n";
+    return "slow-query threshold: " + std::to_string(threshold) +
+           " micros\n";
+  }
+  char* end = nullptr;
+  const long long threshold = std::strtoll(args.c_str(), &end, 10);
+  if (end == args.c_str() || *end != '\0' || threshold < 0) {
+    return "ERROR: slowlog takes a non-negative microsecond threshold";
+  }
+  container_->query_manager().set_slow_query_micros(threshold);
+  return threshold == 0 ? "slow-query log disabled\n"
+                        : "slow-query threshold set to " +
+                              std::to_string(threshold) + " micros\n";
 }
 
 }  // namespace gsn::container

@@ -23,6 +23,8 @@ namespace gsn::container {
 ///   discover [k=v ...]             directory lookup by predicates
 ///   wrappers                       registered wrapper types
 ///   describe <sensor>              descriptor XML round-tripped
+///   metrics                        telemetry in Prometheus text format
+///   slowlog [threshold-micros]     show / set the slow-query threshold
 ///
 /// Every command returns the response text; errors are rendered as
 /// "ERROR: <status>". An api key can be attached for containers with
@@ -49,6 +51,8 @@ class ManagementInterface {
   std::string CmdDiscover(const std::string& args) const;
   std::string CmdWrappers() const;
   std::string CmdDescribe(const std::string& sensor) const;
+  std::string CmdMetrics() const;
+  std::string CmdSlowlog(const std::string& args);
 
   Container* container_;
   std::string api_key_;

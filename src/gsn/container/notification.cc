@@ -50,6 +50,25 @@ void FileChannel::Deliver(const Notification& notification) {
   std::fflush(file_);
 }
 
+NotificationManager::NotificationManager(telemetry::MetricRegistry* metrics) {
+  telemetry::MetricRegistry* registry = metrics;
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<telemetry::MetricRegistry>();
+    registry = owned_metrics_.get();
+  }
+  elements_seen_ = registry->GetCounter(
+      "gsn_notifications_seen_total", {},
+      "Sensor output elements examined by the notification manager");
+  delivered_ = registry->GetCounter("gsn_notifications_delivered_total", {},
+                                    "Notifications delivered to channels");
+  condition_errors_ = registry->GetCounter(
+      "gsn_notification_condition_errors_total", {},
+      "Subscription conditions that failed to evaluate");
+  fanout_micros_ = registry->GetHistogram(
+      "gsn_notification_fanout_micros", {},
+      "Per-element condition evaluation + delivery fan-out time");
+}
+
 Result<int64_t> NotificationManager::Subscribe(
     const std::string& sensor_name, const std::string& condition_sql,
     std::shared_ptr<NotificationChannel> channel) {
@@ -95,9 +114,9 @@ int NotificationManager::OnElement(const std::string& sensor_name,
     std::shared_ptr<NotificationChannel> channel;
   };
   std::vector<Pending> pending;
+  elements_seen_->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.elements_seen;
     for (const auto& [id, sub] : subscriptions_) {
       if (sub.sensor_name != "*" &&
           !StrEqualsIgnoreCase(sub.sensor_name, sensor_name)) {
@@ -107,6 +126,8 @@ int NotificationManager::OnElement(const std::string& sensor_name,
     }
   }
   if (pending.empty()) return 0;
+  telemetry::SpanTimer fanout_span(telemetry::SteadyClock::Instance(),
+                                   fanout_micros_.get());
 
   // One-row relation exposing the element (and its timestamp) to the
   // condition expressions.
@@ -122,8 +143,7 @@ int NotificationManager::OnElement(const std::string& sensor_name,
     if (p.condition != nullptr) {
       Result<Relation> match = exec.Execute(*p.condition);
       if (!match.ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.condition_errors;
+        condition_errors_->Increment();
         continue;
       }
       fire = !match->empty();
@@ -136,14 +156,16 @@ int NotificationManager::OnElement(const std::string& sensor_name,
     p.channel->Deliver(n);
     ++delivered;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.delivered += delivered;
+  delivered_->Increment(delivered);
   return delivered;
 }
 
 NotificationManager::Stats NotificationManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats stats;
+  stats.elements_seen = elements_seen_->Value();
+  stats.delivered = delivered_->Value();
+  stats.condition_errors = condition_errors_->Value();
+  return stats;
 }
 
 }  // namespace gsn::container

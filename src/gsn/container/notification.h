@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gsn/sql/ast.h"
+#include "gsn/telemetry/metrics.h"
 #include "gsn/types/schema.h"
 #include "gsn/util/result.h"
 
@@ -83,7 +84,10 @@ class FileChannel : public NotificationChannel {
 /// Thread-safe.
 class NotificationManager {
  public:
-  NotificationManager() = default;
+  /// Fan-out telemetry (elements seen, deliveries, condition errors,
+  /// fan-out latency) registers in `metrics`; a private registry is
+  /// created when none is injected.
+  explicit NotificationManager(telemetry::MetricRegistry* metrics = nullptr);
 
   NotificationManager(const NotificationManager&) = delete;
   NotificationManager& operator=(const NotificationManager&) = delete;
@@ -102,6 +106,8 @@ class NotificationManager {
   int OnElement(const std::string& sensor_name, const Schema& element_schema,
                 const StreamElement& element);
 
+  /// Point-in-time view assembled from the registered metrics (kept as
+  /// the pre-telemetry API).
   struct Stats {
     int64_t elements_seen = 0;
     int64_t delivered = 0;
@@ -118,10 +124,15 @@ class NotificationManager {
     std::shared_ptr<NotificationChannel> channel;
   };
 
+  std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;
+  std::shared_ptr<telemetry::Counter> elements_seen_;
+  std::shared_ptr<telemetry::Counter> delivered_;
+  std::shared_ptr<telemetry::Counter> condition_errors_;
+  std::shared_ptr<telemetry::Histogram> fanout_micros_;
+
   mutable std::mutex mu_;
   std::map<int64_t, Subscription> subscriptions_;
   int64_t next_id_ = 1;
-  Stats stats_;
 };
 
 }  // namespace gsn::container

@@ -1,20 +1,13 @@
 #include "gsn/container/query_manager.h"
 
-#include <chrono>
-
 #include "gsn/sql/optimizer.h"
 #include "gsn/sql/parser.h"
+#include "gsn/util/logging.h"
 #include "gsn/util/strings.h"
 
 namespace gsn::container {
 
 namespace {
-int64_t SteadyNowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 void CollectTablesFromRef(const sql::TableRef& ref,
                           std::set<std::string>* out);
 
@@ -75,8 +68,53 @@ void CollectTablesFromRef(const sql::TableRef& ref,
 }
 }  // namespace
 
-QueryManager::QueryManager(const sql::TableResolver* resolver)
-    : resolver_(resolver) {}
+QueryManager::QueryManager(const sql::TableResolver* resolver,
+                           telemetry::MetricRegistry* metrics)
+    : resolver_(resolver), span_clock_(telemetry::SteadyClock::Instance()) {
+  telemetry::MetricRegistry* registry = metrics;
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<telemetry::MetricRegistry>();
+    registry = owned_metrics_.get();
+  }
+  metrics_.executed = registry->GetCounter("gsn_queries_total", {},
+                                           "One-shot queries executed");
+  metrics_.cache_hits = registry->GetCounter(
+      "gsn_query_cache_hits_total", {}, "Prepared-statement cache hits");
+  metrics_.cache_misses = registry->GetCounter(
+      "gsn_query_cache_misses_total", {}, "Prepared-statement cache misses");
+  metrics_.continuous_runs = registry->GetCounter(
+      "gsn_continuous_runs_total", {},
+      "Continuous query re-executions triggered by new elements");
+  metrics_.slow_queries = registry->GetCounter(
+      "gsn_slow_queries_total", {},
+      "Queries that crossed the slow-query threshold");
+  metrics_.parse_micros = registry->GetHistogram(
+      "gsn_query_parse_micros", {},
+      "SQL parse + plan time (the paper's query compiling cost)");
+  metrics_.exec_micros = registry->GetHistogram(
+      "gsn_query_exec_micros", {}, "SQL execution time (Fig 4)");
+}
+
+void QueryManager::set_slow_query_micros(int64_t threshold_micros) {
+  slow_query_micros_.store(threshold_micros, std::memory_order_relaxed);
+}
+
+int64_t QueryManager::slow_query_micros() const {
+  return slow_query_micros_.load(std::memory_order_relaxed);
+}
+
+void QueryManager::set_span_clock(const Clock* span_clock) {
+  span_clock_.store(span_clock, std::memory_order_relaxed);
+}
+
+void QueryManager::MaybeLogSlow(const std::string& sql_text,
+                                int64_t elapsed_micros) {
+  const int64_t threshold = slow_query_micros();
+  if (threshold <= 0 || elapsed_micros < threshold) return;
+  metrics_.slow_queries->Increment();
+  GSN_LOG(kWarn, "query") << "slow query (" << elapsed_micros
+                          << " us >= " << threshold << " us): " << sql_text;
+}
 
 Result<std::shared_ptr<sql::SelectStmt>> QueryManager::Prepare(
     const std::string& sql_text) {
@@ -85,24 +123,21 @@ Result<std::shared_ptr<sql::SelectStmt>> QueryManager::Prepare(
     if (cache_enabled_) {
       auto it = cache_.find(sql_text);
       if (it != cache_.end()) {
-        ++stats_.cache_hits;
+        metrics_.cache_hits->Increment();
         return it->second;
       }
-      ++stats_.cache_misses;
+      metrics_.cache_misses->Increment();
     }
   }
-  const int64_t t0 = SteadyNowMicros();
+  telemetry::SpanTimer parse_span(
+      span_clock_.load(std::memory_order_relaxed), metrics_.parse_micros.get());
   Result<std::unique_ptr<sql::SelectStmt>> parsed =
       sql::ParseSelect(sql_text);
   if (parsed.ok()) {
     // The planning pass: constant folding and predicate simplification.
     GSN_RETURN_IF_ERROR(sql::Optimize(parsed->get()));
   }
-  const int64_t elapsed = SteadyNowMicros() - t0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.parse_micros += elapsed;
-  }
+  parse_span.Stop();
   if (!parsed.ok()) return parsed.status();
   std::shared_ptr<sql::SelectStmt> stmt = *std::move(parsed);
   std::lock_guard<std::mutex> lock(mu_);
@@ -114,12 +149,12 @@ Result<Relation> QueryManager::Execute(const std::string& sql_text) {
   GSN_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
                        Prepare(sql_text));
   sql::Executor exec(resolver_);
-  const int64_t t0 = SteadyNowMicros();
+  telemetry::SpanTimer exec_span(span_clock_.load(std::memory_order_relaxed),
+                                 metrics_.exec_micros.get());
   Result<Relation> result = exec.Execute(*stmt);
-  const int64_t elapsed = SteadyNowMicros() - t0;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.executed;
-  stats_.exec_micros += elapsed;
+  const int64_t elapsed = exec_span.Stop();
+  metrics_.executed->Increment();
+  MaybeLogSlow(sql_text, elapsed);
   return result;
 }
 
@@ -165,27 +200,26 @@ int QueryManager::OnNewElement(const std::string& sensor_name) {
   struct Pending {
     std::shared_ptr<sql::SelectStmt> stmt;
     ContinuousCallback callback;
+    std::string sql_text;
   };
   std::vector<Pending> pending;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [id, query] : continuous_) {
       if (query.tables.count(key)) {
-        pending.push_back({query.stmt, query.callback});
+        pending.push_back({query.stmt, query.callback, query.sql_text});
       }
     }
   }
   int ran = 0;
   for (const Pending& p : pending) {
     sql::Executor exec(resolver_);
-    const int64_t t0 = SteadyNowMicros();
+    telemetry::SpanTimer exec_span(span_clock_.load(std::memory_order_relaxed),
+                                   metrics_.exec_micros.get());
     Result<Relation> result = exec.Execute(*p.stmt);
-    const int64_t elapsed = SteadyNowMicros() - t0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.continuous_runs;
-      stats_.exec_micros += elapsed;
-    }
+    const int64_t elapsed = exec_span.Stop();
+    metrics_.continuous_runs->Increment();
+    MaybeLogSlow(p.sql_text, elapsed);
     if (result.ok()) {
       p.callback(sensor_name, *result);
       ++ran;
@@ -206,8 +240,15 @@ bool QueryManager::cache_enabled() const {
 }
 
 QueryManager::Stats QueryManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats stats;
+  stats.executed = metrics_.executed->Value();
+  stats.cache_hits = metrics_.cache_hits->Value();
+  stats.cache_misses = metrics_.cache_misses->Value();
+  stats.continuous_runs = metrics_.continuous_runs->Value();
+  stats.slow_queries = metrics_.slow_queries->Value();
+  stats.parse_micros = metrics_.parse_micros->TakeSnapshot().sum;
+  stats.exec_micros = metrics_.exec_micros->TakeSnapshot().sum;
+  return stats;
 }
 
 }  // namespace gsn::container

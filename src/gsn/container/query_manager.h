@@ -1,6 +1,7 @@
 #ifndef GSN_CONTAINER_QUERY_MANAGER_H_
 #define GSN_CONTAINER_QUERY_MANAGER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <string>
 
 #include "gsn/sql/executor.h"
+#include "gsn/telemetry/metrics.h"
 #include "gsn/util/result.h"
 
 namespace gsn::container {
@@ -25,8 +27,12 @@ class QueryManager {
   using ContinuousCallback =
       std::function<void(const std::string& sensor_name, const Relation&)>;
 
-  /// `resolver` supplies the container's sensor output tables.
-  explicit QueryManager(const sql::TableResolver* resolver);
+  /// `resolver` supplies the container's sensor output tables. Query
+  /// telemetry (parse/exec latency histograms, cache counters, the
+  /// slow-query counter) registers in `metrics`, defaulting to the
+  /// process registry.
+  explicit QueryManager(const sql::TableResolver* resolver,
+                        telemetry::MetricRegistry* metrics = nullptr);
 
   QueryManager(const QueryManager&) = delete;
   QueryManager& operator=(const QueryManager&) = delete;
@@ -56,22 +62,43 @@ class QueryManager {
   void set_cache_enabled(bool enabled);
   bool cache_enabled() const;
 
+  /// Slow-query log: one-shot and continuous executions taking at least
+  /// `threshold_micros` are logged at WARN with their SQL text and
+  /// counted in gsn_slow_queries_total. 0 disables (the default).
+  void set_slow_query_micros(int64_t threshold_micros);
+  int64_t slow_query_micros() const;
+
+  /// Clock for the parse/exec span timers (default: steady wall clock).
+  /// Tests inject a VirtualClock for deterministic latencies.
+  void set_span_clock(const Clock* span_clock);
+
   /// Collects base table names referenced anywhere in a statement
   /// (FROM items, joins, subqueries, set-op branches). Used by the
   /// repository for change tracking and by access control.
   static void CollectTables(const sql::SelectStmt& stmt,
                             std::set<std::string>* out);
 
+  /// Point-in-time view assembled from the registered metrics (kept as
+  /// the pre-telemetry API; the counters live in the MetricRegistry).
   struct Stats {
     int64_t executed = 0;
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
     int64_t continuous_runs = 0;
+    int64_t slow_queries = 0;
     /// Cumulative wall time split by phase, microseconds.
     int64_t parse_micros = 0;
     int64_t exec_micros = 0;
   };
   Stats stats() const;
+
+  /// Execution-latency distribution (Fig 4's series).
+  telemetry::Histogram::Snapshot exec_histogram() const {
+    return metrics_.exec_micros->TakeSnapshot();
+  }
+  telemetry::Histogram::Snapshot parse_histogram() const {
+    return metrics_.parse_micros->TakeSnapshot();
+  }
 
  private:
   struct ContinuousQuery {
@@ -85,14 +112,31 @@ class QueryManager {
   Result<std::shared_ptr<sql::SelectStmt>> Prepare(
       const std::string& sql_text);
 
+  /// Logs + counts `sql_text` if `elapsed_micros` crosses the slow bar.
+  void MaybeLogSlow(const std::string& sql_text, int64_t elapsed_micros);
+
+  struct QueryMetrics {
+    std::shared_ptr<telemetry::Counter> executed;
+    std::shared_ptr<telemetry::Counter> cache_hits;
+    std::shared_ptr<telemetry::Counter> cache_misses;
+    std::shared_ptr<telemetry::Counter> continuous_runs;
+    std::shared_ptr<telemetry::Counter> slow_queries;
+    std::shared_ptr<telemetry::Histogram> parse_micros;
+    std::shared_ptr<telemetry::Histogram> exec_micros;
+  };
+
   const sql::TableResolver* resolver_;
+  /// Private registry when none was injected.
+  std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;
+  QueryMetrics metrics_;
+  std::atomic<const Clock*> span_clock_;
+  std::atomic<int64_t> slow_query_micros_{0};
 
   mutable std::mutex mu_;
   bool cache_enabled_ = true;
   std::map<std::string, std::shared_ptr<sql::SelectStmt>> cache_;
   std::map<int64_t, ContinuousQuery> continuous_;
   int64_t next_id_ = 1;
-  Stats stats_;
 };
 
 }  // namespace gsn::container

@@ -44,6 +44,7 @@ HttpResponse WebInterface::Handle(const HttpRequest& request) {
     if (request.path == "/explain") return HandleExplain(request);
     if (request.path == "/discover") return HandleDiscover(request);
     if (request.path == "/topology") return HandleTopology();
+    if (request.path == "/metrics") return HandleMetrics();
     return HttpResponse::Error(404, "no such resource: " + request.path);
   }
   if (request.method == "POST") {
@@ -66,7 +67,7 @@ HttpResponse WebInterface::HandleIndex() {
   }
   html +=
       "</ul><p>API: /sensors /query?sql=... /explain?sql=... "
-      "/discover?key=val /topology POST /deploy POST "
+      "/discover?key=val /topology /metrics POST /deploy POST "
       "/undeploy?name=...</p></body></html>";
   return HttpResponse::Html(std::move(html));
 }
@@ -161,6 +162,19 @@ HttpResponse WebInterface::HandleTopology() {
   HttpResponse response =
       HttpResponse::Text(EdgesToDot(container_->node_id(), edges));
   response.content_type = "text/vnd.graphviz";
+  return response;
+}
+
+HttpResponse WebInterface::HandleMetrics() {
+  std::string body = container_->metrics()->RenderPrometheus();
+  // Process-wide series (e.g. the SQL join-strategy counters) live in
+  // the default registry; append them when the container isn't already
+  // using it.
+  if (container_->metrics() != telemetry::MetricRegistry::Default()) {
+    body += telemetry::MetricRegistry::Default()->RenderPrometheus();
+  }
+  HttpResponse response = HttpResponse::Text(std::move(body));
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   return response;
 }
 

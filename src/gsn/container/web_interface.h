@@ -20,6 +20,7 @@ namespace gsn::container {
 ///   GET  /explain?sql=...   the optimized execution pipeline as text
 ///   GET  /discover?k=v&...  directory lookup by predicates (JSON)
 ///   GET  /topology          data-flow graph as Graphviz DOT
+///   GET  /metrics           telemetry in Prometheus text format
 ///   POST /deploy            body = descriptor XML
 ///   POST /undeploy?name=...
 ///
@@ -48,6 +49,7 @@ class WebInterface {
   network::HttpResponse HandleExplain(const network::HttpRequest& request);
   network::HttpResponse HandleDiscover(const network::HttpRequest& request);
   network::HttpResponse HandleTopology();
+  network::HttpResponse HandleMetrics();
   network::HttpResponse HandleDeploy(const network::HttpRequest& request);
   network::HttpResponse HandleUndeploy(const network::HttpRequest& request);
 

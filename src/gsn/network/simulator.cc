@@ -2,7 +2,27 @@
 
 namespace gsn::network {
 
-NetworkSimulator::NetworkSimulator(uint64_t seed) : rng_(seed) {}
+NetworkSimulator::NetworkSimulator(uint64_t seed,
+                                   telemetry::MetricRegistry* metrics)
+    : rng_(seed) {
+  telemetry::MetricRegistry* registry = metrics;
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<telemetry::MetricRegistry>();
+    registry = owned_metrics_.get();
+  }
+  sent_ = registry->GetCounter("gsn_network_sent_total", {},
+                               "Messages submitted to the simulated network");
+  delivered_ = registry->GetCounter("gsn_network_delivered_total", {},
+                                    "Messages delivered to their node");
+  dropped_ = registry->GetCounter(
+      "gsn_network_dropped_total", {},
+      "Messages lost to link loss or departed nodes");
+  bytes_sent_ = registry->GetCounter("gsn_network_bytes_sent_total", {},
+                                     "Payload bytes submitted");
+  delivery_micros_ = registry->GetHistogram(
+      "gsn_network_delivery_micros", {},
+      "Simulated delivery latency (deliver_at - sent_at)");
+}
 
 Status NetworkSimulator::RegisterNode(const std::string& node_id,
                                       NetworkNode* node) {
@@ -54,11 +74,11 @@ Status NetworkSimulator::Send(Timestamp now, const std::string& from,
   if (!nodes_.count(to)) {
     return Status::NotFound("unknown destination node: " + to);
   }
-  ++stats_.sent;
-  stats_.bytes_sent += static_cast<int64_t>(payload.size());
+  sent_->Increment();
+  bytes_sent_->Increment(static_cast<int64_t>(payload.size()));
   const LinkConfig& link = LinkFor(from, to);
   if (link.loss_probability > 0 && rng_.NextBool(link.loss_probability)) {
-    ++stats_.dropped;
+    dropped_->Increment();
     return Status::OK();  // loss is silent, like UDP
   }
   QueuedMessage qm;
@@ -107,11 +127,12 @@ int NetworkSimulator::DeliverUntil(Timestamp now) {
       auto it = nodes_.find(message.to);
       if (it == nodes_.end()) {
         // Node departed after the message was sent: drop it.
-        ++stats_.dropped;
+        dropped_->Increment();
         continue;
       }
       target = it->second;
-      ++stats_.delivered;
+      delivered_->Increment();
+      delivery_micros_->Observe(message.deliver_at - message.sent_at);
     }
     // Deliver outside the lock: handlers commonly Send() in response.
     target->OnMessage(message);
@@ -121,8 +142,12 @@ int NetworkSimulator::DeliverUntil(Timestamp now) {
 }
 
 NetworkSimulator::Stats NetworkSimulator::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats stats;
+  stats.sent = sent_->Value();
+  stats.delivered = delivered_->Value();
+  stats.dropped = dropped_->Value();
+  stats.bytes_sent = bytes_sent_->Value();
+  return stats;
 }
 
 }  // namespace gsn::network

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "gsn/telemetry/metrics.h"
 #include "gsn/util/clock.h"
 #include "gsn/util/result.h"
 #include "gsn/util/rng.h"
@@ -49,6 +50,8 @@ class NetworkSimulator {
     double loss_probability = 0.0;
   };
 
+  /// Point-in-time view assembled from the registered metrics (kept as
+  /// the pre-telemetry API).
   struct Stats {
     int64_t sent = 0;
     int64_t delivered = 0;
@@ -56,7 +59,12 @@ class NetworkSimulator {
     int64_t bytes_sent = 0;
   };
 
-  explicit NetworkSimulator(uint64_t seed = 1);
+  /// Traffic telemetry (send/deliver/drop counters, simulated delivery
+  /// latency) registers in `metrics`; a private registry is created
+  /// when none is injected. The latency histogram observes
+  /// `deliver_at - sent_at`, which is deterministic under virtual time.
+  explicit NetworkSimulator(uint64_t seed = 1,
+                            telemetry::MetricRegistry* metrics = nullptr);
 
   NetworkSimulator(const NetworkSimulator&) = delete;
   NetworkSimulator& operator=(const NetworkSimulator&) = delete;
@@ -104,6 +112,13 @@ class NetworkSimulator {
   const LinkConfig& LinkFor(const std::string& from,
                             const std::string& to) const;
 
+  std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;
+  std::shared_ptr<telemetry::Counter> sent_;
+  std::shared_ptr<telemetry::Counter> delivered_;
+  std::shared_ptr<telemetry::Counter> dropped_;
+  std::shared_ptr<telemetry::Counter> bytes_sent_;
+  std::shared_ptr<telemetry::Histogram> delivery_micros_;
+
   mutable std::mutex mu_;
   Rng rng_;
   LinkConfig default_link_;
@@ -113,7 +128,6 @@ class NetworkSimulator {
                       std::greater<QueuedMessage>>
       queue_;
   uint64_t sequence_ = 0;
-  Stats stats_;
 };
 
 }  // namespace gsn::network

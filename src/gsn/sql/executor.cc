@@ -7,6 +7,7 @@
 #include <set>
 
 #include "gsn/sql/parser.h"
+#include "gsn/telemetry/metrics.h"
 #include "gsn/util/strings.h"
 
 namespace gsn::sql {
@@ -880,8 +881,28 @@ Result<Relation> EvalTableRef(const TableResolver* resolver,
 // evaluation makes the nested loop lose to the hash build beyond tiny
 // inputs.
 std::atomic<size_t> g_hash_join_threshold{64};
-std::atomic<int64_t> g_hash_joins{0};
-std::atomic<int64_t> g_nested_loop_joins{0};
+
+// Strategy counters live in the process-wide registry so /metrics on
+// any node exposes them; GetJoinCounters()/ResetJoinCounters() below
+// stay as views. Function-local statics keep the shared_ptr lookup off
+// the per-join path.
+telemetry::Counter* HashJoinCounter() {
+  static const auto counter =
+      new std::shared_ptr<telemetry::Counter>(
+          telemetry::MetricRegistry::Default()->GetCounter(
+              "gsn_sql_hash_joins_total", {},
+              "Joins executed with the hash strategy"));
+  return counter->get();
+}
+
+telemetry::Counter* NestedLoopJoinCounter() {
+  static const auto counter =
+      new std::shared_ptr<telemetry::Counter>(
+          telemetry::MetricRegistry::Default()->GetCounter(
+              "gsn_sql_nested_loop_joins_total", {},
+              "Joins executed with the nested-loop strategy"));
+  return counter->get();
+}
 
 /// Flattens a conjunction tree (AND chains) into its conjuncts.
 void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
@@ -1040,11 +1061,11 @@ Result<Relation> EvalJoin(const TableResolver* resolver, const TableRef& ref,
   }
   const size_t cross = left.NumRows() * right.NumRows();
   if (!keys.empty() && cross >= g_hash_join_threshold.load()) {
-    g_hash_joins.fetch_add(1);
+    HashJoinCounter()->Increment();
     return HashJoin(eval, ref, left, right, combined, keys, residual, outer);
   }
 
-  g_nested_loop_joins.fetch_add(1);
+  NestedLoopJoinCounter()->Increment();
   Relation out(combined);
   for (const auto& lrow : left.rows()) {
     bool matched = false;
@@ -1475,14 +1496,14 @@ size_t GetHashJoinThreshold() { return g_hash_join_threshold.load(); }
 
 JoinCounters GetJoinCounters() {
   JoinCounters counters;
-  counters.hash_joins = g_hash_joins.load();
-  counters.nested_loop_joins = g_nested_loop_joins.load();
+  counters.hash_joins = HashJoinCounter()->Value();
+  counters.nested_loop_joins = NestedLoopJoinCounter()->Value();
   return counters;
 }
 
 void ResetJoinCounters() {
-  g_hash_joins.store(0);
-  g_nested_loop_joins.store(0);
+  HashJoinCounter()->Reset();
+  NestedLoopJoinCounter()->Reset();
 }
 
 Result<Relation> Executor::Execute(const SelectStmt& stmt) const {

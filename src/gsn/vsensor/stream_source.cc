@@ -4,15 +4,33 @@ namespace gsn::vsensor {
 
 StreamSource::StreamSource(StreamSourceSpec spec,
                            std::unique_ptr<wrappers::Wrapper> wrapper,
-                           uint64_t seed)
+                           uint64_t seed, telemetry::MetricRegistry* metrics)
     : spec_(std::move(spec)),
       wrapper_(std::move(wrapper)),
       window_(spec_.window),
-      rng_(seed) {}
+      rng_(seed) {
+  telemetry::MetricRegistry* registry = metrics;
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<telemetry::MetricRegistry>();
+    registry = owned_metrics_.get();
+  }
+  const telemetry::Labels wrapper_label = {
+      {"wrapper", wrapper_->type_name()}};
+  poll_micros_ = registry->GetHistogram(
+      "gsn_wrapper_poll_micros", wrapper_label,
+      "Time spent in the wrapper's produce loop per poll");
+  produced_total_ = registry->GetCounter(
+      "gsn_wrapper_elements_total", wrapper_label,
+      "Stream elements produced by wrappers of this type");
+}
 
 Result<std::vector<StreamElement>> StreamSource::Poll(Timestamp now) {
+  telemetry::SpanTimer poll_span(telemetry::SteadyClock::Instance(),
+                                 poll_micros_.get());
   GSN_ASSIGN_OR_RETURN(std::vector<StreamElement> produced,
                        wrapper_->Poll(now));
+  poll_span.Stop();
+  produced_total_->Increment(static_cast<int64_t>(produced.size()));
   std::vector<StreamElement> admitted;
 
   std::lock_guard<std::mutex> lock(mu_);

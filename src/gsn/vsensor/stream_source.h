@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "gsn/storage/window_buffer.h"
+#include "gsn/telemetry/metrics.h"
 #include "gsn/util/rng.h"
 #include "gsn/vsensor/spec.h"
 #include "gsn/wrappers/wrapper.h"
@@ -27,8 +28,10 @@ namespace gsn::vsensor {
 ///      window, the relation its SQL sees as WRAPPER.
 class StreamSource {
  public:
+  /// Registers per-wrapper-type telemetry (poll-loop latency, elements
+  /// produced) in `metrics`, defaulting to the process registry.
   StreamSource(StreamSourceSpec spec, std::unique_ptr<wrappers::Wrapper> wrapper,
-               uint64_t seed);
+               uint64_t seed, telemetry::MetricRegistry* metrics = nullptr);
 
   StreamSource(const StreamSource&) = delete;
   StreamSource& operator=(const StreamSource&) = delete;
@@ -64,6 +67,9 @@ class StreamSource {
   std::unique_ptr<wrappers::Wrapper> wrapper_;
   storage::WindowBuffer window_;
   Rng rng_;
+  std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;
+  std::shared_ptr<telemetry::Histogram> poll_micros_;
+  std::shared_ptr<telemetry::Counter> produced_total_;
 
   mutable std::mutex mu_;
   bool connected_ = true;

@@ -1,25 +1,51 @@
 #include "gsn/vsensor/virtual_sensor.h"
 
-#include <chrono>
-
 #include "gsn/sql/parser.h"
 #include "gsn/util/logging.h"
 
 namespace gsn::vsensor {
 
-namespace {
-int64_t SteadyNowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
-
 VirtualSensor::VirtualSensor(
     VirtualSensorSpec spec,
     std::vector<std::vector<std::unique_ptr<StreamSource>>> sources,
-    std::shared_ptr<Clock> clock)
-    : spec_(std::move(spec)), clock_(std::move(clock)) {
+    std::shared_ptr<Clock> clock, telemetry::MetricRegistry* metrics)
+    : spec_(std::move(spec)),
+      clock_(std::move(clock)),
+      span_clock_(telemetry::SteadyClock::Instance()) {
+  telemetry::MetricRegistry* registry = metrics;
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<telemetry::MetricRegistry>();
+    registry = owned_metrics_.get();
+  }
+  const telemetry::Labels sensor_label = {{"sensor", spec_.name}};
+  metrics_.triggers = registry->GetCounter(
+      "gsn_sensor_triggers_total", sensor_label,
+      "Input batches processed by the virtual sensor pipeline");
+  metrics_.tuples = registry->GetCounter(
+      "gsn_sensor_tuples_total", sensor_label,
+      "Output stream elements produced by the virtual sensor");
+  metrics_.rate_limited = registry->GetCounter(
+      "gsn_sensor_rate_limited_total", sensor_label,
+      "Output elements dropped by the per-stream rate bound");
+  metrics_.errors =
+      registry->GetCounter("gsn_sensor_errors_total", sensor_label,
+                           "Failed pipeline runs");
+  metrics_.last_processing = registry->GetGauge(
+      "gsn_sensor_last_processing_micros", sensor_label,
+      "Processing time of the most recent trigger");
+  metrics_.processing = registry->GetHistogram(
+      "gsn_sensor_processing_micros", sensor_label,
+      "In-container processing time per stream element trigger (Fig 3)");
+  auto stage_histogram = [&](const char* stage) {
+    telemetry::Labels labels = sensor_label;
+    labels.emplace_back("stage", stage);
+    return registry->GetHistogram(
+        "gsn_pipeline_stage_micros", labels,
+        "Per-stage latency of the 5-step processing pipeline");
+  };
+  metrics_.stage_window = stage_histogram("window_sql");
+  metrics_.stage_stream_sql = stage_histogram("stream_sql");
+  metrics_.stage_deliver = stage_histogram("deliver");
   streams_.resize(spec_.input_streams.size());
   for (size_t i = 0; i < spec_.input_streams.size(); ++i) {
     StreamRuntime& rt = streams_[i];
@@ -76,8 +102,16 @@ StreamSource* VirtualSensor::FindSource(const std::string& stream_name,
 }
 
 VirtualSensor::Stats VirtualSensor::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats stats;
+  stats.triggers = metrics_.triggers->Value();
+  stats.produced = metrics_.tuples->Value();
+  stats.rate_limited = metrics_.rate_limited->Value();
+  stats.errors = metrics_.errors->Value();
+  const telemetry::Histogram::Snapshot processing =
+      metrics_.processing->TakeSnapshot();
+  stats.total_processing_micros = processing.sum;
+  stats.last_processing_micros = metrics_.last_processing->Value();
+  return stats;
 }
 
 Result<int> VirtualSensor::Tick(Timestamp now) {
@@ -95,19 +129,14 @@ Result<int> VirtualSensor::Tick(Timestamp now) {
     }
     if (!triggered) continue;
 
-    const int64_t t0 = SteadyNowMicros();
+    telemetry::SpanTimer span(span_clock_, metrics_.processing.get());
     Result<int> n = ProcessStream(&stream, now);
-    const int64_t elapsed = SteadyNowMicros() - t0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.triggers;
-      stats_.last_processing_micros = elapsed;
-      stats_.total_processing_micros += elapsed;
-      if (!n.ok()) {
-        ++stats_.errors;
-      } else {
-        stats_.produced += *n;
-      }
+    metrics_.last_processing->Set(span.Stop());
+    metrics_.triggers->Increment();
+    if (!n.ok()) {
+      metrics_.errors->Increment();
+    } else {
+      metrics_.tuples->Increment(*n);
     }
     if (!n.ok()) {
       GSN_LOG(kWarn, "vsensor")
@@ -130,23 +159,31 @@ Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream,
   // Steps 2+3: window selection and per-source queries into temporary
   // relations named by alias.
   sql::MapResolver temp_relations;
-  for (size_t i = 0; i < stream->sources.size(); ++i) {
-    StreamSource* source = stream->sources[i].get();
-    sql::MapResolver wrapper_relation;
-    wrapper_relation.Put("wrapper", source->WindowRelation(now));
-    sql::Executor source_exec(&wrapper_relation);
-    if (stream->source_queries[i] == nullptr) {
-      return Status::Internal("source query not parsed for alias '" +
-                              source->spec().alias + "'");
+  {
+    telemetry::SpanTimer span(span_clock_, metrics_.stage_window.get());
+    for (size_t i = 0; i < stream->sources.size(); ++i) {
+      StreamSource* source = stream->sources[i].get();
+      sql::MapResolver wrapper_relation;
+      wrapper_relation.Put("wrapper", source->WindowRelation(now));
+      sql::Executor source_exec(&wrapper_relation);
+      if (stream->source_queries[i] == nullptr) {
+        return Status::Internal("source query not parsed for alias '" +
+                                source->spec().alias + "'");
+      }
+      GSN_ASSIGN_OR_RETURN(Relation temp,
+                           source_exec.Execute(*stream->source_queries[i]));
+      temp_relations.Put(source->spec().alias, std::move(temp));
     }
-    GSN_ASSIGN_OR_RETURN(Relation temp,
-                         source_exec.Execute(*stream->source_queries[i]));
-    temp_relations.Put(source->spec().alias, std::move(temp));
   }
 
   // Step 4: the input stream query over the temporaries.
   sql::Executor stream_exec(&temp_relations);
-  GSN_ASSIGN_OR_RETURN(Relation result, stream_exec.Execute(*stream->query));
+  Result<Relation> result_or = [&]() -> Result<Relation> {
+    telemetry::SpanTimer span(span_clock_, metrics_.stage_stream_sql.get());
+    return stream_exec.Execute(*stream->query);
+  }();
+  if (!result_or.ok()) return result_or.status();
+  Relation result = *std::move(result_or);
 
   // Step 5: map rows to the output structure, rate-bound, notify.
   // Refill the token bucket (burst capacity: one second of tokens).
@@ -160,12 +197,13 @@ Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream,
     stream->last_refill = now;
   }
 
+  // Step 5 span: output mapping plus listener fan-out.
+  telemetry::SpanTimer deliver_span(span_clock_, metrics_.stage_deliver.get());
   int produced = 0;
   for (const Relation::Row& row : result.rows()) {
     if (stream->spec->max_rate > 0) {
       if (stream->tokens < 1.0) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.rate_limited;
+        metrics_.rate_limited->Increment();
         continue;
       }
       stream->tokens -= 1.0;

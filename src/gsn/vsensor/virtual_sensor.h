@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gsn/sql/executor.h"
+#include "gsn/telemetry/metrics.h"
 #include "gsn/util/clock.h"
 #include "gsn/vsensor/spec.h"
 #include "gsn/vsensor/stream_source.h"
@@ -39,10 +40,14 @@ class VirtualSensor {
       std::function<void(const VirtualSensor&, const StreamElement&)>;
 
   /// `sources[i]` holds the running sources of `spec.input_streams[i]`,
-  /// in the same order as the spec's sources.
+  /// in the same order as the spec's sources. The sensor registers its
+  /// per-sensor metric family (label sensor=<name>) in `metrics` at
+  /// construction — the default registry when none is injected; the
+  /// owning container removes the family at undeploy.
   VirtualSensor(VirtualSensorSpec spec,
                 std::vector<std::vector<std::unique_ptr<StreamSource>>> sources,
-                std::shared_ptr<Clock> clock);
+                std::shared_ptr<Clock> clock,
+                telemetry::MetricRegistry* metrics = nullptr);
 
   VirtualSensor(const VirtualSensor&) = delete;
   VirtualSensor& operator=(const VirtualSensor&) = delete;
@@ -70,7 +75,10 @@ class VirtualSensor {
   StreamSource* FindSource(const std::string& stream_name,
                            const std::string& alias);
 
-  /// Pipeline counters.
+  /// Pipeline counters. Since the telemetry subsystem landed this is a
+  /// point-in-time view assembled from the sensor's registered metrics
+  /// (kept for API compatibility); the counters themselves live in the
+  /// MetricRegistry under the sensor=<name> label.
   struct Stats {
     int64_t triggers = 0;          // input batches processed
     int64_t produced = 0;          // output elements emitted
@@ -81,6 +89,16 @@ class VirtualSensor {
     int64_t last_processing_micros = 0;
   };
   Stats stats() const;
+
+  /// The per-trigger processing-latency distribution (Fig 3's series).
+  telemetry::Histogram::Snapshot processing_histogram() const {
+    return metrics_.processing->TakeSnapshot();
+  }
+
+  /// Clock used by the processing span timers. Defaults to the steady
+  /// wall clock so Fig 3 measures real cost under virtual stream time;
+  /// tests inject a VirtualClock to make span durations deterministic.
+  void set_span_clock(const Clock* span_clock) { span_clock_ = span_clock; }
 
  private:
   struct StreamRuntime {
@@ -100,13 +118,32 @@ class VirtualSensor {
   Result<StreamElement> MapToOutput(const Schema& result_schema,
                                     const Relation::Row& row, Timestamp now);
 
+  /// The sensor's slice of the metric registry, resolved once at
+  /// construction so hot-path updates are single relaxed atomics.
+  struct SensorMetrics {
+    std::shared_ptr<telemetry::Counter> triggers;
+    std::shared_ptr<telemetry::Counter> tuples;
+    std::shared_ptr<telemetry::Counter> rate_limited;
+    std::shared_ptr<telemetry::Counter> errors;
+    std::shared_ptr<telemetry::Gauge> last_processing;
+    std::shared_ptr<telemetry::Histogram> processing;
+    /// Pipeline stage latencies (paper §3 steps 2/3, 4, 5).
+    std::shared_ptr<telemetry::Histogram> stage_window;
+    std::shared_ptr<telemetry::Histogram> stage_stream_sql;
+    std::shared_ptr<telemetry::Histogram> stage_deliver;
+  };
+
   const VirtualSensorSpec spec_;
   std::vector<StreamRuntime> streams_;
   std::shared_ptr<Clock> clock_;
+  /// Private registry when none was injected (standalone sensors in
+  /// tests keep per-instance stats).
+  std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;
+  SensorMetrics metrics_;
+  const Clock* span_clock_;
 
   mutable std::mutex mu_;
   std::vector<OutputListener> listeners_;
-  Stats stats_;
   bool missing_column_warned_ = false;
 };
 
