@@ -18,6 +18,7 @@
 #include "gsn/container/query_manager.h"
 #include "gsn/storage/table.h"
 #include "gsn/telemetry/metrics.h"
+#include "gsn/telemetry/tracing.h"
 #include "gsn/util/rng.h"
 
 namespace {
@@ -92,7 +93,10 @@ int main(int argc, char** argv) {
   std::printf("# Figure 4: query processing latency in a GSN node "
               "(SES = 32 KB)\n");
   std::printf("# stored history: 30 min of 32 KB elements at 1 element/s\n");
-  std::printf("%-10s %18s %16s %12s %8s\n", "clients", "total_time_ms",
+  std::printf("# trace columns: the same client batch with head sampling "
+              "off / 1%% / 100%%\n");
+  std::printf("%-10s %14s %14s %14s %16s %12s %8s\n", "clients",
+              "trace_off_ms", "trace_1pct_ms", "trace_100_ms",
               "per_client_ms", "p95_ms", "burst");
 
   for (int clients : client_counts) {
@@ -111,10 +115,6 @@ int main(int argc, char** argv) {
       return 1;
     }
     FillTable(*table, kSesBytes, kHistory, kSpacing, &rng);
-    // Fresh registry per point: the exec histogram holds exactly this
-    // measurement's queries.
-    gsn::telemetry::MetricRegistry registry;
-    gsn::container::QueryManager query_manager(&tables, &registry);
 
     // Bursts (paper: probability ~0.05): a burst of fresh elements
     // lands right before this measurement — every live window grows,
@@ -134,25 +134,41 @@ int main(int argc, char** argv) {
       queries.push_back(RandomQuery(kHistory, &rng));
     }
 
-    for (const std::string& q : queries) {
-      auto result = query_manager.Execute(q);
-      if (!result.ok()) {
-        std::fprintf(stderr, "query failed: %s\n",
-                     result.status().ToString().c_str());
-        return 1;
+    // Tracing overhead: the same batch at head-sampling rates 0 (off),
+    // 0.01, and 1.0. Fresh registry + manager per rate so the exec
+    // histogram covers exactly one configuration.
+    constexpr double kRates[] = {0.0, 0.01, 1.0};
+    double totals_ms[3] = {0.0, 0.0, 0.0};
+    double p95_ms = 0.0;
+    for (int r = 0; r < 3; ++r) {
+      gsn::telemetry::MetricRegistry registry;
+      gsn::container::QueryManager query_manager(&tables, &registry);
+      gsn::telemetry::Tracer::Options trace_options;
+      trace_options.sample_rate = kRates[r];
+      gsn::telemetry::Tracer tracer(trace_options);
+      query_manager.set_tracer(&tracer);
+
+      for (const std::string& q : queries) {
+        auto result = query_manager.Execute(q);
+        if (!result.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
       }
+      // Figure data comes from the query manager's own telemetry: the
+      // exec-latency histogram covers parse-miss + execution per client.
+      const gsn::telemetry::Histogram::Snapshot parse =
+          query_manager.parse_histogram();
+      const gsn::telemetry::Histogram::Snapshot exec =
+          query_manager.exec_histogram();
+      totals_ms[r] = static_cast<double>(parse.sum + exec.sum) / 1000.0;
+      // The figure's latency series stays the untraced baseline.
+      if (r == 0) p95_ms = exec.Quantile(0.95) / 1000.0;
     }
-    // Figure data comes from the query manager's own telemetry: the
-    // exec-latency histogram covers parse-miss + execution per client.
-    const gsn::telemetry::Histogram::Snapshot parse =
-        query_manager.parse_histogram();
-    const gsn::telemetry::Histogram::Snapshot exec =
-        query_manager.exec_histogram();
-    const double total_ms =
-        static_cast<double>(parse.sum + exec.sum) / 1000.0;
-    const double p95_ms = exec.Quantile(0.95) / 1000.0;
-    std::printf("%-10d %18.2f %16.4f %12.3f %8s\n", clients, total_ms,
-                total_ms / clients, p95_ms, burst ? "*" : "");
+    std::printf("%-10d %14.2f %14.2f %14.2f %16.4f %12.3f %8s\n", clients,
+                totals_ms[0], totals_ms[1], totals_ms[2],
+                totals_ms[0] / clients, p95_ms, burst ? "*" : "");
     std::fflush(stdout);
   }
   std::printf("# burst '*': a data burst landed before the measurement "

@@ -22,10 +22,16 @@ Container::Container(Options options)
                          : nullptr),
       metrics_(options_.metrics != nullptr ? options_.metrics
                                            : owned_metrics_.get()),
+      owned_tracer_(options_.tracer == nullptr
+                        ? std::make_unique<telemetry::Tracer>()
+                        : nullptr),
+      tracer_(options_.tracer != nullptr ? options_.tracer
+                                         : owned_tracer_.get()),
       query_manager_(&catalog_, metrics_),
-      notifications_(metrics_),
+      notifications_(metrics_, tracer_),
       integrity_(options_.integrity_key) {
   if (options_.clock == nullptr) options_.clock = SystemClock::Shared();
+  query_manager_.set_tracer(tracer_);
   sensors_deployed_ = metrics_->GetGauge(
       "gsn_sensors_deployed", {{"node", options_.node_id}},
       "Virtual sensors currently deployed on this node");
@@ -133,7 +139,8 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
         seed = options_.seed * 1000003 + ++wrapper_seed_counter_;
       }
       sources[i].push_back(std::make_unique<StreamSource>(
-          source_spec, *std::move(wrapper), seed, metrics_));
+          source_spec, *std::move(wrapper), seed, metrics_, tracer_,
+          options_.node_id));
     }
   }
 
@@ -144,7 +151,8 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
   }
   deployment.pool = std::make_unique<ThreadPool>(spec.life_cycle.pool_size);
   deployment.sensor = std::make_unique<VirtualSensor>(
-      std::move(spec), std::move(sources), options_.clock, metrics_);
+      std::move(spec), std::move(sources), options_.clock, metrics_, tracer_,
+      options_.node_id);
 
   VirtualSensor* sensor = deployment.sensor.get();
   sensor->AddListener(
@@ -456,7 +464,7 @@ void Container::OnSensorOutput(const VirtualSensor& sensor,
 
   // Notification manager + query repository.
   notifications_.OnElement(name, sensor.output_schema(), element);
-  query_manager_.OnNewElement(name);
+  query_manager_.OnNewElement(name, element.trace);
 
   // Remote consumers (signed by the integrity layer).
   if (options_.network != nullptr && !remote_targets.empty()) {
@@ -466,11 +474,19 @@ void Container::OnSensorOutput(const VirtualSensor& sensor,
     delivery.signature = integrity_.Sign(name, element);
     for (const auto& [sub_id, node] : remote_targets) {
       delivery.subscription_id = sub_id;
+      // One "remote.send" span per target; its context rides in the
+      // delivery (outside the signed payload) so the receiving node
+      // continues the same trace.
+      telemetry::Span send(tracer_, "remote.send", element.trace);
+      send.set_sensor(name);
+      send.set_node(options_.node_id);
+      delivery.trace = send.context();
       const Status s =
           options_.network->Send(options_.clock->NowMicros(),
                                  options_.node_id, node,
                                  network::kTopicStream, delivery.Encode());
       if (!s.ok()) {
+        send.set_error();
         GSN_LOG(kWarn, "container")
             << name << ": stream delivery to " << node << " failed: " << s;
       }
@@ -593,7 +609,12 @@ void Container::OnMessage(const Message& message) {
       auto it = remote_wrappers_.find(delivery->subscription_id);
       if (it != remote_wrappers_.end()) wrapper = it->second;
     }
-    if (wrapper != nullptr) wrapper->Push(delivery->element);
+    if (wrapper != nullptr) {
+      // Restore the producer's trace context so this node's source
+      // admission continues the cross-container trace.
+      delivery->element.trace = delivery->trace;
+      wrapper->Push(delivery->element);
+    }
     return;
   }
   GSN_LOG(kWarn, "container")

@@ -48,6 +48,13 @@ class Container : public network::NetworkNode {
     /// (query manager, notification manager, sensors, sources). Null =
     /// the container creates and owns a private one — see metrics().
     telemetry::MetricRegistry* metrics = nullptr;
+    /// Tracer shared by the whole tuple path (sources, sensors,
+    /// notifications, query manager, remote delivery). A federation
+    /// injects one tracer into all its nodes so cross-container traces
+    /// land in one store. Null = the container owns a private tracer —
+    /// see tracer(). Sampling starts off (rate 0); enable via
+    /// tracer()->set_sample_rate or the `trace` management command.
+    telemetry::Tracer* tracer = nullptr;
   };
 
   explicit Container(Options options);
@@ -62,6 +69,10 @@ class Container : public network::NetworkNode {
   /// from Options, or the container-owned default). Rendered by the web
   /// interface's GET /metrics and the management `metrics` command.
   telemetry::MetricRegistry* metrics() const { return metrics_; }
+  /// The tracer behind the container's tuple-path spans (the one from
+  /// Options, or the container-owned default). Rendered by GET /traces
+  /// and the management `traces` command.
+  telemetry::Tracer* tracer() const { return tracer_; }
 
   // -- Deployment (the paper's headline feature) --------------------------
 
@@ -187,6 +198,10 @@ class Container : public network::NetworkNode {
   /// so these two must precede them in declaration order.
   std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;
   telemetry::MetricRegistry* metrics_ = nullptr;
+  /// Private tracer when Options.tracer was null; same ordering
+  /// constraint as the registry (members below hold tracer_).
+  std::unique_ptr<telemetry::Tracer> owned_tracer_;
+  telemetry::Tracer* tracer_ = nullptr;
   std::shared_ptr<telemetry::Gauge> sensors_deployed_;
   wrappers::WrapperRegistry registry_;
   storage::TableManager tables_;

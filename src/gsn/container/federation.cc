@@ -18,6 +18,7 @@ Result<Container*> Federation::AddNode(const std::string& node_id,
   options.seed = seed_ + 31 * ++node_counter_;
   options.storage_dir = storage_dir;
   options.network = &network_;
+  options.tracer = &tracer_;
   auto container = std::make_unique<Container>(std::move(options));
   Container* ptr = container.get();
   nodes_[node_id] = std::move(container);

@@ -35,6 +35,10 @@ class Federation {
 
   std::shared_ptr<VirtualClock> clock() const { return clock_; }
   network::NetworkSimulator& network() { return network_; }
+  /// Federation-wide tracer (injected into every node), so a tuple
+  /// crossing containers lands all its spans in one store. Enable with
+  /// tracer().set_sample_rate(rate).
+  telemetry::Tracer& tracer() { return tracer_; }
 
   /// Advances virtual time by `step` and runs one round: deliver due
   /// network messages, then Tick every container. Returns total output
@@ -48,6 +52,9 @@ class Federation {
  private:
   std::shared_ptr<VirtualClock> clock_;
   network::NetworkSimulator network_;
+  /// Declared before nodes_: containers hold a pointer to this tracer,
+  /// so it must outlive them during destruction.
+  telemetry::Tracer tracer_;
   std::map<std::string, std::unique_ptr<Container>> nodes_;
   uint64_t seed_;
   uint64_t node_counter_ = 0;

@@ -25,7 +25,10 @@ constexpr char kHelp[] =
     "  wrappers                  registered wrapper types\n"
     "  describe <sensor>         descriptor XML of a deployed sensor\n"
     "  metrics                   telemetry in Prometheus text format\n"
-    "  slowlog [micros]          show/set the slow-query log threshold\n"
+    "  slowlog [micros]          show/set the slow-query log threshold;\n"
+    "                            no args also prints retained entries\n"
+    "  trace [rate]              show/set the trace sample rate (0..1)\n"
+    "  traces [trace-id]         recorded spans, optionally one trace\n"
     "  help\n";
 }  // namespace
 
@@ -71,6 +74,15 @@ std::string ManagementInterface::Execute(const std::string& command_line) {
   }
   if (cmd == "explain") {
     if (rest.empty()) return "ERROR: explain requires SQL";
+    // "explain analyze <sql>" executes with instrumentation and prints
+    // actual per-operator rows/timings.
+    const size_t kw = rest.find_first_of(" \t");
+    if (kw != std::string::npos &&
+        StrToLower(rest.substr(0, kw)) == "analyze") {
+      Result<std::string> plan = container_->query_manager().ExplainAnalyze(
+          StrTrim(rest.substr(kw + 1)));
+      return plan.ok() ? *plan : "ERROR: " + plan.status().ToString();
+    }
     Result<std::string> plan = container_->query_manager().Explain(rest);
     return plan.ok() ? *plan : "ERROR: " + plan.status().ToString();
   }
@@ -79,6 +91,8 @@ std::string ManagementInterface::Execute(const std::string& command_line) {
   if (cmd == "describe") return CmdDescribe(rest);
   if (cmd == "metrics") return CmdMetrics();
   if (cmd == "slowlog") return CmdSlowlog(rest);
+  if (cmd == "trace") return CmdTrace(rest);
+  if (cmd == "traces") return CmdTraces(rest);
   return "ERROR: unknown command '" + cmd + "' (try: help)";
 }
 
@@ -187,8 +201,20 @@ std::string ManagementInterface::CmdSlowlog(const std::string& args) {
   if (args.empty()) {
     const int64_t threshold = container_->query_manager().slow_query_micros();
     if (threshold <= 0) return "slow-query log disabled\n";
-    return "slow-query threshold: " + std::to_string(threshold) +
-           " micros\n";
+    std::string out =
+        "slow-query threshold: " + std::to_string(threshold) + " micros\n";
+    const std::vector<QueryManager::SlowQueryEntry> entries =
+        container_->query_manager().slow_log();
+    if (entries.empty()) {
+      out += "(no slow queries recorded)\n";
+      return out;
+    }
+    for (const QueryManager::SlowQueryEntry& entry : entries) {
+      out += "-- " + std::to_string(entry.elapsed_micros) + "us from " +
+             entry.source + ": " + entry.sql_text + "\n";
+      if (!entry.plan.empty()) out += entry.plan;
+    }
+    return out;
   }
   char* end = nullptr;
   const long long threshold = std::strtoll(args.c_str(), &end, 10);
@@ -199,6 +225,39 @@ std::string ManagementInterface::CmdSlowlog(const std::string& args) {
   return threshold == 0 ? "slow-query log disabled\n"
                         : "slow-query threshold set to " +
                               std::to_string(threshold) + " micros\n";
+}
+
+std::string ManagementInterface::CmdTrace(const std::string& args) {
+  telemetry::Tracer* tracer = container_->tracer();
+  if (args.empty()) {
+    std::ostringstream os;
+    os << "trace sample rate: " << tracer->sample_rate() << "\n"
+       << "spans recorded:    " << tracer->store().size() << " (dropped "
+       << tracer->store().dropped() << ")\n";
+    return os.str();
+  }
+  char* end = nullptr;
+  const double rate = std::strtod(args.c_str(), &end);
+  if (end == args.c_str() || *end != '\0' || rate < 0.0 || rate > 1.0) {
+    return "ERROR: trace takes a sample rate between 0 and 1";
+  }
+  tracer->set_sample_rate(rate);
+  std::ostringstream os;
+  os << "trace sample rate set to " << rate << "\n";
+  return os.str();
+}
+
+std::string ManagementInterface::CmdTraces(const std::string& args) const {
+  std::string id = args;
+  if (!id.empty()) {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+    if (!telemetry::ParseTraceIdHex(id, &hi, &lo)) {
+      return "ERROR: traces takes a 32-char hex trace id";
+    }
+  }
+  return telemetry::RenderTracesJson(container_->tracer()->store(), id) +
+         "\n";
 }
 
 }  // namespace gsn::container

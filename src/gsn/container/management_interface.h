@@ -25,6 +25,10 @@ namespace gsn::container {
 ///   describe <sensor>              descriptor XML round-tripped
 ///   metrics                        telemetry in Prometheus text format
 ///   slowlog [threshold-micros]     show / set the slow-query threshold
+///                                  (no args also prints retained slow
+///                                  queries with source + analyzed plan)
+///   trace [rate]                   show / set the trace sample rate
+///   traces [trace-id]              recorded spans, optionally one trace
 ///
 /// Every command returns the response text; errors are rendered as
 /// "ERROR: <status>". An api key can be attached for containers with
@@ -53,6 +57,8 @@ class ManagementInterface {
   std::string CmdDescribe(const std::string& sensor) const;
   std::string CmdMetrics() const;
   std::string CmdSlowlog(const std::string& args);
+  std::string CmdTrace(const std::string& args);
+  std::string CmdTraces(const std::string& args) const;
 
   Container* container_;
   std::string api_key_;

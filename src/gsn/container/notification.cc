@@ -50,7 +50,9 @@ void FileChannel::Deliver(const Notification& notification) {
   std::fflush(file_);
 }
 
-NotificationManager::NotificationManager(telemetry::MetricRegistry* metrics) {
+NotificationManager::NotificationManager(telemetry::MetricRegistry* metrics,
+                                         telemetry::Tracer* tracer)
+    : tracer_(tracer) {
   telemetry::MetricRegistry* registry = metrics;
   if (registry == nullptr) {
     owned_metrics_ = std::make_unique<telemetry::MetricRegistry>();
@@ -126,6 +128,8 @@ int NotificationManager::OnElement(const std::string& sensor_name,
     }
   }
   if (pending.empty()) return 0;
+  telemetry::Span trace_span(tracer_, "notify.fanout", element.trace);
+  trace_span.set_sensor(sensor_name);
   telemetry::SpanTimer fanout_span(telemetry::SteadyClock::Instance(),
                                    fanout_micros_.get());
 
@@ -144,6 +148,7 @@ int NotificationManager::OnElement(const std::string& sensor_name,
       Result<Relation> match = exec.Execute(*p.condition);
       if (!match.ok()) {
         condition_errors_->Increment();
+        trace_span.set_error();
         continue;
       }
       fire = !match->empty();

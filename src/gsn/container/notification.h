@@ -11,6 +11,7 @@
 
 #include "gsn/sql/ast.h"
 #include "gsn/telemetry/metrics.h"
+#include "gsn/telemetry/tracing.h"
 #include "gsn/types/schema.h"
 #include "gsn/util/result.h"
 
@@ -86,8 +87,11 @@ class NotificationManager {
  public:
   /// Fan-out telemetry (elements seen, deliveries, condition errors,
   /// fan-out latency) registers in `metrics`; a private registry is
-  /// created when none is injected.
-  explicit NotificationManager(telemetry::MetricRegistry* metrics = nullptr);
+  /// created when none is injected. A non-null `tracer` records a
+  /// "notify.fanout" span (child of the element's trace) per element
+  /// that has matching subscriptions.
+  explicit NotificationManager(telemetry::MetricRegistry* metrics = nullptr,
+                               telemetry::Tracer* tracer = nullptr);
 
   NotificationManager(const NotificationManager&) = delete;
   NotificationManager& operator=(const NotificationManager&) = delete;
@@ -125,6 +129,7 @@ class NotificationManager {
   };
 
   std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;
+  telemetry::Tracer* tracer_ = nullptr;
   std::shared_ptr<telemetry::Counter> elements_seen_;
   std::shared_ptr<telemetry::Counter> delivered_;
   std::shared_ptr<telemetry::Counter> condition_errors_;

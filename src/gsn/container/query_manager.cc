@@ -107,13 +107,36 @@ void QueryManager::set_span_clock(const Clock* span_clock) {
   span_clock_.store(span_clock, std::memory_order_relaxed);
 }
 
+void QueryManager::set_tracer(telemetry::Tracer* tracer) {
+  tracer_.store(tracer, std::memory_order_relaxed);
+}
+
+std::vector<QueryManager::SlowQueryEntry> QueryManager::slow_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryEntry>(slow_log_.begin(), slow_log_.end());
+}
+
 void QueryManager::MaybeLogSlow(const std::string& sql_text,
-                                int64_t elapsed_micros) {
+                                const std::string& source,
+                                int64_t elapsed_micros,
+                                const sql::SelectStmt* stmt,
+                                const sql::AnalyzeCollector* analyze) {
   const int64_t threshold = slow_query_micros();
   if (threshold <= 0 || elapsed_micros < threshold) return;
   metrics_.slow_queries->Increment();
-  GSN_LOG(kWarn, "query") << "slow query (" << elapsed_micros
-                          << " us >= " << threshold << " us): " << sql_text;
+  GSN_LOG(kWarn, "query") << "slow query from " << source << " ("
+                          << elapsed_micros << " us >= " << threshold
+                          << " us): " << sql_text;
+  SlowQueryEntry entry;
+  entry.sql_text = sql_text;
+  entry.source = source;
+  entry.elapsed_micros = elapsed_micros;
+  if (stmt != nullptr && analyze != nullptr && !analyze->empty()) {
+    entry.plan = sql::ExplainAnalyzeString(*stmt, *analyze);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slow_log_.size() >= kSlowLogCapacity) slow_log_.pop_front();
+  slow_log_.push_back(std::move(entry));
 }
 
 Result<std::shared_ptr<sql::SelectStmt>> QueryManager::Prepare(
@@ -145,16 +168,27 @@ Result<std::shared_ptr<sql::SelectStmt>> QueryManager::Prepare(
   return stmt;
 }
 
-Result<Relation> QueryManager::Execute(const std::string& sql_text) {
+Result<Relation> QueryManager::Execute(const std::string& sql_text,
+                                       const std::string& source) {
   GSN_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
                        Prepare(sql_text));
+  telemetry::Span trace_span(tracer_.load(std::memory_order_relaxed),
+                             "query.execute");
+  trace_span.set_sensor(source);
   sql::Executor exec(resolver_);
+  // While the slow-query log is armed, run analyzed so a slow execution
+  // leaves its actual per-operator plan behind, not just its SQL.
+  sql::AnalyzeCollector analyze;
+  const bool analyzing = slow_query_micros() > 0;
+  if (analyzing) exec.set_analyze(&analyze);
   telemetry::SpanTimer exec_span(span_clock_.load(std::memory_order_relaxed),
                                  metrics_.exec_micros.get());
   Result<Relation> result = exec.Execute(*stmt);
   const int64_t elapsed = exec_span.Stop();
   metrics_.executed->Increment();
-  MaybeLogSlow(sql_text, elapsed);
+  if (!result.ok()) trace_span.set_error();
+  MaybeLogSlow(sql_text, source, elapsed, stmt.get(),
+               analyzing ? &analyze : nullptr);
   return result;
 }
 
@@ -162,6 +196,22 @@ Result<std::string> QueryManager::Explain(const std::string& sql_text) {
   GSN_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
                        Prepare(sql_text));
   return sql::ExplainString(*stmt);
+}
+
+Result<std::string> QueryManager::ExplainAnalyze(const std::string& sql_text) {
+  GSN_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                       Prepare(sql_text));
+  sql::Executor exec(resolver_);
+  sql::AnalyzeCollector analyze;
+  exec.set_analyze(&analyze);
+  telemetry::SpanTimer exec_span(span_clock_.load(std::memory_order_relaxed),
+                                 metrics_.exec_micros.get());
+  Result<Relation> result = exec.Execute(*stmt);
+  const int64_t elapsed = exec_span.Stop();
+  metrics_.executed->Increment();
+  MaybeLogSlow(sql_text, "explain-analyze", elapsed, stmt.get(), &analyze);
+  if (!result.ok()) return result.status();
+  return sql::ExplainAnalyzeString(*stmt, analyze);
 }
 
 Result<int64_t> QueryManager::RegisterContinuous(const std::string& sql_text,
@@ -195,7 +245,8 @@ size_t QueryManager::NumContinuous() const {
   return continuous_.size();
 }
 
-int QueryManager::OnNewElement(const std::string& sensor_name) {
+int QueryManager::OnNewElement(const std::string& sensor_name,
+                               const TraceContext& trace) {
   const std::string key = StrToLower(sensor_name);
   struct Pending {
     std::shared_ptr<sql::SelectStmt> stmt;
@@ -211,15 +262,24 @@ int QueryManager::OnNewElement(const std::string& sensor_name) {
       }
     }
   }
+  const std::string source = "continuous:" + StrToLower(sensor_name);
   int ran = 0;
   for (const Pending& p : pending) {
+    telemetry::Span trace_span(tracer_.load(std::memory_order_relaxed),
+                               "query.continuous", trace);
+    trace_span.set_sensor(sensor_name);
     sql::Executor exec(resolver_);
+    sql::AnalyzeCollector analyze;
+    const bool analyzing = slow_query_micros() > 0;
+    if (analyzing) exec.set_analyze(&analyze);
     telemetry::SpanTimer exec_span(span_clock_.load(std::memory_order_relaxed),
                                    metrics_.exec_micros.get());
     Result<Relation> result = exec.Execute(*p.stmt);
     const int64_t elapsed = exec_span.Stop();
     metrics_.continuous_runs->Increment();
-    MaybeLogSlow(p.sql_text, elapsed);
+    if (!result.ok()) trace_span.set_error();
+    MaybeLogSlow(p.sql_text, source, elapsed, p.stmt.get(),
+                 analyzing ? &analyze : nullptr);
     if (result.ok()) {
       p.callback(sensor_name, *result);
       ++ran;

@@ -2,15 +2,18 @@
 #define GSN_CONTAINER_QUERY_MANAGER_H_
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "gsn/sql/executor.h"
 #include "gsn/telemetry/metrics.h"
+#include "gsn/telemetry/tracing.h"
 #include "gsn/util/result.h"
 
 namespace gsn::container {
@@ -39,11 +42,18 @@ class QueryManager {
 
   /// One-shot query. Parse results are cached by query text (see
   /// set_cache_enabled); execution always runs fresh against current
-  /// table snapshots.
-  Result<Relation> Execute(const std::string& sql_text);
+  /// table snapshots. `source` attributes the query in the slow-query
+  /// log and trace spans (e.g. "web", "mgmt", the default "adhoc").
+  Result<Relation> Execute(const std::string& sql_text,
+                           const std::string& source = "adhoc");
 
   /// The optimized execution pipeline for a query, as text (EXPLAIN).
   Result<std::string> Explain(const std::string& sql_text);
+
+  /// EXPLAIN ANALYZE: executes the query with per-operator
+  /// instrumentation and returns the plan annotated with actual row
+  /// counts, timings, and the join algorithms picked at runtime.
+  Result<std::string> ExplainAnalyze(const std::string& sql_text);
 
   /// Registers a continuous query: re-executed whenever a sensor named
   /// in its FROM clause produces output, with the result handed to
@@ -54,8 +64,11 @@ class QueryManager {
   size_t NumContinuous() const;
 
   /// Notifies the repository that `sensor_name` emitted a new element;
-  /// re-runs affected continuous queries. Returns how many ran.
-  int OnNewElement(const std::string& sensor_name);
+  /// re-runs affected continuous queries. Returns how many ran. A valid
+  /// `trace` links the continuous runs to the element's trace as
+  /// "query.continuous" child spans.
+  int OnNewElement(const std::string& sensor_name,
+                   const TraceContext& trace = TraceContext());
 
   /// Prepared-statement cache switch (ablation: the paper attributes
   /// part of Fig 4's latency to "the cost of query compiling").
@@ -64,9 +77,31 @@ class QueryManager {
 
   /// Slow-query log: one-shot and continuous executions taking at least
   /// `threshold_micros` are logged at WARN with their SQL text and
-  /// counted in gsn_slow_queries_total. 0 disables (the default).
+  /// source, counted in gsn_slow_queries_total, and kept (with the
+  /// analyzed plan of the offending execution) in a bounded in-memory
+  /// log readable via slow_log(). 0 disables (the default).
   void set_slow_query_micros(int64_t threshold_micros);
   int64_t slow_query_micros() const;
+
+  /// One retained slow-query occurrence.
+  struct SlowQueryEntry {
+    std::string sql_text;
+    /// What ran the query: "adhoc"/"web"/"mgmt"/"explain-analyze" or
+    /// "continuous:<sensor>" for repository re-executions.
+    std::string source;
+    int64_t elapsed_micros = 0;
+    /// EXPLAIN ANALYZE of the slow execution itself (operator row
+    /// counts + timings observed while it was being slow).
+    std::string plan;
+  };
+  /// The most recent retained slow queries, oldest first (bounded ring;
+  /// see kSlowLogCapacity).
+  std::vector<SlowQueryEntry> slow_log() const;
+
+  /// Roots a "query.execute" span per one-shot execution in `tracer`
+  /// (and "query.continuous" children for repository runs). Null
+  /// detaches. The tracer must outlive this manager.
+  void set_tracer(telemetry::Tracer* tracer);
 
   /// Clock for the parse/exec span timers (default: steady wall clock).
   /// Tests inject a VirtualClock for deterministic latencies.
@@ -108,12 +143,18 @@ class QueryManager {
     ContinuousCallback callback;
   };
 
+  static constexpr size_t kSlowLogCapacity = 32;
+
   /// Parses (or fetches from cache) the statement for `sql_text`.
   Result<std::shared_ptr<sql::SelectStmt>> Prepare(
       const std::string& sql_text);
 
-  /// Logs + counts `sql_text` if `elapsed_micros` crosses the slow bar.
-  void MaybeLogSlow(const std::string& sql_text, int64_t elapsed_micros);
+  /// Logs + counts + retains `sql_text` if `elapsed_micros` crosses the
+  /// slow bar. `stmt`/`analyze` (both optional) render the analyzed
+  /// plan captured for the entry.
+  void MaybeLogSlow(const std::string& sql_text, const std::string& source,
+                    int64_t elapsed_micros, const sql::SelectStmt* stmt,
+                    const sql::AnalyzeCollector* analyze);
 
   struct QueryMetrics {
     std::shared_ptr<telemetry::Counter> executed;
@@ -131,11 +172,13 @@ class QueryManager {
   QueryMetrics metrics_;
   std::atomic<const Clock*> span_clock_;
   std::atomic<int64_t> slow_query_micros_{0};
+  std::atomic<telemetry::Tracer*> tracer_{nullptr};
 
   mutable std::mutex mu_;
   bool cache_enabled_ = true;
   std::map<std::string, std::shared_ptr<sql::SelectStmt>> cache_;
   std::map<int64_t, ContinuousQuery> continuous_;
+  std::deque<SlowQueryEntry> slow_log_;
   int64_t next_id_ = 1;
 };
 

@@ -45,6 +45,7 @@ HttpResponse WebInterface::Handle(const HttpRequest& request) {
     if (request.path == "/discover") return HandleDiscover(request);
     if (request.path == "/topology") return HandleTopology();
     if (request.path == "/metrics") return HandleMetrics();
+    if (request.path == "/traces") return HandleTraces(request);
     return HttpResponse::Error(404, "no such resource: " + request.path);
   }
   if (request.method == "POST") {
@@ -66,8 +67,8 @@ HttpResponse WebInterface::HandleIndex() {
             "</a></li>";
   }
   html +=
-      "</ul><p>API: /sensors /query?sql=... /explain?sql=... "
-      "/discover?key=val /topology /metrics POST /deploy POST "
+      "</ul><p>API: /sensors /query?sql=... /explain?sql=...&amp;analyze=1 "
+      "/discover?key=val /topology /metrics /traces POST /deploy POST "
       "/undeploy?name=...</p></body></html>";
   return HttpResponse::Html(std::move(html));
 }
@@ -126,7 +127,10 @@ HttpResponse WebInterface::HandleExplain(const HttpRequest& request) {
   if (sql.empty()) {
     return HttpResponse::Error(400, "missing ?sql= parameter");
   }
-  Result<std::string> plan = container_->query_manager().Explain(sql);
+  const bool analyze = request.QueryOr("analyze", "0") != "0";
+  Result<std::string> plan =
+      analyze ? container_->query_manager().ExplainAnalyze(sql)
+              : container_->query_manager().Explain(sql);
   if (!plan.ok()) return FromStatus(plan.status());
   return HttpResponse::Text(*plan);
 }
@@ -176,6 +180,19 @@ HttpResponse WebInterface::HandleMetrics() {
   HttpResponse response = HttpResponse::Text(std::move(body));
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   return response;
+}
+
+HttpResponse WebInterface::HandleTraces(const HttpRequest& request) {
+  const std::string id = request.QueryOr("id", "");
+  if (!id.empty()) {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+    if (!telemetry::ParseTraceIdHex(id, &hi, &lo)) {
+      return HttpResponse::Error(400, "?id= must be a 32-char hex trace id");
+    }
+  }
+  return HttpResponse::Json(
+      telemetry::RenderTracesJson(container_->tracer()->store(), id));
 }
 
 HttpResponse WebInterface::HandleDeploy(const HttpRequest& request) {

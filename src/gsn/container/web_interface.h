@@ -18,9 +18,13 @@ namespace gsn::container {
 ///   GET  /sensors/<name>    JSON status of one sensor
 ///   GET  /query?sql=...     result as JSON (&format=csv for CSV)
 ///   GET  /explain?sql=...   the optimized execution pipeline as text
+///                           (&analyze=1 executes and annotates the
+///                           plan with actual rows/timings)
 ///   GET  /discover?k=v&...  directory lookup by predicates (JSON)
 ///   GET  /topology          data-flow graph as Graphviz DOT
 ///   GET  /metrics           telemetry in Prometheus text format
+///   GET  /traces            recorded trace spans as JSON
+///                           (?id=<32-hex trace id> filters one trace)
 ///   POST /deploy            body = descriptor XML
 ///   POST /undeploy?name=...
 ///
@@ -50,6 +54,7 @@ class WebInterface {
   network::HttpResponse HandleDiscover(const network::HttpRequest& request);
   network::HttpResponse HandleTopology();
   network::HttpResponse HandleMetrics();
+  network::HttpResponse HandleTraces(const network::HttpRequest& request);
   network::HttpResponse HandleDeploy(const network::HttpRequest& request);
   network::HttpResponse HandleUndeploy(const network::HttpRequest& request);
 

@@ -68,6 +68,12 @@ std::string StreamDelivery::Encode() const {
   Codec::EncodeString(sensor_name, &out);
   Codec::EncodeString(signature, &out);
   Codec::EncodeElement(element, &out);
+  // Trace context rides after the signed payload: the signature covers
+  // (sensor name, element) only, so tracing on/off never invalidates it.
+  Codec::EncodeI64(static_cast<int64_t>(trace.trace_hi), &out);
+  Codec::EncodeI64(static_cast<int64_t>(trace.trace_lo), &out);
+  Codec::EncodeI64(static_cast<int64_t>(trace.span_id), &out);
+  Codec::EncodeU32(trace.sampled ? 1 : 0, &out);
   return out;
 }
 
@@ -78,6 +84,14 @@ Result<StreamDelivery> StreamDelivery::Decode(std::string_view data) {
   GSN_ASSIGN_OR_RETURN(msg.sensor_name, Codec::DecodeString(data, &pos));
   GSN_ASSIGN_OR_RETURN(msg.signature, Codec::DecodeString(data, &pos));
   GSN_ASSIGN_OR_RETURN(msg.element, Codec::DecodeElement(data, &pos));
+  GSN_ASSIGN_OR_RETURN(int64_t hi, Codec::DecodeI64(data, &pos));
+  GSN_ASSIGN_OR_RETURN(int64_t lo, Codec::DecodeI64(data, &pos));
+  GSN_ASSIGN_OR_RETURN(int64_t span, Codec::DecodeI64(data, &pos));
+  GSN_ASSIGN_OR_RETURN(uint32_t sampled, Codec::DecodeU32(data, &pos));
+  msg.trace.trace_hi = static_cast<uint64_t>(hi);
+  msg.trace.trace_lo = static_cast<uint64_t>(lo);
+  msg.trace.span_id = static_cast<uint64_t>(span);
+  msg.trace.sampled = sampled != 0;
   GSN_RETURN_IF_ERROR(CheckFullyConsumed(data, pos, "StreamDelivery"));
   return msg;
 }

@@ -53,12 +53,16 @@ struct UnsubscribeRequest {
 
 /// One pushed stream element. `signature` is the producing container's
 /// HMAC over (sensor name, element) — the integrity layer of Fig 2;
-/// empty means unsigned.
+/// empty means unsigned. `trace` carries the producing container's
+/// trace context so the receiving container continues the same trace;
+/// it rides outside the signed payload (observability metadata, not
+/// sensor data).
 struct StreamDelivery {
   std::string subscription_id;
   std::string sensor_name;
   std::string signature;
   StreamElement element;
+  TraceContext trace;
 
   std::string Encode() const;
   static Result<StreamDelivery> Decode(std::string_view data);

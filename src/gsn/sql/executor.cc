@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <set>
@@ -33,6 +34,22 @@ Result<Relation> MapResolver::GetTable(const std::string& name) const {
 // ---------------------------------------------------------------------------
 
 namespace {
+
+/// Thread-local EXPLAIN ANALYZE sink, installed by Executor::Execute
+/// for its dynamic extent. The recursive execution functions report
+/// into it without threading a parameter through every signature, and
+/// concurrent executions of shared AST nodes (prepared-statement cache)
+/// each see only their own thread's collector. Null — the common case —
+/// costs one thread-local load per operator.
+thread_local AnalyzeCollector* t_analyze = nullptr;
+
+/// Wall micros for analyze timings; only called when a collector is
+/// installed.
+int64_t AnalyzeNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Splits a (possibly qualified) field name into qualifier and base.
 void SplitFieldName(std::string_view field, std::string_view* qualifier,
@@ -1060,9 +1077,19 @@ Result<Relation> EvalJoin(const TableResolver* resolver, const TableRef& ref,
     }
   }
   const size_t cross = left.NumRows() * right.NumRows();
+  // Join timing excludes the child scans (they record themselves); it
+  // covers the algorithm the adaptive planner picked.
+  const int64_t join_start = t_analyze != nullptr ? AnalyzeNowMicros() : 0;
   if (!keys.empty() && cross >= g_hash_join_threshold.load()) {
     HashJoinCounter()->Increment();
-    return HashJoin(eval, ref, left, right, combined, keys, residual, outer);
+    Result<Relation> joined =
+        HashJoin(eval, ref, left, right, combined, keys, residual, outer);
+    if (t_analyze != nullptr && joined.ok()) {
+      t_analyze->Add(&ref, AnalyzeCollector::Op::kJoin,
+                     static_cast<int64_t>(joined->NumRows()),
+                     AnalyzeNowMicros() - join_start, "HashJoin");
+    }
+    return joined;
   }
 
   NestedLoopJoinCounter()->Increment();
@@ -1095,6 +1122,11 @@ Result<Relation> EvalJoin(const TableResolver* resolver, const TableRef& ref,
       out.mutable_rows().push_back(std::move(padded));
     }
   }
+  if (t_analyze != nullptr) {
+    t_analyze->Add(&ref, AnalyzeCollector::Op::kJoin,
+                   static_cast<int64_t>(out.NumRows()),
+                   AnalyzeNowMicros() - join_start, "NestedLoopJoin");
+  }
   return out;
 }
 
@@ -1106,17 +1138,33 @@ Result<Relation> EvalTableRef(const TableResolver* resolver,
         return Status::ExecutionError("no table resolver for " +
                                       ref.table_name);
       }
+      const int64_t scan_start =
+          t_analyze != nullptr ? AnalyzeNowMicros() : 0;
       GSN_ASSIGN_OR_RETURN(Relation rel, resolver->GetTable(ref.table_name));
       const std::string alias =
           ref.alias.empty() ? StrToLower(ref.table_name) : ref.alias;
-      return Relation(QualifySchema(rel.schema(), alias),
-                      std::move(rel.mutable_rows()));
+      Relation scanned(QualifySchema(rel.schema(), alias),
+                       std::move(rel.mutable_rows()));
+      if (t_analyze != nullptr) {
+        t_analyze->Add(&ref, AnalyzeCollector::Op::kScan,
+                       static_cast<int64_t>(scanned.NumRows()),
+                       AnalyzeNowMicros() - scan_start);
+      }
+      return scanned;
     }
     case TableRef::Kind::kSubquery: {
+      const int64_t scan_start =
+          t_analyze != nullptr ? AnalyzeNowMicros() : 0;
       GSN_ASSIGN_OR_RETURN(Relation rel,
                            ExecuteStmt(resolver, *ref.subquery, outer));
-      return Relation(QualifySchema(rel.schema(), ref.alias),
-                      std::move(rel.mutable_rows()));
+      Relation derived(QualifySchema(rel.schema(), ref.alias),
+                       std::move(rel.mutable_rows()));
+      if (t_analyze != nullptr) {
+        t_analyze->Add(&ref, AnalyzeCollector::Op::kScan,
+                       static_cast<int64_t>(derived.NumRows()),
+                       AnalyzeNowMicros() - scan_start);
+      }
+      return derived;
     }
     case TableRef::Kind::kJoin:
       return EvalJoin(resolver, ref, outer);
@@ -1195,6 +1243,10 @@ Result<CoreResult> ExecuteCore(const TableResolver* resolver,
       if (!b.bool_value()) continue;
     }
     rows.push_back(&row);
+  }
+  if (t_analyze != nullptr && stmt.where != nullptr) {
+    t_analyze->Add(&stmt, AnalyzeCollector::Op::kFilter,
+                   static_cast<int64_t>(rows.size()), 0);
   }
 
   // Build output schema from select items.
@@ -1285,6 +1337,10 @@ Result<CoreResult> ExecuteCore(const TableResolver* resolver,
         }
         groups[std::move(key)].push_back(row);
       }
+    }
+    if (t_analyze != nullptr) {
+      t_analyze->Add(&stmt, AnalyzeCollector::Op::kAggregate,
+                     static_cast<int64_t>(groups.size()), 0);
     }
 
     const Relation::Row empty_row(in_schema.size(), Value::Null());
@@ -1469,6 +1525,7 @@ Result<Relation> ApplySetOp(SetOp op, Relation lhs, Relation rhs) {
 
 Result<Relation> ExecuteStmt(const TableResolver* resolver,
                              const SelectStmt& stmt, const RowBinding* outer) {
+  const int64_t stmt_start = t_analyze != nullptr ? AnalyzeNowMicros() : 0;
   GSN_ASSIGN_OR_RETURN(CoreResult core, ExecuteCore(resolver, stmt, outer));
 
   if (stmt.set_op != SetOp::kNone && stmt.set_rhs) {
@@ -1483,6 +1540,11 @@ Result<Relation> ExecuteStmt(const TableResolver* resolver,
 
   GSN_RETURN_IF_ERROR(ApplyOrderBy(resolver, stmt, &core, outer));
   ApplyLimitOffset(stmt, &core.projected);
+  if (t_analyze != nullptr) {
+    t_analyze->Add(&stmt, AnalyzeCollector::Op::kOutput,
+                   static_cast<int64_t>(core.projected.NumRows()),
+                   AnalyzeNowMicros() - stmt_start);
+  }
   return std::move(core.projected);
 }
 
@@ -1506,8 +1568,31 @@ void ResetJoinCounters() {
   NestedLoopJoinCounter()->Reset();
 }
 
+void AnalyzeCollector::Add(const void* node, Op op, int64_t rows,
+                           int64_t elapsed_micros, const std::string& note) {
+  OperatorStats& stats = stats_[{node, op}];
+  stats.rows += rows;
+  stats.elapsed_micros += elapsed_micros;
+  ++stats.invocations;
+  if (!note.empty()) stats.note = note;
+}
+
+const AnalyzeCollector::OperatorStats* AnalyzeCollector::Find(const void* node,
+                                                              Op op) const {
+  auto it = stats_.find({node, op});
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
 Result<Relation> Executor::Execute(const SelectStmt& stmt) const {
-  return ExecuteStmt(resolver_, stmt, nullptr);
+  if (analyze_ == nullptr) return ExecuteStmt(resolver_, stmt, nullptr);
+  // Install the collector thread-locally for this execution only, and
+  // restore whatever was there (re-entrant Execute via subqueries on
+  // resolver-backed views keeps its outer collector).
+  AnalyzeCollector* const saved = t_analyze;
+  t_analyze = analyze_;
+  Result<Relation> out = ExecuteStmt(resolver_, stmt, nullptr);
+  t_analyze = saved;
+  return out;
 }
 
 Result<Relation> Executor::Query(const std::string& sql) const {

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "gsn/sql/ast.h"
 #include "gsn/types/schema.h"
@@ -75,6 +76,39 @@ JoinCounters GetJoinCounters();
 void ResetJoinCounters();
 
 // ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE instrumentation
+// ---------------------------------------------------------------------------
+
+/// Collects per-operator runtime statistics during one execution, keyed
+/// by AST node so the optimizer's EXPLAIN renderer can annotate the
+/// plan tree it walks. Operators that run repeatedly (correlated
+/// subqueries, per-row condition checks) accumulate rows across
+/// invocations. Not thread-safe: one collector observes one execution.
+class AnalyzeCollector {
+ public:
+  /// Which logical operator of an AST node a sample belongs to (one
+  /// node can host several, e.g. a SelectStmt has filter + aggregate +
+  /// output).
+  enum class Op { kScan, kJoin, kFilter, kAggregate, kOutput };
+
+  struct OperatorStats {
+    int64_t rows = 0;            ///< rows produced, summed over invocations
+    int64_t elapsed_micros = 0;  ///< wall time, summed over invocations
+    int64_t invocations = 0;
+    std::string note;  ///< operator detail, e.g. join algorithm picked
+  };
+
+  void Add(const void* node, Op op, int64_t rows, int64_t elapsed_micros,
+           const std::string& note = "");
+  /// Stats for (node, op), or nullptr if that operator never ran.
+  const OperatorStats* Find(const void* node, Op op) const;
+  bool empty() const { return stats_.empty(); }
+
+ private:
+  std::map<std::pair<const void*, Op>, OperatorStats> stats_;
+};
+
+// ---------------------------------------------------------------------------
 // Executor
 // ---------------------------------------------------------------------------
 
@@ -101,9 +135,18 @@ class Executor {
   /// Convenience: parse + execute.
   Result<Relation> Query(const std::string& sql) const;
 
+  /// Routes per-operator row counts and timings of subsequent
+  /// Execute() calls into `collector` (EXPLAIN ANALYZE). The collector
+  /// is installed thread-locally for the duration of each Execute, so
+  /// shared AST nodes (prepared-statement cache) stay safe to execute
+  /// concurrently from other threads. Null detaches. The collector must
+  /// outlive the Execute calls it observes.
+  void set_analyze(AnalyzeCollector* collector) { analyze_ = collector; }
+
  private:
   friend class EvalContext;
   const TableResolver* resolver_;
+  AnalyzeCollector* analyze_ = nullptr;
 };
 
 }  // namespace gsn::sql

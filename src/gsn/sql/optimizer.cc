@@ -257,9 +257,29 @@ void Indent(std::string* out, int depth) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
 }
 
-void ExplainTableRef(const TableRef& ref, int depth, std::string* out);
+/// ` (rows=N time=Xus loops=K)` annotation for one operator, empty when
+/// not analyzing. `with_time` is false for operators whose stats are
+/// pure counts (filter, aggregate).
+std::string AnalyzeSuffix(const AnalyzeCollector* analyze, const void* node,
+                          AnalyzeCollector::Op op, const char* rows_label,
+                          bool with_time) {
+  if (analyze == nullptr) return "";
+  const AnalyzeCollector::OperatorStats* stats = analyze->Find(node, op);
+  if (stats == nullptr) return " (never executed)";
+  std::string out = std::string(" (") + rows_label + "=" +
+                    std::to_string(stats->rows);
+  if (with_time) out += " time=" + std::to_string(stats->elapsed_micros) + "us";
+  if (stats->invocations > 1) {
+    out += " loops=" + std::to_string(stats->invocations);
+  }
+  return out + ")";
+}
 
-void ExplainStmt(const SelectStmt& stmt, int depth, std::string* out) {
+void ExplainTableRef(const TableRef& ref, int depth,
+                     const AnalyzeCollector* analyze, std::string* out);
+
+void ExplainStmt(const SelectStmt& stmt, int depth,
+                 const AnalyzeCollector* analyze, std::string* out) {
   Indent(out, depth);
   *out += "Select";
   if (stmt.distinct) *out += " DISTINCT";
@@ -274,17 +294,22 @@ void ExplainStmt(const SelectStmt& stmt, int depth, std::string* out) {
       if (!item.alias.empty()) *out += " AS " + item.alias;
     }
   }
+  *out += AnalyzeSuffix(analyze, &stmt, AnalyzeCollector::Op::kOutput, "rows",
+                        /*with_time=*/true);
   *out += "\n";
   if (!stmt.from.empty()) {
     Indent(out, depth + 1);
     *out += "From:\n";
     for (const auto& ref : stmt.from) {
-      ExplainTableRef(*ref, depth + 2, out);
+      ExplainTableRef(*ref, depth + 2, analyze, out);
     }
   }
   if (stmt.where) {
     Indent(out, depth + 1);
-    *out += "Filter: " + stmt.where->ToString() + "\n";
+    *out += "Filter: " + stmt.where->ToString();
+    *out += AnalyzeSuffix(analyze, &stmt, AnalyzeCollector::Op::kFilter,
+                          "rows", /*with_time=*/false);
+    *out += "\n";
   }
   if (!stmt.group_by.empty()) {
     Indent(out, depth + 1);
@@ -293,6 +318,8 @@ void ExplainStmt(const SelectStmt& stmt, int depth, std::string* out) {
       if (i > 0) *out += ", ";
       *out += stmt.group_by[i]->ToString();
     }
+    *out += AnalyzeSuffix(analyze, &stmt, AnalyzeCollector::Op::kAggregate,
+                          "groups", /*with_time=*/false);
     *out += "\n";
   }
   if (stmt.having) {
@@ -334,37 +361,56 @@ void ExplainStmt(const SelectStmt& stmt, int depth, std::string* out) {
       case SetOp::kNone:
         break;
     }
-    ExplainStmt(*stmt.set_rhs, depth + 2, out);
+    ExplainStmt(*stmt.set_rhs, depth + 2, analyze, out);
   }
 }
 
-void ExplainTableRef(const TableRef& ref, int depth, std::string* out) {
+void ExplainTableRef(const TableRef& ref, int depth,
+                     const AnalyzeCollector* analyze, std::string* out) {
   switch (ref.kind) {
     case TableRef::Kind::kTable:
       Indent(out, depth);
       *out += "Scan " + ref.table_name;
       if (!ref.alias.empty()) *out += " AS " + ref.alias;
+      *out += AnalyzeSuffix(analyze, &ref, AnalyzeCollector::Op::kScan,
+                            "rows", /*with_time=*/true);
       *out += "\n";
       break;
     case TableRef::Kind::kSubquery:
       Indent(out, depth);
-      *out += "Derived AS " + ref.alias + ":\n";
-      ExplainStmt(*ref.subquery, depth + 1, out);
+      *out += "Derived AS " + ref.alias + ":";
+      *out += AnalyzeSuffix(analyze, &ref, AnalyzeCollector::Op::kScan,
+                            "rows", /*with_time=*/true);
+      *out += "\n";
+      ExplainStmt(*ref.subquery, depth + 1, analyze, out);
       break;
     case TableRef::Kind::kJoin: {
       Indent(out, depth);
+      // Static EXPLAIN predicts the pessimistic nested loop; ANALYZE
+      // reports the algorithm the adaptive planner actually picked at
+      // runtime from the input cardinalities.
+      const AnalyzeCollector::OperatorStats* join_stats =
+          analyze != nullptr
+              ? analyze->Find(&ref, AnalyzeCollector::Op::kJoin)
+              : nullptr;
+      const std::string algorithm =
+          join_stats != nullptr && !join_stats->note.empty()
+              ? join_stats->note
+              : "NestedLoopJoin";
       const char* kind = ref.join_type == TableRef::JoinType::kInner
                              ? "Inner"
                              : ref.join_type == TableRef::JoinType::kLeft
                                    ? "Left"
                                    : "Cross";
-      *out += std::string("NestedLoopJoin ") + kind;
+      *out += algorithm + " " + kind;
       if (ref.join_condition) {
         *out += " on " + ref.join_condition->ToString();
       }
+      *out += AnalyzeSuffix(analyze, &ref, AnalyzeCollector::Op::kJoin,
+                            "rows", /*with_time=*/true);
       *out += "\n";
-      ExplainTableRef(*ref.left, depth + 1, out);
-      ExplainTableRef(*ref.right, depth + 1, out);
+      ExplainTableRef(*ref.left, depth + 1, analyze, out);
+      ExplainTableRef(*ref.right, depth + 1, analyze, out);
       break;
     }
   }
@@ -374,7 +420,14 @@ void ExplainTableRef(const TableRef& ref, int depth, std::string* out) {
 
 std::string ExplainString(const SelectStmt& stmt) {
   std::string out;
-  ExplainStmt(stmt, 0, &out);
+  ExplainStmt(stmt, 0, /*analyze=*/nullptr, &out);
+  return out;
+}
+
+std::string ExplainAnalyzeString(const SelectStmt& stmt,
+                                 const AnalyzeCollector& analyze) {
+  std::string out;
+  ExplainStmt(stmt, 0, &analyze, &out);
   return out;
 }
 

@@ -36,6 +36,17 @@ Result<bool> FoldConstants(Expr* expr);
 /// node per line with two-space indentation.
 std::string ExplainString(const SelectStmt& stmt);
 
+class AnalyzeCollector;
+
+/// EXPLAIN ANALYZE rendering: the same plan tree annotated with the
+/// per-operator row counts, timings, and algorithm choices `analyze`
+/// observed while the executor ran the statement (e.g.
+/// `Scan readings AS r (rows=120 time=14us)`, and joins print the
+/// algorithm the adaptive planner actually picked). Operators with no
+/// recorded stats render `(never executed)`.
+std::string ExplainAnalyzeString(const SelectStmt& stmt,
+                                 const AnalyzeCollector& analyze);
+
 }  // namespace gsn::sql
 
 #endif  // GSN_SQL_OPTIMIZER_H_

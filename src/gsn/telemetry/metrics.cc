@@ -54,6 +54,23 @@ std::string RenderBucketLabels(const Labels& labels, const std::string& le) {
   return RenderLabels(with_le);
 }
 
+/// Prometheus text-format escaping for `# HELP` lines: backslash and
+/// line feed only (quotes are legal there, unlike in label values).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- Histogram
@@ -265,7 +282,7 @@ std::string MetricRegistry::RenderPrometheus() const {
   std::string out;
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {
-      out += "# HELP " + name + " " + family.help + "\n";
+      out += "# HELP " + name + " " + EscapeHelp(family.help) + "\n";
     }
     out += "# TYPE " + name + " ";
     out += family.kind == Kind::kCounter    ? "counter"

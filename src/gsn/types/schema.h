@@ -7,6 +7,7 @@
 
 #include "gsn/types/value.h"
 #include "gsn/util/result.h"
+#include "gsn/util/trace_context.h"
 
 namespace gsn {
 
@@ -71,6 +72,10 @@ class Schema {
 struct StreamElement {
   Timestamp timed = 0;
   std::vector<Value> values;
+  /// End-to-end trace identity, stamped by the stream source that
+  /// admits the element and carried (not persisted, not signed) through
+  /// the pipeline and across remote delivery. Invalid = untraced.
+  TraceContext trace;
 
   /// Sum of payload bytes across values (stream element size, SES).
   size_t PayloadBytes() const {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "gsn/util/trace_context.h"
+
 namespace gsn {
 
 namespace {
@@ -37,11 +39,26 @@ LogLevel Logger::min_level() const {
 
 void Logger::Log(LogLevel level, const std::string& component,
                  const std::string& message) {
+  // Lines emitted while a sampled span is open on this thread carry the
+  // trace id, so grepping stderr for `trace=<id>` reconstructs a
+  // tuple's journey across components.
+  const TraceContext trace = ThreadTraceContext();
   std::lock_guard<std::mutex> lock(mu_);
   if (level < min_level_) return;
-  std::fprintf(stderr, "[%s] [%s] %s\n", LevelName(level), component.c_str(),
-               message.c_str());
+  std::string line = std::string("[") + LevelName(level) + "] [" + component +
+                     "] " + message;
+  if (trace.valid()) line += " trace=" + trace.TraceIdHex();
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
   ++emitted_;
+}
+
+void Logger::SetSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
 }
 
 long Logger::emitted_count() const {

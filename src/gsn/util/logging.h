@@ -1,6 +1,7 @@
 #ifndef GSN_UTIL_LOGGING_H_
 #define GSN_UTIL_LOGGING_H_
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -26,12 +27,18 @@ class Logger {
   /// Number of messages emitted since process start (for tests).
   long emitted_count() const;
 
+  /// Redirects formatted lines (without trailing newline) to `sink`
+  /// instead of stderr; null restores stderr. Tests capture output with
+  /// this; it is not a production log-shipping hook.
+  void SetSink(std::function<void(const std::string&)> sink);
+
  private:
   Logger() = default;
 
   mutable std::mutex mu_;
   LogLevel min_level_ = LogLevel::kWarn;
   long emitted_ = 0;
+  std::function<void(const std::string&)> sink_;
 };
 
 /// Stream-style helper: GSN_LOG(kInfo, "vsm") << "deployed " << name;

@@ -1,0 +1,35 @@
+#include "gsn/util/trace_context.h"
+
+namespace gsn {
+
+namespace {
+
+std::string Hex64(uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+thread_local TraceContext t_current_trace;
+
+}  // namespace
+
+std::string TraceContext::TraceIdHex() const {
+  return Hex64(trace_hi) + Hex64(trace_lo);
+}
+
+std::string TraceContext::SpanIdHex() const { return Hex64(span_id); }
+
+void SetThreadTraceContext(const TraceContext& context) {
+  t_current_trace = context;
+}
+
+void ClearThreadTraceContext() { t_current_trace = TraceContext(); }
+
+TraceContext ThreadTraceContext() { return t_current_trace; }
+
+}  // namespace gsn

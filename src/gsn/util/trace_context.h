@@ -1,0 +1,45 @@
+#ifndef GSN_UTIL_TRACE_CONTEXT_H_
+#define GSN_UTIL_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gsn {
+
+/// Correlation identity of one end-to-end tuple trace: a 128-bit trace
+/// id shared by every span of the trace, the 64-bit id of the current
+/// span, and the head-sampling decision made when the trace was rooted.
+/// Lives in util (not telemetry) so the type layer can stamp stream
+/// elements with it without depending on the telemetry subsystem;
+/// `gsn::telemetry` re-exports it. An all-zero trace id means
+/// "untraced" — the default for every element until a stream source
+/// roots a trace on it.
+struct TraceContext {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  /// Head-sampling decision, inherited by every child span. Spans of
+  /// unsampled traces are still recorded when they finish with an
+  /// error (always-sample-on-error).
+  bool sampled = false;
+
+  /// True when a trace has been rooted (ids assigned).
+  bool valid() const { return trace_hi != 0 || trace_lo != 0; }
+
+  /// 32 lowercase hex chars, the trace's external name.
+  std::string TraceIdHex() const;
+  /// 16 lowercase hex chars for the span id.
+  std::string SpanIdHex() const;
+};
+
+/// Thread-local trace binding consumed by the logger: log lines emitted
+/// while a sampled span is active carry `trace=<id>`. `telemetry::Span`
+/// sets and restores it; nothing else should need to.
+void SetThreadTraceContext(const TraceContext& context);
+void ClearThreadTraceContext();
+/// The binding for this thread (invalid context when none is bound).
+TraceContext ThreadTraceContext();
+
+}  // namespace gsn
+
+#endif  // GSN_UTIL_TRACE_CONTEXT_H_

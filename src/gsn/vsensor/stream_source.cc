@@ -4,11 +4,14 @@ namespace gsn::vsensor {
 
 StreamSource::StreamSource(StreamSourceSpec spec,
                            std::unique_ptr<wrappers::Wrapper> wrapper,
-                           uint64_t seed, telemetry::MetricRegistry* metrics)
+                           uint64_t seed, telemetry::MetricRegistry* metrics,
+                           telemetry::Tracer* tracer, std::string node)
     : spec_(std::move(spec)),
       wrapper_(std::move(wrapper)),
       window_(spec_.window),
-      rng_(seed) {
+      rng_(seed),
+      tracer_(tracer),
+      node_(std::move(node)) {
   telemetry::MetricRegistry* registry = metrics;
   if (registry == nullptr) {
     owned_metrics_ = std::make_unique<telemetry::MetricRegistry>();
@@ -85,7 +88,27 @@ Result<std::vector<StreamElement>> StreamSource::Poll(Timestamp now) {
     admitted.push_back(std::move(e));
     ++admitted_;
   }
+  StampTraces(&admitted);
   return admitted;
+}
+
+void StreamSource::StampTraces(std::vector<StreamElement>* admitted) {
+  if (tracer_ == nullptr) return;
+  for (StreamElement& e : *admitted) {
+    if (e.trace.valid()) {
+      // Element already traced (remote delivery): continue the trace so
+      // the consuming container's spans link to the producer's.
+      telemetry::Span admit(tracer_, "source.admit", e.trace);
+      admit.set_node(node_);
+      admit.set_sensor(spec_.alias);
+      e.trace = admit.context();
+    } else {
+      telemetry::Span produce(tracer_, "wrapper.produce");
+      produce.set_node(node_);
+      produce.set_sensor(spec_.alias);
+      e.trace = produce.context();
+    }
+  }
 }
 
 Relation StreamSource::WindowRelation(Timestamp now) const {

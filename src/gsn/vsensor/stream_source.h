@@ -7,6 +7,7 @@
 
 #include "gsn/storage/window_buffer.h"
 #include "gsn/telemetry/metrics.h"
+#include "gsn/telemetry/tracing.h"
 #include "gsn/util/rng.h"
 #include "gsn/vsensor/spec.h"
 #include "gsn/wrappers/wrapper.h"
@@ -29,9 +30,14 @@ namespace gsn::vsensor {
 class StreamSource {
  public:
   /// Registers per-wrapper-type telemetry (poll-loop latency, elements
-  /// produced) in `metrics`, defaulting to the process registry.
+  /// produced) in `metrics`, defaulting to the process registry. When a
+  /// `tracer` is given, every admitted element is stamped with a trace
+  /// context: a fresh root trace ("wrapper.produce") for untraced
+  /// elements, or a "source.admit" child span when the element already
+  /// carries one (remote deliveries continuing the producer's trace).
   StreamSource(StreamSourceSpec spec, std::unique_ptr<wrappers::Wrapper> wrapper,
-               uint64_t seed, telemetry::MetricRegistry* metrics = nullptr);
+               uint64_t seed, telemetry::MetricRegistry* metrics = nullptr,
+               telemetry::Tracer* tracer = nullptr, std::string node = "");
 
   StreamSource(const StreamSource&) = delete;
   StreamSource& operator=(const StreamSource&) = delete;
@@ -63,10 +69,16 @@ class StreamSource {
   int64_t filled_missing_count() const;
 
  private:
+  /// Stamps/continues trace contexts on the elements admitted this
+  /// poll (no-op without a tracer).
+  void StampTraces(std::vector<StreamElement>* admitted);
+
   const StreamSourceSpec spec_;
   std::unique_ptr<wrappers::Wrapper> wrapper_;
   storage::WindowBuffer window_;
   Rng rng_;
+  telemetry::Tracer* tracer_ = nullptr;
+  std::string node_;
   std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;
   std::shared_ptr<telemetry::Histogram> poll_micros_;
   std::shared_ptr<telemetry::Counter> produced_total_;

@@ -8,9 +8,12 @@ namespace gsn::vsensor {
 VirtualSensor::VirtualSensor(
     VirtualSensorSpec spec,
     std::vector<std::vector<std::unique_ptr<StreamSource>>> sources,
-    std::shared_ptr<Clock> clock, telemetry::MetricRegistry* metrics)
+    std::shared_ptr<Clock> clock, telemetry::MetricRegistry* metrics,
+    telemetry::Tracer* tracer, std::string node)
     : spec_(std::move(spec)),
       clock_(std::move(clock)),
+      tracer_(tracer),
+      node_(std::move(node)),
       span_clock_(telemetry::SteadyClock::Instance()) {
   telemetry::MetricRegistry* registry = metrics;
   if (registry == nullptr) {
@@ -122,19 +125,30 @@ Result<int> VirtualSensor::Tick(Timestamp now) {
     // always triggered by the arrival of a data stream element from
     // one of its input streams").
     bool triggered = false;
+    // The pipeline continues the trace of the first traced element
+    // admitted this tick (one trigger = one pipeline run, even when a
+    // batch arrives).
+    TraceContext trigger_ctx;
     for (auto& source : stream.sources) {
       GSN_ASSIGN_OR_RETURN(std::vector<StreamElement> admitted,
                            source->Poll(now));
       if (!admitted.empty()) triggered = true;
+      for (const StreamElement& e : admitted) {
+        if (!trigger_ctx.valid() && e.trace.valid()) trigger_ctx = e.trace;
+      }
     }
     if (!triggered) continue;
 
+    telemetry::Span pipeline(tracer_, "vsensor.pipeline", trigger_ctx);
+    pipeline.set_sensor(spec_.name);
+    pipeline.set_node(node_);
     telemetry::SpanTimer span(span_clock_, metrics_.processing.get());
-    Result<int> n = ProcessStream(&stream, now);
+    Result<int> n = ProcessStream(&stream, now, pipeline.context());
     metrics_.last_processing->Set(span.Stop());
     metrics_.triggers->Increment();
     if (!n.ok()) {
       metrics_.errors->Increment();
+      pipeline.set_error();
     } else {
       metrics_.tuples->Increment(*n);
     }
@@ -149,8 +163,8 @@ Result<int> VirtualSensor::Tick(Timestamp now) {
   return produced;
 }
 
-Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream,
-                                         Timestamp now) {
+Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream, Timestamp now,
+                                         const TraceContext& trace) {
   if (stream->query == nullptr) {
     return Status::Internal("stream query not parsed for '" +
                             stream->spec->name + "'");
@@ -160,6 +174,9 @@ Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream,
   // relations named by alias.
   sql::MapResolver temp_relations;
   {
+    telemetry::Span stage(tracer_, "vsensor.window_sql", trace);
+    stage.set_sensor(spec_.name);
+    stage.set_node(node_);
     telemetry::SpanTimer span(span_clock_, metrics_.stage_window.get());
     for (size_t i = 0; i < stream->sources.size(); ++i) {
       StreamSource* source = stream->sources[i].get();
@@ -179,8 +196,13 @@ Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream,
   // Step 4: the input stream query over the temporaries.
   sql::Executor stream_exec(&temp_relations);
   Result<Relation> result_or = [&]() -> Result<Relation> {
+    telemetry::Span stage(tracer_, "vsensor.stream_sql", trace);
+    stage.set_sensor(spec_.name);
+    stage.set_node(node_);
     telemetry::SpanTimer span(span_clock_, metrics_.stage_stream_sql.get());
-    return stream_exec.Execute(*stream->query);
+    Result<Relation> r = stream_exec.Execute(*stream->query);
+    if (!r.ok()) stage.set_error();
+    return r;
   }();
   if (!result_or.ok()) return result_or.status();
   Relation result = *std::move(result_or);
@@ -198,6 +220,9 @@ Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream,
   }
 
   // Step 5 span: output mapping plus listener fan-out.
+  telemetry::Span deliver_stage(tracer_, "vsensor.deliver", trace);
+  deliver_stage.set_sensor(spec_.name);
+  deliver_stage.set_node(node_);
   telemetry::SpanTimer deliver_span(span_clock_, metrics_.stage_deliver.get());
   int produced = 0;
   for (const Relation::Row& row : result.rows()) {
@@ -210,6 +235,9 @@ Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream,
     }
     GSN_ASSIGN_OR_RETURN(StreamElement element,
                          MapToOutput(result.schema(), row, now));
+    // Consumers of this element (storage, notifications, remote
+    // delivery) hang their spans off the pipeline span.
+    element.trace = trace;
     std::vector<OutputListener> listeners;
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -9,6 +9,7 @@
 
 #include "gsn/sql/executor.h"
 #include "gsn/telemetry/metrics.h"
+#include "gsn/telemetry/tracing.h"
 #include "gsn/util/clock.h"
 #include "gsn/vsensor/spec.h"
 #include "gsn/vsensor/stream_source.h"
@@ -44,10 +45,15 @@ class VirtualSensor {
   /// per-sensor metric family (label sensor=<name>) in `metrics` at
   /// construction — the default registry when none is injected; the
   /// owning container removes the family at undeploy.
+  /// A non-null `tracer` makes every trigger whose admitted elements
+  /// carry a trace context run under a "vsensor.pipeline" span (child
+  /// of the triggering element's span), with per-stage child spans and
+  /// the pipeline context stamped onto every output element.
   VirtualSensor(VirtualSensorSpec spec,
                 std::vector<std::vector<std::unique_ptr<StreamSource>>> sources,
                 std::shared_ptr<Clock> clock,
-                telemetry::MetricRegistry* metrics = nullptr);
+                telemetry::MetricRegistry* metrics = nullptr,
+                telemetry::Tracer* tracer = nullptr, std::string node = "");
 
   VirtualSensor(const VirtualSensor&) = delete;
   VirtualSensor& operator=(const VirtualSensor&) = delete;
@@ -111,8 +117,11 @@ class VirtualSensor {
     Timestamp last_refill = 0;
   };
 
-  /// Runs steps 2-5 for one input stream.
-  Result<int> ProcessStream(StreamRuntime* stream, Timestamp now);
+  /// Runs steps 2-5 for one input stream. `trace` is the pipeline
+  /// span's context (invalid when untraced); stage spans are its
+  /// children and output elements are stamped with it.
+  Result<int> ProcessStream(StreamRuntime* stream, Timestamp now,
+                            const TraceContext& trace);
 
   /// Maps one result row to the declared output structure.
   Result<StreamElement> MapToOutput(const Schema& result_schema,
@@ -136,6 +145,8 @@ class VirtualSensor {
   const VirtualSensorSpec spec_;
   std::vector<StreamRuntime> streams_;
   std::shared_ptr<Clock> clock_;
+  telemetry::Tracer* tracer_ = nullptr;
+  std::string node_;
   /// Private registry when none was injected (standalone sensors in
   /// tests keep per-instance stats).
   std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 
@@ -172,7 +173,8 @@ TEST(ChurnSoakTest, FederationSurvivesContinuousReconfiguration) {
   int deploy_counter = 0;
   std::vector<std::pair<Container*, std::string>> live;
 
-  int notifications = 0;
+  // Incremented from the sensors' worker threads; read at the end.
+  std::atomic<int> notifications{0};
   for (Container* node : nodes) {
     (void)node->notification_manager().Subscribe(
         "*", "v > -1e18",
@@ -217,7 +219,7 @@ TEST(ChurnSoakTest, FederationSurvivesContinuousReconfiguration) {
     ASSERT_EQ(listed, live.size()) << "round " << round;
   }
   // The run produced real traffic.
-  EXPECT_GT(notifications, 100);
+  EXPECT_GT(notifications.load(), 100);
 }
 
 /// The management interface must never crash on arbitrary command

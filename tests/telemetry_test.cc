@@ -14,6 +14,8 @@
 #include "gsn/container/web_interface.h"
 #include "gsn/sql/executor.h"
 #include "gsn/telemetry/metrics.h"
+#include "gsn/telemetry/tracing.h"
+#include "gsn/util/logging.h"
 
 namespace gsn::telemetry {
 namespace {
@@ -253,6 +255,17 @@ TEST(RenderPrometheusTest, EscapesLabelValues) {
             std::string::npos);
 }
 
+TEST(RenderPrometheusTest, EscapesHelpText) {
+  MetricRegistry registry;
+  registry.GetCounter("h_total", {}, "line1\nline2 back\\slash")->Increment();
+  const std::string text = registry.RenderPrometheus();
+  // Newlines and backslashes must be escaped per the exposition format
+  // or the # HELP comment corrupts the scrape.
+  EXPECT_NE(text.find("# HELP h_total line1\\nline2 back\\\\slash"),
+            std::string::npos)
+      << text;
+}
+
 // ------------------------------------------------------------ Query manager
 
 /// Clock that jumps forward a fixed step on every read: each span
@@ -416,6 +429,85 @@ TEST_F(TelemetryIntegrationTest, ManagementMetricsAndSlowlogCommands) {
   EXPECT_EQ(container_->query_manager().slow_query_micros(), 2500);
   EXPECT_NE(management.Execute("slowlog x").find("ERROR"), std::string::npos);
   EXPECT_EQ(management.Execute("slowlog 0"), "slow-query log disabled\n");
+}
+
+TEST_F(TelemetryIntegrationTest, TracesEndpointAndManagementCommands) {
+  container::ManagementInterface management(container_.get());
+  EXPECT_NE(management.Execute("trace").find("sample rate: 0"),
+            std::string::npos);
+  EXPECT_NE(management.Execute("trace 1").find("set to 1"),
+            std::string::npos);
+  EXPECT_NE(management.Execute("trace 2").find("ERROR"), std::string::npos);
+  DeployAndRun();
+
+  container::WebInterface web(container_.get());
+  network::HttpRequest request;
+  request.method = "GET";
+  request.path = "/traces";
+  const network::HttpResponse response = web.Handle(request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"wrapper.produce\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"vsensor.pipeline\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"node\":\"tele-node\""), std::string::npos);
+
+  // Filtering by one trace id returns only that trace's spans.
+  const std::vector<SpanRecord> spans =
+      container_->tracer()->store().Snapshot();
+  ASSERT_FALSE(spans.empty());
+  const std::string id = spans.front().TraceIdHex();
+  request.query["id"] = id;
+  const network::HttpResponse one = web.Handle(request);
+  EXPECT_EQ(one.status, 200);
+  EXPECT_NE(one.body.find("\"trace\":\"" + id + "\""), std::string::npos);
+  request.query["id"] = "not-a-trace-id";
+  EXPECT_EQ(web.Handle(request).status, 400);
+
+  const std::string listing = management.Execute("traces " + id);
+  EXPECT_NE(listing.find("\"trace\":\"" + id + "\""), std::string::npos);
+  EXPECT_NE(management.Execute("traces nope").find("ERROR"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryIntegrationTest, LogLinesInsideSpansCarryTheTraceId) {
+  container_->tracer()->set_sample_rate(1.0);
+  std::vector<std::string> lines;
+  Logger::Instance().SetSink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+  TraceContext ctx;
+  {
+    Span span(container_->tracer(), "log.test");
+    ctx = span.context();
+    GSN_LOG(kWarn, "test") << "inside the span";
+  }
+  GSN_LOG(kWarn, "test") << "outside the span";
+  Logger::Instance().SetSink(nullptr);
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("trace=" + ctx.TraceIdHex()), std::string::npos)
+      << lines[0];
+  EXPECT_EQ(lines[1].find("trace="), std::string::npos) << lines[1];
+}
+
+TEST_F(TelemetryIntegrationTest, ExplainAnalyzeOverWebAndManagement) {
+  DeployAndRun();
+  container::WebInterface web(container_.get());
+  network::HttpRequest request;
+  request.method = "GET";
+  request.path = "/explain";
+  request.query["sql"] = "select count(*) from \"tele-sensor\"";
+  const network::HttpResponse plain = web.Handle(request);
+  EXPECT_EQ(plain.status, 200);
+  EXPECT_EQ(plain.body.find("rows="), std::string::npos);
+  request.query["analyze"] = "1";
+  const network::HttpResponse analyzed = web.Handle(request);
+  EXPECT_EQ(analyzed.status, 200);
+  EXPECT_NE(analyzed.body.find("rows="), std::string::npos) << analyzed.body;
+
+  container::ManagementInterface management(container_.get());
+  const std::string plan = management.Execute(
+      "explain analyze select count(*) from \"tele-sensor\"");
+  EXPECT_NE(plan.find("rows="), std::string::npos) << plan;
 }
 
 }  // namespace
