@@ -115,10 +115,13 @@ CellResult RunCell(int interval_ms, int payload_bytes, int devices,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --quick shrinks the sweep for CI runs.
+  // --quick shrinks the sweep for CI runs; --json additionally writes
+  // the grid to BENCH_fig3.json for machine comparison across commits.
   bool quick = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--json") json = true;
   }
 
   const std::vector<int> intervals_ms = {10, 25, 50, 100, 250, 500, 1000};
@@ -172,5 +175,31 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   std::filesystem::remove_all(storage_dir);
+
+  if (json) {
+    std::FILE* f = std::fopen("BENCH_fig3.json", "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_fig3.json\n");
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"figure\": 3,\n  \"devices\": %d,\n"
+                 "  \"duration_s\": %lld,\n  \"cells\": [\n",
+                 devices, static_cast<long long>(duration / kMicrosPerSecond));
+    bool first = true;
+    for (size_t r = 0; r < grid.size(); ++r) {
+      for (size_t c = 0; c < grid[r].size(); ++c) {
+        std::fprintf(f,
+                     "%s    {\"interval_ms\": %d, \"ses_bytes\": %d, "
+                     "\"mean_ms\": %.4f, \"p95_ms\": %.4f, \"elements\": %ld}",
+                     first ? "" : ",\n", intervals_ms[r], element_sizes[c],
+                     grid[r][c].mean_ms, grid[r][c].p95_ms,
+                     grid[r][c].elements);
+        first = false;
+      }
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote BENCH_fig3.json\n");
+  }
   return 0;
 }

@@ -62,12 +62,28 @@ std::string RandomQuery(Timestamp now, gsn::Rng* rng) {
          " = 0";
 }
 
+/// Untraced p95 per client count measured at the commit preceding the
+/// zero-copy storage layer (--quick sweep on the same machine class),
+/// kept in BENCH_fig4.json so regressions against the pre-zero-copy
+/// baseline are visible from the artifact alone.
+struct BaselinePoint {
+  int clients;
+  double p95_ms;
+};
+constexpr BaselinePoint kPreZeroCopyBaseline[] = {
+    {1, 0.692}, {50, 0.833}, {100, 1.012}, {250, 1.000}, {500, 0.990},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --json writes the measured points (and the recorded pre-zero-copy
+  // baseline) to BENCH_fig4.json.
   bool quick = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--json") json = true;
   }
 
   constexpr size_t kSesBytes = 32 * 1024;
@@ -98,6 +114,14 @@ int main(int argc, char** argv) {
   std::printf("%-10s %14s %14s %14s %16s %12s %8s\n", "clients",
               "trace_off_ms", "trace_1pct_ms", "trace_100_ms",
               "per_client_ms", "p95_ms", "burst");
+
+  struct PointResult {
+    int clients = 0;
+    double totals_ms[3] = {0.0, 0.0, 0.0};
+    double p95_ms = 0.0;
+    bool burst = false;
+  };
+  std::vector<PointResult> points;
 
   for (int clients : client_counts) {
     // Fresh node state per measurement so points are independent.
@@ -170,8 +194,48 @@ int main(int argc, char** argv) {
                 totals_ms[0], totals_ms[1], totals_ms[2],
                 totals_ms[0] / clients, p95_ms, burst ? "*" : "");
     std::fflush(stdout);
+    PointResult point;
+    point.clients = clients;
+    for (int r = 0; r < 3; ++r) point.totals_ms[r] = totals_ms[r];
+    point.p95_ms = p95_ms;
+    point.burst = burst;
+    points.push_back(point);
   }
   std::printf("# burst '*': a data burst landed before the measurement "
               "(paper: spikes)\n");
+
+  if (json) {
+    std::FILE* f = std::fopen("BENCH_fig4.json", "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_fig4.json\n");
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"figure\": 4,\n  \"ses_bytes\": %zu,\n"
+                 "  \"points\": [\n", kSesBytes);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const PointResult& p = points[i];
+      std::fprintf(f,
+                   "    {\"clients\": %d, \"trace_off_ms\": %.4f, "
+                   "\"trace_1pct_ms\": %.4f, \"trace_100_ms\": %.4f, "
+                   "\"per_client_ms\": %.4f, \"p95_ms\": %.4f, "
+                   "\"burst\": %s}%s\n",
+                   p.clients, p.totals_ms[0], p.totals_ms[1], p.totals_ms[2],
+                   p.totals_ms[0] / p.clients, p.p95_ms,
+                   p.burst ? "true" : "false",
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"baseline_pre_zero_copy_p95\": [\n");
+    constexpr size_t kBaselineCount =
+        sizeof(kPreZeroCopyBaseline) / sizeof(kPreZeroCopyBaseline[0]);
+    for (size_t i = 0; i < kBaselineCount; ++i) {
+      std::fprintf(f, "    {\"clients\": %d, \"p95_ms\": %.4f}%s\n",
+                   kPreZeroCopyBaseline[i].clients,
+                   kPreZeroCopyBaseline[i].p95_ms,
+                   i + 1 < kBaselineCount ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote BENCH_fig4.json\n");
+  }
   return 0;
 }

@@ -155,9 +155,9 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
       options_.node_id);
 
   VirtualSensor* sensor = deployment.sensor.get();
-  sensor->AddListener(
-      [this](const VirtualSensor& vs, const StreamElement& element) {
-        OnSensorOutput(vs, element);
+  sensor->AddBatchListener(
+      [this](const VirtualSensor& vs, const std::vector<StreamElement>& batch) {
+        OnSensorBatch(vs, batch);
       });
 
   const Status started = sensor->Start();
@@ -418,11 +418,13 @@ Result<int> Container::Tick() {
   return produced;
 }
 
-void Container::OnSensorOutput(const VirtualSensor& sensor,
-                               const StreamElement& element) {
+void Container::OnSensorBatch(const VirtualSensor& sensor,
+                              const std::vector<StreamElement>& batch) {
+  if (batch.empty()) return;
   const std::string& name = sensor.name();
 
-  // Storage layer.
+  // Storage layer: the whole batch lands under one container lock and
+  // one table lock.
   storage::PersistenceLog* log = nullptr;
   std::vector<std::pair<std::string, std::string>> remote_targets;
   {
@@ -430,7 +432,7 @@ void Container::OnSensorOutput(const VirtualSensor& sensor,
     auto it = deployments_.find(StrToLower(name));
     if (it != deployments_.end()) {
       if (it->second.table != nullptr) {
-        const Status s = it->second.table->Insert(element);
+        const Status s = it->second.table->InsertBatch(batch);
         if (!s.ok()) {
           GSN_LOG(kWarn, "container") << name << ": table insert failed: " << s;
         }
@@ -453,42 +455,49 @@ void Container::OnSensorOutput(const VirtualSensor& sensor,
     }
   }
   for (LocalStreamWrapper* target : local_targets) {
-    target->Push(element);
+    target->PushBatch(batch);
   }
   if (log != nullptr) {
-    const Status s = log->Append(element);
-    if (!s.ok()) {
-      GSN_LOG(kWarn, "container") << name << ": persistence failed: " << s;
+    for (const StreamElement& element : batch) {
+      const Status s = log->Append(element);
+      if (!s.ok()) {
+        GSN_LOG(kWarn, "container") << name << ": persistence failed: " << s;
+        break;
+      }
     }
   }
 
-  // Notification manager + query repository.
-  notifications_.OnElement(name, sensor.output_schema(), element);
-  query_manager_.OnNewElement(name, element.trace);
+  // Notification manager (per-element conditions, one subscription
+  // snapshot) + query repository (one evaluation pass per batch: the
+  // continuous queries read the table state just inserted above).
+  notifications_.OnBatch(name, sensor.output_schema(), batch);
+  query_manager_.OnNewElementBatch(name, batch);
 
-  // Remote consumers (signed by the integrity layer).
+  // Remote consumers (each element signed by the integrity layer).
   if (options_.network != nullptr && !remote_targets.empty()) {
-    network::StreamDelivery delivery;
-    delivery.sensor_name = name;
-    delivery.element = element;
-    delivery.signature = integrity_.Sign(name, element);
-    for (const auto& [sub_id, node] : remote_targets) {
-      delivery.subscription_id = sub_id;
-      // One "remote.send" span per target; its context rides in the
-      // delivery (outside the signed payload) so the receiving node
-      // continues the same trace.
-      telemetry::Span send(tracer_, "remote.send", element.trace);
-      send.set_sensor(name);
-      send.set_node(options_.node_id);
-      delivery.trace = send.context();
-      const Status s =
-          options_.network->Send(options_.clock->NowMicros(),
-                                 options_.node_id, node,
-                                 network::kTopicStream, delivery.Encode());
-      if (!s.ok()) {
-        send.set_error();
-        GSN_LOG(kWarn, "container")
-            << name << ": stream delivery to " << node << " failed: " << s;
+    for (const StreamElement& element : batch) {
+      network::StreamDelivery delivery;
+      delivery.sensor_name = name;
+      delivery.element = element;
+      delivery.signature = integrity_.Sign(name, element);
+      for (const auto& [sub_id, node] : remote_targets) {
+        delivery.subscription_id = sub_id;
+        // One "remote.send" span per target; its context rides in the
+        // delivery (outside the signed payload) so the receiving node
+        // continues the same trace.
+        telemetry::Span send(tracer_, "remote.send", element.trace);
+        send.set_sensor(name);
+        send.set_node(options_.node_id);
+        delivery.trace = send.context();
+        const Status s =
+            options_.network->Send(options_.clock->NowMicros(),
+                                   options_.node_id, node,
+                                   network::kTopicStream, delivery.Encode());
+        if (!s.ok()) {
+          send.set_error();
+          GSN_LOG(kWarn, "container")
+              << name << ": stream delivery to " << node << " failed: " << s;
+        }
       }
     }
   }

@@ -178,8 +178,12 @@ class Container : public network::NetworkNode {
       const vsensor::StreamSourceSpec& source_spec, Deployment* deployment);
   void PublishSensor(const vsensor::VirtualSensorSpec& spec);
   void RetractSensor(const std::string& sensor_name);
-  void OnSensorOutput(const vsensor::VirtualSensor& sensor,
-                      const StreamElement& element);
+  /// Consumes one pipeline trigger's output batch: single-lock table
+  /// insert, local chaining, persistence, notification fan-out, one
+  /// continuous-query evaluation pass, and per-element signed remote
+  /// delivery.
+  void OnSensorBatch(const vsensor::VirtualSensor& sensor,
+                     const std::vector<StreamElement>& batch);
 
   /// System catalog exposed to SQL: virtual tables describing the
   /// container itself, falling back to the sensor output tables.

@@ -20,6 +20,14 @@ void LocalStreamWrapper::Push(StreamElement element) {
   ++received_;
 }
 
+void LocalStreamWrapper::PushBatch(const std::vector<StreamElement>& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const StreamElement& element : batch) {
+    queue_.push_back(element);
+  }
+  received_ += static_cast<int64_t>(batch.size());
+}
+
 void LocalStreamWrapper::MarkProducerGone() {
   std::lock_guard<std::mutex> lock(mu_);
   producer_gone_ = true;

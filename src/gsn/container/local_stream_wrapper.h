@@ -30,6 +30,8 @@ class LocalStreamWrapper : public wrappers::Wrapper {
 
   /// Called from the producer's output listener.
   void Push(StreamElement element);
+  /// Enqueues a whole output batch under one lock acquisition.
+  void PushBatch(const std::vector<StreamElement>& batch);
   /// After the producer is undeployed the wrapper keeps draining its
   /// queue but receives nothing new.
   void MarkProducerGone();

@@ -109,14 +109,22 @@ size_t NotificationManager::NumSubscriptions() const {
 int NotificationManager::OnElement(const std::string& sensor_name,
                                    const Schema& element_schema,
                                    const StreamElement& element) {
-  // Collect matching subscriptions under the lock, evaluate and deliver
-  // outside it (channels may be slow or re-entrant).
+  return OnBatch(sensor_name, element_schema, {element});
+}
+
+int NotificationManager::OnBatch(const std::string& sensor_name,
+                                 const Schema& element_schema,
+                                 const std::vector<StreamElement>& batch) {
+  if (batch.empty()) return 0;
+  // Collect matching subscriptions under the lock once per batch,
+  // evaluate and deliver outside it (channels may be slow or
+  // re-entrant).
   struct Pending {
     const sql::SelectStmt* condition;
     std::shared_ptr<NotificationChannel> channel;
   };
   std::vector<Pending> pending;
-  elements_seen_->Increment();
+  elements_seen_->Increment(static_cast<int64_t>(batch.size()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [id, sub] : subscriptions_) {
@@ -128,40 +136,44 @@ int NotificationManager::OnElement(const std::string& sensor_name,
     }
   }
   if (pending.empty()) return 0;
-  telemetry::Span trace_span(tracer_, "notify.fanout", element.trace);
-  trace_span.set_sensor(sensor_name);
-  telemetry::SpanTimer fanout_span(telemetry::SteadyClock::Instance(),
-                                   fanout_micros_.get());
-
-  // One-row relation exposing the element (and its timestamp) to the
-  // condition expressions.
-  Relation element_rel =
-      Relation::FromElements(element_schema, {element});
-  sql::MapResolver resolver;
-  resolver.Put("element", std::move(element_rel));
-  sql::Executor exec(&resolver);
 
   int delivered = 0;
-  for (const Pending& p : pending) {
-    bool fire = true;
-    if (p.condition != nullptr) {
-      Result<Relation> match = exec.Execute(*p.condition);
-      if (!match.ok()) {
-        condition_errors_->Increment();
-        trace_span.set_error();
-        continue;
+  for (const StreamElement& element : batch) {
+    telemetry::Span trace_span(tracer_, "notify.fanout", element.trace);
+    trace_span.set_sensor(sensor_name);
+    telemetry::SpanTimer fanout_span(telemetry::SteadyClock::Instance(),
+                                     fanout_micros_.get());
+
+    // One-row relation exposing the element (and its timestamp) to the
+    // condition expressions.
+    Relation element_rel = Relation::FromElements(element_schema, {element});
+    sql::MapResolver resolver;
+    resolver.Put("element", std::move(element_rel));
+    sql::Executor exec(&resolver);
+
+    int element_delivered = 0;
+    for (const Pending& p : pending) {
+      bool fire = true;
+      if (p.condition != nullptr) {
+        Result<Relation> match = exec.Execute(*p.condition);
+        if (!match.ok()) {
+          condition_errors_->Increment();
+          trace_span.set_error();
+          continue;
+        }
+        fire = !match->empty();
       }
-      fire = !match->empty();
+      if (!fire) continue;
+      Notification n;
+      n.sensor_name = sensor_name;
+      n.schema = element_schema;
+      n.element = element;
+      p.channel->Deliver(n);
+      ++element_delivered;
     }
-    if (!fire) continue;
-    Notification n;
-    n.sensor_name = sensor_name;
-    n.schema = element_schema;
-    n.element = element;
-    p.channel->Deliver(n);
-    ++delivered;
+    delivered_->Increment(element_delivered);
+    delivered += element_delivered;
   }
-  delivered_->Increment(delivered);
   return delivered;
 }
 

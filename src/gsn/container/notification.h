@@ -110,6 +110,13 @@ class NotificationManager {
   int OnElement(const std::string& sensor_name, const Schema& element_schema,
                 const StreamElement& element);
 
+  /// Batch variant: one subscription snapshot for the whole batch,
+  /// then per-element condition evaluation and delivery in batch
+  /// order — deliveries are identical to calling OnElement once per
+  /// element. Returns the number delivered across the batch.
+  int OnBatch(const std::string& sensor_name, const Schema& element_schema,
+              const std::vector<StreamElement>& batch);
+
   /// Point-in-time view assembled from the registered metrics (kept as
   /// the pre-telemetry API).
   struct Stats {

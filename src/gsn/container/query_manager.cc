@@ -82,6 +82,9 @@ QueryManager::QueryManager(const sql::TableResolver* resolver,
       "gsn_query_cache_hits_total", {}, "Prepared-statement cache hits");
   metrics_.cache_misses = registry->GetCounter(
       "gsn_query_cache_misses_total", {}, "Prepared-statement cache misses");
+  metrics_.cache_evictions = registry->GetCounter(
+      "gsn_query_cache_evictions_total", {},
+      "Prepared statements evicted by the cache's LRU bound");
   metrics_.continuous_runs = registry->GetCounter(
       "gsn_continuous_runs_total", {},
       "Continuous query re-executions triggered by new elements");
@@ -139,6 +142,14 @@ void QueryManager::MaybeLogSlow(const std::string& sql_text,
   slow_log_.push_back(std::move(entry));
 }
 
+void QueryManager::EvictCacheLocked() {
+  while (cache_.size() > cache_capacity_ && !lru_.empty()) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+    metrics_.cache_evictions->Increment();
+  }
+}
+
 Result<std::shared_ptr<sql::SelectStmt>> QueryManager::Prepare(
     const std::string& sql_text) {
   {
@@ -147,7 +158,8 @@ Result<std::shared_ptr<sql::SelectStmt>> QueryManager::Prepare(
       auto it = cache_.find(sql_text);
       if (it != cache_.end()) {
         metrics_.cache_hits->Increment();
-        return it->second;
+        lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+        return it->second->second;
       }
       metrics_.cache_misses->Increment();
     }
@@ -164,7 +176,18 @@ Result<std::shared_ptr<sql::SelectStmt>> QueryManager::Prepare(
   if (!parsed.ok()) return parsed.status();
   std::shared_ptr<sql::SelectStmt> stmt = *std::move(parsed);
   std::lock_guard<std::mutex> lock(mu_);
-  if (cache_enabled_) cache_[sql_text] = stmt;
+  if (cache_enabled_) {
+    auto it = cache_.find(sql_text);
+    if (it != cache_.end()) {
+      // Raced with another Prepare of the same text; keep the existing
+      // entry (continuous registrations may already share it).
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    lru_.emplace_front(sql_text, stmt);
+    cache_[sql_text] = lru_.begin();
+    EvictCacheLocked();
+  }
   return stmt;
 }
 
@@ -288,15 +311,50 @@ int QueryManager::OnNewElement(const std::string& sensor_name,
   return ran;
 }
 
+int QueryManager::OnNewElementBatch(const std::string& sensor_name,
+                                    const std::vector<StreamElement>& batch) {
+  if (batch.empty()) return 0;
+  TraceContext trace;
+  for (const StreamElement& e : batch) {
+    if (e.trace.valid()) {
+      trace = e.trace;
+      break;
+    }
+  }
+  // The batch is fully inserted into the sensor's table by the time the
+  // container invokes us, so one run per affected query sees the same
+  // table state as the last of N per-element runs.
+  return OnNewElement(sensor_name, trace);
+}
+
 void QueryManager::set_cache_enabled(bool enabled) {
   std::lock_guard<std::mutex> lock(mu_);
   cache_enabled_ = enabled;
-  if (!enabled) cache_.clear();
+  if (!enabled) {
+    cache_.clear();
+    lru_.clear();
+  }
 }
 
 bool QueryManager::cache_enabled() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_enabled_;
+}
+
+void QueryManager::set_cache_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_capacity_ = capacity;
+  EvictCacheLocked();
+}
+
+size_t QueryManager::cache_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_capacity_;
+}
+
+size_t QueryManager::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
 }
 
 QueryManager::Stats QueryManager::stats() const {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -70,10 +71,24 @@ class QueryManager {
   int OnNewElement(const std::string& sensor_name,
                    const TraceContext& trace = TraceContext());
 
+  /// Batch variant: continuous queries read the sensor's stored table,
+  /// so after a batch of elements is fully inserted one re-execution
+  /// per affected query yields exactly the result the last per-element
+  /// re-execution would have — N-1 intermediate runs are skipped. The
+  /// runs continue the trace of the first traced element in the batch.
+  int OnNewElementBatch(const std::string& sensor_name,
+                        const std::vector<StreamElement>& batch);
+
   /// Prepared-statement cache switch (ablation: the paper attributes
   /// part of Fig 4's latency to "the cost of query compiling").
   void set_cache_enabled(bool enabled);
   bool cache_enabled() const;
+
+  /// Bounds the prepared-statement cache (LRU eviction; counted in
+  /// gsn_query_cache_evictions_total). Shrinking evicts immediately.
+  void set_cache_capacity(size_t capacity);
+  size_t cache_capacity() const;
+  size_t cache_size() const;
 
   /// Slow-query log: one-shot and continuous executions taking at least
   /// `threshold_micros` are logged at WARN with their SQL text and
@@ -160,6 +175,7 @@ class QueryManager {
     std::shared_ptr<telemetry::Counter> executed;
     std::shared_ptr<telemetry::Counter> cache_hits;
     std::shared_ptr<telemetry::Counter> cache_misses;
+    std::shared_ptr<telemetry::Counter> cache_evictions;
     std::shared_ptr<telemetry::Counter> continuous_runs;
     std::shared_ptr<telemetry::Counter> slow_queries;
     std::shared_ptr<telemetry::Histogram> parse_micros;
@@ -174,9 +190,23 @@ class QueryManager {
   std::atomic<int64_t> slow_query_micros_{0};
   std::atomic<telemetry::Tracer*> tracer_{nullptr};
 
+  /// Default prepared-statement cache bound: large enough for every
+  /// deployed sensor's queries plus a working set of ad-hoc clients,
+  /// small enough that a scan of distinct query texts (Fig 4's random
+  /// workload) cannot grow the cache without limit.
+  static constexpr size_t kDefaultCacheCapacity = 256;
+
+  /// Evicts LRU entries until the cache fits `cache_capacity_`.
+  void EvictCacheLocked();
+
   mutable std::mutex mu_;
   bool cache_enabled_ = true;
-  std::map<std::string, std::shared_ptr<sql::SelectStmt>> cache_;
+  /// LRU prepared-statement cache: most recently used at the front of
+  /// `lru_`; `cache_` indexes list nodes by query text.
+  using LruList = std::list<std::pair<std::string, std::shared_ptr<sql::SelectStmt>>>;
+  LruList lru_;
+  std::map<std::string, LruList::iterator> cache_;
+  size_t cache_capacity_ = kDefaultCacheCapacity;
   std::map<int64_t, ContinuousQuery> continuous_;
   std::deque<SlowQueryEntry> slow_log_;
   int64_t next_id_ = 1;

@@ -678,7 +678,7 @@ struct ValueLess {
 /// Computes one aggregate over the rows of a group.
 Result<Value> ComputeAggregate(const Evaluator& eval, const Expr& agg,
                                const Schema& schema,
-                               const std::vector<const Relation::Row*>& rows,
+                               const Relation::RowList& rows,
                                const RowBinding* outer) {
   const std::string& fn = agg.function;
   if (fn == "COUNT" && !agg.children.empty() &&
@@ -691,8 +691,8 @@ Result<Value> ComputeAggregate(const Evaluator& eval, const Expr& agg,
   // Gather non-NULL argument values.
   std::vector<Value> values;
   values.reserve(rows.size());
-  for (const Relation::Row* row : rows) {
-    RowBinding binding{&schema, row, outer, nullptr};
+  for (const Relation::SharedRow& row : rows) {
+    RowBinding binding{&schema, row.get(), outer, nullptr};
     GSN_ASSIGN_OR_RETURN(Value v, eval.Eval(*agg.children[0], binding));
     if (!v.is_null()) values.push_back(std::move(v));
   }
@@ -1029,7 +1029,7 @@ Result<Relation> HashJoin(const Evaluator& eval, const TableRef& ref,
               ResidualPasses(eval, residual, combined, joined, outer));
           if (keep) {
             matched = true;
-            out.mutable_rows().push_back(std::move(joined));
+            out.AppendRow(std::move(joined));
           }
         }
       }
@@ -1037,7 +1037,7 @@ Result<Relation> HashJoin(const Evaluator& eval, const TableRef& ref,
     if (!matched && ref.join_type == TableRef::JoinType::kLeft) {
       Relation::Row padded = lrow;
       padded.resize(combined.size(), Value::Null());
-      out.mutable_rows().push_back(std::move(padded));
+      out.AppendRow(std::move(padded));
     }
   }
   return out;
@@ -1113,13 +1113,13 @@ Result<Relation> EvalJoin(const TableResolver* resolver, const TableRef& ref,
       }
       if (keep) {
         matched = true;
-        out.mutable_rows().push_back(std::move(joined));
+        out.AppendRow(std::move(joined));
       }
     }
     if (!matched && ref.join_type == TableRef::JoinType::kLeft) {
       Relation::Row padded = lrow;
       padded.resize(combined.size(), Value::Null());
-      out.mutable_rows().push_back(std::move(padded));
+      out.AppendRow(std::move(padded));
     }
   }
   if (t_analyze != nullptr) {
@@ -1144,7 +1144,7 @@ Result<Relation> EvalTableRef(const TableResolver* resolver,
       const std::string alias =
           ref.alias.empty() ? StrToLower(ref.table_name) : ref.alias;
       Relation scanned(QualifySchema(rel.schema(), alias),
-                       std::move(rel.mutable_rows()));
+                       std::move(rel.mutable_shared_rows()));
       if (t_analyze != nullptr) {
         t_analyze->Add(&ref, AnalyzeCollector::Op::kScan,
                        static_cast<int64_t>(scanned.NumRows()),
@@ -1158,7 +1158,7 @@ Result<Relation> EvalTableRef(const TableResolver* resolver,
       GSN_ASSIGN_OR_RETURN(Relation rel,
                            ExecuteStmt(resolver, *ref.subquery, outer));
       Relation derived(QualifySchema(rel.schema(), ref.alias),
-                       std::move(rel.mutable_rows()));
+                       std::move(rel.mutable_shared_rows()));
       if (t_analyze != nullptr) {
         t_analyze->Add(&ref, AnalyzeCollector::Op::kScan,
                        static_cast<int64_t>(derived.NumRows()),
@@ -1178,7 +1178,7 @@ Result<Relation> EvalFrom(const TableResolver* resolver,
   if (stmt.from.empty()) {
     // SELECT without FROM: one empty row.
     Relation rel{Schema()};
-    rel.mutable_rows().push_back({});
+    rel.AppendRow({});
     return rel;
   }
   GSN_ASSIGN_OR_RETURN(Relation acc,
@@ -1198,7 +1198,7 @@ Result<Relation> EvalFrom(const TableResolver* resolver,
       for (const auto& rrow : next.rows()) {
         Relation::Row joined = lrow;
         joined.insert(joined.end(), rrow.begin(), rrow.end());
-        out.mutable_rows().push_back(std::move(joined));
+        out.AppendRow(std::move(joined));
       }
     }
     acc = std::move(out);
@@ -1212,7 +1212,7 @@ Result<Relation> EvalFrom(const TableResolver* resolver,
 struct CoreResult {
   Relation projected;
   Schema source_schema;
-  std::vector<Relation::Row> source_rows;  // parallel to projected rows
+  Relation::RowList source_rows;  // parallel to projected rows
 };
 
 bool IsAggregateQuery(const SelectStmt& stmt) {
@@ -1231,18 +1231,19 @@ Result<CoreResult> ExecuteCore(const TableResolver* resolver,
   GSN_ASSIGN_OR_RETURN(Relation input, EvalFrom(resolver, stmt, outer));
   const Schema& in_schema = input.schema();
 
-  // WHERE.
-  std::vector<const Relation::Row*> rows;
+  // WHERE. Surviving rows are shared with the input relation.
+  Relation::RowList rows;
   rows.reserve(input.NumRows());
-  for (const auto& row : input.rows()) {
+  for (size_t i = 0; i < input.NumRows(); ++i) {
     if (stmt.where) {
+      const Relation::Row& row = input.row(i);
       RowBinding binding{&in_schema, &row, outer, nullptr};
       GSN_ASSIGN_OR_RETURN(Value v, eval.Eval(*stmt.where, binding));
       if (v.is_null()) continue;
       GSN_ASSIGN_OR_RETURN(Value b, v.CastTo(DataType::kBool));
       if (!b.bool_value()) continue;
     }
-    rows.push_back(&row);
+    rows.push_back(input.shared_row(i));
   }
   if (t_analyze != nullptr && stmt.where != nullptr) {
     t_analyze->Add(&stmt, AnalyzeCollector::Op::kFilter,
@@ -1278,12 +1279,13 @@ Result<CoreResult> ExecuteCore(const TableResolver* resolver,
   result.source_schema = in_schema;
 
   // Projection of a single logical row (with optional aggregate env).
+  // The source row is kept by ref-count bump, not copied.
   auto project_row =
-      [&](const Relation::Row& src,
+      [&](const Relation::SharedRow& src,
           const std::map<const Expr*, Value>* agg_env) -> Status {
     Relation::Row out_row;
     out_row.reserve(out_schema.size());
-    RowBinding binding{&in_schema, &src, outer, agg_env};
+    RowBinding binding{&in_schema, src.get(), outer, agg_env};
     for (const SelectItem& item : stmt.items) {
       if (item.is_star) {
         for (size_t i = 0; i < in_schema.size(); ++i) {
@@ -1293,21 +1295,21 @@ Result<CoreResult> ExecuteCore(const TableResolver* resolver,
               !StrEqualsIgnoreCase(fq, item.star_qualifier)) {
             continue;
           }
-          out_row.push_back(src[i]);
+          out_row.push_back((*src)[i]);
         }
       } else {
         GSN_ASSIGN_OR_RETURN(Value v, eval.Eval(*item.expr, binding));
         out_row.push_back(std::move(v));
       }
     }
-    result.projected.mutable_rows().push_back(std::move(out_row));
+    result.projected.AppendRow(std::move(out_row));
     result.source_rows.push_back(src);
     return Status::OK();
   };
 
   if (!IsAggregateQuery(stmt)) {
-    for (const Relation::Row* row : rows) {
-      GSN_RETURN_IF_ERROR(project_row(*row, nullptr));
+    for (const Relation::SharedRow& row : rows) {
+      GSN_RETURN_IF_ERROR(project_row(row, nullptr));
     }
   } else {
     // Collect aggregate expressions from items, HAVING, and ORDER BY.
@@ -1321,14 +1323,12 @@ Result<CoreResult> ExecuteCore(const TableResolver* resolver,
     }
 
     // Group rows.
-    std::map<std::vector<Value>, std::vector<const Relation::Row*>,
-             ValueVectorLess>
-        groups;
+    std::map<std::vector<Value>, Relation::RowList, ValueVectorLess> groups;
     if (stmt.group_by.empty()) {
       groups[{}] = rows;  // single group (possibly empty)
     } else {
-      for (const Relation::Row* row : rows) {
-        RowBinding binding{&in_schema, row, outer, nullptr};
+      for (const Relation::SharedRow& row : rows) {
+        RowBinding binding{&in_schema, row.get(), outer, nullptr};
         std::vector<Value> key;
         key.reserve(stmt.group_by.size());
         for (const auto& g : stmt.group_by) {
@@ -1343,7 +1343,8 @@ Result<CoreResult> ExecuteCore(const TableResolver* resolver,
                      static_cast<int64_t>(groups.size()), 0);
     }
 
-    const Relation::Row empty_row(in_schema.size(), Value::Null());
+    const Relation::SharedRow empty_row =
+        Relation::MakeRow(Relation::Row(in_schema.size(), Value::Null()));
     for (const auto& [key, group_rows] : groups) {
       std::map<const Expr*, Value> agg_env;
       for (const Expr* agg : aggs) {
@@ -1352,10 +1353,10 @@ Result<CoreResult> ExecuteCore(const TableResolver* resolver,
             ComputeAggregate(eval, *agg, in_schema, group_rows, outer));
         agg_env[agg] = std::move(v);
       }
-      const Relation::Row& rep =
-          group_rows.empty() ? empty_row : *group_rows.front();
+      const Relation::SharedRow& rep =
+          group_rows.empty() ? empty_row : group_rows.front();
       if (stmt.having) {
-        RowBinding binding{&in_schema, &rep, outer, &agg_env};
+        RowBinding binding{&in_schema, rep.get(), outer, &agg_env};
         GSN_ASSIGN_OR_RETURN(Value v, eval.Eval(*stmt.having, binding));
         if (v.is_null()) continue;
         GSN_ASSIGN_OR_RETURN(Value b, v.CastTo(DataType::kBool));
@@ -1374,11 +1375,11 @@ Result<CoreResult> ExecuteCore(const TableResolver* resolver,
   if (stmt.distinct) {
     std::set<std::vector<Value>, ValueVectorLess> seen;
     Relation deduped(result.projected.schema());
-    std::vector<Relation::Row> deduped_src;
+    Relation::RowList deduped_src;
     for (size_t i = 0; i < result.projected.NumRows(); ++i) {
-      const auto& row = result.projected.rows()[i];
+      const auto& row = result.projected.row(i);
       if (seen.insert(row).second) {
-        deduped.mutable_rows().push_back(row);
+        deduped.AppendSharedRow(result.projected.shared_row(i));
         deduped_src.push_back(result.source_rows[i]);
       }
     }
@@ -1423,7 +1424,7 @@ Status ApplyOrderBy(const TableResolver* resolver, const SelectStmt& stmt,
     RowBinding src_binding;
     if (have_source) {
       src_binding.schema = &core->source_schema;
-      src_binding.row = &core->source_rows[i];
+      src_binding.row = core->source_rows[i].get();
       src_binding.outer = outer;
       proj_binding.outer = &src_binding;  // projected first, then source
     }
@@ -1447,9 +1448,9 @@ Status ApplyOrderBy(const TableResolver* resolver, const SelectStmt& stmt,
     return false;
   });
   Relation sorted(core->projected.schema());
-  std::vector<Relation::Row> sorted_src;
+  Relation::RowList sorted_src;
   for (size_t idx : order) {
-    sorted.mutable_rows().push_back(core->projected.rows()[idx]);
+    sorted.AppendSharedRow(core->projected.shared_row(idx));
     if (have_source) sorted_src.push_back(core->source_rows[idx]);
   }
   core->projected = std::move(sorted);
@@ -1462,10 +1463,10 @@ void ApplyLimitOffset(const SelectStmt& stmt, Relation* rel) {
   const int64_t offset = stmt.offset.value_or(0);
   const int64_t limit =
       stmt.limit.value_or(static_cast<int64_t>(rel->NumRows()));
-  std::vector<Relation::Row> out;
+  Relation::RowList out;
   for (int64_t i = offset;
        i < static_cast<int64_t>(rel->NumRows()) && i < offset + limit; ++i) {
-    out.push_back(rel->rows()[static_cast<size_t>(i)]);
+    out.push_back(rel->shared_row(static_cast<size_t>(i)));
   }
   *rel = Relation(rel->schema(), std::move(out));
 }
@@ -1477,19 +1478,23 @@ Result<Relation> ApplySetOp(SetOp op, Relation lhs, Relation rhs) {
   }
   switch (op) {
     case SetOp::kUnionAll: {
-      for (auto& row : rhs.mutable_rows()) {
-        lhs.mutable_rows().push_back(std::move(row));
+      for (auto& row : rhs.mutable_shared_rows()) {
+        lhs.AppendSharedRow(std::move(row));
       }
       return lhs;
     }
     case SetOp::kUnion: {
       std::set<std::vector<Value>, ValueVectorLess> seen;
       Relation out(lhs.schema());
-      for (const auto& row : lhs.rows()) {
-        if (seen.insert(row).second) out.mutable_rows().push_back(row);
+      for (size_t i = 0; i < lhs.NumRows(); ++i) {
+        if (seen.insert(lhs.row(i)).second) {
+          out.AppendSharedRow(lhs.shared_row(i));
+        }
       }
-      for (const auto& row : rhs.rows()) {
-        if (seen.insert(row).second) out.mutable_rows().push_back(row);
+      for (size_t i = 0; i < rhs.NumRows(); ++i) {
+        if (seen.insert(rhs.row(i)).second) {
+          out.AppendSharedRow(rhs.shared_row(i));
+        }
       }
       return out;
     }
@@ -1498,9 +1503,10 @@ Result<Relation> ApplySetOp(SetOp op, Relation lhs, Relation rhs) {
           rhs.rows().begin(), rhs.rows().end());
       std::set<std::vector<Value>, ValueVectorLess> emitted;
       Relation out(lhs.schema());
-      for (const auto& row : lhs.rows()) {
+      for (size_t i = 0; i < lhs.NumRows(); ++i) {
+        const auto& row = lhs.row(i);
         if (right_set.count(row) && emitted.insert(row).second) {
-          out.mutable_rows().push_back(row);
+          out.AppendSharedRow(lhs.shared_row(i));
         }
       }
       return out;
@@ -1510,9 +1516,10 @@ Result<Relation> ApplySetOp(SetOp op, Relation lhs, Relation rhs) {
           rhs.rows().begin(), rhs.rows().end());
       std::set<std::vector<Value>, ValueVectorLess> emitted;
       Relation out(lhs.schema());
-      for (const auto& row : lhs.rows()) {
+      for (size_t i = 0; i < lhs.NumRows(); ++i) {
+        const auto& row = lhs.row(i);
         if (!right_set.count(row) && emitted.insert(row).second) {
-          out.mutable_rows().push_back(row);
+          out.AppendSharedRow(lhs.shared_row(i));
         }
       }
       return out;

@@ -1,5 +1,7 @@
 #include "gsn/storage/table.h"
 
+#include <algorithm>
+
 namespace gsn::storage {
 
 Table::Table(std::string name, Schema element_schema, WindowSpec retention)
@@ -8,43 +10,48 @@ Table::Table(std::string name, Schema element_schema, WindowSpec retention)
       row_schema_(element_schema_.WithTimedField()),
       retention_(retention) {}
 
-Status Table::Insert(const StreamElement& element) {
+Status Table::InsertLocked(const StreamElement& element) {
   if (element.values.size() != element_schema_.size()) {
     return Status::InvalidArgument(
         "element arity " + std::to_string(element.values.size()) +
         " != schema arity " + std::to_string(element_schema_.size()) +
         " for table " + name_);
   }
-  Relation::Row row;
-  row.reserve(element.values.size() + 1);
-  row.push_back(Value::TimestampVal(element.timed));
-  size_t bytes = 8;
-  for (const Value& v : element.values) {
-    bytes += v.PayloadBytes();
-    row.push_back(v);
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  rows_.push_back(std::move(row));
-  approx_bytes_ += bytes;
+  Entry entry;
+  entry.timed = element.timed;
+  entry.bytes = 8 + element.PayloadBytes();
+  entry.row = Relation::RowFromElement(element);
+  if (!rows_.empty() && entry.timed < rows_.back().timed) sorted_ = false;
+  approx_bytes_ += entry.bytes;
+  rows_.push_back(std::move(entry));
   EvictLocked(element.timed);
+  if (rows_.empty()) sorted_ = true;
+  return Status::OK();
+}
+
+Status Table::Insert(const StreamElement& element) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InsertLocked(element);
+}
+
+Status Table::InsertBatch(const std::vector<StreamElement>& elements) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const StreamElement& element : elements) {
+    GSN_RETURN_IF_ERROR(InsertLocked(element));
+  }
   return Status::OK();
 }
 
 void Table::EvictLocked(Timestamp now) {
-  auto row_bytes = [](const Relation::Row& row) {
-    size_t b = 0;
-    for (const Value& v : row) b += v.PayloadBytes();
-    return b;
-  };
   if (retention_.kind == WindowSpec::Kind::kCount) {
     while (rows_.size() > static_cast<size_t>(retention_.count)) {
-      approx_bytes_ -= std::min(approx_bytes_, row_bytes(rows_.front()));
+      approx_bytes_ -= std::min(approx_bytes_, rows_.front().bytes);
       rows_.pop_front();
     }
   } else {
     const Timestamp cutoff = now - retention_.duration_micros;
-    while (!rows_.empty() && rows_.front()[0].timestamp_value() <= cutoff) {
-      approx_bytes_ -= std::min(approx_bytes_, row_bytes(rows_.front()));
+    while (!rows_.empty() && rows_.front().timed <= cutoff) {
+      approx_bytes_ -= std::min(approx_bytes_, rows_.front().bytes);
       rows_.pop_front();
     }
   }
@@ -52,23 +59,33 @@ void Table::EvictLocked(Timestamp now) {
 
 Relation Table::Scan() const {
   std::lock_guard<std::mutex> lock(mu_);
-  Relation rel(row_schema_);
-  rel.mutable_rows().assign(rows_.begin(), rows_.end());
-  return rel;
+  Relation::RowList rows;
+  rows.reserve(rows_.size());
+  for (const Entry& e : rows_) rows.push_back(e.row);
+  return Relation(row_schema_, std::move(rows));
 }
 
 Relation Table::Scan(Timestamp now) const {
   std::lock_guard<std::mutex> lock(mu_);
-  Relation rel(row_schema_);
+  Relation::RowList rows;
   if (retention_.kind == WindowSpec::Kind::kCount) {
-    rel.mutable_rows().assign(rows_.begin(), rows_.end());
-    return rel;
+    rows.reserve(rows_.size());
+    for (const Entry& e : rows_) rows.push_back(e.row);
+    return Relation(row_schema_, std::move(rows));
   }
   const Timestamp cutoff = now - retention_.duration_micros;
-  for (const auto& row : rows_) {
-    if (row[0].timestamp_value() > cutoff) rel.mutable_rows().push_back(row);
+  if (sorted_) {
+    auto first = std::partition_point(
+        rows_.begin(), rows_.end(),
+        [cutoff](const Entry& e) { return e.timed <= cutoff; });
+    rows.reserve(static_cast<size_t>(rows_.end() - first));
+    for (auto it = first; it != rows_.end(); ++it) rows.push_back(it->row);
+  } else {
+    for (const Entry& e : rows_) {
+      if (e.timed > cutoff) rows.push_back(e.row);
+    }
   }
-  return rel;
+  return Relation(row_schema_, std::move(rows));
 }
 
 size_t Table::NumRows() const {
@@ -85,6 +102,7 @@ void Table::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   rows_.clear();
   approx_bytes_ = 0;
+  sorted_ = true;
 }
 
 Result<Table*> TableManager::CreateTable(const std::string& name,

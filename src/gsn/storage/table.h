@@ -39,9 +39,17 @@ class Table {
   /// timestamp as "now".
   Status Insert(const StreamElement& element);
 
-  /// Snapshot of all live rows as a Relation (oldest first).
+  /// Appends a batch of elements under one lock acquisition. Stops at
+  /// the first arity mismatch and returns that error; earlier elements
+  /// stay inserted.
+  Status InsertBatch(const std::vector<StreamElement>& elements);
+
+  /// Snapshot of all live rows as a Relation (oldest first). Rows are
+  /// shared with the table (ref-count bump, no Value copies).
   Relation Scan() const;
-  /// Snapshot respecting time-retention relative to `now`.
+  /// Snapshot respecting time-retention relative to `now`. Rows are
+  /// timestamp-ordered (retention eviction uses each element's own
+  /// timestamp), so the boundary is found by binary search.
   Relation Scan(Timestamp now) const;
 
   size_t NumRows() const;
@@ -50,6 +58,13 @@ class Table {
   void Clear();
 
  private:
+  struct Entry {
+    Timestamp timed = 0;
+    size_t bytes = 0;
+    Relation::SharedRow row;
+  };
+
+  Status InsertLocked(const StreamElement& element);
   void EvictLocked(Timestamp now);
 
   const std::string name_;
@@ -58,8 +73,11 @@ class Table {
   const WindowSpec retention_;
 
   mutable std::mutex mu_;
-  std::deque<Relation::Row> rows_;
+  std::deque<Entry> rows_;
   size_t approx_bytes_ = 0;
+  /// True while rows_ is non-decreasing in timed; gates the
+  /// binary-search Scan(now) path.
+  bool sorted_ = true;
 };
 
 /// Catalog of tables inside one GSN container; implements TableResolver

@@ -1,50 +1,100 @@
 #include "gsn/storage/window_buffer.h"
 
+#include <algorithm>
+
 namespace gsn::storage {
 
 void WindowBuffer::Add(StreamElement element) {
   std::lock_guard<std::mutex> lock(mu_);
   const Timestamp now = element.timed;
-  elements_.push_back(std::move(element));
+  if (!entries_.empty() && element.timed < entries_.back().timed) {
+    sorted_ = false;
+  }
+  Entry entry;
+  entry.timed = element.timed;
+  entry.trace = element.trace;
+  entry.row = Relation::RowFromElement(element);
+  entries_.push_back(std::move(entry));
   EvictLocked(now);
+  // Eviction runs after the push, so "drained" means only the element
+  // just admitted survives — a one-element buffer is trivially sorted.
+  if (entries_.size() <= 1) sorted_ = true;
 }
 
 void WindowBuffer::EvictLocked(Timestamp now) {
   if (spec_.kind == WindowSpec::Kind::kCount) {
-    while (elements_.size() > static_cast<size_t>(spec_.count)) {
-      elements_.pop_front();
+    while (entries_.size() > static_cast<size_t>(spec_.count)) {
+      entries_.pop_front();
     }
   } else {
     const Timestamp cutoff = now - spec_.duration_micros;
-    while (!elements_.empty() && elements_.front().timed <= cutoff) {
-      elements_.pop_front();
+    while (!entries_.empty() && entries_.front().timed <= cutoff) {
+      entries_.pop_front();
     }
   }
+}
+
+Relation::RowList WindowBuffer::SnapshotRowsLocked(Timestamp now) const {
+  Relation::RowList out;
+  if (spec_.kind == WindowSpec::Kind::kCount) {
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.row);
+    return out;
+  }
+  const Timestamp cutoff = now - spec_.duration_micros;
+  if (sorted_) {
+    // Timestamps are non-decreasing: the live window is the suffix of
+    // entries with timed > cutoff, found by binary search.
+    auto first = std::partition_point(
+        entries_.begin(), entries_.end(),
+        [cutoff](const Entry& e) { return e.timed <= cutoff; });
+    out.reserve(static_cast<size_t>(entries_.end() - first));
+    for (auto it = first; it != entries_.end(); ++it) out.push_back(it->row);
+    return out;
+  }
+  for (const Entry& e : entries_) {
+    if (e.timed > cutoff) out.push_back(e.row);
+  }
+  return out;
+}
+
+Relation::RowList WindowBuffer::SnapshotRows(Timestamp now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotRowsLocked(now);
+}
+
+Relation WindowBuffer::SnapshotRelation(Timestamp now,
+                                        const Schema& element_schema) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Relation(element_schema.WithTimedField(), SnapshotRowsLocked(now));
 }
 
 std::vector<StreamElement> WindowBuffer::Snapshot(Timestamp now) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<StreamElement> out;
-  out.reserve(elements_.size());
-  if (spec_.kind == WindowSpec::Kind::kCount) {
-    out.assign(elements_.begin(), elements_.end());
-    return out;
-  }
+  out.reserve(entries_.size());
   const Timestamp cutoff = now - spec_.duration_micros;
-  for (const StreamElement& e : elements_) {
-    if (e.timed > cutoff) out.push_back(e);
+  for (const Entry& e : entries_) {
+    if (spec_.kind == WindowSpec::Kind::kTime && e.timed <= cutoff) continue;
+    StreamElement element;
+    element.timed = e.timed;
+    element.trace = e.trace;
+    // Stored rows are [timed, values...]; strip the implicit column.
+    element.values.assign(e.row->begin() + 1, e.row->end());
+    out.push_back(std::move(element));
   }
   return out;
 }
 
 size_t WindowBuffer::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return elements_.size();
+  return entries_.size();
 }
 
 void WindowBuffer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  elements_.clear();
+  entries_.clear();
+  sorted_ = true;
 }
 
 }  // namespace gsn::storage

@@ -20,6 +20,15 @@ namespace gsn::storage {
 ///   (and eagerly on Add, using the new element's timestamp), so the
 ///   buffer works identically under virtual and wall-clock time.
 ///
+/// Each admitted element is materialized once into a shared row
+/// ([timed, values...]); SnapshotRelation() then hands the SQL layer a
+/// Relation whose rows are ref-count bumps of the buffered ones, so a
+/// snapshot costs O(window) pointer copies instead of a deep copy of
+/// every Value. While elements arrive in non-decreasing timestamp
+/// order (the common case — sources admit in arrival order) the time
+/// window boundary is found by binary search; an out-of-order Add
+/// downgrades snapshots to a linear filter until the buffer drains.
+///
 /// Thread-safe.
 class WindowBuffer {
  public:
@@ -29,14 +38,22 @@ class WindowBuffer {
   WindowBuffer& operator=(const WindowBuffer&) = delete;
 
   /// Inserts an element. Elements are expected in non-decreasing
-  /// timestamp order (the input stream manager guarantees arrival
-  /// order); out-of-order elements are accepted but expire based on
-  /// their own timestamps.
+  /// timestamp order; out-of-order elements are accepted but expire
+  /// based on their own timestamps.
   void Add(StreamElement element);
 
   /// Contents of the window as of `now` (oldest first). For count
-  /// windows `now` is ignored.
+  /// windows `now` is ignored. Reconstructs elements from the stored
+  /// rows; prefer SnapshotRelation() on hot paths.
   std::vector<StreamElement> Snapshot(Timestamp now) const;
+
+  /// The window contents as shared rows ([timed, values...], oldest
+  /// first) — a ref-count bump per row, no Value copies.
+  Relation::RowList SnapshotRows(Timestamp now) const;
+
+  /// The window contents as a Relation over `element_schema` prefixed
+  /// by `timed`, sharing the buffered rows.
+  Relation SnapshotRelation(Timestamp now, const Schema& element_schema) const;
 
   /// Number of elements currently buffered (before lazy time expiry).
   size_t size() const;
@@ -45,11 +62,21 @@ class WindowBuffer {
   const WindowSpec& spec() const { return spec_; }
 
  private:
+  struct Entry {
+    Timestamp timed = 0;
+    TraceContext trace;
+    Relation::SharedRow row;
+  };
+
   void EvictLocked(Timestamp now);
+  Relation::RowList SnapshotRowsLocked(Timestamp now) const;
 
   WindowSpec spec_;
   mutable std::mutex mu_;
-  std::deque<StreamElement> elements_;
+  std::deque<Entry> entries_;
+  /// True while entries_ is non-decreasing in timed; gates the
+  /// binary-search snapshot path.
+  bool sorted_ = true;
 };
 
 }  // namespace gsn::storage

@@ -37,14 +37,39 @@ std::string Schema::ToString() const {
   return out;
 }
 
+Relation::Relation(Schema schema, std::vector<Row> rows)
+    : schema_(std::move(schema)) {
+  rows_.reserve(rows.size());
+  for (Row& row : rows) {
+    rows_.push_back(std::make_shared<Row>(std::move(row)));
+  }
+}
+
 Status Relation::AddRow(Row row) {
   if (row.size() != schema_.size()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != schema arity " +
         std::to_string(schema_.size()));
   }
-  rows_.push_back(std::move(row));
+  rows_.push_back(std::make_shared<Row>(std::move(row)));
   return Status::OK();
+}
+
+Relation::Row& Relation::MutableRow(size_t i) {
+  SharedRow& slot = rows_[i];
+  if (slot.use_count() != 1) {
+    slot = std::make_shared<Row>(*slot);
+  }
+  // The allocation is uniquely owned here, so dropping const is safe.
+  return const_cast<Row&>(*slot);
+}
+
+Relation::SharedRow Relation::RowFromElement(const StreamElement& e) {
+  Row row;
+  row.reserve(e.values.size() + 1);
+  row.push_back(Value::TimestampVal(e.timed));
+  for (const Value& v : e.values) row.push_back(v);
+  return std::make_shared<Row>(std::move(row));
 }
 
 Relation Relation::FromElements(const Schema& element_schema,
@@ -52,11 +77,7 @@ Relation Relation::FromElements(const Schema& element_schema,
   Relation rel(element_schema.WithTimedField());
   rel.rows_.reserve(elements.size());
   for (const StreamElement& e : elements) {
-    Row row;
-    row.reserve(e.values.size() + 1);
-    row.push_back(Value::TimestampVal(e.timed));
-    for (const Value& v : e.values) row.push_back(v);
-    rel.rows_.push_back(std::move(row));
+    rel.rows_.push_back(RowFromElement(e));
   }
   return rel;
 }
@@ -74,7 +95,8 @@ std::string Relation::ToString(size_t max_rows) const {
   }
   os << "\n";
   size_t shown = 0;
-  for (const Row& row : rows_) {
+  for (const SharedRow& shared : rows_) {
+    const Row& row = *shared;
     if (shown++ >= max_rows) {
       os << "... (" << rows_.size() - max_rows << " more rows)\n";
       break;

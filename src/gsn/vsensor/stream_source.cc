@@ -112,8 +112,8 @@ void StreamSource::StampTraces(std::vector<StreamElement>* admitted) {
 }
 
 Relation StreamSource::WindowRelation(Timestamp now) const {
-  return Relation::FromElements(wrapper_->output_schema(),
-                                window_.Snapshot(now));
+  // Shares the buffered rows (ref-count bump per row, no Value copies).
+  return window_.SnapshotRelation(now, wrapper_->output_schema());
 }
 
 void StreamSource::SetConnected(bool connected) {

@@ -49,6 +49,9 @@ VirtualSensor::VirtualSensor(
   metrics_.stage_window = stage_histogram("window_sql");
   metrics_.stage_stream_sql = stage_histogram("stream_sql");
   metrics_.stage_deliver = stage_histogram("deliver");
+  metrics_.batch_size = registry->GetHistogram(
+      "gsn_pipeline_batch_size", sensor_label,
+      "Stream elements admitted per pipeline trigger");
   streams_.resize(spec_.input_streams.size());
   for (size_t i = 0; i < spec_.input_streams.size(); ++i) {
     StreamRuntime& rt = streams_[i];
@@ -91,6 +94,11 @@ void VirtualSensor::AddListener(OutputListener listener) {
   listeners_.push_back(std::move(listener));
 }
 
+void VirtualSensor::AddBatchListener(BatchListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_listeners_.push_back(std::move(listener));
+}
+
 StreamSource* VirtualSensor::FindSource(const std::string& stream_name,
                                         const std::string& alias) {
   for (StreamRuntime& stream : streams_) {
@@ -124,20 +132,21 @@ Result<int> VirtualSensor::Tick(Timestamp now) {
     // (paper §3: "the production of a new output stream element ... is
     // always triggered by the arrival of a data stream element from
     // one of its input streams").
-    bool triggered = false;
     // The pipeline continues the trace of the first traced element
     // admitted this tick (one trigger = one pipeline run, even when a
     // batch arrives).
     TraceContext trigger_ctx;
+    size_t admitted_count = 0;
     for (auto& source : stream.sources) {
       GSN_ASSIGN_OR_RETURN(std::vector<StreamElement> admitted,
                            source->Poll(now));
-      if (!admitted.empty()) triggered = true;
+      admitted_count += admitted.size();
       for (const StreamElement& e : admitted) {
         if (!trigger_ctx.valid() && e.trace.valid()) trigger_ctx = e.trace;
       }
     }
-    if (!triggered) continue;
+    if (admitted_count == 0) continue;
+    metrics_.batch_size->Observe(static_cast<int64_t>(admitted_count));
 
     telemetry::Span pipeline(tracer_, "vsensor.pipeline", trigger_ctx);
     pipeline.set_sensor(spec_.name);
@@ -224,7 +233,8 @@ Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream, Timestamp now,
   deliver_stage.set_sensor(spec_.name);
   deliver_stage.set_node(node_);
   telemetry::SpanTimer deliver_span(span_clock_, metrics_.stage_deliver.get());
-  int produced = 0;
+  std::vector<StreamElement> outputs;
+  outputs.reserve(result.NumRows());
   for (const Relation::Row& row : result.rows()) {
     if (stream->spec->max_rate > 0) {
       if (stream->tokens < 1.0) {
@@ -238,17 +248,30 @@ Result<int> VirtualSensor::ProcessStream(StreamRuntime* stream, Timestamp now,
     // Consumers of this element (storage, notifications, remote
     // delivery) hang their spans off the pipeline span.
     element.trace = trace;
-    std::vector<OutputListener> listeners;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      listeners = listeners_;
-    }
+    outputs.push_back(std::move(element));
+  }
+
+  // One listener snapshot per trigger, not per element; per-element
+  // listeners still see each element individually (in order), batch
+  // listeners get the whole trigger's output in a single call.
+  std::vector<OutputListener> listeners;
+  std::vector<BatchListener> batch_listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners = listeners_;
+    batch_listeners = batch_listeners_;
+  }
+  for (const StreamElement& element : outputs) {
     for (const OutputListener& listener : listeners) {
       listener(*this, element);
     }
-    ++produced;
   }
-  return produced;
+  if (!outputs.empty()) {
+    for (const BatchListener& listener : batch_listeners) {
+      listener(*this, outputs);
+    }
+  }
+  return static_cast<int>(outputs.size());
 }
 
 Result<StreamElement> VirtualSensor::MapToOutput(const Schema& result_schema,

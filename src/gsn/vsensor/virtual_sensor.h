@@ -39,6 +39,14 @@ class VirtualSensor {
  public:
   using OutputListener =
       std::function<void(const VirtualSensor&, const StreamElement&)>;
+  /// Receives every output element of one pipeline run in a single
+  /// call, in production order. A batch listener sees exactly the
+  /// elements the per-element listeners see, but with one invocation
+  /// per trigger instead of one per element — consumers that take a
+  /// lock or fan out per call (storage insert, continuous queries)
+  /// amortize it over the batch.
+  using BatchListener = std::function<void(const VirtualSensor&,
+                                           const std::vector<StreamElement>&)>;
 
   /// `sources[i]` holds the running sources of `spec.input_streams[i]`,
   /// in the same order as the spec's sources. The sensor registers its
@@ -71,6 +79,8 @@ class VirtualSensor {
   /// consumers of the virtual sensor are notified of the new stream
   /// element").
   void AddListener(OutputListener listener);
+  /// Registers a per-trigger batch consumer (see BatchListener).
+  void AddBatchListener(BatchListener listener);
 
   const VirtualSensorSpec& spec() const { return spec_; }
   const std::string& name() const { return spec_.name; }
@@ -140,6 +150,9 @@ class VirtualSensor {
     std::shared_ptr<telemetry::Histogram> stage_window;
     std::shared_ptr<telemetry::Histogram> stage_stream_sql;
     std::shared_ptr<telemetry::Histogram> stage_deliver;
+    /// Elements admitted per pipeline trigger (how much each batched
+    /// run amortizes the per-trigger SQL cost).
+    std::shared_ptr<telemetry::Histogram> batch_size;
   };
 
   const VirtualSensorSpec spec_;
@@ -155,6 +168,7 @@ class VirtualSensor {
 
   mutable std::mutex mu_;
   std::vector<OutputListener> listeners_;
+  std::vector<BatchListener> batch_listeners_;
   bool missing_column_warned_ = false;
 };
 
