@@ -35,6 +35,38 @@ Container::Container(Options options)
   sensors_deployed_ = metrics_->GetGauge(
       "gsn_sensors_deployed", {{"node", options_.node_id}},
       "Virtual sensors currently deployed on this node");
+  const telemetry::Labels node_label = {{"node", options_.node_id}};
+  fed_retries_subscribe_ = metrics_->GetCounter(
+      "gsn_federation_retries_total",
+      {{"node", options_.node_id}, {"kind", "subscribe"}},
+      "Federation retry rounds by kind (subscribe/replay/publish)");
+  fed_retries_replay_ = metrics_->GetCounter(
+      "gsn_federation_retries_total",
+      {{"node", options_.node_id}, {"kind", "replay"}},
+      "Federation retry rounds by kind (subscribe/replay/publish)");
+  fed_retries_publish_ = metrics_->GetCounter(
+      "gsn_federation_retries_total",
+      {{"node", options_.node_id}, {"kind", "publish"}},
+      "Federation retry rounds by kind (subscribe/replay/publish)");
+  fed_gaps_ = metrics_->GetCounter(
+      "gsn_federation_gaps_total", node_label,
+      "Stream deliveries that arrived behind a sequence gap");
+  fed_dups_ = metrics_->GetCounter(
+      "gsn_federation_dups_total", node_label,
+      "Duplicate stream deliveries dropped by receiver-side dedup");
+  fed_replays_ = metrics_->GetCounter(
+      "gsn_federation_replays_total", node_label,
+      "Deliveries re-sent from replay buffers in response to NACKs");
+  fed_abandoned_ = metrics_->GetCounter(
+      "gsn_federation_abandoned_total", node_label,
+      "Missing sequences given up on after replay retries exhausted");
+  fed_failovers_ = metrics_->GetCounter(
+      "gsn_federation_failovers_total", node_label,
+      "Remote sources rebound to an alternative producer");
+  replay_bytes_ = metrics_->GetGauge(
+      "gsn_replay_buffer_bytes", node_label,
+      "Bytes currently held across producer-side replay buffers");
+  resilience_rng_ = Rng(options_.seed * 65537 + 17);
   wrappers::WrapperRegistry::RegisterBuiltins(&registry_);
   if (options_.network != nullptr) {
     const Status s = options_.network->RegisterNode(options_.node_id, this);
@@ -128,7 +160,7 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
     for (const vsensor::StreamSourceSpec& source_spec :
          spec.input_streams[i].sources) {
       Result<std::unique_ptr<wrappers::Wrapper>> wrapper =
-          MakeWrapperForSource(source_spec, &deployment);
+          MakeWrapperForSource(source_spec, key, &deployment);
       if (!wrapper.ok()) {
         drop_table();
         return wrapper.status();
@@ -172,13 +204,24 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
     sensors_deployed_->Set(static_cast<int64_t>(deployments_.size()));
   }
   PublishSensor(sensor->spec());
+  // Schedule the publish's retry rounds: a lost broadcast heals long
+  // before the next anti-entropy announcement.
+  if (options_.network != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PendingPublish pending;
+    pending.key = key;
+    pending.next_at =
+        now + options_.resilience.retry.BackoffForAttempt(1, &resilience_rng_);
+    pending_publishes_.push_back(std::move(pending));
+  }
   GSN_LOG(kInfo, "container")
       << options_.node_id << ": deployed '" << sensor->name() << "'";
   return sensor;
 }
 
 Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
-    const vsensor::StreamSourceSpec& source_spec, Deployment* deployment) {
+    const vsensor::StreamSourceSpec& source_spec,
+    const std::string& deployment_key, Deployment* deployment) {
   // wrapper="local": derive from another virtual sensor on this
   // container (paper §2: "a data stream derived from other virtual
   // sensors"). Predicates address the producer like a directory query,
@@ -222,8 +265,21 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
         "wrapper=\"remote\" requires the container to be attached to a "
         "network");
   }
-  const std::vector<DirectoryEntry> matches =
-      directory_.Discover(source_spec.address.predicates);
+  // retry-* predicates configure the subscription's retry policy; they
+  // are not part of the producer's identity, so strip them from the
+  // discovery query.
+  wrappers::WrapperConfig retry_config;
+  retry_config.instance_name = source_spec.alias;
+  retry_config.params = source_spec.address.predicates;
+  GSN_ASSIGN_OR_RETURN(
+      network::RetryPolicy retry_policy,
+      network::RetryPolicy::FromConfig(retry_config,
+                                       options_.resilience.retry));
+  std::map<std::string, std::string> query;
+  for (const auto& [k, v] : source_spec.address.predicates) {
+    if (k.rfind("retry-", 0) != 0) query[k] = v;
+  }
+  const std::vector<DirectoryEntry> matches = directory_.Discover(query);
   if (matches.empty()) {
     return Status::Unavailable(
         "no published virtual sensor matches the address predicates of "
@@ -231,27 +287,45 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
         source_spec.alias +
         "' (deploy the producer first, or check the predicates)");
   }
-  const DirectoryEntry& entry = matches.front();
+  const Timestamp now = options_.clock->NowMicros();
 
   std::string subscription_id;
+  const DirectoryEntry* entry = &matches.front();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Prefer a producer whose circuit allows traffic right now; fall
+    // back to the first match (subscribe retries take it from there).
+    for (const DirectoryEntry& candidate : matches) {
+      if (PeerAllowsSendLocked(candidate.node_id, now)) {
+        entry = &candidate;
+        break;
+      }
+    }
     subscription_id =
         options_.node_id + "#" + std::to_string(next_subscription_++);
   }
   network::SubscribeRequest request;
   request.subscription_id = subscription_id;
-  request.sensor_name = entry.sensor_name;
+  request.sensor_name = entry->sensor_name;
   request.subscriber_node = options_.node_id;
-  GSN_RETURN_IF_ERROR(options_.network->Send(
-      options_.clock->NowMicros(), options_.node_id, entry.node_id,
-      network::kTopicSubscribe, request.Encode()));
+  GSN_RETURN_IF_ERROR(options_.network->Send(now, options_.node_id,
+                                             entry->node_id,
+                                             network::kTopicSubscribe,
+                                             request.Encode()));
 
   auto wrapper = std::make_unique<RemoteStreamWrapper>(
-      entry.output_schema, entry.node_id, entry.sensor_name);
+      entry->output_schema, entry->node_id, entry->sensor_name);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    remote_wrappers_[subscription_id] = wrapper.get();
+    RemoteSubscription& sub = remote_subs_[subscription_id];
+    sub.wrapper = wrapper.get();
+    sub.deployment_key = deployment_key;
+    sub.peer_node = entry->node_id;
+    sub.predicates = std::move(query);
+    sub.retry = retry_policy;
+    sub.subscribe_attempts = 1;  // the send above
+    sub.next_subscribe_at =
+        now + sub.retry.BackoffForAttempt(1, &resilience_rng_);
   }
   deployment->subscription_ids.push_back(subscription_id);
   return std::unique_ptr<wrappers::Wrapper>(std::move(wrapper));
@@ -272,7 +346,7 @@ Status Container::Undeploy(const std::string& sensor_name,
     deployments_.erase(it);
     sensors_deployed_->Set(static_cast<int64_t>(deployments_.size()));
     for (const std::string& id : deployment.subscription_ids) {
-      remote_wrappers_.erase(id);
+      remote_subs_.erase(id);
     }
     // Detach this sensor's own local-source wrappers from producers.
     for (auto wit = local_wrappers_.begin(); wit != local_wrappers_.end();) {
@@ -368,6 +442,10 @@ Result<int> Container::Tick() {
   }
   if (announce) AnnounceAll();
 
+  // Federation resilience round: heartbeats, circuit breakers,
+  // subscribe/NACK/publish retries, tips, failover.
+  if (options_.network != nullptr) RunResilience(now);
+
   // Collect sensors and their pools under the lock; run outside it.
   struct Job {
     VirtualSensor* sensor;
@@ -424,11 +502,14 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
   const std::string& name = sensor.name();
 
   // Storage layer: the whole batch lands under one container lock and
-  // one table lock.
+  // one table lock. Remote deliveries are sequenced and buffered for
+  // replay under the same lock (sequence assignment must be atomic
+  // with the replay-buffer write), then sent after release.
   storage::PersistenceLog* log = nullptr;
-  std::vector<std::pair<std::string, std::string>> remote_targets;
+  std::vector<Outbound> remote_sends;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    const Timestamp send_now = options_.clock->NowMicros();
     auto it = deployments_.find(StrToLower(name));
     if (it != deployments_.end()) {
       if (it->second.table != nullptr) {
@@ -439,9 +520,36 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
       }
       log = it->second.log.get();
     }
-    for (const auto& [sub_id, subscriber] : subscribers_) {
-      if (StrEqualsIgnoreCase(subscriber.sensor_name, name)) {
-        remote_targets.emplace_back(sub_id, subscriber.subscriber_node);
+    if (options_.network != nullptr) {
+      for (auto& [sub_id, subscriber] : subscribers_) {
+        if (!StrEqualsIgnoreCase(subscriber.sensor_name, name)) continue;
+        // An open circuit pauses the sends but not the sequencing: the
+        // deliveries stay in the replay buffer, and the subscriber
+        // NACKs the gap once the peer heals.
+        const bool allowed =
+            PeerAllowsSendLocked(subscriber.subscriber_node, send_now);
+        for (const StreamElement& element : batch) {
+          network::StreamDelivery delivery;
+          delivery.subscription_id = sub_id;
+          delivery.sensor_name = name;
+          delivery.element = element;
+          delivery.signature = integrity_.Sign(name, element);
+          delivery.sequence = subscriber.next_seq++;
+          // One "remote.send" span per target; its context rides in
+          // the delivery (outside the signed payload) so the receiving
+          // node continues the same trace.
+          telemetry::Span send(tracer_, "remote.send", element.trace);
+          send.set_sensor(name);
+          send.set_node(options_.node_id);
+          delivery.trace = send.context();
+          std::string payload = delivery.Encode();
+          subscriber.replay.Put(delivery.sequence, payload);
+          if (allowed) {
+            remote_sends.push_back({subscriber.subscriber_node,
+                                    network::kTopicStream,
+                                    std::move(payload)});
+          }
+        }
       }
     }
   }
@@ -473,31 +581,17 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
   notifications_.OnBatch(name, sensor.output_schema(), batch);
   query_manager_.OnNewElementBatch(name, batch);
 
-  // Remote consumers (each element signed by the integrity layer).
-  if (options_.network != nullptr && !remote_targets.empty()) {
-    for (const StreamElement& element : batch) {
-      network::StreamDelivery delivery;
-      delivery.sensor_name = name;
-      delivery.element = element;
-      delivery.signature = integrity_.Sign(name, element);
-      for (const auto& [sub_id, node] : remote_targets) {
-        delivery.subscription_id = sub_id;
-        // One "remote.send" span per target; its context rides in the
-        // delivery (outside the signed payload) so the receiving node
-        // continues the same trace.
-        telemetry::Span send(tracer_, "remote.send", element.trace);
-        send.set_sensor(name);
-        send.set_node(options_.node_id);
-        delivery.trace = send.context();
-        const Status s =
-            options_.network->Send(options_.clock->NowMicros(),
-                                   options_.node_id, node,
-                                   network::kTopicStream, delivery.Encode());
-        if (!s.ok()) {
-          send.set_error();
-          GSN_LOG(kWarn, "container")
-              << name << ": stream delivery to " << node << " failed: " << s;
-        }
+  // Remote consumers (each element signed by the integrity layer,
+  // sequenced and buffered above).
+  if (options_.network != nullptr) {
+    const Timestamp send_now = options_.clock->NowMicros();
+    for (Outbound& send : remote_sends) {
+      const Status s =
+          options_.network->Send(send_now, options_.node_id, send.to,
+                                 send.topic, std::move(send.payload));
+      if (!s.ok()) {
+        GSN_LOG(kWarn, "container")
+            << name << ": stream delivery to " << send.to << " failed: " << s;
       }
     }
   }
@@ -569,6 +663,14 @@ void Container::AnnounceAll() {
 // ---------------------------------------------------------------- Network
 
 void Container::OnMessage(const Message& message) {
+  // Any received message is liveness evidence for its sender: refresh
+  // the peer's heartbeat clock and feed its circuit breaker a success.
+  if (!message.from.empty() && message.from != options_.node_id) {
+    NotePeerAlive(message.from, options_.clock->NowMicros());
+  }
+  if (message.topic == network::kTopicHeartbeat) {
+    return;  // nothing beyond the liveness note above
+  }
   if (message.topic == network::kTopicDirPublish) {
     Result<DirectoryEntry> entry = DirectoryEntry::Decode(message.payload);
     if (entry.ok()) {
@@ -586,9 +688,77 @@ void Container::OnMessage(const Message& message) {
     Result<network::SubscribeRequest> request =
         network::SubscribeRequest::Decode(message.payload);
     if (!request.ok()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Idempotent: a re-sent request (lost ack) must not reset the
+      // sequence counter or drop the replay buffer.
+      auto [it, inserted] =
+          subscribers_.try_emplace(request->subscription_id);
+      if (inserted) {
+        it->second.sensor_name = request->sensor_name;
+        it->second.subscriber_node = request->subscriber_node;
+        it->second.replay =
+            network::ReplayBuffer(options_.resilience.replay_buffer_bytes);
+      }
+    }
+    network::SubscribeAck ack;
+    ack.subscription_id = request->subscription_id;
+    (void)options_.network->Send(options_.clock->NowMicros(),
+                                 options_.node_id, request->subscriber_node,
+                                 network::kTopicSubAck, ack.Encode());
+    return;
+  }
+  if (message.topic == network::kTopicSubAck) {
+    Result<network::SubscribeAck> ack =
+        network::SubscribeAck::Decode(message.payload);
+    if (!ack.ok()) return;
     std::lock_guard<std::mutex> lock(mu_);
-    subscribers_[request->subscription_id] = {request->sensor_name,
-                                              request->subscriber_node};
+    auto it = remote_subs_.find(ack->subscription_id);
+    if (it != remote_subs_.end()) it->second.acked = true;
+    return;
+  }
+  if (message.topic == network::kTopicStreamTip) {
+    Result<network::StreamTip> tip =
+        network::StreamTip::Decode(message.payload);
+    if (!tip.ok()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = remote_subs_.find(tip->subscription_id);
+    if (it != remote_subs_.end()) {
+      it->second.acked = true;  // a tip implies the producer knows us
+      it->second.wrapper->ObserveTip(tip->last_sequence);
+    }
+    return;
+  }
+  if (message.topic == network::kTopicStreamNack) {
+    Result<network::NackRequest> nack =
+        network::NackRequest::Decode(message.payload);
+    if (!nack.ok()) return;
+    // Serve the replay out of the subscriber's buffer; sequences
+    // already evicted stay missing (the subscriber abandons them).
+    std::vector<std::string> payloads;
+    std::string target;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = subscribers_.find(nack->subscription_id);
+      if (it == subscribers_.end()) return;
+      target = it->second.subscriber_node;
+      constexpr size_t kMaxReplaysPerNack = 1024;
+      for (const network::SeqRange& range : nack->ranges) {
+        for (uint64_t seq = range.from;
+             seq <= range.to && payloads.size() < kMaxReplaysPerNack; ++seq) {
+          const std::string* payload = it->second.replay.Get(seq);
+          if (payload != nullptr) payloads.push_back(*payload);
+        }
+      }
+    }
+    if (!payloads.empty()) {
+      fed_replays_->Increment(static_cast<int64_t>(payloads.size()));
+    }
+    const Timestamp send_now = options_.clock->NowMicros();
+    for (std::string& payload : payloads) {
+      (void)options_.network->Send(send_now, options_.node_id, target,
+                                   network::kTopicStream, std::move(payload));
+    }
     return;
   }
   if (message.topic == network::kTopicUnsubscribe) {
@@ -615,19 +785,313 @@ void Container::OnMessage(const Message& message) {
     RemoteStreamWrapper* wrapper = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      auto it = remote_wrappers_.find(delivery->subscription_id);
-      if (it != remote_wrappers_.end()) wrapper = it->second;
+      auto it = remote_subs_.find(delivery->subscription_id);
+      if (it != remote_subs_.end()) {
+        // A flowing delivery implies the producer registered us even
+        // if the explicit ack was lost.
+        it->second.acked = true;
+        wrapper = it->second.wrapper;
+      }
     }
     if (wrapper != nullptr) {
       // Restore the producer's trace context so this node's source
       // admission continues the cross-container trace.
       delivery->element.trace = delivery->trace;
-      wrapper->Push(delivery->element);
+      const RemoteStreamWrapper::PushOutcome outcome =
+          wrapper->Push(delivery->element, delivery->sequence);
+      if (outcome.duplicate) fed_dups_->Increment();
+      if (outcome.gap_opened) fed_gaps_->Increment();
     }
     return;
   }
   GSN_LOG(kWarn, "container")
       << options_.node_id << ": unknown topic '" << message.topic << "'";
+}
+
+// -------------------------------------------------------------- Resilience
+
+Container::PeerState& Container::PeerStateLocked(const std::string& peer,
+                                                 Timestamp now) {
+  auto [it, inserted] = peers_.try_emplace(peer);
+  if (inserted) {
+    it->second.last_seen = now;
+    it->second.breaker =
+        network::CircuitBreaker(options_.resilience.circuit);
+    it->second.circuit_gauge = metrics_->GetGauge(
+        "gsn_circuit_state",
+        {{"node", options_.node_id}, {"peer", peer}},
+        "Per-peer circuit state (0 closed, 1 open, 2 half-open)");
+  }
+  return it->second;
+}
+
+bool Container::PeerAllowsSendLocked(const std::string& peer, Timestamp now) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return true;  // no evidence against the peer
+  return it->second.breaker.AllowSend(now);
+}
+
+void Container::NotePeerAlive(const std::string& from, Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PeerState& peer = PeerStateLocked(from, now);
+  peer.last_seen = now;
+  if (peer.breaker.RecordSuccess()) {
+    GSN_LOG(kInfo, "container")
+        << options_.node_id << ": circuit to " << from << " closed (peer back)";
+  }
+  peer.circuit_gauge->Set(
+      static_cast<int64_t>(peer.breaker.StateAt(now)));
+}
+
+bool Container::TryFailoverLocked(const std::string& old_id, Timestamp now,
+                                  std::vector<Outbound>* sends) {
+  auto sub_it = remote_subs_.find(old_id);
+  if (sub_it == remote_subs_.end()) return false;
+  RemoteSubscription sub = sub_it->second;  // copy; re-keyed below
+
+  const std::vector<DirectoryEntry> matches =
+      directory_.Discover(sub.predicates);
+  const DirectoryEntry* target = nullptr;
+  const std::string wrapper_schema = sub.wrapper->output_schema().ToString();
+  for (const DirectoryEntry& entry : matches) {
+    if (entry.node_id == sub.peer_node) continue;
+    if (!PeerAllowsSendLocked(entry.node_id, now)) continue;
+    if (entry.output_schema.ToString() != wrapper_schema) continue;
+    target = &entry;
+    break;
+  }
+  if (target == nullptr) {
+    // No alternative producer: keep the subscription and restart the
+    // subscribe cycle against the current peer (it may come back).
+    sub_it->second.acked = false;
+    sub_it->second.subscribe_attempts = 0;
+    sub_it->second.next_subscribe_at = now;
+    return false;
+  }
+
+  const std::string new_id =
+      options_.node_id + "#" + std::to_string(next_subscription_++);
+  GSN_LOG(kInfo, "container")
+      << options_.node_id << ": failing over subscription " << old_id
+      << " from " << sub.peer_node << " to " << target->node_id << " ("
+      << target->sensor_name << ") as " << new_id;
+
+  // Fresh sequence space on the new producer.
+  sub.wrapper->Rebind(target->node_id, target->sensor_name);
+  sub.peer_node = target->node_id;
+  sub.acked = false;
+  sub.subscribe_attempts = 1;
+  sub.next_subscribe_at =
+      now + sub.retry.BackoffForAttempt(1, &resilience_rng_);
+  sub.last_missing.clear();
+  sub.nack_attempts = 0;
+  sub.next_nack_at = 0;
+
+  auto dep_it = deployments_.find(sub.deployment_key);
+  if (dep_it != deployments_.end()) {
+    for (std::string& id : dep_it->second.subscription_ids) {
+      if (id == old_id) id = new_id;
+    }
+  }
+
+  network::SubscribeRequest request;
+  request.subscription_id = new_id;
+  request.sensor_name = target->sensor_name;
+  request.subscriber_node = options_.node_id;
+  sends->push_back(
+      {target->node_id, network::kTopicSubscribe, request.Encode()});
+  // Best-effort cancel on whoever held the old subscription.
+  network::UnsubscribeRequest cancel;
+  cancel.subscription_id = old_id;
+  sends->push_back({"", network::kTopicUnsubscribe, cancel.Encode()});
+
+  remote_subs_.erase(sub_it);
+  remote_subs_[new_id] = std::move(sub);
+  fed_failovers_->Increment();
+  return true;
+}
+
+void Container::RunResilience(Timestamp now) {
+  const Options::Resilience& config = options_.resilience;
+  std::vector<Outbound> sends;
+  bool heartbeat = false;
+  std::vector<const VirtualSensorSpec*> republish;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+
+    // Liveness beacon.
+    if (now - last_heartbeat_ >= config.heartbeat_interval) {
+      last_heartbeat_ = now;
+      ++heartbeat_beat_;
+      heartbeat = true;
+    }
+
+    // Silent peers accumulate circuit-breaker failures, one per
+    // heartbeat interval past the timeout.
+    for (auto& [peer_id, peer] : peers_) {
+      if (now - peer.last_seen >= config.peer_timeout &&
+          now - peer.last_failure_mark >= config.heartbeat_interval) {
+        peer.last_failure_mark = now;
+        if (peer.breaker.RecordFailure(now)) {
+          GSN_LOG(kWarn, "container")
+              << options_.node_id << ": circuit to " << peer_id << " opened";
+        }
+      }
+      peer.circuit_gauge->Set(
+          static_cast<int64_t>(peer.breaker.StateAt(now)));
+    }
+
+    // Consumer side: subscribe retries, gap repair, failover.
+    std::vector<std::string> failover_candidates;
+    for (auto& [sub_id, sub] : remote_subs_) {
+      auto peer_it = peers_.find(sub.peer_node);
+      const bool peer_open =
+          peer_it != peers_.end() &&
+          peer_it->second.breaker.StateAt(now) ==
+              network::CircuitBreaker::State::kOpen;
+      if (peer_open) {
+        failover_candidates.push_back(sub_id);
+        continue;
+      }
+      if (!sub.acked) {
+        if (now < sub.next_subscribe_at) continue;
+        if (sub.retry.Exhausted(sub.subscribe_attempts)) {
+          failover_candidates.push_back(sub_id);
+          continue;
+        }
+        ++sub.subscribe_attempts;
+        fed_retries_subscribe_->Increment();
+        network::SubscribeRequest request;
+        request.subscription_id = sub_id;
+        request.sensor_name = sub.wrapper->remote_sensor();
+        request.subscriber_node = options_.node_id;
+        sends.push_back(
+            {sub.peer_node, network::kTopicSubscribe, request.Encode()});
+        sub.next_subscribe_at =
+            now + sub.retry.BackoffForAttempt(sub.subscribe_attempts,
+                                              &resilience_rng_);
+        continue;
+      }
+      // Gap repair: NACK the missing ranges, pacing attempts only
+      // while the missing set makes no progress.
+      std::vector<network::SeqRange> missing = sub.wrapper->MissingRanges();
+      if (missing.empty()) {
+        sub.nack_attempts = 0;
+        sub.last_missing.clear();
+        continue;
+      }
+      if (missing != sub.last_missing) {
+        sub.last_missing = missing;
+        sub.nack_attempts = 0;  // progress — restart the budget
+      }
+      if (now < sub.next_nack_at) continue;
+      if (sub.retry.Exhausted(sub.nack_attempts)) {
+        // The producer can no longer replay these (evicted or gone):
+        // give the head range up so the stream keeps flowing.
+        const int lost = sub.wrapper->AbandonMissingThrough(missing.front().to);
+        if (lost > 0) {
+          fed_abandoned_->Increment(lost);
+          GSN_LOG(kWarn, "container")
+              << options_.node_id << ": abandoned " << lost
+              << " irrecoverable deliveries on " << sub_id;
+        }
+        sub.nack_attempts = 0;
+        sub.last_missing.clear();
+        continue;
+      }
+      ++sub.nack_attempts;
+      fed_retries_replay_->Increment();
+      network::NackRequest nack;
+      nack.subscription_id = sub_id;
+      nack.ranges = std::move(missing);
+      sends.push_back(
+          {sub.peer_node, network::kTopicStreamNack, nack.Encode()});
+      sub.next_nack_at =
+          now + sub.retry.BackoffForAttempt(sub.nack_attempts,
+                                            &resilience_rng_);
+    }
+    for (const std::string& sub_id : failover_candidates) {
+      (void)TryFailoverLocked(sub_id, now, &sends);
+    }
+
+    // Producer side: periodic delivery high-water marks let the
+    // subscriber detect tail loss; also refresh the replay gauge.
+    if (now - last_tip_ >= config.tip_interval) {
+      last_tip_ = now;
+      size_t replay_bytes = 0;
+      for (const auto& [sub_id, subscriber] : subscribers_) {
+        replay_bytes += subscriber.replay.bytes();
+        if (subscriber.next_seq <= 1) continue;
+        if (!PeerAllowsSendLocked(subscriber.subscriber_node, now)) continue;
+        network::StreamTip tip;
+        tip.subscription_id = sub_id;
+        tip.last_sequence = subscriber.next_seq - 1;
+        sends.push_back(
+            {subscriber.subscriber_node, network::kTopicStreamTip,
+             tip.Encode()});
+      }
+      replay_bytes_->Set(static_cast<int64_t>(replay_bytes));
+    }
+
+    // Directory-publish retry rounds.
+    for (auto it = pending_publishes_.begin();
+         it != pending_publishes_.end();) {
+      if (now < it->next_at) {
+        ++it;
+        continue;
+      }
+      auto dep_it = deployments_.find(it->key);
+      if (dep_it == deployments_.end()) {
+        it = pending_publishes_.erase(it);
+        continue;
+      }
+      republish.push_back(&dep_it->second.sensor->spec());
+      fed_retries_publish_->Increment();
+      ++it->round;
+      if (it->round > config.publish_rounds) {
+        it = pending_publishes_.erase(it);
+      } else {
+        it->next_at =
+            now + config.retry.BackoffForAttempt(it->round, &resilience_rng_);
+        ++it;
+      }
+    }
+  }
+
+  if (heartbeat) {
+    network::Heartbeat beat;
+    beat.node_id = options_.node_id;
+    beat.beat = heartbeat_beat_;
+    (void)options_.network->Broadcast(now, options_.node_id,
+                                      network::kTopicHeartbeat, beat.Encode());
+  }
+  for (Outbound& send : sends) {
+    if (send.to.empty()) {
+      (void)options_.network->Broadcast(now, options_.node_id, send.topic,
+                                        send.payload);
+    } else {
+      (void)options_.network->Send(now, options_.node_id, send.to, send.topic,
+                                   std::move(send.payload));
+    }
+  }
+  for (const VirtualSensorSpec* spec : republish) PublishSensor(*spec);
+}
+
+std::vector<Container::PeerStatus> Container::PeerStatuses() const {
+  const Timestamp now = options_.clock->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PeerStatus> out;
+  out.reserve(peers_.size());
+  for (const auto& [peer_id, peer] : peers_) {
+    PeerStatus status;
+    status.node_id = peer_id;
+    status.circuit =
+        network::CircuitBreaker::StateName(peer.breaker.StateAt(now));
+    status.last_seen = peer.last_seen;
+    status.circuit_opened_total = peer.breaker.opened_total();
+    out.push_back(std::move(status));
+  }
+  return out;
 }
 
 Result<Relation> Container::CatalogResolver::GetTable(

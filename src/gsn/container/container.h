@@ -12,9 +12,12 @@
 #include "gsn/container/local_stream_wrapper.h"
 #include "gsn/container/notification.h"
 #include "gsn/container/query_manager.h"
+#include "gsn/network/circuit_breaker.h"
 #include "gsn/network/directory.h"
 #include "gsn/network/protocol.h"
 #include "gsn/network/remote_stream_wrapper.h"
+#include "gsn/network/replay_buffer.h"
+#include "gsn/network/retry_policy.h"
 #include "gsn/network/simulator.h"
 #include "gsn/storage/persistence_log.h"
 #include "gsn/storage/table.h"
@@ -55,6 +58,26 @@ class Container : public network::NetworkNode {
     /// see tracer(). Sampling starts off (rate 0); enable via
     /// tracer()->set_sample_rate or the `trace` management command.
     telemetry::Tracer* tracer = nullptr;
+    /// Knobs of the federation resilience layer (docs/FEDERATION.md).
+    /// The defaults suit second-scale links; chaos tests tighten them.
+    struct Resilience {
+      /// Liveness beacon broadcast period; also the spacing between
+      /// circuit-breaker failure marks while a peer stays silent.
+      Timestamp heartbeat_interval = kMicrosPerSecond;
+      /// Peer silence beyond this starts accumulating breaker failures.
+      Timestamp peer_timeout = 3 * kMicrosPerSecond;
+      /// StreamTip (delivery high-water mark) period per subscription.
+      Timestamp tip_interval = kMicrosPerSecond;
+      /// Byte budget of each subscriber's producer-side replay buffer.
+      size_t replay_buffer_bytes = 1 << 20;
+      /// Extra directory-publish rounds after a deploy (anti-entropy
+      /// re-announcement covers steady state).
+      int publish_rounds = 3;
+      /// Default backoff policy for subscribe/replay/publish retries;
+      /// per-source `retry-*` predicates override it.
+      network::RetryPolicy retry;
+      network::CircuitBreaker::Config circuit;
+    } resilience;
   };
 
   explicit Container(Options options);
@@ -147,6 +170,21 @@ class Container : public network::NetworkNode {
   };
   Result<SensorStatus> GetSensorStatus(const std::string& sensor_name) const;
 
+  /// Health of one known federation peer (everything this node has
+  /// ever heard from), as exposed by /api/v1/peers and the `peers`
+  /// management command.
+  struct PeerStatus {
+    std::string node_id;
+    std::string circuit;  // "closed" | "open" | "half-open"
+    Timestamp last_seen = 0;
+    int64_t circuit_opened_total = 0;
+  };
+  std::vector<PeerStatus> PeerStatuses() const;
+
+  /// The simulator fabric this container is attached to (null when
+  /// standalone). Exposed for the `chaos` management command and tests.
+  network::NetworkSimulator* network() const { return options_.network; }
+
  private:
   /// Everything owned on behalf of one deployed sensor (the life-cycle
   /// manager's bookkeeping).
@@ -165,19 +203,88 @@ class Container : public network::NetworkNode {
     std::vector<LocalStreamWrapper*> local_sources;
   };
 
-  /// A remote consumer of one of our sensors.
+  /// A remote consumer of one of our sensors — the producer half of
+  /// the resilient delivery protocol: a dense per-subscription sequence
+  /// plus a bounded replay buffer serving NACKs.
   struct RemoteSubscriber {
     std::string sensor_name;
     std::string subscriber_node;
+    uint64_t next_seq = 1;  // next sequence number to assign
+    network::ReplayBuffer replay;
+  };
+
+  /// The consumer half of one of our subscriptions on a remote
+  /// producer: subscribe-retry state until acked, then NACK pacing for
+  /// gap repair, and enough context (predicates, owning deployment) to
+  /// fail over to another matching producer when the peer's circuit
+  /// opens.
+  struct RemoteSubscription {
+    network::RemoteStreamWrapper* wrapper = nullptr;  // owned by the sensor
+    std::string deployment_key;  // lowercased owning sensor name
+    std::string peer_node;       // current producer node
+    std::map<std::string, std::string> predicates;  // discovery query
+    network::RetryPolicy retry;
+    bool acked = false;
+    int subscribe_attempts = 0;
+    Timestamp next_subscribe_at = 0;
+    /// NACK pacing: attempts count only while the missing set is
+    /// static — any progress (a range filled or split) resets them.
+    std::vector<network::SeqRange> last_missing;
+    int nack_attempts = 0;
+    Timestamp next_nack_at = 0;
+  };
+
+  /// Heartbeat-driven liveness of one federation peer.
+  struct PeerState {
+    Timestamp last_seen = 0;
+    Timestamp last_failure_mark = 0;
+    network::CircuitBreaker breaker;
+    std::shared_ptr<telemetry::Gauge> circuit_gauge;
+  };
+
+  /// A directory publish still owed its retry rounds.
+  struct PendingPublish {
+    std::string key;  // lowercased sensor name
+    int round = 1;
+    Timestamp next_at = 0;
+  };
+
+  /// One message to emit once mu_ is released (send-outside-lock
+  /// discipline). Empty `to` means broadcast.
+  struct Outbound {
+    std::string to;
+    std::string topic;
+    std::string payload;
   };
 
   /// Builds the wrapper for one source; for wrapper="remote" this
   /// resolves the predicates against the directory replica, issues the
   /// subscription, and records the id in `subscription_ids`.
+  /// `deployment_key` is the lowercased owning sensor name (failover
+  /// bookkeeping for remote sources).
   Result<std::unique_ptr<wrappers::Wrapper>> MakeWrapperForSource(
-      const vsensor::StreamSourceSpec& source_spec, Deployment* deployment);
+      const vsensor::StreamSourceSpec& source_spec,
+      const std::string& deployment_key, Deployment* deployment);
   void PublishSensor(const vsensor::VirtualSensorSpec& spec);
   void RetractSensor(const std::string& sensor_name);
+
+  // -- Resilience layer (docs/FEDERATION.md) -------------------------------
+
+  /// One maintenance round: heartbeat broadcast, peer failure marks
+  /// and circuit transitions, subscribe retries, NACK rounds + gap
+  /// abandonment, producer tips, and directory-publish retries.
+  void RunResilience(Timestamp now);
+  /// Records liveness evidence for `from` (any received message).
+  void NotePeerAlive(const std::string& from, Timestamp now);
+  PeerState& PeerStateLocked(const std::string& peer, Timestamp now);
+  /// Whether traffic to `peer` may flow (circuit closed or probing).
+  bool PeerAllowsSendLocked(const std::string& peer, Timestamp now);
+  /// Re-resolves `sub`'s predicates against the directory, excluding
+  /// open-circuit peers, and rebinds the wrapper onto a new producer
+  /// under a fresh subscription id. Returns the sends it queued; false
+  /// when no alternative producer matches.
+  bool TryFailoverLocked(const std::string& old_id, Timestamp now,
+                         std::vector<Outbound>* sends);
   /// Consumes one pipeline trigger's output batch: single-lock table
   /// insert, local chaining, persistence, notification fan-out, one
   /// continuous-query evaluation pass, and per-element signed remote
@@ -219,15 +326,32 @@ class Container : public network::NetworkNode {
   mutable std::mutex mu_;
   std::map<std::string, Deployment> deployments_;  // lowercased sensor name
   std::map<std::string, RemoteSubscriber> subscribers_;  // by subscription id
-  /// Remote wrappers we own, keyed by our subscription id.
-  std::map<std::string, network::RemoteStreamWrapper*> remote_wrappers_;
+  /// Subscriptions we hold on remote producers, by our subscription id.
+  std::map<std::string, RemoteSubscription> remote_subs_;
   /// Local chaining: producer sensor (lowercased) -> consumer wrappers.
   std::multimap<std::string, LocalStreamWrapper*> local_wrappers_;
+  /// Federation peers we have heard from, with their circuit breakers.
+  std::map<std::string, PeerState> peers_;
+  std::vector<PendingPublish> pending_publishes_;
   int64_t next_subscription_ = 1;
   uint64_t wrapper_seed_counter_ = 0;
   /// Anti-entropy: directory entries are re-broadcast periodically so
   /// peers converge even when individual publish messages are lost.
   Timestamp last_announce_ = 0;
+  Timestamp last_heartbeat_ = 0;
+  Timestamp last_tip_ = 0;
+  uint64_t heartbeat_beat_ = 0;
+  Rng resilience_rng_{1};  // backoff jitter; reseeded from options_.seed
+  // Federation resilience telemetry (docs/FEDERATION.md).
+  std::shared_ptr<telemetry::Counter> fed_retries_subscribe_;
+  std::shared_ptr<telemetry::Counter> fed_retries_replay_;
+  std::shared_ptr<telemetry::Counter> fed_retries_publish_;
+  std::shared_ptr<telemetry::Counter> fed_gaps_;
+  std::shared_ptr<telemetry::Counter> fed_dups_;
+  std::shared_ptr<telemetry::Counter> fed_replays_;
+  std::shared_ptr<telemetry::Counter> fed_abandoned_;
+  std::shared_ptr<telemetry::Counter> fed_failovers_;
+  std::shared_ptr<telemetry::Gauge> replay_bytes_;
 };
 
 }  // namespace gsn::container

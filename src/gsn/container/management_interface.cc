@@ -3,34 +3,71 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "gsn/network/simulator.h"
 #include "gsn/util/export.h"
 #include "gsn/util/strings.h"
 
 namespace gsn::container {
 
-namespace {
-constexpr char kHelp[] =
-    "commands:\n"
-    "  list                      deployed virtual sensors\n"
-    "  status <sensor>           pipeline counters and storage usage\n"
-    "  deploy <descriptor-xml>   deploy a virtual sensor\n"
-    "  undeploy <sensor>\n"
-    "  query <sql>               one-shot SQL over sensor tables\n"
-    "  explain <sql>             show the optimized execution pipeline\n"
-    "  query-json <sql>          result as JSON\n"
-    "  query-csv <sql>           result as CSV\n"
-    "  plot <column> <sql>       ASCII chart of a numeric column\n"
-    "  topology                  data-flow graph as Graphviz DOT\n"
-    "  discover [k=v ...]        directory lookup by predicates\n"
-    "  wrappers                  registered wrapper types\n"
-    "  describe <sensor>         descriptor XML of a deployed sensor\n"
-    "  metrics                   telemetry in Prometheus text format\n"
-    "  slowlog [micros]          show/set the slow-query log threshold;\n"
-    "                            no args also prints retained entries\n"
-    "  trace [rate]              show/set the trace sample rate (0..1)\n"
-    "  traces [trace-id]         recorded spans, optionally one trace\n"
-    "  help\n";
-}  // namespace
+ManagementInterface::ManagementInterface(Container* container)
+    : container_(container) {
+  auto add = [this](const char* name, const char* args_help, const char* help,
+                    auto handler) {
+    commands_.push_back(Command{name, args_help, help, std::move(handler)});
+  };
+  add("list", "", "deployed virtual sensors",
+      [this](const std::string&) { return CmdList(); });
+  add("status", "<sensor>", "pipeline counters and storage usage",
+      [this](const std::string& a) { return CmdStatus(a); });
+  add("deploy", "<descriptor-xml>", "deploy a virtual sensor",
+      [this](const std::string& a) { return CmdDeploy(a); });
+  add("undeploy", "<sensor>", "undeploy a virtual sensor",
+      [this](const std::string& a) { return CmdUndeploy(a); });
+  add("query", "<sql>", "one-shot SQL over sensor tables",
+      [this](const std::string& a) { return CmdQuery(a); });
+  add("explain", "[analyze] <sql>", "show the optimized execution pipeline",
+      [this](const std::string& a) { return CmdExplain(a); });
+  add("query-json", "<sql>", "result as JSON", [this](const std::string& a) {
+    if (a.empty()) return std::string("ERROR: query-json requires SQL");
+    Result<Relation> result = container_->Query(a, api_key_);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return RelationToJson(*result) + "\n";
+  });
+  add("query-csv", "<sql>", "result as CSV", [this](const std::string& a) {
+    if (a.empty()) return std::string("ERROR: query-csv requires SQL");
+    Result<Relation> result = container_->Query(a, api_key_);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return RelationToCsv(*result);
+  });
+  add("plot", "<column> <sql>", "ASCII chart of a numeric column",
+      [this](const std::string& a) { return CmdPlot(a); });
+  add("topology", "", "data-flow graph as Graphviz DOT",
+      [this](const std::string&) { return CmdTopology(); });
+  add("discover", "[k=v ...]", "directory lookup by predicates",
+      [this](const std::string& a) { return CmdDiscover(a); });
+  add("wrappers", "", "registered wrapper types",
+      [this](const std::string&) { return CmdWrappers(); });
+  add("describe", "<sensor>", "descriptor XML of a deployed sensor",
+      [this](const std::string& a) { return CmdDescribe(a); });
+  add("metrics", "", "telemetry in Prometheus text format",
+      [this](const std::string&) { return CmdMetrics(); });
+  add("slowlog", "[micros]",
+      "show/set the slow-query log threshold; no args also prints "
+      "retained entries",
+      [this](const std::string& a) { return CmdSlowlog(a); });
+  add("trace", "[rate]", "show/set the trace sample rate (0..1)",
+      [this](const std::string& a) { return CmdTrace(a); });
+  add("traces", "[trace-id]", "recorded spans, optionally one trace",
+      [this](const std::string& a) { return CmdTraces(a); });
+  add("peers", "", "federation peer health: circuit state and last-seen",
+      [this](const std::string&) { return CmdPeers(); });
+  add("chaos", "partition|heal|down|up|loss ...",
+      "inject faults into the network simulator (heal with no args "
+      "clears partitions and downed nodes)",
+      [this](const std::string& a) { return CmdChaos(a); });
+  add("help", "", "this command list",
+      [this](const std::string&) { return CmdHelp(); });
+}
 
 std::string ManagementInterface::Execute(const std::string& command_line) {
   const std::string line = StrTrim(command_line);
@@ -39,61 +76,34 @@ std::string ManagementInterface::Execute(const std::string& command_line) {
   const std::string cmd = StrToLower(line.substr(0, space));
   const std::string rest =
       space == std::string::npos ? "" : StrTrim(line.substr(space + 1));
-
-  if (cmd == "help") return kHelp;
-  if (cmd == "list") return CmdList();
-  if (cmd == "status") return CmdStatus(rest);
-  if (cmd == "deploy") return CmdDeploy(rest);
-  if (cmd == "undeploy") return CmdUndeploy(rest);
-  if (cmd == "query") return CmdQuery(rest);
-  if (cmd == "query-json" || cmd == "query-csv") {
-    if (rest.empty()) return "ERROR: " + cmd + " requires SQL";
-    Result<Relation> result = container_->Query(rest, api_key_);
-    if (!result.ok()) return "ERROR: " + result.status().ToString();
-    return cmd == "query-json" ? RelationToJson(*result) + "\n"
-                               : RelationToCsv(*result);
+  for (const Command& command : commands_) {
+    if (command.name == cmd) return command.handler(rest);
   }
-  if (cmd == "plot") {
-    const size_t sep = rest.find_first_of(" \t");
-    if (sep == std::string::npos) {
-      return "ERROR: plot requires a column name and SQL";
-    }
-    const std::string column = rest.substr(0, sep);
-    Result<Relation> result =
-        container_->Query(StrTrim(rest.substr(sep + 1)), api_key_);
-    if (!result.ok()) return "ERROR: " + result.status().ToString();
-    Result<std::string> chart = AsciiPlot(*result, column);
-    return chart.ok() ? *chart : "ERROR: " + chart.status().ToString();
-  }
-  if (cmd == "topology") {
-    std::vector<GraphEdge> edges;
-    for (const Container::TopologyEdge& e : container_->Topology()) {
-      edges.push_back(GraphEdge{e.from, e.to, e.label});
-    }
-    return EdgesToDot(container_->node_id(), edges);
-  }
-  if (cmd == "explain") {
-    if (rest.empty()) return "ERROR: explain requires SQL";
-    // "explain analyze <sql>" executes with instrumentation and prints
-    // actual per-operator rows/timings.
-    const size_t kw = rest.find_first_of(" \t");
-    if (kw != std::string::npos &&
-        StrToLower(rest.substr(0, kw)) == "analyze") {
-      Result<std::string> plan = container_->query_manager().ExplainAnalyze(
-          StrTrim(rest.substr(kw + 1)));
-      return plan.ok() ? *plan : "ERROR: " + plan.status().ToString();
-    }
-    Result<std::string> plan = container_->query_manager().Explain(rest);
-    return plan.ok() ? *plan : "ERROR: " + plan.status().ToString();
-  }
-  if (cmd == "discover") return CmdDiscover(rest);
-  if (cmd == "wrappers") return CmdWrappers();
-  if (cmd == "describe") return CmdDescribe(rest);
-  if (cmd == "metrics") return CmdMetrics();
-  if (cmd == "slowlog") return CmdSlowlog(rest);
-  if (cmd == "trace") return CmdTrace(rest);
-  if (cmd == "traces") return CmdTraces(rest);
   return "ERROR: unknown command '" + cmd + "' (try: help)";
+}
+
+std::string ManagementInterface::CmdHelp() const {
+  // Generated from the registry so the listing can't drift from the
+  // implemented commands.
+  size_t width = 0;
+  for (const Command& command : commands_) {
+    const size_t usage = command.name.size() +
+                         (command.args_help.empty()
+                              ? 0
+                              : command.args_help.size() + 1);
+    if (usage > width) width = usage;
+  }
+  std::string out = "commands:\n";
+  for (const Command& command : commands_) {
+    std::string usage = command.name;
+    if (!command.args_help.empty()) usage += " " + command.args_help;
+    out += "  " + usage;
+    if (!command.help.empty()) {
+      out += std::string(width - usage.size() + 2, ' ') + command.help;
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 std::string ManagementInterface::CmdList() const {
@@ -145,6 +155,41 @@ std::string ManagementInterface::CmdQuery(const std::string& sql) {
   Result<Relation> result = container_->Query(sql, api_key_);
   if (!result.ok()) return "ERROR: " + result.status().ToString();
   return result->ToString(50);
+}
+
+std::string ManagementInterface::CmdExplain(const std::string& args) {
+  if (args.empty()) return "ERROR: explain requires SQL";
+  // "explain analyze <sql>" executes with instrumentation and prints
+  // actual per-operator rows/timings.
+  const size_t kw = args.find_first_of(" \t");
+  if (kw != std::string::npos && StrToLower(args.substr(0, kw)) == "analyze") {
+    Result<std::string> plan = container_->query_manager().ExplainAnalyze(
+        StrTrim(args.substr(kw + 1)));
+    return plan.ok() ? *plan : "ERROR: " + plan.status().ToString();
+  }
+  Result<std::string> plan = container_->query_manager().Explain(args);
+  return plan.ok() ? *plan : "ERROR: " + plan.status().ToString();
+}
+
+std::string ManagementInterface::CmdPlot(const std::string& args) {
+  const size_t sep = args.find_first_of(" \t");
+  if (sep == std::string::npos) {
+    return "ERROR: plot requires a column name and SQL";
+  }
+  const std::string column = args.substr(0, sep);
+  Result<Relation> result =
+      container_->Query(StrTrim(args.substr(sep + 1)), api_key_);
+  if (!result.ok()) return "ERROR: " + result.status().ToString();
+  Result<std::string> chart = AsciiPlot(*result, column);
+  return chart.ok() ? *chart : "ERROR: " + chart.status().ToString();
+}
+
+std::string ManagementInterface::CmdTopology() const {
+  std::vector<GraphEdge> edges;
+  for (const Container::TopologyEdge& e : container_->Topology()) {
+    edges.push_back(GraphEdge{e.from, e.to, e.label});
+  }
+  return EdgesToDot(container_->node_id(), edges);
 }
 
 std::string ManagementInterface::CmdDiscover(const std::string& args) const {
@@ -258,6 +303,69 @@ std::string ManagementInterface::CmdTraces(const std::string& args) const {
   }
   return telemetry::RenderTracesJson(container_->tracer()->store(), id) +
          "\n";
+}
+
+std::string ManagementInterface::CmdPeers() const {
+  const std::vector<Container::PeerStatus> peers = container_->PeerStatuses();
+  if (peers.empty()) return "(no federation peers heard from)\n";
+  std::string out;
+  for (const Container::PeerStatus& peer : peers) {
+    out += peer.node_id + "  circuit=" + peer.circuit +
+           "  last-seen=" + std::to_string(peer.last_seen) + "us" +
+           "  opened=" + std::to_string(peer.circuit_opened_total) + "\n";
+  }
+  return out;
+}
+
+std::string ManagementInterface::CmdChaos(const std::string& args) {
+  network::NetworkSimulator* net = container_->network();
+  if (net == nullptr) {
+    return "ERROR: chaos requires a network simulator (standalone "
+           "container has none)";
+  }
+  std::vector<std::string> words;
+  for (const std::string& piece : StrSplit(args, ' ')) {
+    const std::string trimmed = StrTrim(piece);
+    if (!trimmed.empty()) words.push_back(trimmed);
+  }
+  const std::string usage =
+      "ERROR: usage: chaos partition <a> <b> | chaos heal [<a> <b>] | "
+      "chaos down <node> | chaos up <node> | chaos loss <from> <to> <p>";
+  if (words.empty()) return usage;
+  const std::string sub = StrToLower(words[0]);
+  if (sub == "partition" && words.size() == 3) {
+    net->SetPartitioned(words[1], words[2], true);
+    return "partitioned " + words[1] + " <-> " + words[2] + "\n";
+  }
+  if (sub == "heal") {
+    if (words.size() == 3) {
+      net->SetPartitioned(words[1], words[2], false);
+      return "healed " + words[1] + " <-> " + words[2] + "\n";
+    }
+    if (words.size() == 1) {
+      net->ClearFaults();
+      return "cleared all partitions and downed nodes\n";
+    }
+    return usage;
+  }
+  if (sub == "down" && words.size() == 2) {
+    net->SetNodeDown(words[1], true);
+    return "node " + words[1] + " down\n";
+  }
+  if (sub == "up" && words.size() == 2) {
+    net->SetNodeDown(words[1], false);
+    return "node " + words[1] + " up\n";
+  }
+  if (sub == "loss" && words.size() == 4) {
+    char* end = nullptr;
+    const double p = std::strtod(words[3].c_str(), &end);
+    if (end == words[3].c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return "ERROR: chaos loss takes a probability between 0 and 1";
+    }
+    net->SetLoss(words[1], words[2], p);
+    return "loss " + words[1] + " -> " + words[2] + " = " + words[3] + "\n";
+  }
+  return usage;
 }
 
 }  // namespace gsn::container

@@ -1,7 +1,9 @@
 #ifndef GSN_CONTAINER_MANAGEMENT_INTERFACE_H_
 #define GSN_CONTAINER_MANAGEMENT_INTERFACE_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "gsn/container/container.h"
 
@@ -13,30 +15,25 @@ namespace gsn::container {
 /// effective status of all parts of the system" runs through these
 /// commands in the example binaries).
 ///
-/// Commands:
-///   help
-///   list                           deployed sensors
-///   status <sensor>                pipeline counters + storage usage
-///   deploy <descriptor-xml>        deploy from inline XML
-///   undeploy <sensor>
-///   query <sql>                    one-shot SQL, table-formatted
-///   discover [k=v ...]             directory lookup by predicates
-///   wrappers                       registered wrapper types
-///   describe <sensor>              descriptor XML round-tripped
-///   metrics                        telemetry in Prometheus text format
-///   slowlog [threshold-micros]     show / set the slow-query threshold
-///                                  (no args also prints retained slow
-///                                  queries with source + analyzed plan)
-///   trace [rate]                   show / set the trace sample rate
-///   traces [trace-id]              recorded spans, optionally one trace
+/// Commands are rows of a registry (name, argument help, description,
+/// handler); `help` is generated from the registry so it can never go
+/// stale. Highlights:
+///   list / status / deploy / undeploy / describe / wrappers
+///   query / query-json / query-csv / explain / plot
+///   discover [k=v ...]            directory lookup by predicates
+///   metrics / slowlog / trace / traces
+///   peers                         federation peer health (circuit
+///                                 state, last-seen, times opened)
+///   chaos <sub> ...               fault injection on the attached
+///                                 network simulator: partition, heal,
+///                                 down, up, loss
 ///
 /// Every command returns the response text; errors are rendered as
 /// "ERROR: <status>". An api key can be attached for containers with
 /// access control enabled.
 class ManagementInterface {
  public:
-  explicit ManagementInterface(Container* container)
-      : container_(container) {}
+  explicit ManagementInterface(Container* container);
 
   ManagementInterface(const ManagementInterface&) = delete;
   ManagementInterface& operator=(const ManagementInterface&) = delete;
@@ -47,11 +44,24 @@ class ManagementInterface {
   void set_api_key(std::string api_key) { api_key_ = std::move(api_key); }
 
  private:
+  /// One registered command. `handler` receives the trimmed argument
+  /// string (everything after the command word).
+  struct Command {
+    std::string name;
+    std::string args_help;  // e.g. "<sensor>", "[k=v ...]"
+    std::string help;       // one-line description
+    std::function<std::string(const std::string& args)> handler;
+  };
+
+  std::string CmdHelp() const;
   std::string CmdList() const;
   std::string CmdStatus(const std::string& sensor) const;
   std::string CmdDeploy(const std::string& xml);
   std::string CmdUndeploy(const std::string& sensor);
   std::string CmdQuery(const std::string& sql);
+  std::string CmdExplain(const std::string& args);
+  std::string CmdPlot(const std::string& args);
+  std::string CmdTopology() const;
   std::string CmdDiscover(const std::string& args) const;
   std::string CmdWrappers() const;
   std::string CmdDescribe(const std::string& sensor) const;
@@ -59,8 +69,11 @@ class ManagementInterface {
   std::string CmdSlowlog(const std::string& args);
   std::string CmdTrace(const std::string& args);
   std::string CmdTraces(const std::string& args) const;
+  std::string CmdPeers() const;
+  std::string CmdChaos(const std::string& args);
 
   Container* container_;
+  std::vector<Command> commands_;
   std::string api_key_;
 };
 

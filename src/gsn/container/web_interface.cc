@@ -9,9 +9,64 @@ namespace gsn::container {
 using network::HttpRequest;
 using network::HttpResponse;
 
+namespace {
+constexpr char kApiPrefix[] = "/api/v1";
+constexpr size_t kApiPrefixLen = sizeof(kApiPrefix) - 1;
+}  // namespace
+
 WebInterface::WebInterface(Container* container)
     : container_(container),
-      server_([this](const HttpRequest& request) { return Handle(request); }) {}
+      server_([this](const HttpRequest& request) { return Handle(request); }) {
+  // The route table. Paths are canonical (below /api/v1); the bare
+  // legacy paths alias onto the same rows.
+  auto add = [this](const char* method, const char* path, bool prefix,
+                    auto handler) {
+    routes_.push_back(Route{method, path, prefix, std::move(handler)});
+  };
+  add("GET", "/sensors", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleSensors();
+      });
+  add("GET", "/sensors/", true,
+      [this](const HttpRequest&, const std::string& name) {
+        return HandleSensorStatus(name);
+      });
+  add("GET", "/query", false,
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleQuery(r);
+      });
+  add("GET", "/explain", false,
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleExplain(r);
+      });
+  add("GET", "/discover", false,
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleDiscover(r);
+      });
+  add("GET", "/topology", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleTopology();
+      });
+  add("GET", "/metrics", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleMetrics();
+      });
+  add("GET", "/traces", false,
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleTraces(r);
+      });
+  add("GET", "/peers", false, [this](const HttpRequest&, const std::string&) {
+    return HandlePeers();
+  });
+  add("POST", "/deploy", false,
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleDeploy(r);
+      });
+  add("POST", "/undeploy", false,
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleUndeploy(r);
+      });
+}
 
 Status WebInterface::Start(uint16_t port) { return server_.Start(port); }
 
@@ -22,6 +77,13 @@ std::string WebInterface::ApiKey(const HttpRequest& request) {
   return header.empty() ? request.QueryOr("key", "") : header;
 }
 
+HttpResponse WebInterface::ErrorJson(int http_status, const std::string& code,
+                                     const std::string& message) {
+  return HttpResponse::Json("{\"error\":{\"code\":" + JsonEscape(code) +
+                                ",\"message\":" + JsonEscape(message) + "}}",
+                            http_status);
+}
+
 HttpResponse WebInterface::FromStatus(const Status& status) {
   const int http_status =
       status.code() == StatusCode::kNotFound           ? 404
@@ -29,31 +91,41 @@ HttpResponse WebInterface::FromStatus(const Status& status) {
       : status.code() == StatusCode::kParseError       ? 400
       : status.code() == StatusCode::kInvalidArgument  ? 400
                                                        : 500;
-  return HttpResponse::Json(
-      "{\"error\":" + JsonEscape(status.ToString()) + "}", http_status);
+  return ErrorJson(http_status, StatusCodeName(status.code()),
+                   status.message());
 }
 
 HttpResponse WebInterface::Handle(const HttpRequest& request) {
-  if (request.method == "GET") {
-    if (request.path == "/") return HandleIndex();
-    if (request.path == "/sensors") return HandleSensors();
-    if (StrStartsWith(request.path, "/sensors/")) {
-      return HandleSensorStatus(request.path.substr(9));
+  if (request.method == "GET" && request.path == "/") return HandleIndex();
+  std::string path = request.path;
+  if (StrStartsWith(path, kApiPrefix)) {
+    path = path.substr(kApiPrefixLen);
+    if (path.empty() || path == "/") {
+      if (request.method == "GET") return HandleApiIndex();
+      return ErrorJson(405, "MethodNotAllowed",
+                       "method not allowed: " + request.method);
     }
-    if (request.path == "/query") return HandleQuery(request);
-    if (request.path == "/explain") return HandleExplain(request);
-    if (request.path == "/discover") return HandleDiscover(request);
-    if (request.path == "/topology") return HandleTopology();
-    if (request.path == "/metrics") return HandleMetrics();
-    if (request.path == "/traces") return HandleTraces(request);
-    return HttpResponse::Error(404, "no such resource: " + request.path);
   }
-  if (request.method == "POST") {
-    if (request.path == "/deploy") return HandleDeploy(request);
-    if (request.path == "/undeploy") return HandleUndeploy(request);
-    return HttpResponse::Error(404, "no such resource: " + request.path);
+  return Dispatch(request, path);
+}
+
+HttpResponse WebInterface::Dispatch(const HttpRequest& request,
+                                    const std::string& path) {
+  bool path_matched = false;
+  for (const Route& route : routes_) {
+    const bool match =
+        route.prefix ? StrStartsWith(path, route.path) : path == route.path;
+    if (!match) continue;
+    path_matched = true;
+    if (route.method != request.method) continue;
+    return route.handler(
+        request, route.prefix ? path.substr(route.path.size()) : "");
   }
-  return HttpResponse::Error(405, "method not allowed: " + request.method);
+  if (path_matched) {
+    return ErrorJson(405, "MethodNotAllowed",
+                     "method not allowed: " + request.method);
+  }
+  return ErrorJson(404, "NotFound", "no such resource: " + request.path);
 }
 
 HttpResponse WebInterface::HandleIndex() {
@@ -63,14 +135,31 @@ HttpResponse WebInterface::HandleIndex() {
                      xml::Escape(container_->node_id()) +
                      "</h1><h2>Virtual sensors</h2><ul>";
   for (const std::string& name : container_->ListSensors()) {
-    html += "<li><a href=\"/sensors/" + name + "\">" + xml::Escape(name) +
-            "</a></li>";
+    html += "<li><a href=\"/api/v1/sensors/" + name + "\">" +
+            xml::Escape(name) + "</a></li>";
   }
   html +=
-      "</ul><p>API: /sensors /query?sql=... /explain?sql=...&amp;analyze=1 "
-      "/discover?key=val /topology /metrics /traces POST /deploy POST "
-      "/undeploy?name=...</p></body></html>";
+      "</ul><p>API: /api/v1/sensors /api/v1/query?sql=... "
+      "/api/v1/explain?sql=...&amp;analyze=1 /api/v1/discover?key=val "
+      "/api/v1/topology /api/v1/metrics /api/v1/traces /api/v1/peers "
+      "POST /api/v1/deploy POST /api/v1/undeploy?name=... "
+      "(unversioned paths are deprecated aliases)</p></body></html>";
   return HttpResponse::Html(std::move(html));
+}
+
+HttpResponse WebInterface::HandleApiIndex() {
+  std::string json = "{\"version\":\"v1\",\"routes\":[";
+  bool first = true;
+  for (const Route& route : routes_) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"method\":" + JsonEscape(route.method) + ",\"path\":" +
+            JsonEscape(std::string(kApiPrefix) + route.path +
+                       (route.prefix ? "<name>" : "")) +
+            "}";
+  }
+  json += "]}";
+  return HttpResponse::Json(std::move(json));
 }
 
 HttpResponse WebInterface::HandleSensors() {
@@ -110,7 +199,7 @@ HttpResponse WebInterface::HandleSensorStatus(const std::string& name) {
 HttpResponse WebInterface::HandleQuery(const HttpRequest& request) {
   const std::string sql = request.QueryOr("sql", "");
   if (sql.empty()) {
-    return HttpResponse::Error(400, "missing ?sql= parameter");
+    return ErrorJson(400, "InvalidArgument", "missing ?sql= parameter");
   }
   Result<Relation> result = container_->Query(sql, ApiKey(request));
   if (!result.ok()) return FromStatus(result.status());
@@ -125,7 +214,7 @@ HttpResponse WebInterface::HandleQuery(const HttpRequest& request) {
 HttpResponse WebInterface::HandleExplain(const HttpRequest& request) {
   const std::string sql = request.QueryOr("sql", "");
   if (sql.empty()) {
-    return HttpResponse::Error(400, "missing ?sql= parameter");
+    return ErrorJson(400, "InvalidArgument", "missing ?sql= parameter");
   }
   const bool analyze = request.QueryOr("analyze", "0") != "0";
   Result<std::string> plan =
@@ -188,16 +277,34 @@ HttpResponse WebInterface::HandleTraces(const HttpRequest& request) {
     uint64_t hi = 0;
     uint64_t lo = 0;
     if (!telemetry::ParseTraceIdHex(id, &hi, &lo)) {
-      return HttpResponse::Error(400, "?id= must be a 32-char hex trace id");
+      return ErrorJson(400, "InvalidArgument",
+                       "?id= must be a 32-char hex trace id");
     }
   }
   return HttpResponse::Json(
       telemetry::RenderTracesJson(container_->tracer()->store(), id));
 }
 
+HttpResponse WebInterface::HandlePeers() {
+  std::string json = "[";
+  bool first = true;
+  for (const Container::PeerStatus& peer : container_->PeerStatuses()) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"node\":" + JsonEscape(peer.node_id) +
+            ",\"circuit\":" + JsonEscape(peer.circuit) +
+            ",\"last_seen_micros\":" + std::to_string(peer.last_seen) +
+            ",\"circuit_opened_total\":" +
+            std::to_string(peer.circuit_opened_total) + "}";
+  }
+  json += "]";
+  return HttpResponse::Json(std::move(json));
+}
+
 HttpResponse WebInterface::HandleDeploy(const HttpRequest& request) {
   if (request.body.empty()) {
-    return HttpResponse::Error(400, "POST body must be a descriptor XML");
+    return ErrorJson(400, "InvalidArgument",
+                     "POST body must be a descriptor XML");
   }
   Result<vsensor::VirtualSensor*> sensor =
       container_->Deploy(request.body, ApiKey(request));
@@ -208,7 +315,9 @@ HttpResponse WebInterface::HandleDeploy(const HttpRequest& request) {
 
 HttpResponse WebInterface::HandleUndeploy(const HttpRequest& request) {
   const std::string name = request.QueryOr("name", "");
-  if (name.empty()) return HttpResponse::Error(400, "missing ?name=");
+  if (name.empty()) {
+    return ErrorJson(400, "InvalidArgument", "missing ?name=");
+  }
   const Status status = container_->Undeploy(name, ApiKey(request));
   if (!status.ok()) return FromStatus(status);
   return HttpResponse::Json("{\"undeployed\":" + JsonEscape(name) + "}");

@@ -1,7 +1,9 @@
 #ifndef GSN_CONTAINER_WEB_INTERFACE_H_
 #define GSN_CONTAINER_WEB_INTERFACE_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "gsn/container/container.h"
 #include "gsn/network/http_server.h"
@@ -11,22 +13,32 @@ namespace gsn::container {
 /// The container's web/web-services front end (paper §4: "the interface
 /// layer provides access functions for other GSN containers and via the
 /// Web (through a browser or via web services)"; §6: the demo audience
-/// monitors and queries the system through it). Routes:
+/// monitors and queries the system through it).
 ///
-///   GET  /                  HTML index: node id + deployed sensors
-///   GET  /sensors           JSON list of sensors with status counters
-///   GET  /sensors/<name>    JSON status of one sensor
-///   GET  /query?sql=...     result as JSON (&format=csv for CSV)
-///   GET  /explain?sql=...   the optimized execution pipeline as text
-///                           (&analyze=1 executes and annotates the
-///                           plan with actual rows/timings)
-///   GET  /discover?k=v&...  directory lookup by predicates (JSON)
-///   GET  /topology          data-flow graph as Graphviz DOT
-///   GET  /metrics           telemetry in Prometheus text format
-///   GET  /traces            recorded trace spans as JSON
-///                           (?id=<32-hex trace id> filters one trace)
-///   POST /deploy            body = descriptor XML
-///   POST /undeploy?name=...
+/// Every resource is mounted under the versioned prefix `/api/v1`; the
+/// bare unversioned paths are kept as deprecated aliases for existing
+/// scrapers and scripts (see docs/FEDERATION.md for the deprecation
+/// note). One route table drives both mounts:
+///
+///   GET  /api/v1/sensors           JSON list of sensors with counters
+///   GET  /api/v1/sensors/<name>    JSON status of one sensor
+///   GET  /api/v1/query?sql=...     result as JSON (&format=csv for CSV)
+///   GET  /api/v1/explain?sql=...   the optimized execution pipeline as
+///                                  text (&analyze=1 executes and
+///                                  annotates with actual rows/timings)
+///   GET  /api/v1/discover?k=v&...  directory lookup by predicates
+///   GET  /api/v1/topology          data-flow graph as Graphviz DOT
+///   GET  /api/v1/metrics           telemetry in Prometheus text format
+///   GET  /api/v1/traces            recorded trace spans as JSON
+///                                  (?id=<32-hex trace id> filters one)
+///   GET  /api/v1/peers             federation peer health: circuit
+///                                  state, last-seen, times opened
+///   POST /api/v1/deploy            body = descriptor XML
+///   POST /api/v1/undeploy?name=...
+///
+/// `GET /` serves an HTML index; `GET /api/v1` lists the route table as
+/// JSON. Errors share one JSON envelope on every route:
+///   {"error":{"code":"NotFound","message":"..."}}
 ///
 /// When the container's access control is enabled, callers pass their
 /// API key as the X-Api-Key header or a `key` query parameter.
@@ -46,7 +58,22 @@ class WebInterface {
   network::HttpResponse Handle(const network::HttpRequest& request);
 
  private:
+  /// One row of the route table. `path` is the canonical path below the
+  /// version prefix ("/sensors"); `prefix` routes also match any
+  /// suffix, which is passed to the handler ("/sensors/<name>").
+  struct Route {
+    std::string method;
+    std::string path;
+    bool prefix = false;
+    std::function<network::HttpResponse(const network::HttpRequest&,
+                                        const std::string& suffix)>
+        handler;
+  };
+
+  network::HttpResponse Dispatch(const network::HttpRequest& request,
+                                 const std::string& path);
   network::HttpResponse HandleIndex();
+  network::HttpResponse HandleApiIndex();
   network::HttpResponse HandleSensors();
   network::HttpResponse HandleSensorStatus(const std::string& name);
   network::HttpResponse HandleQuery(const network::HttpRequest& request);
@@ -55,13 +82,19 @@ class WebInterface {
   network::HttpResponse HandleTopology();
   network::HttpResponse HandleMetrics();
   network::HttpResponse HandleTraces(const network::HttpRequest& request);
+  network::HttpResponse HandlePeers();
   network::HttpResponse HandleDeploy(const network::HttpRequest& request);
   network::HttpResponse HandleUndeploy(const network::HttpRequest& request);
 
   static std::string ApiKey(const network::HttpRequest& request);
+  /// The shared error envelope: {"error":{"code":...,"message":...}}.
+  static network::HttpResponse ErrorJson(int http_status,
+                                         const std::string& code,
+                                         const std::string& message);
   static network::HttpResponse FromStatus(const Status& status);
 
   Container* container_;
+  std::vector<Route> routes_;
   network::HttpServer server_;
 };
 

@@ -1,0 +1,115 @@
+#ifndef GSN_NETWORK_CIRCUIT_BREAKER_H_
+#define GSN_NETWORK_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "gsn/util/clock.h"
+
+namespace gsn::network {
+
+/// Per-peer circuit breaker (closed -> open -> half-open). The
+/// container keeps one per known peer, feeds it heartbeat evidence, and
+/// consults it before sending: an open circuit pauses stream/control
+/// traffic to the peer and triggers directory re-resolution so
+/// `wrapper="remote"` sources can fail over to another producer.
+///
+/// The breaker is a passive state machine under virtual time: kOpen is
+/// stored with its opening timestamp, and kHalfOpen is *derived* — once
+/// `open_duration` has elapsed, StateAt() reports half-open, meaning
+/// one probe round of traffic may flow. A success in any state closes
+/// the circuit; a failure while half-open re-opens it (and re-arms the
+/// timer).
+///
+/// Not internally synchronized: the owner serializes access (the
+/// container guards its peer table with its own mutex).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct Config {
+    /// Consecutive failures before the circuit opens.
+    int failure_threshold = 3;
+    /// How long an open circuit blocks traffic before allowing a
+    /// half-open probe.
+    Timestamp open_duration_micros = 5 * kMicrosPerSecond;
+  };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(Config config) : config_(config) {}
+
+  /// The effective state at `now` (derives half-open from elapsed time;
+  /// does not mutate).
+  State StateAt(Timestamp now) const {
+    if (state_ != State::kOpen) return State::kClosed;
+    return now - opened_at_ >= config_.open_duration_micros ? State::kHalfOpen
+                                                            : State::kOpen;
+  }
+
+  /// True when traffic may be sent: closed, or half-open (probe).
+  bool AllowSend(Timestamp now) const {
+    return StateAt(now) != State::kOpen;
+  }
+
+  /// Evidence of a live peer: closes the circuit and clears the
+  /// failure streak. Returns true when this closed a non-closed
+  /// circuit (recovery edge, for logging/metrics).
+  bool RecordSuccess() {
+    consecutive_failures_ = 0;
+    if (state_ == State::kOpen) {
+      state_ = State::kClosed;
+      return true;
+    }
+    return false;
+  }
+
+  /// Evidence of a dead peer (missed heartbeats, send errors). Returns
+  /// true when this call opened (or re-opened) the circuit — the edge
+  /// on which the container starts failover.
+  bool RecordFailure(Timestamp now) {
+    if (state_ == State::kOpen) {
+      if (StateAt(now) == State::kHalfOpen) {
+        // Probe failed: re-open and re-arm the timer.
+        opened_at_ = now;
+        ++opened_total_;
+        return true;
+      }
+      return false;  // already open, still waiting
+    }
+    if (++consecutive_failures_ >= config_.failure_threshold) {
+      state_ = State::kOpen;
+      opened_at_ = now;
+      consecutive_failures_ = 0;
+      ++opened_total_;
+      return true;
+    }
+    return false;
+  }
+
+  const Config& config() const { return config_; }
+  /// Times the circuit transitioned into open over its lifetime.
+  int64_t opened_total() const { return opened_total_; }
+
+  static const char* StateName(State state) {
+    switch (state) {
+      case State::kClosed:
+        return "closed";
+      case State::kOpen:
+        return "open";
+      case State::kHalfOpen:
+        return "half-open";
+    }
+    return "unknown";
+  }
+
+ private:
+  Config config_;
+  State state_ = State::kClosed;  // kClosed or kOpen; half-open derived
+  Timestamp opened_at_ = 0;
+  int consecutive_failures_ = 0;
+  int64_t opened_total_ = 0;
+};
+
+}  // namespace gsn::network
+
+#endif  // GSN_NETWORK_CIRCUIT_BREAKER_H_

@@ -74,6 +74,7 @@ std::string StreamDelivery::Encode() const {
   Codec::EncodeI64(static_cast<int64_t>(trace.trace_lo), &out);
   Codec::EncodeI64(static_cast<int64_t>(trace.span_id), &out);
   Codec::EncodeU32(trace.sampled ? 1 : 0, &out);
+  Codec::EncodeI64(static_cast<int64_t>(sequence), &out);
   return out;
 }
 
@@ -92,7 +93,89 @@ Result<StreamDelivery> StreamDelivery::Decode(std::string_view data) {
   msg.trace.trace_lo = static_cast<uint64_t>(lo);
   msg.trace.span_id = static_cast<uint64_t>(span);
   msg.trace.sampled = sampled != 0;
+  GSN_ASSIGN_OR_RETURN(int64_t sequence, Codec::DecodeI64(data, &pos));
+  msg.sequence = static_cast<uint64_t>(sequence);
   GSN_RETURN_IF_ERROR(CheckFullyConsumed(data, pos, "StreamDelivery"));
+  return msg;
+}
+
+std::string SubscribeAck::Encode() const {
+  std::string out;
+  Codec::EncodeString(subscription_id, &out);
+  return out;
+}
+
+Result<SubscribeAck> SubscribeAck::Decode(std::string_view data) {
+  SubscribeAck msg;
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(msg.subscription_id, Codec::DecodeString(data, &pos));
+  GSN_RETURN_IF_ERROR(CheckFullyConsumed(data, pos, "SubscribeAck"));
+  return msg;
+}
+
+std::string NackRequest::Encode() const {
+  std::string out;
+  Codec::EncodeString(subscription_id, &out);
+  Codec::EncodeU32(static_cast<uint32_t>(ranges.size()), &out);
+  for (const SeqRange& range : ranges) {
+    Codec::EncodeI64(static_cast<int64_t>(range.from), &out);
+    Codec::EncodeI64(static_cast<int64_t>(range.to), &out);
+  }
+  return out;
+}
+
+Result<NackRequest> NackRequest::Decode(std::string_view data) {
+  NackRequest msg;
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(msg.subscription_id, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(uint32_t count, Codec::DecodeU32(data, &pos));
+  msg.ranges.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SeqRange range;
+    GSN_ASSIGN_OR_RETURN(int64_t from, Codec::DecodeI64(data, &pos));
+    GSN_ASSIGN_OR_RETURN(int64_t to, Codec::DecodeI64(data, &pos));
+    range.from = static_cast<uint64_t>(from);
+    range.to = static_cast<uint64_t>(to);
+    if (range.to < range.from) {
+      return Status::ParseError("NackRequest: inverted range");
+    }
+    msg.ranges.push_back(range);
+  }
+  GSN_RETURN_IF_ERROR(CheckFullyConsumed(data, pos, "NackRequest"));
+  return msg;
+}
+
+std::string StreamTip::Encode() const {
+  std::string out;
+  Codec::EncodeString(subscription_id, &out);
+  Codec::EncodeI64(static_cast<int64_t>(last_sequence), &out);
+  return out;
+}
+
+Result<StreamTip> StreamTip::Decode(std::string_view data) {
+  StreamTip msg;
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(msg.subscription_id, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(int64_t last, Codec::DecodeI64(data, &pos));
+  msg.last_sequence = static_cast<uint64_t>(last);
+  GSN_RETURN_IF_ERROR(CheckFullyConsumed(data, pos, "StreamTip"));
+  return msg;
+}
+
+std::string Heartbeat::Encode() const {
+  std::string out;
+  Codec::EncodeString(node_id, &out);
+  Codec::EncodeI64(static_cast<int64_t>(beat), &out);
+  return out;
+}
+
+Result<Heartbeat> Heartbeat::Decode(std::string_view data) {
+  Heartbeat msg;
+  size_t pos = 0;
+  GSN_ASSIGN_OR_RETURN(msg.node_id, Codec::DecodeString(data, &pos));
+  GSN_ASSIGN_OR_RETURN(int64_t beat, Codec::DecodeI64(data, &pos));
+  msg.beat = static_cast<uint64_t>(beat);
+  GSN_RETURN_IF_ERROR(CheckFullyConsumed(data, pos, "Heartbeat"));
   return msg;
 }
 

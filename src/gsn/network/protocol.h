@@ -1,8 +1,11 @@
 #ifndef GSN_NETWORK_PROTOCOL_H_
 #define GSN_NETWORK_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "gsn/types/schema.h"
 #include "gsn/util/result.h"
@@ -15,13 +18,21 @@ namespace gsn::network {
 ///   kTopicDirPublish  — gossip a DirectoryEntry (payload: entry)
 ///   kTopicDirRemove   — retract a sensor (payload: DirRemove)
 ///   kTopicSubscribe   — subscribe to a remote sensor's output stream
+///   kTopicSubAck      — producer's acknowledgement of a subscription
 ///   kTopicUnsubscribe — cancel a subscription
 ///   kTopicStream      — one output element for a subscription
+///   kTopicStreamTip   — producer's highest assigned sequence number
+///   kTopicStreamNack  — subscriber's replay request for missing seqs
+///   kTopicHeartbeat   — periodic liveness beacon (broadcast)
 inline constexpr char kTopicDirPublish[] = "dir.publish";
 inline constexpr char kTopicDirRemove[] = "dir.remove";
 inline constexpr char kTopicSubscribe[] = "sub.request";
+inline constexpr char kTopicSubAck[] = "sub.ack";
 inline constexpr char kTopicUnsubscribe[] = "sub.cancel";
 inline constexpr char kTopicStream[] = "sub.stream";
+inline constexpr char kTopicStreamTip[] = "sub.tip";
+inline constexpr char kTopicStreamNack[] = "sub.nack";
+inline constexpr char kTopicHeartbeat[] = "peer.heartbeat";
 
 /// Retraction of a published sensor.
 struct DirRemove {
@@ -56,16 +67,73 @@ struct UnsubscribeRequest {
 /// empty means unsigned. `trace` carries the producing container's
 /// trace context so the receiving container continues the same trace;
 /// it rides outside the signed payload (observability metadata, not
-/// sensor data).
+/// sensor data). `sequence` is the per-subscription delivery number
+/// (1-based, dense): the receiving RemoteStreamWrapper uses it to
+/// detect gaps (→ NACK/replay) and drop duplicates, so lossy links
+/// still yield exactly-once admission. 0 marks a legacy unsequenced
+/// delivery, admitted as-is.
 struct StreamDelivery {
   std::string subscription_id;
   std::string sensor_name;
   std::string signature;
   StreamElement element;
   TraceContext trace;
+  uint64_t sequence = 0;
 
   std::string Encode() const;
   static Result<StreamDelivery> Decode(std::string_view data);
+};
+
+/// Producer's acknowledgement of a SubscribeRequest. Until it arrives
+/// the subscriber re-sends the request under its retry policy
+/// (subscribes are idempotent on the producer).
+struct SubscribeAck {
+  std::string subscription_id;
+
+  std::string Encode() const;
+  static Result<SubscribeAck> Decode(std::string_view data);
+};
+
+/// Inclusive range of missing sequence numbers.
+struct SeqRange {
+  uint64_t from = 0;
+  uint64_t to = 0;
+
+  bool operator==(const SeqRange& other) const {
+    return from == other.from && to == other.to;
+  }
+};
+
+/// Subscriber's replay request: "I have gaps at these sequences". The
+/// producer re-sends whatever its replay buffer still holds.
+struct NackRequest {
+  std::string subscription_id;
+  std::vector<SeqRange> ranges;
+
+  std::string Encode() const;
+  static Result<NackRequest> Decode(std::string_view data);
+};
+
+/// Producer's periodic "high-water mark" for a subscription: the last
+/// sequence it assigned. Lets the subscriber detect *tail* loss — a
+/// dropped final delivery would otherwise never look like a gap.
+struct StreamTip {
+  std::string subscription_id;
+  uint64_t last_sequence = 0;
+
+  std::string Encode() const;
+  static Result<StreamTip> Decode(std::string_view data);
+};
+
+/// Periodic liveness beacon, broadcast by every container. Feeds the
+/// per-peer circuit breakers: missed heartbeats accumulate failures,
+/// any received message records a success.
+struct Heartbeat {
+  std::string node_id;
+  uint64_t beat = 0;
+
+  std::string Encode() const;
+  static Result<Heartbeat> Decode(std::string_view data);
 };
 
 }  // namespace gsn::network

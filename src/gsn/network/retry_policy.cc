@@ -1,0 +1,56 @@
+#include "gsn/network/retry_policy.h"
+
+#include <algorithm>
+
+namespace gsn::network {
+
+Timestamp RetryPolicy::BackoffForAttempt(int attempt, Rng* rng) const {
+  if (attempt < 1) attempt = 1;
+  double backoff = static_cast<double>(initial_backoff_micros);
+  const double cap = static_cast<double>(max_backoff_micros);
+  for (int i = 1; i < attempt && backoff < cap; ++i) backoff *= multiplier;
+  backoff = std::min(backoff, cap);
+  if (rng != nullptr && jitter > 0) {
+    backoff *= rng->NextDouble(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max<Timestamp>(1, static_cast<Timestamp>(backoff));
+}
+
+Result<RetryPolicy> RetryPolicy::FromConfig(
+    const wrappers::WrapperConfig& config, const RetryPolicy& defaults) {
+  RetryPolicy policy = defaults;
+  GSN_ASSIGN_OR_RETURN(
+      int64_t attempts,
+      config.GetInt("retry-max-attempts", policy.max_attempts));
+  GSN_ASSIGN_OR_RETURN(policy.initial_backoff_micros,
+                       config.GetDuration("retry-initial-backoff",
+                                          policy.initial_backoff_micros));
+  GSN_ASSIGN_OR_RETURN(
+      policy.max_backoff_micros,
+      config.GetDuration("retry-max-backoff", policy.max_backoff_micros));
+  GSN_ASSIGN_OR_RETURN(policy.multiplier,
+                       config.GetDouble("retry-multiplier", policy.multiplier));
+  GSN_ASSIGN_OR_RETURN(policy.jitter,
+                       config.GetDouble("retry-jitter", policy.jitter));
+  if (attempts < 1) {
+    return Status::InvalidArgument("param 'retry-max-attempts': must be >= 1");
+  }
+  policy.max_attempts = static_cast<int>(attempts);
+  if (policy.initial_backoff_micros < 1) {
+    return Status::InvalidArgument(
+        "param 'retry-initial-backoff': must be positive");
+  }
+  if (policy.max_backoff_micros < policy.initial_backoff_micros) {
+    return Status::InvalidArgument(
+        "param 'retry-max-backoff': must be >= retry-initial-backoff");
+  }
+  if (policy.multiplier < 1.0) {
+    return Status::InvalidArgument("param 'retry-multiplier': must be >= 1");
+  }
+  if (policy.jitter < 0.0 || policy.jitter > 1.0) {
+    return Status::InvalidArgument("param 'retry-jitter': must be in [0, 1]");
+  }
+  return policy;
+}
+
+}  // namespace gsn::network

@@ -1,0 +1,55 @@
+#ifndef GSN_NETWORK_RETRY_POLICY_H_
+#define GSN_NETWORK_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "gsn/util/clock.h"
+#include "gsn/util/result.h"
+#include "gsn/util/rng.h"
+#include "gsn/wrappers/wrapper.h"
+
+namespace gsn::network {
+
+/// Retry/backoff policy shared by federation control traffic: remote
+/// subscribe requests, directory publishes, and NACK/replay rounds.
+/// Exponential backoff with jitter and a capped attempt count — the
+/// standard shape for intermittent links, which the GSN follow-up work
+/// on mobile deployments treats as the common case, not the exception.
+///
+/// Plain value type; callers hold their own attempt counters and ask
+/// BackoffForAttempt(n) how long to wait after the n-th failure.
+struct RetryPolicy {
+  /// Gives up (and lets higher layers fail over / abandon) after this
+  /// many attempts. Attempt numbers are 1-based.
+  int max_attempts = 8;
+  Timestamp initial_backoff_micros = 100 * kMicrosPerMilli;
+  Timestamp max_backoff_micros = 5 * kMicrosPerSecond;
+  double multiplier = 2.0;
+  /// Jitter fraction in [0, 1]: the computed backoff is scaled by a
+  /// uniform factor in [1 - jitter, 1 + jitter]. Deterministic when the
+  /// caller's Rng is seeded (all federation tests are).
+  double jitter = 0.2;
+
+  /// Backoff to wait after attempt `attempt` (1-based) failed. Grows
+  /// exponentially, saturates at max_backoff_micros, then jitters.
+  /// `rng` may be null for the undithered value.
+  Timestamp BackoffForAttempt(int attempt, Rng* rng) const;
+
+  /// True once `attempt` attempts have been spent.
+  bool Exhausted(int attempt) const { return attempt >= max_attempts; }
+
+  /// Parses a policy from wrapper/source parameters, starting from
+  /// `defaults`. Recognized keys (all optional):
+  ///   retry-max-attempts    int
+  ///   retry-initial-backoff duration ("250ms", "1s"; bare int = seconds)
+  ///   retry-max-backoff     duration
+  ///   retry-multiplier      double >= 1
+  ///   retry-jitter          double in [0, 1]
+  /// Errors are typed parse errors naming the offending key.
+  static Result<RetryPolicy> FromConfig(const wrappers::WrapperConfig& config,
+                                        const RetryPolicy& defaults);
+};
+
+}  // namespace gsn::network
+
+#endif  // GSN_NETWORK_RETRY_POLICY_H_

@@ -1,5 +1,7 @@
 #include "gsn/network/simulator.h"
 
+#include <algorithm>
+
 namespace gsn::network {
 
 NetworkSimulator::NetworkSimulator(uint64_t seed,
@@ -67,6 +69,68 @@ const NetworkSimulator::LinkConfig& NetworkSimulator::LinkFor(
   return it == links_.end() ? default_link_ : it->second;
 }
 
+// ------------------------------------------------------- Fault injection
+
+bool NetworkSimulator::FaultBlocksLocked(const std::string& from,
+                                         const std::string& to) const {
+  if (down_nodes_.count(from) || down_nodes_.count(to)) return true;
+  return partitions_.count(from < to ? std::make_pair(from, to)
+                                     : std::make_pair(to, from)) > 0;
+}
+
+void NetworkSimulator::SetPartitioned(const std::string& a,
+                                      const std::string& b, bool partitioned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (partitioned) {
+    partitions_.insert(std::move(key));
+  } else {
+    partitions_.erase(key);
+  }
+}
+
+void NetworkSimulator::SetNodeDown(const std::string& node_id, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down) {
+    down_nodes_.insert(node_id);
+  } else {
+    down_nodes_.erase(node_id);
+  }
+}
+
+bool NetworkSimulator::IsNodeDown(const std::string& node_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_nodes_.count(node_id) > 0;
+}
+
+void NetworkSimulator::SetLoss(const std::string& from, const std::string& to,
+                               double loss_probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkConfig link = LinkFor(from, to);
+  link.loss_probability = loss_probability;
+  links_[{from, to}] = link;
+}
+
+void NetworkSimulator::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.clear();
+  down_nodes_.clear();
+}
+
+void NetworkSimulator::ScheduleAt(Timestamp at, std::function<void()> action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ScheduledAction scheduled;
+  scheduled.at = at;
+  scheduled.sequence = action_sequence_++;
+  scheduled.action = std::move(action);
+  auto pos = std::upper_bound(
+      actions_.begin(), actions_.end(), scheduled,
+      [](const ScheduledAction& x, const ScheduledAction& y) {
+        return x.at != y.at ? x.at < y.at : x.sequence < y.sequence;
+      });
+  actions_.insert(pos, std::move(scheduled));
+}
+
 Status NetworkSimulator::Send(Timestamp now, const std::string& from,
                               const std::string& to, const std::string& topic,
                               std::string payload) {
@@ -76,6 +140,10 @@ Status NetworkSimulator::Send(Timestamp now, const std::string& from,
   }
   sent_->Increment();
   bytes_sent_->Increment(static_cast<int64_t>(payload.size()));
+  if (FaultBlocksLocked(from, to)) {
+    dropped_->Increment();
+    return Status::OK();  // faults are silent, like a cable pull
+  }
   const LinkConfig& link = LinkFor(from, to);
   if (link.loss_probability > 0 && rng_.NextBool(link.loss_probability)) {
     dropped_->Increment();
@@ -119,22 +187,44 @@ int NetworkSimulator::DeliverUntil(Timestamp now) {
   for (;;) {
     Message message;
     NetworkNode* target = nullptr;
+    std::function<void()> action;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (queue_.empty() || queue_.top().message.deliver_at > now) break;
-      message = queue_.top().message;
-      queue_.pop();
-      auto it = nodes_.find(message.to);
-      if (it == nodes_.end()) {
-        // Node departed after the message was sent: drop it.
-        dropped_->Increment();
-        continue;
+      const bool action_due = !actions_.empty() && actions_.front().at <= now;
+      const bool message_due =
+          !queue_.empty() && queue_.top().message.deliver_at <= now;
+      // Interleave chaos actions with deliveries in global time order;
+      // an action due at the same instant as a message runs first (the
+      // fault lands before the packet).
+      if (action_due &&
+          (!message_due ||
+           actions_.front().at <= queue_.top().message.deliver_at)) {
+        action = std::move(actions_.front().action);
+        actions_.erase(actions_.begin());
+      } else if (message_due) {
+        message = queue_.top().message;
+        queue_.pop();
+        auto it = nodes_.find(message.to);
+        if (it == nodes_.end() ||
+            FaultBlocksLocked(message.from, message.to)) {
+          // Node departed, crashed, or partitioned while the message
+          // was in flight: drop it.
+          dropped_->Increment();
+          continue;
+        }
+        target = it->second;
+        delivered_->Increment();
+        delivery_micros_->Observe(message.deliver_at - message.sent_at);
+      } else {
+        break;
       }
-      target = it->second;
-      delivered_->Increment();
-      delivery_micros_->Observe(message.deliver_at - message.sent_at);
     }
-    // Deliver outside the lock: handlers commonly Send() in response.
+    // Run handlers/actions outside the lock: both commonly call back
+    // into the simulator (Send, SetPartitioned, ...).
+    if (action) {
+      action();
+      continue;
+    }
     target->OnMessage(message);
     ++delivered;
   }

@@ -1,9 +1,11 @@
 #ifndef GSN_NETWORK_SIMULATOR_H_
 #define GSN_NETWORK_SIMULATOR_H_
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -92,8 +94,45 @@ class NetworkSimulator {
 
   /// Delivers every queued message with deliver_at <= now, in delivery
   /// time order. Handlers may send more messages; those are delivered
-  /// too if due. Returns the number of messages delivered.
+  /// too if due. Scheduled fault actions due by `now` run interleaved
+  /// in time order. Returns the number of messages delivered.
   int DeliverUntil(Timestamp now);
+
+  // -- Fault injection ------------------------------------------------------
+  //
+  // First-class chaos controls, scriptable under virtual time so chaos
+  // tests are deterministic: partitions, peer crash/restart, and
+  // asymmetric loss (via SetLoss on one direction only). Faults act at
+  // both send and delivery time — a message in flight when the
+  // partition lands is lost, like a cable pull.
+
+  /// Symmetric partition between `a` and `b`: messages in either
+  /// direction are dropped while it holds.
+  void SetPartitioned(const std::string& a, const std::string& b,
+                      bool partitioned);
+
+  /// Crash / restart: a down node neither sends nor receives, but its
+  /// registration (and the owning container's state) survives — this
+  /// models a process restart, not a departure.
+  void SetNodeDown(const std::string& node_id, bool down);
+  bool IsNodeDown(const std::string& node_id) const;
+
+  /// Convenience: sets only the loss probability of the directional
+  /// link `from` -> `to`, keeping its latency/jitter. Call once per
+  /// direction for symmetric loss.
+  void SetLoss(const std::string& from, const std::string& to,
+               double loss_probability);
+
+  /// Lifts every partition and marks every node up (link loss configs
+  /// are left alone — use SetLoss to clear those).
+  void ClearFaults();
+
+  /// Schedules `action` to run during DeliverUntil once virtual time
+  /// reaches `at`, interleaved with message deliveries in time order
+  /// (actions run before messages due at the same instant). Actions
+  /// may call any simulator method — this is how chaos scripts flip
+  /// partitions mid-run deterministically.
+  void ScheduleAt(Timestamp at, std::function<void()> action);
 
   Stats stats() const;
 
@@ -109,8 +148,15 @@ class NetworkSimulator {
     }
   };
 
+  struct ScheduledAction {
+    Timestamp at = 0;
+    uint64_t sequence = 0;  // FIFO among actions at the same instant
+    std::function<void()> action;
+  };
+
   const LinkConfig& LinkFor(const std::string& from,
                             const std::string& to) const;
+  bool FaultBlocksLocked(const std::string& from, const std::string& to) const;
 
   std::unique_ptr<telemetry::MetricRegistry> owned_metrics_;
   std::shared_ptr<telemetry::Counter> sent_;
@@ -128,6 +174,12 @@ class NetworkSimulator {
                       std::greater<QueuedMessage>>
       queue_;
   uint64_t sequence_ = 0;
+  /// Fault state: symmetric partitions stored as ordered (min, max)
+  /// pairs; down nodes by id; chaos actions sorted by (at, sequence).
+  std::set<std::pair<std::string, std::string>> partitions_;
+  std::set<std::string> down_nodes_;
+  std::vector<ScheduledAction> actions_;  // kept sorted, drained from front
+  uint64_t action_sequence_ = 0;
 };
 
 }  // namespace gsn::network

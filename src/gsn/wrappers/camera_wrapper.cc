@@ -6,6 +6,9 @@ Result<std::unique_ptr<Wrapper>> CameraWrapper::Make(
     const WrapperConfig& config) {
   GSN_ASSIGN_OR_RETURN(int64_t camera_id, config.GetInt("camera-id", 1));
   GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 5000));
+  GSN_ASSIGN_OR_RETURN(
+      Timestamp interval,
+      config.GetDuration("interval", interval_ms * kMicrosPerMilli));
   GSN_ASSIGN_OR_RETURN(int64_t image_bytes,
                        config.GetInt("image-bytes", 32 * 1024));
   GSN_ASSIGN_OR_RETURN(int64_t width, config.GetInt("width", 640));
@@ -14,7 +17,7 @@ Result<std::unique_ptr<Wrapper>> CameraWrapper::Make(
     return Status::InvalidArgument("camera image-bytes must be >= 0");
   }
   return std::unique_ptr<Wrapper>(
-      new CameraWrapper(camera_id, interval_ms * kMicrosPerMilli,
+      new CameraWrapper(camera_id, interval,
                         static_cast<size_t>(image_bytes), width, height,
                         config.seed));
 }

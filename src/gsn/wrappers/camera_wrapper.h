@@ -17,6 +17,8 @@ namespace gsn::wrappers {
 /// Parameters:
 ///   camera-id     integer id                              (default 1)
 ///   interval-ms   frame period                            (default 5000)
+///   interval      frame period with unit suffix ("2s"); overrides
+///                 interval-ms when present
 ///   image-bytes   payload size per frame                  (default 32768)
 ///   width,height  reported frame geometry                 (default 640x480)
 ///

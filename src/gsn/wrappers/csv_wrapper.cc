@@ -72,8 +72,10 @@ Result<std::unique_ptr<Wrapper>> CsvWrapper::Make(const WrapperConfig& config) {
     return Status::InvalidArgument("csv wrapper requires a 'file' parameter");
   }
   GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 1000));
-  GSN_ASSIGN_OR_RETURN(bool loop,
-                       ParseBool(config.Get("loop", "false")));
+  GSN_ASSIGN_OR_RETURN(
+      Timestamp interval,
+      config.GetDuration("interval", interval_ms * kMicrosPerMilli));
+  GSN_ASSIGN_OR_RETURN(bool loop, config.GetBool("loop", false));
 
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open csv file: " + path);
@@ -129,8 +131,7 @@ Result<std::unique_ptr<Wrapper>> CsvWrapper::Make(const WrapperConfig& config) {
   }
 
   return std::unique_ptr<Wrapper>(
-      new CsvWrapper(std::move(schema), std::move(rows),
-                     interval_ms * kMicrosPerMilli, loop,
+      new CsvWrapper(std::move(schema), std::move(rows), interval, loop,
                      timed_col != header.size()));
 }
 

@@ -20,6 +20,8 @@ namespace gsn::wrappers {
 /// Parameters:
 ///   file          path to the CSV file                   (required)
 ///   interval-ms   spacing when no `timed` column exists  (default 1000)
+///   interval      spacing with unit suffix ("500ms"); overrides
+///                 interval-ms when present
 ///   loop          restart from the top when exhausted    (default false)
 ///
 /// Output schema: inferred from the header (minus `timed`).

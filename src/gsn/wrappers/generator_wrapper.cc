@@ -7,6 +7,9 @@ namespace gsn::wrappers {
 Result<std::unique_ptr<Wrapper>> GeneratorWrapper::Make(
     const WrapperConfig& config) {
   GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 100));
+  GSN_ASSIGN_OR_RETURN(
+      Timestamp interval,
+      config.GetDuration("interval", interval_ms * kMicrosPerMilli));
   GSN_ASSIGN_OR_RETURN(int64_t payload_bytes,
                        config.GetInt("payload-bytes", 15));
   GSN_ASSIGN_OR_RETURN(int64_t value_period, config.GetInt("value-period", 100));
@@ -17,9 +20,8 @@ Result<std::unique_ptr<Wrapper>> GeneratorWrapper::Make(
     return Status::InvalidArgument("generator value-period must be > 0");
   }
   return std::unique_ptr<Wrapper>(
-      new GeneratorWrapper(interval_ms * kMicrosPerMilli,
-                           static_cast<size_t>(payload_bytes), value_period,
-                           config.seed));
+      new GeneratorWrapper(interval, static_cast<size_t>(payload_bytes),
+                           value_period, config.seed));
 }
 
 GeneratorWrapper::GeneratorWrapper(Timestamp interval, size_t payload_bytes,

@@ -18,6 +18,8 @@ namespace gsn::wrappers {
 ///
 /// Parameters:
 ///   interval-ms     emission period                       (default 100)
+///   interval        emission period with unit suffix ("250ms");
+///                   overrides interval-ms when present
 ///   payload-bytes   opaque payload size per element       (default 15)
 ///   value-period    elements per sine period              (default 100)
 ///

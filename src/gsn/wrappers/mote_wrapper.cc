@@ -8,12 +8,14 @@ Result<std::unique_ptr<Wrapper>> MoteWrapper::Make(
     const WrapperConfig& config) {
   GSN_ASSIGN_OR_RETURN(int64_t node_id, config.GetInt("node-id", 1));
   GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 1000));
+  GSN_ASSIGN_OR_RETURN(
+      Timestamp interval,
+      config.GetDuration("interval", interval_ms * kMicrosPerMilli));
   GSN_ASSIGN_OR_RETURN(double temp_base, config.GetDouble("temp-base", 22.0));
   GSN_ASSIGN_OR_RETURN(double light_base,
                        config.GetDouble("light-base", 400.0));
-  return std::unique_ptr<Wrapper>(
-      new MoteWrapper(node_id, interval_ms * kMicrosPerMilli, temp_base,
-                      light_base, config.seed));
+  return std::unique_ptr<Wrapper>(new MoteWrapper(
+      node_id, interval, temp_base, light_base, config.seed));
 }
 
 MoteWrapper::MoteWrapper(int64_t node_id, Timestamp interval, double temp_base,

@@ -18,6 +18,8 @@ namespace gsn::wrappers {
 /// Parameters:
 ///   node-id       integer id reported in each element   (default 1)
 ///   interval-ms   sampling period                       (default 1000)
+///   interval      sampling period with unit suffix ("1s"); overrides
+///                 interval-ms when present
 ///   temp-base     initial temperature, degrees C        (default 22)
 ///   light-base    initial light level, lux              (default 400)
 ///

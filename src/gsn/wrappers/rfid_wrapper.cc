@@ -8,6 +8,9 @@ Result<std::unique_ptr<Wrapper>> RfidWrapper::Make(
     const WrapperConfig& config) {
   GSN_ASSIGN_OR_RETURN(int64_t reader_id, config.GetInt("reader-id", 1));
   GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 250));
+  GSN_ASSIGN_OR_RETURN(
+      Timestamp interval,
+      config.GetDuration("interval", interval_ms * kMicrosPerMilli));
   GSN_ASSIGN_OR_RETURN(double p, config.GetDouble("detect-probability", 0.05));
   if (p < 0.0 || p > 1.0) {
     return Status::InvalidArgument("detect-probability must be in [0,1]");
@@ -21,8 +24,7 @@ Result<std::unique_ptr<Wrapper>> RfidWrapper::Make(
     return Status::InvalidArgument("rfid wrapper requires at least one tag");
   }
   return std::unique_ptr<Wrapper>(
-      new RfidWrapper(reader_id, interval_ms * kMicrosPerMilli, p,
-                      std::move(tags), config.seed));
+      new RfidWrapper(reader_id, interval, p, std::move(tags), config.seed));
 }
 
 RfidWrapper::RfidWrapper(int64_t reader_id, Timestamp interval,

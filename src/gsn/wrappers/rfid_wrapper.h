@@ -22,6 +22,8 @@ namespace gsn::wrappers {
 /// Parameters:
 ///   reader-id            integer id                       (default 1)
 ///   interval-ms          antenna poll period              (default 250)
+///   interval             poll period with unit suffix ("250ms");
+///                        overrides interval-ms when present
 ///   detect-probability   per-poll detection chance        (default 0.05)
 ///   tags                 comma-separated tag ids          (default "tag-1")
 ///

@@ -138,6 +138,9 @@ Result<std::unique_ptr<Wrapper>> TinyOsWrapper::Make(
     const WrapperConfig& config) {
   GSN_ASSIGN_OR_RETURN(int64_t node_id, config.GetInt("node-id", 1));
   GSN_ASSIGN_OR_RETURN(int64_t interval_ms, config.GetInt("interval-ms", 1000));
+  GSN_ASSIGN_OR_RETURN(
+      Timestamp interval,
+      config.GetDuration("interval", interval_ms * kMicrosPerMilli));
   GSN_ASSIGN_OR_RETURN(int64_t group, config.GetInt("group", 125));
   GSN_ASSIGN_OR_RETURN(double corrupt,
                        config.GetDouble("corrupt-probability", 0.0));
@@ -151,8 +154,8 @@ Result<std::unique_ptr<Wrapper>> TinyOsWrapper::Make(
     return Status::InvalidArgument("corrupt-probability must be in [0,1]");
   }
   return std::unique_ptr<Wrapper>(
-      new TinyOsWrapper(node_id, interval_ms * kMicrosPerMilli,
-                        static_cast<uint8_t>(group), corrupt, config.seed));
+      new TinyOsWrapper(node_id, interval, static_cast<uint8_t>(group),
+                        corrupt, config.seed));
 }
 
 TinyOsWrapper::TinyOsWrapper(int64_t node_id, Timestamp interval,

@@ -56,6 +56,8 @@ std::vector<Packet> DecodeFrames(std::vector<uint8_t>* stream,
 /// Parameters:
 ///   node-id              mote address                     (default 1)
 ///   interval-ms          sampling period                  (default 1000)
+///   interval             sampling period with unit suffix ("1s");
+///                        overrides interval-ms when present
 ///   group                AM group id                      (default 125)
 ///   corrupt-probability  chance a frame is damaged        (default 0)
 ///

@@ -10,6 +10,16 @@
 
 namespace gsn::wrappers {
 
+namespace {
+/// Wraps a parse failure so the error names the offending parameter.
+template <typename T>
+Result<T> NameKey(const std::string& key, Result<T> parsed) {
+  if (parsed.ok()) return parsed;
+  return Status::ParseError("param '" + key + "': " +
+                            parsed.status().message());
+}
+}  // namespace
+
 std::string WrapperConfig::Get(const std::string& key,
                                const std::string& fallback) const {
   auto it = params.find(key);
@@ -20,14 +30,28 @@ Result<int64_t> WrapperConfig::GetInt(const std::string& key,
                                       int64_t fallback) const {
   auto it = params.find(key);
   if (it == params.end()) return fallback;
-  return ParseInt64(it->second);
+  return NameKey(key, ParseInt64(it->second));
 }
 
 Result<double> WrapperConfig::GetDouble(const std::string& key,
                                         double fallback) const {
   auto it = params.find(key);
   if (it == params.end()) return fallback;
-  return ParseDouble(it->second);
+  return NameKey(key, ParseDouble(it->second));
+}
+
+Result<bool> WrapperConfig::GetBool(const std::string& key,
+                                    bool fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return NameKey(key, ParseBool(it->second));
+}
+
+Result<Timestamp> WrapperConfig::GetDuration(const std::string& key,
+                                             Timestamp fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return NameKey(key, ParseDurationMicros(it->second));
 }
 
 void WrapperRegistry::Register(const std::string& name,

@@ -19,16 +19,28 @@ namespace gsn::wrappers {
 using ParamMap = std::map<std::string, std::string>;
 
 /// Configuration handed to a wrapper factory at deployment time.
+///
+/// The typed accessors are uniform: every Get* returns the fallback
+/// when the key is absent, and a typed parse error *naming the key*
+/// when the value is present but malformed — so a descriptor typo
+/// surfaces as `param 'interval': not a number ...` instead of a bare
+/// parse failure with no context.
 struct WrapperConfig {
   std::string instance_name;
   ParamMap params;
   std::shared_ptr<Clock> clock;
   uint64_t seed = 1;
 
-  /// Returns params[key] or `fallback`.
+  /// Returns params[key] or `fallback` (strings never fail to parse).
   std::string Get(const std::string& key, const std::string& fallback) const;
   Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
   Result<double> GetDouble(const std::string& key, double fallback) const;
+  /// Accepts true/false, 1/0, yes/no, on/off (case-insensitive).
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+  /// Duration with unit suffix ("250ms", "10s", "5m", "1h"); a bare
+  /// integer means seconds. `fallback` is in microseconds.
+  Result<Timestamp> GetDuration(const std::string& key,
+                                Timestamp fallback) const;
 };
 
 /// Platform abstraction for one data source (paper §5: "Adding a new

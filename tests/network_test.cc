@@ -255,8 +255,8 @@ TEST(RemoteStreamWrapperTest, PushThenPollDrains) {
   StreamElement e;
   e.timed = 1;
   e.values = {Value::Int(9)};
-  wrapper.Push(e);
-  wrapper.Push(e);
+  wrapper.Push(e, 1);
+  wrapper.Push(e, 2);
   auto polled = wrapper.Poll(100);
   ASSERT_TRUE(polled.ok());
   EXPECT_EQ(polled->size(), 2u);

@@ -69,6 +69,42 @@ TEST(WindowBufferTest, BoundaryIsExclusiveAtCutoff) {
   EXPECT_EQ(buf.Snapshot(109).size(), 1u);
 }
 
+TEST(WindowBufferTest, OutOfOrderAddUsesLinearScanUntilDrained) {
+  WindowSpec spec;
+  spec.kind = WindowSpec::Kind::kTime;
+  spec.duration_micros = 10 * kMicrosPerSecond;
+  WindowBuffer buf(spec);
+  buf.Add(Elem(11 * kMicrosPerSecond, 1));
+  buf.Add(Elem(20 * kMicrosPerSecond, 2));
+  // A late arrival lands behind the newest entry: the deque is no
+  // longer sorted by timestamp, so snapshots must fall back to the
+  // linear filter.
+  buf.Add(Elem(12 * kMicrosPerSecond, 3));
+  ASSERT_EQ(buf.size(), 3u);
+
+  // At t=22s the window covers (12s, 22s]: only the 20s element is
+  // live. This is the adversarial layout for the binary-search cut —
+  // an expired entry (12s) sits *after* a live one (20s), so a
+  // partition-point suffix would wrongly include it.
+  auto snap = buf.Snapshot(22 * kMicrosPerSecond);
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].values[0], Value::Int(2));
+  auto rows = buf.SnapshotRows(22 * kMicrosPerSecond);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ((*rows[0])[1], Value::Int(2));
+
+  // A much newer arrival expires everything older on admission; with
+  // at most one element left the buffer is sorted again and the
+  // binary-search path resumes.
+  buf.Add(Elem(40 * kMicrosPerSecond, 4));
+  ASSERT_EQ(buf.size(), 1u);
+  buf.Add(Elem(41 * kMicrosPerSecond, 5));
+  rows = buf.SnapshotRows(41 * kMicrosPerSecond);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ((*rows[0])[1], Value::Int(4));
+  EXPECT_EQ((*rows[1])[1], Value::Int(5));
+}
+
 TEST(WindowBufferTest, ClearEmpties) {
   WindowSpec spec;
   spec.kind = WindowSpec::Kind::kCount;
