@@ -1,0 +1,146 @@
+// gsnd: the headless GSN container daemon — the deployment shape the
+// paper's §6 demo implies but never names. One process per node:
+//
+//   build/examples/example_gsnd --data-dir /var/lib/gsn
+//       --descriptors ./virtual-sensors --port 8080 [--tick-ms 100]
+//
+// * --data-dir makes the node durable: the container manifest and the
+//   per-sensor persistence logs live there, so a crashed or killed
+//   daemon restarted over the same directory redeploys its sensors and
+//   recovers every fsynced row (docs/DURABILITY.md).
+// * --descriptors enables the hot-deploy directory workflow: drop a
+//   .xml descriptor in, the sensor deploys; overwrite it, it redeploys
+//   (invalid rewrites are rejected and the old sensor keeps running);
+//   delete it, it undeploys.
+// * --port serves the HTTP interface (/api/v1/...: healthz, readyz,
+//   sensors, query, quarantine, metrics). 0 picks an ephemeral port;
+//   the chosen port is printed either way.
+//
+// SIGTERM/SIGINT trigger a graceful drain: stop admitting wrapper
+// load, flush the admission queues, checkpoint, fsync, exit 0. SIGKILL
+// is the crash-recovery path — that is what the smoke test in
+// scripts/crash_recovery_smoke.sh exercises.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "gsn/container/container.h"
+#include "gsn/container/descriptor_watcher.h"
+#include "gsn/container/realtime_pump.h"
+#include "gsn/container/web_interface.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--data-dir DIR] [--descriptors DIR] [--port N]\n"
+               "          [--node-id ID] [--tick-ms N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string data_dir;
+  std::string descriptors;
+  std::string node_id = "gsnd";
+  long port = 0;
+  long tick_ms = 100;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--data-dir" && value != nullptr) {
+      data_dir = value;
+      ++i;
+    } else if (arg == "--descriptors" && value != nullptr) {
+      descriptors = value;
+      ++i;
+    } else if (arg == "--node-id" && value != nullptr) {
+      node_id = value;
+      ++i;
+    } else if (arg == "--port" && value != nullptr) {
+      port = std::strtol(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--tick-ms" && value != nullptr) {
+      tick_ms = std::strtol(value, nullptr, 10);
+      ++i;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (tick_ms <= 0 || port < 0 || port > 65535) return Usage(argv[0]);
+
+  gsn::container::Container::Options options;
+  options.node_id = node_id;
+  options.clock = gsn::SystemClock::Shared();
+  options.seed = static_cast<uint64_t>(::getpid());
+  options.data_dir = data_dir;
+  gsn::container::Container container(std::move(options));
+
+  if (!data_dir.empty()) {
+    std::printf("gsnd: data-dir %s (%zu manifest records replayed, "
+                "%zu sensors live, %zu failed)\n",
+                data_dir.c_str(), container.recovered_records(),
+                container.ListSensors().size(), container.recovery_failures());
+  } else {
+    std::printf("gsnd: no --data-dir, running without crash recovery\n");
+  }
+
+  std::unique_ptr<gsn::container::DescriptorWatcher> watcher;
+  if (!descriptors.empty()) {
+    watcher = std::make_unique<gsn::container::DescriptorWatcher>(
+        &container, descriptors);
+    std::printf("gsnd: watching %s for descriptors\n", descriptors.c_str());
+  }
+
+  gsn::container::WebInterface web(&container);
+  const gsn::Status web_status = web.Start(static_cast<uint16_t>(port));
+  if (!web_status.ok()) {
+    std::fprintf(stderr, "gsnd: web interface failed: %s\n",
+                 web_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("gsnd: listening on 127.0.0.1:%u\n", web.port());
+  std::fflush(stdout);
+
+  gsn::container::RealtimePump pump(&container,
+                                    tick_ms * gsn::kMicrosPerMilli);
+  pump.Start();
+
+  std::signal(SIGTERM, HandleStop);
+  std::signal(SIGINT, HandleStop);
+
+  // Main loop: reconcile the descriptor directory at the tick cadence
+  // until a stop signal arrives. SIGKILL never reaches this loop —
+  // recovery on the next start is the contract instead.
+  while (g_stop == 0) {
+    if (watcher != nullptr) {
+      const auto scanned = watcher->Scan();
+      if (!scanned.ok()) {
+        std::fprintf(stderr, "gsnd: descriptor scan failed: %s\n",
+                     scanned.status().ToString().c_str());
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(tick_ms));
+  }
+
+  std::printf("gsnd: draining...\n");
+  pump.Stop();
+  const gsn::Status drained = container.Shutdown();
+  if (!drained.ok()) {
+    std::fprintf(stderr, "gsnd: drain failed: %s\n",
+                 drained.ToString().c_str());
+  }
+  web.Stop();
+  std::printf("gsnd: bye\n");
+  return drained.ok() ? 0 : 1;
+}

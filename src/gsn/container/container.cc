@@ -1,6 +1,7 @@
 #include "gsn/container/container.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "gsn/sql/parser.h"
 #include "gsn/util/logging.h"
@@ -68,6 +69,14 @@ Container::Container(Options options)
       "Bytes currently held across producer-side replay buffers");
   resilience_rng_ = Rng(options_.seed * 65537 + 17);
   wrappers::WrapperRegistry::RegisterBuiltins(&registry_);
+  quarantine_ = std::make_unique<QuarantineStore>(
+      options_.supervision.quarantine_capacity, metrics_);
+  recovery_records_gauge_ = metrics_->GetGauge(
+      "gsn_recovery_records", node_label,
+      "Manifest events replayed by the last crash-recovery pass");
+  recovery_seconds_gauge_ = metrics_->GetGauge(
+      "gsn_recovery_seconds", node_label,
+      "Wall-clock seconds the last crash-recovery pass took (floored)");
   if (options_.network != nullptr) {
     const Status s = options_.network->RegisterNode(options_.node_id, this);
     if (!s.ok()) {
@@ -75,9 +84,17 @@ Container::Container(Options options)
           << options_.node_id << ": network registration failed: " << s;
     }
   }
+  last_checkpoint_ = options_.clock->NowMicros();
+  if (!options_.data_dir.empty()) RecoverFromManifest();
 }
 
 Container::~Container() {
+  // Process teardown, not operator intent: undeploys below must not
+  // record manifest undeploy events (the sensors come back on restart).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
   // Stop sensors before members are torn down.
   std::vector<std::string> names = ListSensors();
   for (const std::string& name : names) {
@@ -86,6 +103,83 @@ Container::~Container() {
   }
   if (options_.network != nullptr) {
     (void)options_.network->UnregisterNode(options_.node_id);
+  }
+}
+
+const char* Container::SensorStateName(SensorState state) {
+  switch (state) {
+    case SensorState::kRunning:
+      return "running";
+    case SensorState::kRestarting:
+      return "restarting";
+    case SensorState::kFailed:
+      return "failed";
+  }
+  return "running";
+}
+
+void Container::RecoverFromManifest() {
+  const int64_t recovery_start = telemetry::SteadyClock::Instance()->NowMicros();
+  std::error_code ec;
+  std::filesystem::create_directories(options_.data_dir, ec);
+  if (ec) {
+    GSN_LOG(kError, "container")
+        << options_.node_id << ": cannot create data dir '"
+        << options_.data_dir << "': " << ec.message();
+    return;
+  }
+  // The manifest records which sensors were live; their output history
+  // lives in per-sensor persistence logs. Without an explicit
+  // storage_dir both land under data_dir, so --data-dir alone is a
+  // complete durability root.
+  if (options_.storage_dir.empty()) options_.storage_dir = options_.data_dir;
+
+  const std::string path = options_.data_dir + "/manifest.gsnlog";
+  bool torn = false;
+  Result<std::vector<ContainerManifest::Event>> events =
+      ContainerManifest::Recover(path, &torn);
+  if (!events.ok()) {
+    GSN_LOG(kError, "container")
+        << options_.node_id << ": manifest unreadable: " << events.status();
+    return;
+  }
+  if (torn) {
+    GSN_LOG(kWarn, "container")
+        << options_.node_id << ": manifest had a torn tail; recovered "
+        << events->size() << " events";
+  }
+  Result<std::unique_ptr<ContainerManifest>> manifest =
+      ContainerManifest::Open(path);
+  if (!manifest.ok()) {
+    GSN_LOG(kError, "container")
+        << options_.node_id << ": cannot open manifest: " << manifest.status();
+    return;
+  }
+  manifest_ = *std::move(manifest);
+
+  recovering_ = true;
+  const std::vector<std::pair<std::string, std::string>> live =
+      ContainerManifest::LiveSet(*events);
+  for (const auto& [name, xml] : live) {
+    Result<VirtualSensor*> redeployed = Deploy(xml);
+    if (!redeployed.ok()) {
+      ++recovery_failures_;
+      GSN_LOG(kError, "container")
+          << options_.node_id << ": recovery redeploy of '" << name
+          << "' failed: " << redeployed.status();
+    }
+  }
+  recovering_ = false;
+  recovered_records_ = events->size();
+  recovery_records_gauge_->Set(static_cast<int64_t>(recovered_records_));
+  recovery_seconds_gauge_->Set(
+      (telemetry::SteadyClock::Instance()->NowMicros() - recovery_start) /
+      kMicrosPerSecond);
+  if (!live.empty() || torn) {
+    GSN_LOG(kInfo, "container")
+        << options_.node_id << ": recovered " << live.size() - recovery_failures_
+        << "/" << live.size() << " sensors from " << recovered_records_
+        << " manifest event(s)";
   }
 }
 
@@ -170,9 +264,13 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
         std::lock_guard<std::mutex> lock(mu_);
         seed = options_.seed * 1000003 + ++wrapper_seed_counter_;
       }
-      sources[i].push_back(std::make_unique<StreamSource>(
+      auto source = std::make_unique<StreamSource>(
           source_spec, *std::move(wrapper), seed, metrics_, tracer_,
-          options_.node_id));
+          options_.node_id);
+      source->ConfigureAdmission(spec.name,
+                                 options_.supervision.queue_capacity,
+                                 options_.supervision.shed_policy, metrics_);
+      sources[i].push_back(std::move(source));
     }
   }
 
@@ -191,6 +289,19 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
       [this](const VirtualSensor& vs, const std::vector<StreamElement>& batch) {
         OnSensorBatch(vs, batch);
       });
+  sensor->SetErrorListener(
+      [this, key](const VirtualSensor& vs, const std::string& stream_name,
+                  const Status& status,
+                  const std::vector<StreamElement>& elements) {
+        OnSensorError(key, vs, stream_name, status, elements);
+      });
+  deployment.state_gauge = metrics_->GetGauge(
+      "gsn_sensor_state", {{"sensor", sensor->name()}},
+      "Supervised sensor state (0 running, 1 restarting, 2 failed)");
+  deployment.state_gauge->Set(0);
+  deployment.restarts = metrics_->GetCounter(
+      "gsn_sensor_restarts_total", {{"sensor", sensor->name()}},
+      "Supervised restarts of the virtual sensor");
 
   const Status started = sensor->Start();
   if (!started.ok()) {
@@ -202,6 +313,15 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
     std::lock_guard<std::mutex> lock(mu_);
     deployments_[key] = std::move(deployment);
     sensors_deployed_->Set(static_cast<int64_t>(deployments_.size()));
+  }
+  // Durable deploy record: a restarted container replays this to bring
+  // the sensor back. Suppressed during the recovery replay itself.
+  if (manifest_ != nullptr && !recovering_) {
+    const Status logged = manifest_->AppendDeploy(key, sensor->spec().ToXml());
+    if (!logged.ok()) {
+      GSN_LOG(kWarn, "container")
+          << options_.node_id << ": manifest deploy record failed: " << logged;
+    }
   }
   PublishSensor(sensor->spec());
   // Schedule the publish's retry rounds: a lost broadcast heals long
@@ -336,12 +456,16 @@ Status Container::Undeploy(const std::string& sensor_name,
   GSN_RETURN_IF_ERROR(access_control_.Check(api_key, Permission::kDeploy));
   const std::string key = StrToLower(sensor_name);
   Deployment deployment;
+  bool record_undeploy = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = deployments_.find(key);
     if (it == deployments_.end()) {
       return Status::NotFound("no such sensor: " + sensor_name);
     }
+    // Operator/lifetime undeploys are durable; teardown at process
+    // exit is not (the whole point of crash recovery).
+    record_undeploy = !shutting_down_;
     deployment = std::move(it->second);
     deployments_.erase(it);
     sensors_deployed_->Set(static_cast<int64_t>(deployments_.size()));
@@ -399,6 +523,14 @@ Status Container::Undeploy(const std::string& sensor_name,
   GSN_RETURN_IF_ERROR(tables_.DropTable(sensor_name));
   // Retire the sensor's metric series; its handles die with `deployment`.
   metrics_->RemoveWithLabel("sensor", deployment.sensor->name());
+  if (manifest_ != nullptr && !recovering_ && record_undeploy) {
+    const Status logged = manifest_->AppendUndeploy(key);
+    if (!logged.ok()) {
+      GSN_LOG(kWarn, "container")
+          << options_.node_id << ": manifest undeploy record failed: "
+          << logged;
+    }
+  }
   GSN_LOG(kInfo, "container")
       << options_.node_id << ": undeployed '" << sensor_name << "'";
   return Status::OK();
@@ -450,6 +582,11 @@ Result<int> Container::Tick() {
   struct Job {
     VirtualSensor* sensor;
     ThreadPool* pool;
+    std::string key;
+    /// True while the supervisor has the sensor paused for restart
+    /// backoff: its sources pump (queues fill, shed policies engage)
+    /// but no pipeline runs.
+    bool paused = false;
   };
   std::vector<Job> jobs;
   std::vector<std::string> expired;
@@ -461,7 +598,22 @@ Result<int> Container::Tick() {
         expired.push_back(deployment.sensor->name());
         continue;
       }
-      jobs.push_back({deployment.sensor.get(), deployment.pool.get()});
+      if (deployment.state == SensorState::kFailed) continue;
+      bool paused = false;
+      if (deployment.state == SensorState::kRestarting) {
+        if (now >= deployment.resume_at) {
+          deployment.state = SensorState::kRunning;
+          deployment.state_gauge->Set(0);
+          GSN_LOG(kInfo, "container")
+              << options_.node_id << ": restarted '"
+              << deployment.sensor->name() << "' (attempt "
+              << deployment.restart_attempts << ")";
+        } else {
+          paused = true;
+        }
+      }
+      jobs.push_back(
+          {deployment.sensor.get(), deployment.pool.get(), key, paused});
     }
   }
 
@@ -475,25 +627,231 @@ Result<int> Container::Tick() {
   }
 
   // Run each sensor's tick on its life-cycle pool; sensors proceed in
-  // parallel, each serialized internally.
+  // parallel, each serialized internally. A failing sensor is handed to
+  // the supervisor instead of failing the container's Tick — one bad
+  // sensor must never stall its neighbors.
   std::mutex result_mu;
   int produced = 0;
-  Status first_error = Status::OK();
+  std::vector<std::pair<std::string, Status>> failures;
   for (const Job& job : jobs) {
     job.pool->Submit([&, job] {
+      if (job.paused) {
+        const Status pumped = job.sensor->PumpSources(now);
+        if (!pumped.ok()) {
+          GSN_LOG(kWarn, "container")
+              << job.key << ": pump while paused failed: " << pumped;
+        }
+        return;
+      }
       Result<int> n = job.sensor->Tick(now);
       std::lock_guard<std::mutex> lock(result_mu);
       if (n.ok()) {
         produced += *n;
-      } else if (first_error.ok()) {
-        first_error = n.status();
+      } else {
+        failures.emplace_back(job.key, n.status());
       }
     });
   }
   for (const Job& job : jobs) job.pool->Wait();
 
-  if (!first_error.ok()) return first_error;
+  for (const auto& [key, status] : failures) {
+    HandleSensorFailure(key, status, now);
+  }
+
+  // Periodic checkpoint: bound the manifest and every WAL (and with
+  // them, the next recovery) to the live state. Runs on the Tick
+  // thread after all pools drained, so no pipeline holds a log handle.
+  if (manifest_ != nullptr && options_.supervision.checkpoint_interval > 0 &&
+      now - last_checkpoint_ >= options_.supervision.checkpoint_interval) {
+    last_checkpoint_ = now;
+    const Status s = Checkpoint();
+    if (!s.ok()) {
+      GSN_LOG(kWarn, "container")
+          << options_.node_id << ": checkpoint failed: " << s;
+    }
+  }
   return produced;
+}
+
+void Container::HandleSensorFailure(const std::string& key,
+                                    const Status& status, Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deployments_.find(key);
+  if (it == deployments_.end()) return;
+  Deployment& deployment = it->second;
+  if (deployment.state == SensorState::kFailed) return;
+  ++deployment.restart_attempts;
+  deployment.restarts->Increment();
+  if (options_.supervision.retry.Exhausted(deployment.restart_attempts)) {
+    deployment.state = SensorState::kFailed;
+    deployment.state_gauge->Set(2);
+    GSN_LOG(kError, "container")
+        << options_.node_id << ": '" << deployment.sensor->name()
+        << "' FAILED after " << deployment.restart_attempts
+        << " restart(s); last error: " << status;
+    return;
+  }
+  deployment.state = SensorState::kRestarting;
+  deployment.state_gauge->Set(1);
+  deployment.resume_at =
+      now + options_.supervision.retry.BackoffForAttempt(
+                deployment.restart_attempts, &resilience_rng_);
+  GSN_LOG(kWarn, "container")
+      << options_.node_id << ": '" << deployment.sensor->name()
+      << "' paused for restart " << deployment.restart_attempts << " ("
+      << status << ")";
+}
+
+void Container::OnSensorError(const std::string& key,
+                              const VirtualSensor& sensor,
+                              const std::string& stream_name,
+                              const Status& status,
+                              const std::vector<StreamElement>& elements) {
+  // Dead-letter the trigger: the elements the pipeline choked on are
+  // the suspects. The requeue target is the stream's first source (a
+  // StreamElement does not record which source admitted it).
+  std::string source_alias;
+  for (const vsensor::InputStreamSpec& stream : sensor.spec().input_streams) {
+    if (StrEqualsIgnoreCase(stream.name, stream_name) &&
+        !stream.sources.empty()) {
+      source_alias = stream.sources.front().alias;
+      break;
+    }
+  }
+  const Timestamp now = options_.clock->NowMicros();
+  for (const StreamElement& element : elements) {
+    quarantine_->Add(sensor.name(), stream_name, source_alias,
+                     status.message(), now, element);
+  }
+  HandleSensorFailure(key, status, now);
+}
+
+Status Container::RequeueQuarantined(uint64_t id) {
+  GSN_ASSIGN_OR_RETURN(QuarantineStore::Entry entry, quarantine_->Take(id));
+  VirtualSensor* sensor = FindSensor(entry.sensor);
+  vsensor::StreamSource* source =
+      sensor == nullptr ? nullptr
+                        : sensor->FindSource(entry.stream, entry.source_alias);
+  if (source == nullptr) {
+    // Put it back rather than silently dropping a tuple the operator
+    // asked to keep.
+    quarantine_->Add(entry.sensor, entry.stream, entry.source_alias,
+                     entry.error, entry.quarantined_at, entry.element);
+    return Status::NotFound("quarantined tuple " + std::to_string(id) +
+                            " has no live source '" + entry.stream + "/" +
+                            entry.source_alias + "' on sensor '" +
+                            entry.sensor + "'");
+  }
+  source->Inject(entry.element);
+  GSN_LOG(kInfo, "container")
+      << options_.node_id << ": requeued quarantined tuple "
+      << std::to_string(id) << " into " << entry.sensor << "/" << entry.stream;
+  return Status::OK();
+}
+
+Status Container::Checkpoint() {
+  Status first_error = Status::OK();
+  std::vector<std::pair<std::string, std::string>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, deployment] : deployments_) {
+      live.emplace_back(key, deployment.sensor->spec().ToXml());
+      if (deployment.log == nullptr) continue;
+      // Rewrite the WAL to exactly the rows still inside the table's
+      // retention window: recovery replays O(window), not O(history).
+      const std::string path = deployment.log->path();
+      Result<std::unique_ptr<storage::PersistenceLog>> rewritten =
+          storage::PersistenceLog::Rewrite(path,
+                                           deployment.table->SnapshotElements());
+      if (!rewritten.ok()) {
+        if (first_error.ok()) first_error = rewritten.status();
+        continue;
+      }
+      deployment.log = *std::move(rewritten);
+    }
+  }
+  if (manifest_ != nullptr) {
+    const Status compacted = manifest_->Compact(live);
+    if (!compacted.ok() && first_error.ok()) first_error = compacted;
+  }
+  return first_error;
+}
+
+Status Container::Shutdown() {
+  // 1. Stop admitting new wrapper load (the queues keep their backlog).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return Status::OK();
+    draining_ = true;
+    for (auto& [key, deployment] : deployments_) {
+      deployment.sensor->SetAdmitting(false);
+    }
+  }
+  GSN_LOG(kInfo, "container") << options_.node_id << ": draining";
+
+  // 2. Flush what the admission queues already hold through the
+  // pipelines. Bounded rounds: a wedged sensor must not hang shutdown.
+  for (int round = 0; round < 16; ++round) {
+    Result<int> n = Tick();
+    if (!n.ok()) break;
+    size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [key, deployment] : deployments_) {
+        depth += deployment.sensor->QueueDepth();
+      }
+    }
+    if (*n == 0 && depth == 0) break;
+  }
+
+  // 3. Make everything durable: final checkpoint, then fsync.
+  Status first_error = Checkpoint();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, deployment] : deployments_) {
+      if (deployment.log == nullptr) continue;
+      const Status synced = deployment.log->Sync();
+      if (!synced.ok() && first_error.ok()) first_error = synced;
+    }
+    // 4. The destructor's undeploys are process exit, not intent.
+    shutting_down_ = true;
+  }
+  if (manifest_ != nullptr) {
+    const Status synced = manifest_->Sync();
+    if (!synced.ok() && first_error.ok()) first_error = synced;
+  }
+  GSN_LOG(kInfo, "container") << options_.node_id << ": drain complete";
+  return first_error;
+}
+
+bool Container::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+Container::Health Container::GetHealth() const {
+  Health health;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    health.ready = false;
+    health.reasons.push_back("draining");
+  }
+  for (const auto& [key, deployment] : deployments_) {
+    const std::string& name = deployment.sensor->name();
+    if (deployment.state == SensorState::kFailed) {
+      health.ready = false;
+      health.reasons.push_back("sensor '" + name + "' failed");
+    } else if (deployment.state == SensorState::kRestarting) {
+      health.ready = false;
+      health.reasons.push_back("sensor '" + name + "' restarting");
+    }
+    if (deployment.sensor->AnyQueueFull()) {
+      health.ready = false;
+      health.reasons.push_back("admission queue of '" + name +
+                               "' at capacity");
+    }
+  }
+  return health;
 }
 
 void Container::OnSensorBatch(const VirtualSensor& sensor,
@@ -1100,11 +1458,15 @@ Result<Relation> Container::CatalogResolver::GetTable(
   if (key == "gsn_sensors") {
     Schema schema;
     schema.AddField("name", DataType::kString);
+    schema.AddField("state", DataType::kString);
     schema.AddField("pool_size", DataType::kInt);
     schema.AddField("triggers", DataType::kInt);
     schema.AddField("produced", DataType::kInt);
     schema.AddField("rate_limited", DataType::kInt);
     schema.AddField("errors", DataType::kInt);
+    schema.AddField("restarts", DataType::kInt);
+    schema.AddField("queue_depth", DataType::kInt);
+    schema.AddField("shed", DataType::kInt);
     schema.AddField("stored_rows", DataType::kInt);
     schema.AddField("stored_bytes", DataType::kInt);
     schema.AddField("remote_subscribers", DataType::kInt);
@@ -1113,11 +1475,15 @@ Result<Relation> Container::CatalogResolver::GetTable(
       Result<SensorStatus> status = container_->GetSensorStatus(sensor);
       if (!status.ok()) continue;
       (void)rel.AddRow(
-          {Value::String(status->name), Value::Int(status->pool_size),
-           Value::Int(status->stats.triggers),
+          {Value::String(status->name),
+           Value::String(SensorStateName(status->state)),
+           Value::Int(status->pool_size), Value::Int(status->stats.triggers),
            Value::Int(status->stats.produced),
            Value::Int(status->stats.rate_limited),
            Value::Int(status->stats.errors),
+           Value::Int(status->restart_attempts),
+           Value::Int(static_cast<int64_t>(status->queue_depth)),
+           Value::Int(status->shed),
            Value::Int(static_cast<int64_t>(status->stored_rows)),
            Value::Int(static_cast<int64_t>(status->stored_bytes)),
            Value::Int(status->remote_subscribers)});
@@ -1207,6 +1573,10 @@ Result<Container::SensorStatus> Container::GetSensorStatus(
   SensorStatus status;
   status.name = deployment.sensor->name();
   status.stats = deployment.sensor->stats();
+  status.state = deployment.state;
+  status.restart_attempts = deployment.restart_attempts;
+  status.queue_depth = deployment.sensor->QueueDepth();
+  status.shed = deployment.sensor->ShedCount();
   status.stored_rows = deployment.table->NumRows();
   status.stored_bytes = deployment.table->ApproximateBytes();
   status.pool_size = deployment.pool->num_threads();

@@ -10,7 +10,9 @@
 #include "gsn/container/access_control.h"
 #include "gsn/container/integrity.h"
 #include "gsn/container/local_stream_wrapper.h"
+#include "gsn/container/manifest.h"
 #include "gsn/container/notification.h"
+#include "gsn/container/quarantine.h"
 #include "gsn/container/query_manager.h"
 #include "gsn/network/circuit_breaker.h"
 #include "gsn/network/directory.h"
@@ -45,6 +47,12 @@ class Container : public network::NetworkNode {
     std::shared_ptr<Clock> clock;           // default: shared SystemClock
     uint64_t seed = 1;                      // drives wrappers & sampling
     std::string storage_dir;                // "" disables permanent storage
+    /// Crash-recovery root (--data-dir): holds the container manifest
+    /// (and, when storage_dir is empty, the per-sensor persistence
+    /// logs). A container constructed over a non-empty data_dir replays
+    /// the manifest and redeploys every sensor that was live at the
+    /// crash. "" disables the manifest entirely.
+    std::string data_dir;
     network::NetworkSimulator* network = nullptr;  // optional P2P fabric
     std::string integrity_key = "gsn-demo-key";
     /// Metric registry shared by every component the container owns
@@ -78,6 +86,24 @@ class Container : public network::NetworkNode {
       network::RetryPolicy retry;
       network::CircuitBreaker::Config circuit;
     } resilience;
+    /// Knobs of the supervised sensor lifecycle and overload
+    /// protection (docs/DURABILITY.md).
+    struct Supervision {
+      /// Backoff between supervised sensor restarts; Exhausted() =>
+      /// the sensor is marked FAILED and stops being scheduled.
+      network::RetryPolicy retry;
+      /// Default admission-queue bound per stream source (descriptor
+      /// attribute queue-capacity overrides per source).
+      int64_t queue_capacity = 4096;
+      /// Default shed policy when an admission queue fills (descriptor
+      /// attribute shed-policy overrides per source).
+      vsensor::ShedPolicy shed_policy = vsensor::ShedPolicy::kDropOldest;
+      /// Dead-letter store bound; oldest evicted beyond it.
+      size_t quarantine_capacity = 256;
+      /// Period of the WAL + manifest checkpoint; 0 disables automatic
+      /// checkpoints (the `checkpoint` management command still works).
+      Timestamp checkpoint_interval = 30 * kMicrosPerSecond;
+    } supervision;
   };
 
   explicit Container(Options options);
@@ -114,8 +140,58 @@ class Container : public network::NetworkNode {
   // -- Runtime --------------------------------------------------------------
 
   /// One scheduling round at the clock's current time. Returns the
-  /// number of output elements produced across all sensors.
+  /// number of output elements produced across all sensors. Sensor
+  /// failures do not propagate: the supervisor pauses the offending
+  /// sensor for a backoff (its sources keep pumping into their
+  /// admission queues) and marks it FAILED once restarts are exhausted.
   Result<int> Tick();
+
+  // -- Durability & supervised lifecycle (docs/DURABILITY.md) --------------
+
+  /// The supervisor's view of one sensor.
+  enum class SensorState { kRunning = 0, kRestarting = 1, kFailed = 2 };
+  static const char* SensorStateName(SensorState state);
+
+  /// Checkpoint: compacts the container manifest to the live deploy
+  /// set and rewrites every permanent sensor's WAL to its table's
+  /// retention window, bounding recovery to O(window). Runs
+  /// automatically every supervision.checkpoint_interval; callable any
+  /// time (management `checkpoint`).
+  Status Checkpoint();
+
+  /// Graceful drain: stop admitting new wrapper load, flush what the
+  /// admission queues already hold through the pipelines, checkpoint,
+  /// and fsync every log. After Shutdown the destructor tears sensors
+  /// down WITHOUT recording manifest undeploys, so a restart over the
+  /// same data_dir redeploys them.
+  Status Shutdown();
+  bool draining() const;
+
+  /// Liveness/readiness for the Kubernetes-style probes. Not-ready
+  /// reasons: draining, a FAILED or restarting sensor, an admission
+  /// queue at capacity.
+  struct Health {
+    bool live = true;
+    bool ready = true;
+    std::vector<std::string> reasons;
+  };
+  Health GetHealth() const;
+
+  /// Dead-letter store of poison tuples (null only before construction
+  /// completes).
+  QuarantineStore& quarantine() { return *quarantine_; }
+  const QuarantineStore& quarantine() const { return *quarantine_; }
+  /// Takes quarantined tuple `id` and re-injects it into its
+  /// originating stream source for the next poll (at-least-once).
+  Status RequeueQuarantined(uint64_t id);
+
+  /// The crash-recovery manifest (null when data_dir is empty).
+  ContainerManifest* manifest() const { return manifest_.get(); }
+  /// Manifest events replayed by the constructor's recovery pass.
+  size_t recovered_records() const { return recovered_records_; }
+  /// Sensors the recovery pass failed to redeploy (kept in the
+  /// manifest; they retry on the next restart).
+  size_t recovery_failures() const { return recovery_failures_; }
 
   // -- Queries & subscriptions ----------------------------------------------
 
@@ -167,6 +243,10 @@ class Container : public network::NetworkNode {
     size_t stored_bytes = 0;
     int pool_size = 0;
     int64_t remote_subscribers = 0;
+    SensorState state = SensorState::kRunning;
+    int restart_attempts = 0;
+    size_t queue_depth = 0;  // summed over the sensor's sources
+    int64_t shed = 0;        // summed over the sensor's sources
   };
   Result<SensorStatus> GetSensorStatus(const std::string& sensor_name) const;
 
@@ -191,10 +271,19 @@ class Container : public network::NetworkNode {
   struct Deployment {
     std::unique_ptr<vsensor::VirtualSensor> sensor;
     storage::Table* table = nullptr;  // owned by tables_
-    std::unique_ptr<storage::PersistenceLog> log;
+    /// shared_ptr so OnSensorBatch (pool threads) can hold the handle
+    /// across a concurrent Checkpoint() swap without dangling.
+    std::shared_ptr<storage::PersistenceLog> log;
     std::unique_ptr<ThreadPool> pool;  // life-cycle pool-size threads
     Timestamp deployed_at = 0;
     Timestamp expires_at = 0;  // 0 = never
+    // -- Supervision (docs/DURABILITY.md) --------------------------------
+    SensorState state = SensorState::kRunning;
+    int restart_attempts = 0;
+    /// While kRestarting: the tick time at which processing resumes.
+    Timestamp resume_at = 0;
+    std::shared_ptr<telemetry::Gauge> state_gauge;
+    std::shared_ptr<telemetry::Counter> restarts;
     /// Subscriptions this sensor holds on remote producers (cancelled
     /// at undeploy).
     std::vector<std::string> subscription_ids;
@@ -292,6 +381,22 @@ class Container : public network::NetworkNode {
   void OnSensorBatch(const vsensor::VirtualSensor& sensor,
                      const std::vector<StreamElement>& batch);
 
+  // -- Supervision & recovery (docs/DURABILITY.md) --------------------------
+
+  /// Records one failure of `key`'s sensor: pauses it for the retry
+  /// policy's backoff, or marks it FAILED once the budget is spent.
+  void HandleSensorFailure(const std::string& key, const Status& status,
+                           Timestamp now);
+  /// VirtualSensor::ErrorListener target — quarantines the failing
+  /// trigger's elements, then hands the failure to the supervisor.
+  void OnSensorError(const std::string& key,
+                     const vsensor::VirtualSensor& sensor,
+                     const std::string& stream_name, const Status& status,
+                     const std::vector<StreamElement>& elements);
+  /// Constructor-time crash recovery: opens the manifest under
+  /// data_dir, replays its events, and redeploys the live set.
+  void RecoverFromManifest();
+
   /// System catalog exposed to SQL: virtual tables describing the
   /// container itself, falling back to the sensor output tables.
   class CatalogResolver : public sql::TableResolver {
@@ -352,6 +457,24 @@ class Container : public network::NetworkNode {
   std::shared_ptr<telemetry::Counter> fed_abandoned_;
   std::shared_ptr<telemetry::Counter> fed_failovers_;
   std::shared_ptr<telemetry::Gauge> replay_bytes_;
+
+  // -- Durability & supervision (docs/DURABILITY.md) ------------------------
+  std::unique_ptr<ContainerManifest> manifest_;  // null without data_dir
+  std::unique_ptr<QuarantineStore> quarantine_;
+  /// True while the constructor replays the manifest: redeploys must
+  /// not append fresh manifest events.
+  bool recovering_ = false;
+  /// True once Shutdown()/the destructor begins teardown: those
+  /// undeploys are process exit, not operator intent, so they must NOT
+  /// record manifest undeploy events (the sensors come back on
+  /// restart). Guarded by mu_.
+  bool shutting_down_ = false;
+  bool draining_ = false;  // guarded by mu_
+  Timestamp last_checkpoint_ = 0;
+  size_t recovered_records_ = 0;
+  size_t recovery_failures_ = 0;
+  std::shared_ptr<telemetry::Gauge> recovery_records_gauge_;
+  std::shared_ptr<telemetry::Gauge> recovery_seconds_gauge_;
 };
 
 }  // namespace gsn::container

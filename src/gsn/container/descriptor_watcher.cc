@@ -68,9 +68,42 @@ Result<int> DescriptorWatcher::Scan() {
     ss << in.rdbuf();
     const std::string xml_text = ss.str();
 
-    // Changed file whose old version was deployed: redeploy.
+    // Changed file whose old version was deployed: redeploy — but
+    // validate the rewrite BEFORE undeploying anything, so an invalid
+    // descriptor can never take down a running sensor.
     const bool was_deployed = !is_new && !it->second.sensor_name.empty();
+    Result<vsensor::VirtualSensorSpec> parsed =
+        vsensor::ParseDescriptor(xml_text);
+    const Status valid = parsed.ok() ? parsed->Validate() : parsed.status();
+    if (!valid.ok()) {
+      if (was_deployed) {
+        // Reject the rewrite; the old sensor keeps running. Remember
+        // the fingerprint so the broken version is reported once.
+        it->second.mtime_and_size = fingerprint;
+        ++stats_.rejected;
+        telemetry::MetricRegistry::Default()
+            ->GetCounter("gsn_watcher_rejects_total", {},
+                         "Rewritten descriptors rejected by validation "
+                         "(old sensor kept running)")
+            ->Increment();
+        GSN_LOG(kWarn, "watcher")
+            << filename << ": rewrite rejected, keeping '"
+            << it->second.sensor_name << "' running: " << valid.ToString();
+      } else {
+        WatchedFile watched;
+        watched.mtime_and_size = fingerprint;
+        watched.failed = true;
+        ++stats_.failed;
+        GSN_LOG(kWarn, "watcher")
+            << filename << ": invalid descriptor: " << valid.ToString();
+        files_[filename] = std::move(watched);
+      }
+      continue;
+    }
+
+    std::string rollback_xml;
     if (was_deployed) {
+      rollback_xml = it->second.deployed_xml;
       (void)container_->Undeploy(it->second.sensor_name);
     }
 
@@ -79,6 +112,7 @@ Result<int> DescriptorWatcher::Scan() {
     Result<vsensor::VirtualSensor*> sensor = container_->Deploy(xml_text);
     if (sensor.ok()) {
       watched.sensor_name = (*sensor)->name();
+      watched.deployed_xml = xml_text;
       if (was_deployed) {
         ++stats_.redeployed;
       } else {
@@ -89,11 +123,42 @@ Result<int> DescriptorWatcher::Scan() {
           << filename << (was_deployed ? " changed: redeployed '"
                                        : " added: deployed '")
           << watched.sensor_name << "'";
+    } else if (!was_deployed &&
+               sensor.status().code() == StatusCode::kAlreadyExists &&
+               container_->FindSensor(parsed->name) != nullptr) {
+      // The container already runs this sensor — typically because
+      // crash recovery replayed the manifest before the watcher's
+      // first scan. Adopt it so overwriting or deleting the file
+      // keeps redeploying/undeploying the live deployment.
+      watched.sensor_name = parsed->name;
+      watched.deployed_xml = xml_text;
+      ++stats_.adopted;
+      GSN_LOG(kInfo, "watcher")
+          << filename << ": adopted already-running '" << watched.sensor_name
+          << "' (recovered deployment)";
     } else {
       watched.failed = true;
       ++stats_.failed;
       GSN_LOG(kWarn, "watcher")
           << filename << ": deploy failed: " << sensor.status().ToString();
+      if (was_deployed && !rollback_xml.empty()) {
+        // The rewrite validated but failed at runtime (e.g. producer
+        // gone) and the old sensor is already down — restore it.
+        Result<vsensor::VirtualSensor*> restored =
+            container_->Deploy(rollback_xml);
+        if (restored.ok()) {
+          watched.sensor_name = (*restored)->name();
+          watched.deployed_xml = rollback_xml;
+          ++stats_.rolled_back;
+          GSN_LOG(kWarn, "watcher")
+              << filename << ": rolled back to previous descriptor ('"
+              << watched.sensor_name << "' restored)";
+        } else {
+          GSN_LOG(kError, "watcher")
+              << filename
+              << ": rollback failed too: " << restored.status().ToString();
+        }
+      }
     }
     files_[filename] = std::move(watched);
   }

@@ -21,6 +21,13 @@ namespace gsn::container {
 /// are reported once per content-version and retried only when the file
 /// changes (so a descriptor waiting on a remote producer can be fixed
 /// by touching it after the producer appears).
+///
+/// Reloads are safe: a rewritten descriptor is parsed and validated
+/// BEFORE the old sensor is touched — an invalid rewrite is rejected
+/// (logged + counted in stats().rejected and
+/// gsn_watcher_rejects_total) and the old sensor keeps running. If the
+/// validated deploy still fails at runtime (e.g. its producer
+/// vanished), the watcher rolls the old descriptor back.
 class DescriptorWatcher {
  public:
   DescriptorWatcher(Container* container, std::string directory);
@@ -39,6 +46,15 @@ class DescriptorWatcher {
     int64_t undeployed = 0;
     int64_t redeployed = 0;
     int64_t failed = 0;
+    /// Rewritten descriptors rejected before touching the old sensor
+    /// (parse/validation failure); the old deployment kept running.
+    int64_t rejected = 0;
+    /// Validated redeploys that failed at runtime and were rolled back
+    /// to the previous descriptor.
+    int64_t rolled_back = 0;
+    /// Files whose sensor was already running (crash recovery replayed
+    /// the manifest first); the watcher adopted the live deployment.
+    int64_t adopted = 0;
   };
   Stats stats() const { return stats_; }
 
@@ -46,6 +62,9 @@ class DescriptorWatcher {
   struct WatchedFile {
     int64_t mtime_and_size = 0;  // change fingerprint
     std::string sensor_name;     // empty if the deploy failed
+    /// The descriptor text currently deployed for this file (rollback
+    /// source when a rewrite fails after the old sensor is gone).
+    std::string deployed_xml;
     bool failed = false;
   };
 

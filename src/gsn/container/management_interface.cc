@@ -61,6 +61,16 @@ ManagementInterface::ManagementInterface(Container* container)
       [this](const std::string& a) { return CmdTraces(a); });
   add("peers", "", "federation peer health: circuit state and last-seen",
       [this](const std::string&) { return CmdPeers(); });
+  add("health", "", "liveness/readiness with not-ready reasons",
+      [this](const std::string&) { return CmdHealth(); });
+  add("quarantine", "[requeue <id> | clear]",
+      "dead-letter store: list poison tuples, requeue one, or clear",
+      [this](const std::string& a) { return CmdQuarantine(a); });
+  add("checkpoint", "", "compact the manifest and every sensor WAL now",
+      [this](const std::string&) { return CmdCheckpoint(); });
+  add("drain", "",
+      "graceful drain: stop admitting, flush queues, checkpoint, fsync",
+      [this](const std::string&) { return CmdDrain(); });
   add("chaos", "partition|heal|down|up|loss ...",
       "inject faults into the network simulator (heal with no args "
       "clears partitions and downed nodes)",
@@ -120,11 +130,16 @@ std::string ManagementInterface::CmdStatus(const std::string& sensor) const {
   if (!status.ok()) return "ERROR: " + status.status().ToString();
   std::ostringstream os;
   os << "sensor:             " << status->name << "\n"
+     << "state:              " << Container::SensorStateName(status->state)
+     << "\n"
      << "pool size:          " << status->pool_size << "\n"
      << "triggers:           " << status->stats.triggers << "\n"
      << "elements produced:  " << status->stats.produced << "\n"
      << "rate limited:       " << status->stats.rate_limited << "\n"
      << "pipeline errors:    " << status->stats.errors << "\n"
+     << "restarts:           " << status->restart_attempts << "\n"
+     << "queue depth:        " << status->queue_depth << "\n"
+     << "shed:               " << status->shed << "\n"
      << "stored rows:        " << status->stored_rows << "\n"
      << "stored bytes:       " << status->stored_bytes << "\n"
      << "remote subscribers: " << status->remote_subscribers << "\n";
@@ -315,6 +330,60 @@ std::string ManagementInterface::CmdPeers() const {
            "  opened=" + std::to_string(peer.circuit_opened_total) + "\n";
   }
   return out;
+}
+
+std::string ManagementInterface::CmdHealth() const {
+  const Container::Health health = container_->GetHealth();
+  std::string out = std::string("live:  ") + (health.live ? "yes" : "no") +
+                    "\nready: " + (health.ready ? "yes" : "no") + "\n";
+  for (const std::string& reason : health.reasons) {
+    out += "  - " + reason + "\n";
+  }
+  return out;
+}
+
+std::string ManagementInterface::CmdQuarantine(const std::string& args) {
+  const std::string trimmed = StrTrim(args);
+  if (trimmed.empty()) {
+    const std::vector<QuarantineStore::Entry> entries =
+        container_->quarantine().List();
+    if (entries.empty()) return "(quarantine empty)\n";
+    std::string out;
+    for (const QuarantineStore::Entry& entry : entries) {
+      out += "#" + std::to_string(entry.id) + "  " + entry.sensor + "/" +
+             entry.stream + "/" + entry.source_alias + "  at=" +
+             std::to_string(entry.quarantined_at) + "us  " + entry.error +
+             "\n";
+    }
+    return out;
+  }
+  if (StrToLower(trimmed) == "clear") {
+    return "cleared " + std::to_string(container_->quarantine().Clear()) +
+           " tuple(s)\n";
+  }
+  const size_t space = trimmed.find_first_of(" \t");
+  const std::string sub = StrToLower(trimmed.substr(0, space));
+  if (sub == "requeue" && space != std::string::npos) {
+    Result<int64_t> id = ParseInt64(StrTrim(trimmed.substr(space + 1)));
+    if (!id.ok() || *id < 0) return "ERROR: requeue takes an entry id";
+    const Status status =
+        container_->RequeueQuarantined(static_cast<uint64_t>(*id));
+    if (!status.ok()) return "ERROR: " + status.ToString();
+    return "requeued #" + std::to_string(*id) + "\n";
+  }
+  return "ERROR: usage: quarantine [requeue <id> | clear]";
+}
+
+std::string ManagementInterface::CmdCheckpoint() {
+  const Status status = container_->Checkpoint();
+  if (!status.ok()) return "ERROR: " + status.ToString();
+  return "checkpointed\n";
+}
+
+std::string ManagementInterface::CmdDrain() {
+  const Status status = container_->Shutdown();
+  if (!status.ok()) return "ERROR: " + status.ToString();
+  return "drained\n";
 }
 
 std::string ManagementInterface::CmdChaos(const std::string& args) {

@@ -24,6 +24,11 @@ namespace gsn::container {
 ///   metrics / slowlog / trace / traces
 ///   peers                         federation peer health (circuit
 ///                                 state, last-seen, times opened)
+///   health                        liveness/readiness + reasons
+///   quarantine [requeue <id>|clear]  dead-letter store of poison tuples
+///   checkpoint                    compact manifest + WALs now
+///   drain                         graceful drain (stop admitting,
+///                                 flush, checkpoint, fsync)
 ///   chaos <sub> ...               fault injection on the attached
 ///                                 network simulator: partition, heal,
 ///                                 down, up, loss
@@ -70,6 +75,10 @@ class ManagementInterface {
   std::string CmdTrace(const std::string& args);
   std::string CmdTraces(const std::string& args) const;
   std::string CmdPeers() const;
+  std::string CmdHealth() const;
+  std::string CmdQuarantine(const std::string& args);
+  std::string CmdCheckpoint();
+  std::string CmdDrain();
   std::string CmdChaos(const std::string& args);
 
   Container* container_;

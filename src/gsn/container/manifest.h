@@ -1,0 +1,88 @@
+#ifndef GSN_CONTAINER_MANIFEST_H_
+#define GSN_CONTAINER_MANIFEST_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gsn/util/result.h"
+
+namespace gsn::container {
+
+/// Durable record of the container's deployed set: an append-log of
+/// deploy/undeploy events under the container's --data-dir, using the
+/// same framed-record format as the per-sensor persistence logs
+/// (docs/DURABILITY.md). A restarted container replays the manifest to
+/// redeploy every descriptor that was live when the process died — the
+/// paper's container "manages every aspect of the virtual sensor life
+/// cycle"; this is the half of that promise that survives the manager
+/// itself crashing.
+///
+/// Compact() rewrites the log to one deploy event per live sensor
+/// (checkpoint), so the manifest — and recovery — stays O(deployed
+/// sensors) instead of O(history).
+class ContainerManifest {
+ public:
+  struct Event {
+    enum class Kind : uint8_t { kDeploy = 1, kUndeploy = 2 };
+    Kind kind = Kind::kDeploy;
+    std::string sensor_name;     // lowercased key
+    std::string descriptor_xml;  // empty for undeploy events
+  };
+
+  /// Opens (creating if needed) the manifest for appending. A torn or
+  /// corrupt tail left by a crash is truncated first.
+  static Result<std::unique_ptr<ContainerManifest>> Open(
+      const std::string& path);
+
+  ~ContainerManifest();
+
+  ContainerManifest(const ContainerManifest&) = delete;
+  ContainerManifest& operator=(const ContainerManifest&) = delete;
+
+  Status AppendDeploy(const std::string& sensor_name,
+                      const std::string& descriptor_xml);
+  Status AppendUndeploy(const std::string& sensor_name);
+
+  /// Flushes and fsyncs the manifest (drain shutdown).
+  Status Sync();
+
+  /// Reads every intact event from `path` (static: usable before
+  /// opening for append). `truncated_tail` reports a torn tail.
+  static Result<std::vector<Event>> Recover(const std::string& path,
+                                            bool* truncated_tail);
+
+  /// Replays `events` into the set of live deployments, as (name,
+  /// descriptor-xml) pairs in first-deploy order — deploy order is
+  /// preserved so wrapper="local" consumers redeploy after their
+  /// producers. A redeploy of a live name updates its descriptor in
+  /// place; an undeploy removes it.
+  static std::vector<std::pair<std::string, std::string>> LiveSet(
+      const std::vector<Event>& events);
+
+  /// Checkpoint: atomically rewrites the manifest to one deploy event
+  /// per entry of `live` and reopens the append handle.
+  Status Compact(const std::vector<std::pair<std::string, std::string>>& live);
+
+  const std::string& path() const { return path_; }
+  /// Events appended through this handle (compaction resets it).
+  size_t appended_count() const;
+
+ private:
+  ContainerManifest(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  Status AppendLocked(const Event& event);
+
+  const std::string path_;
+  std::FILE* file_;
+  mutable std::mutex mu_;
+  size_t appended_ = 0;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_MANIFEST_H_

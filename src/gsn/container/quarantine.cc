@@ -1,0 +1,71 @@
+#include "gsn/container/quarantine.h"
+
+#include <algorithm>
+
+namespace gsn::container {
+
+QuarantineStore::QuarantineStore(size_t capacity,
+                                 telemetry::MetricRegistry* metrics)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  if (metrics == nullptr) metrics = telemetry::MetricRegistry::Default();
+  tuples_total_ =
+      metrics->GetCounter("gsn_quarantine_tuples_total", {},
+                          "Poison tuples moved to the dead-letter store");
+  size_gauge_ = metrics->GetGauge("gsn_quarantine_size", {},
+                                  "Tuples currently held in quarantine");
+}
+
+uint64_t QuarantineStore::Add(const std::string& sensor,
+                              const std::string& stream,
+                              const std::string& source_alias,
+                              const std::string& error, Timestamp now,
+                              const StreamElement& element) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.id = next_id_++;
+  entry.sensor = sensor;
+  entry.stream = stream;
+  entry.source_alias = source_alias;
+  entry.error = error;
+  entry.quarantined_at = now;
+  entry.element = element;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+  tuples_total_->Increment();
+  size_gauge_->Set(static_cast<int64_t>(entries_.size()));
+  return next_id_ - 1;
+}
+
+std::vector<QuarantineStore::Entry> QuarantineStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Entry>(entries_.begin(), entries_.end());
+}
+
+Result<QuarantineStore::Entry> QuarantineStore::Take(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->id == id) {
+      Entry entry = std::move(*it);
+      entries_.erase(it);
+      size_gauge_->Set(static_cast<int64_t>(entries_.size()));
+      return entry;
+    }
+  }
+  return Status::NotFound("no quarantined tuple with id " +
+                          std::to_string(id));
+}
+
+size_t QuarantineStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = entries_.size();
+  entries_.clear();
+  size_gauge_->Set(0);
+  return n;
+}
+
+size_t QuarantineStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace gsn::container

@@ -1,0 +1,74 @@
+#ifndef GSN_CONTAINER_QUARANTINE_H_
+#define GSN_CONTAINER_QUARANTINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gsn/telemetry/metrics.h"
+#include "gsn/types/schema.h"
+#include "gsn/util/result.h"
+
+namespace gsn::container {
+
+/// Bounded dead-letter store for poison tuples: when a virtual sensor's
+/// processing step fails on a trigger, the offending elements land here
+/// instead of being retried forever or silently dropped. Entries are
+/// inspectable (web /api/v1/quarantine, management `quarantine`) and can
+/// be taken back out for requeue into the originating stream source once
+/// the operator has fixed the cause. At capacity the oldest entry is
+/// evicted — quarantine protects the container's memory, not the tuple.
+/// Thread-safe.
+class QuarantineStore {
+ public:
+  struct Entry {
+    uint64_t id = 0;            // monotonically increasing, never reused
+    std::string sensor;         // virtual sensor whose processing failed
+    std::string stream;         // input stream whose trigger failed
+    std::string source_alias;   // requeue target source inside the stream
+    std::string error;          // the Status message that condemned it
+    Timestamp quarantined_at = 0;
+    StreamElement element;
+  };
+
+  QuarantineStore(size_t capacity, telemetry::MetricRegistry* metrics);
+
+  QuarantineStore(const QuarantineStore&) = delete;
+  QuarantineStore& operator=(const QuarantineStore&) = delete;
+
+  /// Adds one poison tuple; evicts the oldest entry when full. Returns
+  /// the assigned id.
+  uint64_t Add(const std::string& sensor, const std::string& stream,
+               const std::string& source_alias, const std::string& error,
+               Timestamp now, const StreamElement& element);
+
+  /// Snapshot of all entries, oldest first.
+  std::vector<Entry> List() const;
+
+  /// Removes and returns entry `id` (for requeue). NotFound if it was
+  /// never added or already evicted/taken.
+  Result<Entry> Take(uint64_t id);
+
+  /// Drops everything; returns how many entries were discarded.
+  size_t Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::shared_ptr<telemetry::Counter> tuples_total_;
+  std::shared_ptr<telemetry::Gauge> size_gauge_;
+
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace gsn::container
+
+#endif  // GSN_CONTAINER_QUARANTINE_H_

@@ -58,6 +58,34 @@ WebInterface::WebInterface(Container* container)
   add("GET", "/peers", false, [this](const HttpRequest&, const std::string&) {
     return HandlePeers();
   });
+  add("GET", "/healthz", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleHealthz();
+      });
+  add("GET", "/readyz", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleReadyz();
+      });
+  add("GET", "/quarantine", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleQuarantine();
+      });
+  add("POST", "/quarantine/requeue", false,
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleQuarantineRequeue(r);
+      });
+  add("POST", "/quarantine/clear", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleQuarantineClear();
+      });
+  add("POST", "/checkpoint", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleCheckpoint();
+      });
+  add("POST", "/drain", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleDrain();
+      });
   add("POST", "/deploy", false,
       [this](const HttpRequest& r, const std::string&) {
         return HandleDeploy(r);
@@ -171,7 +199,8 @@ HttpResponse WebInterface::HandleSensors() {
     if (!status.ok()) continue;
     if (!first) json += ",";
     first = false;
-    json += "{\"name\":" + JsonEscape(name) +
+    json += "{\"name\":" + JsonEscape(name) + ",\"state\":" +
+            JsonEscape(Container::SensorStateName(status->state)) +
             ",\"produced\":" + std::to_string(status->stats.produced) +
             ",\"stored_rows\":" + std::to_string(status->stored_rows) + "}";
   }
@@ -183,12 +212,16 @@ HttpResponse WebInterface::HandleSensorStatus(const std::string& name) {
   Result<Container::SensorStatus> status = container_->GetSensorStatus(name);
   if (!status.ok()) return FromStatus(status.status());
   std::string json =
-      "{\"name\":" + JsonEscape(status->name) +
+      "{\"name\":" + JsonEscape(status->name) + ",\"state\":" +
+      JsonEscape(Container::SensorStateName(status->state)) +
       ",\"pool_size\":" + std::to_string(status->pool_size) +
       ",\"triggers\":" + std::to_string(status->stats.triggers) +
       ",\"produced\":" + std::to_string(status->stats.produced) +
       ",\"rate_limited\":" + std::to_string(status->stats.rate_limited) +
       ",\"errors\":" + std::to_string(status->stats.errors) +
+      ",\"restarts\":" + std::to_string(status->restart_attempts) +
+      ",\"queue_depth\":" + std::to_string(status->queue_depth) +
+      ",\"shed\":" + std::to_string(status->shed) +
       ",\"stored_rows\":" + std::to_string(status->stored_rows) +
       ",\"stored_bytes\":" + std::to_string(status->stored_bytes) +
       ",\"remote_subscribers\":" +
@@ -299,6 +332,79 @@ HttpResponse WebInterface::HandlePeers() {
   }
   json += "]";
   return HttpResponse::Json(std::move(json));
+}
+
+HttpResponse WebInterface::HandleHealthz() {
+  // Liveness: the probe answering at all is the signal.
+  return HttpResponse::Json("{\"status\":\"ok\"}");
+}
+
+HttpResponse WebInterface::HandleReadyz() {
+  const Container::Health health = container_->GetHealth();
+  std::string json = std::string("{\"ready\":") +
+                     (health.ready ? "true" : "false") + ",\"reasons\":[";
+  bool first = true;
+  for (const std::string& reason : health.reasons) {
+    if (!first) json += ",";
+    first = false;
+    json += JsonEscape(reason);
+  }
+  json += "]}";
+  return HttpResponse::Json(std::move(json), health.ready ? 200 : 503);
+}
+
+HttpResponse WebInterface::HandleQuarantine() {
+  std::string json = "[";
+  bool first = true;
+  for (const QuarantineStore::Entry& entry :
+       container_->quarantine().List()) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"id\":" + std::to_string(entry.id) +
+            ",\"sensor\":" + JsonEscape(entry.sensor) +
+            ",\"stream\":" + JsonEscape(entry.stream) +
+            ",\"source\":" + JsonEscape(entry.source_alias) +
+            ",\"error\":" + JsonEscape(entry.error) +
+            ",\"quarantined_at_micros\":" +
+            std::to_string(entry.quarantined_at) +
+            ",\"element_timed\":" + std::to_string(entry.element.timed) +
+            "}";
+  }
+  json += "]";
+  return HttpResponse::Json(std::move(json));
+}
+
+HttpResponse WebInterface::HandleQuarantineRequeue(const HttpRequest& request) {
+  const std::string id_text = request.QueryOr("id", "");
+  if (id_text.empty()) {
+    return ErrorJson(400, "InvalidArgument", "missing ?id=");
+  }
+  Result<int64_t> id = ParseInt64(id_text);
+  if (!id.ok() || *id < 0) {
+    return ErrorJson(400, "InvalidArgument",
+                     "?id= must be a quarantine entry id");
+  }
+  const Status status =
+      container_->RequeueQuarantined(static_cast<uint64_t>(*id));
+  if (!status.ok()) return FromStatus(status);
+  return HttpResponse::Json("{\"requeued\":" + id_text + "}");
+}
+
+HttpResponse WebInterface::HandleQuarantineClear() {
+  const size_t cleared = container_->quarantine().Clear();
+  return HttpResponse::Json("{\"cleared\":" + std::to_string(cleared) + "}");
+}
+
+HttpResponse WebInterface::HandleCheckpoint() {
+  const Status status = container_->Checkpoint();
+  if (!status.ok()) return FromStatus(status);
+  return HttpResponse::Json("{\"checkpointed\":true}");
+}
+
+HttpResponse WebInterface::HandleDrain() {
+  const Status status = container_->Shutdown();
+  if (!status.ok()) return FromStatus(status);
+  return HttpResponse::Json("{\"drained\":true}");
 }
 
 HttpResponse WebInterface::HandleDeploy(const HttpRequest& request) {

@@ -33,6 +33,18 @@ namespace gsn::container {
 ///                                  (?id=<32-hex trace id> filters one)
 ///   GET  /api/v1/peers             federation peer health: circuit
 ///                                  state, last-seen, times opened
+///   GET  /api/v1/healthz           liveness probe (200 while the
+///                                  process serves requests)
+///   GET  /api/v1/readyz            readiness probe: 200 when healthy,
+///                                  503 + JSON reasons while draining,
+///                                  a sensor is FAILED/restarting, or
+///                                  an admission queue is at capacity
+///   GET  /api/v1/quarantine        dead-letter store of poison tuples
+///   POST /api/v1/quarantine/requeue?id=N   re-inject one tuple
+///   POST /api/v1/quarantine/clear  drop every quarantined tuple
+///   POST /api/v1/checkpoint        compact manifest + WALs now
+///   POST /api/v1/drain             graceful drain (stop admitting,
+///                                  flush, checkpoint, fsync)
 ///   POST /api/v1/deploy            body = descriptor XML
 ///   POST /api/v1/undeploy?name=...
 ///
@@ -83,6 +95,14 @@ class WebInterface {
   network::HttpResponse HandleMetrics();
   network::HttpResponse HandleTraces(const network::HttpRequest& request);
   network::HttpResponse HandlePeers();
+  network::HttpResponse HandleHealthz();
+  network::HttpResponse HandleReadyz();
+  network::HttpResponse HandleQuarantine();
+  network::HttpResponse HandleQuarantineRequeue(
+      const network::HttpRequest& request);
+  network::HttpResponse HandleQuarantineClear();
+  network::HttpResponse HandleCheckpoint();
+  network::HttpResponse HandleDrain();
   network::HttpResponse HandleDeploy(const network::HttpRequest& request);
   network::HttpResponse HandleUndeploy(const network::HttpRequest& request);
 

@@ -1,6 +1,11 @@
 #include "gsn/storage/persistence_log.h"
 
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 
 namespace gsn::storage {
@@ -19,6 +24,17 @@ std::array<uint32_t, 256> BuildCrcTable() {
   }
   return table;
 }
+
+Status FlushAndFsync(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return Status::IoError("flush failed for " + path);
+  }
+  if (::fsync(::fileno(file)) != 0) {
+    return Status::IoError("fsync failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t len) {
@@ -31,13 +47,125 @@ uint32_t Crc32(const void* data, size_t len) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+std::string FrameLogRecord(std::string_view payload) {
+  std::string record;
+  record.reserve(payload.size() + 9);
+  record.push_back(static_cast<char>(kRecordMagic));
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    record.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  record.append(payload);
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) {
+    record.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  return record;
+}
+
+size_t ScanLogRecords(std::string_view contents,
+                      std::vector<std::string_view>* payloads,
+                      bool* torn_tail) {
+  if (torn_tail != nullptr) *torn_tail = false;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    const size_t header_end = pos + 5;
+    if (header_end > contents.size()) break;  // torn header
+    if (static_cast<uint8_t>(contents[pos]) != kRecordMagic) break;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(static_cast<uint8_t>(contents[pos + 1 + i]))
+             << (8 * i);
+    }
+    const size_t payload_start = header_end;
+    const size_t record_end = payload_start + len + 4;
+    if (record_end > contents.size() || record_end < payload_start) {
+      break;  // torn tail (or a length so corrupt it overflows)
+    }
+    uint32_t stored_crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored_crc |= static_cast<uint32_t>(
+                        static_cast<uint8_t>(contents[payload_start + len + i]))
+                    << (8 * i);
+    }
+    const std::string_view payload = contents.substr(payload_start, len);
+    if (Crc32(payload.data(), payload.size()) != stored_crc) break;
+    if (payloads != nullptr) payloads->push_back(payload);
+    pos = record_end;
+  }
+  if (pos < contents.size() && torn_tail != nullptr) *torn_tail = true;
+  return pos;
+}
+
+Result<std::string> ReadLogFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::string();  // first boot: empty history
+  std::string contents;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  return contents;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open temp file: " + tmp);
+  }
+  if (!contents.empty() &&
+      std::fwrite(contents.data(), 1, contents.size(), f) != contents.size()) {
+    std::fclose(f);
+    return Status::IoError("short write to " + tmp);
+  }
+  const Status synced = FlushAndFsync(f, tmp);
+  std::fclose(f);
+  if (!synced.ok()) return synced;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<PersistenceLog>> PersistenceLog::Open(
     const std::string& path) {
+  // Torn-tail repair: find the valid prefix and truncate anything after
+  // it, so appends are never written behind a corrupt record (where
+  // every future Recover would stop before them and silently lose them).
+  GSN_ASSIGN_OR_RETURN(std::string contents, ReadLogFile(path));
+  bool torn = false;
+  const size_t valid_prefix = ScanLogRecords(contents, nullptr, &torn);
+  if (torn) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, valid_prefix, ec);
+    if (ec) {
+      return Status::IoError("cannot truncate torn tail of " + path + ": " +
+                             ec.message());
+    }
+  }
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) {
     return Status::IoError("cannot open persistence log: " + path);
   }
   return std::unique_ptr<PersistenceLog>(new PersistenceLog(path, f));
+}
+
+Result<std::unique_ptr<PersistenceLog>> PersistenceLog::Rewrite(
+    const std::string& path, const std::vector<StreamElement>& elements) {
+  std::string contents;
+  for (const StreamElement& element : elements) {
+    std::string payload;
+    Codec::EncodeElement(element, &payload);
+    contents += FrameLogRecord(payload);
+  }
+  GSN_RETURN_IF_ERROR(WriteFileAtomic(path, contents));
+  return Open(path);
 }
 
 PersistenceLog::~PersistenceLog() {
@@ -47,18 +175,7 @@ PersistenceLog::~PersistenceLog() {
 Status PersistenceLog::Append(const StreamElement& element) {
   std::string payload;
   Codec::EncodeElement(element, &payload);
-  std::string record;
-  record.reserve(payload.size() + 9);
-  record.push_back(static_cast<char>(kRecordMagic));
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) {
-    record.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
-  }
-  record += payload;
-  const uint32_t crc = Crc32(payload.data(), payload.size());
-  for (int i = 0; i < 4; ++i) {
-    record.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
-  }
+  const std::string record = FrameLogRecord(payload);
   std::lock_guard<std::mutex> lock(mu_);
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::IoError("short write to " + path_);
@@ -70,6 +187,11 @@ Status PersistenceLog::Append(const StreamElement& element) {
   return Status::OK();
 }
 
+Status PersistenceLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushAndFsync(file_, path_);
+}
+
 size_t PersistenceLog::appended_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return appended_;
@@ -77,62 +199,20 @@ size_t PersistenceLog::appended_count() const {
 
 Result<std::vector<StreamElement>> PersistenceLog::Recover(
     const std::string& path, bool* truncated_tail) {
-  if (truncated_tail != nullptr) *truncated_tail = false;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    // A missing log is an empty history, not an error: first boot.
-    return std::vector<StreamElement>();
-  }
-  std::string contents;
-  char buf[64 * 1024];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    contents.append(buf, n);
-  }
-  std::fclose(f);
-
+  GSN_ASSIGN_OR_RETURN(std::string contents, ReadLogFile(path));
+  std::vector<std::string_view> payloads;
+  ScanLogRecords(contents, &payloads, truncated_tail);
   std::vector<StreamElement> out;
-  size_t pos = 0;
-  while (pos < contents.size()) {
-    const size_t header_end = pos + 5;
-    if (header_end > contents.size()) break;  // torn header
-    if (static_cast<uint8_t>(contents[pos]) != kRecordMagic) {
-      if (truncated_tail != nullptr) *truncated_tail = true;
-      break;
-    }
-    uint32_t len = 0;
-    for (int i = 0; i < 4; ++i) {
-      len |= static_cast<uint32_t>(
-                 static_cast<uint8_t>(contents[pos + 1 + i]))
-             << (8 * i);
-    }
-    const size_t payload_start = header_end;
-    const size_t record_end = payload_start + len + 4;
-    if (record_end > contents.size()) {
-      if (truncated_tail != nullptr) *truncated_tail = true;
-      break;  // torn tail
-    }
-    uint32_t stored_crc = 0;
-    for (int i = 0; i < 4; ++i) {
-      stored_crc |= static_cast<uint32_t>(static_cast<uint8_t>(
-                        contents[payload_start + len + i]))
-                    << (8 * i);
-    }
-    const std::string_view payload(contents.data() + payload_start, len);
-    if (Crc32(payload.data(), payload.size()) != stored_crc) {
-      if (truncated_tail != nullptr) *truncated_tail = true;
-      break;
-    }
+  out.reserve(payloads.size());
+  for (const std::string_view payload : payloads) {
     Result<StreamElement> elem = Codec::DecodeElementFromString(payload);
     if (!elem.ok()) {
+      // An intact frame around an undecodable payload is corruption the
+      // CRC missed; treat like a torn tail.
       if (truncated_tail != nullptr) *truncated_tail = true;
       break;
     }
     out.push_back(*std::move(elem));
-    pos = record_end;
-  }
-  if (pos < contents.size() && truncated_tail != nullptr) {
-    *truncated_tail = true;
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gsn/types/codec.h"
@@ -20,11 +21,25 @@ namespace gsn::storage {
 /// Record format: magic:u8 len:u32 payload crc32:u32, where payload is
 /// Codec::EncodeElement. Recovery stops at the first corrupt or
 /// truncated record (a torn tail write is expected after a crash) and
-/// reports how many records were recovered.
+/// reports how many records were recovered. Open truncates such a torn
+/// tail before appending, so post-crash appends land after the last
+/// intact record instead of behind garbage that every future Recover
+/// would stop at.
 class PersistenceLog {
  public:
-  /// Opens (creating if needed) the log at `path` for appending.
+  /// Opens (creating if needed) the log at `path` for appending. A torn
+  /// or corrupt tail left by a crash is truncated to the last intact
+  /// record first.
   static Result<std::unique_ptr<PersistenceLog>> Open(const std::string& path);
+
+  /// Atomically replaces the log at `path` with exactly `elements`
+  /// (write temp file, fsync, rename) and returns a fresh append
+  /// handle. This is the checkpoint/compaction primitive: rewriting
+  /// with the rows still inside the table's retention window bounds the
+  /// log — and therefore recovery — to O(window). Any prior handle on
+  /// `path` must be destroyed before calling.
+  static Result<std::unique_ptr<PersistenceLog>> Rewrite(
+      const std::string& path, const std::vector<StreamElement>& elements);
 
   ~PersistenceLog();
 
@@ -33,6 +48,9 @@ class PersistenceLog {
 
   /// Appends one element and flushes it to the OS.
   Status Append(const StreamElement& element);
+
+  /// Flushes and fsyncs the log to durable storage (drain shutdown).
+  Status Sync();
 
   /// Reads every intact record from `path` (static: usable before
   /// opening for append). `truncated_tail` reports whether recovery
@@ -56,6 +74,28 @@ class PersistenceLog {
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) used for log records.
 uint32_t Crc32(const void* data, size_t len);
+
+// -- Record framing shared by every GSN append-log ------------------------
+// (the per-sensor persistence logs above and the container manifest).
+
+/// Frames one payload as magic:u8 len:u32 payload crc32:u32.
+std::string FrameLogRecord(std::string_view payload);
+
+/// Scans `contents` for intact records, appending each payload to
+/// `payloads`. Returns the byte length of the valid prefix; anything
+/// past it is a torn or corrupt tail (`torn_tail` is set when the
+/// prefix does not cover the whole buffer).
+size_t ScanLogRecords(std::string_view contents,
+                      std::vector<std::string_view>* payloads,
+                      bool* torn_tail);
+
+/// Reads a whole file into `contents`. Missing file = empty contents
+/// (first boot), not an error.
+Result<std::string> ReadLogFile(const std::string& path);
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, flush + fsync, rename over the target.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
 }  // namespace gsn::storage
 

@@ -88,6 +88,20 @@ Relation Table::Scan(Timestamp now) const {
   return Relation(row_schema_, std::move(rows));
 }
 
+std::vector<StreamElement> Table::SnapshotElements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StreamElement> out;
+  out.reserve(rows_.size());
+  for (const Entry& e : rows_) {
+    StreamElement element;
+    element.timed = e.timed;
+    // Row layout is `timed` first, then the element values.
+    element.values.assign(e.row->begin() + 1, e.row->end());
+    out.push_back(std::move(element));
+  }
+  return out;
+}
+
 size_t Table::NumRows() const {
   std::lock_guard<std::mutex> lock(mu_);
   return rows_.size();

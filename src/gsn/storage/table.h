@@ -52,6 +52,11 @@ class Table {
   /// timestamp), so the boundary is found by binary search.
   Relation Scan(Timestamp now) const;
 
+  /// The live rows as stream elements (oldest first) — the table's
+  /// content re-expressed in persistence-log form, for checkpoint
+  /// compaction of the sensor's WAL.
+  std::vector<StreamElement> SnapshotElements() const;
+
   size_t NumRows() const;
   /// Total payload bytes currently held (for resource accounting).
   size_t ApproximateBytes() const;

@@ -54,6 +54,14 @@ Result<StreamSourceSpec> ParseStreamSource(const xml::Element& e) {
                                 "' (expected: last, none)");
     }
   }
+  if (e.HasAttr("queue-capacity")) {
+    GSN_ASSIGN_OR_RETURN(source.queue_capacity,
+                         ParseInt64(e.Attr("queue-capacity")));
+  }
+  if (e.HasAttr("shed-policy")) {
+    GSN_RETURN_IF_ERROR(ParseShedPolicy(e.Attr("shed-policy")).status());
+    source.shed_policy = StrToLower(StrTrim(e.Attr("shed-policy")));
+  }
   const xml::Element* address = e.Child("address");
   if (address == nullptr) {
     return Status::ParseError("stream source '" + source.alias +

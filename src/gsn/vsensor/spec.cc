@@ -7,6 +7,27 @@
 
 namespace gsn::vsensor {
 
+Result<ShedPolicy> ParseShedPolicy(const std::string& name) {
+  const std::string mode = StrToLower(StrTrim(name));
+  if (mode == "drop-oldest") return ShedPolicy::kDropOldest;
+  if (mode == "drop-newest") return ShedPolicy::kDropNewest;
+  if (mode == "block") return ShedPolicy::kBlock;
+  return Status::ParseError("unknown shed-policy '" + name +
+                            "' (expected: drop-oldest, drop-newest, block)");
+}
+
+const char* ShedPolicyName(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kDropOldest:
+      return "drop-oldest";
+    case ShedPolicy::kDropNewest:
+      return "drop-newest";
+    case ShedPolicy::kBlock:
+      return "block";
+  }
+  return "drop-oldest";
+}
+
 Status VirtualSensorSpec::Validate() const {
   if (name.empty()) {
     return Status::InvalidArgument("virtual sensor has no name");
@@ -70,6 +91,17 @@ Status VirtualSensorSpec::Validate() const {
       if (source.disconnect_buffer < 0) {
         return Status::InvalidArgument("source '" + source.alias +
                                        "' disconnect-buffer must be >= 0");
+      }
+      if (source.queue_capacity < 0) {
+        return Status::InvalidArgument("source '" + source.alias +
+                                       "' queue-capacity must be >= 0");
+      }
+      if (!source.shed_policy.empty()) {
+        Result<ShedPolicy> policy = ParseShedPolicy(source.shed_policy);
+        if (!policy.ok()) {
+          return Status::InvalidArgument("source '" + source.alias + "': " +
+                                         policy.status().message());
+        }
       }
       if (source.address.wrapper.empty()) {
         return Status::InvalidArgument("source '" + source.alias +
@@ -136,6 +168,12 @@ std::string VirtualSensorSpec::ToXml() const {
       }
       if (source.fill_missing_with_last) {
         ss->SetAttr("fill-missing", "last");
+      }
+      if (source.queue_capacity > 0) {
+        ss->SetAttr("queue-capacity", std::to_string(source.queue_capacity));
+      }
+      if (!source.shed_policy.empty()) {
+        ss->SetAttr("shed-policy", source.shed_policy);
       }
       xml::Element* addr = ss->AddChild("address");
       addr->SetAttr("wrapper", source.address.wrapper);

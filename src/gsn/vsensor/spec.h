@@ -20,6 +20,20 @@ struct AddressSpec {
   std::map<std::string, std::string> predicates;
 };
 
+/// What the bounded admission queue does with load it cannot hold
+/// (paper §3 lists overload avoidance among the stream bounds; this is
+/// the container-side half of that promise).
+enum class ShedPolicy {
+  kDropOldest,  // evict the queue head to make room (keep fresh data)
+  kDropNewest,  // discard the incoming element (keep history)
+  kBlock,       // stop polling the wrapper until the queue drains
+};
+
+/// Parses a descriptor shed-policy attribute ("drop-oldest",
+/// "drop-newest", "block").
+Result<ShedPolicy> ParseShedPolicy(const std::string& name);
+const char* ShedPolicyName(ShedPolicy policy);
+
 /// `<stream-source>`: one input data source of an input stream.
 struct StreamSourceSpec {
   std::string alias;            // SQL-visible name of the temp relation
@@ -31,6 +45,13 @@ struct StreamSourceSpec {
   /// admitted element are replaced by the last non-NULL value seen in
   /// the same column (descriptor attribute fill-missing="last").
   bool fill_missing_with_last = false;
+  /// Admission-queue bound between the wrapper and the processing
+  /// pipeline; 0 = inherit the container default (descriptor attribute
+  /// queue-capacity).
+  int64_t queue_capacity = 0;
+  /// Shed policy when the admission queue is full; empty = inherit the
+  /// container default (descriptor attribute shed-policy).
+  std::string shed_policy;
   AddressSpec address;
   /// SQL over the reserved relation WRAPPER (the source's window).
   std::string query = "select * from wrapper";

@@ -27,16 +27,87 @@ StreamSource::StreamSource(StreamSourceSpec spec,
       "Stream elements produced by wrappers of this type");
 }
 
-Result<std::vector<StreamElement>> StreamSource::Poll(Timestamp now) {
+void StreamSource::ConfigureAdmission(const std::string& sensor,
+                                      int64_t default_capacity,
+                                      ShedPolicy default_policy,
+                                      telemetry::MetricRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_capacity_ =
+      spec_.queue_capacity > 0 ? spec_.queue_capacity : default_capacity;
+  if (queue_capacity_ < 1) queue_capacity_ = 1;
+  shed_policy_ = default_policy;
+  if (!spec_.shed_policy.empty()) {
+    Result<ShedPolicy> parsed = ParseShedPolicy(spec_.shed_policy);
+    if (parsed.ok()) shed_policy_ = *parsed;  // Validate() already vetted it
+  }
+  if (metrics != nullptr) {
+    shed_total_ = metrics->GetCounter(
+        "gsn_admission_shed_total", {{"policy", ShedPolicyName(shed_policy_)}},
+        "Overload events at the admission queue: elements dropped "
+        "(drop-oldest/drop-newest) or wrapper polls deferred (block)");
+    depth_gauge_ = metrics->GetGauge(
+        "gsn_admission_queue_depth",
+        {{"sensor", sensor}, {"source", spec_.alias}},
+        "Elements waiting in the admission queue");
+  }
+}
+
+Result<int> StreamSource::PumpLocked(Timestamp now,
+                                     std::unique_lock<std::mutex>* lock) {
+  if (!admitting_) return 0;
+  const bool bounded = queue_capacity_ > 0;
+  if (bounded && shed_policy_ == ShedPolicy::kBlock &&
+      admission_queue_.size() >= static_cast<size_t>(queue_capacity_)) {
+    // Backpressure: in this pull-based design, not polling the wrapper
+    // is what "blocking the producer" means.
+    ++shed_;
+    if (shed_total_ != nullptr) shed_total_->Increment();
+    return 0;
+  }
+  lock->unlock();
   telemetry::SpanTimer poll_span(telemetry::SteadyClock::Instance(),
                                  poll_micros_.get());
-  GSN_ASSIGN_OR_RETURN(std::vector<StreamElement> produced,
-                       wrapper_->Poll(now));
+  Result<std::vector<StreamElement>> produced = wrapper_->Poll(now);
   poll_span.Stop();
-  produced_total_->Increment(static_cast<int64_t>(produced.size()));
+  lock->lock();
+  if (!produced.ok()) return produced.status();
+  produced_total_->Increment(static_cast<int64_t>(produced->size()));
+  int enqueued = 0;
+  for (StreamElement& e : *produced) {
+    if (bounded &&
+        admission_queue_.size() >= static_cast<size_t>(queue_capacity_)) {
+      if (shed_policy_ == ShedPolicy::kDropNewest ||
+          shed_policy_ == ShedPolicy::kBlock) {
+        // kBlock can still land here when one wrapper poll over-fills
+        // the queue mid-batch; shedding the overflow keeps the bound.
+        ++shed_;
+        if (shed_total_ != nullptr) shed_total_->Increment();
+        continue;
+      }
+      admission_queue_.pop_front();  // drop-oldest
+      ++shed_;
+      if (shed_total_ != nullptr) shed_total_->Increment();
+    }
+    admission_queue_.push_back(std::move(e));
+    ++enqueued;
+  }
+  return enqueued;
+}
+
+Status StreamSource::Pump(Timestamp now) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Result<int> pumped = PumpLocked(now, &lock);
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<int64_t>(admission_queue_.size()));
+  }
+  return pumped.status();
+}
+
+Result<std::vector<StreamElement>> StreamSource::Poll(Timestamp now) {
+  std::unique_lock<std::mutex> lock(mu_);
+  GSN_RETURN_IF_ERROR(PumpLocked(now, &lock).status());
   std::vector<StreamElement> admitted;
 
-  std::lock_guard<std::mutex> lock(mu_);
   // Replay buffered elements first if we just reconnected.
   if (connected_ && !disconnect_buffer_.empty()) {
     for (StreamElement& e : disconnect_buffer_) {
@@ -47,7 +118,20 @@ Result<std::vector<StreamElement>> StreamSource::Poll(Timestamp now) {
     disconnect_buffer_.clear();
   }
 
-  for (StreamElement& e : produced) {
+  // Requeued quarantine elements next: they already passed sampling and
+  // disconnect handling on first admission, so they go straight to the
+  // window (at-least-once redelivery).
+  while (!injected_.empty()) {
+    StreamElement e = std::move(injected_.front());
+    injected_.pop_front();
+    window_.Add(e);
+    admitted.push_back(std::move(e));
+    ++admitted_;
+  }
+
+  std::deque<StreamElement> queued;
+  queued.swap(admission_queue_);
+  for (StreamElement& e : queued) {
     // Sampling happens before buffering: a sampled-out element is gone
     // regardless of link state.
     if (spec_.sampling_rate < 1.0 && !rng_.NextBool(spec_.sampling_rate)) {
@@ -88,8 +172,46 @@ Result<std::vector<StreamElement>> StreamSource::Poll(Timestamp now) {
     admitted.push_back(std::move(e));
     ++admitted_;
   }
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<int64_t>(admission_queue_.size()));
+  }
   StampTraces(&admitted);
   return admitted;
+}
+
+void StreamSource::Inject(const StreamElement& element) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injected_.push_back(element);
+}
+
+void StreamSource::SetAdmitting(bool admitting) {
+  std::lock_guard<std::mutex> lock(mu_);
+  admitting_ = admitting;
+}
+
+bool StreamSource::admitting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitting_;
+}
+
+size_t StreamSource::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_queue_.size();
+}
+
+int64_t StreamSource::shed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+int64_t StreamSource::queue_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_capacity_;
+}
+
+ShedPolicy StreamSource::shed_policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_policy_;
 }
 
 void StreamSource::StampTraces(std::vector<StreamElement>* admitted) {

@@ -20,6 +20,12 @@ namespace gsn::vsensor {
 /// (disconnections, unexpected delays, missing values)").
 ///
 /// Per element, in order:
+///   0. admission queue — wrapper output lands in a bounded FIFO
+///      between the wrapper and the pipeline (overload protection,
+///      paper §3: "avoid overloads"); a full queue sheds per the
+///      configured ShedPolicy (drop-oldest / drop-newest / block —
+///      block stops polling the wrapper, i.e. upstream backpressure in
+///      this pull-based design);
 ///   1. sampling  — admit with probability `sampling-rate` (paper §3:
 ///      "sampling of data streams in order to reduce the data rate");
 ///   2. disconnect handling — while disconnected, admitted elements go
@@ -45,10 +51,36 @@ class StreamSource {
   Status Start() { return wrapper_->Start(); }
   void Stop() { wrapper_->Stop(); }
 
-  /// Polls the wrapper and runs the admission pipeline. Returns the
-  /// elements newly admitted to the window at this poll (the pipeline
-  /// triggers on them).
+  /// Resolves the admission queue bound and shed policy: the spec's
+  /// own values when set, otherwise the container defaults given here.
+  /// `sensor` labels the queue-depth series so the container can drop
+  /// it at undeploy. Call once at deploy, before the first Poll.
+  void ConfigureAdmission(const std::string& sensor, int64_t default_capacity,
+                          ShedPolicy default_policy,
+                          telemetry::MetricRegistry* metrics = nullptr);
+
+  /// Pumps the wrapper into the admission queue and drains the queue
+  /// through the admission pipeline. Returns the elements newly
+  /// admitted to the window at this poll (the pipeline triggers on
+  /// them).
   Result<std::vector<StreamElement>> Poll(Timestamp now);
+
+  /// Pumps the wrapper into the admission queue WITHOUT draining it —
+  /// used while the owning sensor is paused for a supervised restart,
+  /// so backlog builds observably (and sheds per policy) instead of
+  /// stalling or silently vanishing.
+  Status Pump(Timestamp now);
+
+  /// Queues an element for re-admission ahead of new data on the next
+  /// Poll (quarantine requeue). Bypasses sampling and disconnect
+  /// handling — the element already passed both once — so delivery is
+  /// at-least-once.
+  void Inject(const StreamElement& element);
+
+  /// Drain gate: while false, Poll stops pumping the wrapper (no new
+  /// load admitted) but keeps draining what is already queued.
+  void SetAdmitting(bool admitting);
+  bool admitting() const;
 
   /// The window contents as a flat relation (schema: timed + wrapper
   /// schema), i.e. the WRAPPER relation of the source query.
@@ -68,7 +100,16 @@ class StreamSource {
   int64_t dropped_disconnected_count() const;
   int64_t filled_missing_count() const;
 
+  // -- Overload-protection introspection --------------------------------
+  size_t queue_depth() const;
+  int64_t shed_count() const;
+  int64_t queue_capacity() const;
+  ShedPolicy shed_policy() const;
+
  private:
+  /// Wrapper → admission queue under the shed policy. Returns the
+  /// number of elements enqueued (0 when blocked or not admitting).
+  Result<int> PumpLocked(Timestamp now, std::unique_lock<std::mutex>* lock);
   /// Stamps/continues trace contexts on the elements admitted this
   /// poll (no-op without a tracer).
   void StampTraces(std::vector<StreamElement>* admitted);
@@ -92,6 +133,21 @@ class StreamSource {
   int64_t filled_missing_ = 0;
   /// Last non-NULL value per column (fill-missing="last").
   std::vector<Value> last_known_;
+
+  // -- Overload protection ----------------------------------------------
+  /// Wrapper output waiting for the pipeline (bounded by
+  /// queue_capacity_ under shed_policy_).
+  std::deque<StreamElement> admission_queue_;
+  /// Requeued quarantine elements, admitted ahead of the queue.
+  std::deque<StreamElement> injected_;
+  /// 0 = unbounded (standalone sources, before ConfigureAdmission);
+  /// deployed sources always get a positive bound.
+  int64_t queue_capacity_ = 0;
+  ShedPolicy shed_policy_ = ShedPolicy::kDropOldest;
+  bool admitting_ = true;
+  int64_t shed_ = 0;
+  std::shared_ptr<telemetry::Counter> shed_total_;   // label policy=
+  std::shared_ptr<telemetry::Gauge> depth_gauge_;    // labels sensor=,source=
 };
 
 }  // namespace gsn::vsensor

@@ -99,6 +99,57 @@ void VirtualSensor::AddBatchListener(BatchListener listener) {
   batch_listeners_.push_back(std::move(listener));
 }
 
+void VirtualSensor::SetErrorListener(ErrorListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  error_listener_ = std::move(listener);
+}
+
+Status VirtualSensor::PumpSources(Timestamp now) {
+  Status first_error = Status::OK();
+  for (StreamRuntime& stream : streams_) {
+    for (auto& source : stream.sources) {
+      const Status pumped = source->Pump(now);
+      if (!pumped.ok() && first_error.ok()) first_error = pumped;
+    }
+  }
+  return first_error;
+}
+
+void VirtualSensor::SetAdmitting(bool admitting) {
+  for (StreamRuntime& stream : streams_) {
+    for (auto& source : stream.sources) source->SetAdmitting(admitting);
+  }
+}
+
+size_t VirtualSensor::QueueDepth() const {
+  size_t depth = 0;
+  for (const StreamRuntime& stream : streams_) {
+    for (const auto& source : stream.sources) depth += source->queue_depth();
+  }
+  return depth;
+}
+
+int64_t VirtualSensor::ShedCount() const {
+  int64_t shed = 0;
+  for (const StreamRuntime& stream : streams_) {
+    for (const auto& source : stream.sources) shed += source->shed_count();
+  }
+  return shed;
+}
+
+bool VirtualSensor::AnyQueueFull() const {
+  for (const StreamRuntime& stream : streams_) {
+    for (const auto& source : stream.sources) {
+      const int64_t capacity = source->queue_capacity();
+      if (capacity > 0 &&
+          static_cast<int64_t>(source->queue_depth()) >= capacity) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 StreamSource* VirtualSensor::FindSource(const std::string& stream_name,
                                         const std::string& alias) {
   for (StreamRuntime& stream : streams_) {
@@ -136,17 +187,18 @@ Result<int> VirtualSensor::Tick(Timestamp now) {
     // admitted this tick (one trigger = one pipeline run, even when a
     // batch arrives).
     TraceContext trigger_ctx;
-    size_t admitted_count = 0;
+    std::vector<StreamElement> trigger_elements;
     for (auto& source : stream.sources) {
       GSN_ASSIGN_OR_RETURN(std::vector<StreamElement> admitted,
                            source->Poll(now));
-      admitted_count += admitted.size();
-      for (const StreamElement& e : admitted) {
+      for (StreamElement& e : admitted) {
         if (!trigger_ctx.valid() && e.trace.valid()) trigger_ctx = e.trace;
+        trigger_elements.push_back(std::move(e));
       }
     }
-    if (admitted_count == 0) continue;
-    metrics_.batch_size->Observe(static_cast<int64_t>(admitted_count));
+    if (trigger_elements.empty()) continue;
+    metrics_.batch_size->Observe(
+        static_cast<int64_t>(trigger_elements.size()));
 
     telemetry::Span pipeline(tracer_, "vsensor.pipeline", trigger_ctx);
     pipeline.set_sensor(spec_.name);
@@ -165,6 +217,14 @@ Result<int> VirtualSensor::Tick(Timestamp now) {
       GSN_LOG(kWarn, "vsensor")
           << "'" << spec_.name << "' stream '" << stream.spec->name
           << "' failed: " << n.status().ToString();
+      ErrorListener on_error;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        on_error = error_listener_;
+      }
+      if (on_error) {
+        on_error(*this, stream.spec->name, n.status(), trigger_elements);
+      }
       continue;
     }
     produced += *n;

@@ -47,6 +47,13 @@ class VirtualSensor {
   /// amortize it over the batch.
   using BatchListener = std::function<void(const VirtualSensor&,
                                            const std::vector<StreamElement>&)>;
+  /// Fired when one trigger's processing fails, with the input stream
+  /// that failed and the elements admitted for that trigger (the
+  /// suspects). The supervisor quarantines them; the sensor itself just
+  /// reports and moves on to its next stream.
+  using ErrorListener =
+      std::function<void(const VirtualSensor&, const std::string& stream_name,
+                         const Status&, const std::vector<StreamElement>&)>;
 
   /// `sources[i]` holds the running sources of `spec.input_streams[i]`,
   /// in the same order as the spec's sources. The sensor registers its
@@ -81,6 +88,24 @@ class VirtualSensor {
   void AddListener(OutputListener listener);
   /// Registers a per-trigger batch consumer (see BatchListener).
   void AddBatchListener(BatchListener listener);
+  /// Registers the supervisor's poison-tuple hook (see ErrorListener).
+  void SetErrorListener(ErrorListener listener);
+
+  /// Pumps every source's wrapper into its admission queue without
+  /// running the pipeline — keeps data flowing (and shed policies
+  /// engaged) while the supervisor has this sensor paused for restart.
+  Status PumpSources(Timestamp now);
+
+  /// Drain gate forwarded to every source (see
+  /// StreamSource::SetAdmitting).
+  void SetAdmitting(bool admitting);
+  /// Elements waiting across all sources' admission queues.
+  size_t QueueDepth() const;
+  /// Shed events across all sources.
+  int64_t ShedCount() const;
+  /// Whether any source's admission queue is at capacity (readiness
+  /// probe input).
+  bool AnyQueueFull() const;
 
   const VirtualSensorSpec& spec() const { return spec_; }
   const std::string& name() const { return spec_.name; }
@@ -169,6 +194,7 @@ class VirtualSensor {
   mutable std::mutex mu_;
   std::vector<OutputListener> listeners_;
   std::vector<BatchListener> batch_listeners_;
+  ErrorListener error_listener_;
   bool missing_column_warned_ = false;
 };
 

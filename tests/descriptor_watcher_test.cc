@@ -133,6 +133,101 @@ TEST_F(DescriptorWatcherTest, BrokenDescriptorReportedOnceAndRecoverable) {
   EXPECT_EQ(container_->ListSensors(), std::vector<std::string>{"fixed"});
 }
 
+TEST_F(DescriptorWatcherTest, InvalidRewriteKeepsOldSensorRunning) {
+  WriteDescriptor("a.xml", SensorXml("stable", 100));
+  ASSERT_TRUE(watcher_->Scan().ok());
+  ASSERT_EQ(container_->ListSensors(), std::vector<std::string>{"stable"});
+  const int64_t rejects_before =
+      telemetry::MetricRegistry::Default()
+          ->GetCounter("gsn_watcher_rejects_total", {}, "")
+          ->Value();
+
+  // Break the deployed descriptor in place: the rewrite is validated
+  // BEFORE the old sensor is touched, so the reload is rejected and
+  // the running deployment survives.
+  TouchDelay();
+  WriteDescriptor("a.xml", "<virtual-sensor name='stable'>broken");
+  auto actions = watcher_->Scan();
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ(*actions, 0);
+  EXPECT_EQ(watcher_->stats().rejected, 1);
+  EXPECT_EQ(watcher_->stats().undeployed, 0);
+  EXPECT_EQ(container_->ListSensors(), std::vector<std::string>{"stable"});
+  EXPECT_EQ(telemetry::MetricRegistry::Default()
+                ->GetCounter("gsn_watcher_rejects_total", {}, "")
+                ->Value(),
+            rejects_before + 1);
+
+  // The surviving sensor still processes data.
+  for (int i = 0; i < 5; ++i) {
+    clock_->Advance(100 * kMicrosPerMilli);
+    ASSERT_TRUE(container_->Tick().ok());
+  }
+  auto count = container_->Query("select count(*) from stable");
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(count->rows()[0][0].int_value(), 0);
+
+  // The broken version is reported once, not retried every scan.
+  ASSERT_TRUE(watcher_->Scan().ok());
+  EXPECT_EQ(watcher_->stats().rejected, 1);
+
+  // Fixing the file resumes the normal redeploy path.
+  TouchDelay();
+  WriteDescriptor("a.xml", SensorXml("stable2", 50));
+  ASSERT_TRUE(watcher_->Scan().ok());
+  EXPECT_EQ(container_->ListSensors(), std::vector<std::string>{"stable2"});
+  EXPECT_EQ(watcher_->stats().redeployed, 1);
+}
+
+TEST_F(DescriptorWatcherTest, RuntimeDeployFailureRollsBackOldDescriptor) {
+  WriteDescriptor("a.xml", SensorXml("stable", 100));
+  ASSERT_TRUE(watcher_->Scan().ok());
+  ASSERT_EQ(container_->ListSensors(), std::vector<std::string>{"stable"});
+
+  // A rewrite that parses and validates but cannot deploy (unknown
+  // wrapper type is only discovered at wiring time). The old sensor is
+  // already down by then — the watcher restores it from the previous
+  // descriptor.
+  std::string xml = SensorXml("stable", 100);
+  const size_t pos = xml.find("wrapper=\"mote\"");
+  ASSERT_NE(pos, std::string::npos);
+  xml.replace(pos, 14, "wrapper=\"no-such-wrapper\"");
+  TouchDelay();
+  WriteDescriptor("a.xml", xml);
+
+  ASSERT_TRUE(watcher_->Scan().ok());
+  EXPECT_EQ(watcher_->stats().failed, 1);
+  EXPECT_EQ(watcher_->stats().rolled_back, 1);
+  EXPECT_EQ(container_->ListSensors(), std::vector<std::string>{"stable"});
+  EXPECT_NE(container_->FindSensor("stable"), nullptr);
+}
+
+TEST_F(DescriptorWatcherTest, AdoptsSensorsRecoveredBeforeFirstScan) {
+  // Crash recovery replays the manifest in the Container constructor,
+  // before the watcher ever scans — its descriptor file then describes
+  // an already-running sensor.
+  ASSERT_TRUE(container_->Deploy(SensorXml("recovered", 100)).ok());
+  WriteDescriptor("a.xml", SensorXml("recovered", 100));
+
+  auto actions = watcher_->Scan();
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ(watcher_->stats().adopted, 1);
+  EXPECT_EQ(watcher_->stats().failed, 0);
+  EXPECT_EQ(container_->ListSensors(), std::vector<std::string>{"recovered"});
+
+  // Adoption keeps the file workflows alive: overwrite redeploys...
+  TouchDelay();
+  WriteDescriptor("a.xml", SensorXml("recovered2", 50));
+  ASSERT_TRUE(watcher_->Scan().ok());
+  EXPECT_EQ(container_->ListSensors(), std::vector<std::string>{"recovered2"});
+  EXPECT_EQ(watcher_->stats().redeployed, 1);
+
+  // ...and deleting the file undeploys.
+  fs::remove(dir_ / "a.xml");
+  ASSERT_TRUE(watcher_->Scan().ok());
+  EXPECT_TRUE(container_->ListSensors().empty());
+}
+
 TEST_F(DescriptorWatcherTest, MissingDirectoryIsError) {
   DescriptorWatcher watcher(container_.get(), (dir_ / "nope").string());
   EXPECT_EQ(watcher.Scan().status().code(), StatusCode::kIoError);

@@ -1,0 +1,374 @@
+// Crash-recovery tests: the container manifest (deploy/undeploy event
+// log), recovery-aware startup over --data-dir, checkpoint + log
+// compaction, and the deterministic kill-mid-stream chaos scenario of
+// docs/DURABILITY.md.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gsn/container/container.h"
+#include "gsn/container/manifest.h"
+#include "gsn/storage/persistence_log.h"
+
+namespace gsn::container {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Deterministic producer: the generator wrapper emits seq 0,1,2,...
+/// every 100ms of virtual time; permanent storage keeps the history.
+std::string GenDescriptor(const std::string& name, bool permanent = true,
+                          const std::string& storage_size = "10m") {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<metadata><predicate key=\"type\" val=\"gen\"/></metadata>"
+         "<output-structure>"
+         "  <field name=\"seq\" type=\"integer\"/>"
+         "</output-structure>"
+         "<storage permanent-storage=\"" +
+         std::string(permanent ? "true" : "false") + "\" size=\"" +
+         storage_size + "\"/>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src\" storage-size=\"1\">"
+         "    <address wrapper=\"generator\">"
+         "      <predicate key=\"interval-ms\" val=\"100\"/>"
+         "      <predicate key=\"payload-bytes\" val=\"0\"/>"
+         "    </address>"
+         "    <query>select seq from wrapper order by seq desc limit 1"
+         "    </query>"
+         "  </stream-source>"
+         "  <query>select * from src</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("gsn_recovery_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Container::Options DataDirOptions(const std::string& dir,
+                                  std::shared_ptr<Clock> clock) {
+  Container::Options options;
+  options.node_id = "n";
+  options.clock = std::move(clock);
+  options.seed = 29;
+  options.data_dir = dir;
+  // Checkpoints only when tests ask for them.
+  options.supervision.checkpoint_interval = 0;
+  return options;
+}
+
+void RunTicks(Container* container, const std::shared_ptr<VirtualClock>& clock,
+              int ticks, Timestamp step = 100 * kMicrosPerMilli) {
+  for (int i = 0; i < ticks; ++i) {
+    clock->Advance(step);
+    ASSERT_TRUE(container->Tick().ok());
+  }
+}
+
+int64_t CountRows(Container* container, const std::string& table) {
+  auto result = container->Query("select count(*) from \"" + table + "\"");
+  if (!result.ok()) return -1;
+  return result->rows()[0][0].int_value();
+}
+
+// ----------------------------------------------------------- Manifest unit
+
+TEST(ContainerManifestTest, AppendRecoverLiveSetRoundTrip) {
+  TempDir dir("manifest");
+  const std::string path = dir.path() + "/manifest.gsnlog";
+  {
+    auto manifest = ContainerManifest::Open(path);
+    ASSERT_TRUE(manifest.ok());
+    ASSERT_TRUE((*manifest)->AppendDeploy("a", "<a/>").ok());
+    ASSERT_TRUE((*manifest)->AppendDeploy("b", "<b/>").ok());
+    ASSERT_TRUE((*manifest)->AppendUndeploy("a").ok());
+    ASSERT_TRUE((*manifest)->AppendDeploy("c", "<c/>").ok());
+    EXPECT_EQ((*manifest)->appended_count(), 4u);
+  }
+  bool torn = true;
+  auto events = ContainerManifest::Recover(path, &torn);
+  ASSERT_TRUE(events.ok());
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(events->size(), 4u);
+  EXPECT_EQ((*events)[0].kind, ContainerManifest::Event::Kind::kDeploy);
+  EXPECT_EQ((*events)[2].kind, ContainerManifest::Event::Kind::kUndeploy);
+
+  // The live set folds undeploys away, in first-deploy order.
+  const auto live = ContainerManifest::LiveSet(*events);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].first, "b");
+  EXPECT_EQ(live[0].second, "<b/>");
+  EXPECT_EQ(live[1].first, "c");
+}
+
+TEST(ContainerManifestTest, RedeployKeepsSlotWithNewDescriptor) {
+  std::vector<ContainerManifest::Event> events;
+  events.push_back({ContainerManifest::Event::Kind::kDeploy, "a", "<old/>"});
+  events.push_back({ContainerManifest::Event::Kind::kDeploy, "b", "<b/>"});
+  events.push_back({ContainerManifest::Event::Kind::kDeploy, "a", "<new/>"});
+  const auto live = ContainerManifest::LiveSet(events);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].first, "a");
+  EXPECT_EQ(live[0].second, "<new/>");  // latest descriptor wins
+  EXPECT_EQ(live[1].first, "b");        // order by first deploy
+}
+
+TEST(ContainerManifestTest, TornTailTruncatedOnOpen) {
+  TempDir dir("manifest_torn");
+  const std::string path = dir.path() + "/manifest.gsnlog";
+  {
+    auto manifest = ContainerManifest::Open(path);
+    ASSERT_TRUE(manifest.ok());
+    ASSERT_TRUE((*manifest)->AppendDeploy("a", "<a/>").ok());
+    ASSERT_TRUE((*manifest)->AppendDeploy("b", "<b/>").ok());
+  }
+  // Kill -9 mid-write: chop the last record's tail.
+  fs::resize_file(path, fs::file_size(path) - 2);
+  bool torn = false;
+  auto events = ContainerManifest::Recover(path, &torn);
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(events->size(), 1u);
+
+  // Open truncates, so post-crash appends are recoverable.
+  {
+    auto manifest = ContainerManifest::Open(path);
+    ASSERT_TRUE(manifest.ok());
+    ASSERT_TRUE((*manifest)->AppendDeploy("c", "<c/>").ok());
+  }
+  torn = true;
+  events = ContainerManifest::Recover(path, &torn);
+  ASSERT_TRUE(events.ok());
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[1].sensor_name, "c");
+}
+
+TEST(ContainerManifestTest, CompactRewritesToLiveSet) {
+  TempDir dir("manifest_compact");
+  const std::string path = dir.path() + "/manifest.gsnlog";
+  auto manifest = ContainerManifest::Open(path);
+  ASSERT_TRUE(manifest.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*manifest)->AppendDeploy("churn", "<x/>").ok());
+    ASSERT_TRUE((*manifest)->AppendUndeploy("churn").ok());
+  }
+  ASSERT_TRUE((*manifest)->AppendDeploy("keep", "<keep/>").ok());
+  const auto before = fs::file_size(path);
+  ASSERT_TRUE((*manifest)->Compact({{"keep", "<keep/>"}}).ok());
+  EXPECT_LT(fs::file_size(path), before);
+  // Still appendable after compaction.
+  ASSERT_TRUE((*manifest)->AppendDeploy("late", "<late/>").ok());
+  auto events = ContainerManifest::Recover(path, nullptr);
+  ASSERT_TRUE(events.ok());
+  const auto live = ContainerManifest::LiveSet(*events);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].first, "keep");
+  EXPECT_EQ(live[1].first, "late");
+}
+
+// ------------------------------------------------------- Container recovery
+
+TEST(ContainerRecoveryTest, RestartRedeploysSensorsAndRecoversTables) {
+  TempDir dir("restart");
+  auto clock = std::make_shared<VirtualClock>();
+  int64_t rows_before = 0;
+  {
+    Container container(DataDirOptions(dir.path(), clock));
+    ASSERT_TRUE(container.Deploy(GenDescriptor("alpha")).ok());
+    ASSERT_TRUE(container.Deploy(GenDescriptor("beta")).ok());
+    RunTicks(&container, clock, 20);
+    rows_before = CountRows(&container, "alpha");
+    ASSERT_GT(rows_before, 0);
+    // Process exit without Shutdown(): the destructor must NOT record
+    // manifest undeploys — the sensors come back on restart.
+  }
+  {
+    Container container(DataDirOptions(dir.path(), clock));
+    EXPECT_EQ(container.recovery_failures(), 0u);
+    EXPECT_GE(container.recovered_records(), 2u);
+    auto sensors = container.ListSensors();
+    ASSERT_EQ(sensors.size(), 2u);
+    // Exactly the pre-crash history, exactly once.
+    EXPECT_EQ(CountRows(&container, "alpha"), rows_before);
+    auto distinct = container.Query(
+        "select count(*), count(distinct seq) from alpha");
+    ASSERT_TRUE(distinct.ok());
+    EXPECT_EQ(distinct->rows()[0][0], distinct->rows()[0][1]);
+    // And the recovered sensors keep producing.
+    RunTicks(&container, clock, 5);
+    EXPECT_GT(CountRows(&container, "alpha"), rows_before);
+  }
+}
+
+TEST(ContainerRecoveryTest, OperatorUndeployIsDurable) {
+  TempDir dir("undeploy");
+  auto clock = std::make_shared<VirtualClock>();
+  {
+    Container container(DataDirOptions(dir.path(), clock));
+    ASSERT_TRUE(container.Deploy(GenDescriptor("keep")).ok());
+    ASSERT_TRUE(container.Deploy(GenDescriptor("gone")).ok());
+    RunTicks(&container, clock, 5);
+    ASSERT_TRUE(container.Undeploy("gone").ok());
+  }
+  {
+    Container container(DataDirOptions(dir.path(), clock));
+    EXPECT_EQ(container.ListSensors(), std::vector<std::string>{"keep"});
+  }
+}
+
+TEST(ContainerRecoveryTest, RecoveryFailureIsCountedNotFatal) {
+  TempDir dir("bad_descriptor");
+  auto clock = std::make_shared<VirtualClock>();
+  {
+    Container container(DataDirOptions(dir.path(), clock));
+    ASSERT_TRUE(container.Deploy(GenDescriptor("good")).ok());
+    // Poison the manifest with a descriptor that can't redeploy.
+    ASSERT_TRUE(container.manifest()
+                    ->AppendDeploy("ghost", "<virtual-sensor broken")
+                    .ok());
+  }
+  {
+    Container container(DataDirOptions(dir.path(), clock));
+    EXPECT_EQ(container.recovery_failures(), 1u);
+    EXPECT_EQ(container.ListSensors(), std::vector<std::string>{"good"});
+    RunTicks(&container, clock, 3);
+  }
+}
+
+TEST(ContainerRecoveryTest, CheckpointBoundsWalAndManifestReplay) {
+  TempDir dir("checkpoint");
+  auto clock = std::make_shared<VirtualClock>();
+  const std::string wal = dir.path() + "/ckpt.gsnlog";
+  {
+    Container container(DataDirOptions(dir.path(), clock));
+    // Retention window of 5 rows; the WAL grows past it between
+    // checkpoints.
+    ASSERT_TRUE(container.Deploy(GenDescriptor("ckpt", true, "5")).ok());
+    RunTicks(&container, clock, 40);
+    auto before = storage::PersistenceLog::Recover(wal, nullptr);
+    ASSERT_TRUE(before.ok());
+    EXPECT_GT(before->size(), 5u);  // unbounded history so far
+
+    ASSERT_TRUE(container.Checkpoint().ok());
+    auto after = storage::PersistenceLog::Recover(wal, nullptr);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after->size(), 5u);  // O(window), not O(history)
+
+    // The manifest compacted to the live deploy set: one record.
+    auto events =
+        ContainerManifest::Recover(dir.path() + "/manifest.gsnlog", nullptr);
+    ASSERT_TRUE(events.ok());
+    EXPECT_EQ(events->size(), 1u);
+
+    // Post-checkpoint appends land after the compacted prefix.
+    RunTicks(&container, clock, 3);
+    auto suffix = storage::PersistenceLog::Recover(wal, nullptr);
+    ASSERT_TRUE(suffix.ok());
+    EXPECT_EQ(suffix->size(), 5u + 3u);  // checkpoint + suffix only
+  }
+  {
+    // Restart replays checkpoint + suffix; the table re-applies its
+    // 5-row retention but must hold the newest pre-restart rows.
+    Container container(DataDirOptions(dir.path(), clock));
+    EXPECT_EQ(container.ListSensors(), std::vector<std::string>{"ckpt"});
+    EXPECT_EQ(CountRows(&container, "ckpt"), 5);
+    auto newest = container.Query("select max(seq) from ckpt");
+    ASSERT_TRUE(newest.ok());
+    // 43 ticks: the first anchors, so the last emitted seq is 41.
+    EXPECT_EQ(newest->rows()[0][0].int_value(), 41);
+  }
+}
+
+TEST(ContainerRecoveryTest, PeriodicCheckpointRunsFromTick) {
+  TempDir dir("periodic");
+  auto clock = std::make_shared<VirtualClock>();
+  Container::Options options = DataDirOptions(dir.path(), clock);
+  options.supervision.checkpoint_interval = kMicrosPerSecond;
+  Container container(std::move(options));
+  ASSERT_TRUE(container.Deploy(GenDescriptor("p", true, "5")).ok());
+  RunTicks(&container, clock, 30);  // 3s: at least two checkpoint rounds
+  auto recovered =
+      storage::PersistenceLog::Recover(dir.path() + "/p.gsnlog", nullptr);
+  ASSERT_TRUE(recovered.ok());
+  // The WAL stays near the retention window instead of the full 29-row
+  // history (a few post-checkpoint appends ride on top).
+  EXPECT_LE(recovered->size(), 5u + 10u);
+}
+
+TEST(ContainerRecoveryTest, StorageDirDefaultsToDataDir) {
+  TempDir dir("storage_default");
+  auto clock = std::make_shared<VirtualClock>();
+  {
+    Container container(DataDirOptions(dir.path(), clock));
+    ASSERT_TRUE(container.Deploy(GenDescriptor("solo")).ok());
+    RunTicks(&container, clock, 5);
+  }
+  // --data-dir alone is a complete durability root: the per-sensor WAL
+  // landed next to the manifest.
+  EXPECT_TRUE(fs::exists(dir.path() + "/solo.gsnlog"));
+  EXPECT_TRUE(fs::exists(dir.path() + "/manifest.gsnlog"));
+}
+
+// ------------------------------------------------------------- Chaos (kill)
+
+/// Copies the durability root as it exists RIGHT NOW — byte-identical
+/// to what a kill -9 at this instant would leave behind.
+void SnapshotDir(const std::string& from, const std::string& to) {
+  fs::remove_all(to);
+  fs::create_directories(to);
+  for (const auto& entry : fs::directory_iterator(from)) {
+    fs::copy(entry.path(), fs::path(to) / entry.path().filename());
+  }
+}
+
+TEST(ContainerRecoveryTest, KillMidStreamChaosIsDeterministic) {
+  TempDir dir("chaos");
+  TempDir snapshot("chaos_snapshot");
+  auto clock = std::make_shared<VirtualClock>();
+
+  int64_t rows_at_kill = 0;
+  {
+    Container container(DataDirOptions(dir.path(), clock));
+    ASSERT_TRUE(container.Deploy(GenDescriptor("victim")).ok());
+    ASSERT_TRUE(container.Deploy(GenDescriptor("bystander")).ok());
+    RunTicks(&container, clock, 17);
+    // kill -9 mid-stream: freeze the on-disk state while the container
+    // is still running (no Shutdown, no destructor, no fsync beyond the
+    // per-append flush).
+    rows_at_kill = CountRows(&container, "victim");
+    ASSERT_GT(rows_at_kill, 0);
+    SnapshotDir(dir.path(), snapshot.path());
+  }
+
+  // Restart from the frozen state.
+  Container container(DataDirOptions(snapshot.path(), clock));
+  EXPECT_EQ(container.recovery_failures(), 0u);
+  ASSERT_EQ(container.ListSensors().size(), 2u);
+  // Every flushed row recovered, exactly once.
+  EXPECT_EQ(CountRows(&container, "victim"), rows_at_kill);
+  auto dup = container.Query(
+      "select count(*), count(distinct seq) from victim");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->rows()[0][0], dup->rows()[0][1]);
+  // The recovered node streams on.
+  RunTicks(&container, clock, 5);
+  EXPECT_GT(CountRows(&container, "victim"), rows_at_kill);
+  EXPECT_GT(CountRows(&container, "bystander"), 0);
+}
+
+}  // namespace
+}  // namespace gsn::container

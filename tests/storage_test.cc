@@ -367,6 +367,59 @@ TEST_F(PersistenceLogTest, CorruptPayloadDetectedByCrc) {
   EXPECT_TRUE(recovered->empty());
 }
 
+TEST_F(PersistenceLogTest, OpenTruncatesTornTailSoLaterAppendsSurvive) {
+  // Regression: Open used to append blindly after a torn record, so
+  // every post-crash append sat behind the corrupt bytes and every
+  // future Recover stopped before them — durable writes silently lost.
+  {
+    auto log = PersistenceLog::Open(path_.string());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(Elem(1, 1)).ok());
+    ASSERT_TRUE((*log)->Append(Elem(2, 2)).ok());
+  }
+  // Crash mid-write: hand-corrupt the tail by chopping bytes.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 3);
+
+  // Reopen (the post-crash boot) and append new history.
+  {
+    auto log = PersistenceLog::Open(path_.string());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(Elem(3, 3)).ok());
+  }
+
+  bool truncated = true;
+  auto recovered = PersistenceLog::Recover(path_.string(), &truncated);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(truncated);  // Open repaired the tail
+  ASSERT_EQ(recovered->size(), 2u);
+  EXPECT_EQ((*recovered)[0].values[0], Value::Int(1));
+  EXPECT_EQ((*recovered)[1].values[0], Value::Int(3));  // append visible
+}
+
+TEST_F(PersistenceLogTest, RewriteCompactsToGivenElements) {
+  {
+    auto log = PersistenceLog::Open(path_.string());
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*log)->Append(Elem(i, i)).ok());
+    }
+  }
+  const auto before = std::filesystem::file_size(path_);
+  // Checkpoint keeps only the retention window (here: the last 2).
+  auto compacted =
+      PersistenceLog::Rewrite(path_.string(), {Elem(98, 98), Elem(99, 99)});
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_LT(std::filesystem::file_size(path_), before);
+  // The handle returned by Rewrite stays appendable.
+  ASSERT_TRUE((*compacted)->Append(Elem(100, 100)).ok());
+  auto recovered = PersistenceLog::Recover(path_.string(), nullptr);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->size(), 3u);
+  EXPECT_EQ((*recovered)[0].values[0], Value::Int(98));
+  EXPECT_EQ((*recovered)[2].values[0], Value::Int(100));
+}
+
 TEST_F(PersistenceLogTest, ReopenAppends) {
   {
     auto log = PersistenceLog::Open(path_.string());

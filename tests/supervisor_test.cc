@@ -1,0 +1,427 @@
+// Supervised sensor lifecycle and overload protection: poison tuples
+// land in quarantine while the sensor restarts under the retry policy,
+// exhausted budgets surface as FAILED, admission queues shed per
+// policy, and drain shutdown + health probes report all of it
+// (docs/DURABILITY.md).
+
+#include <gtest/gtest.h>
+
+#include "gsn/container/container.h"
+#include "gsn/vsensor/stream_source.h"
+#include "gsn/wrappers/generator_wrapper.h"
+
+namespace gsn::container {
+namespace {
+
+using vsensor::ShedPolicy;
+using vsensor::StreamSource;
+using vsensor::StreamSourceSpec;
+using wrappers::WrapperConfig;
+
+/// A sensor over the generator wrapper (seq 0,1,2,... every 100ms of
+/// virtual time). `stream_query` is the pipeline step that sees the
+/// source relation as `src`; `source_attrs` lands on the
+/// <stream-source> element (queue-capacity / shed-policy overrides).
+std::string GenSensor(const std::string& name, const std::string& out_fields,
+                      const std::string& stream_query,
+                      const std::string& source_attrs = "",
+                      int interval_ms = 100) {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<output-structure>" + out_fields + "</output-structure>"
+         "<storage permanent-storage=\"true\" size=\"10m\"/>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src\" storage-size=\"1\" " + source_attrs +
+         ">"
+         "    <address wrapper=\"generator\">"
+         "      <predicate key=\"interval-ms\" val=\"" +
+         std::to_string(interval_ms) + "\"/>"
+         "      <predicate key=\"payload-bytes\" val=\"0\"/>"
+         "    </address>"
+         "    <query>select seq from wrapper order by seq desc limit 1"
+         "    </query>"
+         "  </stream-source>"
+         "  <query>" + stream_query + "</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+/// Fails exactly once: `1 / (seq - 5)` divides by zero when the window
+/// holds seq 5, and only then.
+std::string PoisonAtFive(const std::string& name) {
+  return GenSensor(name,
+                   "<field name=\"seq\" type=\"integer\"/>"
+                   "<field name=\"inv\" type=\"integer\"/>",
+                   "select seq, 1 / (seq - 5) as inv from src");
+}
+
+/// Fails on every trigger: `1 / (seq * 0)`.
+std::string PoisonAlways(const std::string& name) {
+  return GenSensor(name,
+                   "<field name=\"seq\" type=\"integer\"/>"
+                   "<field name=\"inv\" type=\"integer\"/>",
+                   "select seq, 1 / (seq * 0) as inv from src");
+}
+
+std::string Healthy(const std::string& name) {
+  return GenSensor(name, "<field name=\"seq\" type=\"integer\"/>",
+                   "select * from src");
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  Container::Options MakeOptions() {
+    Container::Options options;
+    options.node_id = "sup";
+    options.clock = clock_;
+    options.seed = 17;
+    // Deterministic supervision timing: undithered 100ms backoff per
+    // restart, no checkpoints.
+    options.supervision.retry.initial_backoff_micros = 100 * kMicrosPerMilli;
+    options.supervision.retry.multiplier = 1.0;
+    options.supervision.retry.jitter = 0.0;
+    options.supervision.checkpoint_interval = 0;
+    return options;
+  }
+
+  void MakeContainer(Container::Options options) {
+    container_ = std::make_unique<Container>(std::move(options));
+  }
+
+  void RunTicks(int ticks, Timestamp step = 100 * kMicrosPerMilli) {
+    for (int i = 0; i < ticks; ++i) {
+      clock_->Advance(step);
+      ASSERT_TRUE(container_->Tick().ok());
+    }
+  }
+
+  int64_t CountRows(const std::string& table) {
+    auto result = container_->Query("select count(*) from \"" + table + "\"");
+    if (!result.ok()) return -1;
+    return result->rows()[0][0].int_value();
+  }
+
+  Container::SensorStatus StatusOf(const std::string& name) {
+    auto status = container_->GetSensorStatus(name);
+    EXPECT_TRUE(status.ok());
+    return status.ok() ? *status : Container::SensorStatus{};
+  }
+
+  std::shared_ptr<VirtualClock> clock_ = std::make_shared<VirtualClock>();
+  std::unique_ptr<Container> container_;
+};
+
+// --------------------------------------------------- Poison & restart
+
+TEST_F(SupervisorTest, PoisonTupleQuarantinedWhileNeighborsKeepStreaming) {
+  MakeContainer(MakeOptions());
+  ASSERT_TRUE(container_->Deploy(PoisonAtFive("poison")).ok());
+  ASSERT_TRUE(container_->Deploy(Healthy("bystander")).ok());
+
+  // seq 5 reaches the window on the 7th tick; the backoff costs one
+  // more. 12 ticks cover failure + restart + recovery comfortably.
+  RunTicks(12);
+
+  // The poison tuple is dead-lettered, not retried forever.
+  const auto entries = container_->quarantine().List();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].sensor, "poison");
+  EXPECT_EQ(entries[0].stream, "in");
+  EXPECT_EQ(entries[0].source_alias, "src");
+  EXPECT_NE(entries[0].error.find("division by zero"), std::string::npos);
+  EXPECT_EQ(entries[0].element.values[0].int_value(), 5);
+
+  // The sensor took exactly one supervised restart and recovered.
+  const auto status = StatusOf("poison");
+  EXPECT_EQ(status.state, Container::SensorState::kRunning);
+  EXPECT_EQ(status.restart_attempts, 1);
+  EXPECT_EQ(container_->metrics()
+                ->GetCounter("gsn_sensor_restarts_total",
+                             {{"sensor", "poison"}}, "")
+                ->Value(),
+            1);
+  // Post-recovery triggers produce again (seq > 5 divides fine).
+  auto latest = container_->Query("select max(seq) from poison");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_GT(latest->rows()[0][0].int_value(), 5);
+
+  // The neighbor never missed a beat: one row per producing tick.
+  EXPECT_EQ(CountRows("bystander"), 11);
+}
+
+TEST_F(SupervisorTest, PausedSensorKeepsPumpingSourcesIntoQueues) {
+  Container::Options options = MakeOptions();
+  // 250ms backoff: the failure at t=700ms pauses ticks 800 and 900.
+  options.supervision.retry.initial_backoff_micros = 250 * kMicrosPerMilli;
+  MakeContainer(std::move(options));
+  ASSERT_TRUE(container_->Deploy(PoisonAtFive("poison")).ok());
+
+  RunTicks(7);  // t=700ms: seq 5 triggers the failure
+  ASSERT_EQ(StatusOf("poison").state, Container::SensorState::kRestarting);
+
+  RunTicks(2);  // paused: sources pump, pipeline does not run
+  const auto paused = StatusOf("poison");
+  EXPECT_EQ(paused.state, Container::SensorState::kRestarting);
+  EXPECT_GE(paused.queue_depth, 2u);  // seq 6 and 7 waiting, not lost
+
+  RunTicks(1);  // t=1000ms >= resume_at=950ms: restart + drain
+  const auto resumed = StatusOf("poison");
+  EXPECT_EQ(resumed.state, Container::SensorState::kRunning);
+  EXPECT_EQ(resumed.queue_depth, 0u);
+  auto latest = container_->Query("select max(seq) from poison");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_GE(latest->rows()[0][0].int_value(), 7);
+}
+
+TEST_F(SupervisorTest, ExhaustedRestartBudgetMarksSensorFailed) {
+  Container::Options options = MakeOptions();
+  options.supervision.retry.max_attempts = 3;
+  MakeContainer(std::move(options));
+  ASSERT_TRUE(container_->Deploy(PoisonAlways("doomed")).ok());
+  ASSERT_TRUE(container_->Deploy(Healthy("bystander")).ok());
+
+  RunTicks(10);
+
+  const auto status = StatusOf("doomed");
+  EXPECT_EQ(status.state, Container::SensorState::kFailed);
+  EXPECT_EQ(status.restart_attempts, 3);
+  EXPECT_EQ(container_->metrics()
+                ->GetGauge("gsn_sensor_state", {{"sensor", "doomed"}}, "")
+                ->Value(),
+            2);
+
+  // FAILED surfaces in readiness, with the sensor named.
+  const auto health = container_->GetHealth();
+  EXPECT_TRUE(health.live);
+  EXPECT_FALSE(health.ready);
+  ASSERT_FALSE(health.reasons.empty());
+  EXPECT_NE(health.reasons[0].find("doomed"), std::string::npos);
+
+  // A FAILED sensor stops being scheduled: no new quarantine entries,
+  // no new failures — and the neighbor still produces every tick.
+  const size_t quarantined = container_->quarantine().size();
+  const int64_t neighbor_rows = CountRows("bystander");
+  RunTicks(4);
+  EXPECT_EQ(container_->quarantine().size(), quarantined);
+  EXPECT_EQ(StatusOf("doomed").restart_attempts, 3);
+  EXPECT_EQ(CountRows("bystander"), neighbor_rows + 4);
+}
+
+// --------------------------------------------------------- Quarantine
+
+TEST_F(SupervisorTest, RequeueReinjectsIntoOriginatingSource) {
+  MakeContainer(MakeOptions());
+  ASSERT_TRUE(container_->Deploy(PoisonAtFive("poison")).ok());
+  RunTicks(9);
+  auto entries = container_->quarantine().List();
+  ASSERT_EQ(entries.size(), 1u);
+
+  ASSERT_TRUE(container_->RequeueQuarantined(entries[0].id).ok());
+  EXPECT_EQ(container_->quarantine().size(), 0u);
+  // The requeued element is admitted ahead of new data on the next
+  // poll (at-least-once); the window has moved past seq 5 by then, so
+  // the pipeline no longer chokes.
+  RunTicks(2);
+  EXPECT_EQ(container_->quarantine().size(), 0u);
+  EXPECT_EQ(StatusOf("poison").state, Container::SensorState::kRunning);
+}
+
+TEST_F(SupervisorTest, RequeueUnknownIdIsNotFound) {
+  MakeContainer(MakeOptions());
+  EXPECT_EQ(container_->RequeueQuarantined(12345).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SupervisorTest, RequeueWithoutTargetSensorKeepsEntry) {
+  MakeContainer(MakeOptions());
+  ASSERT_TRUE(container_->Deploy(PoisonAtFive("poison")).ok());
+  RunTicks(9);
+  auto entries = container_->quarantine().List();
+  ASSERT_EQ(entries.size(), 1u);
+
+  // The originating sensor is gone: requeue must fail WITHOUT dropping
+  // the tuple the operator asked to keep.
+  ASSERT_TRUE(container_->Undeploy("poison").ok());
+  EXPECT_FALSE(container_->RequeueQuarantined(entries[0].id).ok());
+  EXPECT_EQ(container_->quarantine().size(), 1u);
+}
+
+TEST_F(SupervisorTest, QuarantineEvictsOldestAtCapacity) {
+  Container::Options options = MakeOptions();
+  options.supervision.quarantine_capacity = 2;
+  options.supervision.retry.max_attempts = 100;
+  MakeContainer(std::move(options));
+  ASSERT_TRUE(container_->Deploy(PoisonAlways("doomed")).ok());
+  RunTicks(12);  // several failures: each quarantines one element
+
+  const auto entries = container_->quarantine().List();
+  ASSERT_EQ(entries.size(), 2u);  // bounded
+  EXPECT_GT(container_->metrics()
+                ->GetCounter("gsn_quarantine_tuples_total", {}, "")
+                ->Value(),
+            2);  // ...but the counter saw every admission
+}
+
+// ------------------------------------------------ Admission & shedding
+
+std::unique_ptr<wrappers::Wrapper> MakeGenerator(int interval_ms) {
+  WrapperConfig config;
+  config.params = {{"interval-ms", std::to_string(interval_ms)},
+                   {"payload-bytes", "0"}};
+  config.seed = 5;
+  auto wrapper = wrappers::GeneratorWrapper::Make(config);
+  EXPECT_TRUE(wrapper.ok());
+  return *std::move(wrapper);
+}
+
+StreamSourceSpec BoundedSpec() {
+  StreamSourceSpec spec;
+  spec.alias = "src";
+  spec.window.kind = WindowSpec::Kind::kCount;
+  spec.window.count = 100;
+  spec.address.wrapper = "generator";
+  return spec;
+}
+
+std::vector<int64_t> Seqs(const std::vector<StreamElement>& elements) {
+  std::vector<int64_t> seqs;
+  for (const StreamElement& e : elements) {
+    seqs.push_back(e.values[0].int_value());
+  }
+  return seqs;
+}
+
+TEST(AdmissionQueueTest, DropOldestKeepsNewestElements) {
+  StreamSource source(BoundedSpec(), MakeGenerator(100), 1);
+  source.ConfigureAdmission("s", 4, ShedPolicy::kDropOldest);
+  ASSERT_TRUE(source.Poll(0).ok());
+  auto admitted = source.Poll(kMicrosPerSecond);  // wrapper yields seq 0..9
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(Seqs(*admitted), (std::vector<int64_t>{6, 7, 8, 9}));
+  EXPECT_EQ(source.shed_count(), 6);
+  EXPECT_EQ(source.queue_depth(), 0u);  // drained by the poll
+}
+
+TEST(AdmissionQueueTest, DropNewestKeepsOldestElements) {
+  StreamSource source(BoundedSpec(), MakeGenerator(100), 1);
+  source.ConfigureAdmission("s", 4, ShedPolicy::kDropNewest);
+  ASSERT_TRUE(source.Poll(0).ok());
+  auto admitted = source.Poll(kMicrosPerSecond);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(Seqs(*admitted), (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(source.shed_count(), 6);
+}
+
+TEST(AdmissionQueueTest, BlockBackpressure) {
+  StreamSource source(BoundedSpec(), MakeGenerator(100), 1);
+  source.ConfigureAdmission("s", 4, ShedPolicy::kBlock);
+  ASSERT_TRUE(source.Pump(0).ok());
+  ASSERT_TRUE(source.Pump(kMicrosPerSecond).ok());
+  EXPECT_EQ(source.queue_depth(), 4u);
+  EXPECT_EQ(source.shed_count(), 6);  // mid-batch overflow shed
+
+  // Queue still full: the wrapper is NOT polled (that is what
+  // "blocking the producer" means in a pull design) — one deferral is
+  // counted, nothing new enqueued.
+  ASSERT_TRUE(source.Pump(2 * kMicrosPerSecond).ok());
+  EXPECT_EQ(source.queue_depth(), 4u);
+  EXPECT_EQ(source.shed_count(), 7);
+
+  // The oldest admitted elements survive, in order: backpressure never
+  // reorders or drops what it accepted.
+  auto admitted = source.Poll(3 * kMicrosPerSecond);
+  ASSERT_TRUE(admitted.ok());
+  std::vector<int64_t> seqs = Seqs(*admitted);
+  ASSERT_GE(seqs.size(), 4u);
+  EXPECT_EQ((std::vector<int64_t>{seqs[0], seqs[1], seqs[2], seqs[3]}),
+            (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(AdmissionQueueTest, SetAdmittingFalseDrainsWithoutPumping) {
+  StreamSource source(BoundedSpec(), MakeGenerator(100), 1);
+  source.ConfigureAdmission("s", 4, ShedPolicy::kDropOldest);
+  ASSERT_TRUE(source.Pump(0).ok());
+  ASSERT_TRUE(source.Pump(kMicrosPerSecond).ok());
+  EXPECT_EQ(source.queue_depth(), 4u);
+
+  source.SetAdmitting(false);
+  auto admitted = source.Poll(2 * kMicrosPerSecond);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted->size(), 4u);     // backlog flushed...
+  EXPECT_EQ(source.queue_depth(), 0u);
+  const int64_t shed_before = source.shed_count();
+  ASSERT_TRUE(source.Poll(3 * kMicrosPerSecond).ok());
+  EXPECT_EQ(source.shed_count(), shed_before);  // ...no new load taken
+}
+
+TEST_F(SupervisorTest, DescriptorOverridesQueueCapacityAndShedPolicy) {
+  MakeContainer(MakeOptions());
+  // 10ms generator against 100ms ticks: 10 elements per poll into a
+  // 4-slot queue.
+  ASSERT_TRUE(container_
+                  ->Deploy(GenSensor(
+                      "newest", "<field name=\"seq\" type=\"integer\"/>",
+                      "select * from src",
+                      "queue-capacity=\"4\" shed-policy=\"drop-newest\"", 10))
+                  .ok());
+  ASSERT_TRUE(container_
+                  ->Deploy(GenSensor(
+                      "oldest", "<field name=\"seq\" type=\"integer\"/>",
+                      "select * from src",
+                      "queue-capacity=\"4\" shed-policy=\"drop-oldest\"", 10))
+                  .ok());
+  RunTicks(2);  // tick 1 anchors; tick 2 over-fills both queues
+
+  EXPECT_EQ(StatusOf("newest").shed, 6);
+  EXPECT_EQ(StatusOf("oldest").shed, 6);
+  EXPECT_EQ(container_->metrics()
+                ->GetCounter("gsn_admission_shed_total",
+                             {{"policy", "drop-newest"}}, "")
+                ->Value(),
+            6);
+
+  // Which 4 survived differs by policy: the storage-size=1 source
+  // window ends up on the newest surviving seq.
+  auto newest = container_->Query("select max(seq) from newest");
+  auto oldest = container_->Query("select max(seq) from oldest");
+  ASSERT_TRUE(newest.ok());
+  ASSERT_TRUE(oldest.ok());
+  EXPECT_EQ(newest->rows()[0][0].int_value(), 3);  // kept the head
+  EXPECT_EQ(oldest->rows()[0][0].int_value(), 9);  // kept the tail
+}
+
+// ------------------------------------------------------ Drain & health
+
+TEST_F(SupervisorTest, HealthyContainerIsReady) {
+  MakeContainer(MakeOptions());
+  ASSERT_TRUE(container_->Deploy(Healthy("ok")).ok());
+  RunTicks(3);
+  const auto health = container_->GetHealth();
+  EXPECT_TRUE(health.live);
+  EXPECT_TRUE(health.ready);
+  EXPECT_TRUE(health.reasons.empty());
+}
+
+TEST_F(SupervisorTest, ShutdownDrainsQueuesAndStopsAdmission) {
+  MakeContainer(MakeOptions());
+  ASSERT_TRUE(container_->Deploy(Healthy("drained")).ok());
+  RunTicks(5);
+  const int64_t rows = CountRows("drained");
+
+  ASSERT_TRUE(container_->Shutdown().ok());
+  EXPECT_TRUE(container_->draining());
+  EXPECT_EQ(StatusOf("drained").queue_depth, 0u);  // backlog flushed
+
+  const auto health = container_->GetHealth();
+  EXPECT_TRUE(health.live);
+  EXPECT_FALSE(health.ready);
+  ASSERT_FALSE(health.reasons.empty());
+  EXPECT_NE(health.reasons[0].find("draining"), std::string::npos);
+
+  // Draining container admits no new wrapper load.
+  RunTicks(3);
+  EXPECT_EQ(CountRows("drained"), rows);
+  EXPECT_EQ(container_->ListSensors(), std::vector<std::string>{"drained"});
+}
+
+}  // namespace
+}  // namespace gsn::container

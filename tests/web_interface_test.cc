@@ -223,6 +223,97 @@ TEST_F(WebInterfaceTest, ConcurrentClients) {
   web_->Stop();
 }
 
+// --------------------------------------- health, quarantine, drain routes
+
+constexpr char kPoisonXml[] =
+    "<virtual-sensor name=\"poison\">"
+    "<output-structure>"
+    "  <field name=\"seq\" type=\"integer\"/>"
+    "  <field name=\"inv\" type=\"integer\"/>"
+    "</output-structure>"
+    "<input-stream name=\"in\">"
+    "  <stream-source alias=\"src\" storage-size=\"1\">"
+    "    <address wrapper=\"generator\">"
+    "      <predicate key=\"interval-ms\" val=\"100\"/>"
+    "      <predicate key=\"payload-bytes\" val=\"0\"/>"
+    "    </address>"
+    "    <query>select seq from wrapper order by seq desc limit 1</query>"
+    "  </stream-source>"
+    "  <query>select seq, 1 / (seq - 5) as inv from src</query>"
+    "</input-stream>"
+    "</virtual-sensor>";
+
+TEST_F(WebInterfaceTest, HealthzAndReadyzProbes) {
+  DeployAndRun();
+  const HttpResponse healthz = Get("/api/v1/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("\"status\":\"ok\""), std::string::npos)
+      << healthz.body;
+
+  const HttpResponse readyz = Get("/api/v1/readyz");
+  EXPECT_EQ(readyz.status, 200);
+  EXPECT_NE(readyz.body.find("\"ready\":true"), std::string::npos)
+      << readyz.body;
+}
+
+TEST_F(WebInterfaceTest, ReadyzReports503WhileDraining) {
+  DeployAndRun();
+  HttpRequest drain;
+  drain.method = "POST";
+  drain.path = "/api/v1/drain";
+  EXPECT_EQ(web_->Handle(drain).status, 200);
+
+  const HttpResponse readyz = Get("/api/v1/readyz");
+  EXPECT_EQ(readyz.status, 503);
+  EXPECT_NE(readyz.body.find("\"ready\":false"), std::string::npos);
+  EXPECT_NE(readyz.body.find("draining"), std::string::npos) << readyz.body;
+  // Liveness is unaffected: a draining container is healthy.
+  EXPECT_EQ(Get("/api/v1/healthz").status, 200);
+}
+
+TEST_F(WebInterfaceTest, SensorsJsonExposesSupervisionState) {
+  DeployAndRun();
+  const HttpResponse response = Get("/api/v1/sensors");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"state\":\"running\""), std::string::npos)
+      << response.body;
+}
+
+TEST_F(WebInterfaceTest, QuarantineInspectRequeueClear) {
+  ASSERT_TRUE(container_->Deploy(kPoisonXml).ok());
+  for (int i = 0; i < 9; ++i) {
+    clock_->Advance(100 * kMicrosPerMilli);
+    ASSERT_TRUE(container_->Tick().ok());
+  }
+  ASSERT_EQ(container_->quarantine().size(), 1u);
+  const uint64_t id = container_->quarantine().List()[0].id;
+
+  const HttpResponse list = Get("/api/v1/quarantine");
+  EXPECT_EQ(list.status, 200);
+  EXPECT_NE(list.body.find("division by zero"), std::string::npos)
+      << list.body;
+  EXPECT_NE(list.body.find("\"sensor\":\"poison\""), std::string::npos);
+
+  HttpRequest requeue;
+  requeue.method = "POST";
+  requeue.path = "/api/v1/quarantine/requeue";
+  requeue.query = {{"id", std::to_string(id)}};
+  EXPECT_EQ(web_->Handle(requeue).status, 200);
+  EXPECT_EQ(container_->quarantine().size(), 0u);
+
+  // Requeued ids are gone; bad ids are client errors.
+  EXPECT_EQ(web_->Handle(requeue).status, 404);
+  requeue.query = {{"id", "not-a-number"}};
+  EXPECT_EQ(web_->Handle(requeue).status, 400);
+  requeue.query.clear();
+  EXPECT_EQ(web_->Handle(requeue).status, 400);
+
+  HttpRequest clear;
+  clear.method = "POST";
+  clear.path = "/api/v1/quarantine/clear";
+  EXPECT_EQ(web_->Handle(clear).status, 200);
+}
+
 TEST(UrlDecodeTest, Decoding) {
   EXPECT_EQ(UrlDecode("a%20b+c"), "a b c");
   EXPECT_EQ(UrlDecode("%22quoted%22"), "\"quoted\"");
