@@ -560,6 +560,11 @@ constexpr Timestamp kAnnounceInterval = 5 * kMicrosPerSecond;
 }  // namespace
 
 Result<int> Container::Tick() {
+  // One Tick at a time: gsnd's RealtimePump and an HTTP/management
+  // drain (Shutdown's flush rounds) may call Tick from different
+  // threads; two concurrent rounds would Submit/Wait on the same
+  // per-sensor pools and race on the checkpoint trigger below.
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
   const Timestamp now = options_.clock->NowMicros();
 
   // Periodic directory re-announcement: lost publish messages heal.
@@ -658,9 +663,45 @@ Result<int> Container::Tick() {
     HandleSensorFailure(key, status, now);
   }
 
+  // A sensor that keeps completing ticks after a restart earns its
+  // retry budget back: max_attempts caps consecutive failures, not
+  // lifetime totals — otherwise a few transient errors spread over
+  // weeks would permanently FAIL the sensor (and pin readiness at 503).
+  if (options_.supervision.healthy_ticks_to_reset > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Job& job : jobs) {
+      if (job.paused) continue;
+      bool failed_this_tick = false;
+      for (const auto& [key, status] : failures) {
+        if (key == job.key) {
+          failed_this_tick = true;
+          break;
+        }
+      }
+      if (failed_this_tick) continue;
+      auto it = deployments_.find(job.key);
+      if (it == deployments_.end()) continue;
+      Deployment& deployment = it->second;
+      if (deployment.state != SensorState::kRunning ||
+          deployment.restart_attempts == 0) {
+        continue;
+      }
+      if (++deployment.healthy_ticks >=
+          options_.supervision.healthy_ticks_to_reset) {
+        GSN_LOG(kInfo, "container")
+            << options_.node_id << ": '" << deployment.sensor->name()
+            << "' healthy for " << deployment.healthy_ticks
+            << " tick(s); restart budget restored";
+        deployment.restart_attempts = 0;
+        deployment.healthy_ticks = 0;
+      }
+    }
+  }
+
   // Periodic checkpoint: bound the manifest and every WAL (and with
-  // them, the next recovery) to the live state. Runs on the Tick
-  // thread after all pools drained, so no pipeline holds a log handle.
+  // them, the next recovery) to the live state. The trigger runs under
+  // tick_mu_; the WAL swaps inside Checkpoint() are serialized against
+  // pipeline appends by mu_.
   if (manifest_ != nullptr && options_.supervision.checkpoint_interval > 0 &&
       now - last_checkpoint_ >= options_.supervision.checkpoint_interval) {
     last_checkpoint_ = now;
@@ -681,6 +722,7 @@ void Container::HandleSensorFailure(const std::string& key,
   Deployment& deployment = it->second;
   if (deployment.state == SensorState::kFailed) return;
   ++deployment.restart_attempts;
+  deployment.healthy_ticks = 0;
   deployment.restarts->Increment();
   if (options_.supervision.retry.Exhausted(deployment.restart_attempts)) {
     deployment.state = SensorState::kFailed;
@@ -728,11 +770,25 @@ void Container::OnSensorError(const std::string& key,
 
 Status Container::RequeueQuarantined(uint64_t id) {
   GSN_ASSIGN_OR_RETURN(QuarantineStore::Entry entry, quarantine_->Take(id));
-  VirtualSensor* sensor = FindSensor(entry.sensor);
-  vsensor::StreamSource* source =
-      sensor == nullptr ? nullptr
-                        : sensor->FindSource(entry.stream, entry.source_alias);
-  if (source == nullptr) {
+  // Lookup AND Inject under mu_: a concurrent Undeploy (descriptor
+  // watcher, another HTTP request) erases the deployment under the same
+  // lock, so the sensor cannot be destroyed between the find and the
+  // injection. Inject only takes the source's own lock — no ordering
+  // hazard against mu_.
+  bool injected = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = deployments_.find(StrToLower(entry.sensor));
+    StreamSource* source =
+        it == deployments_.end()
+            ? nullptr
+            : it->second.sensor->FindSource(entry.stream, entry.source_alias);
+    if (source != nullptr) {
+      source->Inject(entry.element);
+      injected = true;
+    }
+  }
+  if (!injected) {
     // Put it back rather than silently dropping a tuple the operator
     // asked to keep.
     quarantine_->Add(entry.sensor, entry.stream, entry.source_alias,
@@ -742,7 +798,6 @@ Status Container::RequeueQuarantined(uint64_t id) {
                             entry.source_alias + "' on sensor '" +
                             entry.sensor + "'");
   }
-  source->Inject(entry.element);
   GSN_LOG(kInfo, "container")
       << options_.node_id << ": requeued quarantined tuple "
       << std::to_string(id) << " into " << entry.sensor << "/" << entry.stream;
@@ -759,12 +814,28 @@ Status Container::Checkpoint() {
       if (deployment.log == nullptr) continue;
       // Rewrite the WAL to exactly the rows still inside the table's
       // retention window: recovery replays O(window), not O(history).
+      // Pipeline appends (OnSensorBatch) also run under mu_, so nobody
+      // can write through the old handle mid-rewrite; destroying it
+      // first honors Rewrite's contract (a surviving handle's buffered
+      // writes would land on the renamed-over inode and be lost).
       const std::string path = deployment.log->path();
+      deployment.log.reset();
       Result<std::unique_ptr<storage::PersistenceLog>> rewritten =
           storage::PersistenceLog::Rewrite(path,
                                            deployment.table->SnapshotElements());
       if (!rewritten.ok()) {
         if (first_error.ok()) first_error = rewritten.status();
+        // Compaction failed, but persistence must go on: reopen the
+        // uncompacted log for appending.
+        Result<std::unique_ptr<storage::PersistenceLog>> reopened =
+            storage::PersistenceLog::Open(path);
+        if (reopened.ok()) {
+          deployment.log = *std::move(reopened);
+        } else {
+          GSN_LOG(kError, "container")
+              << options_.node_id << ": '" << deployment.sensor->name()
+              << "' WAL lost after failed checkpoint: " << reopened.status();
+        }
         continue;
       }
       deployment.log = *std::move(rewritten);
@@ -860,10 +931,15 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
   const std::string& name = sensor.name();
 
   // Storage layer: the whole batch lands under one container lock and
-  // one table lock. Remote deliveries are sequenced and buffered for
-  // replay under the same lock (sequence assignment must be atomic
-  // with the replay-buffer write), then sent after release.
-  storage::PersistenceLog* log = nullptr;
+  // one table lock. The WAL append stays inside the same critical
+  // section: Checkpoint() destroys and replaces the log handle under
+  // mu_, so an append racing a swap would write through a dead handle
+  // or onto the compacted-over inode (and be lost to every future
+  // recovery). Keeping insert + append atomic also means a checkpoint
+  // snapshot always covers exactly the batches appended before it.
+  // Remote deliveries are sequenced and buffered for replay under the
+  // same lock (sequence assignment must be atomic with the
+  // replay-buffer write), then sent after release.
   std::vector<Outbound> remote_sends;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -876,7 +952,16 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
           GSN_LOG(kWarn, "container") << name << ": table insert failed: " << s;
         }
       }
-      log = it->second.log.get();
+      if (it->second.log != nullptr) {
+        for (const StreamElement& element : batch) {
+          const Status s = it->second.log->Append(element);
+          if (!s.ok()) {
+            GSN_LOG(kWarn, "container")
+                << name << ": persistence failed: " << s;
+            break;
+          }
+        }
+      }
     }
     if (options_.network != nullptr) {
       for (auto& [sub_id, subscriber] : subscribers_) {
@@ -922,15 +1007,6 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
   }
   for (LocalStreamWrapper* target : local_targets) {
     target->PushBatch(batch);
-  }
-  if (log != nullptr) {
-    for (const StreamElement& element : batch) {
-      const Status s = log->Append(element);
-      if (!s.ok()) {
-        GSN_LOG(kWarn, "container") << name << ": persistence failed: " << s;
-        break;
-      }
-    }
   }
 
   // Notification manager (per-element conditions, one subscription

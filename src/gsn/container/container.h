@@ -92,6 +92,12 @@ class Container : public network::NetworkNode {
       /// Backoff between supervised sensor restarts; Exhausted() =>
       /// the sensor is marked FAILED and stops being scheduled.
       network::RetryPolicy retry;
+      /// A restarted sensor that completes this many ticks without
+      /// failing gets its restart budget back (restart_attempts resets
+      /// to 0): retry.max_attempts caps CONSECUTIVE failures, so a
+      /// handful of transient errors spread over weeks can never
+      /// permanently FAIL a sensor. 0 disables the reset.
+      int healthy_ticks_to_reset = 10;
       /// Default admission-queue bound per stream source (descriptor
       /// attribute queue-capacity overrides per source).
       int64_t queue_capacity = 4096;
@@ -271,15 +277,22 @@ class Container : public network::NetworkNode {
   struct Deployment {
     std::unique_ptr<vsensor::VirtualSensor> sensor;
     storage::Table* table = nullptr;  // owned by tables_
-    /// shared_ptr so OnSensorBatch (pool threads) can hold the handle
-    /// across a concurrent Checkpoint() swap without dangling.
-    std::shared_ptr<storage::PersistenceLog> log;
+    /// Guarded by mu_: OnSensorBatch (pool threads) appends and
+    /// Checkpoint() destroys/replaces the handle, both under the
+    /// container lock, so an append can never race a compaction swap
+    /// (PersistenceLog::Rewrite requires the prior handle gone first).
+    std::unique_ptr<storage::PersistenceLog> log;
     std::unique_ptr<ThreadPool> pool;  // life-cycle pool-size threads
     Timestamp deployed_at = 0;
     Timestamp expires_at = 0;  // 0 = never
     // -- Supervision (docs/DURABILITY.md) --------------------------------
     SensorState state = SensorState::kRunning;
     int restart_attempts = 0;
+    /// Ticks completed without failing since the last restart; at
+    /// supervision.healthy_ticks_to_reset the restart budget is
+    /// restored, so restart_attempts meters consecutive failures
+    /// rather than lifetime totals.
+    int healthy_ticks = 0;
     /// While kRestarting: the tick time at which processing resumes.
     Timestamp resume_at = 0;
     std::shared_ptr<telemetry::Gauge> state_gauge;
@@ -470,6 +483,14 @@ class Container : public network::NetworkNode {
   /// restart). Guarded by mu_.
   bool shutting_down_ = false;
   bool draining_ = false;  // guarded by mu_
+  /// Serializes Tick() bodies: gsnd's RealtimePump and an HTTP drain
+  /// (Shutdown's flush rounds) may call Tick concurrently, but the
+  /// per-sensor pools and the checkpoint trigger assume one driver at
+  /// a time. Never held while waiting on mu_ holders that take
+  /// tick_mu_ (nobody does), so no ordering hazard.
+  mutable std::mutex tick_mu_;
+  /// Guarded by tick_mu_ (written by the constructor before any
+  /// thread can Tick, then only touched inside Tick).
   Timestamp last_checkpoint_ = 0;
   size_t recovered_records_ = 0;
   size_t recovery_failures_ = 0;

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <thread>
 
 #include "gsn/container/container.h"
 #include "gsn/container/manifest.h"
@@ -321,6 +323,135 @@ TEST(ContainerRecoveryTest, StorageDirDefaultsToDataDir) {
   // landed next to the manifest.
   EXPECT_TRUE(fs::exists(dir.path() + "/solo.gsnlog"));
   EXPECT_TRUE(fs::exists(dir.path() + "/manifest.gsnlog"));
+}
+
+// ------------------------------------------------------- Concurrent drivers
+
+// POST /api/v1/checkpoint and the `checkpoint` management command run
+// Checkpoint() on HTTP threads while gsnd's RealtimePump keeps ticking
+// pipelines. The WAL handle swap must be serialized against pipeline
+// appends: a row appended through a stale handle lands on the
+// compacted-over inode and is silently lost to every future recovery
+// (or worse, written through a destroyed handle).
+TEST(ContainerRecoveryTest, CheckpointRacingAppendsLosesNoRows) {
+  TempDir dir("ckpt_race");
+  auto clock = std::make_shared<VirtualClock>();
+  int64_t rows_before = 0;
+  {
+    Container container(DataDirOptions(dir.path(), clock));
+    ASSERT_TRUE(container.Deploy(GenDescriptor("raced")).ok());
+    std::atomic<bool> stop{false};
+    std::thread op([&] {
+      while (!stop.load()) {
+        EXPECT_TRUE(container.Checkpoint().ok());
+      }
+    });
+    for (int i = 0; i < 40; ++i) {
+      clock->Advance(100 * kMicrosPerMilli);
+      EXPECT_TRUE(container.Tick().ok());
+    }
+    stop.store(true);
+    op.join();
+    rows_before = CountRows(&container, "raced");
+    ASSERT_GT(rows_before, 0);
+  }
+  // Every row the pipelines appended survives the checkpoint storm,
+  // exactly once.
+  Container container(DataDirOptions(dir.path(), clock));
+  EXPECT_EQ(CountRows(&container, "raced"), rows_before);
+  auto dup =
+      container.Query("select count(*), count(distinct seq) from raced");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->rows()[0][0], dup->rows()[0][1]);
+}
+
+// POST /api/v1/drain runs Shutdown() — including its flush Tick rounds
+// — on an HTTP thread while the RealtimePump keeps calling Tick();
+// tick_mu_ serializes the two drivers (pools, checkpoint trigger).
+TEST(ContainerRecoveryTest, DrainRacingPumpTicksIsSafe) {
+  TempDir dir("drain_race");
+  auto clock = std::make_shared<VirtualClock>();
+  int64_t rows_at_drain = 0;
+  {
+    Container::Options options = DataDirOptions(dir.path(), clock);
+    // Let the periodic trigger fire mid-race too.
+    options.supervision.checkpoint_interval = 200 * kMicrosPerMilli;
+    Container container(std::move(options));
+    ASSERT_TRUE(container.Deploy(GenDescriptor("drained")).ok());
+    std::atomic<bool> stop{false};
+    std::thread pump([&] {  // RealtimePump stand-in
+      while (!stop.load()) {
+        EXPECT_TRUE(container.Tick().ok());
+      }
+    });
+    for (int i = 0; i < 20; ++i) {
+      clock->Advance(100 * kMicrosPerMilli);
+      EXPECT_TRUE(container.Tick().ok());
+    }
+    EXPECT_TRUE(container.Shutdown().ok());  // the HTTP drain
+    stop.store(true);
+    pump.join();
+    EXPECT_TRUE(container.draining());
+    rows_at_drain = CountRows(&container, "drained");
+    ASSERT_GT(rows_at_drain, 0);
+  }
+  // Drain checkpointed and fsynced: restart recovers the full history.
+  Container container(DataDirOptions(dir.path(), clock));
+  EXPECT_EQ(container.ListSensors(), std::vector<std::string>{"drained"});
+  EXPECT_EQ(CountRows(&container, "drained"), rows_at_drain);
+}
+
+// An operator requeue racing an undeploy of the same sensor must never
+// touch a destroyed source: either the tuple is reinjected (sensor
+// still live) or it goes back to quarantine (sensor gone) — the entry
+// is never silently dropped.
+TEST(ContainerRecoveryTest, RequeueRacingUndeployKeepsOrReinjectsTuple) {
+  auto clock = std::make_shared<VirtualClock>();
+  Container::Options options;
+  options.node_id = "race";
+  options.clock = clock;
+  options.seed = 31;
+  options.supervision.checkpoint_interval = 0;
+  Container container(std::move(options));
+  // Poison pipeline: every trigger fails, filling quarantine.
+  ASSERT_TRUE(
+      container
+          .Deploy("<virtual-sensor name=\"q\">"
+                  "<output-structure>"
+                  "  <field name=\"seq\" type=\"integer\"/>"
+                  "  <field name=\"inv\" type=\"integer\"/>"
+                  "</output-structure>"
+                  "<storage permanent-storage=\"false\" size=\"10m\"/>"
+                  "<input-stream name=\"in\">"
+                  "  <stream-source alias=\"src\" storage-size=\"1\">"
+                  "    <address wrapper=\"generator\">"
+                  "      <predicate key=\"interval-ms\" val=\"100\"/>"
+                  "      <predicate key=\"payload-bytes\" val=\"0\"/>"
+                  "    </address>"
+                  "    <query>select seq from wrapper order by seq desc "
+                  "limit 1</query>"
+                  "  </stream-source>"
+                  "  <query>select seq, 1 / (seq * 0) as inv from src</query>"
+                  "</input-stream>"
+                  "</virtual-sensor>")
+          .ok());
+  RunTicks(&container, clock, 6);
+  const auto entries = container.quarantine().List();
+  ASSERT_FALSE(entries.empty());
+
+  std::thread undeployer([&] { EXPECT_TRUE(container.Undeploy("q").ok()); });
+  size_t reinjected = 0;
+  for (const auto& entry : entries) {
+    const Status s = container.RequeueQuarantined(entry.id);
+    if (s.ok()) {
+      ++reinjected;  // won the race: source was still live
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kNotFound);  // lost it: entry kept
+    }
+  }
+  undeployer.join();
+  // Nothing vanished: every entry was either reinjected or kept.
+  EXPECT_EQ(container.quarantine().size(), entries.size() - reinjected);
 }
 
 // ------------------------------------------------------------- Chaos (kill)

@@ -206,6 +206,66 @@ TEST_F(SupervisorTest, ExhaustedRestartBudgetMarksSensorFailed) {
   EXPECT_EQ(CountRows("bystander"), neighbor_rows + 4);
 }
 
+TEST_F(SupervisorTest, HealthyRunRestoresRestartBudget) {
+  Container::Options options = MakeOptions();
+  // Two lifetime failures would exhaust this budget — unless the
+  // healthy stretch between them (well past the default
+  // healthy_ticks_to_reset of 10) hands the budget back.
+  options.supervision.retry.max_attempts = 2;
+  MakeContainer(std::move(options));
+  // Fails when the window holds seq 5 and again at seq 25, ~2s of
+  // healthy streaming apart.
+  ASSERT_TRUE(container_
+                  ->Deploy(GenSensor(
+                      "flaky",
+                      "<field name=\"seq\" type=\"integer\"/>"
+                      "<field name=\"inv\" type=\"integer\"/>",
+                      "select seq, 1 / ((seq - 5) * (seq - 25)) as inv "
+                      "from src"))
+                  .ok());
+
+  // Failure #1 at tick 7, restart at tick 8, then 10 healthy ticks
+  // restore the budget by tick 17.
+  RunTicks(20);
+  const auto rested = StatusOf("flaky");
+  EXPECT_EQ(rested.state, Container::SensorState::kRunning);
+  EXPECT_EQ(rested.restart_attempts, 0);  // budget restored
+  EXPECT_EQ(container_->metrics()
+                ->GetCounter("gsn_sensor_restarts_total",
+                             {{"sensor", "flaky"}}, "")
+                ->Value(),
+            1);  // ...but the restart itself stays counted
+
+  // Failure #2 (tick 27) spends attempt 1 of a FRESH budget: without
+  // the reset, two lifetime failures against max_attempts=2 would have
+  // permanently FAILED the sensor (and pinned readiness at 503).
+  RunTicks(12);
+  const auto after_second = StatusOf("flaky");
+  EXPECT_EQ(after_second.state, Container::SensorState::kRunning);
+  EXPECT_EQ(after_second.restart_attempts, 1);
+  EXPECT_TRUE(container_->GetHealth().ready);
+  EXPECT_EQ(container_->quarantine().size(), 2u);  // seq 5 and seq 25
+}
+
+TEST_F(SupervisorTest, BudgetResetDisabledKeepsLifetimeAttempts) {
+  Container::Options options = MakeOptions();
+  options.supervision.retry.max_attempts = 2;
+  options.supervision.healthy_ticks_to_reset = 0;
+  MakeContainer(std::move(options));
+  ASSERT_TRUE(container_
+                  ->Deploy(GenSensor(
+                      "strict",
+                      "<field name=\"seq\" type=\"integer\"/>"
+                      "<field name=\"inv\" type=\"integer\"/>",
+                      "select seq, 1 / ((seq - 5) * (seq - 25)) as inv "
+                      "from src"))
+                  .ok());
+  RunTicks(32);  // both failures, long healthy stretch between
+  const auto status = StatusOf("strict");
+  EXPECT_EQ(status.state, Container::SensorState::kFailed);
+  EXPECT_EQ(status.restart_attempts, 2);
+}
+
 // --------------------------------------------------------- Quarantine
 
 TEST_F(SupervisorTest, RequeueReinjectsIntoOriginatingSource) {
