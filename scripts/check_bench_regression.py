@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Gross-regression gate for the committed bench baselines.
+
+Compares a fresh BENCH_fig3.json / BENCH_fig4.json against the copy
+tracked in git and fails when a latency measurement regressed by more
+than a generous factor. The committed baselines and the CI run use the
+same --quick parameters, but not the same machine, so the bar is tuned
+to catch order-of-magnitude regressions (an accidental O(n^2) path, a
+lost fast path), not scheduling noise.
+
+Rules, per matching measurement:
+  - latency fields (mean_ms, p95_ms, trace_*_ms, per_client_ms) fail
+    when fresh > baseline * FACTOR and fresh > FLOOR_MS (tiny absolute
+    values are all noise);
+  - throughput-ish counts (elements) fail when fresh < baseline / FACTOR;
+  - identity fields (interval_ms, ses_bytes, clients, figure, devices,
+    duration_s) must be equal — a mismatch means the bench grid changed
+    and the baseline needs regenerating, which is an error, not a skip.
+
+usage: check_bench_regression.py <baseline.json> <fresh.json> [factor]
+"""
+
+import json
+import sys
+
+FACTOR = 4.0
+FLOOR_MS = 5.0
+
+LATENCY_FIELDS = {
+    "mean_ms", "p95_ms", "trace_off_ms", "trace_1pct_ms", "trace_100_ms",
+    "per_client_ms",
+}
+COUNT_FIELDS = {"elements"}
+IDENTITY_FIELDS = {
+    "interval_ms", "ses_bytes", "clients", "figure", "devices", "duration_s",
+}
+
+
+def flatten(node, path, out):
+    """Flattens nested dicts/lists into {path_tuple: leaf_value}."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            flatten(value, path + (key,), out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            flatten(value, path + (i,), out)
+    else:
+        out[path] = node
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(__doc__)
+    factor = float(sys.argv[3]) if len(sys.argv) == 4 else FACTOR
+    with open(sys.argv[1]) as f:
+        baseline = {}
+        flatten(json.load(f), (), baseline)
+    with open(sys.argv[2]) as f:
+        fresh = {}
+        flatten(json.load(f), (), fresh)
+
+    errors = []
+    compared = 0
+    for path, base_value in sorted(baseline.items()):
+        field = path[-1]
+        label = "/".join(str(p) for p in path)
+        if path not in fresh:
+            if field in IDENTITY_FIELDS:
+                errors.append(f"{label}: missing from fresh output "
+                              f"(bench grid changed? regenerate baseline)")
+            continue
+        new_value = fresh[path]
+        if field in IDENTITY_FIELDS:
+            if new_value != base_value:
+                errors.append(f"{label}: grid changed ({base_value} -> "
+                              f"{new_value}); regenerate the baseline")
+        elif field in LATENCY_FIELDS:
+            compared += 1
+            if new_value > base_value * factor and new_value > FLOOR_MS:
+                errors.append(f"{label}: {base_value:.3f} -> {new_value:.3f} "
+                              f"ms (> {factor:.1f}x regression)")
+        elif field in COUNT_FIELDS:
+            compared += 1
+            if new_value < base_value / factor:
+                errors.append(f"{label}: {base_value} -> {new_value} "
+                              f"(> {factor:.1f}x fewer elements)")
+
+    if compared == 0:
+        errors.append("no comparable measurements found "
+                      "(wrong file, or the schema changed completely)")
+    for error in errors:
+        print(f"REGRESSION {sys.argv[2]}: {error}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"ok: {sys.argv[2]} within {factor:.1f}x of {sys.argv[1]} "
+          f"({compared} measurements)")
+
+
+if __name__ == "__main__":
+    main()

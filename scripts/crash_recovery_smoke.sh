@@ -6,6 +6,11 @@
 # exactly once (count == distinct count > 0), then that the recovered
 # node keeps streaming.
 #
+# Phase 3 exercises the tiered columnar history (docs/STORAGE.md): a
+# second sensor with a 5-row retention window checkpoints its evicted
+# history into segment files, survives another kill -9, and still
+# serves its full history exactly once across the window/segment seam.
+#
 # usage: scripts/crash_recovery_smoke.sh [path-to-example_gsnd]
 set -euo pipefail
 
@@ -41,6 +46,27 @@ cat > "$DESC/smoke.xml" <<'XML'
 </virtual-sensor>
 XML
 
+# 5-row retention window: everything older is evicted to the columnar
+# history tier at each checkpoint.
+cat > "$DESC/cold.xml" <<'XML'
+<virtual-sensor name="cold">
+  <output-structure>
+    <field name="seq" type="integer"/>
+  </output-structure>
+  <storage permanent-storage="true" size="5"/>
+  <input-stream name="in">
+    <stream-source alias="src" storage-size="1">
+      <address wrapper="generator">
+        <predicate key="interval-ms" val="10"/>
+        <predicate key="payload-bytes" val="0"/>
+      </address>
+      <query>select seq from wrapper order by seq desc limit 1</query>
+    </stream-source>
+    <query>select * from src</query>
+  </input-stream>
+</virtual-sensor>
+XML
+
 start_gsnd() {
   "$GSND" --data-dir "$DATA" --descriptors "$DESC" --port 0 \
       --tick-ms 20 > "$LOG" 2>&1 &
@@ -59,7 +85,8 @@ api() { curl -fsS "http://127.0.0.1:$PORT/api/v1/$1"; }
 # its sequence from 0 after a crash, but every element's timestamp is
 # unique — replayed duplicates would collide on it.
 count_rows() {
-  api "query?sql=select%20count(*)%20as%20n%2C%20count(distinct%20timed)%20as%20d%20from%20smoke" |
+  local table="${1:-smoke}"
+  api "query?sql=select%20count(*)%20as%20n%2C%20count(distinct%20timed)%20as%20d%20from%20$table" |
       sed -n 's/.*"n":\([0-9]*\),"d":\([0-9]*\).*/\1 \2/p'
 }
 
@@ -99,6 +126,42 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [ "$NOW" -gt "$RECOVERED" ] || { echo "FAIL: recovered node is not streaming"; exit 1; }
+
+# --- Phase 3: segment tier survives another hard kill -----------------
+# The "cold" sensor's 5-row window has evicted most of its history by
+# now; a checkpoint flushes the evicted rows into columnar segments.
+COLD=0
+for _ in $(seq 1 100); do
+  set -- $(count_rows cold || echo "0 0"); COLD=$1
+  [ "$COLD" -ge 20 ] && break
+  sleep 0.1
+done
+[ "$COLD" -ge 20 ] || { echo "FAIL: cold sensor produced only $COLD rows"; cat "$LOG"; exit 1; }
+curl -fsS -X POST "http://127.0.0.1:$PORT/api/v1/checkpoint" > /dev/null ||
+    { echo "FAIL: checkpoint"; exit 1; }
+SEGMENTS="$(api segments)"
+echo "$SEGMENTS" | grep -q '"enabled":true' || { echo "FAIL: segments disabled: $SEGMENTS"; exit 1; }
+echo "$SEGMENTS" | grep -q '"table":"cold"' || { echo "FAIL: no cold segment: $SEGMENTS"; exit 1; }
+set -- $(count_rows cold); COLD_N=$1; COLD_D=$2
+[ "$COLD_N" -eq "$COLD_D" ] || { echo "FAIL: seam duplicated rows ($COLD_N vs $COLD_D)"; exit 1; }
+[ "$COLD_N" -gt 5 ] || { echo "FAIL: history lost at checkpoint ($COLD_N rows)"; exit 1; }
+echo "ok: $COLD_N cold rows tiered into segments; kill -9 again"
+
+kill -9 "$GSND_PID"
+wait "$GSND_PID" 2>/dev/null || true
+GSND_PID=""
+start_gsnd
+SEGMENTS="$(api segments)"
+echo "$SEGMENTS" | grep -q '"table":"cold"' || { echo "FAIL: segments lost in crash: $SEGMENTS"; exit 1; }
+set -- $(count_rows cold); COLD_AFTER=$1; COLD_AFTER_D=$2
+[ "$COLD_AFTER" -eq "$COLD_AFTER_D" ] || {
+  echo "FAIL: duplicates across window/segment seam ($COLD_AFTER vs $COLD_AFTER_D)"; exit 1; }
+# Rows appended after the checkpoint may not have been fsynced before
+# the kill, but the flushed segments + the rewritten 5-row WAL are
+# durable: far more history than the live window alone could hold.
+[ "$COLD_AFTER" -gt 5 ] || {
+  echo "FAIL: segment history lost in crash ($COLD_AFTER rows)"; exit 1; }
+echo "ok: segment tier intact after kill -9 ($COLD_AFTER rows, no duplicates)"
 
 # Graceful path: SIGTERM drains and exits 0.
 kill -TERM "$GSND_PID"

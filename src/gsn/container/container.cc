@@ -85,6 +85,37 @@ Container::Container(Options options)
     }
   }
   last_checkpoint_ = options_.clock->NowMicros();
+  // Without an explicit storage_dir both the per-sensor persistence
+  // logs and the columnar history land under data_dir, so --data-dir
+  // alone is a complete durability root.
+  if (options_.storage_dir.empty()) options_.storage_dir = options_.data_dir;
+  // The history tier opens before manifest recovery: redeployed sensors
+  // dedup their WAL-replayed pending rows against already-flushed
+  // segments (see DeploySpec).
+  if (options_.columnar.enabled && !options_.storage_dir.empty()) {
+    storage::columnar::SegmentCatalog::Options seg_options;
+    seg_options.rows_per_chunk = options_.columnar.rows_per_chunk;
+    seg_options.metrics = metrics_;
+    seg_options.labels = node_label;
+    Result<std::unique_ptr<storage::columnar::SegmentCatalog>> catalog =
+        storage::columnar::SegmentCatalog::Open(
+            options_.storage_dir + "/segments", seg_options);
+    if (!catalog.ok()) {
+      GSN_LOG(kError, "container")
+          << options_.node_id << ": cannot open segment catalog: "
+          << catalog.status() << "; history tier disabled";
+    } else {
+      segments_ = *std::move(catalog);
+      tables_.AttachHistory(segments_.get());
+      if (segments_->discarded_on_recovery() > 0 ||
+          segments_->orphans_removed() > 0) {
+        GSN_LOG(kWarn, "container")
+            << options_.node_id << ": segment recovery discarded "
+            << segments_->discarded_on_recovery() << " torn segment(s), "
+            << segments_->orphans_removed() << " orphan file(s)";
+      }
+    }
+  }
   if (!options_.data_dir.empty()) RecoverFromManifest();
 }
 
@@ -128,12 +159,6 @@ void Container::RecoverFromManifest() {
         << options_.data_dir << "': " << ec.message();
     return;
   }
-  // The manifest records which sensors were live; their output history
-  // lives in per-sensor persistence logs. Without an explicit
-  // storage_dir both land under data_dir, so --data-dir alone is a
-  // complete durability root.
-  if (options_.storage_dir.empty()) options_.storage_dir = options_.data_dir;
-
   const std::string path = options_.data_dir + "/manifest.gsnlog";
   bool torn = false;
   Result<std::vector<ContainerManifest::Event>> events =
@@ -219,6 +244,12 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
   if (spec.storage.permanent && !options_.storage_dir.empty()) {
     const std::string path =
         options_.storage_dir + "/" + StrToLower(spec.name) + ".gsnlog";
+    // Capture must be on before WAL replay: rows the replay pushes out
+    // of the retention window are exactly the ones the next checkpoint
+    // owes the history tier (or, post-crash, the ones to dedup below).
+    if (segments_ != nullptr) {
+      table->EnableHistoryCapture(options_.columnar.max_pending_rows);
+    }
     bool truncated = false;
     Result<std::vector<StreamElement>> recovered =
         storage::PersistenceLog::Recover(path, &truncated);
@@ -237,6 +268,32 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
       GSN_LOG(kWarn, "container")
           << spec.name << ": persistence log had a torn tail; recovered "
           << recovered->size() << " elements";
+    }
+    // Window/segment seam dedup: a crash between a segment flush and
+    // the WAL rewrite leaves the flushed rows in both tiers. The rows
+    // the replay just pushed out of the retention window are pending
+    // again; walk this table's segments oldest-first and drop every
+    // pending prefix whose content CRC matches a segment, restoring
+    // exactly-once across the seam.
+    if (segments_ != nullptr && table->history_capture_enabled()) {
+      const Relation::RowList pending = table->PendingEvictedRows();
+      size_t offset = 0;
+      for (const storage::columnar::SegmentMeta& meta :
+           segments_->SegmentsFor(key)) {
+        const size_t n = static_cast<size_t>(meta.row_count);
+        if (n == 0 || offset + n > pending.size()) continue;
+        Relation::RowList prefix(pending.begin() + offset,
+                                 pending.begin() + offset + n);
+        if (storage::columnar::RowsCrc(prefix, n) == meta.rows_crc) {
+          offset += n;
+        }
+      }
+      if (offset > 0) {
+        table->DropPendingPrefix(offset);
+        GSN_LOG(kInfo, "container")
+            << spec.name << ": dropped " << offset
+            << " replayed row(s) already flushed to segments";
+      }
     }
     Result<std::unique_ptr<storage::PersistenceLog>> log =
         storage::PersistenceLog::Open(path);
@@ -521,6 +578,17 @@ Status Container::Undeploy(const std::string& sensor_name,
 
   RetractSensor(deployment.sensor->name());
   GSN_RETURN_IF_ERROR(tables_.DropTable(sensor_name));
+  // Operator undeploys retire the sensor's cold history with it;
+  // process-exit teardown keeps the segments (they come back with the
+  // sensor on restart), mirroring the manifest rule below.
+  if (segments_ != nullptr && !recovering_ && record_undeploy) {
+    const Status dropped = segments_->DropTable(key);
+    if (!dropped.ok()) {
+      GSN_LOG(kWarn, "container")
+          << options_.node_id << ": segment drop for '" << sensor_name
+          << "' failed: " << dropped;
+    }
+  }
   // Retire the sensor's metric series; its handles die with `deployment`.
   metrics_->RemoveWithLabel("sensor", deployment.sensor->name());
   if (manifest_ != nullptr && !recovering_ && record_undeploy) {
@@ -812,6 +880,29 @@ Status Container::Checkpoint() {
     for (auto& [key, deployment] : deployments_) {
       live.emplace_back(key, deployment.sensor->spec().ToXml());
       if (deployment.log == nullptr) continue;
+      // Tiered history: rows the retention window evicted since the
+      // last checkpoint move into an immutable columnar segment BEFORE
+      // the WAL rewrite drops them from the log. Durability order is
+      // segment fsync -> catalog journal fsync -> WAL rewrite, so a
+      // crash at any point leaves every row in at least one tier (the
+      // deploy-time seam dedup handles "in both"). If the flush fails
+      // the rows go back to pending and the rewrite is skipped — the
+      // uncompacted WAL remains their durable home.
+      if (segments_ != nullptr && deployment.table->history_capture_enabled()) {
+        Relation::RowList evicted = deployment.table->TakeEvicted();
+        if (!evicted.empty()) {
+          Result<storage::columnar::SegmentMeta> flushed = segments_->Flush(
+              key, deployment.table->row_schema(), evicted);
+          if (!flushed.ok()) {
+            deployment.table->RestoreEvicted(std::move(evicted));
+            if (first_error.ok()) first_error = flushed.status();
+            GSN_LOG(kWarn, "container")
+                << options_.node_id << ": '" << deployment.sensor->name()
+                << "' segment flush failed: " << flushed.status();
+            continue;
+          }
+        }
+      }
       // Rewrite the WAL to exactly the rows still inside the table's
       // retention window: recovery replays O(window), not O(history).
       // Pipeline appends (OnSensorBatch) also run under mu_, so nobody
@@ -1596,6 +1687,18 @@ Result<Relation> Container::CatalogResolver::GetTable(
     return rel;
   }
   return container_->tables_.GetTable(name);
+}
+
+Result<Relation> Container::CatalogResolver::GetTableFiltered(
+    const std::string& name, const sql::ScanPredicate& predicate,
+    sql::ScanStats* stats) const {
+  const std::string key = StrToLower(name);
+  // The gsn_* virtual tables are synthesized per query; no cold tier
+  // to prune, so the predicate is left to the WHERE evaluation.
+  if (key == "gsn_sensors" || key == "gsn_wrappers" || key == "gsn_directory") {
+    return GetTable(name);
+  }
+  return container_->tables_.GetTableFiltered(name, predicate, stats);
 }
 
 std::vector<Container::TopologyEdge> Container::Topology() {

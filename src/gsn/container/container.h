@@ -21,6 +21,7 @@
 #include "gsn/network/replay_buffer.h"
 #include "gsn/network/retry_policy.h"
 #include "gsn/network/simulator.h"
+#include "gsn/storage/columnar/catalog.h"
 #include "gsn/storage/persistence_log.h"
 #include "gsn/storage/table.h"
 #include "gsn/util/thread_pool.h"
@@ -110,6 +111,21 @@ class Container : public network::NetworkNode {
       /// checkpoints (the `checkpoint` management command still works).
       Timestamp checkpoint_interval = 30 * kMicrosPerSecond;
     } supervision;
+    /// Knobs of the tiered columnar history (docs/STORAGE.md). With a
+    /// durability root (data_dir or storage_dir) present, checkpoints
+    /// flush rows falling out of each permanent sensor's retention
+    /// window into immutable columnar segments instead of discarding
+    /// them; SQL then scans segments + live window as one relation.
+    struct Columnar {
+      /// False keeps the pre-tiered behaviour: evicted rows are gone.
+      bool enabled = true;
+      /// Rows per column-chunk group inside a segment — the zone-map
+      /// pruning granularity.
+      size_t rows_per_chunk = 1024;
+      /// Bound on rows parked per table between a window eviction and
+      /// the checkpoint flush; oldest dropped (and counted) beyond it.
+      size_t max_pending_rows = 1 << 18;
+    } columnar;
   };
 
   explicit Container(Options options);
@@ -193,6 +209,11 @@ class Container : public network::NetworkNode {
 
   /// The crash-recovery manifest (null when data_dir is empty).
   ContainerManifest* manifest() const { return manifest_.get(); }
+  /// The tiered columnar history catalog (docs/STORAGE.md); null when
+  /// columnar.enabled is false or no durability root is configured.
+  storage::columnar::SegmentCatalog* segment_catalog() const {
+    return segments_.get();
+  }
   /// Manifest events replayed by the constructor's recovery pass.
   size_t recovered_records() const { return recovered_records_; }
   /// Sensors the recovery pass failed to redeploy (kept in the
@@ -416,6 +437,12 @@ class Container : public network::NetworkNode {
    public:
     explicit CatalogResolver(Container* container) : container_(container) {}
     Result<Relation> GetTable(const std::string& name) const override;
+    /// Sensor output tables get the tiered scan (segments + pending +
+    /// live, zone-map pruned); the gsn_* virtual tables are built fresh
+    /// per query and ignore the predicate.
+    Result<Relation> GetTableFiltered(const std::string& name,
+                                      const sql::ScanPredicate& predicate,
+                                      sql::ScanStats* stats) const override;
 
    private:
     Container* container_;
@@ -473,6 +500,10 @@ class Container : public network::NetworkNode {
 
   // -- Durability & supervision (docs/DURABILITY.md) ------------------------
   std::unique_ptr<ContainerManifest> manifest_;  // null without data_dir
+  /// Tiered columnar history (docs/STORAGE.md); null when disabled or
+  /// no durability root exists. Declared before recovery runs so
+  /// redeployed sensors can dedup pending rows against it.
+  std::unique_ptr<storage::columnar::SegmentCatalog> segments_;
   std::unique_ptr<QuarantineStore> quarantine_;
   /// True while the constructor replays the manifest: redeploys must
   /// not append fresh manifest events.

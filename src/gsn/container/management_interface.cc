@@ -61,6 +61,8 @@ ManagementInterface::ManagementInterface(Container* container)
       [this](const std::string& a) { return CmdTraces(a); });
   add("peers", "", "federation peer health: circuit state and last-seen",
       [this](const std::string&) { return CmdPeers(); });
+  add("segments", "", "columnar history tier: per-segment stats and totals",
+      [this](const std::string&) { return CmdSegments(); });
   add("health", "", "liveness/readiness with not-ready reasons",
       [this](const std::string&) { return CmdHealth(); });
   add("quarantine", "[requeue <id> | clear]",
@@ -328,6 +330,27 @@ std::string ManagementInterface::CmdPeers() const {
     out += peer.node_id + "  circuit=" + peer.circuit +
            "  last-seen=" + std::to_string(peer.last_seen) + "us" +
            "  opened=" + std::to_string(peer.circuit_opened_total) + "\n";
+  }
+  return out;
+}
+
+std::string ManagementInterface::CmdSegments() const {
+  const storage::columnar::SegmentCatalog* catalog =
+      container_->segment_catalog();
+  if (catalog == nullptr) {
+    return "(columnar history disabled: no durability root)\n";
+  }
+  const std::vector<storage::columnar::SegmentMeta> segments = catalog->List();
+  std::string out = std::to_string(segments.size()) + " segment(s), " +
+                    std::to_string(catalog->total_bytes()) + " bytes under " +
+                    catalog->dir() + "\n";
+  for (const storage::columnar::SegmentMeta& meta : segments) {
+    out += meta.table + "/seg-" + std::to_string(meta.id) + "  rows=" +
+           std::to_string(meta.row_count) + "  chunks=" +
+           std::to_string(meta.chunk_count) + "  bytes=" +
+           std::to_string(meta.bytes) + "  timed=[" +
+           std::to_string(meta.min_timed) + "," +
+           std::to_string(meta.max_timed) + "]\n";
   }
   return out;
 }

@@ -24,6 +24,8 @@ namespace gsn::container {
 ///   metrics / slowlog / trace / traces
 ///   peers                         federation peer health (circuit
 ///                                 state, last-seen, times opened)
+///   segments                      columnar history tier (per-segment
+///                                 rows, chunks, bytes, time range)
 ///   health                        liveness/readiness + reasons
 ///   quarantine [requeue <id>|clear]  dead-letter store of poison tuples
 ///   checkpoint                    compact manifest + WALs now
@@ -75,6 +77,7 @@ class ManagementInterface {
   std::string CmdTrace(const std::string& args);
   std::string CmdTraces(const std::string& args) const;
   std::string CmdPeers() const;
+  std::string CmdSegments() const;
   std::string CmdHealth() const;
   std::string CmdQuarantine(const std::string& args);
   std::string CmdCheckpoint();

@@ -58,6 +58,10 @@ WebInterface::WebInterface(Container* container)
   add("GET", "/peers", false, [this](const HttpRequest&, const std::string&) {
     return HandlePeers();
   });
+  add("GET", "/segments", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleSegments();
+      });
   add("GET", "/healthz", false,
       [this](const HttpRequest&, const std::string&) {
         return HandleHealthz();
@@ -331,6 +335,34 @@ HttpResponse WebInterface::HandlePeers() {
             std::to_string(peer.circuit_opened_total) + "}";
   }
   json += "]";
+  return HttpResponse::Json(std::move(json));
+}
+
+HttpResponse WebInterface::HandleSegments() {
+  const storage::columnar::SegmentCatalog* catalog =
+      container_->segment_catalog();
+  std::string json = "{\"enabled\":";
+  json += catalog != nullptr ? "true" : "false";
+  json += ",\"segment_count\":";
+  json += std::to_string(catalog != nullptr ? catalog->segment_count() : 0);
+  json += ",\"total_bytes\":";
+  json += std::to_string(catalog != nullptr ? catalog->total_bytes() : 0);
+  json += ",\"segments\":[";
+  bool first = true;
+  if (catalog != nullptr) {
+    for (const storage::columnar::SegmentMeta& meta : catalog->List()) {
+      if (!first) json += ",";
+      first = false;
+      json += "{\"table\":" + JsonEscape(meta.table) +
+              ",\"id\":" + std::to_string(meta.id) +
+              ",\"rows\":" + std::to_string(meta.row_count) +
+              ",\"chunks\":" + std::to_string(meta.chunk_count) +
+              ",\"bytes\":" + std::to_string(meta.bytes) +
+              ",\"min_timed\":" + std::to_string(meta.min_timed) +
+              ",\"max_timed\":" + std::to_string(meta.max_timed) + "}";
+    }
+  }
+  json += "]}";
   return HttpResponse::Json(std::move(json));
 }
 

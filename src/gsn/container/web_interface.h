@@ -33,6 +33,9 @@ namespace gsn::container {
 ///                                  (?id=<32-hex trace id> filters one)
 ///   GET  /api/v1/peers             federation peer health: circuit
 ///                                  state, last-seen, times opened
+///   GET  /api/v1/segments          columnar history tier: per-segment
+///                                  table/id/rows/chunks/bytes/time
+///                                  range, plus catalog totals
 ///   GET  /api/v1/healthz           liveness probe (200 while the
 ///                                  process serves requests)
 ///   GET  /api/v1/readyz            readiness probe: 200 when healthy,
@@ -95,6 +98,7 @@ class WebInterface {
   network::HttpResponse HandleMetrics();
   network::HttpResponse HandleTraces(const network::HttpRequest& request);
   network::HttpResponse HandlePeers();
+  network::HttpResponse HandleSegments();
   network::HttpResponse HandleHealthz();
   network::HttpResponse HandleReadyz();
   network::HttpResponse HandleQuarantine();

@@ -890,7 +890,8 @@ Schema QualifySchema(const Schema& schema, const std::string& alias) {
 }
 
 Result<Relation> EvalTableRef(const TableResolver* resolver,
-                              const TableRef& ref, const RowBinding* outer);
+                              const TableRef& ref, const RowBinding* outer,
+                              const Expr* where, bool sole_table);
 
 // -- Adaptive join machinery ------------------------------------------------
 
@@ -1047,11 +1048,15 @@ Result<Relation> HashJoin(const Evaluator& eval, const TableRef& ref,
 /// over large inputs hash, everything else nested-loops (the adaptive
 /// execution plan of paper §4).
 Result<Relation> EvalJoin(const TableResolver* resolver, const TableRef& ref,
-                          const RowBinding* outer) {
-  GSN_ASSIGN_OR_RETURN(Relation left,
-                       EvalTableRef(resolver, *ref.left, outer));
-  GSN_ASSIGN_OR_RETURN(Relation right,
-                       EvalTableRef(resolver, *ref.right, outer));
+                          const RowBinding* outer, const Expr* where) {
+  // Leaf scans under a join only push qualifier-matched bounds: an
+  // unqualified WHERE column could bind to either side.
+  GSN_ASSIGN_OR_RETURN(
+      Relation left,
+      EvalTableRef(resolver, *ref.left, outer, where, /*sole_table=*/false));
+  GSN_ASSIGN_OR_RETURN(
+      Relation right,
+      EvalTableRef(resolver, *ref.right, outer, where, /*sole_table=*/false));
   Schema combined;
   for (const Field& f : left.schema().fields()) {
     combined.AddField(f.name, f.type);
@@ -1131,7 +1136,8 @@ Result<Relation> EvalJoin(const TableResolver* resolver, const TableRef& ref,
 }
 
 Result<Relation> EvalTableRef(const TableResolver* resolver,
-                              const TableRef& ref, const RowBinding* outer) {
+                              const TableRef& ref, const RowBinding* outer,
+                              const Expr* where, bool sole_table) {
   switch (ref.kind) {
     case TableRef::Kind::kTable: {
       if (resolver == nullptr) {
@@ -1140,15 +1146,32 @@ Result<Relation> EvalTableRef(const TableResolver* resolver,
       }
       const int64_t scan_start =
           t_analyze != nullptr ? AnalyzeNowMicros() : 0;
-      GSN_ASSIGN_OR_RETURN(Relation rel, resolver->GetTable(ref.table_name));
       const std::string alias =
           ref.alias.empty() ? StrToLower(ref.table_name) : ref.alias;
+      // Bounds from the WHERE clause flow into the storage tier, which
+      // prunes segment chunks by zone map; the full WHERE still runs
+      // over whatever comes back.
+      const ScanPredicate predicate =
+          ExtractScanPredicate(where, alias, sole_table);
+      ScanStats scan_stats;
+      GSN_ASSIGN_OR_RETURN(
+          Relation rel,
+          resolver->GetTableFiltered(ref.table_name, predicate, &scan_stats));
       Relation scanned(QualifySchema(rel.schema(), alias),
                        std::move(rel.mutable_shared_rows()));
       if (t_analyze != nullptr) {
+        std::string note;
+        if (scan_stats.FromSegments()) {
+          note = "segments=" +
+                 std::to_string(scan_stats.segments_scanned) + "/" +
+                 std::to_string(scan_stats.segments_total) +
+                 " chunks_pruned=" +
+                 std::to_string(scan_stats.chunks_pruned) + "/" +
+                 std::to_string(scan_stats.chunks_total);
+        }
         t_analyze->Add(&ref, AnalyzeCollector::Op::kScan,
                        static_cast<int64_t>(scanned.NumRows()),
-                       AnalyzeNowMicros() - scan_start);
+                       AnalyzeNowMicros() - scan_start, note);
       }
       return scanned;
     }
@@ -1167,7 +1190,7 @@ Result<Relation> EvalTableRef(const TableResolver* resolver,
       return derived;
     }
     case TableRef::Kind::kJoin:
-      return EvalJoin(resolver, ref, outer);
+      return EvalJoin(resolver, ref, outer, where);
   }
   return Status::Internal("unhandled table ref kind");
 }
@@ -1181,11 +1204,17 @@ Result<Relation> EvalFrom(const TableResolver* resolver,
     rel.AppendRow({});
     return rel;
   }
+  // Unqualified WHERE columns are only pushable when the FROM clause
+  // has exactly one base table; otherwise qualified bounds still flow.
+  const bool sole_table =
+      stmt.from.size() == 1 && stmt.from[0]->kind == TableRef::Kind::kTable;
   GSN_ASSIGN_OR_RETURN(Relation acc,
-                       EvalTableRef(resolver, *stmt.from[0], outer));
+                       EvalTableRef(resolver, *stmt.from[0], outer,
+                                    stmt.where.get(), sole_table));
   for (size_t i = 1; i < stmt.from.size(); ++i) {
     GSN_ASSIGN_OR_RETURN(Relation next,
-                         EvalTableRef(resolver, *stmt.from[i], outer));
+                         EvalTableRef(resolver, *stmt.from[i], outer,
+                                      stmt.where.get(), /*sole_table=*/false));
     Schema combined;
     for (const Field& f : acc.schema().fields()) {
       combined.AddField(f.name, f.type);

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "gsn/sql/ast.h"
+#include "gsn/sql/scan_predicate.h"
 #include "gsn/types/schema.h"
 #include "gsn/util/result.h"
 
@@ -22,6 +23,19 @@ class TableResolver {
   virtual ~TableResolver() = default;
   /// Returns a snapshot of the named table (case-insensitive name).
   virtual Result<Relation> GetTable(const std::string& name) const = 0;
+
+  /// Snapshot with predicate pushdown: resolvers backed by tiered
+  /// storage may use `predicate` to zone-map-prune column chunks and
+  /// report what they skipped in `stats` (may be null). The predicate
+  /// is advisory — returning rows that fail it is fine, the executor
+  /// re-applies the full WHERE. Defaults to an unpruned GetTable.
+  virtual Result<Relation> GetTableFiltered(const std::string& name,
+                                            const ScanPredicate& predicate,
+                                            ScanStats* stats) const {
+    (void)predicate;
+    (void)stats;
+    return GetTable(name);
+  }
 };
 
 /// Simple in-memory resolver backed by a name → Relation map.

@@ -259,10 +259,12 @@ void Indent(std::string* out, int depth) {
 
 /// ` (rows=N time=Xus loops=K)` annotation for one operator, empty when
 /// not analyzing. `with_time` is false for operators whose stats are
-/// pure counts (filter, aggregate).
+/// pure counts (filter, aggregate). `with_note` appends the operator's
+/// runtime note (segment/prune counters for scans); joins render their
+/// note — the algorithm picked — as the node name instead.
 std::string AnalyzeSuffix(const AnalyzeCollector* analyze, const void* node,
                           AnalyzeCollector::Op op, const char* rows_label,
-                          bool with_time) {
+                          bool with_time, bool with_note = false) {
   if (analyze == nullptr) return "";
   const AnalyzeCollector::OperatorStats* stats = analyze->Find(node, op);
   if (stats == nullptr) return " (never executed)";
@@ -272,6 +274,7 @@ std::string AnalyzeSuffix(const AnalyzeCollector* analyze, const void* node,
   if (stats->invocations > 1) {
     out += " loops=" + std::to_string(stats->invocations);
   }
+  if (with_note && !stats->note.empty()) out += " " + stats->note;
   return out + ")";
 }
 
@@ -373,7 +376,7 @@ void ExplainTableRef(const TableRef& ref, int depth,
       *out += "Scan " + ref.table_name;
       if (!ref.alias.empty()) *out += " AS " + ref.alias;
       *out += AnalyzeSuffix(analyze, &ref, AnalyzeCollector::Op::kScan,
-                            "rows", /*with_time=*/true);
+                            "rows", /*with_time=*/true, /*with_note=*/true);
       *out += "\n";
       break;
     case TableRef::Kind::kSubquery:

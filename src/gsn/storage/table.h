@@ -14,6 +14,10 @@
 
 namespace gsn::storage {
 
+namespace columnar {
+class SegmentCatalog;
+}  // namespace columnar
+
 /// A windowed stream table: the storage layer's unit of persistence
 /// for one virtual sensor's output (paper §4: "the storage layer ...
 /// is in charge of providing and managing persistent storage for data
@@ -57,6 +61,40 @@ class Table {
   /// compaction of the sensor's WAL.
   std::vector<StreamElement> SnapshotElements() const;
 
+  // -- Tiered history capture ----------------------------------------------
+  // With capture enabled, rows leaving the retention window are parked
+  // in a bounded pending queue instead of being dropped; the container
+  // checkpoint takes them (TakeEvicted) and flushes them into columnar
+  // segments. Pending rows stay query-visible through ScanUnified so
+  // history never blinks out between eviction and flush.
+
+  /// Starts capturing evicted rows, keeping at most `max_pending_rows`
+  /// (oldest dropped first when the bound is hit; dropped rows are
+  /// counted, not silently lost).
+  void EnableHistoryCapture(size_t max_pending_rows);
+  bool history_capture_enabled() const;
+
+  /// Removes and returns the pending evicted rows (oldest first).
+  Relation::RowList TakeEvicted();
+  /// Returns rows taken by TakeEvicted after a failed flush; they go
+  /// back in front of anything evicted meanwhile.
+  void RestoreEvicted(Relation::RowList rows);
+  /// Copy of the pending evicted rows (oldest first).
+  Relation::RowList PendingEvictedRows() const;
+  /// Drops the first `n` pending rows (recovery dedup against already
+  /// flushed segments).
+  void DropPendingPrefix(size_t n);
+  /// Evicted rows dropped because the pending bound was hit.
+  uint64_t pending_dropped() const;
+
+  /// One relation over all three tiers, oldest first: `catalog`'s
+  /// segments for this table (zone-map pruned by `predicate`), then
+  /// the pending evicted rows, then the live window. `catalog` may be
+  /// null and `stats` may be null.
+  Relation ScanUnified(const columnar::SegmentCatalog* catalog,
+                       const sql::ScanPredicate& predicate,
+                       sql::ScanStats* stats) const;
+
   size_t NumRows() const;
   /// Total payload bytes currently held (for resource accounting).
   size_t ApproximateBytes() const;
@@ -83,6 +121,11 @@ class Table {
   /// True while rows_ is non-decreasing in timed; gates the
   /// binary-search Scan(now) path.
   bool sorted_ = true;
+
+  bool capture_evicted_ = false;
+  size_t max_pending_rows_ = 0;
+  std::deque<Relation::SharedRow> pending_evicted_;
+  uint64_t pending_dropped_ = 0;
 };
 
 /// Catalog of tables inside one GSN container; implements TableResolver
@@ -103,12 +146,22 @@ class TableManager : public sql::TableResolver {
   Result<Table*> GetTableHandle(const std::string& name) const;
   std::vector<std::string> ListTables() const;
 
+  /// Attaches the columnar history tier: from here on, resolver scans
+  /// serve segments + pending evicted rows + the live window as one
+  /// relation. The catalog must outlive this manager.
+  void AttachHistory(const columnar::SegmentCatalog* catalog);
+  const columnar::SegmentCatalog* history() const;
+
   // sql::TableResolver:
   Result<Relation> GetTable(const std::string& name) const override;
+  Result<Relation> GetTableFiltered(const std::string& name,
+                                    const sql::ScanPredicate& predicate,
+                                    sql::ScanStats* stats) const override;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_;  // lowercased name
+  const columnar::SegmentCatalog* history_ = nullptr;
 };
 
 }  // namespace gsn::storage

@@ -7,18 +7,22 @@ namespace gsn::storage {
 void WindowBuffer::Add(StreamElement element) {
   std::lock_guard<std::mutex> lock(mu_);
   const Timestamp now = element.timed;
-  if (!entries_.empty() && element.timed < entries_.back().timed) {
-    sorted_ = false;
-  }
   Entry entry;
   entry.timed = element.timed;
   entry.trace = element.trace;
   entry.row = Relation::RowFromElement(element);
-  entries_.push_back(std::move(entry));
+  if (entries_.empty() || entry.timed >= entries_.back().timed) {
+    // In-order arrival: O(1) append.
+    entries_.push_back(std::move(entry));
+  } else {
+    // Out-of-order arrival: binary-search the slot after any equal
+    // timestamps (stable — ties keep arrival order) and shift once.
+    auto at = std::upper_bound(
+        entries_.begin(), entries_.end(), entry.timed,
+        [](Timestamp t, const Entry& e) { return t < e.timed; });
+    entries_.insert(at, std::move(entry));
+  }
   EvictLocked(now);
-  // Eviction runs after the push, so "drained" means only the element
-  // just admitted survives — a one-element buffer is trivially sorted.
-  if (entries_.size() <= 1) sorted_ = true;
 }
 
 void WindowBuffer::EvictLocked(Timestamp now) {
@@ -42,19 +46,13 @@ Relation::RowList WindowBuffer::SnapshotRowsLocked(Timestamp now) const {
     return out;
   }
   const Timestamp cutoff = now - spec_.duration_micros;
-  if (sorted_) {
-    // Timestamps are non-decreasing: the live window is the suffix of
-    // entries with timed > cutoff, found by binary search.
-    auto first = std::partition_point(
-        entries_.begin(), entries_.end(),
-        [cutoff](const Entry& e) { return e.timed <= cutoff; });
-    out.reserve(static_cast<size_t>(entries_.end() - first));
-    for (auto it = first; it != entries_.end(); ++it) out.push_back(it->row);
-    return out;
-  }
-  for (const Entry& e : entries_) {
-    if (e.timed > cutoff) out.push_back(e.row);
-  }
+  // Entries are kept timestamp-ordered by Add, so the live window is
+  // always the suffix with timed > cutoff, found by binary search.
+  auto first = std::partition_point(
+      entries_.begin(), entries_.end(),
+      [cutoff](const Entry& e) { return e.timed <= cutoff; });
+  out.reserve(static_cast<size_t>(entries_.end() - first));
+  for (auto it = first; it != entries_.end(); ++it) out.push_back(it->row);
   return out;
 }
 
@@ -94,7 +92,6 @@ size_t WindowBuffer::size() const {
 void WindowBuffer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
-  sorted_ = true;
 }
 
 }  // namespace gsn::storage

@@ -14,7 +14,8 @@ namespace gsn::storage {
 /// mechanism which allows the user to define count- or time-based
 /// windows on data streams").
 ///
-/// * Count windows retain the most recent N elements.
+/// * Count windows retain the N newest elements by timestamp (equal
+///   timestamps keep arrival order).
 /// * Time windows retain elements with `timed > now - duration`; expiry
 ///   is evaluated lazily against the timestamp supplied to Snapshot()
 ///   (and eagerly on Add, using the new element's timestamp), so the
@@ -24,10 +25,12 @@ namespace gsn::storage {
 /// ([timed, values...]); SnapshotRelation() then hands the SQL layer a
 /// Relation whose rows are ref-count bumps of the buffered ones, so a
 /// snapshot costs O(window) pointer copies instead of a deep copy of
-/// every Value. While elements arrive in non-decreasing timestamp
-/// order (the common case — sources admit in arrival order) the time
-/// window boundary is found by binary search; an out-of-order Add
-/// downgrades snapshots to a linear filter until the buffer drains.
+/// every Value. The buffer keeps its entries timestamp-ordered
+/// incrementally: in-order Adds (the common case — sources admit in
+/// arrival order) append in O(1), out-of-order Adds binary-search
+/// their slot and pay one bounded shift, and every snapshot finds the
+/// time-window boundary by binary search. Equal timestamps preserve
+/// arrival order (stable insert).
 ///
 /// Thread-safe.
 class WindowBuffer {
@@ -73,10 +76,9 @@ class WindowBuffer {
 
   WindowSpec spec_;
   mutable std::mutex mu_;
+  /// Always non-decreasing in timed (maintained on Add), so the
+  /// binary-search snapshot path never degrades.
   std::deque<Entry> entries_;
-  /// True while entries_ is non-decreasing in timed; gates the
-  /// binary-search snapshot path.
-  bool sorted_ = true;
 };
 
 }  // namespace gsn::storage

@@ -69,23 +69,22 @@ TEST(WindowBufferTest, BoundaryIsExclusiveAtCutoff) {
   EXPECT_EQ(buf.Snapshot(109).size(), 1u);
 }
 
-TEST(WindowBufferTest, OutOfOrderAddUsesLinearScanUntilDrained) {
+TEST(WindowBufferTest, OutOfOrderAddInsertsInTimestampOrder) {
   WindowSpec spec;
   spec.kind = WindowSpec::Kind::kTime;
   spec.duration_micros = 10 * kMicrosPerSecond;
   WindowBuffer buf(spec);
   buf.Add(Elem(11 * kMicrosPerSecond, 1));
   buf.Add(Elem(20 * kMicrosPerSecond, 2));
-  // A late arrival lands behind the newest entry: the deque is no
-  // longer sorted by timestamp, so snapshots must fall back to the
-  // linear filter.
+  // A late arrival is binary-search inserted into its timestamp slot,
+  // so the buffer stays sorted: [11s, 12s, 20s].
   buf.Add(Elem(12 * kMicrosPerSecond, 3));
   ASSERT_EQ(buf.size(), 3u);
 
   // At t=22s the window covers (12s, 22s]: only the 20s element is
-  // live. This is the adversarial layout for the binary-search cut —
-  // an expired entry (12s) sits *after* a live one (20s), so a
-  // partition-point suffix would wrongly include it.
+  // live. Before ordered insert this layout was adversarial (an expired
+  // entry sat after a live one); now the binary-search cut is always
+  // valid.
   auto snap = buf.Snapshot(22 * kMicrosPerSecond);
   ASSERT_EQ(snap.size(), 1u);
   EXPECT_EQ(snap[0].values[0], Value::Int(2));
@@ -93,9 +92,7 @@ TEST(WindowBufferTest, OutOfOrderAddUsesLinearScanUntilDrained) {
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ((*rows[0])[1], Value::Int(2));
 
-  // A much newer arrival expires everything older on admission; with
-  // at most one element left the buffer is sorted again and the
-  // binary-search path resumes.
+  // A much newer arrival expires everything older on admission.
   buf.Add(Elem(40 * kMicrosPerSecond, 4));
   ASSERT_EQ(buf.size(), 1u);
   buf.Add(Elem(41 * kMicrosPerSecond, 5));
@@ -103,6 +100,32 @@ TEST(WindowBufferTest, OutOfOrderAddUsesLinearScanUntilDrained) {
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ((*rows[0])[1], Value::Int(4));
   EXPECT_EQ((*rows[1])[1], Value::Int(5));
+}
+
+TEST(WindowBufferTest, OutOfOrderAddKeepsSnapshotsSortedAndStable) {
+  // Regression for the ordered-insert Add: heavy out-of-order arrival
+  // must leave every snapshot non-decreasing in timed, with equal
+  // timestamps preserving arrival order (stable insert).
+  WindowSpec spec;
+  spec.kind = WindowSpec::Kind::kTime;
+  spec.duration_micros = 1000 * kMicrosPerSecond;
+  WindowBuffer buf(spec);
+  const std::vector<Timestamp> arrivals = {50, 10, 40, 10, 30, 20, 40,
+                                           10, 35, 5,  45, 20, 50};
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    buf.Add(Elem(arrivals[i] * kMicrosPerSecond, static_cast<int>(i)));
+  }
+  auto rows = buf.SnapshotRows(60 * kMicrosPerSecond);
+  ASSERT_EQ(rows.size(), arrivals.size());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const Timestamp prev = (*rows[i - 1])[0].timestamp_value();
+    const Timestamp cur = (*rows[i])[0].timestamp_value();
+    EXPECT_LE(prev, cur) << "snapshot out of order at " << i;
+    if (prev == cur) {
+      // Ties keep arrival order: the payload (arrival index) ascends.
+      EXPECT_LT((*rows[i - 1])[1].int_value(), (*rows[i])[1].int_value());
+    }
+  }
 }
 
 TEST(WindowBufferTest, ClearEmpties) {

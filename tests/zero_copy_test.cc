@@ -118,9 +118,10 @@ TEST(WindowBufferTime, ElementExactlyAtCutoffIsExcluded) {
 }
 
 TEST(WindowBufferTime, OutOfOrderMatchesLinearReference) {
-  // Out-of-order arrivals force the linear-filter path; the result must
-  // still match a brute-force filter of everything added, and must
-  // agree with the binary-search path over the same (sorted) elements.
+  // Out-of-order arrivals are binary-search inserted into their
+  // timestamp slots; the snapshot must still match a brute-force filter
+  // of everything added, and must agree with a buffer fed the same
+  // elements already sorted.
   WindowSpec spec;
   spec.kind = WindowSpec::Kind::kTime;
   spec.duration_micros = 500;
@@ -143,13 +144,12 @@ TEST(WindowBufferTime, OutOfOrderMatchesLinearReference) {
     Relation::RowList b = sorted.SnapshotRows(now);
     ASSERT_EQ(a.size(), expected.size()) << "now=" << now;
     ASSERT_EQ(b.size(), expected.size()) << "now=" << now;
-    // The unsorted buffer keeps arrival order; compare as sets of
-    // timestamps against the sorted buffer's (ordered) contents.
+    // Ordered insert means the shuffled buffer's snapshot is already
+    // timestamp-sorted — identical to the pre-sorted buffer's.
     std::vector<Timestamp> got_a;
     for (const Relation::SharedRow& row : a) {
       got_a.push_back((*row)[0].timestamp_value());
     }
-    std::sort(got_a.begin(), got_a.end());
     EXPECT_EQ(got_a, expected) << "now=" << now;
     for (size_t i = 0; i < b.size(); ++i) {
       EXPECT_EQ((*b[i])[0].timestamp_value(), expected[i]) << "now=" << now;
@@ -158,9 +158,9 @@ TEST(WindowBufferTime, OutOfOrderMatchesLinearReference) {
 }
 
 TEST(WindowBufferTime, SortedPathRestoredAfterDrain) {
-  // Once an out-of-order element expires away and the buffer drains,
-  // the sorted flag resets and the binary-search path resumes; the
-  // boundary semantics stay identical either way.
+  // Boundary semantics survive an out-of-order insert followed by a
+  // full drain: the buffer is sorted throughout, so the binary-search
+  // cut stays exact at every step.
   WindowSpec spec;
   spec.kind = WindowSpec::Kind::kTime;
   spec.duration_micros = 100;
