@@ -62,6 +62,11 @@ struct CellResult {
   double mean_ms = 0;
   double p95_ms = 0;
   long elements = 0;
+  /// Scheduling-profiler columns (docs/TELEMETRY.md): wall time spent
+  /// blocked on instrumented locks / queued at admission, as a share
+  /// of total tick time. The evidence base for ROADMAP item 1.
+  double lock_wait_share = 0;
+  double queue_wait_share = 0;
 };
 
 /// Runs one (interval, SES) cell: `devices` sensors on one container
@@ -109,6 +114,20 @@ CellResult RunCell(int interval_ms, int payload_bytes, int devices,
                                        : 0.0;
   result.elements =
       static_cast<long>(registry.SumCounters("gsn_sensor_tuples_total"));
+  // Contention profile of the cell: lock-wait and queue-wait micros
+  // over total tick micros (all three live in the cell's registry).
+  const gsn::telemetry::Histogram::Snapshot ticks =
+      registry.SumHistograms("gsn_tick_micros");
+  if (ticks.sum > 0) {
+    result.lock_wait_share =
+        static_cast<double>(
+            registry.SumHistograms("gsn_lock_wait_micros").sum) /
+        static_cast<double>(ticks.sum);
+    result.queue_wait_share =
+        static_cast<double>(
+            registry.SumHistograms("gsn_queue_wait_micros").sum) /
+        static_cast<double>(ticks.sum);
+  }
   return result;
 }
 
@@ -174,6 +193,24 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  std::printf("#\n# lock-wait share per cell (lock-wait micros / tick "
+              "micros, contention profiler):\n");
+  for (size_t r = 0; r < grid.size(); ++r) {
+    std::printf("%-14d", intervals_ms[r]);
+    for (const CellResult& cell : grid[r]) {
+      std::printf("%12.4f", cell.lock_wait_share);
+    }
+    std::printf("\n");
+  }
+  std::printf("#\n# queue-wait share per cell (admission queue-wait micros "
+              "/ tick micros):\n");
+  for (size_t r = 0; r < grid.size(); ++r) {
+    std::printf("%-14d", intervals_ms[r]);
+    for (const CellResult& cell : grid[r]) {
+      std::printf("%12.4f", cell.queue_wait_share);
+    }
+    std::printf("\n");
+  }
   std::filesystem::remove_all(storage_dir);
 
   if (json) {
@@ -190,10 +227,13 @@ int main(int argc, char** argv) {
       for (size_t c = 0; c < grid[r].size(); ++c) {
         std::fprintf(f,
                      "%s    {\"interval_ms\": %d, \"ses_bytes\": %d, "
-                     "\"mean_ms\": %.4f, \"p95_ms\": %.4f, \"elements\": %ld}",
+                     "\"mean_ms\": %.4f, \"p95_ms\": %.4f, \"elements\": %ld, "
+                     "\"lock_wait_share\": %.6f, "
+                     "\"queue_wait_share\": %.6f}",
                      first ? "" : ",\n", intervals_ms[r], element_sizes[c],
                      grid[r][c].mean_ms, grid[r][c].p95_ms,
-                     grid[r][c].elements);
+                     grid[r][c].elements, grid[r][c].lock_wait_share,
+                     grid[r][c].queue_wait_share);
         first = false;
       }
     }

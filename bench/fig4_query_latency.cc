@@ -111,14 +111,22 @@ int main(int argc, char** argv) {
   std::printf("# stored history: 30 min of 32 KB elements at 1 element/s\n");
   std::printf("# trace columns: the same client batch with head sampling "
               "off / 1%% / 100%%\n");
-  std::printf("%-10s %14s %14s %14s %16s %12s %8s\n", "clients",
+  std::printf("%-10s %14s %14s %14s %16s %12s %14s %8s\n", "clients",
               "trace_off_ms", "trace_1pct_ms", "trace_100_ms",
-              "per_client_ms", "p95_ms", "burst");
+              "per_client_ms", "p95_ms", "lock_wait_ms", "burst");
 
   struct PointResult {
     int clients = 0;
     double totals_ms[3] = {0.0, 0.0, 0.0};
     double p95_ms = 0.0;
+    /// Contention-profiler columns (docs/TELEMETRY.md): wall time the
+    /// untraced batch spent blocked on the instrumented query-cache
+    /// lock / queued at admission. This bench drives one thread with
+    /// no stream sources, so both stay ~0 — the columns exist so the
+    /// artifact format matches fig3 and any future concurrent variant
+    /// reports real waits.
+    double lock_wait_ms = 0.0;
+    double queue_wait_ms = 0.0;
     bool burst = false;
   };
   std::vector<PointResult> points;
@@ -164,6 +172,8 @@ int main(int argc, char** argv) {
     constexpr double kRates[] = {0.0, 0.01, 1.0};
     double totals_ms[3] = {0.0, 0.0, 0.0};
     double p95_ms = 0.0;
+    double lock_wait_ms = 0.0;
+    double queue_wait_ms = 0.0;
     for (int r = 0; r < 3; ++r) {
       gsn::telemetry::MetricRegistry registry;
       gsn::container::QueryManager query_manager(&tables, &registry);
@@ -187,17 +197,31 @@ int main(int argc, char** argv) {
       const gsn::telemetry::Histogram::Snapshot exec =
           query_manager.exec_histogram();
       totals_ms[r] = static_cast<double>(parse.sum + exec.sum) / 1000.0;
-      // The figure's latency series stays the untraced baseline.
-      if (r == 0) p95_ms = exec.Quantile(0.95) / 1000.0;
+      // The figure's latency series stays the untraced baseline; so do
+      // the contention columns.
+      if (r == 0) {
+        p95_ms = exec.Quantile(0.95) / 1000.0;
+        lock_wait_ms =
+            static_cast<double>(
+                registry.SumHistograms("gsn_lock_wait_micros").sum) /
+            1000.0;
+        queue_wait_ms =
+            static_cast<double>(
+                registry.SumHistograms("gsn_queue_wait_micros").sum) /
+            1000.0;
+      }
     }
-    std::printf("%-10d %14.2f %14.2f %14.2f %16.4f %12.3f %8s\n", clients,
-                totals_ms[0], totals_ms[1], totals_ms[2],
-                totals_ms[0] / clients, p95_ms, burst ? "*" : "");
+    std::printf("%-10d %14.2f %14.2f %14.2f %16.4f %12.3f %14.3f %8s\n",
+                clients, totals_ms[0], totals_ms[1], totals_ms[2],
+                totals_ms[0] / clients, p95_ms, lock_wait_ms,
+                burst ? "*" : "");
     std::fflush(stdout);
     PointResult point;
     point.clients = clients;
     for (int r = 0; r < 3; ++r) point.totals_ms[r] = totals_ms[r];
     point.p95_ms = p95_ms;
+    point.lock_wait_ms = lock_wait_ms;
+    point.queue_wait_ms = queue_wait_ms;
     point.burst = burst;
     points.push_back(point);
   }
@@ -218,10 +242,11 @@ int main(int argc, char** argv) {
                    "    {\"clients\": %d, \"trace_off_ms\": %.4f, "
                    "\"trace_1pct_ms\": %.4f, \"trace_100_ms\": %.4f, "
                    "\"per_client_ms\": %.4f, \"p95_ms\": %.4f, "
+                   "\"lock_wait_ms\": %.4f, \"queue_wait_ms\": %.4f, "
                    "\"burst\": %s}%s\n",
                    p.clients, p.totals_ms[0], p.totals_ms[1], p.totals_ms[2],
-                   p.totals_ms[0] / p.clients, p.p95_ms,
-                   p.burst ? "true" : "false",
+                   p.totals_ms[0] / p.clients, p.p95_ms, p.lock_wait_ms,
+                   p.queue_wait_ms, p.burst ? "true" : "false",
                    i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"baseline_pre_zero_copy_p95\": [\n");

@@ -15,7 +15,11 @@ Rules, per matching measurement:
   - throughput-ish counts (elements) fail when fresh < baseline / FACTOR;
   - identity fields (interval_ms, ses_bytes, clients, figure, devices,
     duration_s) must be equal — a mismatch means the bench grid changed
-    and the baseline needs regenerating, which is an error, not a skip.
+    and the baseline needs regenerating, which is an error, not a skip;
+  - fields present only in the fresh output (a newer bench emitting new
+    columns, e.g. the contention-profiler shares) are reported as notes
+    and never fail the gate, so adding telemetry to a bench does not
+    require regenerating every baseline in the same change.
 
 usage: check_bench_regression.py <baseline.json> <fresh.json> [factor]
 """
@@ -84,6 +88,14 @@ def main():
             if new_value < base_value / factor:
                 errors.append(f"{label}: {base_value} -> {new_value} "
                               f"(> {factor:.1f}x fewer elements)")
+
+    # New fields only the fresh bench emits are informational: they are
+    # measurements without a baseline, not regressions.
+    fresh_only = sorted(
+        {str(path[-1]) for path in fresh if path not in baseline})
+    if fresh_only:
+        print(f"note: {sys.argv[2]} has new fields with no baseline "
+              f"(ignored): {', '.join(fresh_only)}")
 
     if compared == 0:
         errors.append("no comparable measurements found "

@@ -67,6 +67,46 @@ Container::Container(Options options)
   replay_bytes_ = metrics_->GetGauge(
       "gsn_replay_buffer_bytes", node_label,
       "Bytes currently held across producer-side replay buffers");
+  // Contention/scheduling profiler (docs/TELEMETRY.md): instrument the
+  // two global locks and register the tick breakdown before any other
+  // thread can touch the container.
+  mu_.Instrument(metrics_, "container", node_label);
+  tick_mu_.Instrument(metrics_, "tick", node_label);
+  tick_micros_ = metrics_->GetHistogram("gsn_tick_micros", node_label,
+                                        "Container Tick() wall time");
+  const char* phase_help =
+      "Per-tick latency breakdown by scheduling phase (resilience / "
+      "dispatch / supervise / checkpoint) plus the pool-thread storage "
+      "and fan-out spans";
+  tick_phase_resilience_ = metrics_->GetHistogram(
+      "gsn_tick_phase_micros",
+      {{"node", options_.node_id}, {"phase", "resilience"}}, phase_help);
+  tick_phase_dispatch_ = metrics_->GetHistogram(
+      "gsn_tick_phase_micros",
+      {{"node", options_.node_id}, {"phase", "dispatch"}}, phase_help);
+  tick_phase_supervise_ = metrics_->GetHistogram(
+      "gsn_tick_phase_micros",
+      {{"node", options_.node_id}, {"phase", "supervise"}}, phase_help);
+  tick_phase_checkpoint_ = metrics_->GetHistogram(
+      "gsn_tick_phase_micros",
+      {{"node", options_.node_id}, {"phase", "checkpoint"}}, phase_help);
+  batch_storage_micros_ = metrics_->GetHistogram(
+      "gsn_tick_phase_micros",
+      {{"node", options_.node_id}, {"phase", "storage"}}, phase_help);
+  batch_fanout_micros_ = metrics_->GetHistogram(
+      "gsn_tick_phase_micros",
+      {{"node", options_.node_id}, {"phase", "fanout"}}, phase_help);
+  build_info_ = metrics_->GetGauge(
+      "gsn_build_info",
+      {{"node", options_.node_id},
+       {"version", telemetry::BuildVersion()},
+       {"compiler", telemetry::BuildCompiler()}},
+      "Build metadata carried in labels; the value is always 1");
+  build_info_->Set(1);
+  uptime_gauge_ = metrics_->GetGauge(
+      "gsn_uptime_seconds", node_label,
+      "Seconds since this container was constructed (steady clock)");
+  started_steady_micros_ = telemetry::SteadyClock::Instance()->NowMicros();
   resilience_rng_ = Rng(options_.seed * 65537 + 17);
   wrappers::WrapperRegistry::RegisterBuiltins(&registry_);
   quarantine_ = std::make_unique<QuarantineStore>(
@@ -123,7 +163,7 @@ Container::~Container() {
   // Process teardown, not operator intent: undeploys below must not
   // record manifest undeploy events (the sensors come back on restart).
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     shutting_down_ = true;
   }
   // Stop sensors before members are torn down.
@@ -223,7 +263,7 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
   GSN_RETURN_IF_ERROR(spec.Validate());
   const std::string key = StrToLower(spec.name);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     if (deployments_.count(key)) {
       return Status::AlreadyExists("sensor already deployed: " + spec.name);
     }
@@ -318,7 +358,7 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
       }
       uint64_t seed;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<telemetry::TimedMutex> lock(mu_);
         seed = options_.seed * 1000003 + ++wrapper_seed_counter_;
       }
       auto source = std::make_unique<StreamSource>(
@@ -366,10 +406,17 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
     return started;
   }
 
+  const int system_sources = deployment.system_sources;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     deployments_[key] = std::move(deployment);
     sensors_deployed_->Set(static_cast<int64_t>(deployments_.size()));
+  }
+  if (system_sources > 0) {
+    system_sources_total_.fetch_add(system_sources, std::memory_order_relaxed);
+    // Prime the cache so the first scrape (one wrapper interval in)
+    // never reads an all-zero snapshot.
+    RefreshSystemSnapshot();
   }
   // Durable deploy record: a restarted container replays this to bring
   // the sensor back. Suppressed during the recovery replay itself.
@@ -384,7 +431,7 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
   // Schedule the publish's retry rounds: a lost broadcast heals long
   // before the next anti-entropy announcement.
   if (options_.network != nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     PendingPublish pending;
     pending.key = key;
     pending.next_at =
@@ -417,11 +464,31 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
     auto wrapper = std::make_unique<LocalStreamWrapper>(entry.output_schema,
                                                         entry.sensor_name);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(mu_);
       local_wrappers_.emplace(StrToLower(entry.sensor_name), wrapper.get());
     }
     deployment->local_sources.push_back(wrapper.get());
     return std::unique_ptr<wrappers::Wrapper>(std::move(wrapper));
+  }
+
+  // wrapper="system": the container itself wrapped as a data source
+  // (self-observation — the paper's "anything producing data" applied
+  // to the middleware). The provider reads the per-tick snapshot cache
+  // under its own small lock, never mu_ or tick_mu_, so a sensor
+  // monitoring its own container can never deadlock, and scraping
+  // costs the same whether one or fifty sensors watch.
+  if (StrEqualsIgnoreCase(source_spec.address.wrapper, "system")) {
+    wrappers::WrapperConfig config;
+    config.instance_name = source_spec.alias;
+    config.params = source_spec.address.predicates;
+    config.clock = options_.clock;
+    {
+      std::lock_guard<telemetry::TimedMutex> lock(mu_);
+      config.seed = options_.seed * 7919 + ++wrapper_seed_counter_;
+    }
+    ++deployment->system_sources;
+    return wrappers::SystemWrapper::Make(config,
+                                         [this] { return SystemSnapshotNow(); });
   }
 
   if (!StrEqualsIgnoreCase(source_spec.address.wrapper, "remote")) {
@@ -430,7 +497,7 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
     config.params = source_spec.address.predicates;
     config.clock = options_.clock;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(mu_);
       config.seed = options_.seed * 7919 + ++wrapper_seed_counter_;
     }
     return registry_.Create(source_spec.address.wrapper, config);
@@ -469,7 +536,7 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
   std::string subscription_id;
   const DirectoryEntry* entry = &matches.front();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     // Prefer a producer whose circuit allows traffic right now; fall
     // back to the first match (subscribe retries take it from there).
     for (const DirectoryEntry& candidate : matches) {
@@ -493,7 +560,7 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
   auto wrapper = std::make_unique<RemoteStreamWrapper>(
       entry->output_schema, entry->node_id, entry->sensor_name);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     RemoteSubscription& sub = remote_subs_[subscription_id];
     sub.wrapper = wrapper.get();
     sub.deployment_key = deployment_key;
@@ -515,7 +582,7 @@ Status Container::Undeploy(const std::string& sensor_name,
   Deployment deployment;
   bool record_undeploy = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     auto it = deployments_.find(key);
     if (it == deployments_.end()) {
       return Status::NotFound("no such sensor: " + sensor_name);
@@ -547,6 +614,10 @@ Status Container::Undeploy(const std::string& sensor_name,
       wit = local_wrappers_.erase(wit);
     }
   }
+  if (deployment.system_sources > 0) {
+    system_sources_total_.fetch_sub(deployment.system_sources,
+                                    std::memory_order_relaxed);
+  }
   deployment.sensor->Stop();
   deployment.pool->Shutdown();
 
@@ -566,7 +637,7 @@ Status Container::Undeploy(const std::string& sensor_name,
 
   // Drop remote consumers of this sensor.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     for (auto it = subscribers_.begin(); it != subscribers_.end();) {
       if (StrEqualsIgnoreCase(it->second.sensor_name, sensor_name)) {
         it = subscribers_.erase(it);
@@ -605,7 +676,7 @@ Status Container::Undeploy(const std::string& sensor_name,
 }
 
 std::vector<std::string> Container::ListSensors() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(deployments_.size());
   for (const auto& [key, deployment] : deployments_) {
@@ -615,7 +686,7 @@ std::vector<std::string> Container::ListSensors() const {
 }
 
 VirtualSensor* Container::FindSensor(const std::string& sensor_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   auto it = deployments_.find(StrToLower(sensor_name));
   return it == deployments_.end() ? nullptr : it->second.sensor.get();
 }
@@ -632,24 +703,32 @@ Result<int> Container::Tick() {
   // drain (Shutdown's flush rounds) may call Tick from different
   // threads; two concurrent rounds would Submit/Wait on the same
   // per-sensor pools and race on the checkpoint trigger below.
-  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  std::lock_guard<telemetry::TimedMutex> tick_lock(tick_mu_);
+  telemetry::Profiler::Scope tick_span(&profiler_, "tick", tick_micros_.get());
   const Timestamp now = options_.clock->NowMicros();
+  uptime_gauge_->Set(
+      (telemetry::SteadyClock::Instance()->NowMicros() - started_steady_micros_) /
+      kMicrosPerSecond);
 
-  // Periodic directory re-announcement: lost publish messages heal.
-  bool announce = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (options_.network != nullptr &&
-        now - last_announce_ >= kAnnounceInterval) {
-      last_announce_ = now;
-      announce = true;
+    telemetry::Profiler::Scope phase(&profiler_, "tick.resilience",
+                                     tick_phase_resilience_.get());
+    // Periodic directory re-announcement: lost publish messages heal.
+    bool announce = false;
+    {
+      std::lock_guard<telemetry::TimedMutex> lock(mu_);
+      if (options_.network != nullptr &&
+          now - last_announce_ >= kAnnounceInterval) {
+        last_announce_ = now;
+        announce = true;
+      }
     }
-  }
-  if (announce) AnnounceAll();
+    if (announce) AnnounceAll();
 
-  // Federation resilience round: heartbeats, circuit breakers,
-  // subscribe/NACK/publish retries, tips, failover.
-  if (options_.network != nullptr) RunResilience(now);
+    // Federation resilience round: heartbeats, circuit breakers,
+    // subscribe/NACK/publish retries, tips, failover.
+    if (options_.network != nullptr) RunResilience(now);
+  }
 
   // Collect sensors and their pools under the lock; run outside it.
   struct Job {
@@ -663,8 +742,10 @@ Result<int> Container::Tick() {
   };
   std::vector<Job> jobs;
   std::vector<std::string> expired;
+  telemetry::Profiler::Scope dispatch_phase(&profiler_, "tick.dispatch",
+                                            tick_phase_dispatch_.get());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     jobs.reserve(deployments_.size());
     for (auto& [key, deployment] : deployments_) {
       if (deployment.expires_at > 0 && now >= deployment.expires_at) {
@@ -726,7 +807,10 @@ Result<int> Container::Tick() {
     });
   }
   for (const Job& job : jobs) job.pool->Wait();
+  dispatch_phase.Stop();
 
+  telemetry::Profiler::Scope supervise_phase(&profiler_, "tick.supervise",
+                                             tick_phase_supervise_.get());
   for (const auto& [key, status] : failures) {
     HandleSensorFailure(key, status, now);
   }
@@ -736,7 +820,7 @@ Result<int> Container::Tick() {
   // lifetime totals — otherwise a few transient errors spread over
   // weeks would permanently FAIL the sensor (and pin readiness at 503).
   if (options_.supervision.healthy_ticks_to_reset > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     for (const Job& job : jobs) {
       if (job.paused) continue;
       bool failed_this_tick = false;
@@ -766,12 +850,16 @@ Result<int> Container::Tick() {
     }
   }
 
+  supervise_phase.Stop();
+
   // Periodic checkpoint: bound the manifest and every WAL (and with
   // them, the next recovery) to the live state. The trigger runs under
   // tick_mu_; the WAL swaps inside Checkpoint() are serialized against
   // pipeline appends by mu_.
   if (manifest_ != nullptr && options_.supervision.checkpoint_interval > 0 &&
       now - last_checkpoint_ >= options_.supervision.checkpoint_interval) {
+    telemetry::Profiler::Scope phase(&profiler_, "tick.checkpoint",
+                                     tick_phase_checkpoint_.get());
     last_checkpoint_ = now;
     const Status s = Checkpoint();
     if (!s.ok()) {
@@ -779,12 +867,16 @@ Result<int> Container::Tick() {
           << options_.node_id << ": checkpoint failed: " << s;
     }
   }
+
+  // Refresh the cache system wrappers scrape (no-op while none are
+  // deployed). Last, so monitors read this tick's state next poll.
+  RefreshSystemSnapshot();
   return produced;
 }
 
 void Container::HandleSensorFailure(const std::string& key,
                                     const Status& status, Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   auto it = deployments_.find(key);
   if (it == deployments_.end()) return;
   Deployment& deployment = it->second;
@@ -845,7 +937,7 @@ Status Container::RequeueQuarantined(uint64_t id) {
   // hazard against mu_.
   bool injected = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     auto it = deployments_.find(StrToLower(entry.sensor));
     StreamSource* source =
         it == deployments_.end()
@@ -876,7 +968,7 @@ Status Container::Checkpoint() {
   Status first_error = Status::OK();
   std::vector<std::pair<std::string, std::string>> live;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     for (auto& [key, deployment] : deployments_) {
       live.emplace_back(key, deployment.sensor->spec().ToXml());
       if (deployment.log == nullptr) continue;
@@ -942,7 +1034,7 @@ Status Container::Checkpoint() {
 Status Container::Shutdown() {
   // 1. Stop admitting new wrapper load (the queues keep their backlog).
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     if (draining_) return Status::OK();
     draining_ = true;
     for (auto& [key, deployment] : deployments_) {
@@ -958,7 +1050,7 @@ Status Container::Shutdown() {
     if (!n.ok()) break;
     size_t depth = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(mu_);
       for (const auto& [key, deployment] : deployments_) {
         depth += deployment.sensor->QueueDepth();
       }
@@ -969,7 +1061,7 @@ Status Container::Shutdown() {
   // 3. Make everything durable: final checkpoint, then fsync.
   Status first_error = Checkpoint();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     for (auto& [key, deployment] : deployments_) {
       if (deployment.log == nullptr) continue;
       const Status synced = deployment.log->Sync();
@@ -987,13 +1079,13 @@ Status Container::Shutdown() {
 }
 
 bool Container::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return draining_;
 }
 
 Container::Health Container::GetHealth() const {
   Health health;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   if (draining_) {
     health.ready = false;
     health.reasons.push_back("draining");
@@ -1016,6 +1108,122 @@ Container::Health Container::GetHealth() const {
   return health;
 }
 
+// ------------------------------------------------------- Self-observation
+
+wrappers::SystemSnapshot Container::ComputeSystemSnapshot() const {
+  wrappers::SystemSnapshot snap;
+  {
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
+    const Timestamp now = options_.clock->NowMicros();
+    snap.sensors = static_cast<int64_t>(deployments_.size());
+    for (const auto& [key, deployment] : deployments_) {
+      switch (deployment.state) {
+        case SensorState::kRunning:
+          ++snap.running;
+          break;
+        case SensorState::kRestarting:
+          ++snap.restarting;
+          break;
+        case SensorState::kFailed:
+          ++snap.failed;
+          break;
+      }
+      snap.queue_depth += static_cast<int64_t>(deployment.sensor->QueueDepth());
+    }
+    for (const auto& [sub_id, subscriber] : subscribers_) {
+      snap.replay_bytes += static_cast<int64_t>(subscriber.replay.bytes());
+    }
+    snap.peers = static_cast<int64_t>(peers_.size());
+    for (const auto& [peer_id, peer] : peers_) {
+      if (peer.breaker.StateAt(now) == network::CircuitBreaker::State::kOpen) {
+        ++snap.open_circuits;
+      }
+    }
+  }
+  // Everything below reads components with their own synchronization:
+  // holding mu_ across them would only widen the container lock.
+  snap.quarantined = static_cast<int64_t>(quarantine_->size());
+  if (segments_ != nullptr) {
+    snap.segments = static_cast<int64_t>(segments_->segment_count());
+    snap.segment_bytes = static_cast<int64_t>(segments_->total_bytes());
+  }
+  snap.shed_total = metrics_->SumCounters("gsn_admission_shed_total");
+  snap.tuples_total = metrics_->SumCounters("gsn_sensor_tuples_total");
+  snap.errors_total = metrics_->SumCounters("gsn_sensor_errors_total");
+  snap.metric_series = static_cast<int64_t>(metrics_->NumSeries());
+  const telemetry::Histogram::Snapshot ticks = tick_micros_->TakeSnapshot();
+  if (ticks.count > 0) {
+    snap.tick_mean_ms = ticks.Mean() / 1000.0;
+    snap.tick_p95_ms = static_cast<double>(ticks.Quantile(0.95)) / 1000.0;
+  }
+  if (ticks.sum > 0) {
+    snap.lock_wait_share =
+        static_cast<double>(
+            metrics_->SumHistograms("gsn_lock_wait_micros").sum) /
+        static_cast<double>(ticks.sum);
+  }
+  const telemetry::Histogram::Snapshot queue_wait =
+      metrics_->SumHistograms("gsn_queue_wait_micros");
+  if (queue_wait.count > 0) {
+    snap.queue_wait_p95_ms =
+        static_cast<double>(queue_wait.Quantile(0.95)) / 1000.0;
+  }
+  const telemetry::ProcessStats proc = telemetry::ReadProcessStats();
+  snap.rss_bytes = proc.rss_bytes;
+  snap.cpu_seconds = proc.cpu_seconds;
+  snap.uptime_seconds =
+      (telemetry::SteadyClock::Instance()->NowMicros() -
+       started_steady_micros_) /
+      kMicrosPerSecond;
+  return snap;
+}
+
+void Container::RefreshSystemSnapshot() {
+  // Gate: without a deployed wrapper="system" source nobody reads the
+  // cache, so self-scraping must cost nothing (fig3's overhead budget).
+  if (system_sources_total_.load(std::memory_order_relaxed) == 0) return;
+  wrappers::SystemSnapshot snap = ComputeSystemSnapshot();
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  system_snapshot_ = std::move(snap);
+}
+
+wrappers::SystemSnapshot Container::SystemSnapshotNow() const {
+  // Cache read only — a system wrapper polled from inside Tick (which
+  // holds tick_mu_ and, transiently, mu_) must never need either lock.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return system_snapshot_;
+}
+
+Container::ContainerStatus Container::GetStatus() const {
+  ContainerStatus status;
+  status.node_id = options_.node_id;
+  status.version = telemetry::BuildVersion();
+  status.compiler = telemetry::BuildCompiler();
+  status.draining = draining();
+  status.health = GetHealth();
+  status.totals = ComputeSystemSnapshot();
+  for (const std::string& name : ListSensors()) {
+    Result<SensorStatus> sensor = GetSensorStatus(name);
+    if (sensor.ok()) status.sensors.push_back(*std::move(sensor));
+  }
+  status.peers = PeerStatuses();
+  const auto lock_stats = [](const telemetry::TimedMutex& mu) {
+    LockStats stats;
+    stats.name = mu.label();
+    stats.acquisitions = mu.acquisitions();
+    stats.contended = mu.contended();
+    stats.wait_micros = mu.wait_micros_total();
+    return stats;
+  };
+  status.locks.push_back(lock_stats(mu_));
+  status.locks.push_back(lock_stats(tick_mu_));
+  status.locks.push_back(lock_stats(query_manager_.cache_lock()));
+  status.hot_spans = profiler_.TopSpans(10);
+  status.recovered_records = recovered_records_;
+  status.recovery_failures = recovery_failures_;
+  return status;
+}
+
 void Container::OnSensorBatch(const VirtualSensor& sensor,
                               const std::vector<StreamElement>& batch) {
   if (batch.empty()) return;
@@ -1032,8 +1240,10 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
   // same lock (sequence assignment must be atomic with the
   // replay-buffer write), then sent after release.
   std::vector<Outbound> remote_sends;
+  telemetry::Profiler::Scope storage_span(&profiler_, "batch.storage",
+                                          batch_storage_micros_.get());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     const Timestamp send_now = options_.clock->NowMicros();
     auto it = deployments_.find(StrToLower(name));
     if (it != deployments_.end()) {
@@ -1087,10 +1297,14 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
       }
     }
   }
+  storage_span.Stop();
+
   // Local chaining: feed consumers deployed on this container.
+  telemetry::Profiler::Scope fanout_span(&profiler_, "batch.fanout",
+                                         batch_fanout_micros_.get());
   std::vector<LocalStreamWrapper*> local_targets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     auto range = local_wrappers_.equal_range(StrToLower(name));
     for (auto it = range.first; it != range.second; ++it) {
       local_targets.push_back(it->second);
@@ -1177,7 +1391,7 @@ void Container::RetractSensor(const std::string& sensor_name) {
 void Container::AnnounceAll() {
   std::vector<const VirtualSensorSpec*> specs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     for (const auto& [key, deployment] : deployments_) {
       specs.push_back(&deployment.sensor->spec());
     }
@@ -1214,7 +1428,7 @@ void Container::OnMessage(const Message& message) {
         network::SubscribeRequest::Decode(message.payload);
     if (!request.ok()) return;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(mu_);
       // Idempotent: a re-sent request (lost ack) must not reset the
       // sequence counter or drop the replay buffer.
       auto [it, inserted] =
@@ -1237,7 +1451,7 @@ void Container::OnMessage(const Message& message) {
     Result<network::SubscribeAck> ack =
         network::SubscribeAck::Decode(message.payload);
     if (!ack.ok()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     auto it = remote_subs_.find(ack->subscription_id);
     if (it != remote_subs_.end()) it->second.acked = true;
     return;
@@ -1246,7 +1460,7 @@ void Container::OnMessage(const Message& message) {
     Result<network::StreamTip> tip =
         network::StreamTip::Decode(message.payload);
     if (!tip.ok()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     auto it = remote_subs_.find(tip->subscription_id);
     if (it != remote_subs_.end()) {
       it->second.acked = true;  // a tip implies the producer knows us
@@ -1263,7 +1477,7 @@ void Container::OnMessage(const Message& message) {
     std::vector<std::string> payloads;
     std::string target;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(mu_);
       auto it = subscribers_.find(nack->subscription_id);
       if (it == subscribers_.end()) return;
       target = it->second.subscriber_node;
@@ -1290,7 +1504,7 @@ void Container::OnMessage(const Message& message) {
     Result<network::UnsubscribeRequest> request =
         network::UnsubscribeRequest::Decode(message.payload);
     if (!request.ok()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     subscribers_.erase(request->subscription_id);
     return;
   }
@@ -1309,7 +1523,7 @@ void Container::OnMessage(const Message& message) {
     }
     RemoteStreamWrapper* wrapper = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(mu_);
       auto it = remote_subs_.find(delivery->subscription_id);
       if (it != remote_subs_.end()) {
         // A flowing delivery implies the producer registered us even
@@ -1357,7 +1571,7 @@ bool Container::PeerAllowsSendLocked(const std::string& peer, Timestamp now) {
 }
 
 void Container::NotePeerAlive(const std::string& from, Timestamp now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   PeerState& peer = PeerStateLocked(from, now);
   peer.last_seen = now;
   if (peer.breaker.RecordSuccess()) {
@@ -1442,7 +1656,7 @@ void Container::RunResilience(Timestamp now) {
   bool heartbeat = false;
   std::vector<const VirtualSensorSpec*> republish;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
 
     // Liveness beacon.
     if (now - last_heartbeat_ >= config.heartbeat_interval) {
@@ -1604,7 +1818,7 @@ void Container::RunResilience(Timestamp now) {
 
 std::vector<Container::PeerStatus> Container::PeerStatuses() const {
   const Timestamp now = options_.clock->NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   std::vector<PeerStatus> out;
   out.reserve(peers_.size());
   for (const auto& [peer_id, peer] : peers_) {
@@ -1703,7 +1917,7 @@ Result<Relation> Container::CatalogResolver::GetTableFiltered(
 
 std::vector<Container::TopologyEdge> Container::Topology() {
   std::vector<TopologyEdge> edges;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   for (const auto& [key, deployment] : deployments_) {
     const VirtualSensorSpec& spec = deployment.sensor->spec();
     for (const auto& stream : spec.input_streams) {
@@ -1743,7 +1957,7 @@ std::vector<Container::TopologyEdge> Container::Topology() {
 
 Result<Container::SensorStatus> Container::GetSensorStatus(
     const std::string& sensor_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   auto it = deployments_.find(StrToLower(sensor_name));
   if (it == deployments_.end()) {
     return Status::NotFound("no such sensor: " + sensor_name);

@@ -1,6 +1,7 @@
 #ifndef GSN_CONTAINER_CONTAINER_H_
 #define GSN_CONTAINER_CONTAINER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,9 +25,11 @@
 #include "gsn/storage/columnar/catalog.h"
 #include "gsn/storage/persistence_log.h"
 #include "gsn/storage/table.h"
+#include "gsn/telemetry/profiler.h"
 #include "gsn/util/thread_pool.h"
 #include "gsn/vsensor/descriptor_parser.h"
 #include "gsn/vsensor/virtual_sensor.h"
+#include "gsn/wrappers/system_wrapper.h"
 #include "gsn/wrappers/wrapper.h"
 
 namespace gsn::container {
@@ -288,6 +291,46 @@ class Container : public network::NetworkNode {
   };
   std::vector<PeerStatus> PeerStatuses() const;
 
+  /// Contention stats of one instrumented container lock.
+  struct LockStats {
+    std::string name;
+    int64_t acquisitions = 0;
+    int64_t contended = 0;
+    int64_t wait_micros = 0;
+  };
+
+  /// The unified machine-readable snapshot behind GET /api/v1/status
+  /// and the argument-less management `status` command: sensors,
+  /// queues, locks, hot spans, segments, peers, and build info joined
+  /// into one view.
+  struct ContainerStatus {
+    std::string node_id;
+    std::string version;
+    std::string compiler;
+    bool draining = false;
+    Health health;
+    /// Aggregate runtime/scheduling totals (same struct the
+    /// wrapper="system" telemetry stream emits).
+    wrappers::SystemSnapshot totals;
+    std::vector<SensorStatus> sensors;
+    std::vector<PeerStatus> peers;
+    std::vector<LockStats> locks;
+    std::vector<telemetry::Profiler::SpanStats> hot_spans;
+    size_t recovered_records = 0;
+    size_t recovery_failures = 0;
+  };
+  ContainerStatus GetStatus() const;
+
+  /// The health snapshot `wrapper="system"` sources scrape. Reads a
+  /// cache refreshed once per Tick under its own small lock — never
+  /// the container or tick locks — so a virtual sensor deployed over
+  /// its own container's metrics cannot deadlock or self-amplify.
+  wrappers::SystemSnapshot SystemSnapshotNow() const;
+
+  /// The container's always-on span profiler (tick phases, storage and
+  /// fan-out spans); TopSpans() feeds the status surface.
+  const telemetry::Profiler& profiler() const { return profiler_; }
+
   /// The simulator fabric this container is attached to (null when
   /// standalone). Exposed for the `chaos` management command and tests.
   network::NetworkSimulator* network() const { return options_.network; }
@@ -324,6 +367,9 @@ class Container : public network::NetworkNode {
     /// wrapper="local" sources of this sensor (listeners detached at
     /// undeploy).
     std::vector<LocalStreamWrapper*> local_sources;
+    /// wrapper="system" sources of this sensor; while any deployment
+    /// has one, Tick() refreshes the snapshot cache they scrape.
+    int system_sources = 0;
   };
 
   /// A remote consumer of one of our sensors — the producer half of
@@ -431,6 +477,17 @@ class Container : public network::NetworkNode {
   /// data_dir, replays its events, and redeploys the live set.
   void RecoverFromManifest();
 
+  // -- Self-observation (docs/TELEMETRY.md) ---------------------------------
+
+  /// Assembles a fresh SystemSnapshot (takes mu_ briefly; sums metric
+  /// families). Called from Tick() to refresh the scrape cache and
+  /// from GetStatus().
+  wrappers::SystemSnapshot ComputeSystemSnapshot() const;
+  /// Recomputes the snapshot cache system wrappers read. Skipped
+  /// entirely while no wrapper="system" source is deployed, so the
+  /// feature costs nothing when unused.
+  void RefreshSystemSnapshot();
+
   /// System catalog exposed to SQL: virtual tables describing the
   /// container itself, falling back to the sensor output tables.
   class CatalogResolver : public sql::TableResolver {
@@ -468,7 +525,10 @@ class Container : public network::NetworkNode {
   IntegrityService integrity_;
   network::DirectoryService directory_;
 
-  mutable std::mutex mu_;
+  /// The container lock. Instrumented (lock="container") so the
+  /// profiler can quote how much of a tick is spent waiting on it —
+  /// the evidence base for the sharding refactor (ROADMAP item 1).
+  mutable telemetry::TimedMutex mu_;
   std::map<std::string, Deployment> deployments_;  // lowercased sensor name
   std::map<std::string, RemoteSubscriber> subscribers_;  // by subscription id
   /// Subscriptions we hold on remote producers, by our subscription id.
@@ -518,8 +578,10 @@ class Container : public network::NetworkNode {
   /// (Shutdown's flush rounds) may call Tick concurrently, but the
   /// per-sensor pools and the checkpoint trigger assume one driver at
   /// a time. Never held while waiting on mu_ holders that take
-  /// tick_mu_ (nobody does), so no ordering hazard.
-  mutable std::mutex tick_mu_;
+  /// tick_mu_ (nobody does), so no ordering hazard. Instrumented as
+  /// lock="tick": its wait time is exactly what concurrent drivers
+  /// lose to the global serialization ROADMAP item 1 removes.
+  mutable telemetry::TimedMutex tick_mu_;
   /// Guarded by tick_mu_ (written by the constructor before any
   /// thread can Tick, then only touched inside Tick).
   Timestamp last_checkpoint_ = 0;
@@ -527,6 +589,29 @@ class Container : public network::NetworkNode {
   size_t recovery_failures_ = 0;
   std::shared_ptr<telemetry::Gauge> recovery_records_gauge_;
   std::shared_ptr<telemetry::Gauge> recovery_seconds_gauge_;
+
+  // -- Self-observation (docs/TELEMETRY.md) ---------------------------------
+  /// Tick-phase breakdown + batch storage/fan-out spans, always on.
+  telemetry::Profiler profiler_;
+  std::shared_ptr<telemetry::Histogram> tick_micros_;
+  std::shared_ptr<telemetry::Histogram> tick_phase_resilience_;
+  std::shared_ptr<telemetry::Histogram> tick_phase_dispatch_;
+  std::shared_ptr<telemetry::Histogram> tick_phase_supervise_;
+  std::shared_ptr<telemetry::Histogram> tick_phase_checkpoint_;
+  std::shared_ptr<telemetry::Histogram> batch_storage_micros_;
+  std::shared_ptr<telemetry::Histogram> batch_fanout_micros_;
+  std::shared_ptr<telemetry::Gauge> build_info_;
+  std::shared_ptr<telemetry::Gauge> uptime_gauge_;
+  /// Steady-clock construction anchor for uptime.
+  int64_t started_steady_micros_ = 0;
+  /// Count of deployed wrapper="system" sources; refresh gate.
+  std::atomic<int64_t> system_sources_total_{0};
+  /// Guards ONLY the snapshot cache below; leaf lock (never taken with
+  /// mu_ or tick_mu_ held by the same thread... except Tick's refresh,
+  /// which holds tick_mu_ — the cache readers never take any other
+  /// container lock, so no cycle is possible).
+  mutable std::mutex snapshot_mu_;
+  wrappers::SystemSnapshot system_snapshot_;  // guarded by snapshot_mu_
 };
 
 }  // namespace gsn::container

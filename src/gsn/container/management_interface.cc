@@ -17,7 +17,8 @@ ManagementInterface::ManagementInterface(Container* container)
   };
   add("list", "", "deployed virtual sensors",
       [this](const std::string&) { return CmdList(); });
-  add("status", "<sensor>", "pipeline counters and storage usage",
+  add("status", "[sensor]",
+      "container-wide snapshot (no args) or one sensor's counters",
       [this](const std::string& a) { return CmdStatus(a); });
   add("deploy", "<descriptor-xml>", "deploy a virtual sensor",
       [this](const std::string& a) { return CmdDeploy(a); });
@@ -127,6 +128,7 @@ std::string ManagementInterface::CmdList() const {
 }
 
 std::string ManagementInterface::CmdStatus(const std::string& sensor) const {
+  if (sensor.empty()) return CmdContainerStatus();
   Result<Container::SensorStatus> status =
       container_->GetSensorStatus(sensor);
   if (!status.ok()) return "ERROR: " + status.status().ToString();
@@ -149,6 +151,53 @@ std::string ManagementInterface::CmdStatus(const std::string& sensor) const {
     os << "mean processing us: "
        << status->stats.total_processing_micros / status->stats.triggers
        << "\n";
+  }
+  return os.str();
+}
+
+std::string ManagementInterface::CmdContainerStatus() const {
+  const Container::ContainerStatus status = container_->GetStatus();
+  const wrappers::SystemSnapshot& t = status.totals;
+  std::ostringstream os;
+  os << "node:       " << status.node_id << "  (" << status.version << ", "
+     << status.compiler << ")\n"
+     << "uptime:     " << t.uptime_seconds << "s  rss=" << t.rss_bytes
+     << "B  cpu=" << t.cpu_seconds << "s\n"
+     << "health:     " << (status.health.ready ? "ready" : "NOT READY")
+     << (status.draining ? " (draining)" : "") << "\n";
+  for (const std::string& reason : status.health.reasons) {
+    os << "  - " << reason << "\n";
+  }
+  os << "sensors:    " << t.sensors << " (" << t.running << " running, "
+     << t.restarting << " restarting, " << t.failed << " failed)\n"
+     << "pipeline:   tuples=" << t.tuples_total << "  errors="
+     << t.errors_total << "  queue-depth=" << t.queue_depth << "  shed="
+     << t.shed_total << "  quarantined=" << t.quarantined << "\n"
+     << "scheduling: tick-mean=" << t.tick_mean_ms << "ms  tick-p95="
+     << t.tick_p95_ms << "ms  lock-wait-share=" << t.lock_wait_share
+     << "  queue-wait-p95=" << t.queue_wait_p95_ms << "ms\n"
+     << "federation: peers=" << t.peers << "  open-circuits="
+     << t.open_circuits << "  replay-bytes=" << t.replay_bytes << "\n"
+     << "storage:    segments=" << t.segments << " (" << t.segment_bytes
+     << " bytes)  recovery-records=" << status.recovered_records
+     << "  recovery-failures=" << status.recovery_failures << "\n"
+     << "telemetry:  " << t.metric_series << " metric series\n";
+  for (const Container::SensorStatus& vs : status.sensors) {
+    os << "  sensor " << vs.name << "  state="
+       << Container::SensorStateName(vs.state) << "  produced="
+       << vs.stats.produced << "  queue=" << vs.queue_depth << "  shed="
+       << vs.shed << "\n";
+  }
+  os << "locks:\n";
+  for (const Container::LockStats& lock : status.locks) {
+    os << "  " << lock.name << "  acquisitions=" << lock.acquisitions
+       << "  contended=" << lock.contended << "  wait=" << lock.wait_micros
+       << "us\n";
+  }
+  os << "hot spans:\n";
+  for (const telemetry::Profiler::SpanStats& span : status.hot_spans) {
+    os << "  " << span.name << "  count=" << span.count << "  total="
+       << span.total_micros << "us  max=" << span.max_micros << "us\n";
   }
   return os.str();
 }

@@ -63,6 +63,9 @@ class ManagementInterface {
   std::string CmdHelp() const;
   std::string CmdList() const;
   std::string CmdStatus(const std::string& sensor) const;
+  /// The argument-less `status`: the container-wide snapshot
+  /// (GetStatus) as an operator-readable text block.
+  std::string CmdContainerStatus() const;
   std::string CmdDeploy(const std::string& xml);
   std::string CmdUndeploy(const std::string& sensor);
   std::string CmdQuery(const std::string& sql);

@@ -76,6 +76,7 @@ QueryManager::QueryManager(const sql::TableResolver* resolver,
     owned_metrics_ = std::make_unique<telemetry::MetricRegistry>();
     registry = owned_metrics_.get();
   }
+  mu_.Instrument(registry, "query_cache");
   metrics_.executed = registry->GetCounter("gsn_queries_total", {},
                                            "One-shot queries executed");
   metrics_.cache_hits = registry->GetCounter(
@@ -115,7 +116,7 @@ void QueryManager::set_tracer(telemetry::Tracer* tracer) {
 }
 
 std::vector<QueryManager::SlowQueryEntry> QueryManager::slow_log() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return std::vector<SlowQueryEntry>(slow_log_.begin(), slow_log_.end());
 }
 
@@ -137,7 +138,7 @@ void QueryManager::MaybeLogSlow(const std::string& sql_text,
   if (stmt != nullptr && analyze != nullptr && !analyze->empty()) {
     entry.plan = sql::ExplainAnalyzeString(*stmt, *analyze);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   if (slow_log_.size() >= kSlowLogCapacity) slow_log_.pop_front();
   slow_log_.push_back(std::move(entry));
 }
@@ -153,7 +154,7 @@ void QueryManager::EvictCacheLocked() {
 Result<std::shared_ptr<sql::SelectStmt>> QueryManager::Prepare(
     const std::string& sql_text) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     if (cache_enabled_) {
       auto it = cache_.find(sql_text);
       if (it != cache_.end()) {
@@ -175,7 +176,7 @@ Result<std::shared_ptr<sql::SelectStmt>> QueryManager::Prepare(
   parse_span.Stop();
   if (!parsed.ok()) return parsed.status();
   std::shared_ptr<sql::SelectStmt> stmt = *std::move(parsed);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   if (cache_enabled_) {
     auto it = cache_.find(sql_text);
     if (it != cache_.end()) {
@@ -249,14 +250,14 @@ Result<int64_t> QueryManager::RegisterContinuous(const std::string& sql_text,
   query.stmt = stmt;
   CollectTables(*stmt, &query.tables);
   query.callback = std::move(callback);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   const int64_t id = next_id_++;
   continuous_[id] = std::move(query);
   return id;
 }
 
 Status QueryManager::Unregister(int64_t query_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   if (continuous_.erase(query_id) == 0) {
     return Status::NotFound("no continuous query " + std::to_string(query_id));
   }
@@ -264,7 +265,7 @@ Status QueryManager::Unregister(int64_t query_id) {
 }
 
 size_t QueryManager::NumContinuous() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return continuous_.size();
 }
 
@@ -278,7 +279,7 @@ int QueryManager::OnNewElement(const std::string& sensor_name,
   };
   std::vector<Pending> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(mu_);
     for (const auto& [id, query] : continuous_) {
       if (query.tables.count(key)) {
         pending.push_back({query.stmt, query.callback, query.sql_text});
@@ -328,7 +329,7 @@ int QueryManager::OnNewElementBatch(const std::string& sensor_name,
 }
 
 void QueryManager::set_cache_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   cache_enabled_ = enabled;
   if (!enabled) {
     cache_.clear();
@@ -337,23 +338,23 @@ void QueryManager::set_cache_enabled(bool enabled) {
 }
 
 bool QueryManager::cache_enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return cache_enabled_;
 }
 
 void QueryManager::set_cache_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   cache_capacity_ = capacity;
   EvictCacheLocked();
 }
 
 size_t QueryManager::cache_capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return cache_capacity_;
 }
 
 size_t QueryManager::cache_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return cache_.size();
 }
 

@@ -14,6 +14,7 @@
 
 #include "gsn/sql/executor.h"
 #include "gsn/telemetry/metrics.h"
+#include "gsn/telemetry/profiler.h"
 #include "gsn/telemetry/tracing.h"
 #include "gsn/util/result.h"
 
@@ -150,6 +151,10 @@ class QueryManager {
     return metrics_.parse_micros->TakeSnapshot();
   }
 
+  /// Contention stats of the cache/continuous/slow-log lock, for the
+  /// container status surface.
+  const telemetry::TimedMutex& cache_lock() const { return mu_; }
+
  private:
   struct ContinuousQuery {
     std::string sql_text;
@@ -199,7 +204,9 @@ class QueryManager {
   /// Evicts LRU entries until the cache fits `cache_capacity_`.
   void EvictCacheLocked();
 
-  mutable std::mutex mu_;
+  /// Instrumented as lock="query_cache" so Fig 4 can quote the
+  /// cache lock's wait share.
+  mutable telemetry::TimedMutex mu_;
   bool cache_enabled_ = true;
   /// LRU prepared-statement cache: most recently used at the front of
   /// `lru_`; `cache_` indexes list nodes by query text.

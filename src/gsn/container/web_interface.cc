@@ -1,5 +1,7 @@
 #include "gsn/container/web_interface.h"
 
+#include <cstdio>
+
 #include "gsn/util/export.h"
 #include "gsn/util/strings.h"
 #include "gsn/xml/xml.h"
@@ -12,6 +14,13 @@ using network::HttpResponse;
 namespace {
 constexpr char kApiPrefix[] = "/api/v1";
 constexpr size_t kApiPrefixLen = sizeof(kApiPrefix) - 1;
+
+/// Fixed-notation double for JSON (no locale, no exponent surprises).
+std::string JsonDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
 }  // namespace
 
 WebInterface::WebInterface(Container* container)
@@ -58,6 +67,10 @@ WebInterface::WebInterface(Container* container)
   add("GET", "/peers", false, [this](const HttpRequest&, const std::string&) {
     return HandlePeers();
   });
+  add("GET", "/status", false,
+      [this](const HttpRequest&, const std::string&) {
+        return HandleStatus();
+      });
   add("GET", "/segments", false,
       [this](const HttpRequest&, const std::string&) {
         return HandleSegments();
@@ -335,6 +348,91 @@ HttpResponse WebInterface::HandlePeers() {
             std::to_string(peer.circuit_opened_total) + "}";
   }
   json += "]";
+  return HttpResponse::Json(std::move(json));
+}
+
+HttpResponse WebInterface::HandleStatus() {
+  const Container::ContainerStatus status = container_->GetStatus();
+  const wrappers::SystemSnapshot& t = status.totals;
+  std::string json = "{\"node\":" + JsonEscape(status.node_id) +
+                     ",\"version\":" + JsonEscape(status.version) +
+                     ",\"compiler\":" + JsonEscape(status.compiler) +
+                     ",\"draining\":" + (status.draining ? "true" : "false") +
+                     ",\"ready\":" + (status.health.ready ? "true" : "false") +
+                     ",\"reasons\":[";
+  bool first = true;
+  for (const std::string& reason : status.health.reasons) {
+    if (!first) json += ",";
+    first = false;
+    json += JsonEscape(reason);
+  }
+  json += "],\"totals\":{\"uptime_s\":" + std::to_string(t.uptime_seconds) +
+          ",\"sensors\":" + std::to_string(t.sensors) +
+          ",\"running\":" + std::to_string(t.running) +
+          ",\"restarting\":" + std::to_string(t.restarting) +
+          ",\"failed\":" + std::to_string(t.failed) +
+          ",\"queue_depth\":" + std::to_string(t.queue_depth) +
+          ",\"shed_total\":" + std::to_string(t.shed_total) +
+          ",\"quarantined\":" + std::to_string(t.quarantined) +
+          ",\"replay_bytes\":" + std::to_string(t.replay_bytes) +
+          ",\"open_circuits\":" + std::to_string(t.open_circuits) +
+          ",\"peers\":" + std::to_string(t.peers) +
+          ",\"segments\":" + std::to_string(t.segments) +
+          ",\"segment_bytes\":" + std::to_string(t.segment_bytes) +
+          ",\"tuples_total\":" + std::to_string(t.tuples_total) +
+          ",\"errors_total\":" + std::to_string(t.errors_total) +
+          ",\"metric_series\":" + std::to_string(t.metric_series) +
+          ",\"tick_mean_ms\":" + JsonDouble(t.tick_mean_ms) +
+          ",\"tick_p95_ms\":" + JsonDouble(t.tick_p95_ms) +
+          ",\"lock_wait_share\":" + JsonDouble(t.lock_wait_share) +
+          ",\"queue_wait_p95_ms\":" + JsonDouble(t.queue_wait_p95_ms) +
+          ",\"rss_bytes\":" + std::to_string(t.rss_bytes) +
+          ",\"cpu_seconds\":" + JsonDouble(t.cpu_seconds) + "}";
+  json += ",\"sensors\":[";
+  first = true;
+  for (const Container::SensorStatus& sensor : status.sensors) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":" + JsonEscape(sensor.name) + ",\"state\":" +
+            JsonEscape(Container::SensorStateName(sensor.state)) +
+            ",\"produced\":" + std::to_string(sensor.stats.produced) +
+            ",\"errors\":" + std::to_string(sensor.stats.errors) +
+            ",\"restarts\":" + std::to_string(sensor.restart_attempts) +
+            ",\"queue_depth\":" + std::to_string(sensor.queue_depth) +
+            ",\"shed\":" + std::to_string(sensor.shed) +
+            ",\"stored_rows\":" + std::to_string(sensor.stored_rows) + "}";
+  }
+  json += "],\"locks\":[";
+  first = true;
+  for (const Container::LockStats& lock : status.locks) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":" + JsonEscape(lock.name) +
+            ",\"acquisitions\":" + std::to_string(lock.acquisitions) +
+            ",\"contended\":" + std::to_string(lock.contended) +
+            ",\"wait_micros\":" + std::to_string(lock.wait_micros) + "}";
+  }
+  json += "],\"hot_spans\":[";
+  first = true;
+  for (const telemetry::Profiler::SpanStats& span : status.hot_spans) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":" + JsonEscape(span.name) +
+            ",\"count\":" + std::to_string(span.count) +
+            ",\"total_micros\":" + std::to_string(span.total_micros) +
+            ",\"max_micros\":" + std::to_string(span.max_micros) + "}";
+  }
+  json += "],\"peers\":[";
+  first = true;
+  for (const Container::PeerStatus& peer : status.peers) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"node\":" + JsonEscape(peer.node_id) +
+            ",\"circuit\":" + JsonEscape(peer.circuit) + "}";
+  }
+  json += "],\"recovery\":{\"records\":" +
+          std::to_string(status.recovered_records) +
+          ",\"failures\":" + std::to_string(status.recovery_failures) + "}}";
   return HttpResponse::Json(std::move(json));
 }
 

@@ -33,6 +33,11 @@ namespace gsn::container {
 ///                                  (?id=<32-hex trace id> filters one)
 ///   GET  /api/v1/peers             federation peer health: circuit
 ///                                  state, last-seen, times opened
+///   GET  /api/v1/status            unified container snapshot: build
+///                                  info, health, runtime totals,
+///                                  per-sensor state, queue depths,
+///                                  lock contention, hot spans,
+///                                  segments, peers — one JSON document
 ///   GET  /api/v1/segments          columnar history tier: per-segment
 ///                                  table/id/rows/chunks/bytes/time
 ///                                  range, plus catalog totals
@@ -98,6 +103,7 @@ class WebInterface {
   network::HttpResponse HandleMetrics();
   network::HttpResponse HandleTraces(const network::HttpRequest& request);
   network::HttpResponse HandlePeers();
+  network::HttpResponse HandleStatus();
   network::HttpResponse HandleSegments();
   network::HttpResponse HandleHealthz();
   network::HttpResponse HandleReadyz();

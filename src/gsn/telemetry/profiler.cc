@@ -1,0 +1,99 @@
+#include "gsn/telemetry/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+namespace gsn::telemetry {
+
+void TimedMutex::Instrument(MetricRegistry* registry, const std::string& name,
+                            const Labels& extra) {
+  if (registry == nullptr) return;
+  Labels labels = extra;
+  labels.emplace_back("lock", name);
+  label_ = name;
+  wait_micros_ = registry->GetHistogram(
+      "gsn_lock_wait_micros", labels,
+      "Wall time threads spent blocked acquiring this lock");
+  acquisitions_ = registry->GetCounter("gsn_lock_acquisitions_total", labels,
+                                       "Lock acquisitions");
+  contended_ = registry->GetCounter(
+      "gsn_lock_contended_total", labels,
+      "Acquisitions that found the lock held and had to wait");
+}
+
+void Profiler::Record(const std::string& name, int64_t micros) {
+  if (micros < 0) micros = 0;
+  const int64_t weight = sample_period_;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    if (spans_.size() >= kMaxSpanNames) {
+      it = spans_.emplace("<other>", Agg{}).first;
+    } else {
+      it = spans_.emplace(name, Agg{}).first;
+    }
+  }
+  it->second.count += weight;
+  it->second.total_micros += micros * weight;
+  it->second.max_micros = std::max(it->second.max_micros, micros);
+}
+
+std::vector<Profiler::SpanStats> Profiler::TopSpans(size_t n) const {
+  std::vector<SpanStats> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(spans_.size());
+    for (const auto& [name, agg] : spans_) {
+      out.push_back({name, agg.count, agg.total_micros, agg.max_micros});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    return a.total_micros > b.total_micros;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+ProcessStats ReadProcessStats() {
+  ProcessStats stats;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    stats.cpu_seconds =
+        static_cast<double>(usage.ru_utime.tv_sec + usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec + usage.ru_stime.tv_usec) /
+            1e6;
+  }
+  // /proc/self/statm: total pages, then resident pages.
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r");
+      statm != nullptr) {
+    long total = 0;
+    long resident = 0;
+    if (std::fscanf(statm, "%ld %ld", &total, &resident) == 2) {
+      stats.rss_bytes =
+          static_cast<int64_t>(resident) * sysconf(_SC_PAGESIZE);
+    }
+    std::fclose(statm);
+  }
+  return stats;
+}
+
+std::string BuildVersion() {
+#ifdef GSN_VERSION
+  return GSN_VERSION;
+#else
+  return "dev";
+#endif
+}
+
+std::string BuildCompiler() {
+#ifdef __VERSION__
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace gsn::telemetry

@@ -31,7 +31,11 @@ void StreamSource::ConfigureAdmission(const std::string& sensor,
                                       int64_t default_capacity,
                                       ShedPolicy default_policy,
                                       telemetry::MetricRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Wiring time: the sensor has not started, so instrumenting the
+  // mutex before locking it is race-free.
+  mu_.Instrument(metrics, "admission",
+                 {{"sensor", sensor}, {"source", spec_.alias}});
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   queue_capacity_ =
       spec_.queue_capacity > 0 ? spec_.queue_capacity : default_capacity;
   if (queue_capacity_ < 1) queue_capacity_ = 1;
@@ -49,11 +53,15 @@ void StreamSource::ConfigureAdmission(const std::string& sensor,
         "gsn_admission_queue_depth",
         {{"sensor", sensor}, {"source", spec_.alias}},
         "Elements waiting in the admission queue");
+    queue_wait_micros_ = metrics->GetHistogram(
+        "gsn_queue_wait_micros", {{"sensor", sensor}, {"source", spec_.alias}},
+        "Wall time elements spent in the admission queue between the "
+        "wrapper and the pipeline");
   }
 }
 
-Result<int> StreamSource::PumpLocked(Timestamp now,
-                                     std::unique_lock<std::mutex>* lock) {
+Result<int> StreamSource::PumpLocked(
+    Timestamp now, std::unique_lock<telemetry::TimedMutex>* lock) {
   if (!admitting_) return 0;
   const bool bounded = queue_capacity_ > 0;
   if (bounded && shed_policy_ == ShedPolicy::kBlock &&
@@ -72,6 +80,12 @@ Result<int> StreamSource::PumpLocked(Timestamp now,
   lock->lock();
   if (!produced.ok()) return produced.status();
   produced_total_->Increment(static_cast<int64_t>(produced->size()));
+  // One clock read per poll batch stamps the whole batch's enqueue
+  // time for the queue-wait histogram.
+  const int64_t enqueued_micros =
+      queue_wait_micros_ != nullptr && !produced->empty()
+          ? telemetry::SteadyClock::Instance()->NowMicros()
+          : 0;
   int enqueued = 0;
   for (StreamElement& e : *produced) {
     if (bounded &&
@@ -88,14 +102,14 @@ Result<int> StreamSource::PumpLocked(Timestamp now,
       ++shed_;
       if (shed_total_ != nullptr) shed_total_->Increment();
     }
-    admission_queue_.push_back(std::move(e));
+    admission_queue_.push_back({std::move(e), enqueued_micros});
     ++enqueued;
   }
   return enqueued;
 }
 
 Status StreamSource::Pump(Timestamp now) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<telemetry::TimedMutex> lock(mu_);
   const Result<int> pumped = PumpLocked(now, &lock);
   if (depth_gauge_ != nullptr) {
     depth_gauge_->Set(static_cast<int64_t>(admission_queue_.size()));
@@ -104,7 +118,7 @@ Status StreamSource::Pump(Timestamp now) {
 }
 
 Result<std::vector<StreamElement>> StreamSource::Poll(Timestamp now) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<telemetry::TimedMutex> lock(mu_);
   GSN_RETURN_IF_ERROR(PumpLocked(now, &lock).status());
   std::vector<StreamElement> admitted;
 
@@ -129,9 +143,21 @@ Result<std::vector<StreamElement>> StreamSource::Poll(Timestamp now) {
     ++admitted_;
   }
 
-  std::deque<StreamElement> queued;
+  std::deque<QueuedElement> queued;
   queued.swap(admission_queue_);
-  for (StreamElement& e : queued) {
+  // Queue residency ends here for the whole drained batch, whatever
+  // sampling/disconnect handling decides next.
+  if (queue_wait_micros_ != nullptr && !queued.empty()) {
+    const int64_t drained_micros =
+        telemetry::SteadyClock::Instance()->NowMicros();
+    for (const QueuedElement& q : queued) {
+      if (q.enqueued_micros > 0) {
+        queue_wait_micros_->Observe(drained_micros - q.enqueued_micros);
+      }
+    }
+  }
+  for (QueuedElement& qe : queued) {
+    StreamElement& e = qe.element;
     // Sampling happens before buffering: a sampled-out element is gone
     // regardless of link state.
     if (spec_.sampling_rate < 1.0 && !rng_.NextBool(spec_.sampling_rate)) {
@@ -180,37 +206,37 @@ Result<std::vector<StreamElement>> StreamSource::Poll(Timestamp now) {
 }
 
 void StreamSource::Inject(const StreamElement& element) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   injected_.push_back(element);
 }
 
 void StreamSource::SetAdmitting(bool admitting) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   admitting_ = admitting;
 }
 
 bool StreamSource::admitting() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return admitting_;
 }
 
 size_t StreamSource::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return admission_queue_.size();
 }
 
 int64_t StreamSource::shed_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return shed_;
 }
 
 int64_t StreamSource::queue_capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return queue_capacity_;
 }
 
 ShedPolicy StreamSource::shed_policy() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return shed_policy_;
 }
 
@@ -239,32 +265,32 @@ Relation StreamSource::WindowRelation(Timestamp now) const {
 }
 
 void StreamSource::SetConnected(bool connected) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   connected_ = connected;
 }
 
 bool StreamSource::connected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return connected_;
 }
 
 int64_t StreamSource::admitted_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return admitted_;
 }
 
 int64_t StreamSource::sampled_out_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return sampled_out_;
 }
 
 int64_t StreamSource::dropped_disconnected_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return dropped_disconnected_;
 }
 
 int64_t StreamSource::filled_missing_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   return filled_missing_;
 }
 

@@ -7,6 +7,7 @@
 
 #include "gsn/storage/window_buffer.h"
 #include "gsn/telemetry/metrics.h"
+#include "gsn/telemetry/profiler.h"
 #include "gsn/telemetry/tracing.h"
 #include "gsn/util/rng.h"
 #include "gsn/vsensor/spec.h"
@@ -107,9 +108,19 @@ class StreamSource {
   ShedPolicy shed_policy() const;
 
  private:
+  /// One admission-queue slot: the element plus its steady-clock
+  /// enqueue stamp, so the drain observes real queue-wait time
+  /// (gsn_queue_wait_micros) even when the container runs on a
+  /// VirtualClock.
+  struct QueuedElement {
+    StreamElement element;
+    int64_t enqueued_micros = 0;
+  };
+
   /// Wrapper → admission queue under the shed policy. Returns the
   /// number of elements enqueued (0 when blocked or not admitting).
-  Result<int> PumpLocked(Timestamp now, std::unique_lock<std::mutex>* lock);
+  Result<int> PumpLocked(Timestamp now,
+                         std::unique_lock<telemetry::TimedMutex>* lock);
   /// Stamps/continues trace contexts on the elements admitted this
   /// poll (no-op without a tracer).
   void StampTraces(std::vector<StreamElement>* admitted);
@@ -124,7 +135,9 @@ class StreamSource {
   std::shared_ptr<telemetry::Histogram> poll_micros_;
   std::shared_ptr<telemetry::Counter> produced_total_;
 
-  mutable std::mutex mu_;
+  /// Instrumented at ConfigureAdmission so deployed sources report
+  /// admission-lock contention (lock="admission") to the profiler.
+  mutable telemetry::TimedMutex mu_;
   bool connected_ = true;
   std::deque<StreamElement> disconnect_buffer_;
   int64_t admitted_ = 0;
@@ -137,7 +150,7 @@ class StreamSource {
   // -- Overload protection ----------------------------------------------
   /// Wrapper output waiting for the pipeline (bounded by
   /// queue_capacity_ under shed_policy_).
-  std::deque<StreamElement> admission_queue_;
+  std::deque<QueuedElement> admission_queue_;
   /// Requeued quarantine elements, admitted ahead of the queue.
   std::deque<StreamElement> injected_;
   /// 0 = unbounded (standalone sources, before ConfigureAdmission);
@@ -148,6 +161,9 @@ class StreamSource {
   int64_t shed_ = 0;
   std::shared_ptr<telemetry::Counter> shed_total_;   // label policy=
   std::shared_ptr<telemetry::Gauge> depth_gauge_;    // labels sensor=,source=
+  /// Time elements spend queued between wrapper and pipeline
+  /// (labels sensor=,source=); null until ConfigureAdmission.
+  std::shared_ptr<telemetry::Histogram> queue_wait_micros_;
 };
 
 }  // namespace gsn::vsensor

@@ -1,0 +1,77 @@
+#include "gsn/wrappers/system_wrapper.h"
+
+#include <utility>
+
+namespace gsn::wrappers {
+
+Result<std::unique_ptr<Wrapper>> SystemWrapper::Make(
+    const WrapperConfig& config, SystemSnapshotFn snapshot) {
+  GSN_ASSIGN_OR_RETURN(Timestamp interval,
+                       config.GetDuration("interval", kMicrosPerSecond));
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument(
+        "system wrapper needs a snapshot provider (deploy it inside a "
+        "container)");
+  }
+  return std::unique_ptr<Wrapper>(
+      new SystemWrapper(interval, std::move(snapshot)));
+}
+
+SystemWrapper::SystemWrapper(Timestamp interval, SystemSnapshotFn snapshot)
+    : PeriodicWrapper(interval), snapshot_(std::move(snapshot)) {
+  schema_.AddField("uptime_s", DataType::kInt);
+  schema_.AddField("sensors", DataType::kInt);
+  schema_.AddField("running", DataType::kInt);
+  schema_.AddField("restarting", DataType::kInt);
+  schema_.AddField("failed", DataType::kInt);
+  schema_.AddField("queue_depth", DataType::kInt);
+  schema_.AddField("shed_total", DataType::kInt);
+  schema_.AddField("quarantined", DataType::kInt);
+  schema_.AddField("replay_bytes", DataType::kInt);
+  schema_.AddField("open_circuits", DataType::kInt);
+  schema_.AddField("peers", DataType::kInt);
+  schema_.AddField("segments", DataType::kInt);
+  schema_.AddField("segment_bytes", DataType::kInt);
+  schema_.AddField("tuples_total", DataType::kInt);
+  schema_.AddField("errors_total", DataType::kInt);
+  schema_.AddField("metric_series", DataType::kInt);
+  schema_.AddField("tick_mean_ms", DataType::kDouble);
+  schema_.AddField("tick_p95_ms", DataType::kDouble);
+  schema_.AddField("lock_wait_share", DataType::kDouble);
+  schema_.AddField("queue_wait_p95_ms", DataType::kDouble);
+  schema_.AddField("rss_bytes", DataType::kInt);
+  schema_.AddField("cpu_seconds", DataType::kDouble);
+}
+
+Result<std::vector<StreamElement>> SystemWrapper::EmitAt(Timestamp t) {
+  const SystemSnapshot snap = snapshot_();
+  StreamElement e;
+  e.timed = t;
+  e.values = {
+      Value::Int(snap.uptime_seconds),
+      Value::Int(snap.sensors),
+      Value::Int(snap.running),
+      Value::Int(snap.restarting),
+      Value::Int(snap.failed),
+      Value::Int(snap.queue_depth),
+      Value::Int(snap.shed_total),
+      Value::Int(snap.quarantined),
+      Value::Int(snap.replay_bytes),
+      Value::Int(snap.open_circuits),
+      Value::Int(snap.peers),
+      Value::Int(snap.segments),
+      Value::Int(snap.segment_bytes),
+      Value::Int(snap.tuples_total),
+      Value::Int(snap.errors_total),
+      Value::Int(snap.metric_series),
+      Value::Double(snap.tick_mean_ms),
+      Value::Double(snap.tick_p95_ms),
+      Value::Double(snap.lock_wait_share),
+      Value::Double(snap.queue_wait_p95_ms),
+      Value::Int(snap.rss_bytes),
+      Value::Double(snap.cpu_seconds),
+  };
+  return std::vector<StreamElement>{std::move(e)};
+}
+
+}  // namespace gsn::wrappers

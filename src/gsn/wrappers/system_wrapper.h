@@ -1,0 +1,93 @@
+#ifndef GSN_WRAPPERS_SYSTEM_WRAPPER_H_
+#define GSN_WRAPPERS_SYSTEM_WRAPPER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gsn/wrappers/periodic_wrapper.h"
+
+namespace gsn::wrappers {
+
+/// Point-in-time health snapshot of the hosting container, produced by
+/// the container itself (see Container::SystemSnapshotNow). Declared
+/// here so the wrapper layer never depends on the container layer: the
+/// container hands SystemWrapper a provider function at deploy time.
+///
+/// The snapshot is computed outside the container/tick locks (from a
+/// cache the container refreshes once per tick), so a sensor that
+/// monitors its own container can never deadlock or recursively
+/// amplify the telemetry it observes.
+struct SystemSnapshot {
+  int64_t uptime_seconds = 0;
+  // Supervisor view.
+  int64_t sensors = 0;
+  int64_t running = 0;
+  int64_t restarting = 0;
+  int64_t failed = 0;
+  // Admission / overload view.
+  int64_t queue_depth = 0;  // sum across admission queues
+  int64_t shed_total = 0;
+  int64_t quarantined = 0;
+  // Federation view.
+  int64_t replay_bytes = 0;
+  int64_t open_circuits = 0;
+  int64_t peers = 0;
+  // Storage view.
+  int64_t segments = 0;
+  int64_t segment_bytes = 0;
+  // Throughput totals.
+  int64_t tuples_total = 0;
+  int64_t errors_total = 0;
+  int64_t metric_series = 0;
+  // Scheduling / contention view (profiler).
+  double tick_mean_ms = 0;
+  double tick_p95_ms = 0;
+  double lock_wait_share = 0;  // lock-wait time / total tick time
+  double queue_wait_p95_ms = 0;
+  // Process view.
+  int64_t rss_bytes = 0;
+  double cpu_seconds = 0;
+};
+
+using SystemSnapshotFn = std::function<SystemSnapshot()>;
+
+/// The paper's "anything producing data can be wrapped" applied to the
+/// middleware itself: `wrapper="system"` periodically scrapes the
+/// hosting container's health snapshot into typed stream elements, so
+/// ordinary virtual sensors provide windowed SQL dashboards,
+/// notification alerting, and `wrapper="remote"` federation of health
+/// data upstream.
+///
+/// Parameters:
+///   interval   scrape period with unit suffix ("500ms"; default 1s)
+///
+/// Output schema (ints unless noted): uptime_s, sensors, running,
+/// restarting, failed, queue_depth, shed_total, quarantined,
+/// replay_bytes, open_circuits, peers, segments, segment_bytes,
+/// tuples_total, errors_total, metric_series, tick_mean_ms (double),
+/// tick_p95_ms (double), lock_wait_share (double), queue_wait_p95_ms
+/// (double), rss_bytes, cpu_seconds (double)
+class SystemWrapper : public PeriodicWrapper {
+ public:
+  /// `snapshot` is supplied by the container at deploy time; the
+  /// wrapper cannot be created through the plain WrapperRegistry.
+  static Result<std::unique_ptr<Wrapper>> Make(const WrapperConfig& config,
+                                               SystemSnapshotFn snapshot);
+
+  const Schema& output_schema() const override { return schema_; }
+  std::string type_name() const override { return "system"; }
+
+ protected:
+  Result<std::vector<StreamElement>> EmitAt(Timestamp t) override;
+
+ private:
+  SystemWrapper(Timestamp interval, SystemSnapshotFn snapshot);
+
+  Schema schema_;
+  SystemSnapshotFn snapshot_;
+};
+
+}  // namespace gsn::wrappers
+
+#endif  // GSN_WRAPPERS_SYSTEM_WRAPPER_H_

@@ -1,0 +1,88 @@
+// Bound tests for the always-on observability stores: the trace ring
+// and the slow-query log must stay O(1) in memory under sustained
+// load, evicting oldest-first and counting what they drop.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gsn/container/query_manager.h"
+#include "gsn/sql/executor.h"
+#include "gsn/telemetry/tracing.h"
+
+namespace gsn::telemetry {
+namespace {
+
+TEST(TelemetryBoundsTest, TraceStoreEvictsOldestAndCountsDropped) {
+  TraceStore store(8);
+  for (int i = 0; i < 20; ++i) {
+    SpanRecord record;
+    record.trace_hi = 1;
+    record.trace_lo = 1;
+    record.span_id = static_cast<uint64_t>(i + 1);
+    record.name = "span-" + std::to_string(i);
+    store.Record(std::move(record));
+  }
+  EXPECT_EQ(store.size(), 8u);
+  EXPECT_EQ(store.capacity(), 8u);
+  EXPECT_EQ(store.dropped(), 12u);
+
+  const auto spans = store.Snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // Oldest-first, and the survivors are the 8 newest records.
+  EXPECT_EQ(spans.front().name, "span-12");
+  EXPECT_EQ(spans.back().name, "span-19");
+}
+
+}  // namespace
+}  // namespace gsn::telemetry
+
+namespace gsn::container {
+namespace {
+
+TEST(TelemetryBoundsTest, SlowQueryLogIsABoundedRing) {
+  // A table big enough that every execution costs well over the 1us
+  // slow bar.
+  Schema schema;
+  schema.AddField("x", DataType::kInt);
+  Relation rows(schema);
+  for (int64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(rows.AddRow({Value::Int(i % 97)}).ok());
+  }
+  sql::MapResolver resolver;
+  resolver.Put("t", std::move(rows));
+
+  telemetry::MetricRegistry registry;
+  QueryManager manager(&resolver, &registry);
+  manager.set_slow_query_micros(1);
+
+  constexpr int kQueries = 40;
+  for (int i = 0; i < kQueries; ++i) {
+    auto result = manager.Execute(
+        "select avg(x) from t where x >= " + std::to_string(-i), "bounds");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  const auto log = manager.slow_log();
+  // Bounded ring of 32, oldest evicted first: the survivors are the 32
+  // most recent executions, newest last.
+  ASSERT_EQ(log.size(), 32u);
+  EXPECT_NE(log.front().sql_text.find(std::to_string(-(kQueries - 32))),
+            std::string::npos)
+      << log.front().sql_text;
+  EXPECT_NE(log.back().sql_text.find(std::to_string(-(kQueries - 1))),
+            std::string::npos)
+      << log.back().sql_text;
+  for (const auto& entry : log) {
+    EXPECT_EQ(entry.source, "bounds");
+    EXPECT_GE(entry.elapsed_micros, 1);
+    // Each retained occurrence carries the analyzed plan of the slow
+    // execution itself.
+    EXPECT_NE(entry.plan.find("rows="), std::string::npos) << entry.plan;
+  }
+  // Every slow occurrence was counted, not just the retained ones.
+  EXPECT_EQ(registry.SumCounters("gsn_slow_queries_total"), kQueries);
+}
+
+}  // namespace
+}  // namespace gsn::container
