@@ -1,0 +1,165 @@
+// Ablation: sharded container core — aggregate tick throughput at 1k+
+// trivial sensors as a function of tick worker count (ROADMAP item 1,
+// docs/CONCURRENCY.md). Each configuration runs a fresh container with
+// N shards and N tick workers over the same virtual-time schedule; the
+// sensors are minimal time-triggered generators so the measured cost is
+// the container's dispatch/locking machinery, not pipeline work.
+//
+// The bench FAILS (nonzero exit) if:
+//   * any configuration produces a different element count than the
+//     single-worker baseline (worker interleaving must never change
+//     what the sensors produce), or
+//   * on a multi-core host, the best multi-worker throughput does not
+//     beat the single-worker drain by at least kMinSpeedup (the whole
+//     point of sharding the core).
+// On a single-core host the scaling bar is skipped (printed as such):
+// there is nothing for extra workers to scale onto.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gsn/container/container.h"
+#include "gsn/telemetry/metrics.h"
+
+namespace {
+
+using gsn::Timestamp;
+using gsn::kMicrosPerMilli;
+
+constexpr double kMinSpeedup = 1.25;
+
+std::string TrivialDescriptor(const std::string& name) {
+  return "<virtual-sensor name=\"" + name + "\">"
+         "<output-structure>"
+         "  <field name=\"seq\" type=\"integer\"/>"
+         "  <field name=\"value\" type=\"double\"/>"
+         "</output-structure>"
+         "<input-stream name=\"in\">"
+         "  <stream-source alias=\"src\" storage-size=\"1\">"
+         "    <address wrapper=\"generator\">"
+         "      <predicate key=\"interval-ms\" val=\"10\"/>"
+         "    </address>"
+         "    <query>select * from wrapper</query>"
+         "  </stream-source>"
+         "  <query>select seq, value from src</query>"
+         "</input-stream>"
+         "</virtual-sensor>";
+}
+
+struct RunResult {
+  int workers = 0;
+  long elements = 0;
+  double wall_seconds = 0;
+  double throughput = 0;  // elements per wall second
+};
+
+RunResult RunConfig(int workers, int sensors, int rounds) {
+  auto clock = std::make_shared<gsn::VirtualClock>();
+  gsn::telemetry::MetricRegistry registry;
+  gsn::container::Container::Options options;
+  options.node_id = "ablate-shard";
+  options.clock = clock;
+  options.seed = 42;
+  options.metrics = &registry;
+  options.sharding.shards = workers;
+  options.sharding.tick_workers = workers;
+  gsn::container::Container container(std::move(options));
+
+  for (int i = 0; i < sensors; ++i) {
+    auto deployed =
+        container.Deploy(TrivialDescriptor("s" + std::to_string(i)));
+    if (!deployed.ok()) {
+      std::fprintf(stderr, "deploy failed: %s\n",
+                   deployed.status().ToString().c_str());
+      return {};
+    }
+  }
+
+  const Timestamp step = 10 * kMicrosPerMilli;
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    clock->Advance(step);
+    (void)container.Tick();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.workers = workers;
+  result.elements =
+      static_cast<long>(registry.SumCounters("gsn_sensor_tuples_total"));
+  result.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  result.throughput = result.wall_seconds > 0
+                          ? static_cast<double>(result.elements) /
+                                result.wall_seconds
+                          : 0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  const int sensors = 1024;
+  const int rounds = quick ? 20 : 100;
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+
+  // 1/2/4/N workers, deduplicated (e.g. N==4 runs once).
+  std::set<int> configs = {1, 2, 4, hw};
+  std::printf(
+      "ablate_shard: %d sensors x %d rounds, hardware_concurrency=%d\n",
+      sensors, rounds, hw);
+  std::printf("%8s %12s %10s %14s %9s\n", "workers", "elements", "wall_s",
+              "elements/s", "speedup");
+
+  std::vector<RunResult> results;
+  for (int workers : configs) {
+    results.push_back(RunConfig(workers, sensors, rounds));
+  }
+
+  const RunResult& base = results.front();
+  bool ok = base.elements > 0;
+  double best_speedup = 1.0;
+  for (const RunResult& r : results) {
+    const double speedup =
+        base.throughput > 0 ? r.throughput / base.throughput : 0;
+    if (r.workers > 1) best_speedup = std::max(best_speedup, speedup);
+    std::printf("%8d %12ld %10.3f %14.0f %8.2fx\n", r.workers, r.elements,
+                r.wall_seconds, r.throughput, speedup);
+    if (r.elements != base.elements) {
+      std::fprintf(stderr,
+                   "FAIL: %d workers produced %ld elements, baseline %ld — "
+                   "worker count changed what the sensors produced\n",
+                   r.workers, r.elements, base.elements);
+      ok = false;
+    }
+  }
+
+  if (!ok) return 1;
+  if (hw < 2) {
+    std::printf(
+        "scaling bar SKIPPED: single-core host (hardware_concurrency=%d), "
+        "no parallelism for extra workers to exploit\n",
+        hw);
+    return 0;
+  }
+  if (best_speedup < kMinSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: best multi-worker throughput is %.2fx the "
+                 "single-worker drain (bar: %.2fx) — tick throughput does "
+                 "not scale with worker count\n",
+                 best_speedup, kMinSpeedup);
+    return 1;
+  }
+  std::printf("scaling bar PASSED: best multi-worker speedup %.2fx >= %.2fx\n",
+              best_speedup, kMinSpeedup);
+  return 0;
+}

@@ -23,6 +23,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -41,7 +42,9 @@ void HandleStop(int) { g_stop = 1; }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--data-dir DIR] [--descriptors DIR] [--port N]\n"
-               "          [--node-id ID] [--tick-ms N]\n",
+               "          [--node-id ID] [--tick-ms N] [--shards N]\n"
+               "       GSN_SHARDS=N in the environment sets the default\n"
+               "       shard/tick-worker count (0 = hardware concurrency)\n",
                argv0);
   return 2;
 }
@@ -54,6 +57,12 @@ int main(int argc, char** argv) {
   std::string node_id = "gsnd";
   long port = 0;
   long tick_ms = 100;
+  // GSN_SHARDS seeds the default; --shards (parsed below) overrides.
+  // 0 means "size to hardware concurrency" (the container default).
+  long shards = 0;
+  if (const char* env = std::getenv("GSN_SHARDS")) {
+    shards = std::strtol(env, nullptr, 10);
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,17 +82,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--tick-ms" && value != nullptr) {
       tick_ms = std::strtol(value, nullptr, 10);
       ++i;
+    } else if (arg == "--shards" && value != nullptr) {
+      shards = std::strtol(value, nullptr, 10);
+      ++i;
     } else {
       return Usage(argv[0]);
     }
   }
-  if (tick_ms <= 0 || port < 0 || port > 65535) return Usage(argv[0]);
+  if (tick_ms <= 0 || port < 0 || port > 65535 || shards < 0) {
+    return Usage(argv[0]);
+  }
 
   gsn::container::Container::Options options;
   options.node_id = node_id;
   options.clock = gsn::SystemClock::Shared();
   options.seed = static_cast<uint64_t>(::getpid());
   options.data_dir = data_dir;
+  options.sharding.shards = static_cast<int>(shards);
   gsn::container::Container container(std::move(options));
 
   if (!data_dir.empty()) {

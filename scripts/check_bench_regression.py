@@ -13,6 +13,11 @@ Rules, per matching measurement:
     when fresh > baseline * FACTOR and fresh > FLOOR_MS (tiny absolute
     values are all noise);
   - throughput-ish counts (elements) fail when fresh < baseline / FACTOR;
+  - contention shares (lock_wait_share, queue_wait_share) are
+    direction-aware: they gate only *upward* movement, failing when
+    fresh > baseline + SHARE_SLACK. Shares are ratios in [0, 1], so an
+    absolute slack (not a factor) is the meaningful bar, and dropping
+    to zero — the goal of the sharding work — can never fail;
   - identity fields (interval_ms, ses_bytes, clients, figure, devices,
     duration_s) must be equal — a mismatch means the bench grid changed
     and the baseline needs regenerating, which is an error, not a skip;
@@ -35,6 +40,8 @@ LATENCY_FIELDS = {
     "per_client_ms",
 }
 COUNT_FIELDS = {"elements"}
+SHARE_FIELDS = {"lock_wait_share", "queue_wait_share"}
+SHARE_SLACK = 0.02
 IDENTITY_FIELDS = {
     "interval_ms", "ses_bytes", "clients", "figure", "devices", "duration_s",
 }
@@ -88,6 +95,13 @@ def main():
             if new_value < base_value / factor:
                 errors.append(f"{label}: {base_value} -> {new_value} "
                               f"(> {factor:.1f}x fewer elements)")
+        elif field in SHARE_FIELDS:
+            compared += 1
+            if new_value > base_value + SHARE_SLACK:
+                errors.append(
+                    f"{label}: {base_value:.4f} -> {new_value:.4f} "
+                    f"(contention share regressed upward by more than "
+                    f"{SHARE_SLACK})")
 
     # New fields only the fresh bench emits are informational: they are
     # measurements without a baseline, not regressions.

@@ -11,6 +11,10 @@
 # history into segment files, survives another kill -9, and still
 # serves its full history exactly once across the window/segment seam.
 #
+# Phase 4 exercises the sharded core (docs/CONCURRENCY.md): the same
+# data dir recovers under GSN_SHARDS=4, survives a kill -9, and
+# recovers again under GSN_SHARDS=2 — shard count is tuning, not state.
+#
 # usage: scripts/crash_recovery_smoke.sh [path-to-example_gsnd]
 set -euo pipefail
 
@@ -162,6 +166,45 @@ set -- $(count_rows cold); COLD_AFTER=$1; COLD_AFTER_D=$2
 [ "$COLD_AFTER" -gt 5 ] || {
   echo "FAIL: segment history lost in crash ($COLD_AFTER rows)"; exit 1; }
 echo "ok: segment tier intact after kill -9 ($COLD_AFTER rows, no duplicates)"
+
+# --- Phase 4: sharded recovery (GSN_SHARDS) ---------------------------
+# The shard count is a runtime tuning knob, not durable state
+# (docs/CONCURRENCY.md): the same data dir must recover under a 4-shard
+# core, and a 4-shard node killed mid-stream must recover under 2
+# shards — the FNV placement just re-buckets the sensors.
+kill -TERM "$GSND_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$GSND_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$GSND_PID" 2>/dev/null && { echo "FAIL: gsnd did not drain before phase 4"; exit 1; }
+GSND_PID=""
+
+GSN_SHARDS=4 start_gsnd
+api status | grep -q '"index":3' || { echo "FAIL: not running 4 shards"; cat "$LOG"; exit 1; }
+api sensors | grep -q '"name":"smoke"' || { echo "FAIL: sensor lost under 4 shards"; exit 1; }
+set -- $(count_rows); SHARDED=$1; SHARDED_D=$2
+[ "$SHARDED" -gt 0 ] || { echo "FAIL: no rows under 4 shards"; exit 1; }
+[ "$SHARDED" -eq "$SHARDED_D" ] || {
+  echo "FAIL: duplicates under 4 shards ($SHARDED vs $SHARDED_D)"; exit 1; }
+for _ in $(seq 1 100); do
+  set -- $(count_rows); NOW=$1
+  [ "$NOW" -gt "$SHARDED" ] && break
+  sleep 0.1
+done
+[ "$NOW" -gt "$SHARDED" ] || { echo "FAIL: 4-shard node is not streaming"; exit 1; }
+echo "ok: 4-shard recovery streamed $NOW rows; kill -9 the sharded node"
+
+kill -9 "$GSND_PID"
+wait "$GSND_PID" 2>/dev/null || true
+GSND_PID=""
+GSN_SHARDS=2 start_gsnd
+api sensors | grep -q '"name":"smoke"' || { echo "FAIL: sensor lost re-bucketing 4->2 shards"; exit 1; }
+set -- $(count_rows); REBUCKET=$1; REBUCKET_D=$2
+[ "$REBUCKET" -gt 0 ] || { echo "FAIL: no rows after 4->2 re-bucket"; exit 1; }
+[ "$REBUCKET" -eq "$REBUCKET_D" ] || {
+  echo "FAIL: duplicates after 4->2 re-bucket ($REBUCKET vs $REBUCKET_D)"; exit 1; }
+echo "ok: crashed 4-shard node recovered under 2 shards ($REBUCKET rows, no duplicates)"
 
 # Graceful path: SIGTERM drains and exits 0.
 kill -TERM "$GSND_PID"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <functional>
+#include <thread>
 
 #include "gsn/sql/parser.h"
 #include "gsn/util/logging.h"
@@ -67,11 +69,43 @@ Container::Container(Options options)
   replay_bytes_ = metrics_->GetGauge(
       "gsn_replay_buffer_bytes", node_label,
       "Bytes currently held across producer-side replay buffers");
-  // Contention/scheduling profiler (docs/TELEMETRY.md): instrument the
-  // two global locks and register the tick breakdown before any other
-  // thread can touch the container.
-  mu_.Instrument(metrics_, "container", node_label);
-  tick_mu_.Instrument(metrics_, "tick", node_label);
+  // The sharded deployment core (docs/CONCURRENCY.md): resolve the
+  // shard count, build the shards, and instrument every lock before
+  // any other thread can touch the container.
+  int num_shards = options_.sharding.shards;
+  if (num_shards <= 0) {
+    num_shards =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  int tick_workers = options_.sharding.tick_workers;
+  if (tick_workers <= 0) tick_workers = num_shards;
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    const std::string shard_label = std::to_string(i);
+    shard->mu.Instrument(
+        metrics_, "shard-" + shard_label,
+        {{"node", options_.node_id}, {"shard", shard_label}});
+    shard->rng =
+        Rng(options_.seed * 2654435761u + 97 + static_cast<uint64_t>(i));
+    shard->sensors_gauge = metrics_->GetGauge(
+        "gsn_shard_sensors",
+        {{"node", options_.node_id}, {"shard", shard_label}},
+        "Virtual sensors currently hosted by this shard");
+    shard->ticks_total = metrics_->GetCounter(
+        "gsn_shard_ticks_total",
+        {{"node", options_.node_id}, {"shard", shard_label}},
+        "Sensor pipeline drains executed by this shard's tick workers");
+    shard->lock_wait_gauge = metrics_->GetGauge(
+        "gsn_shard_lock_wait_micros",
+        {{"node", options_.node_id}, {"shard", shard_label}},
+        "Cumulative micros spent blocked on this shard's lock");
+    shards_.push_back(std::move(shard));
+  }
+  if (num_shards > 1) tick_pool_ = std::make_unique<ThreadPool>(tick_workers);
+  fed_mu_.Instrument(metrics_, "federation", node_label);
+  chain_mu_.Instrument(metrics_, "chaining", node_label);
   tick_micros_ = metrics_->GetHistogram("gsn_tick_micros", node_label,
                                         "Container Tick() wall time");
   const char* phase_help =
@@ -162,16 +196,16 @@ Container::Container(Options options)
 Container::~Container() {
   // Process teardown, not operator intent: undeploys below must not
   // record manifest undeploy events (the sensors come back on restart).
-  {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    shutting_down_ = true;
-  }
-  // Stop sensors before members are torn down.
+  shutting_down_.store(true, std::memory_order_release);
+  // Stop sensors before members are torn down. Undeploy waits out any
+  // tick worker still inside a sensor (busy-flag barrier).
   std::vector<std::string> names = ListSensors();
   for (const std::string& name : names) {
     const Status s = Undeploy(name);
     (void)s;
   }
+  // Quiesce the tick workers before shards/members are destroyed.
+  if (tick_pool_ != nullptr) tick_pool_->Shutdown();
   if (options_.network != nullptr) {
     (void)options_.network->UnregisterNode(options_.node_id);
   }
@@ -262,9 +296,10 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
   GSN_RETURN_IF_ERROR(access_control_.Check(api_key, Permission::kDeploy));
   GSN_RETURN_IF_ERROR(spec.Validate());
   const std::string key = StrToLower(spec.name);
+  Shard& shard = ShardFor(key);
   {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    if (deployments_.count(key)) {
+    std::lock_guard<telemetry::TimedMutex> lock(shard.mu);
+    if (shard.deployments.count(key)) {
       return Status::AlreadyExists("sensor already deployed: " + spec.name);
     }
   }
@@ -274,10 +309,25 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
       storage::Table * table,
       tables_.CreateTable(spec.name, spec.output_structure,
                           spec.storage.history));
-  // Undo table creation on any later failure.
-  auto drop_table = [&] { (void)tables_.DropTable(spec.name); };
+  // Undo table creation (and any remote subscriptions already issued
+  // for earlier sources) on any later failure.
+  auto unwind = [&] {
+    (void)tables_.DropTable(spec.name);
+    const std::vector<std::string> cancelled = CancelSubscriptionsFor(key);
+    if (options_.network != nullptr) {
+      for (const std::string& id : cancelled) {
+        network::UnsubscribeRequest cancel;
+        cancel.subscription_id = id;
+        (void)options_.network->Broadcast(options_.clock->NowMicros(),
+                                          options_.node_id,
+                                          network::kTopicUnsubscribe,
+                                          cancel.Encode());
+      }
+    }
+  };
 
   Deployment deployment;
+  deployment.key = key;
   deployment.table = table;
 
   // Permanent storage: open the per-sensor log and replay history.
@@ -294,7 +344,7 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
     Result<std::vector<StreamElement>> recovered =
         storage::PersistenceLog::Recover(path, &truncated);
     if (!recovered.ok()) {
-      drop_table();
+      unwind();
       return recovered.status();
     }
     for (const StreamElement& e : *recovered) {
@@ -338,7 +388,7 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
     Result<std::unique_ptr<storage::PersistenceLog>> log =
         storage::PersistenceLog::Open(path);
     if (!log.ok()) {
-      drop_table();
+      unwind();
       return log.status();
     }
     deployment.log = *std::move(log);
@@ -353,14 +403,12 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
       Result<std::unique_ptr<wrappers::Wrapper>> wrapper =
           MakeWrapperForSource(source_spec, key, &deployment);
       if (!wrapper.ok()) {
-        drop_table();
+        unwind();
         return wrapper.status();
       }
-      uint64_t seed;
-      {
-        std::lock_guard<telemetry::TimedMutex> lock(mu_);
-        seed = options_.seed * 1000003 + ++wrapper_seed_counter_;
-      }
+      const uint64_t seed =
+          options_.seed * 1000003 +
+          (wrapper_seed_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
       auto source = std::make_unique<StreamSource>(
           source_spec, *std::move(wrapper), seed, metrics_, tracer_,
           options_.node_id);
@@ -376,7 +424,6 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
   if (spec.life_cycle.lifetime_micros > 0) {
     deployment.expires_at = now + spec.life_cycle.lifetime_micros;
   }
-  deployment.pool = std::make_unique<ThreadPool>(spec.life_cycle.pool_size);
   deployment.sensor = std::make_unique<VirtualSensor>(
       std::move(spec), std::move(sources), options_.clock, metrics_, tracer_,
       options_.node_id);
@@ -402,16 +449,31 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
 
   const Status started = sensor->Start();
   if (!started.ok()) {
-    drop_table();
+    unwind();
     return started;
   }
 
   const int system_sources = deployment.system_sources;
+  auto published = std::make_shared<Deployment>(std::move(deployment));
+  bool inserted = false;
   {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    deployments_[key] = std::move(deployment);
-    sensors_deployed_->Set(static_cast<int64_t>(deployments_.size()));
+    std::lock_guard<telemetry::TimedMutex> lock(shard.mu);
+    inserted = shard.deployments.emplace(key, published).second;
+    if (inserted) {
+      shard.sensors_gauge->Set(
+          static_cast<int64_t>(shard.deployments.size()));
+    }
   }
+  if (!inserted) {
+    // Lost a deploy race for the same name after the early check
+    // (CreateTable normally arbitrates, but stay defensive).
+    published->sensor->Stop();
+    unwind();
+    return Status::AlreadyExists("sensor already deployed: " +
+                                 published->sensor->name());
+  }
+  sensors_deployed_->Set(
+      total_deployments_.fetch_add(1, std::memory_order_relaxed) + 1);
   if (system_sources > 0) {
     system_sources_total_.fetch_add(system_sources, std::memory_order_relaxed);
     // Prime the cache so the first scrape (one wrapper interval in)
@@ -431,9 +493,10 @@ Result<VirtualSensor*> Container::DeploySpec(VirtualSensorSpec spec,
   // Schedule the publish's retry rounds: a lost broadcast heals long
   // before the next anti-entropy announcement.
   if (options_.network != nullptr) {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
     PendingPublish pending;
     pending.key = key;
+    pending.spec = sensor->spec();
     pending.next_at =
         now + options_.resilience.retry.BackoffForAttempt(1, &resilience_rng_);
     pending_publishes_.push_back(std::move(pending));
@@ -464,7 +527,7 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
     auto wrapper = std::make_unique<LocalStreamWrapper>(entry.output_schema,
                                                         entry.sensor_name);
     {
-      std::lock_guard<telemetry::TimedMutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(chain_mu_);
       local_wrappers_.emplace(StrToLower(entry.sensor_name), wrapper.get());
     }
     deployment->local_sources.push_back(wrapper.get());
@@ -474,7 +537,7 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
   // wrapper="system": the container itself wrapped as a data source
   // (self-observation — the paper's "anything producing data" applied
   // to the middleware). The provider reads the per-tick snapshot cache
-  // under its own small lock, never mu_ or tick_mu_, so a sensor
+  // under its own small lock, never a shard lock, so a sensor
   // monitoring its own container can never deadlock, and scraping
   // costs the same whether one or fifty sensors watch.
   if (StrEqualsIgnoreCase(source_spec.address.wrapper, "system")) {
@@ -482,10 +545,9 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
     config.instance_name = source_spec.alias;
     config.params = source_spec.address.predicates;
     config.clock = options_.clock;
-    {
-      std::lock_guard<telemetry::TimedMutex> lock(mu_);
-      config.seed = options_.seed * 7919 + ++wrapper_seed_counter_;
-    }
+    config.seed =
+        options_.seed * 7919 +
+        (wrapper_seed_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
     ++deployment->system_sources;
     return wrappers::SystemWrapper::Make(config,
                                          [this] { return SystemSnapshotNow(); });
@@ -496,10 +558,9 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
     config.instance_name = source_spec.alias;
     config.params = source_spec.address.predicates;
     config.clock = options_.clock;
-    {
-      std::lock_guard<telemetry::TimedMutex> lock(mu_);
-      config.seed = options_.seed * 7919 + ++wrapper_seed_counter_;
-    }
+    config.seed =
+        options_.seed * 7919 +
+        (wrapper_seed_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
     return registry_.Create(source_spec.address.wrapper, config);
   }
 
@@ -536,7 +597,7 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
   std::string subscription_id;
   const DirectoryEntry* entry = &matches.front();
   {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
     // Prefer a producer whose circuit allows traffic right now; fall
     // back to the first match (subscribe retries take it from there).
     for (const DirectoryEntry& candidate : matches) {
@@ -560,7 +621,7 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
   auto wrapper = std::make_unique<RemoteStreamWrapper>(
       entry->output_schema, entry->node_id, entry->sensor_name);
   {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
     RemoteSubscription& sub = remote_subs_[subscription_id];
     sub.wrapper = wrapper.get();
     sub.deployment_key = deployment_key;
@@ -570,36 +631,64 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
     sub.subscribe_attempts = 1;  // the send above
     sub.next_subscribe_at =
         now + sub.retry.BackoffForAttempt(1, &resilience_rng_);
+    subs_by_deployment_[deployment_key].push_back(subscription_id);
   }
-  deployment->subscription_ids.push_back(subscription_id);
   return std::unique_ptr<wrappers::Wrapper>(std::move(wrapper));
+}
+
+std::vector<std::string> Container::CancelSubscriptionsFor(
+    const std::string& key) {
+  std::vector<std::string> cancelled;
+  std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
+  auto it = subs_by_deployment_.find(key);
+  if (it != subs_by_deployment_.end()) {
+    cancelled = std::move(it->second);
+    subs_by_deployment_.erase(it);
+    for (const std::string& id : cancelled) remote_subs_.erase(id);
+  }
+  for (auto pit = pending_publishes_.begin();
+       pit != pending_publishes_.end();) {
+    pit = pit->key == key ? pending_publishes_.erase(pit) : std::next(pit);
+  }
+  return cancelled;
 }
 
 Status Container::Undeploy(const std::string& sensor_name,
                            const std::string& api_key) {
   GSN_RETURN_IF_ERROR(access_control_.Check(api_key, Permission::kDeploy));
   const std::string key = StrToLower(sensor_name);
-  Deployment deployment;
-  bool record_undeploy = false;
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<Deployment> deployment;
+  // Operator/lifetime undeploys are durable; teardown at process
+  // exit is not (the whole point of crash recovery).
+  const bool record_undeploy = !shutting_down_.load(std::memory_order_acquire);
   {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    auto it = deployments_.find(key);
-    if (it == deployments_.end()) {
+    std::unique_lock<telemetry::TimedMutex> lock(shard.mu);
+    auto it = shard.deployments.find(key);
+    if (it == shard.deployments.end()) {
       return Status::NotFound("no such sensor: " + sensor_name);
     }
-    // Operator/lifetime undeploys are durable; teardown at process
-    // exit is not (the whole point of crash recovery).
-    record_undeploy = !shutting_down_;
-    deployment = std::move(it->second);
-    deployments_.erase(it);
-    sensors_deployed_->Set(static_cast<int64_t>(deployments_.size()));
-    for (const std::string& id : deployment.subscription_ids) {
-      remote_subs_.erase(id);
-    }
-    // Detach this sensor's own local-source wrappers from producers.
+    deployment = it->second;
+    shard.deployments.erase(it);
+    shard.sensors_gauge->Set(static_cast<int64_t>(shard.deployments.size()));
+    // Busy-flag barrier: a tick worker may still be inside this
+    // sensor's pipeline; wait until it clears the flag before stopping
+    // and destroying the sensor (the lifetime guarantee the per-sensor
+    // pool Shutdown() used to provide).
+    shard.idle_cv.wait(lock, [&] { return !deployment->busy; });
+  }
+  sensors_deployed_->Set(
+      total_deployments_.fetch_sub(1, std::memory_order_relaxed) - 1);
+
+  // Detach the chaining edges BEFORE stopping the sensor: after this
+  // block no producer fan-out (which runs under chain_mu_) can push
+  // into the dying sensor, and its own source wrappers stop receiving.
+  {
+    std::lock_guard<telemetry::TimedMutex> lock(chain_mu_);
+    // This sensor's own local-source wrappers, detached from producers.
     for (auto wit = local_wrappers_.begin(); wit != local_wrappers_.end();) {
       bool mine = false;
-      for (LocalStreamWrapper* w : deployment.local_sources) {
+      for (LocalStreamWrapper* w : deployment->local_sources) {
         if (wit->second == w) {
           mine = true;
           break;
@@ -614,16 +703,31 @@ Status Container::Undeploy(const std::string& sensor_name,
       wit = local_wrappers_.erase(wit);
     }
   }
-  if (deployment.system_sources > 0) {
-    system_sources_total_.fetch_sub(deployment.system_sources,
+
+  // Federation bookkeeping: our subscriptions on remote producers are
+  // cancelled (failover can no longer touch their wrappers), remote
+  // consumers of this sensor dropped, pending publish rounds purged.
+  const std::vector<std::string> cancelled = CancelSubscriptionsFor(key);
+  {
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
+    for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+      if (StrEqualsIgnoreCase(it->second.sensor_name, sensor_name)) {
+        it = subscribers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  if (deployment->system_sources > 0) {
+    system_sources_total_.fetch_sub(deployment->system_sources,
                                     std::memory_order_relaxed);
   }
-  deployment.sensor->Stop();
-  deployment.pool->Shutdown();
+  deployment->sensor->Stop();
 
   // Cancel our subscriptions on remote producers.
   if (options_.network != nullptr) {
-    for (const std::string& id : deployment.subscription_ids) {
+    for (const std::string& id : cancelled) {
       network::UnsubscribeRequest cancel;
       cancel.subscription_id = id;
       // Peer node id is encoded in the wrapper; broadcast is simpler
@@ -635,19 +739,7 @@ Status Container::Undeploy(const std::string& sensor_name,
     }
   }
 
-  // Drop remote consumers of this sensor.
-  {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    for (auto it = subscribers_.begin(); it != subscribers_.end();) {
-      if (StrEqualsIgnoreCase(it->second.sensor_name, sensor_name)) {
-        it = subscribers_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
-  RetractSensor(deployment.sensor->name());
+  RetractSensor(deployment->sensor->name());
   GSN_RETURN_IF_ERROR(tables_.DropTable(sensor_name));
   // Operator undeploys retire the sensor's cold history with it;
   // process-exit teardown keeps the segments (they come back with the
@@ -661,7 +753,7 @@ Status Container::Undeploy(const std::string& sensor_name,
     }
   }
   // Retire the sensor's metric series; its handles die with `deployment`.
-  metrics_->RemoveWithLabel("sensor", deployment.sensor->name());
+  metrics_->RemoveWithLabel("sensor", deployment->sensor->name());
   if (manifest_ != nullptr && !recovering_ && record_undeploy) {
     const Status logged = manifest_->AppendUndeploy(key);
     if (!logged.ok()) {
@@ -675,20 +767,40 @@ Status Container::Undeploy(const std::string& sensor_name,
   return Status::OK();
 }
 
+int Container::ShardIndexFor(const std::string& key) const {
+  // FNV-1a over the (already lowercased) sensor key; stable across
+  // runs so recovery with the same shard count lands sensors on the
+  // same shard (and with a different count, simply elsewhere — no
+  // state outlives the process that cares which shard a sensor used).
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(shards_.size()));
+}
+
+Container::Shard& Container::ShardFor(const std::string& key) const {
+  return *shards_[ShardIndexFor(key)];
+}
+
 std::vector<std::string> Container::ListSensors() const {
-  std::lock_guard<telemetry::TimedMutex> lock(mu_);
   std::vector<std::string> out;
-  out.reserve(deployments_.size());
-  for (const auto& [key, deployment] : deployments_) {
-    out.push_back(deployment.sensor->name());
+  for (const auto& shard : shards_) {
+    std::lock_guard<telemetry::TimedMutex> lock(shard->mu);
+    for (const auto& [key, deployment] : shard->deployments) {
+      out.push_back(deployment->sensor->name());
+    }
   }
   return out;
 }
 
 VirtualSensor* Container::FindSensor(const std::string& sensor_name) const {
-  std::lock_guard<telemetry::TimedMutex> lock(mu_);
-  auto it = deployments_.find(StrToLower(sensor_name));
-  return it == deployments_.end() ? nullptr : it->second.sensor.get();
+  const std::string key = StrToLower(sensor_name);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<telemetry::TimedMutex> lock(shard.mu);
+  auto it = shard.deployments.find(key);
+  return it == shard.deployments.end() ? nullptr : it->second->sensor.get();
 }
 
 // ---------------------------------------------------------------- Runtime
@@ -699,11 +811,6 @@ constexpr Timestamp kAnnounceInterval = 5 * kMicrosPerSecond;
 }  // namespace
 
 Result<int> Container::Tick() {
-  // One Tick at a time: gsnd's RealtimePump and an HTTP/management
-  // drain (Shutdown's flush rounds) may call Tick from different
-  // threads; two concurrent rounds would Submit/Wait on the same
-  // per-sensor pools and race on the checkpoint trigger below.
-  std::lock_guard<telemetry::TimedMutex> tick_lock(tick_mu_);
   telemetry::Profiler::Scope tick_span(&profiler_, "tick", tick_micros_.get());
   const Timestamp now = options_.clock->NowMicros();
   uptime_gauge_->Set(
@@ -716,7 +823,7 @@ Result<int> Container::Tick() {
     // Periodic directory re-announcement: lost publish messages heal.
     bool announce = false;
     {
-      std::lock_guard<telemetry::TimedMutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
       if (options_.network != nullptr &&
           now - last_announce_ >= kAnnounceInterval) {
         last_announce_ = now;
@@ -730,11 +837,75 @@ Result<int> Container::Tick() {
     if (options_.network != nullptr) RunResilience(now);
   }
 
-  // Collect sensors and their pools under the lock; run outside it.
+  // Drain the shards: inline when single-sharded, otherwise one task
+  // per shard on the tick worker pool. Concurrent Tick() drivers
+  // (gsnd's RealtimePump plus an HTTP/management drain) are safe
+  // without a global tick mutex: per-sensor exclusivity comes from the
+  // busy flag, so a sensor another round is still draining is simply
+  // skipped by this one.
+  telemetry::Profiler::Scope dispatch_phase(&profiler_, "tick.dispatch",
+                                            tick_phase_dispatch_.get());
+  int produced = 0;
+  if (tick_pool_ == nullptr || shards_.size() == 1) {
+    for (auto& shard : shards_) produced += TickShard(*shard, now);
+  } else {
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t pending = shards_.size();
+    std::atomic<int> total{0};
+    // A local latch, not tick_pool_->Wait(): Wait() would also block
+    // on shard tasks submitted by a concurrent Tick driver.
+    auto finish_one = [&] {
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_all();
+    };
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      const bool submitted = tick_pool_->Submit([&, s] {
+        total.fetch_add(TickShard(*s, now), std::memory_order_relaxed);
+        finish_one();
+      });
+      if (!submitted) {
+        // Pool already shut down (drain at exit): run inline.
+        total.fetch_add(TickShard(*s, now), std::memory_order_relaxed);
+        finish_one();
+      }
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return pending == 0; });
+    produced = total.load(std::memory_order_relaxed);
+  }
+  dispatch_phase.Stop();
+
+  // Periodic checkpoint: bound the manifest and every WAL (and with
+  // them, the next recovery) to the live state. try_lock keeps the
+  // trigger single-flight across concurrent Tick drivers; the WAL
+  // swaps inside Checkpoint() are serialized against pipeline appends
+  // by each shard's lock.
+  if (manifest_ != nullptr && options_.supervision.checkpoint_interval > 0) {
+    std::unique_lock<std::mutex> cp_lock(checkpoint_mu_, std::try_to_lock);
+    if (cp_lock.owns_lock() &&
+        now - last_checkpoint_ >= options_.supervision.checkpoint_interval) {
+      telemetry::Profiler::Scope phase(&profiler_, "tick.checkpoint",
+                                       tick_phase_checkpoint_.get());
+      last_checkpoint_ = now;
+      const Status s = Checkpoint();
+      if (!s.ok()) {
+        GSN_LOG(kWarn, "container")
+            << options_.node_id << ": checkpoint failed: " << s;
+      }
+    }
+  }
+
+  // Refresh the cache system wrappers scrape (no-op while none are
+  // deployed). Last, so monitors read this tick's state next poll.
+  RefreshSystemSnapshot();
+  return produced;
+}
+
+int Container::TickShard(Shard& shard, Timestamp now) {
   struct Job {
-    VirtualSensor* sensor;
-    ThreadPool* pool;
-    std::string key;
+    std::shared_ptr<Deployment> deployment;
     /// True while the supervisor has the sensor paused for restart
     /// backoff: its sources pump (queues fill, shed policies engage)
     /// but no pipeline runs.
@@ -742,36 +913,39 @@ Result<int> Container::Tick() {
   };
   std::vector<Job> jobs;
   std::vector<std::string> expired;
-  telemetry::Profiler::Scope dispatch_phase(&profiler_, "tick.dispatch",
-                                            tick_phase_dispatch_.get());
   {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    jobs.reserve(deployments_.size());
-    for (auto& [key, deployment] : deployments_) {
-      if (deployment.expires_at > 0 && now >= deployment.expires_at) {
-        expired.push_back(deployment.sensor->name());
+    std::lock_guard<telemetry::TimedMutex> lock(shard.mu);
+    jobs.reserve(shard.deployments.size());
+    for (auto& [key, deployment] : shard.deployments) {
+      if (deployment->expires_at > 0 && now >= deployment->expires_at) {
+        expired.push_back(deployment->sensor->name());
         continue;
       }
-      if (deployment.state == SensorState::kFailed) continue;
+      if (deployment->state == SensorState::kFailed) continue;
       bool paused = false;
-      if (deployment.state == SensorState::kRestarting) {
-        if (now >= deployment.resume_at) {
-          deployment.state = SensorState::kRunning;
-          deployment.state_gauge->Set(0);
+      if (deployment->state == SensorState::kRestarting) {
+        if (now >= deployment->resume_at) {
+          deployment->state = SensorState::kRunning;
+          deployment->state_gauge->Set(0);
           GSN_LOG(kInfo, "container")
               << options_.node_id << ": restarted '"
-              << deployment.sensor->name() << "' (attempt "
-              << deployment.restart_attempts << ")";
+              << deployment->sensor->name() << "' (attempt "
+              << deployment->restart_attempts << ")";
         } else {
           paused = true;
         }
       }
-      jobs.push_back(
-          {deployment.sensor.get(), deployment.pool.get(), key, paused});
+      // Per-sensor tick exclusivity: a concurrent Tick driver that is
+      // still draining this sensor owns it until the busy flag clears.
+      if (deployment->busy) continue;
+      deployment->busy = true;
+      jobs.push_back({deployment, paused});
     }
   }
 
-  // Lifetime bounds (paper §3): expired sensors release their resources.
+  // Lifetime bounds (paper §3): expired sensors release their
+  // resources. Expired deployments were never marked busy, so the
+  // Undeploy barrier below cannot wait on this worker.
   for (const std::string& name : expired) {
     GSN_LOG(kInfo, "container") << name << ": lifetime expired, undeploying";
     const Status s = Undeploy(name);
@@ -780,60 +954,49 @@ Result<int> Container::Tick() {
     }
   }
 
-  // Run each sensor's tick on its life-cycle pool; sensors proceed in
-  // parallel, each serialized internally. A failing sensor is handed to
-  // the supervisor instead of failing the container's Tick — one bad
-  // sensor must never stall its neighbors.
-  std::mutex result_mu;
+  // Drain outside the shard lock: deploy/undeploy/status on this shard
+  // block only for the map scans, never for pipeline work. A failing
+  // sensor is handed to the supervisor instead of failing the round —
+  // one bad sensor must never stall its neighbors.
   int produced = 0;
   std::vector<std::pair<std::string, Status>> failures;
   for (const Job& job : jobs) {
-    job.pool->Submit([&, job] {
-      if (job.paused) {
-        const Status pumped = job.sensor->PumpSources(now);
-        if (!pumped.ok()) {
-          GSN_LOG(kWarn, "container")
-              << job.key << ": pump while paused failed: " << pumped;
-        }
-        return;
+    if (job.paused) {
+      const Status pumped = job.deployment->sensor->PumpSources(now);
+      if (!pumped.ok()) {
+        GSN_LOG(kWarn, "container")
+            << job.deployment->key << ": pump while paused failed: " << pumped;
       }
-      Result<int> n = job.sensor->Tick(now);
-      std::lock_guard<std::mutex> lock(result_mu);
-      if (n.ok()) {
-        produced += *n;
-      } else {
-        failures.emplace_back(job.key, n.status());
-      }
-    });
-  }
-  for (const Job& job : jobs) job.pool->Wait();
-  dispatch_phase.Stop();
-
-  telemetry::Profiler::Scope supervise_phase(&profiler_, "tick.supervise",
-                                             tick_phase_supervise_.get());
-  for (const auto& [key, status] : failures) {
-    HandleSensorFailure(key, status, now);
+      continue;
+    }
+    Result<int> n = job.deployment->sensor->Tick(now);
+    if (n.ok()) {
+      produced += *n;
+    } else {
+      failures.emplace_back(job.deployment->key, n.status());
+    }
   }
 
-  // A sensor that keeps completing ticks after a restart earns its
-  // retry budget back: max_attempts caps consecutive failures, not
-  // lifetime totals — otherwise a few transient errors spread over
-  // weeks would permanently FAIL the sensor (and pin readiness at 503).
-  if (options_.supervision.healthy_ticks_to_reset > 0) {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
+  {
+    std::lock_guard<telemetry::TimedMutex> lock(shard.mu);
     for (const Job& job : jobs) {
+      job.deployment->busy = false;
       if (job.paused) continue;
+      // A sensor that keeps completing ticks after a restart earns its
+      // retry budget back: max_attempts caps consecutive failures, not
+      // lifetime totals — otherwise a few transient errors spread over
+      // weeks would permanently FAIL the sensor (and pin readiness at
+      // 503).
+      if (options_.supervision.healthy_ticks_to_reset <= 0) continue;
       bool failed_this_tick = false;
       for (const auto& [key, status] : failures) {
-        if (key == job.key) {
+        if (key == job.deployment->key) {
           failed_this_tick = true;
           break;
         }
       }
       if (failed_this_tick) continue;
-      auto it = deployments_.find(job.key);
-      if (it == deployments_.end()) continue;
-      Deployment& deployment = it->second;
+      Deployment& deployment = *job.deployment;
       if (deployment.state != SensorState::kRunning ||
           deployment.restart_attempts == 0) {
         continue;
@@ -848,38 +1011,26 @@ Result<int> Container::Tick() {
         deployment.healthy_ticks = 0;
       }
     }
+    shard.ticks_total->Increment(static_cast<int64_t>(jobs.size()));
+    shard.lock_wait_gauge->Set(
+        static_cast<int64_t>(shard.mu.wait_micros_total()));
   }
+  // Wake Undeploy barriers waiting for a busy flag we just cleared.
+  shard.idle_cv.notify_all();
 
-  supervise_phase.Stop();
-
-  // Periodic checkpoint: bound the manifest and every WAL (and with
-  // them, the next recovery) to the live state. The trigger runs under
-  // tick_mu_; the WAL swaps inside Checkpoint() are serialized against
-  // pipeline appends by mu_.
-  if (manifest_ != nullptr && options_.supervision.checkpoint_interval > 0 &&
-      now - last_checkpoint_ >= options_.supervision.checkpoint_interval) {
-    telemetry::Profiler::Scope phase(&profiler_, "tick.checkpoint",
-                                     tick_phase_checkpoint_.get());
-    last_checkpoint_ = now;
-    const Status s = Checkpoint();
-    if (!s.ok()) {
-      GSN_LOG(kWarn, "container")
-          << options_.node_id << ": checkpoint failed: " << s;
-    }
+  for (const auto& [key, status] : failures) {
+    HandleSensorFailure(key, status, now);
   }
-
-  // Refresh the cache system wrappers scrape (no-op while none are
-  // deployed). Last, so monitors read this tick's state next poll.
-  RefreshSystemSnapshot();
   return produced;
 }
 
 void Container::HandleSensorFailure(const std::string& key,
                                     const Status& status, Timestamp now) {
-  std::lock_guard<telemetry::TimedMutex> lock(mu_);
-  auto it = deployments_.find(key);
-  if (it == deployments_.end()) return;
-  Deployment& deployment = it->second;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<telemetry::TimedMutex> lock(shard.mu);
+  auto it = shard.deployments.find(key);
+  if (it == shard.deployments.end()) return;
+  Deployment& deployment = *it->second;
   if (deployment.state == SensorState::kFailed) return;
   ++deployment.restart_attempts;
   deployment.healthy_ticks = 0;
@@ -897,7 +1048,7 @@ void Container::HandleSensorFailure(const std::string& key,
   deployment.state_gauge->Set(1);
   deployment.resume_at =
       now + options_.supervision.retry.BackoffForAttempt(
-                deployment.restart_attempts, &resilience_rng_);
+                deployment.restart_attempts, &shard.rng);
   GSN_LOG(kWarn, "container")
       << options_.node_id << ": '" << deployment.sensor->name()
       << "' paused for restart " << deployment.restart_attempts << " ("
@@ -930,19 +1081,21 @@ void Container::OnSensorError(const std::string& key,
 
 Status Container::RequeueQuarantined(uint64_t id) {
   GSN_ASSIGN_OR_RETURN(QuarantineStore::Entry entry, quarantine_->Take(id));
-  // Lookup AND Inject under mu_: a concurrent Undeploy (descriptor
-  // watcher, another HTTP request) erases the deployment under the same
-  // lock, so the sensor cannot be destroyed between the find and the
-  // injection. Inject only takes the source's own lock — no ordering
-  // hazard against mu_.
+  // Lookup AND Inject under the sensor's shard lock: a concurrent
+  // Undeploy (descriptor watcher, another HTTP request) erases the
+  // deployment under the same lock, so the sensor cannot be destroyed
+  // between the find and the injection. Inject only takes the source's
+  // own lock — a leaf, no ordering hazard against the shard lock.
   bool injected = false;
   {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    auto it = deployments_.find(StrToLower(entry.sensor));
+    const std::string key = StrToLower(entry.sensor);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<telemetry::TimedMutex> lock(shard.mu);
+    auto it = shard.deployments.find(key);
     StreamSource* source =
-        it == deployments_.end()
+        it == shard.deployments.end()
             ? nullptr
-            : it->second.sensor->FindSource(entry.stream, entry.source_alias);
+            : it->second->sensor->FindSource(entry.stream, entry.source_alias);
     if (source != nullptr) {
       source->Inject(entry.element);
       injected = true;
@@ -967,9 +1120,13 @@ Status Container::RequeueQuarantined(uint64_t id) {
 Status Container::Checkpoint() {
   Status first_error = Status::OK();
   std::vector<std::pair<std::string, std::string>> live;
-  {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    for (auto& [key, deployment] : deployments_) {
+  // One shard at a time: pipelines on the other shards keep appending
+  // while this shard's WALs rewrite. Never two shard locks at once.
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<telemetry::TimedMutex> lock(shard.mu);
+    for (auto& [key, deployment_ptr] : shard.deployments) {
+      Deployment& deployment = *deployment_ptr;
       live.emplace_back(key, deployment.sensor->spec().ToXml());
       if (deployment.log == nullptr) continue;
       // Tiered history: rows the retention window evicted since the
@@ -997,10 +1154,11 @@ Status Container::Checkpoint() {
       }
       // Rewrite the WAL to exactly the rows still inside the table's
       // retention window: recovery replays O(window), not O(history).
-      // Pipeline appends (OnSensorBatch) also run under mu_, so nobody
-      // can write through the old handle mid-rewrite; destroying it
-      // first honors Rewrite's contract (a surviving handle's buffered
-      // writes would land on the renamed-over inode and be lost).
+      // Pipeline appends (OnSensorBatch) also run under this shard's
+      // lock, so nobody can write through the old handle mid-rewrite;
+      // destroying it first honors Rewrite's contract (a surviving
+      // handle's buffered writes would land on the renamed-over inode
+      // and be lost).
       const std::string path = deployment.log->path();
       deployment.log.reset();
       Result<std::unique_ptr<storage::PersistenceLog>> rewritten =
@@ -1033,12 +1191,13 @@ Status Container::Checkpoint() {
 
 Status Container::Shutdown() {
   // 1. Stop admitting new wrapper load (the queues keep their backlog).
-  {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    if (draining_) return Status::OK();
-    draining_ = true;
-    for (auto& [key, deployment] : deployments_) {
-      deployment.sensor->SetAdmitting(false);
+  if (draining_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::OK();
+  }
+  for (auto& shard : shards_) {
+    std::lock_guard<telemetry::TimedMutex> lock(shard->mu);
+    for (auto& [key, deployment] : shard->deployments) {
+      deployment->sensor->SetAdmitting(false);
     }
   }
   GSN_LOG(kInfo, "container") << options_.node_id << ": draining";
@@ -1049,10 +1208,10 @@ Status Container::Shutdown() {
     Result<int> n = Tick();
     if (!n.ok()) break;
     size_t depth = 0;
-    {
-      std::lock_guard<telemetry::TimedMutex> lock(mu_);
-      for (const auto& [key, deployment] : deployments_) {
-        depth += deployment.sensor->QueueDepth();
+    for (const auto& shard : shards_) {
+      std::lock_guard<telemetry::TimedMutex> lock(shard->mu);
+      for (const auto& [key, deployment] : shard->deployments) {
+        depth += deployment->sensor->QueueDepth();
       }
     }
     if (*n == 0 && depth == 0) break;
@@ -1060,16 +1219,16 @@ Status Container::Shutdown() {
 
   // 3. Make everything durable: final checkpoint, then fsync.
   Status first_error = Checkpoint();
-  {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    for (auto& [key, deployment] : deployments_) {
-      if (deployment.log == nullptr) continue;
-      const Status synced = deployment.log->Sync();
+  for (auto& shard : shards_) {
+    std::lock_guard<telemetry::TimedMutex> lock(shard->mu);
+    for (auto& [key, deployment] : shard->deployments) {
+      if (deployment->log == nullptr) continue;
+      const Status synced = deployment->log->Sync();
       if (!synced.ok() && first_error.ok()) first_error = synced;
     }
-    // 4. The destructor's undeploys are process exit, not intent.
-    shutting_down_ = true;
   }
+  // 4. The destructor's undeploys are process exit, not intent.
+  shutting_down_.store(true, std::memory_order_release);
   if (manifest_ != nullptr) {
     const Status synced = manifest_->Sync();
     if (!synced.ok() && first_error.ok()) first_error = synced;
@@ -1079,30 +1238,31 @@ Status Container::Shutdown() {
 }
 
 bool Container::draining() const {
-  std::lock_guard<telemetry::TimedMutex> lock(mu_);
-  return draining_;
+  return draining_.load(std::memory_order_acquire);
 }
 
 Container::Health Container::GetHealth() const {
   Health health;
-  std::lock_guard<telemetry::TimedMutex> lock(mu_);
-  if (draining_) {
+  if (draining()) {
     health.ready = false;
     health.reasons.push_back("draining");
   }
-  for (const auto& [key, deployment] : deployments_) {
-    const std::string& name = deployment.sensor->name();
-    if (deployment.state == SensorState::kFailed) {
-      health.ready = false;
-      health.reasons.push_back("sensor '" + name + "' failed");
-    } else if (deployment.state == SensorState::kRestarting) {
-      health.ready = false;
-      health.reasons.push_back("sensor '" + name + "' restarting");
-    }
-    if (deployment.sensor->AnyQueueFull()) {
-      health.ready = false;
-      health.reasons.push_back("admission queue of '" + name +
-                               "' at capacity");
+  for (const auto& shard : shards_) {
+    std::lock_guard<telemetry::TimedMutex> lock(shard->mu);
+    for (const auto& [key, deployment] : shard->deployments) {
+      const std::string& name = deployment->sensor->name();
+      if (deployment->state == SensorState::kFailed) {
+        health.ready = false;
+        health.reasons.push_back("sensor '" + name + "' failed");
+      } else if (deployment->state == SensorState::kRestarting) {
+        health.ready = false;
+        health.reasons.push_back("sensor '" + name + "' restarting");
+      }
+      if (deployment->sensor->AnyQueueFull()) {
+        health.ready = false;
+        health.reasons.push_back("admission queue of '" + name +
+                                 "' at capacity");
+      }
     }
   }
   return health;
@@ -1112,12 +1272,13 @@ Container::Health Container::GetHealth() const {
 
 wrappers::SystemSnapshot Container::ComputeSystemSnapshot() const {
   wrappers::SystemSnapshot snap;
-  {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    const Timestamp now = options_.clock->NowMicros();
-    snap.sensors = static_cast<int64_t>(deployments_.size());
-    for (const auto& [key, deployment] : deployments_) {
-      switch (deployment.state) {
+  // One shard at a time, federation state separately — never more than
+  // one of these locks held at once.
+  for (const auto& shard : shards_) {
+    std::lock_guard<telemetry::TimedMutex> lock(shard->mu);
+    snap.sensors += static_cast<int64_t>(shard->deployments.size());
+    for (const auto& [key, deployment] : shard->deployments) {
+      switch (deployment->state) {
         case SensorState::kRunning:
           ++snap.running;
           break;
@@ -1128,8 +1289,13 @@ wrappers::SystemSnapshot Container::ComputeSystemSnapshot() const {
           ++snap.failed;
           break;
       }
-      snap.queue_depth += static_cast<int64_t>(deployment.sensor->QueueDepth());
+      snap.queue_depth +=
+          static_cast<int64_t>(deployment->sensor->QueueDepth());
     }
+  }
+  {
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
+    const Timestamp now = options_.clock->NowMicros();
     for (const auto& [sub_id, subscriber] : subscribers_) {
       snap.replay_bytes += static_cast<int64_t>(subscriber.replay.bytes());
     }
@@ -1141,7 +1307,7 @@ wrappers::SystemSnapshot Container::ComputeSystemSnapshot() const {
     }
   }
   // Everything below reads components with their own synchronization:
-  // holding mu_ across them would only widen the container lock.
+  // holding a shard lock across them would only widen it.
   snap.quarantined = static_cast<int64_t>(quarantine_->size());
   if (segments_ != nullptr) {
     snap.segments = static_cast<int64_t>(segments_->segment_count());
@@ -1188,8 +1354,9 @@ void Container::RefreshSystemSnapshot() {
 }
 
 wrappers::SystemSnapshot Container::SystemSnapshotNow() const {
-  // Cache read only — a system wrapper polled from inside Tick (which
-  // holds tick_mu_ and, transiently, mu_) must never need either lock.
+  // Cache read only — a system wrapper polled from inside a tick
+  // worker (which transiently holds its shard's lock) must never need
+  // a shard lock itself.
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return system_snapshot_;
 }
@@ -1215,8 +1382,21 @@ Container::ContainerStatus Container::GetStatus() const {
     stats.wait_micros = mu.wait_micros_total();
     return stats;
   };
-  status.locks.push_back(lock_stats(mu_));
-  status.locks.push_back(lock_stats(tick_mu_));
+  // Per-shard rows: contention is attributable to the shard that pays
+  // it. The TimedMutex accessors are lock-free reads.
+  for (const auto& shard : shards_) {
+    ShardStatus row;
+    row.index = shard->index;
+    row.sensors = static_cast<size_t>(shard->sensors_gauge->Value());
+    row.ticks_total = shard->ticks_total->Value();
+    row.lock_acquisitions = shard->mu.acquisitions();
+    row.lock_contended = shard->mu.contended();
+    row.lock_wait_micros = shard->mu.wait_micros_total();
+    status.shards.push_back(row);
+    status.locks.push_back(lock_stats(shard->mu));
+  }
+  status.locks.push_back(lock_stats(fed_mu_));
+  status.locks.push_back(lock_stats(chain_mu_));
   status.locks.push_back(lock_stats(query_manager_.cache_lock()));
   status.hot_spans = profiler_.TopSpans(10);
   status.recovered_records = recovered_records_;
@@ -1229,33 +1409,31 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
   if (batch.empty()) return;
   const std::string& name = sensor.name();
 
-  // Storage layer: the whole batch lands under one container lock and
-  // one table lock. The WAL append stays inside the same critical
-  // section: Checkpoint() destroys and replaces the log handle under
-  // mu_, so an append racing a swap would write through a dead handle
-  // or onto the compacted-over inode (and be lost to every future
-  // recovery). Keeping insert + append atomic also means a checkpoint
-  // snapshot always covers exactly the batches appended before it.
-  // Remote deliveries are sequenced and buffered for replay under the
-  // same lock (sequence assignment must be atomic with the
-  // replay-buffer write), then sent after release.
+  // Storage layer: the whole batch lands under the sensor's shard lock.
+  // The WAL append stays inside the same critical section: Checkpoint()
+  // destroys and replaces the log handle under the shard lock, so an
+  // append racing a swap would write through a dead handle or onto the
+  // compacted-over inode (and be lost to every future recovery).
+  // Keeping insert + append atomic also means a checkpoint snapshot
+  // always covers exactly the batches appended before it.
   std::vector<Outbound> remote_sends;
   telemetry::Profiler::Scope storage_span(&profiler_, "batch.storage",
                                           batch_storage_micros_.get());
   {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    const Timestamp send_now = options_.clock->NowMicros();
-    auto it = deployments_.find(StrToLower(name));
-    if (it != deployments_.end()) {
-      if (it->second.table != nullptr) {
-        const Status s = it->second.table->InsertBatch(batch);
+    const std::string key = StrToLower(name);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<telemetry::TimedMutex> lock(shard.mu);
+    auto it = shard.deployments.find(key);
+    if (it != shard.deployments.end()) {
+      if (it->second->table != nullptr) {
+        const Status s = it->second->table->InsertBatch(batch);
         if (!s.ok()) {
           GSN_LOG(kWarn, "container") << name << ": table insert failed: " << s;
         }
       }
-      if (it->second.log != nullptr) {
+      if (it->second->log != nullptr) {
         for (const StreamElement& element : batch) {
-          const Status s = it->second.log->Append(element);
+          const Status s = it->second->log->Append(element);
           if (!s.ok()) {
             GSN_LOG(kWarn, "container")
                 << name << ": persistence failed: " << s;
@@ -1264,6 +1442,15 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
         }
       }
     }
+  }
+  // Remote deliveries are sequenced and buffered for replay under
+  // fed_mu_ — sequence assignment must be atomic with the
+  // replay-buffer write, and per-subscription monotonicity holds
+  // because one sensor's batches are serialized by its busy flag —
+  // then sent after release.
+  {
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
+    const Timestamp send_now = options_.clock->NowMicros();
     if (options_.network != nullptr) {
       for (auto& [sub_id, subscriber] : subscribers_) {
         if (!StrEqualsIgnoreCase(subscriber.sensor_name, name)) continue;
@@ -1300,18 +1487,20 @@ void Container::OnSensorBatch(const VirtualSensor& sensor,
   storage_span.Stop();
 
   // Local chaining: feed consumers deployed on this container.
+  // chain_mu_ is held ACROSS PushBatch — Undeploy detaches a dying
+  // consumer's wrappers under the same lock, so fan-out can never push
+  // into a wrapper whose sensor is being destroyed. PushBatch only
+  // takes the wrapper's own queue lock (a leaf), so this cannot
+  // deadlock, and producers on other shards fan out concurrently only
+  // contending here.
   telemetry::Profiler::Scope fanout_span(&profiler_, "batch.fanout",
                                          batch_fanout_micros_.get());
-  std::vector<LocalStreamWrapper*> local_targets;
   {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(chain_mu_);
     auto range = local_wrappers_.equal_range(StrToLower(name));
     for (auto it = range.first; it != range.second; ++it) {
-      local_targets.push_back(it->second);
+      it->second->PushBatch(batch);
     }
-  }
-  for (LocalStreamWrapper* target : local_targets) {
-    target->PushBatch(batch);
   }
 
   // Notification manager (per-element conditions, one subscription
@@ -1389,14 +1578,16 @@ void Container::RetractSensor(const std::string& sensor_name) {
 }
 
 void Container::AnnounceAll() {
-  std::vector<const VirtualSensorSpec*> specs;
-  {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
-    for (const auto& [key, deployment] : deployments_) {
-      specs.push_back(&deployment.sensor->spec());
+  // shared_ptr copies pin the deployments (and with them the specs)
+  // against a concurrent Undeploy while we publish outside the locks.
+  std::vector<std::shared_ptr<Deployment>> live;
+  for (const auto& shard : shards_) {
+    std::lock_guard<telemetry::TimedMutex> lock(shard->mu);
+    for (const auto& [key, deployment] : shard->deployments) {
+      live.push_back(deployment);
     }
   }
-  for (const VirtualSensorSpec* spec : specs) PublishSensor(*spec);
+  for (const auto& deployment : live) PublishSensor(deployment->sensor->spec());
 }
 
 // ---------------------------------------------------------------- Network
@@ -1428,7 +1619,7 @@ void Container::OnMessage(const Message& message) {
         network::SubscribeRequest::Decode(message.payload);
     if (!request.ok()) return;
     {
-      std::lock_guard<telemetry::TimedMutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
       // Idempotent: a re-sent request (lost ack) must not reset the
       // sequence counter or drop the replay buffer.
       auto [it, inserted] =
@@ -1451,7 +1642,7 @@ void Container::OnMessage(const Message& message) {
     Result<network::SubscribeAck> ack =
         network::SubscribeAck::Decode(message.payload);
     if (!ack.ok()) return;
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
     auto it = remote_subs_.find(ack->subscription_id);
     if (it != remote_subs_.end()) it->second.acked = true;
     return;
@@ -1460,7 +1651,7 @@ void Container::OnMessage(const Message& message) {
     Result<network::StreamTip> tip =
         network::StreamTip::Decode(message.payload);
     if (!tip.ok()) return;
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
     auto it = remote_subs_.find(tip->subscription_id);
     if (it != remote_subs_.end()) {
       it->second.acked = true;  // a tip implies the producer knows us
@@ -1477,7 +1668,7 @@ void Container::OnMessage(const Message& message) {
     std::vector<std::string> payloads;
     std::string target;
     {
-      std::lock_guard<telemetry::TimedMutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
       auto it = subscribers_.find(nack->subscription_id);
       if (it == subscribers_.end()) return;
       target = it->second.subscriber_node;
@@ -1504,7 +1695,7 @@ void Container::OnMessage(const Message& message) {
     Result<network::UnsubscribeRequest> request =
         network::UnsubscribeRequest::Decode(message.payload);
     if (!request.ok()) return;
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
     subscribers_.erase(request->subscription_id);
     return;
   }
@@ -1523,7 +1714,7 @@ void Container::OnMessage(const Message& message) {
     }
     RemoteStreamWrapper* wrapper = nullptr;
     {
-      std::lock_guard<telemetry::TimedMutex> lock(mu_);
+      std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
       auto it = remote_subs_.find(delivery->subscription_id);
       if (it != remote_subs_.end()) {
         // A flowing delivery implies the producer registered us even
@@ -1571,7 +1762,7 @@ bool Container::PeerAllowsSendLocked(const std::string& peer, Timestamp now) {
 }
 
 void Container::NotePeerAlive(const std::string& from, Timestamp now) {
-  std::lock_guard<telemetry::TimedMutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
   PeerState& peer = PeerStateLocked(from, now);
   peer.last_seen = now;
   if (peer.breaker.RecordSuccess()) {
@@ -1626,9 +1817,12 @@ bool Container::TryFailoverLocked(const std::string& old_id, Timestamp now,
   sub.nack_attempts = 0;
   sub.next_nack_at = 0;
 
-  auto dep_it = deployments_.find(sub.deployment_key);
-  if (dep_it != deployments_.end()) {
-    for (std::string& id : dep_it->second.subscription_ids) {
+  // Re-key the consumer deployment's subscription list in place; the
+  // map lives under fed_mu_ (already held), so failover never needs to
+  // reach into a shard.
+  auto dep_it = subs_by_deployment_.find(sub.deployment_key);
+  if (dep_it != subs_by_deployment_.end()) {
+    for (std::string& id : dep_it->second) {
       if (id == old_id) id = new_id;
     }
   }
@@ -1654,9 +1848,9 @@ void Container::RunResilience(Timestamp now) {
   const Options::Resilience& config = options_.resilience;
   std::vector<Outbound> sends;
   bool heartbeat = false;
-  std::vector<const VirtualSensorSpec*> republish;
+  std::vector<VirtualSensorSpec> republish;
   {
-    std::lock_guard<telemetry::TimedMutex> lock(mu_);
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
 
     // Liveness beacon.
     if (now - last_heartbeat_ >= config.heartbeat_interval) {
@@ -1772,19 +1966,16 @@ void Container::RunResilience(Timestamp now) {
       replay_bytes_->Set(static_cast<int64_t>(replay_bytes));
     }
 
-    // Directory-publish retry rounds.
+    // Directory-publish retry rounds. Each pending entry carries its
+    // own spec copy, so the retry never reaches into a shard's
+    // deployment map (Undeploy purges entries for dead sensors).
     for (auto it = pending_publishes_.begin();
          it != pending_publishes_.end();) {
       if (now < it->next_at) {
         ++it;
         continue;
       }
-      auto dep_it = deployments_.find(it->key);
-      if (dep_it == deployments_.end()) {
-        it = pending_publishes_.erase(it);
-        continue;
-      }
-      republish.push_back(&dep_it->second.sensor->spec());
+      republish.push_back(it->spec);
       fed_retries_publish_->Increment();
       ++it->round;
       if (it->round > config.publish_rounds) {
@@ -1813,12 +2004,12 @@ void Container::RunResilience(Timestamp now) {
                                    std::move(send.payload));
     }
   }
-  for (const VirtualSensorSpec* spec : republish) PublishSensor(*spec);
+  for (const VirtualSensorSpec& spec : republish) PublishSensor(spec);
 }
 
 std::vector<Container::PeerStatus> Container::PeerStatuses() const {
   const Timestamp now = options_.clock->NowMicros();
-  std::lock_guard<telemetry::TimedMutex> lock(mu_);
+  std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
   std::vector<PeerStatus> out;
   out.reserve(peers_.size());
   for (const auto& [peer_id, peer] : peers_) {
@@ -1917,38 +2108,42 @@ Result<Relation> Container::CatalogResolver::GetTableFiltered(
 
 std::vector<Container::TopologyEdge> Container::Topology() {
   std::vector<TopologyEdge> edges;
-  std::lock_guard<telemetry::TimedMutex> lock(mu_);
-  for (const auto& [key, deployment] : deployments_) {
-    const VirtualSensorSpec& spec = deployment.sensor->spec();
-    for (const auto& stream : spec.input_streams) {
-      for (const auto& source : stream.sources) {
-        TopologyEdge edge;
-        edge.to = spec.name;
-        edge.label = stream.name + "/" + source.alias;
-        if (StrEqualsIgnoreCase(source.address.wrapper, "remote")) {
-          const vsensor::StreamSource* running =
-              deployment.sensor->FindSource(stream.name, source.alias)
-                  ? deployment.sensor->FindSource(stream.name, source.alias)
-                  : nullptr;
-          const auto* remote =
-              running == nullptr
-                  ? nullptr
-                  : dynamic_cast<const network::RemoteStreamWrapper*>(
-                        &running->wrapper());
-          edge.from = remote != nullptr
-                          ? remote->peer_node() + ":" + remote->remote_sensor()
-                          : "remote";
-        } else {
-          edge.from = source.address.wrapper + " device";
+  for (const auto& shard : shards_) {
+    std::lock_guard<telemetry::TimedMutex> lock(shard->mu);
+    for (const auto& [key, deployment] : shard->deployments) {
+      const VirtualSensorSpec& spec = deployment->sensor->spec();
+      for (const auto& stream : spec.input_streams) {
+        for (const auto& source : stream.sources) {
+          TopologyEdge edge;
+          edge.to = spec.name;
+          edge.label = stream.name + "/" + source.alias;
+          if (StrEqualsIgnoreCase(source.address.wrapper, "remote")) {
+            const vsensor::StreamSource* running =
+                deployment->sensor->FindSource(stream.name, source.alias);
+            const auto* remote =
+                running == nullptr
+                    ? nullptr
+                    : dynamic_cast<const network::RemoteStreamWrapper*>(
+                          &running->wrapper());
+            edge.from = remote != nullptr
+                            ? remote->peer_node() + ":" +
+                                  remote->remote_sensor()
+                            : "remote";
+          } else {
+            edge.from = source.address.wrapper + " device";
+          }
+          edges.push_back(std::move(edge));
         }
-        edges.push_back(std::move(edge));
       }
     }
   }
-  for (const auto& [sub_id, subscriber] : subscribers_) {
-    edges.push_back(TopologyEdge{subscriber.sensor_name,
-                                 subscriber.subscriber_node + " (node)",
-                                 "stream"});
+  {
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
+    for (const auto& [sub_id, subscriber] : subscribers_) {
+      edges.push_back(TopologyEdge{subscriber.sensor_name,
+                                   subscriber.subscriber_node + " (node)",
+                                   "stream"});
+    }
   }
   return edges;
 }
@@ -1957,25 +2152,35 @@ std::vector<Container::TopologyEdge> Container::Topology() {
 
 Result<Container::SensorStatus> Container::GetSensorStatus(
     const std::string& sensor_name) const {
-  std::lock_guard<telemetry::TimedMutex> lock(mu_);
-  auto it = deployments_.find(StrToLower(sensor_name));
-  if (it == deployments_.end()) {
-    return Status::NotFound("no such sensor: " + sensor_name);
-  }
-  const Deployment& deployment = it->second;
+  const std::string key = StrToLower(sensor_name);
   SensorStatus status;
-  status.name = deployment.sensor->name();
-  status.stats = deployment.sensor->stats();
-  status.state = deployment.state;
-  status.restart_attempts = deployment.restart_attempts;
-  status.queue_depth = deployment.sensor->QueueDepth();
-  status.shed = deployment.sensor->ShedCount();
-  status.stored_rows = deployment.table->NumRows();
-  status.stored_bytes = deployment.table->ApproximateBytes();
-  status.pool_size = deployment.pool->num_threads();
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<telemetry::TimedMutex> lock(shard.mu);
+    auto it = shard.deployments.find(key);
+    if (it == shard.deployments.end()) {
+      return Status::NotFound("no such sensor: " + sensor_name);
+    }
+    const Deployment& deployment = *it->second;
+    status.name = deployment.sensor->name();
+    status.stats = deployment.sensor->stats();
+    status.state = deployment.state;
+    status.restart_attempts = deployment.restart_attempts;
+    status.queue_depth = deployment.sensor->QueueDepth();
+    status.shed = deployment.sensor->ShedCount();
+    status.stored_rows = deployment.table->NumRows();
+    status.stored_bytes = deployment.table->ApproximateBytes();
+    // Ticks are driven by the shared worker pool now; the descriptor's
+    // pool-size knob survives as declared parallelism for reporting.
+    status.pool_size =
+        std::max(1, deployment.sensor->spec().life_cycle.pool_size);
+  }
   int64_t subs = 0;
-  for (const auto& [id, subscriber] : subscribers_) {
-    if (StrEqualsIgnoreCase(subscriber.sensor_name, sensor_name)) ++subs;
+  {
+    std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
+    for (const auto& [id, subscriber] : subscribers_) {
+      if (StrEqualsIgnoreCase(subscriber.sensor_name, sensor_name)) ++subs;
+    }
   }
   status.remote_subscribers = subs;
   return status;

@@ -2,6 +2,7 @@
 #define GSN_CONTAINER_CONTAINER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,31 @@ namespace gsn::container {
 /// runs pipelines, retries pending remote subscriptions, and enforces
 /// lifetime bounds. With a VirtualClock this is fully deterministic;
 /// live deployments call RunFor()/pump Tick from a thread.
+///
+/// Concurrency model (docs/CONCURRENCY.md). Deployments are
+/// partitioned into N shards by hash of the lowercased sensor name;
+/// each shard owns its deployment map, the WAL handles of its sensors,
+/// and an instrumented TimedMutex (lock="shard-<i>"). Tick() fans one
+/// drain task per shard out over a shared worker pool; per-sensor tick
+/// exclusivity across concurrent Tick() drivers is a per-deployment
+/// busy flag, not a global mutex. Lock-ordering rules:
+///
+///  - A shard lock may be held while taking LEAF locks only (a table,
+///    a stream source queue, the quarantine store, the manifest, the
+///    segment catalog, the metric registry, the snapshot cache).
+///  - Never shard -> shard: cross-shard operations (GetStatus,
+///    Checkpoint, snapshots, AnnounceAll, Shutdown) visit shards one
+///    at a time, releasing each before the next.
+///  - fed_mu_ ("federation": subscribers, remote subscriptions, peers,
+///    pending publishes) and chain_mu_ ("chaining": the local-wrapper
+///    fan-out map) are siblings of the shard locks: never held
+///    together with one another or with a shard lock — every path
+///    acquires them sequentially, never nested.
+///  - chain_mu_ is held ACROSS LocalStreamWrapper::PushBatch so a
+///    producer's fan-out can never race Undeploy destroying the
+///    consumer; wrapper pushes only take source-queue leaf locks.
+///  - snapshot_mu_ stays a leaf: system wrappers scrape the cached
+///    snapshot without touching any shard/federation lock.
 class Container : public network::NetworkNode {
  public:
   struct Options {
@@ -129,6 +155,19 @@ class Container : public network::NetworkNode {
       /// the checkpoint flush; oldest dropped (and counted) beyond it.
       size_t max_pending_rows = 1 << 18;
     } columnar;
+    /// Knobs of the sharded container core (docs/CONCURRENCY.md).
+    struct Sharding {
+      /// Number of deployment shards (hash of lowercased sensor name).
+      /// 0 = hardware concurrency. Each shard owns its deployment map,
+      /// its sensors' WAL handles, and its own instrumented TimedMutex,
+      /// so deploy/undeploy/tick/checkpoint on different shards never
+      /// contend.
+      int shards = 0;
+      /// Worker threads Tick() fans the per-shard drain tasks over.
+      /// 0 = one per shard. 1 keeps the drain sequential (deterministic
+      /// ordering for tests that need it).
+      int tick_workers = 0;
+    } sharding;
   };
 
   explicit Container(Options options);
@@ -299,6 +338,19 @@ class Container : public network::NetworkNode {
     int64_t wait_micros = 0;
   };
 
+  /// Per-shard view of the sharded core: population, drain work, and
+  /// the shard lock's contention profile — makes hot shards
+  /// attributable from /api/v1/status and the `status` command.
+  struct ShardStatus {
+    int index = 0;
+    size_t sensors = 0;
+    /// Sensor pipeline drains executed by this shard's tick workers.
+    int64_t ticks_total = 0;
+    int64_t lock_acquisitions = 0;
+    int64_t lock_contended = 0;
+    int64_t lock_wait_micros = 0;
+  };
+
   /// The unified machine-readable snapshot behind GET /api/v1/status
   /// and the argument-less management `status` command: sensors,
   /// queues, locks, hot spans, segments, peers, and build info joined
@@ -313,6 +365,7 @@ class Container : public network::NetworkNode {
     /// wrapper="system" telemetry stream emits).
     wrappers::SystemSnapshot totals;
     std::vector<SensorStatus> sensors;
+    std::vector<ShardStatus> shards;
     std::vector<PeerStatus> peers;
     std::vector<LockStats> locks;
     std::vector<telemetry::Profiler::SpanStats> hot_spans;
@@ -335,20 +388,36 @@ class Container : public network::NetworkNode {
   /// standalone). Exposed for the `chaos` management command and tests.
   network::NetworkSimulator* network() const { return options_.network; }
 
+  /// Resolved shard count (Options::Sharding::shards, 0 = hardware
+  /// concurrency at construction).
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Shard index hosting `sensor_name` (hash of the lowercased name).
+  int ShardIndexFor(const std::string& sensor_name) const;
+
  private:
   /// Everything owned on behalf of one deployed sensor (the life-cycle
-  /// manager's bookkeeping).
+  /// manager's bookkeeping). Mutable fields are guarded by the owning
+  /// shard's lock; fields set before publication (key, sensor, table,
+  /// local_sources, system_sources, deployed_at, expires_at) are
+  /// immutable afterwards and safe to read off-lock.
   struct Deployment {
+    std::string key;  // lowercased sensor name; shard-map key
     std::unique_ptr<vsensor::VirtualSensor> sensor;
     storage::Table* table = nullptr;  // owned by tables_
-    /// Guarded by mu_: OnSensorBatch (pool threads) appends and
-    /// Checkpoint() destroys/replaces the handle, both under the
-    /// container lock, so an append can never race a compaction swap
+    /// Guarded by the shard lock: OnSensorBatch (tick workers) appends
+    /// and Checkpoint() destroys/replaces the handle, both under the
+    /// shard lock, so an append can never race a compaction swap
     /// (PersistenceLog::Rewrite requires the prior handle gone first).
     std::unique_ptr<storage::PersistenceLog> log;
-    std::unique_ptr<ThreadPool> pool;  // life-cycle pool-size threads
     Timestamp deployed_at = 0;
     Timestamp expires_at = 0;  // 0 = never
+    /// Per-sensor tick exclusivity (guarded by the shard lock): a tick
+    /// worker sets it before draining this sensor and clears it after,
+    /// so concurrent Tick() drivers skip rather than double-drain, and
+    /// Undeploy waits on the shard's idle_cv until it clears before
+    /// stopping the sensor — the lifetime barrier that used to be the
+    /// per-sensor pool Shutdown().
+    bool busy = false;
     // -- Supervision (docs/DURABILITY.md) --------------------------------
     SensorState state = SensorState::kRunning;
     int restart_attempts = 0;
@@ -361,15 +430,35 @@ class Container : public network::NetworkNode {
     Timestamp resume_at = 0;
     std::shared_ptr<telemetry::Gauge> state_gauge;
     std::shared_ptr<telemetry::Counter> restarts;
-    /// Subscriptions this sensor holds on remote producers (cancelled
-    /// at undeploy).
-    std::vector<std::string> subscription_ids;
     /// wrapper="local" sources of this sensor (listeners detached at
     /// undeploy).
     std::vector<LocalStreamWrapper*> local_sources;
     /// wrapper="system" sources of this sensor; while any deployment
     /// has one, Tick() refreshes the snapshot cache they scrape.
     int system_sources = 0;
+  };
+
+  /// One partition of the deployment map. The shard lock guards the
+  /// map and every mutable Deployment field of its members; WAL
+  /// appends and checkpoint swaps of this shard's sensors run under
+  /// it. Instrumented as lock="shard-<index>" with a shard label, so
+  /// gsn_lock_wait_micros{lock="shard-<i>"} attributes contention per
+  /// shard.
+  struct Shard {
+    int index = 0;
+    mutable telemetry::TimedMutex mu;
+    /// Signalled whenever a busy flag clears; Undeploy's barrier.
+    std::condition_variable_any idle_cv;
+    /// Lowercased sensor name -> deployment. shared_ptr: a tick worker
+    /// pins the deployment it is draining, so Undeploy erasing the map
+    /// entry can never free a sensor mid-tick.
+    std::map<std::string, std::shared_ptr<Deployment>> deployments;
+    /// Supervision backoff jitter (guarded by mu).
+    Rng rng{1};
+    // gsn_shard_* telemetry (docs/TELEMETRY.md).
+    std::shared_ptr<telemetry::Gauge> sensors_gauge;
+    std::shared_ptr<telemetry::Counter> ticks_total;
+    std::shared_ptr<telemetry::Gauge> lock_wait_gauge;
   };
 
   /// A remote consumer of one of our sensors — the producer half of
@@ -411,9 +500,13 @@ class Container : public network::NetworkNode {
     std::shared_ptr<telemetry::Gauge> circuit_gauge;
   };
 
-  /// A directory publish still owed its retry rounds.
+  /// A directory publish still owed its retry rounds. Carries a copy
+  /// of the spec so the resilience round (which holds fed_mu_) never
+  /// has to reach into a shard's deployment map; Undeploy purges the
+  /// entry by key.
   struct PendingPublish {
     std::string key;  // lowercased sensor name
+    vsensor::VirtualSensorSpec spec;
     int round = 1;
     Timestamp next_at = 0;
   };
@@ -428,20 +521,36 @@ class Container : public network::NetworkNode {
 
   /// Builds the wrapper for one source; for wrapper="remote" this
   /// resolves the predicates against the directory replica, issues the
-  /// subscription, and records the id in `subscription_ids`.
-  /// `deployment_key` is the lowercased owning sensor name (failover
-  /// bookkeeping for remote sources).
+  /// subscription, and records the id in subs_by_deployment_ (under
+  /// fed_mu_). `deployment_key` is the lowercased owning sensor name
+  /// (failover bookkeeping for remote sources).
   Result<std::unique_ptr<wrappers::Wrapper>> MakeWrapperForSource(
       const vsensor::StreamSourceSpec& source_spec,
       const std::string& deployment_key, Deployment* deployment);
   void PublishSensor(const vsensor::VirtualSensorSpec& spec);
   void RetractSensor(const std::string& sensor_name);
+  /// Drops every federation-side record of `key`'s deployment under
+  /// fed_mu_ (its remote subscriptions, its pending publish rounds)
+  /// and returns the cancelled subscription ids so the caller can
+  /// broadcast unsubscribes outside the lock. Used by Undeploy and by
+  /// DeploySpec's failure unwind.
+  std::vector<std::string> CancelSubscriptionsFor(const std::string& key);
+
+  /// Shard hosting `key` (hash of the lowercased sensor name).
+  Shard& ShardFor(const std::string& key) const;
+  /// Drains one shard at `now`: collects runnable deployments under
+  /// the shard lock (setting busy flags), runs their pipelines outside
+  /// it, then clears the flags and does the supervision bookkeeping.
+  /// Returns elements produced. Runs on a tick_pool_ worker (or inline
+  /// with a single shard).
+  int TickShard(Shard& shard, Timestamp now);
 
   // -- Resilience layer (docs/FEDERATION.md) -------------------------------
 
   /// One maintenance round: heartbeat broadcast, peer failure marks
   /// and circuit transitions, subscribe retries, NACK rounds + gap
-  /// abandonment, producer tips, and directory-publish retries.
+  /// abandonment, producer tips, and directory-publish retries. All
+  /// federation state lives under fed_mu_; sends happen after release.
   void RunResilience(Timestamp now);
   /// Records liveness evidence for `from` (any received message).
   void NotePeerAlive(const std::string& from, Timestamp now);
@@ -479,9 +588,9 @@ class Container : public network::NetworkNode {
 
   // -- Self-observation (docs/TELEMETRY.md) ---------------------------------
 
-  /// Assembles a fresh SystemSnapshot (takes mu_ briefly; sums metric
-  /// families). Called from Tick() to refresh the scrape cache and
-  /// from GetStatus().
+  /// Assembles a fresh SystemSnapshot (visits each shard lock and
+  /// fed_mu_ one at a time; sums metric families). Called from Tick()
+  /// to refresh the scrape cache and from GetStatus().
   wrappers::SystemSnapshot ComputeSystemSnapshot() const;
   /// Recomputes the snapshot cache system wrappers read. Skipped
   /// entirely while no wrapper="system" source is deployed, so the
@@ -525,28 +634,51 @@ class Container : public network::NetworkNode {
   IntegrityService integrity_;
   network::DirectoryService directory_;
 
-  /// The container lock. Instrumented (lock="container") so the
-  /// profiler can quote how much of a tick is spent waiting on it —
-  /// the evidence base for the sharding refactor (ROADMAP item 1).
-  mutable telemetry::TimedMutex mu_;
-  std::map<std::string, Deployment> deployments_;  // lowercased sensor name
+  /// The sharded deployment core (see the class comment for the lock
+  /// ordering). Sized at construction; the vector itself is immutable
+  /// afterwards, so indexing it is lock-free.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Workers Tick() fans the per-shard drain tasks over. Shared by
+  /// every concurrent Tick() driver; per-sensor busy flags keep the
+  /// drains exclusive per sensor, not per driver.
+  std::unique_ptr<ThreadPool> tick_pool_;
+  /// Total deployments across shards (backs gsn_sensors_deployed).
+  std::atomic<int64_t> total_deployments_{0};
+
+  /// The federation lock (lock="federation"): guards subscribers_,
+  /// remote_subs_, subs_by_deployment_, peers_, pending_publishes_,
+  /// the announce/heartbeat/tip clocks, and resilience_rng_. Never
+  /// held together with a shard lock or chain_mu_.
+  mutable telemetry::TimedMutex fed_mu_;
   std::map<std::string, RemoteSubscriber> subscribers_;  // by subscription id
   /// Subscriptions we hold on remote producers, by our subscription id.
   std::map<std::string, RemoteSubscription> remote_subs_;
-  /// Local chaining: producer sensor (lowercased) -> consumer wrappers.
-  std::multimap<std::string, LocalStreamWrapper*> local_wrappers_;
+  /// Deployment key -> the subscription ids its remote sources hold
+  /// (cancelled at undeploy; re-keyed on failover). Lives here rather
+  /// than in Deployment so failover under fed_mu_ never has to take a
+  /// shard lock.
+  std::map<std::string, std::vector<std::string>> subs_by_deployment_;
   /// Federation peers we have heard from, with their circuit breakers.
   std::map<std::string, PeerState> peers_;
   std::vector<PendingPublish> pending_publishes_;
-  int64_t next_subscription_ = 1;
-  uint64_t wrapper_seed_counter_ = 0;
+  int64_t next_subscription_ = 1;  // guarded by fed_mu_
+  std::atomic<uint64_t> wrapper_seed_counter_{0};
   /// Anti-entropy: directory entries are re-broadcast periodically so
   /// peers converge even when individual publish messages are lost.
-  Timestamp last_announce_ = 0;
-  Timestamp last_heartbeat_ = 0;
-  Timestamp last_tip_ = 0;
-  uint64_t heartbeat_beat_ = 0;
+  Timestamp last_announce_ = 0;   // guarded by fed_mu_
+  Timestamp last_heartbeat_ = 0;  // guarded by fed_mu_
+  Timestamp last_tip_ = 0;        // guarded by fed_mu_
+  uint64_t heartbeat_beat_ = 0;   // guarded by fed_mu_
   Rng resilience_rng_{1};  // backoff jitter; reseeded from options_.seed
+
+  /// The chaining lock (lock="chaining"): guards local_wrappers_ and
+  /// is held across PushBatch fan-out, so a push can never race the
+  /// consumer's Undeploy (which detaches its wrappers under this lock
+  /// before stopping the sensor). PushBatch only takes source-queue
+  /// leaf locks, so holding chain_mu_ across it is cycle-free.
+  mutable telemetry::TimedMutex chain_mu_;
+  /// Local chaining: producer sensor (lowercased) -> consumer wrappers.
+  std::multimap<std::string, LocalStreamWrapper*> local_wrappers_;
   // Federation resilience telemetry (docs/FEDERATION.md).
   std::shared_ptr<telemetry::Counter> fed_retries_subscribe_;
   std::shared_ptr<telemetry::Counter> fed_retries_replay_;
@@ -571,20 +703,14 @@ class Container : public network::NetworkNode {
   /// True once Shutdown()/the destructor begins teardown: those
   /// undeploys are process exit, not operator intent, so they must NOT
   /// record manifest undeploy events (the sensors come back on
-  /// restart). Guarded by mu_.
-  bool shutting_down_ = false;
-  bool draining_ = false;  // guarded by mu_
-  /// Serializes Tick() bodies: gsnd's RealtimePump and an HTTP drain
-  /// (Shutdown's flush rounds) may call Tick concurrently, but the
-  /// per-sensor pools and the checkpoint trigger assume one driver at
-  /// a time. Never held while waiting on mu_ holders that take
-  /// tick_mu_ (nobody does), so no ordering hazard. Instrumented as
-  /// lock="tick": its wait time is exactly what concurrent drivers
-  /// lose to the global serialization ROADMAP item 1 removes.
-  mutable telemetry::TimedMutex tick_mu_;
-  /// Guarded by tick_mu_ (written by the constructor before any
-  /// thread can Tick, then only touched inside Tick).
-  Timestamp last_checkpoint_ = 0;
+  /// restart).
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> draining_{false};
+  /// Guards only the checkpoint trigger clock: concurrent Tick()
+  /// drivers race to it with try_lock, so at most one runs the
+  /// periodic checkpoint and the rest skip instead of queueing.
+  std::mutex checkpoint_mu_;
+  Timestamp last_checkpoint_ = 0;  // guarded by checkpoint_mu_
   size_t recovered_records_ = 0;
   size_t recovery_failures_ = 0;
   std::shared_ptr<telemetry::Gauge> recovery_records_gauge_;
@@ -606,10 +732,9 @@ class Container : public network::NetworkNode {
   int64_t started_steady_micros_ = 0;
   /// Count of deployed wrapper="system" sources; refresh gate.
   std::atomic<int64_t> system_sources_total_{0};
-  /// Guards ONLY the snapshot cache below; leaf lock (never taken with
-  /// mu_ or tick_mu_ held by the same thread... except Tick's refresh,
-  /// which holds tick_mu_ — the cache readers never take any other
-  /// container lock, so no cycle is possible).
+  /// Guards ONLY the snapshot cache below; leaf lock. The cache
+  /// readers (system wrappers mid-tick) never take any shard or
+  /// federation lock, so no cycle is possible.
   mutable std::mutex snapshot_mu_;
   wrappers::SystemSnapshot system_snapshot_;  // guarded by snapshot_mu_
 };

@@ -188,6 +188,13 @@ std::string ManagementInterface::CmdContainerStatus() const {
        << vs.stats.produced << "  queue=" << vs.queue_depth << "  shed="
        << vs.shed << "\n";
   }
+  os << "shards:\n";
+  for (const Container::ShardStatus& shard : status.shards) {
+    os << "  shard-" << shard.index << "  sensors=" << shard.sensors
+       << "  ticks=" << shard.ticks_total
+       << "  contended=" << shard.lock_contended
+       << "  wait=" << shard.lock_wait_micros << "us\n";
+  }
   os << "locks:\n";
   for (const Container::LockStats& lock : status.locks) {
     os << "  " << lock.name << "  acquisitions=" << lock.acquisitions

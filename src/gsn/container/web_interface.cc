@@ -402,6 +402,20 @@ HttpResponse WebInterface::HandleStatus() {
             ",\"shed\":" + std::to_string(sensor.shed) +
             ",\"stored_rows\":" + std::to_string(sensor.stored_rows) + "}";
   }
+  json += "],\"shards\":[";
+  first = true;
+  for (const Container::ShardStatus& shard : status.shards) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"index\":" + std::to_string(shard.index) +
+            ",\"sensors\":" + std::to_string(shard.sensors) +
+            ",\"ticks_total\":" + std::to_string(shard.ticks_total) +
+            ",\"lock_acquisitions\":" +
+            std::to_string(shard.lock_acquisitions) +
+            ",\"lock_contended\":" + std::to_string(shard.lock_contended) +
+            ",\"lock_wait_micros\":" + std::to_string(shard.lock_wait_micros) +
+            "}";
+  }
   json += "],\"locks\":[";
   first = true;
   for (const Container::LockStats& lock : status.locks) {

@@ -82,12 +82,26 @@ TEST_F(ContainerStatusSurfaceTest, GetStatusJoinsSubsystems) {
         status.locks.begin(), status.locks.end(),
         [&](const Container::LockStats& lock) { return lock.name == name; });
   };
-  EXPECT_TRUE(has_lock("container"));
-  EXPECT_TRUE(has_lock("tick"));
+  EXPECT_TRUE(has_lock("shard-0"));
+  EXPECT_TRUE(has_lock("federation"));
+  EXPECT_TRUE(has_lock("chaining"));
   EXPECT_TRUE(has_lock("query_cache"));
   for (const auto& lock : status.locks) {
     EXPECT_GE(lock.acquisitions, lock.contended) << lock.name;
   }
+
+  // One status row per shard, and the deployed sensor is attributed to
+  // exactly one of them.
+  ASSERT_FALSE(status.shards.empty());
+  size_t shard_sensors = 0;
+  int64_t shard_ticks = 0;
+  for (const auto& shard : status.shards) {
+    shard_sensors += shard.sensors;
+    shard_ticks += shard.ticks_total;
+    EXPECT_GE(shard.lock_acquisitions, shard.lock_contended);
+  }
+  EXPECT_EQ(shard_sensors, 1u);
+  EXPECT_GT(shard_ticks, 0);
 
   // The profiler saw the tick spans it meters.
   ASSERT_FALSE(status.hot_spans.empty());
@@ -109,8 +123,8 @@ TEST_F(ContainerStatusSurfaceTest, WebStatusEndpointReturnsUnifiedJson) {
             std::string::npos);
   for (const char* key :
        {"\"node\":\"status-node\"", "\"version\"", "\"totals\"",
-        "\"sensors\"", "\"locks\"", "\"hot_spans\"", "\"recovery\"",
-        "\"tick_p95_ms\"", "\"lock_wait_share\""}) {
+        "\"sensors\"", "\"shards\"", "\"locks\"", "\"hot_spans\"",
+        "\"recovery\"", "\"tick_p95_ms\"", "\"lock_wait_share\""}) {
     EXPECT_NE(response.body.find(key), std::string::npos)
         << key << " missing in " << response.body;
   }

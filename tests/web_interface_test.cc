@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "gsn/container/web_interface.h"
@@ -312,6 +317,68 @@ TEST_F(WebInterfaceTest, QuarantineInspectRequeueClear) {
   clear.method = "POST";
   clear.path = "/api/v1/quarantine/clear";
   EXPECT_EQ(web_->Handle(clear).status, 200);
+}
+
+// Regression canary for the serialize-outside-the-lock rule
+// (docs/CONCURRENCY.md): a client that requests a fat response and then
+// never reads it must not stall the container. Status/metrics handlers
+// copy their snapshot out of the shard locks before building JSON, so
+// even if the response write parks on the dead socket, every shard
+// keeps ticking. If serialization ever moves back under a shard lock,
+// the tick loop below wedges behind the stalled reader and the test
+// times out instead of finishing in milliseconds.
+TEST(WebInterfaceSlowReaderTest, StalledReaderDoesNotStallContainer) {
+  auto clock = std::make_shared<VirtualClock>();
+  Container::Options options;
+  options.node_id = "slow-node";
+  options.clock = clock;
+  options.sharding.shards = 4;
+  options.sharding.tick_workers = 4;
+  Container container(std::move(options));
+  // Enough sensors that /metrics and /api/v1/status are multi-kilobyte.
+  for (int i = 0; i < 32; ++i) {
+    std::string xml = kSensorXml;
+    const std::string name = "slow-" + std::to_string(i);
+    xml.replace(xml.find("web-sensor"), 10, name);
+    ASSERT_TRUE(container.Deploy(xml).ok());
+  }
+  WebInterface web(&container);
+  ASSERT_TRUE(web.Start(0).ok());
+
+  // A raw client with a minimal receive buffer: send the request, then
+  // never read the response.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 1;  // kernel clamps this to its minimum
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(web.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "GET /metrics HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  // While that response is (possibly) parked, the container must stay
+  // fully live: ticks on all shards, status snapshots, per-sensor
+  // status. The bound is generous — the failure mode is a hang.
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 20; ++i) {
+    clock->Advance(100 * kMicrosPerMilli);
+    ASSERT_TRUE(container.Tick().ok());
+  }
+  const Container::ContainerStatus status = container.GetStatus();
+  EXPECT_EQ(status.shards.size(), 4u);
+  EXPECT_TRUE(container.GetSensorStatus("slow-0").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+
+  ::close(fd);
+  web.Stop();
 }
 
 TEST(UrlDecodeTest, Decoding) {
