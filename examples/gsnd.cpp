@@ -15,6 +15,11 @@
 // * --port serves the HTTP interface (/api/v1/...: healthz, readyz,
 //   sensors, query, quarantine, metrics). 0 picks an ephemeral port;
 //   the chosen port is printed either way.
+// * --listen binds the framed federation peer plane (EpollTransport)
+//   on 127.0.0.1:N (0 = ephemeral; the bound port is printed), and
+//   --peer NAME=HOST:PORT (repeatable) adds a dial-table entry, so two
+//   gsnd processes federate over real TCP sockets exactly like
+//   simulator containers do in tests (docs/TRANSPORT.md).
 //
 // SIGTERM/SIGINT trigger a graceful drain: stop admitting wrapper
 // load, flush the admission queues, checkpoint, fsync, exit 0. SIGKILL
@@ -25,13 +30,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "gsn/container/container.h"
 #include "gsn/container/descriptor_watcher.h"
 #include "gsn/container/realtime_pump.h"
 #include "gsn/container/web_interface.h"
+#include "gsn/network/epoll_transport.h"
 
 namespace {
 
@@ -43,10 +51,36 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--data-dir DIR] [--descriptors DIR] [--port N]\n"
                "          [--node-id ID] [--tick-ms N] [--shards N]\n"
+               "          [--listen N] [--peer NAME=HOST:PORT]...\n"
                "       GSN_SHARDS=N in the environment sets the default\n"
-               "       shard/tick-worker count (0 = hardware concurrency)\n",
+               "       shard/tick-worker count (0 = hardware concurrency)\n"
+               "       --listen binds the federation peer plane; --peer\n"
+               "       adds a dial-table entry for a remote gsnd\n",
                argv0);
   return 2;
+}
+
+struct PeerSpec {
+  std::string name;
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Parses "NAME=HOST:PORT" (the --peer argument shape).
+bool ParsePeerSpec(const std::string& text, PeerSpec* out) {
+  const size_t eq = text.find('=');
+  const size_t colon = text.rfind(':');
+  if (eq == std::string::npos || colon == std::string::npos || colon < eq) {
+    return false;
+  }
+  out->name = text.substr(0, eq);
+  out->host = text.substr(eq + 1, colon - eq - 1);
+  const long port = std::strtol(text.c_str() + colon + 1, nullptr, 10);
+  if (out->name.empty() || out->host.empty() || port <= 0 || port > 65535) {
+    return false;
+  }
+  out->port = static_cast<uint16_t>(port);
+  return true;
 }
 
 }  // namespace
@@ -57,6 +91,8 @@ int main(int argc, char** argv) {
   std::string node_id = "gsnd";
   long port = 0;
   long tick_ms = 100;
+  long listen_port = -1;  // -1 = no peer plane
+  std::vector<PeerSpec> peers;
   // GSN_SHARDS seeds the default; --shards (parsed below) overrides.
   // 0 means "size to hardware concurrency" (the container default).
   long shards = 0;
@@ -85,12 +121,50 @@ int main(int argc, char** argv) {
     } else if (arg == "--shards" && value != nullptr) {
       shards = std::strtol(value, nullptr, 10);
       ++i;
+    } else if (arg == "--listen" && value != nullptr) {
+      listen_port = std::strtol(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--peer" && value != nullptr) {
+      PeerSpec peer;
+      if (!ParsePeerSpec(value, &peer)) return Usage(argv[0]);
+      peers.push_back(std::move(peer));
+      ++i;
     } else {
       return Usage(argv[0]);
     }
   }
-  if (tick_ms <= 0 || port < 0 || port > 65535 || shards < 0) {
+  if (tick_ms <= 0 || port < 0 || port > 65535 || shards < 0 ||
+      listen_port > 65535) {
     return Usage(argv[0]);
+  }
+
+  // The peer-plane transport outlives the container (whose destructor
+  // unregisters from it), so it is declared first.
+  std::unique_ptr<gsn::network::EpollTransport> transport;
+  if (listen_port >= 0 || !peers.empty()) {
+    gsn::network::EpollTransport::Options transport_options;
+    transport_options.metrics = gsn::telemetry::MetricRegistry::Default();
+    transport_options.metrics_role = "peer";
+    transport = std::make_unique<gsn::network::EpollTransport>(
+        std::move(transport_options));
+    gsn::Status status = transport->Start();
+    if (status.ok() && listen_port >= 0) {
+      status = transport->ListenPeer(static_cast<uint16_t>(listen_port));
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "gsnd: peer transport failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    if (listen_port >= 0) {
+      std::printf("gsnd: peer plane on 127.0.0.1:%u\n",
+                  transport->peer_port());
+    }
+    for (const PeerSpec& peer : peers) {
+      transport->AddPeer(peer.name, peer.host, peer.port);
+      std::printf("gsnd: peer %s at %s:%u\n", peer.name.c_str(),
+                  peer.host.c_str(), peer.port);
+    }
   }
 
   gsn::container::Container::Options options;
@@ -99,6 +173,7 @@ int main(int argc, char** argv) {
   options.seed = static_cast<uint64_t>(::getpid());
   options.data_dir = data_dir;
   options.sharding.shards = static_cast<int>(shards);
+  options.network = transport.get();
   gsn::container::Container container(std::move(options));
 
   if (!data_dir.empty()) {

@@ -1,0 +1,132 @@
+// A deliberately dumb TCP port forwarder that stands in for a NAT
+// gateway / sensd relay between two gsnd daemons: the consumer dials
+// the forwarder, the forwarder dials the real producer, and bytes are
+// copied both ways until either side closes. The producer never learns
+// the consumer's address — replies must ride the live inbound
+// connection, which is exactly the topology EpollTransport's reply
+// routing exists for (docs/TRANSPORT.md).
+//
+//   build/examples/example_nat_forwarder --listen 0 --target 127.0.0.1:9090
+//
+// Prints "nat_forwarder: listening on 127.0.0.1:<port>" so scripts can
+// parse the bound port. Each accepted connection gets its own upstream
+// dial and a pair of copy threads; a dead upstream simply closes the
+// client, and the client's next dial starts over — the same drop/redial
+// behaviour a real middlebox gives you.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace {
+
+void CopyUntilEof(int from_fd, int to_fd) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(from_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    size_t off = 0;
+    while (off < static_cast<size_t>(n)) {
+      const ssize_t w =
+          ::send(to_fd, buf + off, static_cast<size_t>(n) - off, MSG_NOSIGNAL);
+      if (w <= 0) return;
+      off += static_cast<size_t>(w);
+    }
+  }
+  // Propagate the half-close so the other direction can drain.
+  ::shutdown(to_fd, SHUT_WR);
+}
+
+int DialTarget(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t listen_port = 0;
+  std::string target_host = "127.0.0.1";
+  uint16_t target_port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--listen" && value != nullptr) {
+      listen_port = static_cast<uint16_t>(std::atoi(value));
+      ++i;
+    } else if (arg == "--target" && value != nullptr) {
+      const std::string spec = value;
+      const size_t colon = spec.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "bad --target %s (want HOST:PORT)\n", value);
+        return 2;
+      }
+      target_host = spec.substr(0, colon);
+      target_port = static_cast<uint16_t>(std::atoi(spec.c_str() + colon + 1));
+      ++i;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--listen N] --target HOST:PORT\n", argv[0]);
+      return 2;
+    }
+  }
+  if (target_port == 0) {
+    std::fprintf(stderr, "missing --target HOST:PORT\n");
+    return 2;
+  }
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(listen_port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd, 64) != 0) {
+    std::perror("bind/listen");
+    return 1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  std::printf("nat_forwarder: listening on 127.0.0.1:%u -> %s:%u\n",
+              ntohs(addr.sin_port), target_host.c_str(), target_port);
+  std::fflush(stdout);
+
+  for (;;) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) continue;
+    std::thread([client, target_host, target_port] {
+      const int upstream = DialTarget(target_host, target_port);
+      if (upstream < 0) {
+        ::close(client);
+        return;
+      }
+      std::thread down([client, upstream] { CopyUntilEof(upstream, client); });
+      CopyUntilEof(client, upstream);
+      down.join();
+      ::close(client);
+      ::close(upstream);
+    }).detach();
+  }
+}

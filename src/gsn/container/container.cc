@@ -1596,7 +1596,17 @@ void Container::OnMessage(const Message& message) {
   // Any received message is liveness evidence for its sender: refresh
   // the peer's heartbeat clock and feed its circuit breaker a success.
   if (!message.from.empty() && message.from != options_.node_id) {
-    NotePeerAlive(message.from, options_.clock->NowMicros());
+    const bool new_peer =
+        NotePeerAlive(message.from, options_.clock->NowMicros());
+    // First contact on a real transport: the peer cannot have seen our
+    // deploy-time directory broadcasts (it started later, or sits
+    // behind a forwarder and only now learned our address), so
+    // re-announce. The simulator keeps its deterministic message
+    // schedule: every node is registered before traffic starts there.
+    if (new_peer && options_.network != nullptr &&
+        options_.network->AsSimulator() == nullptr) {
+      AnnounceAll();
+    }
   }
   if (message.topic == network::kTopicHeartbeat) {
     return;  // nothing beyond the liveness note above
@@ -1761,8 +1771,9 @@ bool Container::PeerAllowsSendLocked(const std::string& peer, Timestamp now) {
   return it->second.breaker.AllowSend(now);
 }
 
-void Container::NotePeerAlive(const std::string& from, Timestamp now) {
+bool Container::NotePeerAlive(const std::string& from, Timestamp now) {
   std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
+  const bool new_peer = peers_.find(from) == peers_.end();
   PeerState& peer = PeerStateLocked(from, now);
   peer.last_seen = now;
   if (peer.breaker.RecordSuccess()) {
@@ -1771,6 +1782,7 @@ void Container::NotePeerAlive(const std::string& from, Timestamp now) {
   }
   peer.circuit_gauge->Set(
       static_cast<int64_t>(peer.breaker.StateAt(now)));
+  return new_peer;
 }
 
 bool Container::TryFailoverLocked(const std::string& old_id, Timestamp now,

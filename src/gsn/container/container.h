@@ -22,7 +22,7 @@
 #include "gsn/network/remote_stream_wrapper.h"
 #include "gsn/network/replay_buffer.h"
 #include "gsn/network/retry_policy.h"
-#include "gsn/network/simulator.h"
+#include "gsn/network/transport.h"
 #include "gsn/storage/columnar/catalog.h"
 #include "gsn/storage/persistence_log.h"
 #include "gsn/storage/table.h"
@@ -83,7 +83,9 @@ class Container : public network::NetworkNode {
     /// the manifest and redeploys every sensor that was live at the
     /// crash. "" disables the manifest entirely.
     std::string data_dir;
-    network::NetworkSimulator* network = nullptr;  // optional P2P fabric
+    /// Optional P2P fabric: the deterministic NetworkSimulator in
+    /// tests, an EpollTransport over real sockets in gsnd deployments.
+    network::Transport* network = nullptr;
     std::string integrity_key = "gsn-demo-key";
     /// Metric registry shared by every component the container owns
     /// (query manager, notification manager, sensors, sources). Null =
@@ -384,9 +386,10 @@ class Container : public network::NetworkNode {
   /// fan-out spans); TopSpans() feeds the status surface.
   const telemetry::Profiler& profiler() const { return profiler_; }
 
-  /// The simulator fabric this container is attached to (null when
-  /// standalone). Exposed for the `chaos` management command and tests.
-  network::NetworkSimulator* network() const { return options_.network; }
+  /// The transport this container is attached to (null when
+  /// standalone). `AsSimulator()` gates the simulator-only chaos
+  /// controls; real transports return nullptr there.
+  network::Transport* network() const { return options_.network; }
 
   /// Resolved shard count (Options::Sharding::shards, 0 = hardware
   /// concurrency at construction).
@@ -553,7 +556,11 @@ class Container : public network::NetworkNode {
   /// federation state lives under fed_mu_; sends happen after release.
   void RunResilience(Timestamp now);
   /// Records liveness evidence for `from` (any received message).
-  void NotePeerAlive(const std::string& from, Timestamp now);
+  /// Returns true when this is the first evidence of the peer — on a
+  /// real transport that triggers a directory re-announce so a peer
+  /// that started (or restarted) after our publish rounds can still
+  /// discover us.
+  bool NotePeerAlive(const std::string& from, Timestamp now);
   PeerState& PeerStateLocked(const std::string& peer, Timestamp now);
   /// Whether traffic to `peer` may flow (circuit closed or probing).
   bool PeerAllowsSendLocked(const std::string& peer, Timestamp now);

@@ -54,7 +54,7 @@ std::vector<std::string> Federation::NodeIds() const {
 Result<int> Federation::Step(Timestamp step) {
   clock_->Advance(step);
   const Timestamp now = clock_->NowMicros();
-  network_.DeliverUntil(now);
+  network_.Pump(now);
   int produced = 0;
   for (auto& [id, node] : nodes_) {
     GSN_ASSIGN_OR_RETURN(int n, node->Tick());
@@ -62,7 +62,7 @@ Result<int> Federation::Step(Timestamp step) {
   }
   // Deliver messages sent during the tick that are due immediately
   // (zero-latency links in tests).
-  network_.DeliverUntil(now);
+  network_.Pump(now);
   return produced;
 }
 

@@ -62,6 +62,9 @@ ManagementInterface::ManagementInterface(Container* container)
       [this](const std::string& a) { return CmdTraces(a); });
   add("peers", "", "federation peer health: circuit state and last-seen",
       [this](const std::string&) { return CmdPeers(); });
+  add("transport", "",
+      "transport fabric: implementation, counters, per-connection stats",
+      [this](const std::string&) { return CmdTransport(); });
   add("segments", "", "columnar history tier: per-segment stats and totals",
       [this](const std::string&) { return CmdSegments(); });
   add("health", "", "liveness/readiness with not-ready reasons",
@@ -390,6 +393,29 @@ std::string ManagementInterface::CmdPeers() const {
   return out;
 }
 
+std::string ManagementInterface::CmdTransport() const {
+  network::Transport* transport = container_->network();
+  if (transport == nullptr) {
+    return "(standalone container: no transport attached)\n";
+  }
+  std::string out = "transport=" + transport->transport_name() + "\n";
+  const std::vector<network::ConnectionStats> connections =
+      transport->Connections();
+  if (connections.empty()) {
+    out += "(no live connections)\n";
+    return out;
+  }
+  for (const network::ConnectionStats& c : connections) {
+    out += c.peer + "  kind=" + c.kind + "  state=" + c.state +
+           "  queued=" + std::to_string(c.queued_bytes) + "B" +
+           "  requests=" + std::to_string(c.requests_served) +
+           "  frames=" + std::to_string(c.frames_in) + "/" +
+           std::to_string(c.frames_out) +
+           "  idle=" + std::to_string(c.idle_micros) + "us\n";
+  }
+  return out;
+}
+
 std::string ManagementInterface::CmdSegments() const {
   const storage::columnar::SegmentCatalog* catalog =
       container_->segment_catalog();
@@ -466,10 +492,16 @@ std::string ManagementInterface::CmdDrain() {
 }
 
 std::string ManagementInterface::CmdChaos(const std::string& args) {
-  network::NetworkSimulator* net = container_->network();
+  network::Transport* transport = container_->network();
+  network::NetworkSimulator* net =
+      transport != nullptr ? transport->AsSimulator() : nullptr;
   if (net == nullptr) {
-    return "ERROR: chaos requires a network simulator (standalone "
-           "container has none)";
+    return transport != nullptr
+               ? "ERROR: chaos requires the simulator transport (this "
+                 "container runs on '" +
+                     transport->transport_name() + "')"
+               : "ERROR: chaos requires a network simulator (standalone "
+                 "container has none)";
   }
   std::vector<std::string> words;
   for (const std::string& piece : StrSplit(args, ' ')) {

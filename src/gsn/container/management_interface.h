@@ -80,6 +80,7 @@ class ManagementInterface {
   std::string CmdTrace(const std::string& args);
   std::string CmdTraces(const std::string& args) const;
   std::string CmdPeers() const;
+  std::string CmdTransport() const;
   std::string CmdSegments() const;
   std::string CmdHealth() const;
   std::string CmdQuarantine(const std::string& args);

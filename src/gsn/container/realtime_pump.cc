@@ -7,7 +7,7 @@
 namespace gsn::container {
 
 RealtimePump::RealtimePump(Container* container, Timestamp interval_micros,
-                           network::NetworkSimulator* network)
+                           network::Transport* network)
     : container_(container),
       interval_micros_(interval_micros > 0 ? interval_micros
                                            : 100 * kMicrosPerMilli),
@@ -43,7 +43,7 @@ void RealtimePump::Loop() {
       if (stop_requested_) return;
     }
     if (network_ != nullptr) {
-      network_->DeliverUntil(container_->clock()->NowMicros());
+      network_->Pump(container_->clock()->NowMicros());
     }
     const Result<int> produced = container_->Tick();
     if (!produced.ok()) {

@@ -13,8 +13,9 @@ namespace gsn::container {
 /// Drives a container from a background thread in wall-clock time —
 /// live deployments, as opposed to the deterministic virtual-clock
 /// stepping used by tests and benchmarks. The pump calls
-/// Container::Tick() every `interval` and, when the container sits on a
-/// simulated network, also pumps message delivery.
+/// Container::Tick() every `interval` and, when a transport needs
+/// driving (the simulator's deferred queue), also pumps delivery — a
+/// no-op on real transports, which deliver from their own event loop.
 ///
 /// Start/Stop are idempotent; the destructor stops the pump.
 class RealtimePump {
@@ -22,7 +23,7 @@ class RealtimePump {
   /// `network` may be null (single-node deployments). The container
   /// must outlive the pump.
   RealtimePump(Container* container, Timestamp interval_micros,
-               network::NetworkSimulator* network = nullptr);
+               network::Transport* network = nullptr);
   ~RealtimePump();
 
   RealtimePump(const RealtimePump&) = delete;
@@ -40,7 +41,7 @@ class RealtimePump {
 
   Container* container_;
   const Timestamp interval_micros_;
-  network::NetworkSimulator* network_;
+  network::Transport* network_;
 
   std::mutex mu_;
   std::condition_variable wake_;

@@ -21,11 +21,75 @@ std::string JsonDouble(double value) {
   std::snprintf(buffer, sizeof(buffer), "%.6f", value);
   return buffer;
 }
+
+network::EpollTransport::Options HttpTransportOptions(Container* container) {
+  network::EpollTransport::Options options;
+  options.metrics = container->metrics();
+  options.metrics_role = "http";
+  return options;
+}
+
+/// ?limit=&offset= for the uniform list endpoints. Missing parameters
+/// mean "everything"; anything non-numeric or negative is an error.
+Status ParsePage(const HttpRequest& request, size_t* limit, size_t* offset) {
+  *limit = std::string::npos;
+  *offset = 0;
+  const std::string limit_text = request.QueryOr("limit", "");
+  if (!limit_text.empty()) {
+    Result<int64_t> value = ParseInt64(limit_text);
+    if (!value.ok() || *value < 0) {
+      return Status::InvalidArgument("?limit= must be a non-negative integer");
+    }
+    *limit = static_cast<size_t>(*value);
+  }
+  const std::string offset_text = request.QueryOr("offset", "");
+  if (!offset_text.empty()) {
+    Result<int64_t> value = ParseInt64(offset_text);
+    if (!value.ok() || *value < 0) {
+      return Status::InvalidArgument("?offset= must be a non-negative integer");
+    }
+    *offset = static_cast<size_t>(*value);
+  }
+  return Status::OK();
+}
+
+/// The uniform envelope: {"items":[<page of items>],"total":N} where
+/// `total` counts every item before paging. `extra` appends additional
+/// top-level fields (",\"enabled\":true").
+std::string ListEnvelope(const std::vector<std::string>& items, size_t limit,
+                         size_t offset, const std::string& extra = "") {
+  std::string json = "{\"items\":[";
+  bool first = true;
+  for (size_t i = offset; i < items.size() && i - offset < limit; ++i) {
+    if (!first) json += ",";
+    first = false;
+    json += items[i];
+  }
+  json += "],\"total\":" + std::to_string(items.size()) + extra + "}";
+  return json;
+}
+
+void AppendConnectionItems(const network::Transport& transport,
+                           const std::string& role,
+                           std::vector<std::string>* items) {
+  for (const network::ConnectionStats& c : transport.Connections()) {
+    items->push_back(
+        "{\"role\":" + JsonEscape(role) +
+        ",\"transport\":" + JsonEscape(transport.transport_name()) +
+        ",\"peer\":" + JsonEscape(c.peer) + ",\"kind\":" + JsonEscape(c.kind) +
+        ",\"state\":" + JsonEscape(c.state) +
+        ",\"queued_bytes\":" + std::to_string(c.queued_bytes) +
+        ",\"requests_served\":" + std::to_string(c.requests_served) +
+        ",\"frames_in\":" + std::to_string(c.frames_in) +
+        ",\"frames_out\":" + std::to_string(c.frames_out) +
+        ",\"age_micros\":" + std::to_string(c.age_micros) +
+        ",\"idle_micros\":" + std::to_string(c.idle_micros) + "}");
+  }
+}
 }  // namespace
 
 WebInterface::WebInterface(Container* container)
-    : container_(container),
-      server_([this](const HttpRequest& request) { return Handle(request); }) {
+    : container_(container), http_(HttpTransportOptions(container)) {
   // The route table. Paths are canonical (below /api/v1); the bare
   // legacy paths alias onto the same rows.
   auto add = [this](const char* method, const char* path, bool prefix,
@@ -64,16 +128,20 @@ WebInterface::WebInterface(Container* container)
       [this](const HttpRequest& r, const std::string&) {
         return HandleTraces(r);
       });
-  add("GET", "/peers", false, [this](const HttpRequest&, const std::string&) {
-    return HandlePeers();
+  add("GET", "/peers", false, [this](const HttpRequest& r, const std::string&) {
+    return HandlePeers(r);
   });
+  add("GET", "/transport", false,
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleTransport(r);
+      });
   add("GET", "/status", false,
       [this](const HttpRequest&, const std::string&) {
         return HandleStatus();
       });
   add("GET", "/segments", false,
-      [this](const HttpRequest&, const std::string&) {
-        return HandleSegments();
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleSegments(r);
       });
   add("GET", "/healthz", false,
       [this](const HttpRequest&, const std::string&) {
@@ -84,8 +152,8 @@ WebInterface::WebInterface(Container* container)
         return HandleReadyz();
       });
   add("GET", "/quarantine", false,
-      [this](const HttpRequest&, const std::string&) {
-        return HandleQuarantine();
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleQuarantine(r);
       });
   add("POST", "/quarantine/requeue", false,
       [this](const HttpRequest& r, const std::string&) {
@@ -113,9 +181,15 @@ WebInterface::WebInterface(Container* container)
       });
 }
 
-Status WebInterface::Start(uint16_t port) { return server_.Start(port); }
+Status WebInterface::Start(uint16_t port) {
+  GSN_RETURN_IF_ERROR(http_.Start());
+  const Status listen = http_.ListenHttp(
+      port, [this](const HttpRequest& request) { return Handle(request); });
+  if (!listen.ok()) http_.Stop();
+  return listen;
+}
 
-void WebInterface::Stop() { server_.Stop(); }
+void WebInterface::Stop() { http_.Stop(); }
 
 std::string WebInterface::ApiKey(const HttpRequest& request) {
   const std::string header = request.HeaderOr("x-api-key", "");
@@ -150,8 +224,20 @@ HttpResponse WebInterface::Handle(const HttpRequest& request) {
       return ErrorJson(405, "MethodNotAllowed",
                        "method not allowed: " + request.method);
     }
+    return Dispatch(request, path);
   }
-  return Dispatch(request, path);
+  // The unversioned aliases are retired: a path that names a known
+  // resource gets a pointer to its v1 home, everything else a 404.
+  for (const Route& route : routes_) {
+    const bool match =
+        route.prefix ? StrStartsWith(path, route.path) : path == route.path;
+    if (match) {
+      return ErrorJson(410, "gone",
+                       "unversioned paths were removed; use " +
+                           std::string(kApiPrefix) + path);
+    }
+  }
+  return ErrorJson(404, "NotFound", "no such resource: " + request.path);
 }
 
 HttpResponse WebInterface::Dispatch(const HttpRequest& request,
@@ -187,8 +273,8 @@ HttpResponse WebInterface::HandleIndex() {
       "</ul><p>API: /api/v1/sensors /api/v1/query?sql=... "
       "/api/v1/explain?sql=...&amp;analyze=1 /api/v1/discover?key=val "
       "/api/v1/topology /api/v1/metrics /api/v1/traces /api/v1/peers "
-      "POST /api/v1/deploy POST /api/v1/undeploy?name=... "
-      "(unversioned paths are deprecated aliases)</p></body></html>";
+      "/api/v1/transport POST /api/v1/deploy POST "
+      "/api/v1/undeploy?name=...</p></body></html>";
   return HttpResponse::Html(std::move(html));
 }
 
@@ -331,24 +417,51 @@ HttpResponse WebInterface::HandleTraces(const HttpRequest& request) {
                        "?id= must be a 32-char hex trace id");
     }
   }
-  return HttpResponse::Json(
-      telemetry::RenderTracesJson(container_->tracer()->store(), id));
+  size_t limit = 0;
+  size_t offset = 0;
+  const Status page = ParsePage(request, &limit, &offset);
+  if (!page.ok()) return FromStatus(page);
+  return HttpResponse::Json(telemetry::RenderTracesJson(
+      container_->tracer()->store(), id, limit, offset));
 }
 
-HttpResponse WebInterface::HandlePeers() {
-  std::string json = "[";
-  bool first = true;
+HttpResponse WebInterface::HandlePeers(const HttpRequest& request) {
+  size_t limit = 0;
+  size_t offset = 0;
+  const Status page = ParsePage(request, &limit, &offset);
+  if (!page.ok()) return FromStatus(page);
+  std::vector<std::string> items;
   for (const Container::PeerStatus& peer : container_->PeerStatuses()) {
-    if (!first) json += ",";
-    first = false;
-    json += "{\"node\":" + JsonEscape(peer.node_id) +
-            ",\"circuit\":" + JsonEscape(peer.circuit) +
-            ",\"last_seen_micros\":" + std::to_string(peer.last_seen) +
-            ",\"circuit_opened_total\":" +
-            std::to_string(peer.circuit_opened_total) + "}";
+    items.push_back("{\"node\":" + JsonEscape(peer.node_id) +
+                    ",\"circuit\":" + JsonEscape(peer.circuit) +
+                    ",\"last_seen_micros\":" + std::to_string(peer.last_seen) +
+                    ",\"circuit_opened_total\":" +
+                    std::to_string(peer.circuit_opened_total) + "}");
   }
-  json += "]";
-  return HttpResponse::Json(std::move(json));
+  return HttpResponse::Json(ListEnvelope(items, limit, offset));
+}
+
+HttpResponse WebInterface::HandleTransport(const HttpRequest& request) {
+  size_t limit = 0;
+  size_t offset = 0;
+  const Status page = ParsePage(request, &limit, &offset);
+  if (!page.ok()) return FromStatus(page);
+  std::vector<std::string> items;
+  if (container_->network() != nullptr) {
+    AppendConnectionItems(*container_->network(), "peer", &items);
+  }
+  AppendConnectionItems(http_, "http", &items);
+  const std::string extra =
+      ",\"peer_transport\":" +
+      JsonEscape(container_->network() != nullptr
+                     ? container_->network()->transport_name()
+                     : "none") +
+      ",\"http\":{\"accepted_total\":" +
+      std::to_string(http_.accepted_total()) +
+      ",\"requests_total\":" + std::to_string(http_.http_requests_total()) +
+      ",\"timeouts_total\":" + std::to_string(http_.timeouts_total()) +
+      ",\"overflows_total\":" + std::to_string(http_.overflows_total()) + "}";
+  return HttpResponse::Json(ListEnvelope(items, limit, offset, extra));
 }
 
 HttpResponse WebInterface::HandleStatus() {
@@ -450,32 +563,32 @@ HttpResponse WebInterface::HandleStatus() {
   return HttpResponse::Json(std::move(json));
 }
 
-HttpResponse WebInterface::HandleSegments() {
+HttpResponse WebInterface::HandleSegments(const HttpRequest& request) {
+  size_t limit = 0;
+  size_t offset = 0;
+  const Status page = ParsePage(request, &limit, &offset);
+  if (!page.ok()) return FromStatus(page);
   const storage::columnar::SegmentCatalog* catalog =
       container_->segment_catalog();
-  std::string json = "{\"enabled\":";
-  json += catalog != nullptr ? "true" : "false";
-  json += ",\"segment_count\":";
-  json += std::to_string(catalog != nullptr ? catalog->segment_count() : 0);
-  json += ",\"total_bytes\":";
-  json += std::to_string(catalog != nullptr ? catalog->total_bytes() : 0);
-  json += ",\"segments\":[";
-  bool first = true;
+  std::vector<std::string> items;
   if (catalog != nullptr) {
     for (const storage::columnar::SegmentMeta& meta : catalog->List()) {
-      if (!first) json += ",";
-      first = false;
-      json += "{\"table\":" + JsonEscape(meta.table) +
-              ",\"id\":" + std::to_string(meta.id) +
-              ",\"rows\":" + std::to_string(meta.row_count) +
-              ",\"chunks\":" + std::to_string(meta.chunk_count) +
-              ",\"bytes\":" + std::to_string(meta.bytes) +
-              ",\"min_timed\":" + std::to_string(meta.min_timed) +
-              ",\"max_timed\":" + std::to_string(meta.max_timed) + "}";
+      items.push_back("{\"table\":" + JsonEscape(meta.table) +
+                      ",\"id\":" + std::to_string(meta.id) +
+                      ",\"rows\":" + std::to_string(meta.row_count) +
+                      ",\"chunks\":" + std::to_string(meta.chunk_count) +
+                      ",\"bytes\":" + std::to_string(meta.bytes) +
+                      ",\"min_timed\":" + std::to_string(meta.min_timed) +
+                      ",\"max_timed\":" + std::to_string(meta.max_timed) + "}");
     }
   }
-  json += "]}";
-  return HttpResponse::Json(std::move(json));
+  std::string extra = ",\"enabled\":";
+  extra += catalog != nullptr ? "true" : "false";
+  extra += ",\"segment_count\":";
+  extra += std::to_string(catalog != nullptr ? catalog->segment_count() : 0);
+  extra += ",\"total_bytes\":";
+  extra += std::to_string(catalog != nullptr ? catalog->total_bytes() : 0);
+  return HttpResponse::Json(ListEnvelope(items, limit, offset, extra));
 }
 
 HttpResponse WebInterface::HandleHealthz() {
@@ -497,25 +610,24 @@ HttpResponse WebInterface::HandleReadyz() {
   return HttpResponse::Json(std::move(json), health.ready ? 200 : 503);
 }
 
-HttpResponse WebInterface::HandleQuarantine() {
-  std::string json = "[";
-  bool first = true;
+HttpResponse WebInterface::HandleQuarantine(const HttpRequest& request) {
+  size_t limit = 0;
+  size_t offset = 0;
+  const Status page = ParsePage(request, &limit, &offset);
+  if (!page.ok()) return FromStatus(page);
+  std::vector<std::string> items;
   for (const QuarantineStore::Entry& entry :
        container_->quarantine().List()) {
-    if (!first) json += ",";
-    first = false;
-    json += "{\"id\":" + std::to_string(entry.id) +
-            ",\"sensor\":" + JsonEscape(entry.sensor) +
-            ",\"stream\":" + JsonEscape(entry.stream) +
-            ",\"source\":" + JsonEscape(entry.source_alias) +
-            ",\"error\":" + JsonEscape(entry.error) +
-            ",\"quarantined_at_micros\":" +
-            std::to_string(entry.quarantined_at) +
-            ",\"element_timed\":" + std::to_string(entry.element.timed) +
-            "}";
+    items.push_back(
+        "{\"id\":" + std::to_string(entry.id) +
+        ",\"sensor\":" + JsonEscape(entry.sensor) +
+        ",\"stream\":" + JsonEscape(entry.stream) +
+        ",\"source\":" + JsonEscape(entry.source_alias) +
+        ",\"error\":" + JsonEscape(entry.error) +
+        ",\"quarantined_at_micros\":" + std::to_string(entry.quarantined_at) +
+        ",\"element_timed\":" + std::to_string(entry.element.timed) + "}");
   }
-  json += "]";
-  return HttpResponse::Json(std::move(json));
+  return HttpResponse::Json(ListEnvelope(items, limit, offset));
 }
 
 HttpResponse WebInterface::HandleQuarantineRequeue(const HttpRequest& request) {

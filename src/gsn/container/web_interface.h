@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gsn/container/container.h"
+#include "gsn/network/epoll_transport.h"
 #include "gsn/network/http_server.h"
 
 namespace gsn::container {
@@ -15,10 +16,18 @@ namespace gsn::container {
 /// Web (through a browser or via web services)"; §6: the demo audience
 /// monitors and queries the system through it).
 ///
-/// Every resource is mounted under the versioned prefix `/api/v1`; the
-/// bare unversioned paths are kept as deprecated aliases for existing
-/// scrapers and scripts (see docs/FEDERATION.md for the deprecation
-/// note). One route table drives both mounts:
+/// Served by an owned EpollTransport HTTP plane (docs/TRANSPORT.md):
+/// HTTP/1.1 keep-alive with pipelining, bounded per-connection write
+/// queues, and idle timeouts — thousands of concurrent clients on one
+/// event-loop thread.
+///
+/// Every resource is mounted under the versioned prefix `/api/v1` and
+/// nowhere else: the old unversioned aliases are retired, and a request
+/// to one answers 410 with {"error":{"code":"gone","message":"...use
+/// /api/v1<path>"}} so stale scrapers learn the move. List resources
+/// (/traces, /peers, /segments, /quarantine, /transport) accept
+/// ?limit=&offset= and share the envelope {"items":[...],"total":N}
+/// where `total` counts pre-paging matches. The route table:
 ///
 ///   GET  /api/v1/sensors           JSON list of sensors with counters
 ///   GET  /api/v1/sensors/<name>    JSON status of one sensor
@@ -33,6 +42,10 @@ namespace gsn::container {
 ///                                  (?id=<32-hex trace id> filters one)
 ///   GET  /api/v1/peers             federation peer health: circuit
 ///                                  state, last-seen, times opened
+///   GET  /api/v1/transport         per-connection transport stats for
+///                                  the peer and HTTP planes: peer,
+///                                  kind, state, queued bytes,
+///                                  keep-alive requests served
 ///   GET  /api/v1/status            unified container snapshot: build
 ///                                  info, health, runtime totals,
 ///                                  per-sensor state, queue depths,
@@ -72,7 +85,10 @@ class WebInterface {
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving.
   Status Start(uint16_t port = 0);
   void Stop();
-  uint16_t port() const { return server_.port(); }
+  uint16_t port() const { return http_.http_port(); }
+
+  /// The HTTP-plane transport (tests, /api/v1/transport merging).
+  const network::EpollTransport& transport() const { return http_; }
 
   /// Route dispatch (exposed for in-process tests without sockets).
   network::HttpResponse Handle(const network::HttpRequest& request);
@@ -102,12 +118,13 @@ class WebInterface {
   network::HttpResponse HandleTopology();
   network::HttpResponse HandleMetrics();
   network::HttpResponse HandleTraces(const network::HttpRequest& request);
-  network::HttpResponse HandlePeers();
+  network::HttpResponse HandlePeers(const network::HttpRequest& request);
+  network::HttpResponse HandleTransport(const network::HttpRequest& request);
   network::HttpResponse HandleStatus();
-  network::HttpResponse HandleSegments();
+  network::HttpResponse HandleSegments(const network::HttpRequest& request);
   network::HttpResponse HandleHealthz();
   network::HttpResponse HandleReadyz();
-  network::HttpResponse HandleQuarantine();
+  network::HttpResponse HandleQuarantine(const network::HttpRequest& request);
   network::HttpResponse HandleQuarantineRequeue(
       const network::HttpRequest& request);
   network::HttpResponse HandleQuarantineClear();
@@ -125,7 +142,7 @@ class WebInterface {
 
   Container* container_;
   std::vector<Route> routes_;
-  network::HttpServer server_;
+  network::EpollTransport http_;
 };
 
 }  // namespace gsn::container

@@ -1,0 +1,815 @@
+#include "gsn/network/epoll_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "gsn/util/logging.h"
+
+namespace gsn::network {
+
+namespace {
+
+Timestamp SteadyMicros() {
+  return telemetry::SteadyClock::Instance()->NowMicros();
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+  out->push_back(static_cast<char>((value >> 16) & 0xff));
+  out->push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Wire frame of the peer plane: u32 body length, then four
+/// length-prefixed strings (from, to, topic, payload). `to` is empty
+/// for broadcasts.
+std::string EncodeFrame(const std::string& from, const std::string& to,
+                        const std::string& topic,
+                        const std::string& payload) {
+  std::string body;
+  body.reserve(16 + from.size() + to.size() + topic.size() + payload.size());
+  PutString(&body, from);
+  PutString(&body, to);
+  PutString(&body, topic);
+  PutString(&body, payload);
+  std::string frame;
+  frame.reserve(4 + body.size());
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+bool GetString(const std::string& body, size_t* pos, std::string* out) {
+  if (body.size() - *pos < 4) return false;
+  const uint32_t len = GetU32(body.data() + *pos);
+  *pos += 4;
+  if (body.size() - *pos < len) return false;
+  out->assign(body, *pos, len);
+  *pos += len;
+  return true;
+}
+
+std::string AddrToString(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "peer-out";
+    case 1:
+      return "peer-in";
+    default:
+      return "http";
+  }
+}
+
+}  // namespace
+
+EpollTransport::EpollTransport() : EpollTransport(Options()) {}
+
+EpollTransport::EpollTransport(Options options)
+    : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    const telemetry::Labels labels = {{"role", options_.metrics_role}};
+    connections_gauge_ = options_.metrics->GetGauge(
+        "gsn_transport_connections", labels, "Open transport connections");
+    accepted_counter_ = options_.metrics->GetCounter(
+        "gsn_transport_accepted_total", labels,
+        "Connections accepted since start");
+    queued_bytes_gauge_ = options_.metrics->GetGauge(
+        "gsn_transport_queued_bytes", labels,
+        "Bytes waiting in per-connection write queues");
+    timeouts_counter_ = options_.metrics->GetCounter(
+        "gsn_transport_timeouts_total", labels,
+        "Connections closed by the idle/read timeout");
+    overflows_counter_ = options_.metrics->GetCounter(
+        "gsn_transport_overflows_total", labels,
+        "Connections closed by write-queue overflow (backpressure)");
+    http_requests_counter_ = options_.metrics->GetCounter(
+        "gsn_transport_http_requests_total", labels,
+        "HTTP requests served across all connections");
+  }
+}
+
+EpollTransport::~EpollTransport() { Stop(); }
+
+Status EpollTransport::Start() {
+  if (running_.load()) return Status::AlreadyExists("transport running");
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Status::IoError("epoll_create1() failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return Status::IoError("eventfd() failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  running_.store(true);
+  loop_ = std::thread([this] { LoopMain(); });
+  return Status::OK();
+}
+
+void EpollTransport::Stop() {
+  if (!running_.exchange(false)) return;
+  WakeLoop();
+  if (loop_.joinable()) loop_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  peer_conns_.clear();
+  flush_pending_.clear();
+  pending_deliveries_.clear();
+  pending_peer_ups_.clear();
+  pending_errors_.clear();
+  total_out_bytes_ = 0;
+  const int peer_listen = peer_listen_fd_.exchange(-1);
+  if (peer_listen >= 0) ::close(peer_listen);
+  const int http_listen = http_listen_fd_.exchange(-1);
+  if (http_listen >= 0) ::close(http_listen);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  wake_fd_ = -1;
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  UpdateGaugesLocked();
+}
+
+Result<int> EpollTransport::MakeListener(uint16_t port, uint16_t* bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("bind() failed on port " + std::to_string(port));
+  }
+  if (::listen(fd, 511) != 0) {
+    ::close(fd);
+    return Status::IoError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+Status EpollTransport::ListenPeer(uint16_t port) {
+  if (!running_.load()) return Status::Unavailable("transport not started");
+  if (peer_listen_fd_.load() >= 0) {
+    return Status::AlreadyExists("peer listener already bound");
+  }
+  uint16_t bound = 0;
+  Result<int> fd = MakeListener(port, &bound);
+  GSN_RETURN_IF_ERROR(fd.status());
+  peer_port_.store(bound);
+  peer_listen_fd_.store(*fd);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = *fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, *fd, &ev);
+  GSN_LOG(kInfo, "transport") << "peer plane listening on 127.0.0.1:"
+                              << bound;
+  return Status::OK();
+}
+
+Status EpollTransport::ListenHttp(uint16_t port, HttpHandler handler) {
+  if (!running_.load()) return Status::Unavailable("transport not started");
+  if (http_listen_fd_.load() >= 0) {
+    return Status::AlreadyExists("http listener already bound");
+  }
+  uint16_t bound = 0;
+  Result<int> fd = MakeListener(port, &bound);
+  GSN_RETURN_IF_ERROR(fd.status());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    http_handler_ = std::move(handler);
+  }
+  http_port_.store(bound);
+  http_listen_fd_.store(*fd);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = *fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, *fd, &ev);
+  GSN_LOG(kInfo, "transport") << "http plane listening on 127.0.0.1:"
+                              << bound;
+  return Status::OK();
+}
+
+void EpollTransport::AddPeer(const std::string& node_id,
+                             const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_addrs_[node_id] = {host, port};
+}
+
+Status EpollTransport::RegisterNode(const std::string& node_id,
+                                    NetworkNode* node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = local_nodes_.try_emplace(node_id, node);
+  if (!inserted) {
+    return Status::AlreadyExists("node already registered: " + node_id);
+  }
+  return Status::OK();
+}
+
+Status EpollTransport::UnregisterNode(const std::string& node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (local_nodes_.erase(node_id) == 0) {
+    return Status::NotFound("node not registered: " + node_id);
+  }
+  return Status::OK();
+}
+
+void EpollTransport::SetErrorCallback(ErrorCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  error_callback_ = std::move(callback);
+}
+
+void EpollTransport::SetPeerUpCallback(PeerUpCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_up_callback_ = std::move(callback);
+}
+
+Status EpollTransport::Send(Timestamp now, const std::string& from,
+                            const std::string& to, const std::string& topic,
+                            std::string payload) {
+  if (!running_.load()) return Status::Unavailable("transport not started");
+  NetworkNode* local = nullptr;
+  Status status = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = local_nodes_.find(to);
+    if (it != local_nodes_.end()) {
+      local = it->second;
+    } else {
+      status =
+          EnqueueFrameLocked(to, EncodeFrame(from, to, topic, payload));
+    }
+  }
+  if (local != nullptr) {
+    Message message;
+    message.from = from;
+    message.to = to;
+    message.topic = topic;
+    message.payload = std::move(payload);
+    message.sent_at = now;
+    message.deliver_at = now;
+    local->OnMessage(message);
+    return Status::OK();
+  }
+  WakeLoop();
+  return status;
+}
+
+Status EpollTransport::Broadcast(Timestamp now, const std::string& from,
+                                 const std::string& topic,
+                                 const std::string& payload) {
+  if (!running_.load()) return Status::Unavailable("transport not started");
+  std::vector<std::pair<std::string, NetworkNode*>> locals;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::set<std::string> remote_targets;
+    for (const auto& [node_id, addr] : peer_addrs_) {
+      remote_targets.insert(node_id);
+    }
+    for (const auto& [node_id, fd] : peer_conns_) {
+      remote_targets.insert(node_id);
+    }
+    remote_targets.erase(from);
+    for (const auto& [node_id, node] : local_nodes_) {
+      if (node_id == from) continue;
+      locals.emplace_back(node_id, node);
+      remote_targets.erase(node_id);
+    }
+    const std::string frame = EncodeFrame(from, "", topic, payload);
+    for (const std::string& target : remote_targets) {
+      // Best effort: a down peer fails its own enqueue, not the round.
+      (void)EnqueueFrameLocked(target, frame);
+    }
+  }
+  for (auto& [node_id, node] : locals) {
+    Message message;
+    message.from = from;
+    message.to = node_id;
+    message.topic = topic;
+    message.payload = payload;
+    message.sent_at = now;
+    message.deliver_at = now;
+    node->OnMessage(message);
+  }
+  WakeLoop();
+  return Status::OK();
+}
+
+std::vector<ConnectionStats> EpollTransport::Connections() const {
+  const Timestamp steady = SteadyMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ConnectionStats> out;
+  out.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) {
+    ConnectionStats stats;
+    stats.peer = conn->peer;
+    stats.kind = KindName(static_cast<int>(conn->kind));
+    stats.state = conn->connecting ? "connecting"
+                  : conn->want_close ? "draining"
+                                     : "open";
+    stats.queued_bytes = conn->out_bytes;
+    stats.requests_served = conn->requests_served;
+    stats.frames_in = conn->frames_in;
+    stats.frames_out = conn->frames_out;
+    stats.age_micros = steady - conn->opened_steady;
+    stats.idle_micros = steady - conn->last_activity_steady;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+size_t EpollTransport::connection_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conns_.size();
+}
+
+// ------------------------------------------------------------- Shared path
+
+Status EpollTransport::EnqueueFrameLocked(const std::string& to,
+                                          const std::string& bytes) {
+  Conn* conn = nullptr;
+  auto it = peer_conns_.find(to);
+  if (it != peer_conns_.end()) {
+    auto conn_it = conns_.find(it->second);
+    if (conn_it != conns_.end()) conn = conn_it->second.get();
+  }
+  if (conn == nullptr) conn = DialLocked(to);
+  if (conn == nullptr) {
+    return Status::Unavailable("no route to node: " + to);
+  }
+  if (conn->want_close) {
+    return Status::Unavailable("connection to " + to + " closing");
+  }
+  // Occupancy check: a queue already at its bound means the peer is
+  // not draining; one frame may exceed the bound so oversized frames
+  // still pass when the link is healthy.
+  if (conn->out_bytes >= options_.max_write_queue_bytes) {
+    // Backpressure: drop the queue and disconnect the slow peer; the
+    // resilience layer above re-delivers via NACK/replay.
+    overflows_total_.fetch_add(1);
+    if (overflows_counter_) overflows_counter_->Increment();
+    total_out_bytes_ -= conn->out_bytes;
+    conn->outq.clear();
+    conn->out_off = 0;
+    conn->out_bytes = 0;
+    conn->want_close = true;
+    flush_pending_.insert(conn->fd);
+    pending_errors_.emplace_back(
+        conn->peer, Status::ResourceExhausted("write queue overflow"));
+    UpdateGaugesLocked();
+    return Status::ResourceExhausted("write queue overflow to " + to);
+  }
+  conn->out_bytes += bytes.size();
+  total_out_bytes_ += bytes.size();
+  conn->outq.push_back(bytes);
+  ++conn->frames_out;
+  flush_pending_.insert(conn->fd);
+  UpdateGaugesLocked();
+  return Status::OK();
+}
+
+EpollTransport::Conn* EpollTransport::DialLocked(const std::string& node_id) {
+  auto addr_it = peer_addrs_.find(node_id);
+  if (addr_it == peer_addrs_.end()) return nullptr;
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(addr_it->second.second);
+  if (::inet_pton(AF_INET, addr_it->second.first.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return nullptr;
+  }
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    connect_failures_total_.fetch_add(1);
+    ::close(fd);
+    return nullptr;
+  }
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->kind = ConnKind::kPeerOut;
+  conn->peer = node_id;
+  conn->connecting = rc != 0;
+  conn->opened_steady = SteadyMicros();
+  conn->last_activity_steady = conn->opened_steady;
+  Conn* raw = conn.get();
+  conns_[fd] = std::move(conn);
+  peer_conns_[node_id] = fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  if (!raw->connecting) pending_peer_ups_.push_back(node_id);
+  UpdateGaugesLocked();
+  return raw;
+}
+
+void EpollTransport::WakeLoop() {
+  const uint64_t one = 1;
+  if (wake_fd_ >= 0) {
+    (void)!::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void EpollTransport::UpdateGaugesLocked() {
+  if (connections_gauge_) {
+    connections_gauge_->Set(static_cast<int64_t>(conns_.size()));
+  }
+  if (queued_bytes_gauge_) {
+    queued_bytes_gauge_->Set(static_cast<int64_t>(total_out_bytes_));
+  }
+}
+
+// --------------------------------------------------------------- Event loop
+
+void EpollTransport::LoopMain() {
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  while (running_.load()) {
+    int timeout_ms = 500;
+    if (options_.idle_timeout_micros > 0) {
+      const Timestamp quarter = options_.idle_timeout_micros / 4;
+      timeout_ms = static_cast<int>(std::clamp<Timestamp>(
+          quarter / kMicrosPerMilli, 10, 500));
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (!running_.load()) break;
+      if (fd == wake_fd_) {
+        uint64_t drain = 0;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+      } else if (fd == peer_listen_fd_.load()) {
+        AcceptReady(fd, ConnKind::kPeerIn);
+      } else if (fd == http_listen_fd_.load()) {
+        AcceptReady(fd, ConnKind::kHttp);
+      } else {
+        ConnReady(fd, events[i].events);
+      }
+    }
+    HandleWake();
+    const Timestamp steady = SteadyMicros();
+    if (options_.idle_timeout_micros > 0 &&
+        steady - last_sweep_steady_ >=
+            std::max<Timestamp>(options_.idle_timeout_micros / 4,
+                                10 * kMicrosPerMilli)) {
+      last_sweep_steady_ = steady;
+      std::lock_guard<std::mutex> lock(mu_);
+      SweepIdleLocked(steady);
+    }
+    FirePending();
+  }
+}
+
+void EpollTransport::HandleWake() {
+  std::set<int> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(flush_pending_);
+    for (const int fd : pending) {
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn* conn = it->second.get();
+      if (conn->connecting) continue;
+      FlushLocked(conn);
+    }
+  }
+}
+
+void EpollTransport::AcceptReady(int listen_fd, ConnKind kind) {
+  for (;;) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    const int fd =
+        ::accept4(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for next edge
+    accepted_total_.fetch_add(1);
+    if (accepted_counter_) accepted_counter_->Increment();
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->kind = kind;
+    conn->peer = AddrToString(addr);
+    conn->opened_steady = SteadyMicros();
+    conn->last_activity_steady = conn->opened_steady;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_[fd] = std::move(conn);
+    UpdateGaugesLocked();
+  }
+}
+
+void EpollTransport::ConnReady(int fd, uint32_t events) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+  if (events & EPOLLERR) {
+    if (conn->connecting) connect_failures_total_.fetch_add(1);
+    CloseConnLocked(conn, Status::IoError("socket error"));
+    return;
+  }
+  if (conn->connecting && (events & (EPOLLOUT | EPOLLHUP))) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      connect_failures_total_.fetch_add(1);
+      CloseConnLocked(conn,
+                      Status::Unavailable(std::string("connect failed: ") +
+                                          std::strerror(err)));
+      return;
+    }
+    conn->connecting = false;
+    pending_peer_ups_.push_back(conn->peer);
+  }
+  if (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) {
+    if (!ReadReady(conn)) return;  // `lock` still held; conn is gone
+  }
+  // Re-find: ReadReady may release mu_ around handlers, but only the
+  // loop destroys conns, so `conn` is still ours if it survived.
+  if (!conn->connecting) FlushLocked(conn);
+}
+
+bool EpollTransport::ReadReady(Conn* conn) {
+  // Caller holds mu_. Reads until EAGAIN/EOF, then parses.
+  const int fd = conn->fd;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      conn->last_activity_steady = SteadyMicros();
+      continue;
+    }
+    if (n == 0) {
+      conn->read_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnLocked(conn, Status::IoError(std::string("read failed: ") +
+                                          std::strerror(errno)));
+    return false;
+  }
+  // mu_ is held by the caller; the Process* helpers unlock it around
+  // delivery/handler calls via the member pending queues or directly.
+  if (conn->kind == ConnKind::kHttp) {
+    ProcessHttpInput(conn);
+  } else {
+    ProcessPeerInput(conn);
+  }
+  auto it = conns_.find(fd);
+  if (it == conns_.end() || it->second.get() != conn) return false;
+  if (conn->read_closed && conn->outq.empty()) {
+    CloseConnLocked(conn, Status::OK());
+    return false;
+  }
+  return true;
+}
+
+void EpollTransport::ProcessPeerInput(Conn* conn) {
+  // Caller holds mu_. Frames decode under the lock; deliveries queue on
+  // pending_deliveries_ and fire from FirePending outside it.
+  for (;;) {
+    if (conn->inbuf.size() < 4) break;
+    const uint32_t body_len = GetU32(conn->inbuf.data());
+    if (body_len > options_.max_frame_bytes) {
+      CloseConnLocked(conn, Status::ParseError("oversized frame"));
+      return;
+    }
+    if (conn->inbuf.size() < 4 + static_cast<size_t>(body_len)) break;
+    const std::string body = conn->inbuf.substr(4, body_len);
+    conn->inbuf.erase(0, 4 + static_cast<size_t>(body_len));
+    ++conn->frames_in;
+    size_t pos = 0;
+    Message message;
+    if (!GetString(body, &pos, &message.from) ||
+        !GetString(body, &pos, &message.to) ||
+        !GetString(body, &pos, &message.topic) ||
+        !GetString(body, &pos, &message.payload) || pos != body.size()) {
+      CloseConnLocked(conn, Status::ParseError("malformed frame"));
+      return;
+    }
+    const Timestamp steady = SteadyMicros();
+    message.sent_at = steady;
+    message.deliver_at = steady;
+    // NAT-friendly reply routing: any frame identifies its sender, and
+    // replies prefer this live link over dialing back.
+    if (!message.from.empty()) {
+      auto route = peer_conns_.find(message.from);
+      const bool had_route =
+          route != peer_conns_.end() && conns_.count(route->second) > 0;
+      peer_conns_[message.from] = conn->fd;
+      conn->peer = message.from;
+      if (!had_route) pending_peer_ups_.push_back(message.from);
+    }
+    if (message.to.empty()) {
+      for (const auto& [node_id, node] : local_nodes_) {
+        if (node_id == message.from) continue;
+        Message copy = message;
+        copy.to = node_id;
+        pending_deliveries_.push_back({node, std::move(copy)});
+      }
+    } else {
+      auto node_it = local_nodes_.find(message.to);
+      if (node_it != local_nodes_.end()) {
+        pending_deliveries_.push_back({node_it->second, std::move(message)});
+      }
+    }
+    frames_delivered_total_.fetch_add(1);
+  }
+}
+
+void EpollTransport::ProcessHttpInput(Conn* conn) {
+  // Caller holds mu_; released around the handler (it may serialize
+  // large container snapshots) and re-taken to enqueue the response.
+  std::unique_lock<std::mutex> lock(mu_, std::adopt_lock);
+  for (;;) {
+    const Result<size_t> length = HttpRequestLength(conn->inbuf);
+    if (!length.ok()) {
+      CloseConnLocked(conn, length.status());
+      break;
+    }
+    if (*length == 0) break;
+    const std::string raw = conn->inbuf.substr(0, *length);
+    conn->inbuf.erase(0, *length);
+    ++conn->requests_served;
+    http_requests_total_.fetch_add(1);
+    if (http_requests_counter_) http_requests_counter_->Increment();
+    const HttpHandler handler = http_handler_;
+    lock.unlock();
+    Result<HttpRequest> request = ParseHttpRequest(raw);
+    HttpResponse response;
+    bool keep_alive = false;
+    if (!request.ok()) {
+      response = HttpResponse::Error(400, request.status().message());
+    } else if (handler == nullptr) {
+      response = HttpResponse::Error(503, "no handler");
+    } else {
+      keep_alive = request->WantsKeepAlive();
+      response = handler(*request);
+    }
+    const std::string bytes = SerializeHttpResponse(response, keep_alive);
+    lock.lock();
+    // Same occupancy rule as the peer plane: a slow reader whose queue
+    // sits at the bound is disconnected; one response may exceed it.
+    if (conn->out_bytes >= options_.max_write_queue_bytes) {
+      overflows_total_.fetch_add(1);
+      if (overflows_counter_) overflows_counter_->Increment();
+      CloseConnLocked(conn,
+                      Status::ResourceExhausted("write queue overflow"));
+      break;
+    }
+    conn->out_bytes += bytes.size();
+    total_out_bytes_ += bytes.size();
+    conn->outq.push_back(bytes);
+    UpdateGaugesLocked();
+    if (!keep_alive) {
+      conn->want_close = true;
+      break;
+    }
+  }
+  lock.release();  // caller keeps holding mu_
+}
+
+void EpollTransport::FlushLocked(Conn* conn) {
+  while (!conn->outq.empty()) {
+    const std::string& front = conn->outq.front();
+    const ssize_t n =
+        ::send(conn->fd, front.data() + conn->out_off,
+               front.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnLocked(conn, Status::IoError(std::string("write failed: ") +
+                                            std::strerror(errno)));
+      return;
+    }
+    conn->out_off += static_cast<size_t>(n);
+    conn->out_bytes -= static_cast<size_t>(n);
+    total_out_bytes_ -= static_cast<size_t>(n);
+    conn->last_activity_steady = SteadyMicros();
+    if (conn->out_off == front.size()) {
+      conn->outq.pop_front();
+      conn->out_off = 0;
+    }
+  }
+  UpdateGaugesLocked();
+  if (conn->outq.empty() && (conn->want_close || conn->read_closed)) {
+    CloseConnLocked(conn, Status::OK());
+  }
+}
+
+void EpollTransport::CloseConnLocked(Conn* conn, const Status& reason) {
+  const int fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  total_out_bytes_ -= conn->out_bytes;
+  for (auto it = peer_conns_.begin(); it != peer_conns_.end();) {
+    if (it->second == fd) {
+      it = peer_conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  flush_pending_.erase(fd);
+  if (!reason.ok()) {
+    pending_errors_.emplace_back(conn->peer, reason);
+  }
+  conns_.erase(fd);  // destroys *conn
+  UpdateGaugesLocked();
+}
+
+void EpollTransport::SweepIdleLocked(Timestamp steady_now) {
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : conns_) {
+    if (steady_now - conn->last_activity_steady >
+        options_.idle_timeout_micros) {
+      idle.push_back(fd);
+    }
+  }
+  for (const int fd : idle) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    timeouts_total_.fetch_add(1);
+    if (timeouts_counter_) timeouts_counter_->Increment();
+    CloseConnLocked(it->second.get(), Status::Timeout("idle timeout"));
+  }
+}
+
+void EpollTransport::FirePending() {
+  std::vector<PendingDelivery> deliveries;
+  std::vector<std::string> peer_ups;
+  std::vector<std::pair<std::string, Status>> errors;
+  PeerUpCallback peer_up;
+  ErrorCallback on_error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deliveries.swap(pending_deliveries_);
+    peer_ups.swap(pending_peer_ups_);
+    errors.swap(pending_errors_);
+    peer_up = peer_up_callback_;
+    on_error = error_callback_;
+  }
+  if (peer_up) {
+    for (const std::string& peer : peer_ups) peer_up(peer);
+  }
+  for (PendingDelivery& delivery : deliveries) {
+    delivery.node->OnMessage(delivery.message);
+  }
+  if (on_error) {
+    for (auto& [peer, status] : errors) on_error(peer, status);
+  }
+}
+
+}  // namespace gsn::network

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <vector>
 
 #include "gsn/util/logging.h"
 #include "gsn/util/strings.h"
@@ -13,62 +14,6 @@
 namespace gsn::network {
 
 namespace {
-
-const char* StatusText(int status) {
-  switch (status) {
-    case 200:
-      return "OK";
-    case 400:
-      return "Bad Request";
-    case 403:
-      return "Forbidden";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    case 500:
-      return "Internal Server Error";
-    default:
-      return "Unknown";
-  }
-}
-
-/// Reads until the peer closes or `terminator` logic says complete.
-/// Returns raw request bytes (headers + body).
-std::string ReadRequest(int fd) {
-  std::string data;
-  char buf[4096];
-  size_t body_expected = std::string::npos;
-  size_t header_end = std::string::npos;
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n <= 0) break;
-    data.append(buf, static_cast<size_t>(n));
-    if (header_end == std::string::npos) {
-      header_end = data.find("\r\n\r\n");
-      if (header_end != std::string::npos) {
-        // Parse Content-Length if present.
-        const std::string head = StrToLower(data.substr(0, header_end));
-        const size_t cl = head.find("content-length:");
-        if (cl != std::string::npos) {
-          const size_t eol = head.find("\r\n", cl);
-          const std::string len_str =
-              StrTrim(head.substr(cl + 15, eol - cl - 15));
-          Result<int64_t> len = ParseInt64(len_str);
-          body_expected = len.ok() ? static_cast<size_t>(*len) : 0;
-        } else {
-          body_expected = 0;
-        }
-      }
-    }
-    if (header_end != std::string::npos &&
-        data.size() >= header_end + 4 + body_expected) {
-      break;
-    }
-    if (data.size() > 16 * 1024 * 1024) break;  // runaway request
-  }
-  return data;
-}
 
 void ParseQueryString(std::string_view qs,
                       std::map<std::string, std::string>* out) {
@@ -83,37 +28,6 @@ void ParseQueryString(std::string_view qs,
   }
 }
 
-Result<HttpRequest> ParseRequest(const std::string& raw) {
-  const size_t header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos) {
-    return Status::ParseError("http: no header terminator");
-  }
-  const std::vector<std::string> lines =
-      StrSplit(raw.substr(0, header_end), '\n');
-  if (lines.empty()) return Status::ParseError("http: empty request");
-  // Request line: METHOD SP target SP version.
-  const std::vector<std::string> parts = StrSplit(StrTrim(lines[0]), ' ');
-  if (parts.size() < 2) return Status::ParseError("http: bad request line");
-  HttpRequest request;
-  request.method = StrToUpper(parts[0]);
-  std::string target = parts[1];
-  const size_t qmark = target.find('?');
-  if (qmark != std::string::npos) {
-    ParseQueryString(target.substr(qmark + 1), &request.query);
-    target = target.substr(0, qmark);
-  }
-  request.path = UrlDecode(target);
-  for (size_t i = 1; i < lines.size(); ++i) {
-    const std::string line = StrTrim(lines[i]);
-    const size_t colon = line.find(':');
-    if (colon == std::string::npos) continue;
-    request.headers[StrToLower(line.substr(0, colon))] =
-        StrTrim(line.substr(colon + 1));
-  }
-  request.body = raw.substr(header_end + 4);
-  return request;
-}
-
 void WriteAll(int fd, std::string_view data) {
   size_t off = 0;
   while (off < data.size()) {
@@ -121,6 +35,22 @@ void WriteAll(int fd, std::string_view data) {
     if (n <= 0) return;
     off += static_cast<size_t>(n);
   }
+}
+
+/// Content-Length of the head ending at `header_end`, or an error when
+/// the value does not parse.
+Result<size_t> HeadContentLength(std::string_view head) {
+  const std::string lowered = StrToLower(std::string(head));
+  const size_t cl = lowered.find("content-length:");
+  if (cl == std::string::npos) return size_t{0};
+  const size_t eol = lowered.find("\r\n", cl);
+  const std::string len_str =
+      StrTrim(lowered.substr(cl + 15, eol - cl - 15));
+  Result<int64_t> len = ParseInt64(len_str);
+  if (!len.ok() || *len < 0) {
+    return Status::ParseError("http: bad Content-Length");
+  }
+  return static_cast<size_t>(*len);
 }
 
 }  // namespace
@@ -135,6 +65,13 @@ std::string HttpRequest::HeaderOr(const std::string& key,
                                   const std::string& fallback) const {
   auto it = headers.find(StrToLower(key));
   return it == headers.end() ? fallback : it->second;
+}
+
+bool HttpRequest::WantsKeepAlive() const {
+  const std::string connection = StrToLower(HeaderOr("connection", ""));
+  if (connection.find("close") != std::string::npos) return false;
+  if (version == "HTTP/1.1") return true;
+  return connection.find("keep-alive") != std::string::npos;
 }
 
 HttpResponse HttpResponse::Text(std::string body, int status) {
@@ -193,78 +130,98 @@ std::string UrlDecode(std::string_view encoded) {
   return out;
 }
 
-HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
-
-HttpServer::~HttpServer() { Stop(); }
-
-Status HttpServer::Start(uint16_t port) {
-  if (running_.load()) return Status::AlreadyExists("server already running");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::IoError("socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("bind() failed on port " + std::to_string(port));
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 410:
+      return "Gone";
+    case 413:
+      return "Payload Too Large";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
   }
-  if (::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("listen() failed");
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  GSN_LOG(kInfo, "http") << "web interface listening on 127.0.0.1:" << port_;
-  return Status::OK();
 }
 
-void HttpServer::Stop() {
-  if (!running_.exchange(false)) return;
-  // Closing the listening socket unblocks accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listen_fd_ = -1;
-}
-
-void HttpServer::AcceptLoop() {
-  while (running_.load()) {
-    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (client_fd < 0) {
-      if (!running_.load()) return;
-      continue;
+Result<size_t> HttpRequestLength(std::string_view buffer,
+                                 size_t max_head_bytes,
+                                 size_t max_body_bytes) {
+  const size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    if (buffer.size() > max_head_bytes) {
+      return Status::ResourceExhausted("http: request head too large");
     }
-    HandleConnection(client_fd);
-    ::close(client_fd);
+    return size_t{0};
   }
+  if (header_end > max_head_bytes) {
+    return Status::ResourceExhausted("http: request head too large");
+  }
+  Result<size_t> body = HeadContentLength(buffer.substr(0, header_end));
+  GSN_RETURN_IF_ERROR(body.status());
+  if (*body > max_body_bytes) {
+    return Status::ResourceExhausted("http: request body too large");
+  }
+  const size_t total = header_end + 4 + *body;
+  if (buffer.size() < total) return size_t{0};
+  return total;
 }
 
-void HttpServer::HandleConnection(int client_fd) {
-  const std::string raw = ReadRequest(client_fd);
-  HttpResponse response;
-  Result<HttpRequest> request = ParseRequest(raw);
-  if (!request.ok()) {
-    response = HttpResponse::Error(400, request.status().message());
-  } else {
-    response = handler_(*request);
+Result<HttpRequest> ParseHttpRequest(std::string_view raw) {
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return Status::ParseError("http: no header terminator");
   }
-  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
-                    StatusText(response.status) + "\r\n";
+  const std::vector<std::string> lines =
+      StrSplit(raw.substr(0, header_end), '\n');
+  if (lines.empty()) return Status::ParseError("http: empty request");
+  // Request line: METHOD SP target SP version.
+  const std::vector<std::string> parts = StrSplit(StrTrim(lines[0]), ' ');
+  if (parts.size() < 2) return Status::ParseError("http: bad request line");
+  HttpRequest request;
+  request.method = StrToUpper(parts[0]);
+  request.version = parts.size() >= 3 ? StrToUpper(parts[2]) : "HTTP/1.0";
+  std::string target = parts[1];
+  const size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    ParseQueryString(target.substr(qmark + 1), &request.query);
+    target = target.substr(0, qmark);
+  }
+  request.path = UrlDecode(target);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string line = StrTrim(lines[i]);
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    request.headers[StrToLower(line.substr(0, colon))] =
+        StrTrim(line.substr(colon + 1));
+  }
+  request.body = std::string(raw.substr(header_end + 4));
+  return request;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpStatusText(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
   out += response.body;
-  WriteAll(client_fd, out);
-  requests_served_.fetch_add(1);
+  return out;
 }
 
 Result<HttpClientResponse> HttpFetch(uint16_t port, const std::string& method,
@@ -303,7 +260,7 @@ Result<HttpClientResponse> HttpFetch(uint16_t port, const std::string& method,
     return Status::ParseError("http: malformed response");
   }
   HttpClientResponse response;
-  // Status line: HTTP/1.0 200 OK
+  // Status line: HTTP/1.1 200 OK
   const std::vector<std::string> parts =
       StrSplit(raw.substr(0, raw.find("\r\n")), ' ');
   if (parts.size() >= 2) {

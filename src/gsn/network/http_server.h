@@ -1,11 +1,9 @@
 #ifndef GSN_NETWORK_HTTP_SERVER_H_
 #define GSN_NETWORK_HTTP_SERVER_H_
 
-#include <atomic>
-#include <functional>
 #include <map>
 #include <string>
-#include <thread>
+#include <string_view>
 
 #include "gsn/util/result.h"
 
@@ -14,8 +12,9 @@ namespace gsn::network {
 /// A parsed HTTP request (the subset the GSN web interface needs:
 /// method, path, decoded query parameters, headers, body).
 struct HttpRequest {
-  std::string method;  // GET, POST
-  std::string path;    // "/sensors" (query string stripped)
+  std::string method;   // GET, POST
+  std::string path;     // "/api/v1/sensors" (query string stripped)
+  std::string version;  // "HTTP/1.1" (uppercased; absent = "HTTP/1.0")
   std::map<std::string, std::string> query;    // decoded key=value pairs
   std::map<std::string, std::string> headers;  // lowercased names
   std::string body;
@@ -24,6 +23,9 @@ struct HttpRequest {
                       const std::string& fallback) const;
   std::string HeaderOr(const std::string& key,
                        const std::string& fallback) const;
+  /// HTTP/1.1 defaults to persistent connections; HTTP/1.0 opts in via
+  /// "Connection: keep-alive". "Connection: close" always wins.
+  bool WantsKeepAlive() const;
 };
 
 struct HttpResponse {
@@ -40,45 +42,30 @@ struct HttpResponse {
 /// Percent-decoding of URL components ("%20" → ' ', '+' → ' ').
 std::string UrlDecode(std::string_view encoded);
 
-/// Minimal threaded HTTP/1.0 server bound to 127.0.0.1 — the transport
-/// behind the container's web interface (paper §4: access "via the Web
-/// (through a browser or via web services)"). One handler serves every
-/// route; connections are handled sequentially per worker accept loop
-/// (adequate for a management plane, not a data plane).
-class HttpServer {
- public:
-  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+/// Reason phrase for `status` ("OK", "Not Found", ...).
+const char* HttpStatusText(int status);
 
-  explicit HttpServer(Handler handler);
-  ~HttpServer();
+/// Incremental request framing for a streaming server: decides whether
+/// `buffer` starts with one complete request (head terminator seen and
+/// Content-Length bytes of body present). Returns the total byte length
+/// of that request, 0 while more bytes are needed, or an error for
+/// malformed or oversized heads/bodies.
+Result<size_t> HttpRequestLength(std::string_view buffer,
+                                 size_t max_head_bytes = 64 * 1024,
+                                 size_t max_body_bytes = 16 * 1024 * 1024);
 
-  HttpServer(const HttpServer&) = delete;
-  HttpServer& operator=(const HttpServer&) = delete;
+/// Parses one complete request (request line, headers, body). `raw`
+/// must hold exactly the bytes HttpRequestLength accounted for.
+Result<HttpRequest> ParseHttpRequest(std::string_view raw);
 
-  /// Binds 127.0.0.1:`port` (0 = pick an ephemeral port) and starts the
-  /// accept thread. Fails if the port is taken.
-  Status Start(uint16_t port = 0);
-  void Stop();
+/// Serializes `response` with Content-Length framing. `keep_alive`
+/// selects the Connection header (the caller owns the close decision).
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive);
 
-  /// The bound port (valid after Start).
-  uint16_t port() const { return port_; }
-  bool running() const { return running_.load(); }
-  int64_t requests_served() const { return requests_served_.load(); }
-
- private:
-  void AcceptLoop();
-  void HandleConnection(int client_fd);
-
-  Handler handler_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  std::thread accept_thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<int64_t> requests_served_{0};
-};
-
-/// Blocking HTTP/1.0 client for tests and examples: requests
-/// `path` (with query string) from 127.0.0.1:`port`.
+/// Blocking one-shot HTTP client for tests and examples: requests
+/// `path` (with query string) from 127.0.0.1:`port` and reads to EOF
+/// (it sends HTTP/1.0, so keep-alive servers close after the reply).
 struct HttpClientResponse {
   int status = 0;
   std::string body;

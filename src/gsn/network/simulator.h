@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "gsn/network/transport.h"
 #include "gsn/telemetry/metrics.h"
 #include "gsn/util/clock.h"
 #include "gsn/util/result.h"
@@ -16,35 +17,15 @@
 
 namespace gsn::network {
 
-/// A message between GSN containers. `topic` selects the protocol
-/// handler (directory.publish, subscribe, stream, query, ...); payload
-/// bytes are Codec-encoded by the protocol layer.
-struct Message {
-  std::string from;
-  std::string to;
-  std::string topic;
-  std::string payload;
-  Timestamp sent_at = 0;
-  Timestamp deliver_at = 0;
-};
-
-/// Receiver interface implemented by GSN containers.
-class NetworkNode {
- public:
-  virtual ~NetworkNode() = default;
-  /// Called by the simulator when a message is delivered. Handlers may
-  /// send further messages but must not block.
-  virtual void OnMessage(const Message& message) = 0;
-};
-
 /// In-process network between containers, standing in for the TCP/HTTP
 /// links of a real GSN deployment (substitution documented in
-/// DESIGN.md). Messages experience configurable latency, jitter, and
-/// loss; delivery happens when the owner pumps DeliverUntil(now), which
-/// makes multi-node experiments fully deterministic under virtual time.
+/// DESIGN.md; EpollTransport is the real-socket sibling). Messages
+/// experience configurable latency, jitter, and loss; delivery happens
+/// when the owner pumps DeliverUntil(now), which makes multi-node
+/// experiments fully deterministic under virtual time.
 ///
 /// Thread-safe.
-class NetworkSimulator {
+class NetworkSimulator : public Transport {
  public:
   struct LinkConfig {
     Timestamp base_latency_micros = 2 * kMicrosPerMilli;
@@ -72,8 +53,8 @@ class NetworkSimulator {
   NetworkSimulator& operator=(const NetworkSimulator&) = delete;
 
   /// Attaches a node under `node_id`. Fails on duplicates.
-  Status RegisterNode(const std::string& node_id, NetworkNode* node);
-  Status UnregisterNode(const std::string& node_id);
+  Status RegisterNode(const std::string& node_id, NetworkNode* node) override;
+  Status UnregisterNode(const std::string& node_id) override;
   std::vector<std::string> NodeIds() const;
 
   /// Default link parameters for all pairs.
@@ -86,17 +67,23 @@ class NetworkSimulator {
   /// latency + jitter. Lost messages count as dropped. Unknown
   /// destinations are an error.
   Status Send(Timestamp now, const std::string& from, const std::string& to,
-              const std::string& topic, std::string payload);
+              const std::string& topic, std::string payload) override;
 
   /// Broadcasts to every registered node except `from`.
   Status Broadcast(Timestamp now, const std::string& from,
-                   const std::string& topic, const std::string& payload);
+                   const std::string& topic,
+                   const std::string& payload) override;
 
   /// Delivers every queued message with deliver_at <= now, in delivery
   /// time order. Handlers may send more messages; those are delivered
   /// too if due. Scheduled fault actions due by `now` run interleaved
   /// in time order. Returns the number of messages delivered.
   int DeliverUntil(Timestamp now);
+
+  /// Transport: the simulator's deferred delivery IS the pump.
+  int Pump(Timestamp now) override { return DeliverUntil(now); }
+  NetworkSimulator* AsSimulator() override { return this; }
+  std::string transport_name() const override { return "simulator"; }
 
   // -- Fault injection ------------------------------------------------------
   //

@@ -258,7 +258,8 @@ bool ParseTraceIdHex(std::string_view hex, uint64_t* trace_hi,
 }
 
 std::string RenderTracesJson(const TraceStore& store,
-                             std::string_view trace_id_hex) {
+                             std::string_view trace_id_hex, size_t limit,
+                             size_t offset) {
   std::vector<SpanRecord> spans;
   if (!trace_id_hex.empty()) {
     uint64_t hi = 0;
@@ -269,10 +270,11 @@ std::string RenderTracesJson(const TraceStore& store,
   } else {
     spans = store.Snapshot();
   }
-  std::string out = "{\"dropped\":" + std::to_string(store.dropped()) +
-                    ",\"spans\":[";
+  const size_t total = spans.size();
+  std::string out = "{\"items\":[";
   bool first = true;
-  for (const SpanRecord& s : spans) {
+  for (size_t i = offset; i < spans.size() && i - offset < limit; ++i) {
+    const SpanRecord& s = spans[i];
     if (!first) out += ",";
     first = false;
     out += "{\"trace\":\"" + s.TraceIdHex() + "\"";
@@ -292,7 +294,8 @@ std::string RenderTracesJson(const TraceStore& store,
     out += std::string(",\"error\":") + (s.error ? "true" : "false");
     out += "}";
   }
-  out += "]}";
+  out += "],\"total\":" + std::to_string(total) +
+         ",\"dropped\":" + std::to_string(store.dropped()) + "}";
   return out;
 }
 

@@ -171,13 +171,18 @@ class Span {
   bool bound_thread_ = false;
 };
 
-/// Renders spans as JSON for GET /traces:
-/// {"dropped":N,"spans":[{"trace":"<hex32>","span":"<hex16>",
-///   "parent":"<hex16|>","name":...,"sensor":...,"node":...,
-///   "start_micros":N,"duration_micros":N,"error":bool}]}.
-/// A non-empty `trace_id_hex` (32 hex chars) filters to that trace.
+/// Renders spans as JSON for GET /api/v1/traces in the uniform list
+/// envelope:
+/// {"items":[{"trace":"<hex32>","span":"<hex16>","parent":"<hex16|>",
+///   "name":...,"sensor":...,"node":...,"start_micros":N,
+///   "duration_micros":N,"error":bool}],"total":N,"dropped":N}.
+/// `total` counts matching spans before `limit`/`offset` paging;
+/// `dropped` counts ring-buffer evictions. A non-empty `trace_id_hex`
+/// (32 hex chars) filters to that trace.
 std::string RenderTracesJson(const TraceStore& store,
-                             std::string_view trace_id_hex = {});
+                             std::string_view trace_id_hex = {},
+                             size_t limit = std::string::npos,
+                             size_t offset = 0);
 
 /// Parses a 32-char lowercase/uppercase hex trace id. Returns false on
 /// malformed input.

@@ -386,7 +386,7 @@ TEST_F(TelemetryIntegrationTest, MetricsEndpointReflectsDeployedSensor) {
   container::WebInterface web(container_.get());
   network::HttpRequest request;
   request.method = "GET";
-  request.path = "/metrics";
+  request.path = "/api/v1/metrics";
   const network::HttpResponse response = web.Handle(request);
   EXPECT_EQ(response.status, 200);
   EXPECT_NE(response.content_type.find("version=0.0.4"), std::string::npos);
@@ -412,7 +412,7 @@ TEST_F(TelemetryIntegrationTest, UndeployRetiresSensorSeries) {
   container::WebInterface web(container_.get());
   network::HttpRequest request;
   request.method = "GET";
-  request.path = "/metrics";
+  request.path = "/api/v1/metrics";
   EXPECT_EQ(web.Handle(request).body.find("tele-sensor"), std::string::npos);
 }
 
@@ -443,7 +443,7 @@ TEST_F(TelemetryIntegrationTest, TracesEndpointAndManagementCommands) {
   container::WebInterface web(container_.get());
   network::HttpRequest request;
   request.method = "GET";
-  request.path = "/traces";
+  request.path = "/api/v1/traces";
   const network::HttpResponse response = web.Handle(request);
   EXPECT_EQ(response.status, 200);
   EXPECT_NE(response.body.find("\"wrapper.produce\""), std::string::npos);
@@ -494,7 +494,7 @@ TEST_F(TelemetryIntegrationTest, ExplainAnalyzeOverWebAndManagement) {
   container::WebInterface web(container_.get());
   network::HttpRequest request;
   request.method = "GET";
-  request.path = "/explain";
+  request.path = "/api/v1/explain";
   request.query["sql"] = "select count(*) from \"tele-sensor\"";
   const network::HttpResponse plain = web.Handle(request);
   EXPECT_EQ(plain.status, 200);

@@ -254,6 +254,18 @@ TEST(RenderTracesJsonTest, RendersSpansAndFilters) {
       RenderTracesJson(tracer.store(), first_ctx.TraceIdHex());
   EXPECT_NE(one.find("\"name\":\"alpha\""), std::string::npos);
   EXPECT_EQ(one.find("\"name\":\"beta\""), std::string::npos);
+
+  // The uniform list envelope: `total` counts matches before paging.
+  EXPECT_NE(all.find("\"items\":["), std::string::npos);
+  EXPECT_NE(all.find("\"total\":2"), std::string::npos);
+  const std::string paged = RenderTracesJson(tracer.store(), "", 1, 1);
+  EXPECT_EQ(paged.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(paged.find("\"name\":\"beta\""), std::string::npos);
+  EXPECT_NE(paged.find("\"total\":2"), std::string::npos);
+  // Paging past the end yields an empty page, same total.
+  EXPECT_NE(RenderTracesJson(tracer.store(), "", 5, 10)
+                .find("\"items\":[],\"total\":2"),
+            std::string::npos);
 }
 
 // ------------------------------------------------------------- Concurrency

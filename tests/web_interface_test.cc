@@ -81,7 +81,7 @@ TEST_F(WebInterfaceTest, IndexListsSensors) {
 
 TEST_F(WebInterfaceTest, SensorsJson) {
   DeployAndRun();
-  const HttpResponse response = Get("/sensors");
+  const HttpResponse response = Get("/api/v1/sensors");
   EXPECT_EQ(response.status, 200);
   EXPECT_NE(response.body.find("\"name\":\"web-sensor\""), std::string::npos)
       << response.body;
@@ -90,47 +90,122 @@ TEST_F(WebInterfaceTest, SensorsJson) {
 
 TEST_F(WebInterfaceTest, SensorStatusAndNotFound) {
   DeployAndRun();
-  EXPECT_EQ(Get("/sensors/web-sensor").status, 200);
-  EXPECT_EQ(Get("/sensors/ghost").status, 404);
+  EXPECT_EQ(Get("/api/v1/sensors/web-sensor").status, 200);
+  EXPECT_EQ(Get("/api/v1/sensors/ghost").status, 404);
   EXPECT_EQ(Get("/nonexistent").status, 404);
+}
+
+TEST_F(WebInterfaceTest, LegacyUnversionedPathsAreGone) {
+  DeployAndRun();
+  // Known resources under their retired unversioned names answer 410
+  // with the shared error envelope pointing at the v1 home.
+  for (const char* path : {"/sensors", "/metrics", "/traces", "/peers",
+                           "/quarantine", "/segments", "/healthz"}) {
+    const HttpResponse response = Get(path);
+    EXPECT_EQ(response.status, 410) << path;
+    EXPECT_NE(response.body.find("\"code\":\"gone\""), std::string::npos)
+        << response.body;
+    EXPECT_NE(response.body.find(std::string("/api/v1") + path),
+              std::string::npos)
+        << response.body;
+  }
+  HttpRequest deploy;
+  deploy.method = "POST";
+  deploy.path = "/deploy";
+  deploy.body = kSensorXml;
+  EXPECT_EQ(web_->Handle(deploy).status, 410);
+  // Unknown paths are a plain 404, not a misleading "gone".
+  EXPECT_EQ(Get("/bogus").status, 404);
+}
+
+TEST_F(WebInterfaceTest, ListEndpointsShareEnvelopeAndPaging) {
+  DeployAndRun();
+  // Every list endpoint answers the uniform {"items":[...],"total":N}
+  // envelope even when empty.
+  for (const char* path : {"/api/v1/traces", "/api/v1/peers",
+                           "/api/v1/quarantine", "/api/v1/segments",
+                           "/api/v1/transport"}) {
+    const HttpResponse response = Get(path);
+    EXPECT_EQ(response.status, 200) << path;
+    EXPECT_NE(response.body.find("\"items\":["), std::string::npos)
+        << path << ": " << response.body;
+    EXPECT_NE(response.body.find("\"total\":"), std::string::npos)
+        << path << ": " << response.body;
+  }
+  // Paging parameters are validated...
+  EXPECT_EQ(Get("/api/v1/peers", {{"limit", "nope"}}).status, 400);
+  EXPECT_EQ(Get("/api/v1/quarantine", {{"offset", "-3"}}).status, 400);
+  // ...and slice without changing `total`: produce spans, then page.
+  const HttpResponse all = Get("/api/v1/traces");
+  const size_t total_pos = all.body.find("\"total\":");
+  ASSERT_NE(total_pos, std::string::npos);
+  const HttpResponse page =
+      Get("/api/v1/traces", {{"limit", "1"}, {"offset", "0"}});
+  EXPECT_EQ(page.status, 200);
+  EXPECT_NE(page.body.find(all.body.substr(total_pos, 9)),
+            std::string::npos)
+      << page.body;
+}
+
+TEST_F(WebInterfaceTest, TransportEndpointReportsPlanes) {
+  DeployAndRun();
+  // In-process (server not started): no connections, but the envelope
+  // and the HTTP-plane counters are present.
+  const HttpResponse response = Get("/api/v1/transport");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"peer_transport\":\"none\""),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"accepted_total\":"), std::string::npos);
+
+  // Over a real socket the serving connection reports itself.
+  ASSERT_TRUE(web_->Start(0).ok());
+  auto live = HttpFetch(web_->port(), "GET", "/api/v1/transport");
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_EQ(live->status, 200);
+  EXPECT_NE(live->body.find("\"kind\":\"http\""), std::string::npos)
+      << live->body;
+  EXPECT_NE(live->body.find("\"state\":\"open\""), std::string::npos)
+      << live->body;
+  web_->Stop();
 }
 
 TEST_F(WebInterfaceTest, QueryJsonAndCsv) {
   DeployAndRun();
   const HttpResponse json =
-      Get("/query", {{"sql", "select count(*) as n from \"web-sensor\""}});
+      Get("/api/v1/query", {{"sql", "select count(*) as n from \"web-sensor\""}});
   EXPECT_EQ(json.status, 200);
   EXPECT_NE(json.body.find("\"n\":9"), std::string::npos) << json.body;
 
   const HttpResponse csv =
-      Get("/query", {{"sql", "select count(*) as n from \"web-sensor\""},
+      Get("/api/v1/query", {{"sql", "select count(*) as n from \"web-sensor\""},
                      {"format", "csv"}});
   EXPECT_EQ(csv.status, 200);
   EXPECT_EQ(csv.content_type, "text/csv");
   EXPECT_NE(csv.body.find("n\n9"), std::string::npos) << csv.body;
 
-  EXPECT_EQ(Get("/query").status, 400);
+  EXPECT_EQ(Get("/api/v1/query").status, 400);
   // Unknown column -> NotFound -> 404; unparseable SQL -> 400.
-  EXPECT_EQ(Get("/query", {{"sql", "select broken"}}).status, 404);
-  EXPECT_EQ(Get("/query", {{"sql", "not sql at all"}}).status, 400);
+  EXPECT_EQ(Get("/api/v1/query", {{"sql", "select broken"}}).status, 404);
+  EXPECT_EQ(Get("/api/v1/query", {{"sql", "not sql at all"}}).status, 400);
 }
 
 TEST_F(WebInterfaceTest, ExplainAndDiscoverAndTopology) {
   DeployAndRun();
   const HttpResponse plan =
-      Get("/explain", {{"sql", "select * from \"web-sensor\""}});
+      Get("/api/v1/explain", {{"sql", "select * from \"web-sensor\""}});
   EXPECT_EQ(plan.status, 200);
   EXPECT_NE(plan.body.find("Scan web-sensor"), std::string::npos)
       << plan.body;
 
-  const HttpResponse discover = Get("/discover", {{"type", "temperature"}});
+  const HttpResponse discover = Get("/api/v1/discover", {{"type", "temperature"}});
   EXPECT_EQ(discover.status, 200);
   EXPECT_NE(discover.body.find("\"sensor\":\"web-sensor\""),
             std::string::npos);
-  const HttpResponse none = Get("/discover", {{"type", "sonar"}});
+  const HttpResponse none = Get("/api/v1/discover", {{"type", "sonar"}});
   EXPECT_EQ(none.body, "[]");
 
-  const HttpResponse topo = Get("/topology");
+  const HttpResponse topo = Get("/api/v1/topology");
   EXPECT_NE(topo.body.find("digraph"), std::string::npos);
   EXPECT_NE(topo.body.find("web-sensor"), std::string::npos);
 }
@@ -138,7 +213,7 @@ TEST_F(WebInterfaceTest, ExplainAndDiscoverAndTopology) {
 TEST_F(WebInterfaceTest, DeployUndeployViaPost) {
   HttpRequest deploy;
   deploy.method = "POST";
-  deploy.path = "/deploy";
+  deploy.path = "/api/v1/deploy";
   deploy.body = kSensorXml;
   const HttpResponse deployed = web_->Handle(deploy);
   EXPECT_EQ(deployed.status, 200) << deployed.body;
@@ -147,7 +222,7 @@ TEST_F(WebInterfaceTest, DeployUndeployViaPost) {
 
   HttpRequest undeploy;
   undeploy.method = "POST";
-  undeploy.path = "/undeploy";
+  undeploy.path = "/api/v1/undeploy";
   undeploy.query = {{"name", "web-sensor"}};
   EXPECT_EQ(web_->Handle(undeploy).status, 200);
   EXPECT_TRUE(container_->ListSensors().empty());
@@ -165,7 +240,7 @@ TEST_F(WebInterfaceTest, AccessControlMapsTo403) {
   ASSERT_TRUE(ac.Enable().ok());
   HttpRequest deploy;
   deploy.method = "POST";
-  deploy.path = "/deploy";
+  deploy.path = "/api/v1/deploy";
   deploy.body = kSensorXml;
   EXPECT_EQ(web_->Handle(deploy).status, 403);
   deploy.headers["x-api-key"] = "root-key";
@@ -173,7 +248,7 @@ TEST_F(WebInterfaceTest, AccessControlMapsTo403) {
   // Key via query parameter works too.
   HttpRequest query;
   query.method = "GET";
-  query.path = "/query";
+  query.path = "/api/v1/query";
   query.query = {{"sql", "select 1"}, {"key", "root-key"}};
   EXPECT_EQ(web_->Handle(query).status, 200);
 }
@@ -193,14 +268,14 @@ TEST_F(WebInterfaceTest, ServesOverRealSockets) {
   // URL-encoded SQL through a real request line.
   auto query = HttpFetch(
       web_->port(), "GET",
-      "/query?sql=select%20count(*)%20as%20n%20from%20%22web-sensor%22");
+      "/api/v1/query?sql=select%20count(*)%20as%20n%20from%20%22web-sensor%22");
   ASSERT_TRUE(query.ok());
   EXPECT_EQ(query->status, 200);
   EXPECT_NE(query->body.find("\"n\":9"), std::string::npos) << query->body;
 
   // POST with a body.
   auto undeploy =
-      HttpFetch(web_->port(), "POST", "/undeploy?name=web-sensor");
+      HttpFetch(web_->port(), "POST", "/api/v1/undeploy?name=web-sensor");
   ASSERT_TRUE(undeploy.ok());
   EXPECT_EQ(undeploy->status, 200);
   EXPECT_TRUE(container_->ListSensors().empty());
@@ -218,7 +293,7 @@ TEST_F(WebInterfaceTest, ConcurrentClients) {
   for (int i = 0; i < 8; ++i) {
     clients.emplace_back([port, &ok_count] {
       for (int j = 0; j < 10; ++j) {
-        auto r = network::HttpFetch(port, "GET", "/sensors");
+        auto r = network::HttpFetch(port, "GET", "/api/v1/sensors");
         if (r.ok() && r->status == 200) ok_count.fetch_add(1);
       }
     });
@@ -358,7 +433,7 @@ TEST(WebInterfaceSlowReaderTest, StalledReaderDoesNotStallContainer) {
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
   const std::string request =
-      "GET /metrics HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+      "GET /api/v1/metrics HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
   ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
             static_cast<ssize_t>(request.size()));
 
