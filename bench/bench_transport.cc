@@ -30,6 +30,7 @@
 
 #include "gsn/network/epoll_transport.h"
 #include "gsn/network/http_server.h"
+#include "gsn/network/socket_ops.h"
 
 namespace {
 
@@ -282,6 +283,53 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Degraded point (docs/CHAOS.md): the same workload against a server
+  // whose recv/send syscalls fail with EINTR — and truncate to short
+  // writes — 1% of the time each. These are the faults a real kernel
+  // can deliver to an edge-triggered loop; spurious EAGAIN is not one
+  // (it would be a lost edge, which level-triggered kernels produce
+  // and EPOLLET by contract never does). Every response must still
+  // arrive on its keep-alive connection (the retry paths may cost
+  // latency, never correctness), and the gate in
+  // scripts/check_bench_regression.py bounds how much latency the
+  // recovery machinery is allowed to burn.
+  gsn::network::FaultInjectingSocketOps::Config fault_config;
+  fault_config.seed = 42;
+  fault_config.recv_eintr_rate = 0.01;
+  fault_config.send_eintr_rate = 0.01;
+  fault_config.short_write_rate = 0.01;
+  gsn::network::FaultInjectingSocketOps faulty_ops(fault_config);
+  gsn::network::EpollTransport::Options faulty_options;
+  faulty_options.socket_ops = &faulty_ops;
+  gsn::network::EpollTransport faulty_server(faulty_options);
+  if (!faulty_server.Start().ok() ||
+      !faulty_server
+           .ListenHttp(0, [canned](const gsn::network::HttpRequest&) {
+             return canned;
+           })
+           .ok()) {
+    std::fprintf(stderr, "faulty server start failed\n");
+    return 1;
+  }
+  PointResult faulty_point;
+  if (!RunPoint(faulty_server.http_port(), 100, requests_per_client,
+                &faulty_point)) {
+    return 1;
+  }
+  faulty_server.Stop();
+  const int64_t injected_faults = faulty_ops.injected_recv_faults() +
+                                  faulty_ops.injected_send_faults() +
+                                  faulty_ops.injected_short_writes();
+  std::printf("%-10s %12lld %12.1f %10.3f %10.3f %12.0f  (%lld faults)\n",
+              "100+1%", static_cast<long long>(faulty_point.elements),
+              faulty_point.duration_ms, faulty_point.mean_ms,
+              faulty_point.p95_ms, faulty_point.rps,
+              static_cast<long long>(injected_faults));
+  if (injected_faults == 0) {
+    std::fprintf(stderr, "FAIL: fault injection armed but nothing fired\n");
+    return 1;
+  }
+
   if (json) {
     FILE* f = std::fopen("BENCH_transport.json", "w");
     if (f == nullptr) return 1;
@@ -296,7 +344,16 @@ int main(int argc, char** argv) {
                    p.clients, static_cast<long long>(p.elements), p.mean_ms,
                    p.p95_ms, p.rps, i + 1 < points.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"faulty\": {\"clients\": %d, \"elements\": %lld, "
+                 "\"mean_ms\": %.4f, \"p95_ms\": %.4f, \"rps\": %.0f, "
+                 "\"injected_faults\": %lld}\n",
+                 faulty_point.clients,
+                 static_cast<long long>(faulty_point.elements),
+                 faulty_point.mean_ms, faulty_point.p95_ms, faulty_point.rps,
+                 static_cast<long long>(injected_faults));
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote BENCH_transport.json\n");
   }

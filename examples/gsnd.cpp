@@ -20,6 +20,11 @@
 //   --peer NAME=HOST:PORT (repeatable) adds a dial-table entry, so two
 //   gsnd processes federate over real TCP sockets exactly like
 //   simulator containers do in tests (docs/TRANSPORT.md).
+// * --chaos-seed N wraps the peer plane in the deterministic
+//   fault-injection decorator (docs/CHAOS.md); rules are then driven at
+//   runtime through `chaos ...` / POST /api/v1/chaos, and the same seed
+//   reproduces the same fault schedule. That is what
+//   scripts/transport_chaos_soak.sh leans on.
 //
 // SIGTERM/SIGINT trigger a graceful drain: stop admitting wrapper
 // load, flush the admission queues, checkpoint, fsync, exit 0. SIGKILL
@@ -39,6 +44,7 @@
 #include "gsn/container/descriptor_watcher.h"
 #include "gsn/container/realtime_pump.h"
 #include "gsn/container/web_interface.h"
+#include "gsn/network/chaos_transport.h"
 #include "gsn/network/epoll_transport.h"
 
 namespace {
@@ -52,10 +58,13 @@ int Usage(const char* argv0) {
                "usage: %s [--data-dir DIR] [--descriptors DIR] [--port N]\n"
                "          [--node-id ID] [--tick-ms N] [--shards N]\n"
                "          [--listen N] [--peer NAME=HOST:PORT]...\n"
+               "          [--chaos-seed N]\n"
                "       GSN_SHARDS=N in the environment sets the default\n"
                "       shard/tick-worker count (0 = hardware concurrency)\n"
                "       --listen binds the federation peer plane; --peer\n"
-               "       adds a dial-table entry for a remote gsnd\n",
+               "       adds a dial-table entry for a remote gsnd;\n"
+               "       --chaos-seed wraps the peer plane in the\n"
+               "       deterministic fault-injection decorator\n",
                argv0);
   return 2;
 }
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
   long port = 0;
   long tick_ms = 100;
   long listen_port = -1;  // -1 = no peer plane
+  long chaos_seed = -1;   // -1 = no chaos decorator
   std::vector<PeerSpec> peers;
   // GSN_SHARDS seeds the default; --shards (parsed below) overrides.
   // 0 means "size to hardware concurrency" (the container default).
@@ -124,6 +134,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--listen" && value != nullptr) {
       listen_port = std::strtol(value, nullptr, 10);
       ++i;
+    } else if (arg == "--chaos-seed" && value != nullptr) {
+      chaos_seed = std::strtol(value, nullptr, 10);
+      if (chaos_seed < 0) return Usage(argv[0]);
+      ++i;
     } else if (arg == "--peer" && value != nullptr) {
       PeerSpec peer;
       if (!ParsePeerSpec(value, &peer)) return Usage(argv[0]);
@@ -139,8 +153,10 @@ int main(int argc, char** argv) {
   }
 
   // The peer-plane transport outlives the container (whose destructor
-  // unregisters from it), so it is declared first.
+  // unregisters from it), so it is declared first. The chaos decorator
+  // sits between them and must outlive the container too.
   std::unique_ptr<gsn::network::EpollTransport> transport;
+  std::unique_ptr<gsn::network::ChaosTransport> chaos;
   if (listen_port >= 0 || !peers.empty()) {
     gsn::network::EpollTransport::Options transport_options;
     transport_options.metrics = gsn::telemetry::MetricRegistry::Default();
@@ -165,6 +181,18 @@ int main(int argc, char** argv) {
       std::printf("gsnd: peer %s at %s:%u\n", peer.name.c_str(),
                   peer.host.c_str(), peer.port);
     }
+    if (chaos_seed >= 0) {
+      gsn::network::ChaosTransport::Options chaos_options;
+      chaos_options.seed = static_cast<uint64_t>(chaos_seed);
+      chaos_options.metrics = gsn::telemetry::MetricRegistry::Default();
+      chaos = std::make_unique<gsn::network::ChaosTransport>(transport.get(),
+                                                             chaos_options);
+      std::printf("gsnd: chaos decorator armed (seed %ld)\n", chaos_seed);
+    }
+  } else if (chaos_seed >= 0) {
+    std::fprintf(stderr, "gsnd: --chaos-seed needs a peer plane "
+                         "(--listen or --peer)\n");
+    return Usage(argv[0]);
   }
 
   gsn::container::Container::Options options;
@@ -173,7 +201,9 @@ int main(int argc, char** argv) {
   options.seed = static_cast<uint64_t>(::getpid());
   options.data_dir = data_dir;
   options.sharding.shards = static_cast<int>(shards);
-  options.network = transport.get();
+  options.network = chaos != nullptr
+                        ? static_cast<gsn::network::Transport*>(chaos.get())
+                        : transport.get();
   gsn::container::Container container(std::move(options));
 
   if (!data_dir.empty()) {

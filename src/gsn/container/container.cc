@@ -66,6 +66,9 @@ Container::Container(Options options)
   fed_failovers_ = metrics_->GetCounter(
       "gsn_federation_failovers_total", node_label,
       "Remote sources rebound to an alternative producer");
+  fed_resubscribes_ = metrics_->GetCounter(
+      "gsn_federation_resubscribes_total", node_label,
+      "Silent subscriptions re-established on a restarted producer");
   replay_bytes_ = metrics_->GetGauge(
       "gsn_replay_buffer_bytes", node_label,
       "Bytes currently held across producer-side replay buffers");
@@ -157,6 +160,17 @@ Container::Container(Options options)
       GSN_LOG(kError, "container")
           << options_.node_id << ": network registration failed: " << s;
     }
+    // Real transports report per-peer failures (dial errors, resets,
+    // write-queue overflows) asynchronously; feed them to the circuit
+    // breakers so a dead peer trips its circuit from hard evidence, not
+    // just heartbeat silence. The simulator delivers inline under
+    // virtual time and keeps its deterministic failure model instead.
+    if (options_.network->AsSimulator() == nullptr) {
+      options_.network->SetErrorCallback(
+          [this](const std::string& peer, const Status& error) {
+            NotePeerError(peer, error);
+          });
+    }
   }
   last_checkpoint_ = options_.clock->NowMicros();
   // Without an explicit storage_dir both the per-sensor persistence
@@ -207,6 +221,12 @@ Container::~Container() {
   // Quiesce the tick workers before shards/members are destroyed.
   if (tick_pool_ != nullptr) tick_pool_->Shutdown();
   if (options_.network != nullptr) {
+    // The transport outlives the container in gsnd: drop our error
+    // callback before teardown so a late event-loop notification cannot
+    // call into a destroyed container.
+    if (options_.network->AsSimulator() == nullptr) {
+      options_.network->SetErrorCallback(nullptr);
+    }
     (void)options_.network->UnregisterNode(options_.node_id);
   }
 }
@@ -631,6 +651,7 @@ Result<std::unique_ptr<wrappers::Wrapper>> Container::MakeWrapperForSource(
     sub.subscribe_attempts = 1;  // the send above
     sub.next_subscribe_at =
         now + sub.retry.BackoffForAttempt(1, &resilience_rng_);
+    sub.last_activity = now;
     subs_by_deployment_[deployment_key].push_back(subscription_id);
   }
   return std::unique_ptr<wrappers::Wrapper>(std::move(wrapper));
@@ -1654,7 +1675,10 @@ void Container::OnMessage(const Message& message) {
     if (!ack.ok()) return;
     std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
     auto it = remote_subs_.find(ack->subscription_id);
-    if (it != remote_subs_.end()) it->second.acked = true;
+    if (it != remote_subs_.end()) {
+      it->second.acked = true;
+      it->second.last_activity = options_.clock->NowMicros();
+    }
     return;
   }
   if (message.topic == network::kTopicStreamTip) {
@@ -1665,6 +1689,12 @@ void Container::OnMessage(const Message& message) {
     auto it = remote_subs_.find(tip->subscription_id);
     if (it != remote_subs_.end()) {
       it->second.acked = true;  // a tip implies the producer knows us
+      // A tip only proves the subscription is alive when it reaches
+      // our cursor: a restarted producer tips its fresh (low) sequence
+      // space, and counting that as activity would mask the restart.
+      if (tip->last_sequence + 1 >= it->second.wrapper->expected_sequence()) {
+        it->second.last_activity = options_.clock->NowMicros();
+      }
       it->second.wrapper->ObserveTip(tip->last_sequence);
     }
     return;
@@ -1741,6 +1771,16 @@ void Container::OnMessage(const Message& message) {
           wrapper->Push(delivery->element, delivery->sequence);
       if (outcome.duplicate) fed_dups_->Increment();
       if (outcome.gap_opened) fed_gaps_->Increment();
+      // Admissions and parked futures prove the subscription is live;
+      // pure duplicates below our cursor do not (a restarted producer
+      // streams a fresh sequence space that dedups to nothing).
+      if (outcome.admitted > 0 || outcome.gap_opened) {
+        std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
+        auto it = remote_subs_.find(delivery->subscription_id);
+        if (it != remote_subs_.end()) {
+          it->second.last_activity = options_.clock->NowMicros();
+        }
+      }
     }
     return;
   }
@@ -1783,6 +1823,25 @@ bool Container::NotePeerAlive(const std::string& from, Timestamp now) {
   peer.circuit_gauge->Set(
       static_cast<int64_t>(peer.breaker.StateAt(now)));
   return new_peer;
+}
+
+void Container::NotePeerError(const std::string& peer, const Status& error) {
+  if (peer.empty() || peer == options_.node_id) return;
+  const Timestamp now = options_.clock->NowMicros();
+  std::lock_guard<telemetry::TimedMutex> lock(fed_mu_);
+  // Only peers the resilience layer already tracks: transport errors
+  // carry whatever id the connection had, which for unidentified
+  // inbound links is a raw "ip:port" — creating breaker state (and a
+  // gsn_circuit_state series) for those would leak garbage peers.
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  PeerState& state = it->second;
+  if (state.breaker.RecordFailure(now)) {
+    GSN_LOG(kWarn, "container")
+        << options_.node_id << ": circuit to " << peer
+        << " opened (transport: " << error.message() << ")";
+  }
+  state.circuit_gauge->Set(static_cast<int64_t>(state.breaker.StateAt(now)));
 }
 
 bool Container::TryFailoverLocked(const std::string& old_id, Timestamp now,
@@ -1856,6 +1915,56 @@ bool Container::TryFailoverLocked(const std::string& old_id, Timestamp now,
   return true;
 }
 
+void Container::RestartSubscriptionLocked(const std::string& old_id,
+                                          Timestamp now,
+                                          std::vector<Outbound>* sends) {
+  auto sub_it = remote_subs_.find(old_id);
+  if (sub_it == remote_subs_.end()) return;
+  RemoteSubscription sub = sub_it->second;  // copy; re-keyed below
+
+  const std::string new_id =
+      options_.node_id + "#" + std::to_string(next_subscription_++);
+  GSN_LOG(kWarn, "container")
+      << options_.node_id << ": subscription " << old_id
+      << " went silent on live peer " << sub.peer_node
+      << " (restarted producer?); resubscribing as " << new_id;
+
+  // Fresh sequence space: the restarted producer numbers from 1 again,
+  // and our old cursor would dedup its whole stream away.
+  sub.wrapper->Rebind(sub.peer_node, sub.wrapper->remote_sensor());
+  sub.acked = false;
+  sub.subscribe_attempts = 1;
+  sub.next_subscribe_at =
+      now + sub.retry.BackoffForAttempt(1, &resilience_rng_);
+  sub.last_missing.clear();
+  sub.nack_attempts = 0;
+  sub.next_nack_at = 0;
+  sub.last_activity = now;
+
+  auto dep_it = subs_by_deployment_.find(sub.deployment_key);
+  if (dep_it != subs_by_deployment_.end()) {
+    for (std::string& id : dep_it->second) {
+      if (id == old_id) id = new_id;
+    }
+  }
+
+  network::SubscribeRequest request;
+  request.subscription_id = new_id;
+  request.sensor_name = sub.wrapper->remote_sensor();
+  request.subscriber_node = options_.node_id;
+  sends->push_back(
+      {sub.peer_node, network::kTopicSubscribe, request.Encode()});
+  // If the producer does still hold the old subscription (a quiet
+  // stream we misread), this cancel keeps it from double-streaming.
+  network::UnsubscribeRequest cancel;
+  cancel.subscription_id = old_id;
+  sends->push_back({sub.peer_node, network::kTopicUnsubscribe, cancel.Encode()});
+
+  remote_subs_.erase(sub_it);
+  remote_subs_[new_id] = std::move(sub);
+  fed_resubscribes_->Increment();
+}
+
 void Container::RunResilience(Timestamp now) {
   const Options::Resilience& config = options_.resilience;
   std::vector<Outbound> sends;
@@ -1888,6 +1997,7 @@ void Container::RunResilience(Timestamp now) {
 
     // Consumer side: subscribe retries, gap repair, failover.
     std::vector<std::string> failover_candidates;
+    std::vector<std::string> silent_subscriptions;
     for (auto& [sub_id, sub] : remote_subs_) {
       auto peer_it = peers_.find(sub.peer_node);
       const bool peer_open =
@@ -1897,6 +2007,24 @@ void Container::RunResilience(Timestamp now) {
       if (peer_open) {
         failover_candidates.push_back(sub_id);
         continue;
+      }
+      // Restart detection: the peer answers heartbeats but the stream
+      // is silent past the tip cadence — after a producer crash the
+      // subscriber table is gone while the redialed link looks
+      // healthy, so nothing else would ever repair this subscription.
+      // The silence clock only runs against a live peer; while the
+      // peer is dark the breaker/failover machinery paces recovery.
+      if (sub.acked && config.subscription_silence_timeout > 0) {
+        const bool peer_alive =
+            peer_it != peers_.end() &&
+            now - peer_it->second.last_seen < config.peer_timeout;
+        if (!peer_alive) {
+          sub.last_activity = now;
+        } else if (now - sub.last_activity >=
+                   config.subscription_silence_timeout) {
+          silent_subscriptions.push_back(sub_id);
+          continue;
+        }
       }
       if (!sub.acked) {
         if (now < sub.next_subscribe_at) continue;
@@ -1958,6 +2086,9 @@ void Container::RunResilience(Timestamp now) {
     for (const std::string& sub_id : failover_candidates) {
       (void)TryFailoverLocked(sub_id, now, &sends);
     }
+    for (const std::string& sub_id : silent_subscriptions) {
+      RestartSubscriptionLocked(sub_id, now, &sends);
+    }
 
     // Producer side: periodic delivery high-water marks let the
     // subscriber detect tail loss; also refresh the replay gauge.
@@ -1966,7 +2097,9 @@ void Container::RunResilience(Timestamp now) {
       size_t replay_bytes = 0;
       for (const auto& [sub_id, subscriber] : subscribers_) {
         replay_bytes += subscriber.replay.bytes();
-        if (subscriber.next_seq <= 1) continue;
+        // Tips go out even before the first delivery (last_sequence
+        // 0): they are the subscriber's only liveness proof for a
+        // quiet stream, and its restart detector keys on their cadence.
         if (!PeerAllowsSendLocked(subscriber.subscriber_node, now)) continue;
         network::StreamTip tip;
         tip.subscription_id = sub_id;

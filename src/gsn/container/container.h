@@ -108,6 +108,14 @@ class Container : public network::NetworkNode {
       Timestamp peer_timeout = 3 * kMicrosPerSecond;
       /// StreamTip (delivery high-water mark) period per subscription.
       Timestamp tip_interval = kMicrosPerSecond;
+      /// An acked subscription whose stream goes silent this long —
+      /// no admissible delivery and no credible tip — while its peer
+      /// still answers heartbeats is assumed lost on a restarted
+      /// producer (subscriber tables are not durable): the consumer
+      /// rebinds it under a fresh id. The clock only runs against a
+      /// live peer, so partitions and crashes pace by breaker/failover
+      /// instead. Must comfortably exceed tip_interval; 0 disables.
+      Timestamp subscription_silence_timeout = 10 * kMicrosPerSecond;
       /// Byte budget of each subscriber's producer-side replay buffer.
       size_t replay_buffer_bytes = 1 << 20;
       /// Extra directory-publish rounds after a deploy (anti-entropy
@@ -493,6 +501,12 @@ class Container : public network::NetworkNode {
     std::vector<network::SeqRange> last_missing;
     int nack_attempts = 0;
     Timestamp next_nack_at = 0;
+    /// Last proof the producer still carries this subscription: an
+    /// ack, an admissible delivery, or a tip at/ahead of our cursor.
+    /// Stale duplicates don't count — a restarted producer replays a
+    /// fresh sequence space below our cursor, and that must read as
+    /// silence, not liveness.
+    Timestamp last_activity = 0;
   };
 
   /// Heartbeat-driven liveness of one federation peer.
@@ -561,6 +575,13 @@ class Container : public network::NetworkNode {
   /// that started (or restarted) after our publish rounds can still
   /// discover us.
   bool NotePeerAlive(const std::string& from, Timestamp now);
+  /// Records transport-reported failure evidence (dial failure, reset,
+  /// write error) against `peer`'s circuit breaker. Fired from the
+  /// transport's event-loop thread on real transports; no-op for peers
+  /// the resilience layer has never heard from (pre-contact dial
+  /// retries are the transport's own business) and for non-node peer
+  /// ids such as raw "ip:port" addresses of unidentified connections.
+  void NotePeerError(const std::string& peer, const Status& error);
   PeerState& PeerStateLocked(const std::string& peer, Timestamp now);
   /// Whether traffic to `peer` may flow (circuit closed or probing).
   bool PeerAllowsSendLocked(const std::string& peer, Timestamp now);
@@ -570,6 +591,14 @@ class Container : public network::NetworkNode {
   /// when no alternative producer matches.
   bool TryFailoverLocked(const std::string& old_id, Timestamp now,
                          std::vector<Outbound>* sends);
+  /// Rebinds a silent-but-acked subscription onto the SAME peer under
+  /// a fresh id with a reset sequence space: the producer answers
+  /// heartbeats but no longer streams, which after a crash/restart
+  /// means its (non-durable) subscriber table lost us. Re-subscribing
+  /// under the old id would collide our high sequence cursor with the
+  /// restarted producer's fresh one, so a new id it is.
+  void RestartSubscriptionLocked(const std::string& old_id, Timestamp now,
+                                 std::vector<Outbound>* sends);
   /// Consumes one pipeline trigger's output batch: single-lock table
   /// insert, local chaining, persistence, notification fan-out, one
   /// continuous-query evaluation pass, and per-element signed remote
@@ -695,6 +724,7 @@ class Container : public network::NetworkNode {
   std::shared_ptr<telemetry::Counter> fed_replays_;
   std::shared_ptr<telemetry::Counter> fed_abandoned_;
   std::shared_ptr<telemetry::Counter> fed_failovers_;
+  std::shared_ptr<telemetry::Counter> fed_resubscribes_;
   std::shared_ptr<telemetry::Gauge> replay_bytes_;
 
   // -- Durability & supervision (docs/DURABILITY.md) ------------------------

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "gsn/network/chaos_transport.h"
 #include "gsn/network/simulator.h"
 #include "gsn/util/export.h"
 #include "gsn/util/strings.h"
@@ -77,9 +78,10 @@ ManagementInterface::ManagementInterface(Container* container)
   add("drain", "",
       "graceful drain: stop admitting, flush queues, checkpoint, fsync",
       [this](const std::string&) { return CmdDrain(); });
-  add("chaos", "partition|heal|down|up|loss ...",
-      "inject faults into the network simulator (heal with no args "
-      "clears partitions and downed nodes)",
+  add("chaos", "<sub> ...",
+      "inject faults into the attached transport (simulator: "
+      "partition|heal|down|up|loss; chaos transport: status|seed|loss|"
+      "dup|reorder|delay|throttle|partition|heal|reset)",
       [this](const std::string& a) { return CmdChaos(a); });
   add("help", "", "this command list",
       [this](const std::string&) { return CmdHelp(); });
@@ -492,60 +494,13 @@ std::string ManagementInterface::CmdDrain() {
 }
 
 std::string ManagementInterface::CmdChaos(const std::string& args) {
-  network::Transport* transport = container_->network();
-  network::NetworkSimulator* net =
-      transport != nullptr ? transport->AsSimulator() : nullptr;
-  if (net == nullptr) {
-    return transport != nullptr
-               ? "ERROR: chaos requires the simulator transport (this "
-                 "container runs on '" +
-                     transport->transport_name() + "')"
-               : "ERROR: chaos requires a network simulator (standalone "
-                 "container has none)";
-  }
-  std::vector<std::string> words;
-  for (const std::string& piece : StrSplit(args, ' ')) {
-    const std::string trimmed = StrTrim(piece);
-    if (!trimmed.empty()) words.push_back(trimmed);
-  }
-  const std::string usage =
-      "ERROR: usage: chaos partition <a> <b> | chaos heal [<a> <b>] | "
-      "chaos down <node> | chaos up <node> | chaos loss <from> <to> <p>";
-  if (words.empty()) return usage;
-  const std::string sub = StrToLower(words[0]);
-  if (sub == "partition" && words.size() == 3) {
-    net->SetPartitioned(words[1], words[2], true);
-    return "partitioned " + words[1] + " <-> " + words[2] + "\n";
-  }
-  if (sub == "heal") {
-    if (words.size() == 3) {
-      net->SetPartitioned(words[1], words[2], false);
-      return "healed " + words[1] + " <-> " + words[2] + "\n";
-    }
-    if (words.size() == 1) {
-      net->ClearFaults();
-      return "cleared all partitions and downed nodes\n";
-    }
-    return usage;
-  }
-  if (sub == "down" && words.size() == 2) {
-    net->SetNodeDown(words[1], true);
-    return "node " + words[1] + " down\n";
-  }
-  if (sub == "up" && words.size() == 2) {
-    net->SetNodeDown(words[1], false);
-    return "node " + words[1] + " up\n";
-  }
-  if (sub == "loss" && words.size() == 4) {
-    char* end = nullptr;
-    const double p = std::strtod(words[3].c_str(), &end);
-    if (end == words[3].c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
-      return "ERROR: chaos loss takes a probability between 0 and 1";
-    }
-    net->SetLoss(words[1], words[2], p);
-    return "loss " + words[1] + " -> " + words[2] + " = " + words[3] + "\n";
-  }
-  return usage;
+  // One chaos vocabulary for every transport (docs/CHAOS.md): the
+  // simulator keeps its historical node-pair grammar, ChaosTransport
+  // answers the per-peer rule grammar, anything else explains itself.
+  Result<std::string> result =
+      network::ExecuteChaosCommand(container_->network(), args);
+  if (!result.ok()) return "ERROR: " + result.status().message();
+  return *result;
 }
 
 }  // namespace gsn::container

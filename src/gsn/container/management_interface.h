@@ -32,8 +32,9 @@ namespace gsn::container {
 ///   drain                         graceful drain (stop admitting,
 ///                                 flush, checkpoint, fsync)
 ///   chaos <sub> ...               fault injection on the attached
-///                                 network simulator: partition, heal,
-///                                 down, up, loss
+///                                 transport (docs/CHAOS.md): simulator
+///                                 node-pair grammar or the chaos
+///                                 transport's per-peer rule grammar
 ///
 /// Every command returns the response text; errors are rendered as
 /// "ERROR: <status>". An api key can be attached for containers with

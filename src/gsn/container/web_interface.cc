@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "gsn/network/chaos_transport.h"
 #include "gsn/util/export.h"
 #include "gsn/util/strings.h"
 #include "gsn/xml/xml.h"
@@ -170,6 +171,12 @@ WebInterface::WebInterface(Container* container)
   add("POST", "/drain", false,
       [this](const HttpRequest&, const std::string&) {
         return HandleDrain();
+      });
+  add("GET", "/chaos", false,
+      [this](const HttpRequest&, const std::string&) { return HandleChaos(); });
+  add("POST", "/chaos", false,
+      [this](const HttpRequest& r, const std::string&) {
+        return HandleChaosCommand(r);
       });
   add("POST", "/deploy", false,
       [this](const HttpRequest& r, const std::string&) {
@@ -661,6 +668,70 @@ HttpResponse WebInterface::HandleDrain() {
   const Status status = container_->Shutdown();
   if (!status.ok()) return FromStatus(status);
   return HttpResponse::Json("{\"drained\":true}");
+}
+
+HttpResponse WebInterface::HandleChaos() {
+  network::Transport* transport = container_->network();
+  network::ChaosTransport* chaos =
+      transport != nullptr ? transport->AsChaos() : nullptr;
+  if (chaos == nullptr) {
+    return ErrorJson(404, "NotFound",
+                     transport != nullptr
+                         ? "no chaos transport attached (this container runs "
+                           "on '" +
+                               transport->transport_name() + "')"
+                         : "no chaos transport attached (standalone "
+                           "container has no network)");
+  }
+  const network::ChaosTransport::Counters counters = chaos->counters();
+  std::string rules;
+  for (const network::ChaosTransport::RuleEntry& entry : chaos->Rules()) {
+    if (!rules.empty()) rules += ",";
+    const network::ChaosTransport::Rule& r = entry.rule;
+    rules += "{\"peer\":" + JsonEscape(entry.peer) + ",\"direction\":" +
+             JsonEscape(network::DirectionName(entry.direction)) +
+             ",\"frames\":" + std::to_string(entry.frames) +
+             ",\"drop\":" + JsonDouble(r.drop) +
+             ",\"dup\":" + JsonDouble(r.dup) +
+             ",\"reorder\":" + JsonDouble(r.reorder) +
+             ",\"reset\":" + JsonDouble(r.reset) +
+             ",\"delay_micros\":" + std::to_string(r.delay_micros) +
+             ",\"delay_jitter_micros\":" +
+             std::to_string(r.delay_jitter_micros) +
+             ",\"throttle_bytes_per_sec\":" +
+             std::to_string(r.throttle_bytes_per_sec) +
+             ",\"partitioned\":" + (r.partitioned ? "true" : "false") + "}";
+  }
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(chaos->ScheduleDigest()));
+  return HttpResponse::Json(
+      "{\"transport\":" + JsonEscape(chaos->transport_name()) +
+      ",\"seed\":" + std::to_string(chaos->seed()) +
+      ",\"schedule_digest\":\"" + digest + "\"" +
+      ",\"injected\":{\"dropped\":" + std::to_string(counters.dropped) +
+      ",\"duplicated\":" + std::to_string(counters.duplicated) +
+      ",\"reordered\":" + std::to_string(counters.reordered) +
+      ",\"delayed\":" + std::to_string(counters.delayed) +
+      ",\"throttled\":" + std::to_string(counters.throttled) +
+      ",\"partitioned\":" + std::to_string(counters.partitioned) +
+      ",\"resets\":" + std::to_string(counters.resets) + "}" +
+      ",\"rules\":[" + rules + "]}");
+}
+
+HttpResponse WebInterface::HandleChaosCommand(const HttpRequest& request) {
+  if (request.body.empty()) {
+    return ErrorJson(400, "InvalidArgument",
+                     "POST body must be one chaos command line "
+                     "(e.g. \"loss peer-b 0.1 out\"; see docs/CHAOS.md)");
+  }
+  Result<std::string> result =
+      network::ExecuteChaosCommand(container_->network(), request.body);
+  if (!result.ok()) return FromStatus(result.status());
+  std::string text = *result;
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  return HttpResponse::Json("{\"ok\":true,\"result\":" + JsonEscape(text) +
+                            "}");
 }
 
 HttpResponse WebInterface::HandleDeploy(const HttpRequest& request) {

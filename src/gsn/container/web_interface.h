@@ -63,6 +63,12 @@ namespace gsn::container {
 ///   GET  /api/v1/quarantine        dead-letter store of poison tuples
 ///   POST /api/v1/quarantine/requeue?id=N   re-inject one tuple
 ///   POST /api/v1/quarantine/clear  drop every quarantined tuple
+///   GET  /api/v1/chaos             chaos-transport fault state: seed,
+///                                  schedule digest, injected-fault
+///                                  counters, per-link rules
+///   POST /api/v1/chaos             body = one line of the shared chaos
+///                                  grammar (docs/CHAOS.md) — the same
+///                                  vocabulary as the `chaos` command
 ///   POST /api/v1/checkpoint        compact manifest + WALs now
 ///   POST /api/v1/drain             graceful drain (stop admitting,
 ///                                  flush, checkpoint, fsync)
@@ -128,6 +134,8 @@ class WebInterface {
   network::HttpResponse HandleQuarantineRequeue(
       const network::HttpRequest& request);
   network::HttpResponse HandleQuarantineClear();
+  network::HttpResponse HandleChaos();
+  network::HttpResponse HandleChaosCommand(const network::HttpRequest& request);
   network::HttpResponse HandleCheckpoint();
   network::HttpResponse HandleDrain();
   network::HttpResponse HandleDeploy(const network::HttpRequest& request);

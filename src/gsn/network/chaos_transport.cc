@@ -1,0 +1,706 @@
+#include "gsn/network/chaos_transport.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "gsn/network/simulator.h"
+#include "gsn/util/rng.h"
+
+namespace gsn::network {
+
+namespace {
+
+Timestamp SteadyMicros() {
+  return telemetry::SteadyClock::Instance()->NowMicros();
+}
+
+/// How long a "reorder" decision holds a frame back: long enough that
+/// frames sent a few milliseconds later overtake it on loopback.
+constexpr Timestamp kReorderHoldMicros = 25 * kMicrosPerMilli;
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t hash, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  return FnvMix(hash, &value, sizeof(value));
+}
+
+uint64_t FnvMix(uint64_t hash, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return FnvMix(hash, bits);
+}
+
+uint64_t LinkHash(const std::string& peer, ChaosTransport::Direction dir) {
+  uint64_t hash = FnvMix(kFnvBasis, peer.data(), peer.size());
+  return FnvMix(hash, static_cast<uint64_t>(dir));
+}
+
+}  // namespace
+
+const char* DirectionName(ChaosTransport::Direction direction) {
+  return direction == ChaosTransport::Direction::kIn ? "in" : "out";
+}
+
+/// The NetworkNode the inner transport actually delivers to: routes
+/// every inbound message through the owner's inbound rules before the
+/// real node sees it.
+class ChaosTransport::InboundShim : public NetworkNode {
+ public:
+  InboundShim(ChaosTransport* owner, std::string node_id, NetworkNode* target)
+      : owner_(owner), node_id_(std::move(node_id)), target_(target) {}
+
+  void OnMessage(const Message& message) override {
+    owner_->OnInboundMessage(node_id_, message);
+  }
+
+  NetworkNode* target() const { return target_; }
+
+ private:
+  ChaosTransport* const owner_;
+  const std::string node_id_;
+  NetworkNode* const target_;
+};
+
+ChaosTransport::ChaosTransport(Transport* inner)
+    : ChaosTransport(inner, Options()) {}
+
+ChaosTransport::ChaosTransport(Transport* inner, Options options)
+    : inner_(inner), metrics_(options.metrics), seed_(options.seed) {
+  scheduler_ = std::thread([this] { SchedulerMain(); });
+}
+
+ChaosTransport::~ChaosTransport() {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    stopping_ = true;
+  }
+  sched_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+Status ChaosTransport::RegisterNode(const std::string& node_id,
+                                    NetworkNode* node) {
+  auto shim = std::make_unique<InboundShim>(this, node_id, node);
+  GSN_RETURN_IF_ERROR(inner_->RegisterNode(node_id, shim.get()));
+  std::lock_guard<std::mutex> lock(mu_);
+  shims_[node_id] = std::move(shim);
+  return Status::OK();
+}
+
+Status ChaosTransport::UnregisterNode(const std::string& node_id) {
+  GSN_RETURN_IF_ERROR(inner_->UnregisterNode(node_id));
+  std::lock_guard<std::mutex> lock(mu_);
+  shims_.erase(node_id);
+  return Status::OK();
+}
+
+Status ChaosTransport::Send(Timestamp now, const std::string& from,
+                            const std::string& to, const std::string& topic,
+                            std::string payload) {
+  bool duplicate = false;
+  bool reset = false;
+  Timestamp wait = 0;
+  bool admitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admitted = AdmitFrameLocked(to, Direction::kOut, payload.size(),
+                                SteadyMicros(), &duplicate, &reset, &wait);
+  }
+  if (reset) (void)inner_->ResetPeer(to);
+  if (!admitted) return Status::OK();  // lost on the wire: sender can't know
+  if (duplicate) {
+    Schedule(SteadyMicros() + wait + kMicrosPerMilli,
+             [this, now, from, to, topic, payload] {
+               (void)inner_->Send(now, from, to, topic, payload);
+             });
+  }
+  if (wait == 0) {
+    return inner_->Send(now, from, to, topic, std::move(payload));
+  }
+  Schedule(SteadyMicros() + wait,
+           [this, now, from, to, topic,
+            payload = std::move(payload)]() mutable {
+             (void)inner_->Send(now, from, to, topic, std::move(payload));
+           });
+  return Status::OK();
+}
+
+Status ChaosTransport::Broadcast(Timestamp now, const std::string& from,
+                                 const std::string& topic,
+                                 const std::string& payload) {
+  return inner_->Broadcast(now, from, topic, payload);
+}
+
+void ChaosTransport::OnInboundMessage(const std::string& node_id,
+                                      const Message& message) {
+  bool duplicate = false;
+  bool reset = false;
+  Timestamp wait = 0;
+  bool admitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admitted =
+        AdmitFrameLocked(message.from, Direction::kIn, message.payload.size(),
+                         SteadyMicros(), &duplicate, &reset, &wait);
+  }
+  if (reset) (void)inner_->ResetPeer(message.from);
+  if (!admitted) return;
+  if (duplicate) {
+    Schedule(SteadyMicros() + wait + kMicrosPerMilli,
+             [this, node_id, message] { DeliverInbound(node_id, message); });
+  }
+  if (wait == 0) {
+    DeliverInbound(node_id, message);
+    return;
+  }
+  Schedule(SteadyMicros() + wait,
+           [this, node_id, message] { DeliverInbound(node_id, message); });
+}
+
+void ChaosTransport::DeliverInbound(const std::string& node_id,
+                                    const Message& message) {
+  NetworkNode* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shims_.find(node_id);
+    if (it == shims_.end()) return;  // unregistered while frame was held
+    target = it->second->target();
+  }
+  target->OnMessage(message);
+}
+
+void ChaosTransport::SetRule(const std::string& peer, Direction direction,
+                             const Rule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(peer, static_cast<int>(direction));
+  if (rule.IsDefault()) {
+    links_.erase(key);  // keep the no-rule fast path fast
+    return;
+  }
+  LinkState& link = links_[key];
+  link.rule = rule;
+}
+
+ChaosTransport::Rule ChaosTransport::GetRule(const std::string& peer,
+                                             Direction direction) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(std::make_pair(peer, static_cast<int>(direction)));
+  return it == links_.end() ? Rule() : it->second.rule;
+}
+
+void ChaosTransport::ClearRules(const std::string& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (peer.empty()) {
+    links_.clear();
+    return;
+  }
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->first.first == peer) {
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ChaosTransport::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  for (auto& [key, link] : links_) {
+    link.frames = 0;
+    link.throttle_free_steady = 0;
+  }
+}
+
+uint64_t ChaosTransport::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+std::vector<ChaosTransport::RuleEntry> ChaosTransport::Rules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RuleEntry> out;
+  out.reserve(links_.size());
+  for (const auto& [key, link] : links_) {
+    RuleEntry entry;
+    entry.peer = key.first;
+    entry.direction = static_cast<Direction>(key.second);
+    entry.rule = link.rule;
+    entry.frames = link.frames;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+ChaosTransport::Counters ChaosTransport::counters() const {
+  Counters out;
+  out.dropped = dropped_total_.load();
+  out.duplicated = duplicated_total_.load();
+  out.reordered = reordered_total_.load();
+  out.delayed = delayed_total_.load();
+  out.throttled = throttled_total_.load();
+  out.partitioned = partitioned_total_.load();
+  out.resets = resets_total_.load();
+  return out;
+}
+
+ChaosTransport::Decision ChaosTransport::DecisionFor(const std::string& peer,
+                                                     Direction direction,
+                                                     uint64_t frame_index)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(std::make_pair(peer, static_cast<int>(direction)));
+  const Rule rule = it == links_.end() ? Rule() : it->second.rule;
+  return DecideLocked(rule, LinkHash(peer, direction), frame_index);
+}
+
+uint64_t ChaosTransport::ScheduleDigest(uint64_t frames_per_link) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t hash = FnvMix(kFnvBasis, seed_);
+  for (const auto& [key, link] : links_) {  // map: deterministic order
+    hash = FnvMix(hash, key.first.data(), key.first.size());
+    hash = FnvMix(hash, static_cast<uint64_t>(key.second));
+    hash = FnvMix(hash, link.rule.drop);
+    hash = FnvMix(hash, link.rule.dup);
+    hash = FnvMix(hash, link.rule.reorder);
+    hash = FnvMix(hash, link.rule.reset);
+    hash = FnvMix(hash, static_cast<uint64_t>(link.rule.delay_micros));
+    hash = FnvMix(hash, static_cast<uint64_t>(link.rule.delay_jitter_micros));
+    hash = FnvMix(hash,
+                  static_cast<uint64_t>(link.rule.throttle_bytes_per_sec));
+    hash = FnvMix(hash, static_cast<uint64_t>(link.rule.partitioned));
+    const uint64_t link_hash = LinkHash(
+        key.first, static_cast<Direction>(key.second));
+    for (uint64_t i = 0; i < frames_per_link; ++i) {
+      const Decision d = DecideLocked(link.rule, link_hash, i);
+      const uint64_t bits = static_cast<uint64_t>(d.drop) |
+                            static_cast<uint64_t>(d.dup) << 1 |
+                            static_cast<uint64_t>(d.reorder) << 2 |
+                            static_cast<uint64_t>(d.reset) << 3;
+      hash = FnvMix(hash, bits);
+      hash = FnvMix(hash, static_cast<uint64_t>(d.delay_micros));
+    }
+  }
+  return hash;
+}
+
+ChaosTransport::Decision ChaosTransport::DecideLocked(
+    const Rule& rule, uint64_t link_hash, uint64_t frame_index) const {
+  // One PRNG stream per frame: the decision depends only on (seed,
+  // link, frame index), never on interleaving — the determinism
+  // contract in the class comment.
+  Rng rng(seed_ ^ link_hash ^
+          ((frame_index + 1) * 0x9e3779b97f4a7c15ULL));
+  Decision d;
+  d.drop = rng.NextBool(rule.drop);
+  d.dup = rng.NextBool(rule.dup);
+  d.reorder = rng.NextBool(rule.reorder);
+  d.reset = rng.NextBool(rule.reset);
+  if (rule.delay_micros > 0 || rule.delay_jitter_micros > 0) {
+    d.delay_micros = rule.delay_micros;
+    if (rule.delay_jitter_micros > 0) {
+      d.delay_micros += static_cast<Timestamp>(
+          rng.NextDouble() * static_cast<double>(rule.delay_jitter_micros));
+    }
+  }
+  return d;
+}
+
+bool ChaosTransport::AdmitFrameLocked(const std::string& peer,
+                                      Direction direction, size_t bytes,
+                                      Timestamp steady_now, bool* duplicate,
+                                      bool* reset, Timestamp* wait_micros) {
+  auto it = links_.find(std::make_pair(peer, static_cast<int>(direction)));
+  if (it == links_.end()) return true;
+  LinkState& link = it->second;
+  const Rule& rule = link.rule;
+  const uint64_t frame_index = link.frames++;
+  if (rule.partitioned) {
+    CountFault("partition", &partitioned_total_);
+    return false;
+  }
+  const Decision d = DecideLocked(rule, LinkHash(peer, direction),
+                                  frame_index);
+  if (d.reset) {
+    *reset = true;
+    CountFault("reset", &resets_total_);
+    return false;  // the frame rides the torn-down connection
+  }
+  if (d.drop) {
+    CountFault("drop", &dropped_total_);
+    return false;
+  }
+  Timestamp wait = d.delay_micros;
+  if (d.delay_micros > 0) CountFault("delay", &delayed_total_);
+  if (d.reorder) {
+    wait += kReorderHoldMicros;
+    CountFault("reorder", &reordered_total_);
+  }
+  if (rule.throttle_bytes_per_sec > 0) {
+    const Timestamp cost =
+        static_cast<Timestamp>(bytes) * kMicrosPerSecond /
+        rule.throttle_bytes_per_sec;
+    const Timestamp start = std::max(steady_now, link.throttle_free_steady);
+    link.throttle_free_steady = start + cost;
+    const Timestamp throttle_wait = start + cost - steady_now;
+    if (throttle_wait > 0) {
+      wait += throttle_wait;
+      CountFault("throttle", &throttled_total_);
+    }
+  }
+  if (d.dup) {
+    *duplicate = true;
+    CountFault("dup", &duplicated_total_);
+  }
+  *wait_micros = wait;
+  return true;
+}
+
+void ChaosTransport::CountFault(const char* fault,
+                                std::atomic<int64_t>* counter) {
+  counter->fetch_add(1);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("gsn_chaos_injected_total", {{"fault", fault}},
+                     "Frames affected by injected chaos faults")
+        ->Increment();
+  }
+}
+
+void ChaosTransport::Schedule(Timestamp due_steady, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (stopping_) return;
+    scheduled_.push({due_steady, sched_seq_++, std::move(fn)});
+  }
+  sched_cv_.notify_one();
+}
+
+void ChaosTransport::SchedulerMain() {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  while (!stopping_) {
+    if (scheduled_.empty()) {
+      sched_cv_.wait(lock);
+      continue;
+    }
+    const Timestamp now = SteadyMicros();
+    const Timestamp due = scheduled_.top().due_steady;
+    if (due > now) {
+      sched_cv_.wait_for(lock, std::chrono::microseconds(due - now));
+      continue;
+    }
+    // The queue owns the closure; move it out before popping.
+    auto fn = std::move(const_cast<ScheduledAction&>(scheduled_.top()).fn);
+    scheduled_.pop();
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+// ----------------------------------------------------- Shared chaos grammar
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& text) {
+  std::vector<std::string> words;
+  std::string word;
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!word.empty()) words.push_back(std::move(word));
+      word.clear();
+    } else {
+      word.push_back(c);
+    }
+  }
+  if (!word.empty()) words.push_back(std::move(word));
+  return words;
+}
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+bool ParseDouble(const std::string& word, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(word.c_str(), &end);
+  return end != word.c_str() && *end == '\0';
+}
+
+bool ParseProbability(const std::string& word, double* out) {
+  return ParseDouble(word, out) && *out >= 0.0 && *out <= 1.0;
+}
+
+/// Parses a trailing direction word; defaults to both directions.
+bool ParseDirections(const std::vector<std::string>& words, size_t index,
+                     std::vector<ChaosTransport::Direction>* out) {
+  if (index >= words.size()) {
+    *out = {ChaosTransport::Direction::kIn, ChaosTransport::Direction::kOut};
+    return true;
+  }
+  const std::string dir = ToLower(words[index]);
+  if (dir == "in") {
+    *out = {ChaosTransport::Direction::kIn};
+  } else if (dir == "out") {
+    *out = {ChaosTransport::Direction::kOut};
+  } else if (dir == "both") {
+    *out = {ChaosTransport::Direction::kIn, ChaosTransport::Direction::kOut};
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Result<std::string> ExecuteSimulatorChaos(
+    NetworkSimulator* net, const std::vector<std::string>& words) {
+  const Status usage = Status::InvalidArgument(
+      "usage: chaos partition <a> <b> | chaos heal [<a> <b>] | "
+      "chaos down <node> | chaos up <node> | chaos loss <from> <to> <p>");
+  if (words.empty()) return usage;
+  const std::string sub = ToLower(words[0]);
+  if (sub == "partition" && words.size() == 3) {
+    net->SetPartitioned(words[1], words[2], true);
+    return std::string("partitioned " + words[1] + " <-> " + words[2] + "\n");
+  }
+  if (sub == "heal") {
+    if (words.size() == 3) {
+      net->SetPartitioned(words[1], words[2], false);
+      return std::string("healed " + words[1] + " <-> " + words[2] + "\n");
+    }
+    if (words.size() == 1) {
+      net->ClearFaults();
+      return std::string("cleared all partitions and downed nodes\n");
+    }
+    return usage;
+  }
+  if (sub == "down" && words.size() == 2) {
+    net->SetNodeDown(words[1], true);
+    return std::string("node " + words[1] + " down\n");
+  }
+  if (sub == "up" && words.size() == 2) {
+    net->SetNodeDown(words[1], false);
+    return std::string("node " + words[1] + " up\n");
+  }
+  if (sub == "loss" && words.size() == 4) {
+    double p = 0.0;
+    if (!ParseProbability(words[3], &p)) {
+      return Status::InvalidArgument(
+          "chaos loss takes a probability between 0 and 1");
+    }
+    net->SetLoss(words[1], words[2], p);
+    return std::string("loss " + words[1] + " -> " + words[2] + " = " +
+                       words[3] + "\n");
+  }
+  return usage;
+}
+
+std::string FormatRule(const ChaosTransport::RuleEntry& entry) {
+  std::ostringstream out;
+  out << entry.peer << " " << DirectionName(entry.direction) << ": ";
+  const ChaosTransport::Rule& r = entry.rule;
+  if (r.partitioned) out << "partitioned ";
+  if (r.drop > 0) out << "drop=" << r.drop << " ";
+  if (r.dup > 0) out << "dup=" << r.dup << " ";
+  if (r.reorder > 0) out << "reorder=" << r.reorder << " ";
+  if (r.reset > 0) out << "reset=" << r.reset << " ";
+  if (r.delay_micros > 0 || r.delay_jitter_micros > 0) {
+    out << "delay=" << r.delay_micros / kMicrosPerMilli << "ms+"
+        << r.delay_jitter_micros / kMicrosPerMilli << "ms ";
+  }
+  if (r.throttle_bytes_per_sec > 0) {
+    out << "throttle=" << r.throttle_bytes_per_sec << "B/s ";
+  }
+  out << "(frames=" << entry.frames << ")";
+  return out.str();
+}
+
+/// Applies `update` to the rule of every (peer, direction) pair named.
+template <typename Fn>
+void UpdateRules(ChaosTransport* chaos, const std::string& peer,
+                 const std::vector<ChaosTransport::Direction>& dirs,
+                 Fn update) {
+  for (const ChaosTransport::Direction dir : dirs) {
+    ChaosTransport::Rule rule = chaos->GetRule(peer, dir);
+    update(&rule);
+    chaos->SetRule(peer, dir, rule);
+  }
+}
+
+Result<std::string> ExecuteDecoratorChaos(
+    ChaosTransport* chaos, const std::vector<std::string>& words) {
+  const Status usage = Status::InvalidArgument(
+      "usage: chaos status | chaos seed <n> | "
+      "chaos loss <peer> <p> [in|out|both] | "
+      "chaos dup <peer> <p> [dir] | chaos reorder <peer> <p> [dir] | "
+      "chaos delay <peer> <ms> [<jitter_ms>] [dir] | "
+      "chaos throttle <peer> <bytes_per_sec> [dir] | "
+      "chaos partition <peer> | chaos heal [<peer>] | "
+      "chaos reset <peer> [<p>]");
+  if (words.empty()) return usage;
+  const std::string sub = ToLower(words[0]);
+
+  if (sub == "status" && words.size() == 1) {
+    std::ostringstream out;
+    const ChaosTransport::Counters c = chaos->counters();
+    out << "seed " << chaos->seed() << "  digest "
+        << chaos->ScheduleDigest() << "\n";
+    out << "injected: drop=" << c.dropped << " dup=" << c.duplicated
+        << " reorder=" << c.reordered << " delay=" << c.delayed
+        << " throttle=" << c.throttled << " partition=" << c.partitioned
+        << " reset=" << c.resets << "\n";
+    const std::vector<ChaosTransport::RuleEntry> rules = chaos->Rules();
+    if (rules.empty()) {
+      out << "no rules\n";
+    } else {
+      for (const ChaosTransport::RuleEntry& entry : rules) {
+        out << FormatRule(entry) << "\n";
+      }
+    }
+    return out.str();
+  }
+  if (sub == "seed" && words.size() == 2) {
+    char* end = nullptr;
+    const uint64_t seed = std::strtoull(words[1].c_str(), &end, 10);
+    if (end == words[1].c_str() || *end != '\0') {
+      return Status::InvalidArgument("chaos seed takes an integer");
+    }
+    chaos->Reseed(seed);
+    return std::string("reseeded to " + words[1] + "\n");
+  }
+  if ((sub == "loss" || sub == "dup" || sub == "reorder") &&
+      (words.size() == 3 || words.size() == 4)) {
+    double p = 0.0;
+    if (!ParseProbability(words[2], &p)) {
+      return Status::InvalidArgument("chaos " + sub +
+                                     " takes a probability between 0 and 1");
+    }
+    std::vector<ChaosTransport::Direction> dirs;
+    if (!ParseDirections(words, 3, &dirs)) return usage;
+    UpdateRules(chaos, words[1], dirs, [&](ChaosTransport::Rule* rule) {
+      if (sub == "loss") rule->drop = p;
+      if (sub == "dup") rule->dup = p;
+      if (sub == "reorder") rule->reorder = p;
+    });
+    return std::string(sub + " " + words[1] + " = " + words[2] + "\n");
+  }
+  if (sub == "delay" && words.size() >= 3 && words.size() <= 5) {
+    double delay_ms = 0.0;
+    if (!ParseDouble(words[2], &delay_ms) || delay_ms < 0) {
+      return Status::InvalidArgument(
+          "chaos delay takes a delay in milliseconds");
+    }
+    double jitter_ms = 0.0;
+    size_t dir_index = 3;
+    if (words.size() >= 4 && ParseDouble(words[3], &jitter_ms)) {
+      if (jitter_ms < 0) {
+        return Status::InvalidArgument("chaos delay jitter must be >= 0");
+      }
+      dir_index = 4;
+    } else {
+      jitter_ms = 0.0;
+    }
+    std::vector<ChaosTransport::Direction> dirs;
+    if (!ParseDirections(words, dir_index, &dirs)) return usage;
+    UpdateRules(chaos, words[1], dirs, [&](ChaosTransport::Rule* rule) {
+      rule->delay_micros =
+          static_cast<Timestamp>(delay_ms * kMicrosPerMilli);
+      rule->delay_jitter_micros =
+          static_cast<Timestamp>(jitter_ms * kMicrosPerMilli);
+    });
+    return std::string("delay " + words[1] + " = " + words[2] + "ms\n");
+  }
+  if (sub == "throttle" && (words.size() == 3 || words.size() == 4)) {
+    char* end = nullptr;
+    const long long rate = std::strtoll(words[2].c_str(), &end, 10);
+    if (end == words[2].c_str() || *end != '\0' || rate < 0) {
+      return Status::InvalidArgument(
+          "chaos throttle takes a byte rate >= 0 (0 clears)");
+    }
+    std::vector<ChaosTransport::Direction> dirs;
+    if (!ParseDirections(words, 3, &dirs)) return usage;
+    UpdateRules(chaos, words[1], dirs, [&](ChaosTransport::Rule* rule) {
+      rule->throttle_bytes_per_sec = rate;
+    });
+    return std::string("throttle " + words[1] + " = " + words[2] + " B/s\n");
+  }
+  if (sub == "partition" && words.size() == 2) {
+    UpdateRules(chaos, words[1],
+                {ChaosTransport::Direction::kIn,
+                 ChaosTransport::Direction::kOut},
+                [](ChaosTransport::Rule* rule) { rule->partitioned = true; });
+    return std::string("partitioned " + words[1] + "\n");
+  }
+  if (sub == "heal") {
+    if (words.size() == 2) {
+      chaos->ClearRules(words[1]);
+      return std::string("healed " + words[1] + "\n");
+    }
+    if (words.size() == 1) {
+      chaos->ClearRules();
+      return std::string("cleared all chaos rules\n");
+    }
+    return usage;
+  }
+  if (sub == "reset" && (words.size() == 2 || words.size() == 3)) {
+    if (words.size() == 3) {
+      double p = 0.0;
+      if (!ParseProbability(words[2], &p)) {
+        return Status::InvalidArgument(
+            "chaos reset takes a probability between 0 and 1");
+      }
+      UpdateRules(chaos, words[1],
+                  {ChaosTransport::Direction::kIn,
+                   ChaosTransport::Direction::kOut},
+                  [&](ChaosTransport::Rule* rule) { rule->reset = p; });
+      return std::string("reset " + words[1] + " = " + words[2] + "\n");
+    }
+    const Status status = chaos->ResetPeer(words[1]);
+    if (!status.ok()) return status;
+    return std::string("reset " + words[1] + "\n");
+  }
+  return usage;
+}
+
+}  // namespace
+
+Result<std::string> ExecuteChaosCommand(Transport* transport,
+                                        const std::string& args) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument(
+        "chaos requires a network transport (standalone container has none)");
+  }
+  const std::vector<std::string> words = SplitWords(args);
+  // The simulator keeps its historical node-pair grammar; the decorator
+  // grammar is per-peer. AsSimulator is checked first so a
+  // ChaosTransport-wrapped simulator still scripts the simulator.
+  if (NetworkSimulator* net = transport->AsSimulator(); net != nullptr) {
+    return ExecuteSimulatorChaos(net, words);
+  }
+  if (ChaosTransport* chaos = transport->AsChaos(); chaos != nullptr) {
+    return ExecuteDecoratorChaos(chaos, words);
+  }
+  return Status::InvalidArgument(
+      "chaos requires the simulator or a chaos transport (this container "
+      "runs on '" +
+      transport->transport_name() + "')");
+}
+
+}  // namespace gsn::network

@@ -93,7 +93,10 @@ const char* KindName(int kind) {
 EpollTransport::EpollTransport() : EpollTransport(Options()) {}
 
 EpollTransport::EpollTransport(Options options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      ops_(options_.socket_ops != nullptr ? options_.socket_ops
+                                          : SocketOps::Real()),
+      redial_rng_(options_.redial_seed) {
   if (options_.metrics != nullptr) {
     const telemetry::Labels labels = {{"role", options_.metrics_role}};
     connections_gauge_ = options_.metrics->GetGauge(
@@ -113,6 +116,18 @@ EpollTransport::EpollTransport(Options options)
     http_requests_counter_ = options_.metrics->GetCounter(
         "gsn_transport_http_requests_total", labels,
         "HTTP requests served across all connections");
+    accept_errors_counter_ = options_.metrics->GetCounter(
+        "gsn_transport_accept_errors_total", labels,
+        "Accept failures (EMFILE/ENFILE pause the listener)");
+    dial_failures_counter_ = options_.metrics->GetCounter(
+        "gsn_transport_dial_failures_total", labels,
+        "Peer dial/handshake failures (includes connect timeouts)");
+    reconnects_counter_ = options_.metrics->GetCounter(
+        "gsn_transport_reconnects_total", labels,
+        "Peer links re-established after a failure");
+    resets_counter_ = options_.metrics->GetCounter(
+        "gsn_transport_resets_total", labels,
+        "Connections torn down by a forced reset");
   }
 }
 
@@ -146,6 +161,9 @@ void EpollTransport::Stop() {
   conns_.clear();
   peer_conns_.clear();
   flush_pending_.clear();
+  reset_pending_.clear();
+  dial_states_.clear();
+  paused_listeners_.clear();
   pending_deliveries_.clear();
   pending_peer_ups_.clear();
   pending_errors_.clear();
@@ -195,6 +213,7 @@ Status EpollTransport::ListenPeer(uint16_t port) {
   GSN_RETURN_IF_ERROR(fd.status());
   peer_port_.store(bound);
   peer_listen_fd_.store(*fd);
+  peer_plane_active_.store(true);
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = *fd;
@@ -231,6 +250,7 @@ void EpollTransport::AddPeer(const std::string& node_id,
                              const std::string& host, uint16_t port) {
   std::lock_guard<std::mutex> lock(mu_);
   peer_addrs_[node_id] = {host, port};
+  peer_plane_active_.store(true);
 }
 
 Status EpollTransport::RegisterNode(const std::string& node_id,
@@ -259,6 +279,20 @@ void EpollTransport::SetErrorCallback(ErrorCallback callback) {
 void EpollTransport::SetPeerUpCallback(PeerUpCallback callback) {
   std::lock_guard<std::mutex> lock(mu_);
   peer_up_callback_ = std::move(callback);
+}
+
+Status EpollTransport::ResetPeer(const std::string& peer) {
+  if (!running_.load()) return Status::Unavailable("transport not started");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [fd, conn] : conns_) {
+      if (conn->kind != ConnKind::kHttp && conn->peer == peer) {
+        reset_pending_.insert(fd);
+      }
+    }
+  }
+  WakeLoop();  // closes happen on the loop thread (HandleWake)
+  return Status::OK();
 }
 
 Status EpollTransport::Send(Timestamp now, const std::string& from,
@@ -370,7 +404,7 @@ Status EpollTransport::EnqueueFrameLocked(const std::string& to,
     auto conn_it = conns_.find(it->second);
     if (conn_it != conns_.end()) conn = conn_it->second.get();
   }
-  if (conn == nullptr) conn = DialLocked(to);
+  if (conn == nullptr) conn = DialLocked(to, /*force=*/false);
   if (conn == nullptr) {
     return Status::Unavailable("no route to node: " + to);
   }
@@ -405,25 +439,51 @@ Status EpollTransport::EnqueueFrameLocked(const std::string& to,
   return Status::OK();
 }
 
-EpollTransport::Conn* EpollTransport::DialLocked(const std::string& node_id) {
+EpollTransport::Conn* EpollTransport::DialLocked(const std::string& node_id,
+                                                 bool force) {
   auto addr_it = peer_addrs_.find(node_id);
   if (addr_it == peer_addrs_.end()) return nullptr;
+  const Timestamp steady = SteadyMicros();
+  auto ds_it = dial_states_.find(node_id);
+  if (ds_it != dial_states_.end() && !force) {
+    DialState& ds = ds_it->second;
+    if (ds.auto_pending && steady < ds.next_redial_steady) {
+      return nullptr;  // backing off; the loop redials when due
+    }
+    if (!ds.auto_pending && options_.redial_policy.Exhausted(ds.attempts)) {
+      ds.attempts = 0;  // explicit Send restarts an exhausted cycle
+    }
+  }
   const int fd =
-      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd < 0) return nullptr;
+      ops_->Socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    NoteDialFailureLocked(
+        node_id, Status::IoError(std::string("socket() failed: ") +
+                                 std::strerror(errno) + " (peer " + node_id +
+                                 ")"));
+    return nullptr;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(addr_it->second.second);
   if (::inet_pton(AF_INET, addr_it->second.first.c_str(), &addr.sin_addr) !=
       1) {
     ::close(fd);
+    NoteDialFailureLocked(node_id,
+                          Status::InvalidArgument("bad peer address '" +
+                                                  addr_it->second.first +
+                                                  "' (peer " + node_id + ")"));
     return nullptr;
   }
   const int rc =
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      ops_->Connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc != 0 && errno != EINPROGRESS) {
     connect_failures_total_.fetch_add(1);
+    const std::string detail = std::strerror(errno);
     ::close(fd);
+    NoteDialFailureLocked(node_id,
+                          Status::Unavailable("dial failed: " + detail +
+                                              " (peer " + node_id + ")"));
     return nullptr;
   }
   auto conn = std::make_unique<Conn>();
@@ -431,8 +491,11 @@ EpollTransport::Conn* EpollTransport::DialLocked(const std::string& node_id) {
   conn->kind = ConnKind::kPeerOut;
   conn->peer = node_id;
   conn->connecting = rc != 0;
-  conn->opened_steady = SteadyMicros();
+  conn->opened_steady = steady;
   conn->last_activity_steady = conn->opened_steady;
+  if (conn->connecting && options_.connect_timeout_micros > 0) {
+    conn->connect_deadline_steady = steady + options_.connect_timeout_micros;
+  }
   Conn* raw = conn.get();
   conns_[fd] = std::move(conn);
   peer_conns_[node_id] = fd;
@@ -440,9 +503,48 @@ EpollTransport::Conn* EpollTransport::DialLocked(const std::string& node_id) {
   ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
   ev.data.fd = fd;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
-  if (!raw->connecting) pending_peer_ups_.push_back(node_id);
+  if (!raw->connecting) {
+    pending_peer_ups_.push_back(node_id);
+    NoteDialSuccessLocked(node_id);
+  }
   UpdateGaugesLocked();
   return raw;
+}
+
+void EpollTransport::NoteDialFailureLocked(const std::string& peer,
+                                           const Status& reason) {
+  dial_failures_total_.fetch_add(1);
+  if (dial_failures_counter_) dial_failures_counter_->Increment();
+  pending_errors_.emplace_back(peer, reason);
+  ScheduleRedialLocked(peer, SteadyMicros());
+}
+
+void EpollTransport::NoteDialSuccessLocked(const std::string& peer) {
+  auto it = dial_states_.find(peer);
+  if (it == dial_states_.end()) return;
+  if (it->second.attempts > 0) {
+    reconnects_total_.fetch_add(1);
+    if (reconnects_counter_) reconnects_counter_->Increment();
+  }
+  dial_states_.erase(it);
+}
+
+void EpollTransport::ScheduleRedialLocked(const std::string& peer,
+                                          Timestamp steady_now) {
+  if (!options_.auto_redial || !running_.load()) return;
+  if (peer_addrs_.count(peer) == 0) return;  // not a dial-table peer
+  DialState& ds = dial_states_[peer];
+  ds.attempts += 1;
+  if (options_.redial_policy.Exhausted(ds.attempts)) {
+    // Give up automatically; the next explicit Send restarts the cycle.
+    ds.auto_pending = false;
+    ds.next_redial_steady = 0;
+    return;
+  }
+  ds.auto_pending = true;
+  ds.next_redial_steady =
+      steady_now +
+      options_.redial_policy.BackoffForAttempt(ds.attempts, &redial_rng_);
 }
 
 void EpollTransport::WakeLoop() {
@@ -473,6 +575,9 @@ void EpollTransport::LoopMain() {
       timeout_ms = static_cast<int>(std::clamp<Timestamp>(
           quarter / kMicrosPerMilli, 10, 500));
     }
+    // The peer plane needs the maintenance cadence (connect deadlines,
+    // redial backoffs, paused-listener re-arms) even when idle.
+    if (peer_plane_active_.load()) timeout_ms = std::min(timeout_ms, 50);
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -495,6 +600,12 @@ void EpollTransport::LoopMain() {
     }
     HandleWake();
     const Timestamp steady = SteadyMicros();
+    if (peer_plane_active_.load() &&
+        steady - last_maintain_steady_ >= 50 * kMicrosPerMilli) {
+      last_maintain_steady_ = steady;
+      std::lock_guard<std::mutex> lock(mu_);
+      MaintainLocked(steady);
+    }
     if (options_.idle_timeout_micros > 0 &&
         steady - last_sweep_steady_ >=
             std::max<Timestamp>(options_.idle_timeout_micros / 4,
@@ -509,8 +620,18 @@ void EpollTransport::LoopMain() {
 
 void EpollTransport::HandleWake() {
   std::set<int> pending;
+  std::set<int> resets;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    resets.swap(reset_pending_);
+    for (const int fd : resets) {
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      resets_total_.fetch_add(1);
+      if (resets_counter_) resets_counter_->Increment();
+      CloseConnLocked(it->second.get(),
+                      Status::Unavailable("connection reset (forced)"));
+    }
     pending.swap(flush_pending_);
     for (const int fd : pending) {
       auto it = conns_.find(fd);
@@ -527,9 +648,30 @@ void EpollTransport::AcceptReady(int listen_fd, ConnKind kind) {
     sockaddr_in addr{};
     socklen_t len = sizeof(addr);
     const int fd =
-        ::accept4(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len,
-                  SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or transient error: wait for next edge
+        ops_->Accept4(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      const int err = errno;
+      if (err == EAGAIN || err == EWOULDBLOCK) return;
+      if (err == EINTR || err == ECONNABORTED) continue;
+      accept_errors_total_.fetch_add(1);
+      if (accept_errors_counter_) accept_errors_counter_->Increment();
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        // Fd/memory exhaustion: the listener is level-triggered, so
+        // returning here would spin epoll_wait hot. Unregister it and
+        // re-arm after accept_rearm_micros; pending connections wait
+        // in the backlog meanwhile.
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd, nullptr);
+        std::lock_guard<std::mutex> lock(mu_);
+        paused_listeners_[listen_fd] =
+            SteadyMicros() + options_.accept_rearm_micros;
+        GSN_LOG(kInfo, "transport")
+            << "accept paused " << options_.accept_rearm_micros / 1000
+            << "ms: " << std::strerror(err);
+      }
+      return;
+    }
     accepted_total_.fetch_add(1);
     if (accepted_counter_) accepted_counter_->Increment();
     auto conn = std::make_unique<Conn>();
@@ -555,7 +697,8 @@ void EpollTransport::ConnReady(int fd, uint32_t events) {
   Conn* conn = it->second.get();
   if (events & EPOLLERR) {
     if (conn->connecting) connect_failures_total_.fetch_add(1);
-    CloseConnLocked(conn, Status::IoError("socket error"));
+    CloseConnLocked(conn, Status::IoError("socket error (peer " + conn->peer +
+                                          ")"));
     return;
   }
   if (conn->connecting && (events & (EPOLLOUT | EPOLLHUP))) {
@@ -566,11 +709,25 @@ void EpollTransport::ConnReady(int fd, uint32_t events) {
       connect_failures_total_.fetch_add(1);
       CloseConnLocked(conn,
                       Status::Unavailable(std::string("connect failed: ") +
-                                          std::strerror(err)));
+                                          std::strerror(err) + " (peer " +
+                                          conn->peer + ")"));
       return;
     }
-    conn->connecting = false;
-    pending_peer_ups_.push_back(conn->peer);
+    // SO_ERROR == 0 is not proof the connect completed: a socket whose
+    // connect never reached the kernel (the chaos stall fault) also
+    // reports 0 but has no peer — leave it connecting so the deadline
+    // in MaintainLocked reclaims it.
+    sockaddr_in peer_addr{};
+    socklen_t peer_len = sizeof(peer_addr);
+    if (::getpeername(fd, reinterpret_cast<sockaddr*>(&peer_addr),
+                      &peer_len) == 0) {
+      conn->connecting = false;
+      conn->connect_deadline_steady = 0;
+      pending_peer_ups_.push_back(conn->peer);
+      NoteDialSuccessLocked(conn->peer);
+    } else if ((events & (EPOLLIN | EPOLLRDHUP)) == 0) {
+      return;  // still connecting; nothing to read or flush yet
+    }
   }
   if (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) {
     if (!ReadReady(conn)) return;  // `lock` still held; conn is gone
@@ -585,7 +742,7 @@ bool EpollTransport::ReadReady(Conn* conn) {
   const int fd = conn->fd;
   char buf[65536];
   for (;;) {
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    const ssize_t n = ops_->Recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn->inbuf.append(buf, static_cast<size_t>(n));
       conn->last_activity_steady = SteadyMicros();
@@ -598,7 +755,8 @@ bool EpollTransport::ReadReady(Conn* conn) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     CloseConnLocked(conn, Status::IoError(std::string("read failed: ") +
-                                          std::strerror(errno)));
+                                          std::strerror(errno) + " (peer " +
+                                          conn->peer + ")"));
     return false;
   }
   // mu_ is held by the caller; the Process* helpers unlock it around
@@ -651,7 +809,12 @@ void EpollTransport::ProcessPeerInput(Conn* conn) {
           route != peer_conns_.end() && conns_.count(route->second) > 0;
       peer_conns_[message.from] = conn->fd;
       conn->peer = message.from;
-      if (!had_route) pending_peer_ups_.push_back(message.from);
+      if (!had_route) {
+        pending_peer_ups_.push_back(message.from);
+        // The peer reached us: connectivity is back even if our own
+        // dials were failing — stop the redial cycle.
+        NoteDialSuccessLocked(message.from);
+      }
     }
     if (message.to.empty()) {
       for (const auto& [node_id, node] : local_nodes_) {
@@ -726,13 +889,14 @@ void EpollTransport::FlushLocked(Conn* conn) {
   while (!conn->outq.empty()) {
     const std::string& front = conn->outq.front();
     const ssize_t n =
-        ::send(conn->fd, front.data() + conn->out_off,
-               front.size() - conn->out_off, MSG_NOSIGNAL);
+        ops_->Send(conn->fd, front.data() + conn->out_off,
+                   front.size() - conn->out_off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
       CloseConnLocked(conn, Status::IoError(std::string("write failed: ") +
-                                            std::strerror(errno)));
+                                            std::strerror(errno) + " (peer " +
+                                            conn->peer + ")"));
       return;
     }
     conn->out_off += static_cast<size_t>(n);
@@ -750,7 +914,8 @@ void EpollTransport::FlushLocked(Conn* conn) {
   }
 }
 
-void EpollTransport::CloseConnLocked(Conn* conn, const Status& reason) {
+void EpollTransport::CloseConnLocked(Conn* conn, const Status& reason,
+                                     bool allow_redial) {
   const int fd = conn->fd;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
@@ -763,8 +928,18 @@ void EpollTransport::CloseConnLocked(Conn* conn, const Status& reason) {
     }
   }
   flush_pending_.erase(fd);
+  reset_pending_.erase(fd);
   if (!reason.ok()) {
     pending_errors_.emplace_back(conn->peer, reason);
+  }
+  if (conn->kind != ConnKind::kHttp && !reason.ok() && allow_redial) {
+    // A failed dial-table peer link comes back via backoff redial; a
+    // lost handshake additionally counts as a dial failure.
+    if (conn->connecting) {
+      dial_failures_total_.fetch_add(1);
+      if (dial_failures_counter_) dial_failures_counter_->Increment();
+    }
+    ScheduleRedialLocked(conn->peer, SteadyMicros());
   }
   conns_.erase(fd);  // destroys *conn
   UpdateGaugesLocked();
@@ -783,7 +958,70 @@ void EpollTransport::SweepIdleLocked(Timestamp steady_now) {
     if (it == conns_.end()) continue;
     timeouts_total_.fetch_add(1);
     if (timeouts_counter_) timeouts_counter_->Increment();
-    CloseConnLocked(it->second.get(), Status::Timeout("idle timeout"));
+    // Deliberate reaping: an idle peer must not bounce straight back.
+    CloseConnLocked(it->second.get(), Status::Timeout("idle timeout"),
+                    /*allow_redial=*/false);
+  }
+}
+
+void EpollTransport::MaintainLocked(Timestamp steady_now) {
+  // 1. Connect deadlines: a non-blocking connect that never completed
+  // (unreachable peer, or the chaos stall fault) is failed here and
+  // enters the backoff redial cycle.
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->connecting && conn->connect_deadline_steady > 0 &&
+        steady_now >= conn->connect_deadline_steady) {
+      expired.push_back(fd);
+    }
+  }
+  for (const int fd : expired) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    connect_failures_total_.fetch_add(1);
+    CloseConnLocked(
+        it->second.get(),
+        Status::Timeout(
+            "connect timeout after " +
+            std::to_string(options_.connect_timeout_micros / 1000) +
+            "ms (peer " + it->second->peer + ")"));
+  }
+  // 2. Due redials. Collect first: dialing mutates dial_states_.
+  std::vector<std::string> due;
+  for (const auto& [peer, ds] : dial_states_) {
+    if (ds.auto_pending && steady_now >= ds.next_redial_steady &&
+        peer_conns_.count(peer) == 0) {
+      due.push_back(peer);
+    }
+  }
+  for (const std::string& peer : due) {
+    (void)DialLocked(peer, /*force=*/true);
+  }
+  // 3. Peer-plane conns: retry stalled flushes and defensively re-arm
+  // the read edge (EPOLL_CTL_MOD re-reports pending readiness, so a
+  // missed edge cannot strand buffered frames forever).
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->kind == ConnKind::kHttp) continue;
+    if (!conn->outq.empty() && !conn->connecting) {
+      flush_pending_.insert(fd);
+      WakeLoop();
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+  // 4. Re-arm listeners paused by EMFILE once their pause elapses.
+  for (auto it = paused_listeners_.begin(); it != paused_listeners_.end();) {
+    if (steady_now >= it->second) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = it->first;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, it->first, &ev);
+      it = paused_listeners_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

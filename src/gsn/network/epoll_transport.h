@@ -14,10 +14,13 @@
 #include <vector>
 
 #include "gsn/network/http_server.h"
+#include "gsn/network/retry_policy.h"
+#include "gsn/network/socket_ops.h"
 #include "gsn/network/transport.h"
 #include "gsn/telemetry/metrics.h"
 #include "gsn/util/clock.h"
 #include "gsn/util/result.h"
+#include "gsn/util/rng.h"
 
 namespace gsn::network {
 
@@ -67,6 +70,27 @@ class EpollTransport : public Transport {
     /// stay distinct families.
     telemetry::MetricRegistry* metrics = nullptr;
     std::string metrics_role = "peer";
+    /// Syscall seam (docs/CHAOS.md): every accept/connect/recv/send
+    /// goes through this, so tests inject EINTR/EAGAIN storms, short
+    /// writes, mid-frame resets, and EMFILE. Null uses the real
+    /// syscalls; the instance must outlive the transport.
+    SocketOps* socket_ops = nullptr;
+    /// Non-blocking connects that have not completed within this are
+    /// failed (counted as dial failures) and redialed with backoff.
+    /// 0 disables the deadline.
+    Timestamp connect_timeout_micros = 5 * kMicrosPerSecond;
+    /// After EMFILE/ENFILE on accept, the listen fd is unregistered
+    /// from epoll and re-armed this much later — pausing accepts
+    /// instead of hot-spinning on level-triggered readiness.
+    Timestamp accept_rearm_micros = 100 * kMicrosPerMilli;
+    /// Automatic redial of failed dial-table peer links: exponential
+    /// backoff per RetryPolicy, attempts reset when a connect
+    /// completes. Once exhausted, auto-redial stops until the next
+    /// explicit Send restarts the cycle.
+    bool auto_redial = true;
+    RetryPolicy redial_policy;
+    /// Seed for redial backoff jitter (deterministic in tests).
+    uint64_t redial_seed = 1;
   };
 
   using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
@@ -114,6 +138,10 @@ class EpollTransport : public Transport {
   std::string transport_name() const override { return "epoll"; }
   void SetErrorCallback(ErrorCallback callback) override;
   void SetPeerUpCallback(PeerUpCallback callback) override;
+  /// Abruptly tears down every live connection to `peer` (the chaos
+  /// "connection reset" fault). Closes happen on the loop thread; the
+  /// peer plane redials with backoff afterwards.
+  Status ResetPeer(const std::string& peer) override;
 
   // -- Introspection (tests, status surfaces) -------------------------------
 
@@ -128,6 +156,10 @@ class EpollTransport : public Transport {
   int64_t frames_delivered_total() const {
     return frames_delivered_total_.load();
   }
+  int64_t accept_errors_total() const { return accept_errors_total_.load(); }
+  int64_t dial_failures_total() const { return dial_failures_total_.load(); }
+  int64_t reconnects_total() const { return reconnects_total_.load(); }
+  int64_t resets_total() const { return resets_total_.load(); }
 
  private:
   enum class ConnKind { kPeerOut, kPeerIn, kHttp };
@@ -153,6 +185,17 @@ class EpollTransport : public Transport {
     int64_t requests_served = 0;
     Timestamp opened_steady = 0;
     Timestamp last_activity_steady = 0;
+    /// Deadline for an in-flight non-blocking connect (0 = none); a
+    /// connecting conn past it is failed and redialed with backoff.
+    Timestamp connect_deadline_steady = 0;
+  };
+
+  /// Redial bookkeeping for one dial-table peer whose link failed.
+  struct DialState {
+    int attempts = 0;  // consecutive failures (resets on success)
+    /// When the loop should redial; meaningful while auto_pending.
+    Timestamp next_redial_steady = 0;
+    bool auto_pending = false;
   };
 
   /// A delivery decoded from a frame, dispatched outside mu_.
@@ -173,19 +216,36 @@ class EpollTransport : public Transport {
   /// Drains the write queue until EAGAIN; closes on error or when
   /// want_close hits an empty queue.
   void FlushLocked(Conn* conn);
-  void CloseConnLocked(Conn* conn, const Status& reason);
+  /// `allow_redial` is false for deliberate closes (idle reaping) that
+  /// must not bounce the link back up.
+  void CloseConnLocked(Conn* conn, const Status& reason,
+                       bool allow_redial = true);
   void SweepIdleLocked(Timestamp steady_now);
+  /// Periodic peer-plane upkeep (loop thread, ~50ms cadence): connect
+  /// deadlines, due redials, paused-listener re-arm, flush retries,
+  /// and a defensive EPOLL_CTL_MOD edge re-arm on peer conns (missed
+  /// edges — e.g. a spurious EAGAIN — otherwise strand buffered data).
+  void MaintainLocked(Timestamp steady_now);
   void FirePending();  // deliveries + callbacks queued under mu_
 
   // Shared helpers (any thread, mu_ held).
   Status EnqueueFrameLocked(const std::string& to, const std::string& bytes);
-  Conn* DialLocked(const std::string& node_id);
+  /// `force` skips the backoff gate (the loop redialing a due peer).
+  Conn* DialLocked(const std::string& node_id, bool force);
+  /// Counts a dial failure, surfaces it on the error callback with the
+  /// peer id and errno string, and schedules the backoff redial.
+  void NoteDialFailureLocked(const std::string& peer, const Status& reason);
+  /// A completed connect: counts a reconnect when failures preceded it
+  /// and clears the peer's redial state.
+  void NoteDialSuccessLocked(const std::string& peer);
+  void ScheduleRedialLocked(const std::string& peer, Timestamp steady_now);
   void WakeLoop();
   void UpdateGaugesLocked();
 
   static Result<int> MakeListener(uint16_t port, uint16_t* bound_port);
 
   const Options options_;
+  SocketOps* const ops_;  // options_.socket_ops or SocketOps::Real()
 
   std::atomic<bool> running_{false};
   int epoll_fd_ = -1;
@@ -208,13 +268,24 @@ class EpollTransport : public Transport {
   std::map<std::string, std::pair<std::string, uint16_t>> peer_addrs_;
   /// Fds with freshly queued output (Send from non-loop threads).
   std::set<int> flush_pending_;  // guarded by mu_
+  /// Fds queued for forced close by ResetPeer (closed on loop thread).
+  std::set<int> reset_pending_;  // guarded by mu_
+  /// Redial bookkeeping per failed dial-table peer.
+  std::map<std::string, DialState> dial_states_;  // guarded by mu_
+  Rng redial_rng_;  // guarded by mu_ (backoff jitter)
+  /// Listen fds paused after EMFILE, with their re-arm deadline.
+  std::map<int, Timestamp> paused_listeners_;  // guarded by mu_
+  /// True once the peer plane is in use (listener bound or dial table
+  /// non-empty): the loop then ticks at the maintenance cadence.
+  std::atomic<bool> peer_plane_active_{false};
   /// Deliveries/callbacks accumulated under mu_, fired by FirePending.
   std::vector<PendingDelivery> pending_deliveries_;   // guarded by mu_
   std::vector<std::string> pending_peer_ups_;         // guarded by mu_
   std::vector<std::pair<std::string, Status>> pending_errors_;
   /// Running total of queued write bytes across connections.
   size_t total_out_bytes_ = 0;  // guarded by mu_
-  Timestamp last_sweep_steady_ = 0;  // loop thread only
+  Timestamp last_sweep_steady_ = 0;     // loop thread only
+  Timestamp last_maintain_steady_ = 0;  // loop thread only
 
   std::atomic<int64_t> accepted_total_{0};
   std::atomic<int64_t> timeouts_total_{0};
@@ -222,6 +293,10 @@ class EpollTransport : public Transport {
   std::atomic<int64_t> connect_failures_total_{0};
   std::atomic<int64_t> http_requests_total_{0};
   std::atomic<int64_t> frames_delivered_total_{0};
+  std::atomic<int64_t> accept_errors_total_{0};
+  std::atomic<int64_t> dial_failures_total_{0};
+  std::atomic<int64_t> reconnects_total_{0};
+  std::atomic<int64_t> resets_total_{0};
 
   // gsn_transport_* (null when no registry was injected).
   std::shared_ptr<telemetry::Gauge> connections_gauge_;
@@ -230,6 +305,10 @@ class EpollTransport : public Transport {
   std::shared_ptr<telemetry::Counter> timeouts_counter_;
   std::shared_ptr<telemetry::Counter> overflows_counter_;
   std::shared_ptr<telemetry::Counter> http_requests_counter_;
+  std::shared_ptr<telemetry::Counter> accept_errors_counter_;
+  std::shared_ptr<telemetry::Counter> dial_failures_counter_;
+  std::shared_ptr<telemetry::Counter> reconnects_counter_;
+  std::shared_ptr<telemetry::Counter> resets_counter_;
 };
 
 }  // namespace gsn::network

@@ -1,0 +1,129 @@
+#include "gsn/network/socket_ops.h"
+
+#include <cerrno>
+#include <cstddef>
+
+namespace gsn::network {
+
+int SocketOps::Socket(int domain, int type, int protocol) {
+  return ::socket(domain, type, protocol);
+}
+
+int SocketOps::Connect(int fd, const sockaddr* addr, socklen_t len) {
+  return ::connect(fd, addr, len);
+}
+
+int SocketOps::Accept4(int fd, sockaddr* addr, socklen_t* len, int flags) {
+  return ::accept4(fd, addr, len, flags);
+}
+
+ssize_t SocketOps::Recv(int fd, void* buf, size_t len, int flags) {
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t SocketOps::Send(int fd, const void* buf, size_t len, int flags) {
+  return ::send(fd, buf, len, flags);
+}
+
+SocketOps* SocketOps::Real() {
+  static SocketOps* real = new SocketOps();
+  return real;
+}
+
+FaultInjectingSocketOps::FaultInjectingSocketOps(Config config)
+    : config_(config),
+      rng_(config.seed),
+      emfile_remaining_(config.accept_emfile_burst) {}
+
+void FaultInjectingSocketOps::ArmAcceptEmfile(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  emfile_remaining_ += n;
+}
+
+int FaultInjectingSocketOps::Connect(int fd, const sockaddr* addr,
+                                     socklen_t len) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rng_.NextBool(config_.connect_refuse_rate)) {
+      connect_faults_.fetch_add(1);
+      errno = ECONNREFUSED;
+      return -1;
+    }
+    if (rng_.NextBool(config_.connect_stall_rate)) {
+      // Claim an in-flight connect without dialing: the socket never
+      // becomes writable with SO_ERROR==0, so only a transport-side
+      // connect deadline can reclaim it.
+      connect_faults_.fetch_add(1);
+      errno = EINPROGRESS;
+      return -1;
+    }
+  }
+  return SocketOps::Connect(fd, addr, len);
+}
+
+int FaultInjectingSocketOps::Accept4(int fd, sockaddr* addr, socklen_t* len,
+                                     int flags) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (emfile_remaining_ > 0) {
+      --emfile_remaining_;
+      accept_faults_.fetch_add(1);
+      errno = EMFILE;
+      return -1;
+    }
+  }
+  return SocketOps::Accept4(fd, addr, len, flags);
+}
+
+ssize_t FaultInjectingSocketOps::Recv(int fd, void* buf, size_t len,
+                                      int flags) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rng_.NextBool(config_.recv_eintr_rate)) {
+      recv_faults_.fetch_add(1);
+      errno = EINTR;
+      return -1;
+    }
+    if (rng_.NextBool(config_.recv_eagain_rate)) {
+      recv_faults_.fetch_add(1);
+      errno = EAGAIN;
+      return -1;
+    }
+    if (rng_.NextBool(config_.recv_reset_rate)) {
+      recv_faults_.fetch_add(1);
+      errno = ECONNRESET;
+      return -1;
+    }
+  }
+  return SocketOps::Recv(fd, buf, len, flags);
+}
+
+ssize_t FaultInjectingSocketOps::Send(int fd, const void* buf, size_t len,
+                                      int flags) {
+  size_t effective_len = len;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rng_.NextBool(config_.send_eintr_rate)) {
+      send_faults_.fetch_add(1);
+      errno = EINTR;
+      return -1;
+    }
+    if (rng_.NextBool(config_.send_eagain_rate)) {
+      send_faults_.fetch_add(1);
+      errno = EAGAIN;
+      return -1;
+    }
+    if (rng_.NextBool(config_.send_reset_rate)) {
+      send_faults_.fetch_add(1);
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (len > 1 && rng_.NextBool(config_.short_write_rate)) {
+      short_writes_.fetch_add(1);
+      effective_len = 1 + static_cast<size_t>(rng_.NextUint64(len - 1));
+    }
+  }
+  return SocketOps::Send(fd, buf, effective_len, flags);
+}
+
+}  // namespace gsn::network

@@ -53,6 +53,7 @@ struct ConnectionStats {
 };
 
 class NetworkSimulator;
+class ChaosTransport;
 
 /// The network fabric between GSN containers, extracted from the
 /// simulator-coupled federation path so `gsnd` daemons can federate
@@ -113,6 +114,20 @@ class Transport {
   /// Downcast hook for the chaos surfaces (`chaos` management command,
   /// fault-injection tests): non-null only for the simulator.
   virtual NetworkSimulator* AsSimulator() { return nullptr; }
+
+  /// Downcast hook for the chaos decorator (docs/CHAOS.md): non-null
+  /// only for ChaosTransport (decorators forward to their inner
+  /// transport, so a wrapped simulator still answers AsSimulator).
+  virtual ChaosTransport* AsChaos() { return nullptr; }
+
+  /// Forcibly tears down every live connection to `peer` (abrupt
+  /// close, no drain) — the chaos "connection reset" fault. The peer
+  /// plane redials with backoff afterwards. Transports without real
+  /// connections report InvalidArgument.
+  virtual Status ResetPeer(const std::string& peer) {
+    return Status::InvalidArgument("reset not supported on '" +
+                                   transport_name() + "' (peer " + peer + ")");
+  }
 
   /// Implementation name for status surfaces: "simulator" | "epoll".
   virtual std::string transport_name() const = 0;

@@ -10,17 +10,24 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "gsn/container/federation.h"
+#include "gsn/network/chaos_transport.h"
+#include "gsn/network/epoll_transport.h"
 #include "gsn/network/remote_stream_wrapper.h"
 #include "gsn/telemetry/metrics.h"
 
 namespace gsn::container {
 namespace {
 
+using gsn::network::ChaosTransport;
+using gsn::network::EpollTransport;
 using gsn::network::RemoteStreamWrapper;
 
 /// The consumer's view of its remote source, or null at any broken link.
@@ -318,6 +325,316 @@ TEST_F(FederationChaosTest, SubscribeRetriesUntilLinkHeals) {
   ASSERT_TRUE(fed.RunFor(3 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
   EXPECT_GT(remote->admitted_count(), 0);
 }
+
+// A producer process restart loses its (non-durable) subscriber table
+// while the restarted node answers heartbeats immediately — so neither
+// the circuit breaker nor gap repair can see anything wrong. Only the
+// subscription-silence detector can: once an acked subscription stays
+// silent past subscription_silence_timeout against a live peer, the
+// consumer rebinds it under a fresh id and admission resumes.
+TEST_F(FederationChaosTest, ResubscribesAfterProducerRestart) {
+  Federation fed(31);
+  auto producer = fed.AddNode("producer");
+  auto consumer = fed.AddNode("consumer");
+  ASSERT_TRUE(producer.ok());
+  ASSERT_TRUE(consumer.ok());
+  ASSERT_TRUE((*producer)->Deploy(GeneratorProducerXml("gen", "rp")).ok());
+  for (int i = 0; i < 50 && (*consumer)->Discover({{"type", "rp"}}).empty();
+       ++i) {
+    ASSERT_TRUE(fed.Step(100 * kMicrosPerMilli).ok());
+  }
+  ASSERT_TRUE((*consumer)
+                  ->Deploy(RemoteConsumerXml(
+                      "mirror", "rp",
+                      "<field name=\"seq\" type=\"integer\"/>"
+                      "<field name=\"value\" type=\"double\"/>"))
+                  .ok());
+
+  // 15 virtual seconds of healthy streaming — longer than the silence
+  // timeout, so this also pins that a flowing (tip-carrying) stream
+  // never trips the detector spuriously.
+  ASSERT_TRUE(fed.RunFor(15 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+  const RemoteStreamWrapper* remote = FindRemote(*consumer, "mirror");
+  ASSERT_NE(remote, nullptr);
+  const int64_t before = remote->admitted_count();
+  EXPECT_GT(before, 0);
+  EXPECT_EQ(CounterValue(*consumer, "gsn_federation_resubscribes_total",
+                         {{"node", "consumer"}}),
+            0);
+
+  // Restart: a brand-new container under the same node id.
+  ASSERT_TRUE(fed.RemoveNode("producer").ok());
+  auto restarted = fed.AddNode("producer");
+  ASSERT_TRUE(restarted.ok());
+  ASSERT_TRUE((*restarted)->Deploy(GeneratorProducerXml("gen", "rp")).ok());
+
+  ASSERT_TRUE(fed.RunFor(20 * kMicrosPerSecond, 100 * kMicrosPerMilli).ok());
+  EXPECT_GT(remote->admitted_count(), before);
+  EXPECT_EQ(CounterValue(*consumer, "gsn_federation_resubscribes_total",
+                         {{"node", "consumer"}}),
+            1);
+  // Same producer, fresh sequence space: the restarted stream admits
+  // cleanly instead of dedup-ing away below the old cursor.
+  EXPECT_EQ(remote->peer_node(), "producer");
+  EXPECT_EQ(remote->duplicate_count(), 0);
+  EXPECT_EQ(remote->abandoned_count(), 0);
+}
+
+// ------------------------------------- the same scenario, both transports
+
+// The exactly-once acceptance scenario should not depend on which
+// transport carries the frames: the simulator models faults, the chaos
+// decorator injects the same faults into real TCP (docs/CHAOS.md).
+// This harness abstracts just enough of the link for one parameterized
+// test to drive both.
+class ChaosLinkHarness {
+ public:
+  virtual ~ChaosLinkHarness() = default;
+  virtual Container* producer() = 0;
+  virtual Container* consumer() = 0;
+  /// Advances both nodes by `micros` of virtual time and runs a tick.
+  virtual Status Step(Timestamp micros) = 0;
+  virtual void SetLoss(double probability) = 0;  // both directions
+  virtual void SetPartitioned(bool on) = 0;      // both directions
+  virtual void Heal() = 0;                       // clear every fault
+  /// Forces a connection reset on the producer link; returns false
+  /// where the transport has no connections to reset (the simulator).
+  virtual bool ResetLink() = 0;
+  /// How many faults the fault plane actually injected so far.
+  virtual int64_t faults_injected() = 0;
+};
+
+/// Virtual-time federation on the in-process NetworkSimulator.
+class SimulatorChaosHarness : public ChaosLinkHarness {
+ public:
+  SimulatorChaosHarness() : fed_(77) {
+    auto producer = fed_.AddNode("producer");
+    auto consumer = fed_.AddNode("consumer");
+    producer_ = producer.ok() ? *producer : nullptr;
+    consumer_ = consumer.ok() ? *consumer : nullptr;
+  }
+
+  Container* producer() override { return producer_; }
+  Container* consumer() override { return consumer_; }
+  Status Step(Timestamp micros) override {
+    auto stepped = fed_.Step(micros);
+    return stepped.ok() ? Status::OK() : stepped.status();
+  }
+  void SetLoss(double probability) override {
+    fed_.network().SetLoss("producer", "consumer", probability);
+    fed_.network().SetLoss("consumer", "producer", probability);
+  }
+  void SetPartitioned(bool on) override {
+    fed_.network().SetPartitioned("producer", "consumer", on);
+  }
+  void Heal() override {
+    fed_.network().SetLoss("producer", "consumer", 0.0);
+    fed_.network().SetLoss("consumer", "producer", 0.0);
+    fed_.network().ClearFaults();
+  }
+  bool ResetLink() override { return false; }  // no sockets to reset
+  int64_t faults_injected() override {
+    return static_cast<int64_t>(fed_.network().stats().dropped);
+  }
+
+ private:
+  Federation fed_;
+  Container* producer_ = nullptr;
+  Container* consumer_ = nullptr;
+};
+
+/// Real TCP between two EpollTransports, with the consumer's side
+/// wrapped in ChaosTransport: in+out rules on the one decorator gate
+/// both directions of the producer<->consumer link. Containers run on
+/// virtual clocks (protocol timers) while sockets deliver immediately,
+/// the same split EpollFederationTest uses.
+class EpollChaosHarness : public ChaosLinkHarness {
+ public:
+  EpollChaosHarness() {
+    ok_ = net_producer_.Start().ok() && net_consumer_.Start().ok() &&
+          net_producer_.ListenPeer(0).ok() && net_consumer_.ListenPeer(0).ok();
+    if (!ok_) return;
+    net_producer_.AddPeer("consumer", "127.0.0.1", net_consumer_.peer_port());
+    net_consumer_.AddPeer("producer", "127.0.0.1", net_producer_.peer_port());
+    ChaosTransport::Options chaos_options;
+    chaos_options.seed = 77;
+    chaos_ = std::make_unique<ChaosTransport>(&net_consumer_, chaos_options);
+
+    clock_producer_ = std::make_shared<VirtualClock>();
+    clock_consumer_ = std::make_shared<VirtualClock>();
+    Container::Options producer_options;
+    producer_options.node_id = "producer";
+    producer_options.clock = clock_producer_;
+    producer_options.network = &net_producer_;
+    producer_ = std::make_unique<Container>(std::move(producer_options));
+    Container::Options consumer_options;
+    consumer_options.node_id = "consumer";
+    consumer_options.clock = clock_consumer_;
+    consumer_options.network = chaos_.get();
+    consumer_ = std::make_unique<Container>(std::move(consumer_options));
+  }
+
+  ~EpollChaosHarness() override {
+    if (consumer_ != nullptr) (void)consumer_->Shutdown();
+    if (producer_ != nullptr) (void)producer_->Shutdown();
+    consumer_.reset();
+    producer_.reset();
+    chaos_.reset();
+    net_consumer_.Stop();
+    net_producer_.Stop();
+  }
+
+  Container* producer() override { return ok_ ? producer_.get() : nullptr; }
+  Container* consumer() override { return ok_ ? consumer_.get() : nullptr; }
+
+  Status Step(Timestamp micros) override {
+    clock_producer_->Advance(micros);
+    clock_consumer_->Advance(micros);
+    auto ticked = producer_->Tick();
+    if (!ticked.ok()) return ticked.status();
+    ticked = consumer_->Tick();
+    if (!ticked.ok()) return ticked.status();
+    // Give the sockets (and the chaos scheduler) a beat of real time.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return Status::OK();
+  }
+
+  void SetLoss(double probability) override {
+    rule_.drop = probability;
+    Apply();
+  }
+  void SetPartitioned(bool on) override {
+    rule_.partitioned = on;
+    Apply();
+  }
+  void Heal() override {
+    rule_ = ChaosTransport::Rule();
+    chaos_->ClearRules();
+  }
+  bool ResetLink() override { return chaos_->ResetPeer("producer").ok(); }
+  int64_t faults_injected() override {
+    const ChaosTransport::Counters counters = chaos_->counters();
+    return counters.dropped + counters.partitioned + counters.resets;
+  }
+
+ private:
+  void Apply() {
+    chaos_->SetRule("producer", ChaosTransport::Direction::kIn, rule_);
+    chaos_->SetRule("producer", ChaosTransport::Direction::kOut, rule_);
+  }
+
+  EpollTransport net_producer_;
+  EpollTransport net_consumer_;
+  std::unique_ptr<ChaosTransport> chaos_;
+  std::shared_ptr<VirtualClock> clock_producer_;
+  std::shared_ptr<VirtualClock> clock_consumer_;
+  std::unique_ptr<Container> producer_;
+  std::unique_ptr<Container> consumer_;
+  ChaosTransport::Rule rule_;
+  bool ok_ = false;
+};
+
+enum class ChaosTransportKind { kSimulator, kChaosOverEpoll };
+
+class FederationChaosTransportTest
+    : public ::testing::TestWithParam<ChaosTransportKind> {
+ protected:
+  std::unique_ptr<ChaosLinkHarness> MakeHarness() const {
+    if (GetParam() == ChaosTransportKind::kSimulator) {
+      return std::make_unique<SimulatorChaosHarness>();
+    }
+    return std::make_unique<EpollChaosHarness>();
+  }
+};
+
+// Loss, then a partition, then (where supported) a forced connection
+// reset — and after healing, admission must still be dense and
+// exactly-once. One scenario, two transports.
+TEST_P(FederationChaosTransportTest, ExactlyOnceSurvivesLossPartitionReset) {
+  auto harness = MakeHarness();
+  Container* producer = harness->producer();
+  Container* consumer = harness->consumer();
+  ASSERT_NE(producer, nullptr);
+  ASSERT_NE(consumer, nullptr);
+
+  ASSERT_TRUE(producer->Deploy(GeneratorProducerXml("gen", "xonce")).ok());
+  for (int i = 0; i < 100 && consumer->Discover({{"type", "xonce"}}).empty();
+       ++i) {
+    ASSERT_TRUE(harness->Step(100 * kMicrosPerMilli).ok());
+  }
+  ASSERT_FALSE(consumer->Discover({{"type", "xonce"}}).empty());
+  auto mirror = consumer->Deploy(RemoteConsumerXml(
+      "mirror", "xonce",
+      "<field name=\"seq\" type=\"integer\"/>"
+      "<field name=\"value\" type=\"double\"/>",
+      "<predicate key=\"retry-max-attempts\" val=\"64\"/>"
+      "<predicate key=\"retry-max-backoff\" val=\"1s\"/>"));
+  ASSERT_TRUE(mirror.ok()) << mirror.status().ToString();
+
+  const auto admitted = [&]() -> int64_t {
+    const RemoteStreamWrapper* remote = FindRemote(consumer, "mirror");
+    return remote == nullptr ? 0 : remote->admitted_count();
+  };
+  for (int i = 0; i < 200 && admitted() < 5; ++i) {
+    ASSERT_TRUE(harness->Step(100 * kMicrosPerMilli).ok());
+  }
+  ASSERT_GE(admitted(), 5) << "stream never warmed up";
+
+  // The fault script: 3s of 25% loss, a 2s partition, then (on real
+  // sockets) a forced reset under residual loss.
+  harness->SetLoss(0.25);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(harness->Step(100 * kMicrosPerMilli).ok());
+  }
+  harness->SetPartitioned(true);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(harness->Step(100 * kMicrosPerMilli).ok());
+  }
+  harness->SetPartitioned(false);
+  const bool reset_supported = harness->ResetLink();
+  EXPECT_EQ(reset_supported,
+            GetParam() == ChaosTransportKind::kChaosOverEpoll);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(harness->Step(100 * kMicrosPerMilli).ok());
+  }
+  harness->Heal();
+
+  // Drain: admission must resume past the fault window and the repair
+  // protocol must close every gap (expected == admitted + 1 says the
+  // wrapper skipped nothing).
+  const int64_t before_drain = admitted();
+  const RemoteStreamWrapper* remote = FindRemote(consumer, "mirror");
+  ASSERT_NE(remote, nullptr);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(harness->Step(100 * kMicrosPerMilli).ok());
+    if (remote->admitted_count() > before_drain + 10 &&
+        remote->expected_sequence() ==
+            static_cast<uint64_t>(remote->admitted_count()) + 1) {
+      break;
+    }
+  }
+  EXPECT_GT(remote->admitted_count(), before_drain);
+  EXPECT_EQ(remote->abandoned_count(), 0);
+  EXPECT_EQ(remote->expected_sequence(),
+            static_cast<uint64_t>(remote->admitted_count()) + 1);
+
+  auto got =
+      consumer->Query("select count(*), count(distinct seq) from mirror");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->rows()[0][0], got->rows()[0][1]);
+
+  // The scripted faults really happened: the fault plane counted them.
+  EXPECT_GT(harness->faults_injected(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, FederationChaosTransportTest,
+    ::testing::Values(ChaosTransportKind::kSimulator,
+                      ChaosTransportKind::kChaosOverEpoll),
+    [](const ::testing::TestParamInfo<ChaosTransportKind>& info) {
+      return info.param == ChaosTransportKind::kSimulator ? "Simulator"
+                                                          : "ChaosOverEpoll";
+    });
 
 }  // namespace
 }  // namespace gsn::container
